@@ -1,0 +1,140 @@
+//! Changepoint detection over metric series.
+//!
+//! The Bitcoin 2019 story has a structural break: the flatter early-year
+//! regime consolidates around day 50–90 (visible in every metric of
+//! Figs. 1–3). A CUSUM-style detector locates such mean shifts so the
+//! regime change becomes a first-class analysis output instead of a
+//! squint-at-the-plot observation.
+
+use serde::{Deserialize, Serialize};
+
+/// A detected mean shift.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Changepoint {
+    /// Index (into the series) of the first point after the shift.
+    pub index: usize,
+    /// Mean before the shift.
+    pub mean_before: f64,
+    /// Mean after the shift.
+    pub mean_after: f64,
+    /// |shift| in units of the series' pooled standard deviation.
+    pub magnitude_sigmas: f64,
+}
+
+/// Single most-likely mean-shift changepoint via the standardized CUSUM
+/// statistic, validated against a minimum shift size.
+///
+/// Returns `None` when the series is shorter than `2 * min_segment` or
+/// no shift reaches `min_sigmas` pooled standard deviations.
+pub fn detect_mean_shift(
+    values: &[f64],
+    min_segment: usize,
+    min_sigmas: f64,
+) -> Option<Changepoint> {
+    let n = values.len();
+    if min_segment == 0 || n < 2 * min_segment {
+        return None;
+    }
+    let total: f64 = values.iter().sum();
+    let grand_mean = total / n as f64;
+    let var = values
+        .iter()
+        .map(|v| (v - grand_mean) * (v - grand_mean))
+        .sum::<f64>()
+        / n as f64;
+    if var <= 1e-18 {
+        return None;
+    }
+    let sd = var.sqrt();
+
+    // CUSUM of deviations; the extremum of |S_k| marks the most likely
+    // split point.
+    let mut best_k = 0usize;
+    let mut best_abs = -1.0f64;
+    let mut cusum = 0.0;
+    for (k, v) in values.iter().enumerate() {
+        cusum += v - grand_mean;
+        let in_range = (min_segment - 1..n - min_segment).contains(&k);
+        if in_range && cusum.abs() > best_abs {
+            best_abs = cusum.abs();
+            best_k = k;
+        }
+    }
+    if best_abs < 0.0 {
+        return None;
+    }
+    let split = best_k + 1;
+    let before = &values[..split];
+    let after = &values[split..];
+    let mean_before = before.iter().sum::<f64>() / before.len() as f64;
+    let mean_after = after.iter().sum::<f64>() / after.len() as f64;
+    let magnitude = (mean_after - mean_before).abs() / sd;
+    (magnitude >= min_sigmas).then_some(Changepoint {
+        index: split,
+        mean_before,
+        mean_after,
+        magnitude_sigmas: magnitude,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_series(n1: usize, m1: f64, n2: usize, m2: f64) -> Vec<f64> {
+        // Deterministic small wiggle so variance is nonzero.
+        (0..n1)
+            .map(|i| m1 + (i % 3) as f64 * 0.01)
+            .chain((0..n2).map(|i| m2 + (i % 3) as f64 * 0.01))
+            .collect()
+    }
+
+    #[test]
+    fn finds_a_clean_step() {
+        let vals = step_series(40, 4.0, 60, 3.0);
+        let cp = detect_mean_shift(&vals, 10, 1.0).unwrap();
+        assert!((38..=42).contains(&cp.index), "index {}", cp.index);
+        assert!(cp.mean_before > cp.mean_after);
+        assert!(cp.magnitude_sigmas > 1.0);
+    }
+
+    #[test]
+    fn upward_step_detected_too() {
+        let vals = step_series(30, 1.0, 30, 2.0);
+        let cp = detect_mean_shift(&vals, 5, 1.0).unwrap();
+        assert!((28..=32).contains(&cp.index));
+        assert!(cp.mean_after > cp.mean_before);
+    }
+
+    #[test]
+    fn flat_series_has_no_changepoint() {
+        assert!(detect_mean_shift(&[2.0; 50], 5, 0.5).is_none());
+        let wiggle: Vec<f64> = (0..50).map(|i| 2.0 + (i % 2) as f64 * 0.01).collect();
+        assert!(detect_mean_shift(&wiggle, 5, 1.0).is_none());
+    }
+
+    #[test]
+    fn respects_min_segment() {
+        let vals = step_series(3, 0.0, 50, 5.0);
+        // min_segment 10 forbids the true split at 3; the found split is
+        // pushed inside the legal range or the shift is under-estimated —
+        // either way index ≥ 10.
+        if let Some(cp) = detect_mean_shift(&vals, 10, 0.1) {
+            assert!(cp.index >= 10);
+            assert!(cp.index <= vals.len() - 10);
+        }
+    }
+
+    #[test]
+    fn short_series_is_none() {
+        assert!(detect_mean_shift(&[1.0, 2.0, 3.0], 2, 0.1).is_none());
+        assert!(detect_mean_shift(&[], 1, 0.1).is_none());
+        assert!(detect_mean_shift(&[1.0; 10], 0, 0.1).is_none());
+    }
+
+    #[test]
+    fn magnitude_threshold_filters_small_shifts() {
+        let vals = step_series(30, 1.0, 30, 1.02);
+        assert!(detect_mean_shift(&vals, 10, 3.0).is_none());
+    }
+}

@@ -1,0 +1,239 @@
+//! Chain-versus-chain comparison — the paper's headline analysis.
+//!
+//! For each (metric, windowing) pair measured on both chains,
+//! [`ChainComparison`] decides *who is more decentralized* (by mean,
+//! respecting the metric's direction) and *who is more stable* (by
+//! coefficient of variation), then aggregates the per-row verdicts into
+//! the §II-C3 summary: during 2019, Bitcoin is more decentralized on
+//! every metric while Ethereum is more stable.
+
+use crate::stats::SeriesStats;
+use blockdec_core::metrics::MetricKind;
+use blockdec_core::series::MeasurementSeries;
+use serde::{Deserialize, Serialize};
+
+/// One compared (metric, windowing) pair.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// The metric compared.
+    pub metric: MetricKind,
+    /// Window label (e.g. `fixed/day`).
+    pub window: String,
+    /// Mean value on chain A.
+    pub mean_a: f64,
+    /// Mean value on chain B.
+    pub mean_b: f64,
+    /// Coefficient of variation on chain A.
+    pub cv_a: Option<f64>,
+    /// Coefficient of variation on chain B.
+    pub cv_b: Option<f64>,
+    /// Which label is more decentralized by this row (`None` on a tie).
+    pub more_decentralized: Option<String>,
+    /// Which label is more stable by this row (`None` on a tie).
+    pub more_stable: Option<String>,
+}
+
+/// A full A-vs-B comparison.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChainComparison {
+    /// Label of chain A (e.g. "bitcoin").
+    pub label_a: String,
+    /// Label of chain B.
+    pub label_b: String,
+    /// Per-configuration rows.
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl ChainComparison {
+    /// Compare paired series. Series are matched by `(metric, window
+    /// label)`; unmatched series are ignored.
+    pub fn new(
+        label_a: &str,
+        series_a: &[MeasurementSeries],
+        label_b: &str,
+        series_b: &[MeasurementSeries],
+    ) -> ChainComparison {
+        let mut rows = Vec::new();
+        for a in series_a {
+            let Some(b) = series_b
+                .iter()
+                .find(|b| b.metric == a.metric && b.window == a.window)
+            else {
+                continue;
+            };
+            let Some(stats_a) = SeriesStats::from_values(&a.values()) else {
+                continue;
+            };
+            let Some(stats_b) = SeriesStats::from_values(&b.values()) else {
+                continue;
+            };
+
+            let more_decentralized = {
+                let a_wins = if a.metric.higher_is_more_decentralized() {
+                    stats_a.mean > stats_b.mean
+                } else {
+                    stats_a.mean < stats_b.mean
+                };
+                if (stats_a.mean - stats_b.mean).abs() < 1e-12 {
+                    None
+                } else if a_wins {
+                    Some(label_a.to_string())
+                } else {
+                    Some(label_b.to_string())
+                }
+            };
+            let more_stable = match (stats_a.cv(), stats_b.cv()) {
+                (Some(ca), Some(cb)) if (ca - cb).abs() > 1e-12 => {
+                    if ca < cb {
+                        Some(label_a.to_string())
+                    } else {
+                        Some(label_b.to_string())
+                    }
+                }
+                _ => None,
+            };
+
+            rows.push(ComparisonRow {
+                metric: a.metric,
+                window: a.window.label(),
+                mean_a: stats_a.mean,
+                mean_b: stats_b.mean,
+                cv_a: stats_a.cv(),
+                cv_b: stats_b.cv(),
+                more_decentralized,
+                more_stable,
+            });
+        }
+        ChainComparison {
+            label_a: label_a.to_string(),
+            label_b: label_b.to_string(),
+            rows,
+        }
+    }
+
+    /// How many rows each label wins on decentralization:
+    /// `(a_wins, b_wins)`.
+    pub fn decentralization_score(&self) -> (usize, usize) {
+        self.tally(|r| r.more_decentralized.as_deref())
+    }
+
+    /// How many rows each label wins on stability: `(a_wins, b_wins)`.
+    pub fn stability_score(&self) -> (usize, usize) {
+        self.tally(|r| r.more_stable.as_deref())
+    }
+
+    fn tally(&self, pick: impl Fn(&ComparisonRow) -> Option<&str>) -> (usize, usize) {
+        let mut a = 0;
+        let mut b = 0;
+        for r in &self.rows {
+            match pick(r) {
+                Some(l) if l == self.label_a => a += 1,
+                Some(l) if l == self.label_b => b += 1,
+                _ => {}
+            }
+        }
+        (a, b)
+    }
+
+    /// The paper-style one-sentence verdict, majority-voted across rows.
+    pub fn verdict(&self) -> String {
+        let (da, db) = self.decentralization_score();
+        let (sa, sb) = self.stability_score();
+        let dec = if da >= db { &self.label_a } else { &self.label_b };
+        let sta = if sa >= sb { &self.label_a } else { &self.label_b };
+        format!(
+            "the degree of decentralization in {dec} is higher, \
+             while the degree of decentralization in {sta} is more stable"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdec_core::series::{MeasurementPoint, WindowLabel};
+    use blockdec_chain::Timestamp;
+
+    fn series(metric: MetricKind, granularity: &str, values: &[f64]) -> MeasurementSeries {
+        MeasurementSeries {
+            metric,
+            window: WindowLabel::FixedCalendar {
+                granularity: granularity.to_string(),
+            },
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| MeasurementPoint {
+                    index: i as i64,
+                    start_height: 0,
+                    end_height: 0,
+                    start_time: Timestamp(i as i64),
+                    end_time: Timestamp(i as i64),
+                    blocks: 1,
+                    producers: 1,
+                    value: v,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn direction_awareness() {
+        // Higher entropy = more decentralized; lower Gini = more
+        // decentralized.
+        let btc = vec![
+            series(MetricKind::ShannonEntropy, "day", &[4.0, 3.8, 4.1]),
+            series(MetricKind::Gini, "day", &[0.5, 0.55, 0.52]),
+        ];
+        let eth = vec![
+            series(MetricKind::ShannonEntropy, "day", &[3.4, 3.41, 3.42]),
+            series(MetricKind::Gini, "day", &[0.92, 0.921, 0.919]),
+        ];
+        let cmp = ChainComparison::new("bitcoin", &btc, "ethereum", &eth);
+        assert_eq!(cmp.rows.len(), 2);
+        for row in &cmp.rows {
+            assert_eq!(row.more_decentralized.as_deref(), Some("bitcoin"));
+            assert_eq!(row.more_stable.as_deref(), Some("ethereum"));
+        }
+        assert_eq!(cmp.decentralization_score(), (2, 0));
+        assert_eq!(cmp.stability_score(), (0, 2));
+        let v = cmp.verdict();
+        assert!(v.contains("bitcoin is higher") || v.contains("in bitcoin is higher"), "{v}");
+        assert!(v.contains("ethereum is more stable"), "{v}");
+    }
+
+    #[test]
+    fn unmatched_series_are_skipped() {
+        let a = vec![series(MetricKind::Gini, "day", &[0.5])];
+        let b = vec![series(MetricKind::Gini, "week", &[0.6])];
+        let cmp = ChainComparison::new("a", &a, "b", &b);
+        assert!(cmp.rows.is_empty());
+    }
+
+    #[test]
+    fn nakamoto_counts_as_higher_better() {
+        let a = vec![series(MetricKind::Nakamoto, "day", &[4.0, 5.0, 4.0])];
+        let b = vec![series(MetricKind::Nakamoto, "day", &[2.0, 3.0, 2.0])];
+        let cmp = ChainComparison::new("a", &a, "b", &b);
+        assert_eq!(cmp.rows[0].more_decentralized.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn exact_ties_are_none() {
+        let a = vec![series(MetricKind::Gini, "day", &[0.5, 0.5])];
+        let b = vec![series(MetricKind::Gini, "day", &[0.5, 0.5])];
+        let cmp = ChainComparison::new("a", &a, "b", &b);
+        assert_eq!(cmp.rows[0].more_decentralized, None);
+        assert_eq!(cmp.rows[0].more_stable, None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = vec![series(MetricKind::Gini, "day", &[0.5, 0.6])];
+        let b = vec![series(MetricKind::Gini, "day", &[0.7, 0.71])];
+        let cmp = ChainComparison::new("a", &a, "b", &b);
+        let json = serde_json::to_string(&cmp).unwrap();
+        let back: ChainComparison = serde_json::from_str(&json).unwrap();
+        assert_eq!(cmp, back);
+    }
+}

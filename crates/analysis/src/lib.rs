@@ -1,0 +1,25 @@
+//! # blockdec-analysis
+//!
+//! Statistics, anomaly detection, and chain comparison over measurement
+//! series — the layer that turns the raw per-window metric values into
+//! the paper's findings: *"Bitcoin is more decentralized, Ethereum is
+//! more stable"* (§II-C3), the day-14 anomaly call-out (§II-C1d), and
+//! the sliding-vs-fixed cross-interval comparison (§III-B).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod bootstrap;
+pub mod changepoint;
+pub mod compare;
+pub mod report;
+pub mod stats;
+pub mod trend;
+
+pub use anomaly::{Anomaly, AnomalyDetector};
+pub use bootstrap::{bootstrap_mean_ci, BootstrapCi};
+pub use changepoint::{detect_mean_shift, Changepoint};
+pub use compare::{ChainComparison, ComparisonRow};
+pub use stats::SeriesStats;
+pub use trend::{mann_kendall, sen_slope, spearman, MannKendall, Trend};

@@ -1,0 +1,172 @@
+//! Descriptive statistics over metric series.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a value series.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeriesStats {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl SeriesStats {
+    /// Compute from values; `None` for an empty slice.
+    pub fn from_values(values: &[f64]) -> Option<SeriesStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(SeriesStats {
+            count: n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 0.50),
+            p05: percentile_sorted(&sorted, 0.05),
+            p95: percentile_sorted(&sorted, 0.95),
+        })
+    }
+
+    /// Coefficient of variation (std/mean); the paper's notion of
+    /// "stability" — a lower CV is a more stable series. `None` when the
+    /// mean is ~0.
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean.abs() < 1e-12 {
+            None
+        } else {
+            Some(self.std / self.mean.abs())
+        }
+    }
+
+    /// Value range (max − min).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice, `q` in
+/// `[0, 1]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median of an unsorted slice (convenience for detectors).
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(percentile_sorted(&sorted, 0.5))
+}
+
+/// Median absolute deviation (raw, unscaled).
+pub fn mad(values: &[f64]) -> Option<f64> {
+    let m = median(values)?;
+    let deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&deviations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = SeriesStats::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!(close(s.mean, 3.0));
+        assert!(close(s.std, 2.0f64.sqrt()));
+        assert!(close(s.min, 1.0));
+        assert!(close(s.max, 5.0));
+        assert!(close(s.median, 3.0));
+        assert!(close(s.range(), 4.0));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(SeriesStats::from_values(&[]).is_none());
+        assert!(median(&[]).is_none());
+        assert!(mad(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = SeriesStats::from_values(&[7.5]).unwrap();
+        assert!(close(s.mean, 7.5));
+        assert!(close(s.std, 0.0));
+        assert!(close(s.median, 7.5));
+        assert!(close(s.p05, 7.5));
+        assert!(close(s.p95, 7.5));
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert!(close(percentile_sorted(&sorted, 0.5), 5.0));
+        assert!(close(percentile_sorted(&sorted, 0.25), 2.5));
+        assert!(close(percentile_sorted(&sorted, 0.0), 0.0));
+        assert!(close(percentile_sorted(&sorted, 1.0), 10.0));
+    }
+
+    #[test]
+    fn cv_measures_stability() {
+        let stable = SeriesStats::from_values(&[10.0, 10.1, 9.9, 10.0]).unwrap();
+        let wild = SeriesStats::from_values(&[10.0, 20.0, 1.0, 9.0]).unwrap();
+        assert!(stable.cv().unwrap() < wild.cv().unwrap());
+        let zero = SeriesStats::from_values(&[0.0, 0.0]).unwrap();
+        assert!(zero.cv().is_none());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert!(close(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0));
+        assert!(close(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5));
+    }
+
+    #[test]
+    fn mad_is_robust() {
+        // One huge outlier barely moves the MAD.
+        let clean = mad(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let dirty = mad(&[1.0, 2.0, 3.0, 4.0, 1000.0]).unwrap();
+        assert!((clean - dirty).abs() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        percentile_sorted(&[1.0], 1.5);
+    }
+}

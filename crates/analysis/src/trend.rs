@@ -1,0 +1,246 @@
+//! Trend and association tests over metric series.
+//!
+//! The papers the measurement study builds on claim Bitcoin shows "a
+//! trend towards centralization" (Beikverdi & Song; Tschorsch &
+//! Scheuermann — the paper's refs \[1\] and \[18\]). This module provides the standard
+//! nonparametric machinery to test such claims on our series:
+//!
+//! * [`mann_kendall`] — the Mann–Kendall monotonic-trend test, with the
+//!   normal approximation of the S statistic (tie-corrected variance);
+//! * [`sen_slope`] — the Theil–Sen slope estimate accompanying it;
+//! * [`spearman`] — Spearman rank correlation between two series, used to
+//!   confirm that the three metrics "reveal the same trend" (§I).
+
+use serde::{Deserialize, Serialize};
+
+/// Direction verdict of a trend test at a significance threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trend {
+    /// Statistically significant upward trend.
+    Increasing,
+    /// Statistically significant downward trend.
+    Decreasing,
+    /// No significant monotonic trend.
+    None,
+}
+
+/// Result of a Mann–Kendall test.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MannKendall {
+    /// The S statistic (Σ sign differences).
+    pub s: i64,
+    /// Normal-approximation z-score (tie-corrected).
+    pub z: f64,
+    /// Verdict at the two-sided 5% level (|z| > 1.96).
+    pub trend: Trend,
+    /// Number of observations.
+    pub n: usize,
+}
+
+/// Mann–Kendall monotonic-trend test. Returns `None` for fewer than 4
+/// observations (the normal approximation needs ~10 to be good; 4 is the
+/// bare minimum for a defined variance).
+///
+/// ```
+/// use blockdec_analysis::trend::{mann_kendall, Trend};
+/// let declining: Vec<f64> = (0..30).map(|i| 5.0 - i as f64 * 0.1).collect();
+/// assert_eq!(mann_kendall(&declining).unwrap().trend, Trend::Decreasing);
+/// ```
+pub fn mann_kendall(values: &[f64]) -> Option<MannKendall> {
+    let n = values.len();
+    if n < 4 {
+        return None;
+    }
+    let mut s: i64 = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += match values[j].partial_cmp(&values[i])? {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            };
+        }
+    }
+    // Tie-corrected variance: Var(S) = [n(n−1)(2n+5) − Σ t(t−1)(2t+5)]/18.
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mut tie_term = 0i64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i) as i64;
+        if t > 1 {
+            tie_term += t * (t - 1) * (2 * t + 5);
+        }
+        i = j;
+    }
+    let n_i = n as i64;
+    let var = ((n_i * (n_i - 1) * (2 * n_i + 5) - tie_term) as f64) / 18.0;
+    if var <= 0.0 {
+        // All values tied: no trend by definition.
+        return Some(MannKendall {
+            s,
+            z: 0.0,
+            trend: Trend::None,
+            n,
+        });
+    }
+    // Continuity correction.
+    let z = match s.cmp(&0) {
+        std::cmp::Ordering::Greater => (s as f64 - 1.0) / var.sqrt(),
+        std::cmp::Ordering::Less => (s as f64 + 1.0) / var.sqrt(),
+        std::cmp::Ordering::Equal => 0.0,
+    };
+    let trend = if z > 1.96 {
+        Trend::Increasing
+    } else if z < -1.96 {
+        Trend::Decreasing
+    } else {
+        Trend::None
+    };
+    Some(MannKendall { s, z, trend, n })
+}
+
+/// Theil–Sen slope: the median of all pairwise slopes. `None` for fewer
+/// than 2 points or when every pair is vertically aligned.
+pub fn sen_slope(values: &[f64]) -> Option<f64> {
+    let n = values.len();
+    if n < 2 {
+        return None;
+    }
+    let mut slopes = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            slopes.push((values[j] - values[i]) / (j - i) as f64);
+        }
+    }
+    slopes.sort_by(f64::total_cmp);
+    Some(slopes[slopes.len() / 2])
+}
+
+/// Average rank vector with ties sharing their mean rank.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && values[idx[j]] == values[idx[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; tied block shares the average rank.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            out[k] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman rank correlation ρ of two equal-length series. `None` when
+/// lengths differ, are < 2, or either series is constant.
+pub fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let n = a.len() as f64;
+    let mean = (n + 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - mean) * (y - mean);
+        var_a += (x - mean) * (x - mean);
+        var_b += (y - mean) * (y - mean);
+    }
+    if var_a <= 0.0 || var_b <= 0.0 {
+        return None;
+    }
+    Some(cov / (var_a.sqrt() * var_b.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_clear_trends() {
+        let up: Vec<f64> = (0..50).map(|i| i as f64 + (i % 3) as f64 * 0.1).collect();
+        let mk = mann_kendall(&up).unwrap();
+        assert_eq!(mk.trend, Trend::Increasing);
+        assert!(mk.z > 1.96);
+        assert!(sen_slope(&up).unwrap() > 0.9);
+
+        let down: Vec<f64> = up.iter().rev().copied().collect();
+        let mk = mann_kendall(&down).unwrap();
+        assert_eq!(mk.trend, Trend::Decreasing);
+        assert!(sen_slope(&down).unwrap() < -0.9);
+    }
+
+    #[test]
+    fn noise_has_no_trend() {
+        // Deterministic zig-zag: no monotonic component.
+        let vals: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let mk = mann_kendall(&vals).unwrap();
+        assert_eq!(mk.trend, Trend::None);
+    }
+
+    #[test]
+    fn constant_series_is_trendless() {
+        let mk = mann_kendall(&[3.0; 20]).unwrap();
+        assert_eq!(mk.trend, Trend::None);
+        assert_eq!(mk.s, 0);
+        assert_eq!(mk.z, 0.0);
+    }
+
+    #[test]
+    fn short_series_is_none() {
+        assert!(mann_kendall(&[1.0, 2.0, 3.0]).is_none());
+        assert!(sen_slope(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn sen_slope_is_robust_to_outliers() {
+        let mut vals: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        vals[15] = 1000.0;
+        let slope = sen_slope(&vals).unwrap();
+        assert!((slope - 1.0).abs() < 0.1, "slope {slope}");
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x * x).collect(); // monotone map
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((spearman(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 2.0, 3.0];
+        let rho = spearman(&a, &b).unwrap();
+        assert!(rho > 0.7 && rho <= 1.0, "{rho}");
+    }
+
+    #[test]
+    fn spearman_degenerate_inputs() {
+        assert!(spearman(&[1.0], &[1.0]).is_none());
+        assert!(spearman(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(spearman(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn ranks_average_over_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! One benchmark group per paper figure: the cost of regenerating each
+//! figure's series from an attributed block stream.
+//!
+//! Datasets are truncated (60 Bitcoin days / 3 Ethereum days) so a bench
+//! iteration stays in the milliseconds while exercising the exact code
+//! path of the full-year experiment harness.
+
+use blockdec_bench::Dataset;
+use blockdec_chain::Granularity;
+use blockdec_core::engine::MeasurementEngine;
+use blockdec_core::metrics::MetricKind;
+use blockdec_core::windows::sliding::SlidingWindowSpec;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn fixed_bench(c: &mut Criterion, id: &str, ds: &Dataset, metric: MetricKind) {
+    let mut group = c.benchmark_group(id);
+    for g in Granularity::ALL {
+        let engine = MeasurementEngine::new(metric).fixed_calendar(g, ds.origin());
+        group.bench_function(g.label(), |b| {
+            b.iter_batched(
+                || (),
+                |()| black_box(engine.run(black_box(&ds.attributed))),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn sliding_bench(c: &mut Criterion, id: &str, ds: &Dataset, metric: MetricKind) {
+    let mut group = c.benchmark_group(id);
+    let spec = ds.scenario.spec();
+    for g in Granularity::ALL {
+        let n = spec.window_blocks(g) as usize;
+        if n >= ds.attributed.len() {
+            continue; // window larger than the truncated dataset
+        }
+        let engine = MeasurementEngine::new(metric).sliding_spec(SlidingWindowSpec::paper(n));
+        group.bench_function(format!("{}_{n}", g.label()), |b| {
+            b.iter(|| black_box(engine.run(black_box(&ds.attributed))))
+        });
+    }
+    group.finish();
+}
+
+fn figures(c: &mut Criterion) {
+    let btc = Dataset::bitcoin(60);
+    let eth = Dataset::ethereum(3);
+
+    fixed_bench(c, "fig01_btc_gini_fixed", &btc, MetricKind::Gini);
+    fixed_bench(c, "fig02_btc_entropy_fixed", &btc, MetricKind::ShannonEntropy);
+    fixed_bench(c, "fig03_btc_nakamoto_fixed", &btc, MetricKind::Nakamoto);
+    fixed_bench(c, "fig04_eth_gini_fixed", &eth, MetricKind::Gini);
+    fixed_bench(c, "fig05_eth_entropy_fixed", &eth, MetricKind::ShannonEntropy);
+    fixed_bench(c, "fig06_eth_nakamoto_fixed", &eth, MetricKind::Nakamoto);
+
+    // Fig. 7: the day-vs-month top-share aggregation.
+    c.bench_function("fig07_btc_topshare_pies", |b| {
+        use blockdec_core::distribution::ProducerDistribution;
+        let origin = btc.origin();
+        b.iter(|| {
+            let day: Vec<_> = btc
+                .attributed
+                .iter()
+                .filter(|blk| blk.timestamp.day_index(origin) == 40)
+                .cloned()
+                .collect();
+            let month: Vec<_> = btc
+                .attributed
+                .iter()
+                .filter(|blk| blk.timestamp.month_index(origin) == 1)
+                .cloned()
+                .collect();
+            black_box((
+                ProducerDistribution::from_blocks(&day).ranked(),
+                ProducerDistribution::from_blocks(&month).ranked(),
+            ))
+        })
+    });
+
+    sliding_bench(c, "fig09_btc_entropy_sliding", &btc, MetricKind::ShannonEntropy);
+    sliding_bench(c, "fig10_eth_entropy_sliding", &eth, MetricKind::ShannonEntropy);
+    sliding_bench(c, "fig11_btc_gini_sliding", &btc, MetricKind::Gini);
+    sliding_bench(c, "fig12_eth_gini_sliding", &eth, MetricKind::Gini);
+    sliding_bench(c, "fig13_btc_nakamoto_sliding", &btc, MetricKind::Nakamoto);
+    sliding_bench(c, "fig14_eth_nakamoto_sliding", &eth, MetricKind::Nakamoto);
+
+    // T1/T2: full multi-metric sliding sweep for one chain.
+    c.bench_function("t1_btc_sliding_averages", |b| {
+        b.iter(|| {
+            for metric in [MetricKind::ShannonEntropy, MetricKind::Gini] {
+                for g in Granularity::ALL {
+                    let n = btc.scenario.spec().window_blocks(g) as usize;
+                    if n < btc.attributed.len() {
+                        let engine =
+                            MeasurementEngine::new(metric).sliding_spec(SlidingWindowSpec::paper(n));
+                        black_box(engine.run(&btc.attributed).mean());
+                    }
+                }
+            }
+        })
+    });
+    c.bench_function("t2_eth_sliding_averages", |b| {
+        b.iter(|| {
+            for metric in [MetricKind::ShannonEntropy, MetricKind::Gini] {
+                let n = eth.scenario.spec().window_blocks(Granularity::Day) as usize;
+                if n < eth.attributed.len() {
+                    let engine =
+                        MeasurementEngine::new(metric).sliding_spec(SlidingWindowSpec::paper(n));
+                    black_box(engine.run(&eth.attributed).mean());
+                }
+            }
+        })
+    });
+
+    // T3: the day-14 anomaly computation.
+    c.bench_function("t3_day14_anomaly", |b| {
+        use blockdec_core::distribution::ProducerDistribution;
+        let origin = btc.origin();
+        b.iter(|| {
+            let day13: Vec<_> = btc
+                .attributed
+                .iter()
+                .filter(|blk| blk.timestamp.day_index(origin) == 13)
+                .cloned()
+                .collect();
+            let dist = ProducerDistribution::from_blocks(&day13);
+            let w = dist.weight_vector();
+            black_box((
+                MetricKind::Gini.compute(&w),
+                MetricKind::ShannonEntropy.compute(&w),
+                MetricKind::Nakamoto.compute(&w),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figures
+}
+criterion_main!(benches);

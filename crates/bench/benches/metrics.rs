@@ -1,0 +1,68 @@
+//! Metric kernel benchmarks: cost of each decentralization metric as the
+//! producer population grows, plus the O(n log n) Gini against the
+//! O(n²) textbook formula.
+
+use blockdec_core::metrics::gini::gini_pairwise_reference;
+use blockdec_core::metrics::{gini, hhi, nakamoto, shannon_entropy, theil, top_k_share};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A realistic window distribution: a pool head plus a Pareto tail.
+fn weights(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n)
+        .map(|i| {
+            let base = 1000.0 / ((i + 1) as f64).powf(0.9);
+            base * (0.5 + rng.gen::<f64>())
+        })
+        .collect()
+}
+
+fn metric_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric_kernels");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let w = weights(n);
+        group.bench_with_input(BenchmarkId::new("gini", n), &w, |b, w| {
+            b.iter(|| black_box(gini(black_box(w))))
+        });
+        group.bench_with_input(BenchmarkId::new("entropy", n), &w, |b, w| {
+            b.iter(|| black_box(shannon_entropy(black_box(w))))
+        });
+        group.bench_with_input(BenchmarkId::new("nakamoto", n), &w, |b, w| {
+            b.iter(|| black_box(nakamoto(black_box(w))))
+        });
+        group.bench_with_input(BenchmarkId::new("hhi", n), &w, |b, w| {
+            b.iter(|| black_box(hhi(black_box(w))))
+        });
+        group.bench_with_input(BenchmarkId::new("theil", n), &w, |b, w| {
+            b.iter(|| black_box(theil(black_box(w))))
+        });
+        group.bench_with_input(BenchmarkId::new("top5_share", n), &w, |b, w| {
+            b.iter(|| black_box(top_k_share(black_box(w), 5)))
+        });
+    }
+    group.finish();
+}
+
+fn gini_fast_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gini_fast_vs_pairwise");
+    for n in [100usize, 1_000] {
+        let w = weights(n);
+        group.bench_with_input(BenchmarkId::new("sorted_nlogn", n), &w, |b, w| {
+            b.iter(|| black_box(gini(black_box(w))))
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise_n2", n), &w, |b, w| {
+            b.iter(|| black_box(gini_pairwise_reference(black_box(w))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = metric_kernels, gini_fast_vs_reference
+}
+criterion_main!(benches);

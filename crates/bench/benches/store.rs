@@ -1,0 +1,81 @@
+//! Block-store benchmarks: append/seal throughput, full scans, and
+//! pruned range scans.
+
+use blockdec_store::{BlockStore, RowRecord, ScanPredicate};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const ROWS: u64 = 200_000;
+
+fn rows(store: &mut BlockStore) -> Vec<RowRecord> {
+    let producers: Vec<u32> = (0..24).map(|i| store.intern_producer(&format!("pool-{i}"))).collect();
+    (0..ROWS)
+        .map(|h| RowRecord {
+            height: 556_459 + h,
+            timestamp: 1_546_300_800 + h as i64 * 600,
+            producer: producers[(h % 24) as usize],
+            credit_millis: 1000,
+            tx_count: 2_000,
+            size_bytes: 1_000_000,
+            difficulty: 5_000_000_000 + h,
+        })
+        .collect()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blockdec-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_benches(c: &mut Criterion) {
+    // Append + flush throughput.
+    let mut group = c.benchmark_group("store_append");
+    group.throughput(Throughput::Elements(ROWS));
+    group.sample_size(10);
+    group.bench_function("append_seal_200k_rows", |b| {
+        b.iter(|| {
+            let dir = fresh_dir("append");
+            let mut store = BlockStore::create(&dir).unwrap();
+            let data = rows(&mut store);
+            store.append_rows(&data).unwrap();
+            store.flush().unwrap();
+            black_box(store.row_count());
+            std::fs::remove_dir_all(&dir).unwrap();
+        })
+    });
+    group.finish();
+
+    // Scans over a prepared store.
+    let dir = fresh_dir("scan");
+    let mut store = BlockStore::create(&dir).unwrap();
+    let data = rows(&mut store);
+    store.append_rows(&data).unwrap();
+    store.flush().unwrap();
+
+    let mut group = c.benchmark_group("store_scan");
+    group.throughput(Throughput::Elements(ROWS));
+    group.sample_size(20);
+    group.bench_function("full_scan", |b| {
+        b.iter(|| black_box(store.scan(&ScanPredicate::all()).unwrap().len()))
+    });
+    group.bench_function("narrow_height_range", |b| {
+        let pred = ScanPredicate::all().heights(556_459 + 150_000, 556_459 + 151_000);
+        b.iter(|| black_box(store.scan(&pred).unwrap().len()))
+    });
+    group.bench_function("narrow_time_range", |b| {
+        let t0 = 1_546_300_800 + 150_000 * 600;
+        let pred = ScanPredicate::all().times(t0, t0 + 600_000);
+        b.iter(|| black_box(store.scan(&pred).unwrap().len()))
+    });
+    group.bench_function("scan_attributed_regroup", |b| {
+        let pred = ScanPredicate::all().heights(556_459, 556_459 + 20_000);
+        b.iter(|| black_box(store.scan_attributed(&pred).unwrap().len()))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+criterion_group!(benches, store_benches);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Experiment harness entry point: regenerates every paper figure/table.
+//!
+//! ```text
+//! cargo run --release -p blockdec-bench --bin experiments [-- ids...]
+//!     [--out DIR]    output directory (default ./experiments-out)
+//!     [--quick]      truncate to 120 simulated days (covers both
+//!                    scripted anomalies) instead of the full year
+//! ```
+
+use blockdec_bench::{run_experiment, Dataset, ALL_EXPERIMENTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut outdir = PathBuf::from("experiments-out");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(d) => outdir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quick" => quick = true,
+            "--list" => {
+                for (id, title) in ALL_EXPERIMENTS {
+                    println!("{id:8} {title}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
+    }
+
+    let days = if quick { 120 } else { 365 };
+    eprintln!("generating calibrated datasets ({days} days)...");
+    let t0 = Instant::now();
+    let btc = Dataset::bitcoin(days);
+    eprintln!("  bitcoin: {} blocks in {:?}", btc.len(), t0.elapsed());
+    let t1 = Instant::now();
+    let eth = Dataset::ethereum(days);
+    eprintln!("  ethereum: {} blocks in {:?}", eth.len(), t1.elapsed());
+
+    let mut summary = String::from("# blockdec experiment run\n\n");
+    summary.push_str(&format!(
+        "Datasets: bitcoin {} blocks, ethereum {} blocks ({days} simulated days).\n\n",
+        btc.len(),
+        eth.len()
+    ));
+
+    let mut failed = false;
+    for id in &ids {
+        let t = Instant::now();
+        match run_experiment(id, &btc, &eth, &outdir) {
+            Ok(result) => {
+                println!("\n== {} — {} [{:?}]", result.id, result.title, t.elapsed());
+                for line in &result.lines {
+                    println!("{line}");
+                }
+                summary.push_str(&format!("## {} — {}\n\n", result.id, result.title));
+                for line in &result.lines {
+                    summary.push_str(&format!("- {}\n", line.trim_start()));
+                }
+                summary.push('\n');
+            }
+            Err(e) => {
+                eprintln!("experiment {id} FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(outdir.join("summary.md"), &summary) {
+        eprintln!("could not write summary.md: {e}");
+    }
+    println!("\nartifacts in {}", outdir.display());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,53 @@
+//! Shared simulated datasets for experiments and benches.
+
+use blockdec_chain::{AttributedBlock, ProducerRegistry, Timestamp};
+use blockdec_sim::Scenario;
+
+/// A generated, attributed chain-year (or prefix of one).
+pub struct Dataset {
+    /// Chain label ("bitcoin" / "ethereum").
+    pub name: String,
+    /// The scenario that produced it.
+    pub scenario: Scenario,
+    /// Attribution results in height order.
+    pub attributed: Vec<AttributedBlock>,
+    /// Producer names.
+    pub registry: ProducerRegistry,
+}
+
+impl Dataset {
+    fn from_scenario(scenario: Scenario) -> Dataset {
+        let stream = scenario.generate();
+        Dataset {
+            name: scenario.chain.label().to_string(),
+            scenario,
+            attributed: stream.attributed,
+            registry: stream.registry,
+        }
+    }
+
+    /// The calibrated Bitcoin 2019 dataset, truncated to `days`.
+    pub fn bitcoin(days: u32) -> Dataset {
+        Dataset::from_scenario(Scenario::bitcoin_2019().truncated(days))
+    }
+
+    /// The calibrated Ethereum 2019 dataset, truncated to `days`.
+    pub fn ethereum(days: u32) -> Dataset {
+        Dataset::from_scenario(Scenario::ethereum_2019().truncated(days))
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.attributed.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.attributed.is_empty()
+    }
+
+    /// The measurement origin (2019-01-01).
+    pub fn origin(&self) -> Timestamp {
+        Timestamp(self.scenario.start_time)
+    }
+}

@@ -1,0 +1,19 @@
+//! # blockdec-bench
+//!
+//! The experiment harness that regenerates every figure and quoted
+//! statistic of the paper (see DESIGN.md's experiment index), plus shared
+//! dataset builders for the Criterion benches.
+//!
+//! * `cargo run --release -p blockdec-bench --bin experiments` — run all
+//!   experiments, writing per-figure CSV series and a summary markdown.
+//! * `cargo bench -p blockdec-bench` — performance benchmarks (figure
+//!   regeneration cost, metric kernels, store throughput, ablations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+
+pub use datasets::Dataset;
+pub use experiments::{run_experiment, ExperimentResult, ALL_EXPERIMENTS};

@@ -1,0 +1,193 @@
+//! Producer payout addresses.
+//!
+//! Bitcoin coinbase outputs pay base58 / bech32 addresses; Ethereum blocks
+//! carry a 20-byte `miner` address rendered as `0x`-prefixed hex. We keep
+//! addresses as validated strings: attribution only ever compares them for
+//! equality, so a compact canonical string is the right representation.
+
+use crate::error::ChainError;
+use crate::hash::{encode_hex, splitmix64};
+use crate::params::ChainKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A validated, canonicalized payout address.
+///
+/// Cheap to clone (`Arc<str>` inside): blocks, attribution results, and the
+/// producer registry all share the same allocation.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Address(Arc<str>);
+
+const BASE58: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+const BECH32: &[u8; 32] = b"qpzry9x8gf2tvdw0s3jn54khce6mua7l";
+
+impl Address {
+    /// Validate and canonicalize an address string for the given chain.
+    ///
+    /// Ethereum addresses are lowercased (EIP-55 checksum casing is a
+    /// display concern, not an identity one); Bitcoin addresses are kept
+    /// verbatim because base58 is case-sensitive.
+    pub fn parse(kind: ChainKind, s: &str) -> Result<Address, ChainError> {
+        match kind {
+            ChainKind::Bitcoin => Self::parse_bitcoin(s),
+            ChainKind::Ethereum => Self::parse_ethereum(s),
+        }
+    }
+
+    fn parse_bitcoin(s: &str) -> Result<Address, ChainError> {
+        let err = |reason| ChainError::InvalidAddress {
+            input: s.to_string(),
+            reason,
+        };
+        if s.len() < 14 || s.len() > 74 {
+            return Err(err("length outside 14..=74"));
+        }
+        if let Some(rest) = s.strip_prefix("bc1") {
+            if !rest.bytes().all(|b| BECH32.contains(&b.to_ascii_lowercase())) {
+                return Err(err("invalid bech32 data character"));
+            }
+        } else if s.starts_with('1') || s.starts_with('3') {
+            if !s.bytes().all(|b| BASE58.contains(&b)) {
+                return Err(err("invalid base58 character"));
+            }
+        } else {
+            return Err(err("unknown bitcoin address prefix"));
+        }
+        Ok(Address(Arc::from(s)))
+    }
+
+    fn parse_ethereum(s: &str) -> Result<Address, ChainError> {
+        let err = |reason| ChainError::InvalidAddress {
+            input: s.to_string(),
+            reason,
+        };
+        let hex = s.strip_prefix("0x").ok_or_else(|| err("missing 0x prefix"))?;
+        if hex.len() != 40 {
+            return Err(err("expected 40 hex digits"));
+        }
+        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(err("non-hex digit"));
+        }
+        Ok(Address(Arc::from(s.to_ascii_lowercase().as_str())))
+    }
+
+    /// Deterministically synthesize a plausible address from a seed —
+    /// used by the simulator to give every synthetic miner a stable,
+    /// format-valid identity.
+    pub fn synthesize(kind: ChainKind, seed: u64) -> Address {
+        match kind {
+            ChainKind::Bitcoin => {
+                // P2PKH-shaped: '1' + 30 base58 chars derived from the seed.
+                let mut out = String::with_capacity(31);
+                out.push('1');
+                let mut state = splitmix64(seed ^ 0xb17c_0123);
+                for _ in 0..30 {
+                    state = splitmix64(state);
+                    out.push(BASE58[(state % 58) as usize] as char);
+                }
+                Address(Arc::from(out.as_str()))
+            }
+            ChainKind::Ethereum => {
+                let mut bytes = [0u8; 20];
+                let mut state = splitmix64(seed ^ 0xe7e7_4545);
+                for chunk in bytes.chunks_exact_mut(4) {
+                    state = splitmix64(state);
+                    chunk.copy_from_slice(&state.to_le_bytes()[..4]);
+                }
+                Address(Arc::from(format!("0x{}", encode_hex(&bytes)).as_str()))
+            }
+        }
+    }
+
+    /// The canonical string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address({})", self.0)
+    }
+}
+
+impl AsRef<str> for Address {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_p2pkh() {
+        let a = Address::parse(ChainKind::Bitcoin, "1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa").unwrap();
+        assert_eq!(a.as_str(), "1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa");
+    }
+
+    #[test]
+    fn parses_p2sh_and_bech32() {
+        assert!(Address::parse(ChainKind::Bitcoin, "3J98t1WpEZ73CNmQviecrnyiWrnqRhWNLy").is_ok());
+        assert!(
+            Address::parse(ChainKind::Bitcoin, "bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4")
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_bitcoin() {
+        // '0', 'O', 'I', 'l' are not base58.
+        assert!(Address::parse(ChainKind::Bitcoin, "1O0Il0O0Il0O0Il0O0Il").is_err());
+        assert!(Address::parse(ChainKind::Bitcoin, "xyz").is_err());
+        assert!(Address::parse(ChainKind::Bitcoin, "2NotAPrefix11111111111").is_err());
+    }
+
+    #[test]
+    fn parses_and_lowercases_ethereum() {
+        let a = Address::parse(
+            ChainKind::Ethereum,
+            "0xEA674FDDE714FD979DE3EDF0F56AA9716B898EC8",
+        )
+        .unwrap();
+        assert_eq!(a.as_str(), "0xea674fdde714fd979de3edf0f56aa9716b898ec8");
+    }
+
+    #[test]
+    fn rejects_bad_ethereum() {
+        assert!(Address::parse(ChainKind::Ethereum, "ea674fdde714fd979de3edf0f56aa9716b898ec8").is_err());
+        assert!(Address::parse(ChainKind::Ethereum, "0x1234").is_err());
+        assert!(Address::parse(ChainKind::Ethereum, &format!("0x{}", "g".repeat(40))).is_err());
+    }
+
+    #[test]
+    fn synthesized_addresses_are_valid_and_stable() {
+        for kind in [ChainKind::Bitcoin, ChainKind::Ethereum] {
+            for seed in 0..50 {
+                let a = Address::synthesize(kind, seed);
+                let reparsed = Address::parse(kind, a.as_str()).expect("synthesized must parse");
+                assert_eq!(a, reparsed);
+                assert_eq!(a, Address::synthesize(kind, seed), "must be deterministic");
+            }
+            assert_ne!(Address::synthesize(kind, 1), Address::synthesize(kind, 2));
+        }
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let a = Address::synthesize(ChainKind::Ethereum, 9);
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(json, format!("\"{}\"", a.as_str()));
+        let back: Address = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,294 @@
+//! Block and coinbase types.
+//!
+//! A [`Block`] carries exactly the fields the measurement pipeline needs
+//! from a BigQuery export row: height, hash/parent linkage, timestamp,
+//! difficulty, and the coinbase information from which the producer is
+//! attributed (payout addresses plus an optional pool tag — the coinbase
+//! script marker on Bitcoin, the `extra_data` field on Ethereum).
+
+use crate::address::Address;
+use crate::error::ChainError;
+use crate::hash::BlockHash;
+use crate::params::ChainKind;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Producer-identifying payload of a block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoinbaseInfo {
+    /// Payout addresses of the coinbase transaction, in output order.
+    ///
+    /// Almost always a single address. The paper's day-14 anomaly (§II-C)
+    /// concerns blocks 558,473 and 558,545, whose coinbases paid more than
+    /// 80 and 90 independent addresses respectively — each such address is
+    /// counted as a producer of the block.
+    pub payout_addresses: Vec<Address>,
+    /// Pool self-identification tag, if any: the human-readable marker in
+    /// the Bitcoin coinbase script (e.g. `/F2Pool/`) or the Ethereum
+    /// `extra_data` string (e.g. `sparkpool-eth-cn-hz2`).
+    pub tag: Option<String>,
+}
+
+impl CoinbaseInfo {
+    /// A single-address coinbase with an optional tag.
+    pub fn single(address: Address, tag: Option<String>) -> CoinbaseInfo {
+        CoinbaseInfo {
+            payout_addresses: vec![address],
+            tag,
+        }
+    }
+}
+
+/// One block of a measured chain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Chain this block belongs to.
+    pub chain: ChainKind,
+    /// Block height (Bitcoin) / number (Ethereum).
+    pub height: u64,
+    /// Block hash.
+    pub hash: BlockHash,
+    /// Parent block hash.
+    pub parent: BlockHash,
+    /// Miner-declared UTC timestamp.
+    pub timestamp: Timestamp,
+    /// Difficulty at this block (arbitrary units; ratios matter).
+    pub difficulty: u64,
+    /// Number of transactions included.
+    pub tx_count: u32,
+    /// Serialized size in bytes.
+    pub size_bytes: u32,
+    /// Coinbase / producer information.
+    pub coinbase: CoinbaseInfo,
+}
+
+impl Block {
+    /// Start building a block for the given chain and height.
+    pub fn builder(chain: ChainKind, height: u64) -> BlockBuilder {
+        BlockBuilder::new(chain, height)
+    }
+
+    /// Structural validation of a single block, independent of its
+    /// position in the chain.
+    pub fn validate(&self) -> Result<(), ChainError> {
+        let fail = |reason: &str| {
+            Err(ChainError::InvalidBlock {
+                height: self.height,
+                reason: reason.to_string(),
+            })
+        };
+        if self.coinbase.payout_addresses.is_empty() {
+            return fail("coinbase has no payout addresses");
+        }
+        if self.hash == self.parent {
+            return fail("block is its own parent");
+        }
+        if self.difficulty == 0 {
+            return fail("zero difficulty");
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Block`] with sensible defaults for optional fields.
+#[derive(Clone, Debug)]
+pub struct BlockBuilder {
+    chain: ChainKind,
+    height: u64,
+    hash: Option<BlockHash>,
+    parent: BlockHash,
+    timestamp: Timestamp,
+    difficulty: u64,
+    tx_count: u32,
+    size_bytes: u32,
+    payout_addresses: Vec<Address>,
+    tag: Option<String>,
+}
+
+impl BlockBuilder {
+    fn new(chain: ChainKind, height: u64) -> BlockBuilder {
+        BlockBuilder {
+            chain,
+            height,
+            hash: None,
+            parent: BlockHash::ZERO,
+            timestamp: Timestamp(0),
+            difficulty: 1,
+            tx_count: 0,
+            size_bytes: 0,
+            payout_addresses: Vec::new(),
+            tag: None,
+        }
+    }
+
+    /// Explicit block hash; defaults to a digest of (chain, height).
+    pub fn hash(mut self, hash: BlockHash) -> Self {
+        self.hash = Some(hash);
+        self
+    }
+
+    /// Parent hash; defaults to [`BlockHash::ZERO`].
+    pub fn parent(mut self, parent: BlockHash) -> Self {
+        self.parent = parent;
+        self
+    }
+
+    /// Miner-declared timestamp.
+    pub fn timestamp(mut self, t: Timestamp) -> Self {
+        self.timestamp = t;
+        self
+    }
+
+    /// Difficulty; defaults to 1.
+    pub fn difficulty(mut self, d: u64) -> Self {
+        self.difficulty = d;
+        self
+    }
+
+    /// Transaction count.
+    pub fn tx_count(mut self, n: u32) -> Self {
+        self.tx_count = n;
+        self
+    }
+
+    /// Serialized size in bytes.
+    pub fn size_bytes(mut self, n: u32) -> Self {
+        self.size_bytes = n;
+        self
+    }
+
+    /// Append a coinbase payout address.
+    pub fn payout(mut self, a: Address) -> Self {
+        self.payout_addresses.push(a);
+        self
+    }
+
+    /// Replace the full payout address list.
+    pub fn payouts(mut self, addrs: Vec<Address>) -> Self {
+        self.payout_addresses = addrs;
+        self
+    }
+
+    /// Pool tag (coinbase marker / extra_data).
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+
+    /// Finalize, validating the result.
+    pub fn build(self) -> Result<Block, ChainError> {
+        let hash = self
+            .hash
+            .unwrap_or_else(|| BlockHash::digest(self.chain.id(), self.height));
+        let block = Block {
+            chain: self.chain,
+            height: self.height,
+            hash,
+            parent: self.parent,
+            timestamp: self.timestamp,
+            difficulty: self.difficulty,
+            tx_count: self.tx_count,
+            size_bytes: self.size_bytes,
+            coinbase: CoinbaseInfo {
+                payout_addresses: self.payout_addresses,
+                tag: self.tag,
+            },
+        };
+        block.validate()?;
+        Ok(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(seed: u64) -> Address {
+        Address::synthesize(ChainKind::Bitcoin, seed)
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let b = Block::builder(ChainKind::Bitcoin, 556_459)
+            .timestamp(Timestamp::year_2019_start())
+            .payout(addr(1))
+            .build()
+            .unwrap();
+        assert_eq!(b.height, 556_459);
+        assert_eq!(b.hash, BlockHash::digest(ChainKind::Bitcoin.id(), 556_459));
+        assert_eq!(b.parent, BlockHash::ZERO);
+        assert_eq!(b.difficulty, 1);
+        assert_eq!(b.coinbase.payout_addresses.len(), 1);
+        assert!(b.coinbase.tag.is_none());
+    }
+
+    #[test]
+    fn builder_full() {
+        let b = Block::builder(ChainKind::Bitcoin, 10)
+            .hash(BlockHash::digest(1, 99))
+            .parent(BlockHash::digest(1, 98))
+            .timestamp(Timestamp(1_546_300_999))
+            .difficulty(123)
+            .tx_count(2500)
+            .size_bytes(1_100_000)
+            .payout(addr(2))
+            .tag("/F2Pool/")
+            .build()
+            .unwrap();
+        assert_eq!(b.tx_count, 2500);
+        assert_eq!(b.coinbase.tag.as_deref(), Some("/F2Pool/"));
+    }
+
+    #[test]
+    fn rejects_empty_coinbase() {
+        let err = Block::builder(ChainKind::Bitcoin, 5).build().unwrap_err();
+        assert!(matches!(err, ChainError::InvalidBlock { height: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_self_parent() {
+        let h = BlockHash::digest(1, 7);
+        let err = Block::builder(ChainKind::Bitcoin, 7)
+            .hash(h)
+            .parent(h)
+            .payout(addr(1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ChainError::InvalidBlock { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_difficulty() {
+        let err = Block::builder(ChainKind::Ethereum, 7)
+            .difficulty(0)
+            .payout(Address::synthesize(ChainKind::Ethereum, 1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ChainError::InvalidBlock { .. }));
+    }
+
+    #[test]
+    fn multi_address_coinbase_is_preserved() {
+        // Day-14-style anomaly block: many payout addresses.
+        let addrs: Vec<Address> = (0..85).map(addr).collect();
+        let b = Block::builder(ChainKind::Bitcoin, 558_473)
+            .payouts(addrs.clone())
+            .build()
+            .unwrap();
+        assert_eq!(b.coinbase.payout_addresses.len(), 85);
+        assert_eq!(b.coinbase.payout_addresses, addrs);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let b = Block::builder(ChainKind::Ethereum, 6_988_615)
+            .timestamp(Timestamp::year_2019_start())
+            .payout(Address::synthesize(ChainKind::Ethereum, 3))
+            .tag("ethermine-eu1")
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Block = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by the chain-model layer.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating chain data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// A hexadecimal string could not be decoded.
+    InvalidHex {
+        /// The offending input (possibly truncated for display).
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An address string failed validation for its chain.
+    InvalidAddress {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A block failed structural validation.
+    InvalidBlock {
+        /// Height of the offending block.
+        height: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A sequence of blocks violated a chain-level invariant
+    /// (non-contiguous heights, broken parent links, timestamp rules).
+    BrokenChain {
+        /// Height at which the violation was detected.
+        height: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A timestamp was outside the supported range.
+    TimestampOutOfRange(i64),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::InvalidHex { input, reason } => {
+                write!(f, "invalid hex {input:?}: {reason}")
+            }
+            ChainError::InvalidAddress { input, reason } => {
+                write!(f, "invalid address {input:?}: {reason}")
+            }
+            ChainError::InvalidBlock { height, reason } => {
+                write!(f, "invalid block at height {height}: {reason}")
+            }
+            ChainError::BrokenChain { height, reason } => {
+                write!(f, "broken chain at height {height}: {reason}")
+            }
+            ChainError::TimestampOutOfRange(t) => {
+                write!(f, "timestamp {t} outside supported range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = ChainError::InvalidHex {
+            input: "zz".into(),
+            reason: "non-hex digit",
+        };
+        assert!(e.to_string().contains("zz"));
+        assert!(e.to_string().contains("non-hex digit"));
+
+        let e = ChainError::BrokenChain {
+            height: 42,
+            reason: "gap".into(),
+        };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&ChainError::TimestampOutOfRange(-1));
+    }
+}

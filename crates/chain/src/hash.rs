@@ -1,0 +1,213 @@
+//! 256-bit block hashes with hex encoding and a fast deterministic mixer.
+//!
+//! Real chain data carries SHA-256d (Bitcoin) or Keccak-256 (Ethereum)
+//! hashes; for the simulator we only need hashes that are unique,
+//! deterministic, and well distributed, so [`BlockHash::digest`] uses a
+//! SplitMix64-based construction. Parsing and formatting round-trip the
+//! same 64-character hex form BigQuery exports use.
+
+use crate::error::ChainError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 256-bit block hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockHash(pub [u8; 32]);
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Encode bytes as lowercase hex.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (with or without a `0x` prefix) into bytes.
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, ChainError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if s.len() % 2 != 0 {
+        return Err(ChainError::InvalidHex {
+            input: truncate_for_error(s),
+            reason: "odd number of hex digits",
+        });
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0]);
+        let lo = hex_val(pair[1]);
+        match (hi, lo) {
+            (Some(h), Some(l)) => out.push((h << 4) | l),
+            _ => {
+                return Err(ChainError::InvalidHex {
+                    input: truncate_for_error(s),
+                    reason: "non-hex digit",
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn truncate_for_error(s: &str) -> String {
+    // Keep error payloads bounded even for pathological inputs.
+    if s.len() > 80 {
+        let mut end = 80;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    } else {
+        s.to_string()
+    }
+}
+
+/// SplitMix64 finalizer: a strong 64-bit mixing function.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl BlockHash {
+    /// The all-zero hash, used as the parent of the first tracked block.
+    pub const ZERO: BlockHash = BlockHash([0u8; 32]);
+
+    /// Deterministically derive a well-distributed hash from a domain tag
+    /// and a seed (typically chain id + height). Not cryptographic; see
+    /// module docs.
+    pub fn digest(domain: u64, seed: u64) -> BlockHash {
+        let mut out = [0u8; 32];
+        let mut state = splitmix64(domain ^ splitmix64(seed));
+        for chunk in out.chunks_exact_mut(8) {
+            state = splitmix64(state);
+            chunk.copy_from_slice(&state.to_le_bytes());
+        }
+        BlockHash(out)
+    }
+
+    /// Parse from a 64-hex-digit string (optionally `0x`-prefixed).
+    pub fn from_hex(s: &str) -> Result<BlockHash, ChainError> {
+        let bytes = decode_hex(s)?;
+        if bytes.len() != 32 {
+            return Err(ChainError::InvalidHex {
+                input: truncate_for_error(s),
+                reason: "expected 32 bytes",
+            });
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&bytes);
+        Ok(BlockHash(out))
+    }
+
+    /// Lowercase hex form without prefix.
+    pub fn to_hex(&self) -> String {
+        encode_hex(&self.0)
+    }
+
+    /// First 8 bytes interpreted little-endian; handy as a compact key.
+    pub fn short(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("slice is 8 bytes"))
+    }
+}
+
+impl fmt::Debug for BlockHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockHash({}…)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for BlockHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = BlockHash::digest(1, 42);
+        let s = h.to_hex();
+        assert_eq!(s.len(), 64);
+        assert_eq!(BlockHash::from_hex(&s).unwrap(), h);
+        assert_eq!(BlockHash::from_hex(&format!("0x{s}")).unwrap(), h);
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_distinct() {
+        assert_eq!(BlockHash::digest(7, 9), BlockHash::digest(7, 9));
+        assert_ne!(BlockHash::digest(7, 9), BlockHash::digest(7, 10));
+        assert_ne!(BlockHash::digest(7, 9), BlockHash::digest(8, 9));
+    }
+
+    #[test]
+    fn rejects_bad_hex() {
+        assert!(matches!(
+            BlockHash::from_hex("zz"),
+            Err(ChainError::InvalidHex { .. })
+        ));
+        assert!(matches!(
+            BlockHash::from_hex("abc"),
+            Err(ChainError::InvalidHex { .. })
+        ));
+        // Right characters, wrong length.
+        assert!(BlockHash::from_hex("abcd").is_err());
+    }
+
+    #[test]
+    fn decode_hex_handles_mixed_case() {
+        assert_eq!(decode_hex("DeadBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn error_input_is_truncated() {
+        let long = "g".repeat(500);
+        match decode_hex(&long) {
+            Err(ChainError::InvalidHex { input, .. }) => assert!(input.len() < 200),
+            other => panic!("expected InvalidHex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_is_stable_prefix() {
+        let h = BlockHash::digest(3, 3);
+        assert_eq!(
+            h.short(),
+            u64::from_le_bytes(h.0[..8].try_into().unwrap())
+        );
+    }
+
+    #[test]
+    fn splitmix_distributes_low_entropy_inputs() {
+        // Consecutive inputs should produce outputs differing in many bits.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert!((a ^ b).count_ones() > 10);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = BlockHash::digest(5, 5);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: BlockHash = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

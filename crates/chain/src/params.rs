@@ -1,0 +1,189 @@
+//! Chain parameters for the two measured blockchains.
+//!
+//! Everything the rest of the pipeline needs to know about Bitcoin and
+//! Ethereum lives here: target block intervals, the paper's window sizes
+//! (§III-A: 144/1008/4320 blocks for Bitcoin, 6,000/42,000/180,000 for
+//! Ethereum), the 2019 height ranges the paper collected, and difficulty
+//! retarget rules used by the simulator.
+
+use crate::time::Granularity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which blockchain a piece of data belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum ChainKind {
+    /// Bitcoin mainnet.
+    Bitcoin,
+    /// Ethereum mainnet (pre-merge, proof-of-work).
+    Ethereum,
+}
+
+impl ChainKind {
+    /// Both measured chains.
+    pub const ALL: [ChainKind; 2] = [ChainKind::Bitcoin, ChainKind::Ethereum];
+
+    /// Lowercase name used in file paths and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChainKind::Bitcoin => "bitcoin",
+            ChainKind::Ethereum => "ethereum",
+        }
+    }
+
+    /// Stable numeric id used in hashing domains and on-disk headers.
+    pub fn id(self) -> u64 {
+        match self {
+            ChainKind::Bitcoin => 1,
+            ChainKind::Ethereum => 2,
+        }
+    }
+
+    /// The full parameter set for this chain.
+    pub fn spec(self) -> &'static ChainSpec {
+        match self {
+            ChainKind::Bitcoin => &BITCOIN,
+            ChainKind::Ethereum => &ETHEREUM,
+        }
+    }
+}
+
+impl fmt::Display for ChainKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Difficulty-adjustment rule, as modelled by the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RetargetRule {
+    /// Bitcoin: every `interval` blocks, scale difficulty by
+    /// expected/actual elapsed time, clamped to 4x in either direction.
+    Epoch {
+        /// Blocks per retarget epoch (2016 on mainnet).
+        interval: u64,
+    },
+    /// Ethereum (Homestead-style): every block nudges difficulty by
+    /// `parent_difficulty / 2048 * max(1 - elapsed/10, -99)`.
+    PerBlock,
+}
+
+/// Static parameters of a measured chain.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChainSpec {
+    /// Which chain this is.
+    pub kind: ChainKind,
+    /// Target seconds between blocks (600 for Bitcoin; ~13 for the 2019
+    /// Ethereum average the paper rounds to 6,000 blocks/day).
+    pub target_block_interval_secs: f64,
+    /// Nominal blocks per day (144 / 6,000) used for the paper's window
+    /// sizes.
+    pub blocks_per_day: u64,
+    /// First 2019 block height the paper collected.
+    pub first_block_2019: u64,
+    /// Last 2019 block height the paper collected (inclusive).
+    pub last_block_2019: u64,
+    /// Total 2019 blocks the paper reports (54,231 / 2,204,650).
+    pub blocks_in_2019: u64,
+    /// Difficulty retarget rule.
+    pub retarget: RetargetRule,
+    /// Initial difficulty used by the simulator at the 2019 origin
+    /// (arbitrary units; only ratios matter).
+    pub initial_difficulty: u64,
+}
+
+/// Bitcoin mainnet parameters.
+pub static BITCOIN: ChainSpec = ChainSpec {
+    kind: ChainKind::Bitcoin,
+    target_block_interval_secs: 600.0,
+    blocks_per_day: 144,
+    first_block_2019: 556_459,
+    last_block_2019: 610_690,
+    blocks_in_2019: 54_231,
+    retarget: RetargetRule::Epoch { interval: 2016 },
+    initial_difficulty: 5_618_595_848_853,
+};
+
+/// Ethereum mainnet (PoW era) parameters.
+pub static ETHEREUM: ChainSpec = ChainSpec {
+    kind: ChainKind::Ethereum,
+    // 2019 averaged roughly 13.1s; the paper uses "6,000 blocks per day".
+    target_block_interval_secs: 14.4,
+    blocks_per_day: 6_000,
+    first_block_2019: 6_988_615,
+    last_block_2019: 9_193_265,
+    blocks_in_2019: 2_204_650,
+    retarget: RetargetRule::PerBlock,
+    initial_difficulty: 2_500_000_000_000_000,
+};
+
+impl ChainSpec {
+    /// The paper's sliding/fixed window size in blocks for a granularity
+    /// (§III-A): day/week/month-equivalent block counts.
+    pub fn window_blocks(&self, g: Granularity) -> u64 {
+        match g {
+            Granularity::Day => self.blocks_per_day,
+            Granularity::Week => self.blocks_per_day * 7,
+            Granularity::Month => self.blocks_per_day * 30,
+        }
+    }
+
+    /// Expected block count over the whole measurement year, from the
+    /// nominal rate. The actual 2019 counts differ slightly (difficulty
+    /// drift); both are available.
+    pub fn nominal_blocks_per_year(&self) -> u64 {
+        self.blocks_per_day * 365
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_window_sizes() {
+        // §III-A: Bitcoin 144 / 1008 / 4320.
+        let b = ChainKind::Bitcoin.spec();
+        assert_eq!(b.window_blocks(Granularity::Day), 144);
+        assert_eq!(b.window_blocks(Granularity::Week), 1008);
+        assert_eq!(b.window_blocks(Granularity::Month), 4320);
+        // §III-A: Ethereum 6,000 / 42,000 / 180,000.
+        let e = ChainKind::Ethereum.spec();
+        assert_eq!(e.window_blocks(Granularity::Day), 6_000);
+        assert_eq!(e.window_blocks(Granularity::Week), 42_000);
+        assert_eq!(e.window_blocks(Granularity::Month), 180_000);
+    }
+
+    #[test]
+    fn paper_block_ranges() {
+        // §II-A: 54,231 Bitcoin blocks from 556,459 to 610,690.
+        let b = &BITCOIN;
+        assert_eq!(b.last_block_2019 - b.first_block_2019 + 1, 54_232);
+        assert_eq!(b.blocks_in_2019, 54_231);
+        // §II-A: 2,204,650 Ethereum blocks from 6,988,615 to 9,193,265.
+        let e = &ETHEREUM;
+        assert_eq!(e.last_block_2019 - e.first_block_2019 + 1, 2_204_651);
+        assert_eq!(e.blocks_in_2019, 2_204_650);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(ChainKind::Bitcoin.label(), "bitcoin");
+        assert_eq!(ChainKind::Ethereum.to_string(), "ethereum");
+        assert_ne!(ChainKind::Bitcoin.id(), ChainKind::Ethereum.id());
+        assert_eq!(ChainKind::Bitcoin.spec().kind, ChainKind::Bitcoin);
+        assert_eq!(ChainKind::Ethereum.spec().kind, ChainKind::Ethereum);
+    }
+
+    #[test]
+    fn nominal_rates_are_consistent() {
+        assert_eq!(BITCOIN.nominal_blocks_per_year(), 144 * 365);
+        assert_eq!(ETHEREUM.nominal_blocks_per_year(), 6_000 * 365);
+        // Nominal rates should be within 5% of the measured 2019 counts.
+        for spec in [&BITCOIN, &ETHEREUM] {
+            let nominal = spec.nominal_blocks_per_year() as f64;
+            let actual = spec.blocks_in_2019 as f64;
+            assert!((nominal - actual).abs() / actual < 0.05, "{:?}", spec.kind);
+        }
+    }
+}

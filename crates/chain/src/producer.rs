@@ -1,0 +1,163 @@
+//! Producer identities and interning.
+//!
+//! A *producer* is whoever a block is attributed to — a named mining pool
+//! when a tag matches, otherwise the payout address itself. Metric and
+//! storage layers work with compact [`ProducerId`]s; the [`ProducerRegistry`]
+//! maps between ids and display names and is persisted alongside the store
+//! as its dictionary.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Compact interned producer identifier.
+///
+/// Ids are dense and allocation-ordered: the first distinct producer seen
+/// gets id 0. This makes them directly usable as vector indices in the
+/// metric engines.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ProducerId(pub u32);
+
+impl ProducerId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProducerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Bidirectional name ↔ id interner for producers.
+#[derive(Clone, Debug, Default)]
+pub struct ProducerRegistry {
+    names: Vec<Arc<str>>,
+    by_name: HashMap<Arc<str>, ProducerId>,
+}
+
+impl ProducerRegistry {
+    /// An empty registry.
+    pub fn new() -> ProducerRegistry {
+        ProducerRegistry::default()
+    }
+
+    /// Intern a producer name, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> ProducerId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ProducerId(
+            u32::try_from(self.names.len()).expect("more than u32::MAX distinct producers"),
+        );
+        let arc: Arc<str> = Arc::from(name);
+        self.names.push(arc.clone());
+        self.by_name.insert(arc, id);
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<ProducerId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name for an id, if allocated.
+    pub fn name(&self, id: ProducerId) -> Option<&str> {
+        self.names.get(id.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct producers interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProducerId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ProducerId(i as u32), &**n))
+    }
+
+    /// Serialize to a plain name list (index = id). Used by the store's
+    /// dictionary persistence.
+    pub fn to_name_list(&self) -> Vec<String> {
+        self.names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Rebuild from a name list produced by [`Self::to_name_list`].
+    ///
+    /// Duplicate names keep their first id, matching `intern` semantics.
+    pub fn from_name_list<S: AsRef<str>>(names: &[S]) -> ProducerRegistry {
+        let mut reg = ProducerRegistry::new();
+        for n in names {
+            reg.intern(n.as_ref());
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut r = ProducerRegistry::new();
+        let a = r.intern("F2Pool");
+        let b = r.intern("AntPool");
+        let a2 = r.intern("F2Pool");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut r = ProducerRegistry::new();
+        let id = r.intern("Ethermine");
+        assert_eq!(r.get("Ethermine"), Some(id));
+        assert_eq!(r.get("SparkPool"), None);
+        assert_eq!(r.name(id), Some("Ethermine"));
+        assert_eq!(r.name(ProducerId(99)), None);
+    }
+
+    #[test]
+    fn name_list_roundtrip() {
+        let mut r = ProducerRegistry::new();
+        for n in ["a", "b", "c"] {
+            r.intern(n);
+        }
+        let list = r.to_name_list();
+        let back = ProducerRegistry::from_name_list(&list);
+        assert_eq!(back.len(), 3);
+        for (id, name) in r.iter() {
+            assert_eq!(back.get(name), Some(id));
+        }
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = ProducerRegistry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(ProducerId(7).to_string(), "p7");
+    }
+}

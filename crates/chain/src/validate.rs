@@ -1,0 +1,273 @@
+//! Chain-level validation of block sequences.
+//!
+//! Data from an export (or the simulator) must form a coherent chain
+//! before it is measured: contiguous heights, intact parent links, and
+//! timestamps obeying the chains' consensus rules. Bitcoin allows a
+//! block's timestamp to precede its parent's as long as it exceeds the
+//! median of the previous 11 (median-time-past); Ethereum requires strict
+//! monotonicity.
+
+use crate::block::Block;
+use crate::error::ChainError;
+use crate::params::ChainKind;
+use crate::time::Timestamp;
+
+/// Configuration for chain validation.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidationConfig {
+    /// Verify parent-hash linkage (disable for datasets exported without
+    /// parent hashes).
+    pub check_parent_links: bool,
+    /// Verify timestamp consensus rules.
+    pub check_timestamps: bool,
+    /// Maximum allowed seconds a timestamp may run ahead of the previous
+    /// block (guards against wildly corrupt data; Bitcoin's network rule
+    /// is 2h versus wall-clock, we bound block-to-block skew instead).
+    pub max_forward_skew_secs: i64,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig {
+            check_parent_links: true,
+            check_timestamps: true,
+            max_forward_skew_secs: 4 * 3600,
+        }
+    }
+}
+
+/// Summary of a successful validation pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Number of blocks validated.
+    pub blocks: u64,
+    /// First height in the sequence.
+    pub first_height: u64,
+    /// Last height in the sequence.
+    pub last_height: u64,
+    /// Earliest timestamp observed.
+    pub min_timestamp: Timestamp,
+    /// Latest timestamp observed.
+    pub max_timestamp: Timestamp,
+    /// Number of blocks whose timestamp is earlier than their parent's
+    /// (legal on Bitcoin under median-time-past; reported for visibility).
+    pub non_monotone_timestamps: u64,
+}
+
+/// Median of the last up-to-11 timestamps (Bitcoin's median-time-past).
+fn median_time_past(window: &[i64]) -> i64 {
+    debug_assert!(!window.is_empty());
+    let mut v = window.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Validate a height-ordered block sequence as a chain segment.
+pub fn validate_chain(blocks: &[Block], config: &ValidationConfig) -> Result<ValidationReport, ChainError> {
+    let first = blocks.first().ok_or(ChainError::BrokenChain {
+        height: 0,
+        reason: "empty block sequence".to_string(),
+    })?;
+    let chain = first.chain;
+
+    let mut mtp_window: Vec<i64> = Vec::with_capacity(11);
+    let mut non_monotone = 0u64;
+    let mut min_ts = first.timestamp;
+    let mut max_ts = first.timestamp;
+
+    for (i, block) in blocks.iter().enumerate() {
+        block.validate()?;
+        let broken = |reason: String| ChainError::BrokenChain {
+            height: block.height,
+            reason,
+        };
+        if block.chain != chain {
+            return Err(broken(format!(
+                "chain mismatch: expected {chain}, found {}",
+                block.chain
+            )));
+        }
+        if i > 0 {
+            let prev = &blocks[i - 1];
+            if block.height != prev.height + 1 {
+                return Err(broken(format!(
+                    "height gap: {} follows {}",
+                    block.height, prev.height
+                )));
+            }
+            if config.check_parent_links && block.parent != prev.hash {
+                return Err(broken("parent hash does not match previous block".to_string()));
+            }
+            if config.check_timestamps {
+                let dt = block.timestamp - prev.timestamp;
+                if dt < 0 {
+                    non_monotone += 1;
+                    match chain {
+                        ChainKind::Bitcoin => {
+                            let mtp = median_time_past(&mtp_window);
+                            if block.timestamp.secs() <= mtp {
+                                return Err(broken(format!(
+                                    "timestamp {} not after median-time-past {}",
+                                    block.timestamp.secs(),
+                                    mtp
+                                )));
+                            }
+                        }
+                        ChainKind::Ethereum => {
+                            return Err(broken(
+                                "ethereum timestamps must be strictly increasing".to_string(),
+                            ));
+                        }
+                    }
+                }
+                if dt > config.max_forward_skew_secs {
+                    return Err(broken(format!(
+                        "timestamp jumps forward {dt}s (> {} allowed)",
+                        config.max_forward_skew_secs
+                    )));
+                }
+            }
+        }
+        mtp_window.push(block.timestamp.secs());
+        if mtp_window.len() > 11 {
+            mtp_window.remove(0);
+        }
+        min_ts = min_ts.min(block.timestamp);
+        max_ts = max_ts.max(block.timestamp);
+    }
+
+    Ok(ValidationReport {
+        blocks: blocks.len() as u64,
+        first_height: first.height,
+        last_height: blocks.last().expect("non-empty").height,
+        min_timestamp: min_ts,
+        max_timestamp: max_ts,
+        non_monotone_timestamps: non_monotone,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::hash::BlockHash;
+
+    fn chain_of(n: u64, kind: ChainKind) -> Vec<Block> {
+        let step = match kind {
+            ChainKind::Bitcoin => 600,
+            ChainKind::Ethereum => 14,
+        };
+        (0..n)
+            .map(|i| {
+                Block::builder(kind, 100 + i)
+                    .hash(BlockHash::digest(kind.id(), 100 + i))
+                    .parent(if i == 0 {
+                        BlockHash::ZERO
+                    } else {
+                        BlockHash::digest(kind.id(), 100 + i - 1)
+                    })
+                    .timestamp(Timestamp(1_546_300_800 + (i as i64) * step))
+                    .payout(Address::synthesize(kind, i))
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn valid_chain_passes() {
+        let blocks = chain_of(50, ChainKind::Bitcoin);
+        let report = validate_chain(&blocks, &ValidationConfig::default()).unwrap();
+        assert_eq!(report.blocks, 50);
+        assert_eq!(report.first_height, 100);
+        assert_eq!(report.last_height, 149);
+        assert_eq!(report.non_monotone_timestamps, 0);
+        assert!(report.min_timestamp < report.max_timestamp);
+    }
+
+    #[test]
+    fn empty_sequence_is_an_error() {
+        assert!(matches!(
+            validate_chain(&[], &ValidationConfig::default()),
+            Err(ChainError::BrokenChain { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_height_gap() {
+        let mut blocks = chain_of(10, ChainKind::Bitcoin);
+        blocks.remove(5);
+        let err = validate_chain(&blocks, &ValidationConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("height gap"));
+    }
+
+    #[test]
+    fn detects_broken_parent_link() {
+        let mut blocks = chain_of(10, ChainKind::Bitcoin);
+        blocks[4].parent = BlockHash::digest(9, 9);
+        let err = validate_chain(&blocks, &ValidationConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("parent"));
+    }
+
+    #[test]
+    fn parent_check_can_be_disabled() {
+        let mut blocks = chain_of(10, ChainKind::Bitcoin);
+        blocks[4].parent = BlockHash::digest(9, 9);
+        let cfg = ValidationConfig {
+            check_parent_links: false,
+            ..ValidationConfig::default()
+        };
+        assert!(validate_chain(&blocks, &cfg).is_ok());
+    }
+
+    #[test]
+    fn bitcoin_tolerates_small_backward_step() {
+        let mut blocks = chain_of(20, ChainKind::Bitcoin);
+        // Step block 15's timestamp slightly before block 14's, but still
+        // beyond the median of the preceding 11.
+        blocks[15].timestamp = blocks[14].timestamp + (-30);
+        let report = validate_chain(&blocks, &ValidationConfig::default()).unwrap();
+        assert_eq!(report.non_monotone_timestamps, 1);
+    }
+
+    #[test]
+    fn bitcoin_rejects_timestamp_before_mtp() {
+        let mut blocks = chain_of(20, ChainKind::Bitcoin);
+        blocks[15].timestamp = blocks[2].timestamp; // far in the past
+        assert!(validate_chain(&blocks, &ValidationConfig::default()).is_err());
+    }
+
+    #[test]
+    fn ethereum_rejects_any_backward_step() {
+        let mut blocks = chain_of(20, ChainKind::Ethereum);
+        blocks[10].timestamp = blocks[9].timestamp + (-1);
+        let err = validate_chain(&blocks, &ValidationConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("strictly increasing"));
+    }
+
+    #[test]
+    fn rejects_excessive_forward_skew() {
+        let mut blocks = chain_of(10, ChainKind::Bitcoin);
+        blocks[5].timestamp = blocks[4].timestamp + 100_000;
+        let err = validate_chain(&blocks, &ValidationConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("forward"));
+    }
+
+    #[test]
+    fn rejects_mixed_chains() {
+        let mut blocks = chain_of(5, ChainKind::Bitcoin);
+        let eth = chain_of(1, ChainKind::Ethereum).pop().unwrap();
+        blocks.push(eth);
+        let err = validate_chain(&blocks, &ValidationConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("chain mismatch"));
+    }
+
+    #[test]
+    fn median_time_past_is_median() {
+        assert_eq!(median_time_past(&[5]), 5);
+        assert_eq!(median_time_past(&[1, 2, 3]), 2);
+        assert_eq!(median_time_past(&[3, 1, 2, 5, 4]), 3);
+        // Even length takes the upper-middle element.
+        assert_eq!(median_time_past(&[1, 2, 3, 4]), 3);
+    }
+}

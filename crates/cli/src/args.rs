@@ -1,0 +1,122 @@
+//! Minimal `--flag value` argument parsing (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding `argv[0]`).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut iter = args.into_iter().peekable();
+        let command = iter.next().unwrap_or_else(|| "help".to_string());
+        let mut options = HashMap::new();
+        let mut switches = Vec::new();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    options.insert(key.to_string(), iter.next().expect("peeked"));
+                }
+                _ => switches.push(key.to_string()),
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            switches,
+        })
+    }
+
+    /// A required option.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An optional option parsed to a type.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("--{key} {v:?}: {e}")),
+        }
+    }
+
+    /// True when `--flag` was passed without a value.
+    pub fn has_switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse(&["simulate", "--chain", "bitcoin", "--days", "7", "--verbose"]);
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.required("chain").unwrap(), "bitcoin");
+        assert_eq!(a.get_parsed::<u32>("days").unwrap(), Some(7));
+        assert!(a.has_switch("verbose"));
+        assert!(!a.has_switch("quiet"));
+        assert!(a.get("missing").is_none());
+    }
+
+    #[test]
+    fn missing_required_errors() {
+        let a = parse(&["measure"]);
+        assert!(a.required("store").is_err());
+    }
+
+    #[test]
+    fn bad_parse_errors() {
+        let a = parse(&["x", "--days", "seven"]);
+        assert!(a.get_parsed::<u32>("days").is_err());
+    }
+
+    #[test]
+    fn rejects_positionals() {
+        assert!(Args::parse(["x".to_string(), "oops".to_string()]).is_err());
+    }
+
+    #[test]
+    fn empty_is_help() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a.command, "help");
+    }
+
+    #[test]
+    fn trailing_switch_then_option() {
+        let a = parse(&["x", "--flag", "--key", "v"]);
+        assert!(a.has_switch("flag"));
+        assert_eq!(a.get("key"), Some("v"));
+    }
+}

@@ -1,0 +1,379 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use blockdec_analysis::anomaly::AnomalyDetector;
+use blockdec_analysis::compare::ChainComparison;
+use blockdec_analysis::report::{
+    anomalies_csv, comparison_markdown, series_summary_line, sparkline_line,
+};
+use blockdec_chain::{ChainKind, Granularity, Timestamp};
+use blockdec_core::engine::MeasurementEngine;
+use blockdec_core::metrics::MetricKind;
+use blockdec_core::series::MeasurementSeries;
+use blockdec_ingest::{bigquery, csv as csvio, jsonl};
+use blockdec_query::{Filter, MeasurementSource, Plan};
+use blockdec_sim::Scenario;
+use blockdec_store::BlockStore;
+use std::fs;
+use std::io::{BufReader, BufWriter, Write};
+
+type CmdResult = Result<(), String>;
+
+fn parse_chain(s: &str) -> Result<ChainKind, String> {
+    match s {
+        "bitcoin" | "btc" => Ok(ChainKind::Bitcoin),
+        "ethereum" | "eth" => Ok(ChainKind::Ethereum),
+        other => Err(format!("unknown chain {other:?} (bitcoin|ethereum)")),
+    }
+}
+
+fn parse_metric(s: &str) -> Result<MetricKind, String> {
+    s.parse()
+}
+
+/// `fixed:day`, `fixed:week`, `fixed:month`, or `sliding:N:M`.
+fn parse_window(s: &str, metric: MetricKind) -> Result<MeasurementEngine, String> {
+    let engine = MeasurementEngine::new(metric);
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts.as_slice() {
+        ["fixed", g] => {
+            let granularity: Granularity = g.parse()?;
+            Ok(engine.fixed_calendar(granularity, Timestamp::year_2019_start()))
+        }
+        ["sliding", n, m] => {
+            let size: usize = n.parse().map_err(|e| format!("window size: {e}"))?;
+            let step: usize = m.parse().map_err(|e| format!("window step: {e}"))?;
+            if size == 0 || step == 0 {
+                return Err("window size and step must be positive".into());
+            }
+            Ok(engine.sliding(size, step))
+        }
+        ["sliding-time", d, s2] => {
+            let duration: i64 = d.parse().map_err(|e| format!("window duration: {e}"))?;
+            let step: i64 = s2.parse().map_err(|e| format!("window step: {e}"))?;
+            if duration <= 0 || step <= 0 {
+                return Err("window duration and step must be positive".into());
+            }
+            Ok(engine.sliding_time(duration, step))
+        }
+        _ => Err(format!(
+            "bad window {s:?} (fixed:day|fixed:week|fixed:month|sliding:N:M|sliding-time:SECS:SECS)"
+        )),
+    }
+}
+
+fn scenario_from_args(args: &Args) -> Result<Scenario, String> {
+    let chain = parse_chain(args.required("chain")?)?;
+    let mut scenario = match chain {
+        ChainKind::Bitcoin => Scenario::bitcoin_2019(),
+        ChainKind::Ethereum => Scenario::ethereum_2019(),
+    };
+    if let Some(days) = args.get_parsed::<u32>("days")? {
+        scenario = scenario.truncated(days);
+    }
+    if let Some(seed) = args.get_parsed::<u64>("seed")? {
+        scenario = scenario.with_seed(seed);
+    }
+    if let Some(limit) = args.get_parsed::<u64>("limit")? {
+        scenario.limit_blocks = Some(limit);
+    }
+    Ok(scenario)
+}
+
+/// `blockdec simulate` — scenario → CSV/JSONL file (or stdout).
+pub fn simulate(args: &Args) -> CmdResult {
+    let scenario = scenario_from_args(args)?;
+    let format = args.get("format").unwrap_or("csv");
+    let blocks = scenario.generate_blocks();
+    if !args.has_switch("quiet") {
+        eprintln!(
+            "simulated {} {} blocks over {} days (seed {})",
+            blocks.len(),
+            scenario.chain,
+            scenario.days,
+            scenario.seed
+        );
+    }
+    let mut out: Box<dyn Write> = match args.get("out") {
+        Some(path) => Box::new(BufWriter::new(
+            fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?,
+        )),
+        None => Box::new(BufWriter::new(std::io::stdout())),
+    };
+    match format {
+        "csv" => csvio::write_blocks_csv(&mut out, &blocks).map_err(|e| e.to_string())?,
+        "jsonl" => jsonl::write_blocks_jsonl(&mut out, &blocks).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format {other:?} (csv|jsonl)")),
+    }
+    out.flush().map_err(|e| e.to_string())
+}
+
+/// `blockdec load` — simulate straight into a store.
+pub fn load(args: &Args) -> CmdResult {
+    let scenario = scenario_from_args(args)?;
+    let store_dir = args.required("store")?;
+    let stream = scenario.generate();
+    let mut store = BlockStore::open_or_create(store_dir).map_err(|e| e.to_string())?;
+    store
+        .append_attributed(&stream.attributed, &stream.registry)
+        .map_err(|e| e.to_string())?;
+    store.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {} blocks ({} rows, {} producers) into {store_dir}",
+        stream.attributed.len(),
+        store.row_count(),
+        store.registry().len()
+    );
+    Ok(())
+}
+
+/// `blockdec ingest` — file → attribute → store.
+pub fn ingest(args: &Args) -> CmdResult {
+    let chain = parse_chain(args.required("chain")?)?;
+    let input = args.required("input")?;
+    let store_dir = args.required("store")?;
+    let format = args.get("format").unwrap_or("csv");
+
+    let file = fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let reader = BufReader::new(file);
+    let blocks = match format {
+        "csv" => csvio::read_blocks_csv(reader, chain).map_err(|e| e.to_string())?,
+        "jsonl" => jsonl::read_blocks_jsonl(reader).map_err(|e| e.to_string())?,
+        "bigquery" => bigquery::read_bigquery_jsonl(reader, chain).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format {other:?} (csv|jsonl|bigquery)")),
+    };
+
+    let mut attributor =
+        blockdec_chain::Attributor::new(chain, blockdec_chain::AttributionMode::PerAddress);
+    let attributed = attributor.attribute_all(&blocks);
+    let registry = attributor.into_registry();
+
+    let mut store = BlockStore::open_or_create(store_dir).map_err(|e| e.to_string())?;
+    store
+        .append_attributed(&attributed, &registry)
+        .map_err(|e| e.to_string())?;
+    store.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "ingested {} blocks into {store_dir} ({} rows total)",
+        blocks.len(),
+        store.row_count()
+    );
+    Ok(())
+}
+
+fn measure_series(args: &Args) -> Result<MeasurementSeries, String> {
+    let store_dir = args.required("store")?;
+    let metric = parse_metric(args.get("metric").unwrap_or("gini"))?;
+    let engine = parse_window(args.get("window").unwrap_or("fixed:day"), metric)?;
+    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let blocks = store
+        .attributed_blocks(&Filter::True)
+        .map_err(|e| e.to_string())?;
+    Ok(engine.run(&blocks))
+}
+
+/// `blockdec measure` — metric series to stdout/file as CSV.
+pub fn measure(args: &Args) -> CmdResult {
+    let series = measure_series(args)?;
+    eprintln!("{}", series_summary_line("store", &series));
+    eprintln!("{}", sparkline_line("series", &series, 60));
+    let csv = series.to_csv();
+    match args.get("out") {
+        Some(path) => fs::write(path, csv).map_err(|e| format!("write {path}: {e}")),
+        None => {
+            print!("{csv}");
+            Ok(())
+        }
+    }
+}
+
+/// `blockdec report` — top producers.
+pub fn report(args: &Args) -> CmdResult {
+    let store_dir = args.required("store")?;
+    let k = args.get_parsed::<usize>("top")?.unwrap_or(10);
+    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let out = Plan::top_k(Filter::True, k)
+        .execute(&store)
+        .map_err(|e| e.to_string())?;
+    print!("{}", out.to_csv());
+    Ok(())
+}
+
+/// `blockdec compare` — the paper's verdict over two stores.
+pub fn compare(args: &Args) -> CmdResult {
+    let dir_a = args.required("store-a")?;
+    let dir_b = args.required("store-b")?;
+    let label_a = args.get("label-a").unwrap_or("chain-a");
+    let label_b = args.get("label-b").unwrap_or("chain-b");
+
+    let run_all = |dir: &str| -> Result<Vec<MeasurementSeries>, String> {
+        let store = BlockStore::open(dir).map_err(|e| e.to_string())?;
+        let blocks = store
+            .attributed_blocks(&Filter::True)
+            .map_err(|e| e.to_string())?;
+        let mut out = Vec::new();
+        for metric in MetricKind::PAPER {
+            for g in Granularity::ALL {
+                out.push(
+                    MeasurementEngine::new(metric)
+                        .fixed_calendar(g, Timestamp::year_2019_start())
+                        .run(&blocks),
+                );
+            }
+        }
+        Ok(out)
+    };
+    let series_a = run_all(dir_a)?;
+    let series_b = run_all(dir_b)?;
+    let cmp = ChainComparison::new(label_a, &series_a, label_b, &series_b);
+    print!("{}", comparison_markdown(&cmp));
+    Ok(())
+}
+
+/// `blockdec query` — run an ad-hoc query against a store:
+/// `top N producers | producers | count`, with optional
+/// `where height between A and B`, `time between T1 and T2`,
+/// `producer = "Name"`, `credit >= X`, `tx >= N` conjunctions.
+pub fn query(args: &Args) -> CmdResult {
+    let store_dir = args.required("store")?;
+    let q = args.required("q")?;
+    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let plan = blockdec_query::parse_query(q, store.registry())?;
+    let out = plan.execute(&store).map_err(|e| e.to_string())?;
+    print!("{}", out.to_csv());
+    Ok(())
+}
+
+/// `blockdec analyze` — a full markdown report for one store: summary
+/// statistics, sparklines, anomalies, trend, and changepoint, per paper
+/// metric at daily granularity.
+pub fn analyze(args: &Args) -> CmdResult {
+    use blockdec_analysis::changepoint::detect_mean_shift;
+    use blockdec_analysis::stats::SeriesStats;
+    use blockdec_analysis::trend::{mann_kendall, sen_slope};
+
+    let store_dir = args.required("store")?;
+    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let blocks = store
+        .attributed_blocks(&Filter::True)
+        .map_err(|e| e.to_string())?;
+    if blocks.is_empty() {
+        return Err("store holds no blocks".into());
+    }
+    let origin = Timestamp::year_2019_start();
+
+    println!("# decentralization report: {store_dir}\n");
+    println!(
+        "{} blocks, heights {}..={}, {} producers\n",
+        blocks.len(),
+        blocks.first().expect("non-empty").height,
+        blocks.last().expect("non-empty").height,
+        store.registry().len()
+    );
+    let top = Plan::top_k(Filter::True, 5)
+        .execute(&store)
+        .map_err(|e| e.to_string())?;
+    println!("## top producers\n");
+    for row in &top.rows {
+        println!("- {} — {} blocks ({:.1}%)", row[0], row[1], row[2].parse::<f64>().unwrap_or(0.0) * 100.0);
+    }
+
+    println!("\n## daily series\n");
+    let detector = AnomalyDetector::default();
+    for metric in MetricKind::PAPER {
+        let series = MeasurementEngine::new(metric)
+            .fixed_calendar(Granularity::Day, origin)
+            .run(&blocks);
+        let values = series.values();
+        let Some(stats) = SeriesStats::from_values(&values) else {
+            continue;
+        };
+        println!("### {}\n", metric.label());
+        println!("```\n{}\n```", blockdec_analysis::report::sparkline(&values, 70));
+        println!(
+            "- mean {:.3}, std {:.3}, range [{:.3}, {:.3}], CV {}",
+            stats.mean,
+            stats.std,
+            stats.min,
+            stats.max,
+            stats
+                .cv()
+                .map_or("-".to_string(), |cv| format!("{cv:.3}"))
+        );
+        if let Some(mk) = mann_kendall(&values) {
+            println!(
+                "- trend: {:?} (Mann–Kendall z = {:.2}, Sen slope {:.5}/day)",
+                mk.trend,
+                mk.z,
+                sen_slope(&values).unwrap_or(0.0)
+            );
+        }
+        if let Some(cp) = detect_mean_shift(&values, 14, 0.4) {
+            println!(
+                "- changepoint: day {} ({:.3} → {:.3}, {:.1}σ)",
+                cp.index, cp.mean_before, cp.mean_after, cp.magnitude_sigmas
+            );
+        }
+        let anomalies = detector.detect(&series);
+        if anomalies.is_empty() {
+            println!("- anomalies: none");
+        } else {
+            let days: Vec<String> = anomalies
+                .iter()
+                .map(|a| format!("day {} ({:.2})", a.index, a.value))
+                .collect();
+            println!("- anomalies: {}", days.join(", "));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// `blockdec scrub` — verify every on-disk artifact of a store.
+pub fn scrub(args: &Args) -> CmdResult {
+    let store_dir = args.required("store")?;
+    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let report = store.scrub().map_err(|e| e.to_string())?;
+    println!(
+        "checked {} segments / {} rows",
+        report.segments_checked, report.rows_checked
+    );
+    if report.is_healthy() {
+        println!("store is healthy");
+        Ok(())
+    } else {
+        for e in &report.errors {
+            eprintln!("PROBLEM: {e}");
+        }
+        Err(format!("{} problem(s) found", report.errors.len()))
+    }
+}
+
+/// `blockdec compact` — merge under-filled segments.
+pub fn compact(args: &Args) -> CmdResult {
+    let store_dir = args.required("store")?;
+    let mut store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let before = store.segment_count();
+    let changed = store.compact().map_err(|e| e.to_string())?;
+    if changed {
+        println!("compacted {before} segments into {}", store.segment_count());
+    } else {
+        println!("already compact ({before} segments)");
+    }
+    Ok(())
+}
+
+/// `blockdec anomalies` — robust outliers of a metric series.
+pub fn anomalies(args: &Args) -> CmdResult {
+    let series = measure_series(args)?;
+    let threshold = args.get_parsed::<f64>("threshold")?.unwrap_or(3.5);
+    let detector = AnomalyDetector::new(threshold);
+    let found = detector.detect(&series);
+    eprintln!(
+        "{} anomalies at |robust z| > {threshold} over {} windows",
+        found.len(),
+        series.points.len()
+    );
+    print!("{}", anomalies_csv(&found));
+    Ok(())
+}

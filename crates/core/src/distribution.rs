@@ -1,0 +1,272 @@
+//! Producer weight distributions.
+//!
+//! A [`ProducerDistribution`] is the object every metric is computed on:
+//! the multiset of block credits accumulated per producer inside one
+//! measurement window. It supports incremental `add`/`remove` so the
+//! sliding-window engine can slide without rebuilding, and snapshots to a
+//! plain weight vector for the batch metric functions.
+
+use blockdec_chain::{AttributedBlock, ProducerId};
+use std::collections::BTreeMap;
+
+/// Weight accumulated per producer within a window.
+///
+/// Weights are f64 block credits (1.0 per block in the paper's
+/// per-address attribution; fractional under
+/// [`blockdec_chain::AttributionMode::Fractional`]).
+#[derive(Clone, Debug, Default)]
+pub struct ProducerDistribution {
+    weights: BTreeMap<ProducerId, f64>,
+    total: f64,
+}
+
+/// Weights below this are treated as zero when removing: guards against
+/// f64 residue keeping phantom producers alive in long slides.
+const ZERO_EPS: f64 = 1e-9;
+
+impl ProducerDistribution {
+    /// An empty distribution.
+    pub fn new() -> ProducerDistribution {
+        ProducerDistribution::default()
+    }
+
+    /// Build from an iterator of `(producer, weight)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (ProducerId, f64)>>(pairs: I) -> Self {
+        let mut d = ProducerDistribution::new();
+        for (p, w) in pairs {
+            d.add(p, w);
+        }
+        d
+    }
+
+    /// Build by accumulating all credits of a block slice.
+    pub fn from_blocks(blocks: &[AttributedBlock]) -> Self {
+        let mut d = ProducerDistribution::new();
+        for b in blocks {
+            d.add_block(b);
+        }
+        d
+    }
+
+    /// Add weight to a producer.
+    pub fn add(&mut self, producer: ProducerId, weight: f64) {
+        debug_assert!(weight >= 0.0, "negative credit");
+        if weight == 0.0 {
+            return;
+        }
+        *self.weights.entry(producer).or_insert(0.0) += weight;
+        self.total += weight;
+    }
+
+    /// Remove weight from a producer (the mirror of a prior `add`).
+    ///
+    /// Panics in debug builds if the producer would go negative beyond
+    /// floating-point residue; in release the weight clamps at zero.
+    pub fn remove(&mut self, producer: ProducerId, weight: f64) {
+        if weight == 0.0 {
+            return;
+        }
+        let entry = self.weights.get_mut(&producer);
+        debug_assert!(entry.is_some(), "removing weight from absent producer");
+        if let Some(w) = entry {
+            debug_assert!(
+                *w >= weight - ZERO_EPS,
+                "removing more weight than present: {w} < {weight}"
+            );
+            *w -= weight;
+            self.total -= weight;
+            if *w <= ZERO_EPS {
+                // Fold the residue into the total so it keeps matching the
+                // sum of stored weights.
+                self.total -= *w;
+                self.weights.remove(&producer);
+            }
+        }
+    }
+
+    /// Add every credit of a block.
+    pub fn add_block(&mut self, block: &AttributedBlock) {
+        for c in &block.credits {
+            self.add(c.producer, c.weight);
+        }
+    }
+
+    /// Remove every credit of a block (for the trailing edge of a slide).
+    pub fn remove_block(&mut self, block: &AttributedBlock) {
+        for c in &block.credits {
+            self.remove(c.producer, c.weight);
+        }
+    }
+
+    /// Number of distinct producers with positive weight.
+    pub fn producers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Total weight across all producers.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// True when no producer holds weight.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight held by one producer (0.0 if absent).
+    pub fn weight_of(&self, producer: ProducerId) -> f64 {
+        self.weights.get(&producer).copied().unwrap_or(0.0)
+    }
+
+    /// Snapshot the weights as a vector in producer-id order — the input
+    /// shape the batch metric functions take. The deterministic order
+    /// makes every downstream f64 reduction reproducible run-to-run.
+    pub fn weight_vector(&self) -> Vec<f64> {
+        self.weights.values().copied().collect()
+    }
+
+    /// Snapshot `(producer, weight)` pairs sorted by descending weight,
+    /// ties broken by producer id for determinism.
+    pub fn ranked(&self) -> Vec<(ProducerId, f64)> {
+        let mut v: Vec<(ProducerId, f64)> = self.weights.iter().map(|(&p, &w)| (p, w)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite").then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Iterate `(producer, weight)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProducerId, f64)> + '_ {
+        self.weights.iter().map(|(&p, &w)| (p, w))
+    }
+
+    /// Drop all weights.
+    pub fn clear(&mut self) {
+        self.weights.clear();
+        self.total = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdec_chain::{Credit, Timestamp};
+
+    fn p(i: u32) -> ProducerId {
+        ProducerId(i)
+    }
+
+    fn block(height: u64, credits: &[(u32, f64)]) -> AttributedBlock {
+        AttributedBlock {
+            height,
+            timestamp: Timestamp(height as i64),
+            credits: credits
+                .iter()
+                .map(|&(id, w)| Credit {
+                    producer: p(id),
+                    weight: w,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut d = ProducerDistribution::new();
+        d.add(p(1), 1.0);
+        d.add(p(1), 1.0);
+        d.add(p(2), 3.0);
+        assert_eq!(d.producers(), 2);
+        assert_eq!(d.weight_of(p(1)), 2.0);
+        assert_eq!(d.total_weight(), 5.0);
+    }
+
+    #[test]
+    fn zero_weight_is_a_noop() {
+        let mut d = ProducerDistribution::new();
+        d.add(p(1), 0.0);
+        assert!(d.is_empty());
+        d.remove(p(1), 0.0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn remove_mirrors_add() {
+        let mut d = ProducerDistribution::new();
+        d.add(p(1), 2.0);
+        d.add(p(2), 1.0);
+        d.remove(p(1), 1.0);
+        assert_eq!(d.weight_of(p(1)), 1.0);
+        d.remove(p(1), 1.0);
+        assert_eq!(d.producers(), 1);
+        assert_eq!(d.weight_of(p(1)), 0.0);
+        assert!((d.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_residue_is_cleaned_up() {
+        let mut d = ProducerDistribution::new();
+        // Ten additions of 0.1 then ten removals: f64 residue must not
+        // leave a phantom producer behind.
+        for _ in 0..10 {
+            d.add(p(7), 0.1);
+        }
+        for _ in 0..10 {
+            d.remove(p(7), 0.1);
+        }
+        assert!(d.is_empty(), "phantom producer left: {:?}", d.weight_of(p(7)));
+    }
+
+    #[test]
+    fn block_add_remove_roundtrip() {
+        let b1 = block(1, &[(1, 1.0)]);
+        let b2 = block(2, &[(2, 0.5), (3, 0.5)]);
+        let mut d = ProducerDistribution::new();
+        d.add_block(&b1);
+        d.add_block(&b2);
+        assert_eq!(d.producers(), 3);
+        assert!((d.total_weight() - 2.0).abs() < 1e-12);
+        d.remove_block(&b1);
+        d.remove_block(&b2);
+        assert!(d.is_empty());
+        assert!(d.total_weight().abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranked_is_descending_and_deterministic() {
+        let d = ProducerDistribution::from_pairs([
+            (p(3), 1.0),
+            (p(1), 5.0),
+            (p(2), 1.0),
+            (p(4), 3.0),
+        ]);
+        let r = d.ranked();
+        assert_eq!(r[0], (p(1), 5.0));
+        assert_eq!(r[1], (p(4), 3.0));
+        // Equal weights tie-break by id.
+        assert_eq!(r[2], (p(2), 1.0));
+        assert_eq!(r[3], (p(3), 1.0));
+    }
+
+    #[test]
+    fn from_blocks_equals_manual() {
+        let blocks = vec![block(1, &[(1, 1.0)]), block(2, &[(1, 1.0)]), block(3, &[(2, 1.0)])];
+        let d = ProducerDistribution::from_blocks(&blocks);
+        assert_eq!(d.weight_of(p(1)), 2.0);
+        assert_eq!(d.weight_of(p(2)), 1.0);
+    }
+
+    #[test]
+    fn weight_vector_matches_contents() {
+        let d = ProducerDistribution::from_pairs([(p(1), 2.0), (p(2), 3.0)]);
+        let mut v = d.weight_vector();
+        v.sort_by(f64::total_cmp);
+        assert_eq!(v, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut d = ProducerDistribution::from_pairs([(p(1), 2.0)]);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.total_weight(), 0.0);
+    }
+}

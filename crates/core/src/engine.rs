@@ -1,0 +1,440 @@
+//! The measurement engine: metric × windowing → series.
+//!
+//! [`MeasurementEngine`] is the single entry point the examples, CLI, and
+//! experiment harness use. Configure a metric and a windowing policy, then
+//! [`MeasurementEngine::run`] it over a height-ordered slice of attributed
+//! blocks. [`run_matrix`] evaluates many (metric, windowing) combinations
+//! in one call, fanning out across threads with `crossbeam` — each
+//! configuration is independent, so the full paper matrix (3 metrics × 3
+//! granularities × 2 window families × 2 chains) parallelizes trivially.
+
+use crate::distribution::ProducerDistribution;
+use crate::metrics::MetricKind;
+use crate::series::{MeasurementPoint, MeasurementSeries, WindowLabel};
+use crate::windows::fixed::fixed_calendar_windows;
+use crate::windows::sliding::SlidingWindowSpec;
+use crate::windows::sliding_time::{time_windows, TimeWindowSpec};
+use blockdec_chain::{AttributedBlock, Granularity, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Windowing policy for a measurement run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// Calendar fixed windows (§II-C) at a granularity from an origin.
+    FixedCalendar {
+        /// Day / week / month.
+        granularity: Granularity,
+        /// Calendar origin (the paper uses 2019-01-01T00:00Z).
+        origin: Timestamp,
+    },
+    /// Block-count sliding windows (§III).
+    SlidingBlocks(SlidingWindowSpec),
+    /// Time-based sliding windows (extension; see
+    /// [`crate::windows::sliding_time`]).
+    SlidingTime(TimeWindowSpec),
+}
+
+impl WindowSpec {
+    fn label(&self) -> WindowLabel {
+        match self {
+            WindowSpec::FixedCalendar { granularity, .. } => WindowLabel::FixedCalendar {
+                granularity: granularity.label().to_string(),
+            },
+            WindowSpec::SlidingBlocks(s) => WindowLabel::SlidingBlocks {
+                size: s.size,
+                step: s.step,
+            },
+            WindowSpec::SlidingTime(s) => WindowLabel::SlidingTime {
+                duration_secs: s.duration_secs,
+                step_secs: s.step_secs,
+            },
+        }
+    }
+}
+
+/// A configured measurement: one metric over one windowing policy.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementEngine {
+    metric: MetricKind,
+    window: WindowSpec,
+}
+
+impl MeasurementEngine {
+    /// Start configuring an engine for a metric. The windowing defaults
+    /// to daily fixed calendar windows from the 2019 origin.
+    pub fn new(metric: MetricKind) -> MeasurementEngine {
+        MeasurementEngine {
+            metric,
+            window: WindowSpec::FixedCalendar {
+                granularity: Granularity::Day,
+                origin: Timestamp::year_2019_start(),
+            },
+        }
+    }
+
+    /// Use calendar fixed windows at `granularity` from `origin`.
+    pub fn fixed_calendar(mut self, granularity: Granularity, origin: Timestamp) -> Self {
+        self.window = WindowSpec::FixedCalendar {
+            granularity,
+            origin,
+        };
+        self
+    }
+
+    /// Use sliding windows of `size` blocks advancing `step` blocks.
+    pub fn sliding(mut self, size: usize, step: usize) -> Self {
+        self.window = WindowSpec::SlidingBlocks(SlidingWindowSpec::new(size, step));
+        self
+    }
+
+    /// Use a pre-built sliding spec.
+    pub fn sliding_spec(mut self, spec: SlidingWindowSpec) -> Self {
+        self.window = WindowSpec::SlidingBlocks(spec);
+        self
+    }
+
+    /// Use time-based sliding windows of `duration_secs` advancing
+    /// `step_secs` (extension; the dual of the paper's block-count
+    /// windows).
+    pub fn sliding_time(mut self, duration_secs: i64, step_secs: i64) -> Self {
+        self.window = WindowSpec::SlidingTime(TimeWindowSpec::new(duration_secs, step_secs));
+        self
+    }
+
+    /// Time-based sliding windows aligned to an explicit origin (e.g.
+    /// midnight, so 24h/24h windows coincide with calendar days).
+    pub fn sliding_time_aligned(
+        mut self,
+        duration_secs: i64,
+        step_secs: i64,
+        align: Timestamp,
+    ) -> Self {
+        self.window =
+            WindowSpec::SlidingTime(TimeWindowSpec::new(duration_secs, step_secs).aligned(align));
+        self
+    }
+
+    /// The configured metric.
+    pub fn metric(&self) -> MetricKind {
+        self.metric
+    }
+
+    /// The configured windowing policy.
+    pub fn window(&self) -> WindowSpec {
+        self.window
+    }
+
+    /// Measure a height-ordered block stream.
+    pub fn run(&self, blocks: &[AttributedBlock]) -> MeasurementSeries {
+        let points = match self.window {
+            WindowSpec::FixedCalendar {
+                granularity,
+                origin,
+            } => self.run_fixed(blocks, granularity, origin),
+            WindowSpec::SlidingBlocks(spec) => self.run_sliding(blocks, spec),
+            WindowSpec::SlidingTime(spec) => self.run_sliding_time(blocks, spec),
+        };
+        MeasurementSeries {
+            metric: self.metric,
+            window: self.window.label(),
+            points,
+        }
+    }
+
+    fn point_from_distribution(
+        &self,
+        index: i64,
+        members: &[&AttributedBlock],
+        dist: &ProducerDistribution,
+    ) -> MeasurementPoint {
+        debug_assert!(!members.is_empty());
+        let first = members.first().expect("windows are non-empty");
+        let last = members.last().expect("windows are non-empty");
+        MeasurementPoint {
+            index,
+            start_height: first.height,
+            end_height: last.height,
+            start_time: first.timestamp,
+            end_time: last.timestamp,
+            blocks: members.len() as u64,
+            producers: dist.producers() as u64,
+            value: self.metric.compute(&dist.weight_vector()),
+        }
+    }
+
+    fn run_fixed(
+        &self,
+        blocks: &[AttributedBlock],
+        granularity: Granularity,
+        origin: Timestamp,
+    ) -> Vec<MeasurementPoint> {
+        fixed_calendar_windows(blocks, granularity, origin)
+            .into_iter()
+            .map(|w| {
+                let members: Vec<&AttributedBlock> = w
+                    .block_indices
+                    .iter()
+                    .map(|&i| &blocks[i as usize])
+                    .collect();
+                let mut dist = ProducerDistribution::new();
+                for b in &members {
+                    dist.add_block(b);
+                }
+                self.point_from_distribution(w.bucket, &members, &dist)
+            })
+            .collect()
+    }
+
+    fn run_sliding_time(
+        &self,
+        blocks: &[AttributedBlock],
+        spec: TimeWindowSpec,
+    ) -> Vec<MeasurementPoint> {
+        // Time windows assign by timestamp: order a view by time (miner
+        // clock jitter makes height order only approximately time order).
+        let mut by_time: Vec<&AttributedBlock> = blocks.iter().collect();
+        by_time.sort_by_key(|b| (b.timestamp, b.height));
+        let owned: Vec<AttributedBlock> = by_time.iter().map(|b| (*b).clone()).collect();
+        time_windows(&owned, spec)
+            .into_iter()
+            .map(|w| {
+                let members: Vec<&AttributedBlock> = owned[w.blocks.clone()].iter().collect();
+                let mut dist = ProducerDistribution::new();
+                for b in &members {
+                    dist.add_block(b);
+                }
+                self.point_from_distribution(w.index as i64, &members, &dist)
+            })
+            .collect()
+    }
+
+    fn run_sliding(
+        &self,
+        blocks: &[AttributedBlock],
+        spec: SlidingWindowSpec,
+    ) -> Vec<MeasurementPoint> {
+        let mut points = Vec::with_capacity(spec.window_count(blocks.len()));
+        let mut dist = ProducerDistribution::new();
+        let mut current: Option<std::ops::Range<usize>> = None;
+        for (i, range) in spec.iter(blocks.len()).enumerate() {
+            match current.take() {
+                // Overlapping advance: drop the leading `step` blocks, add
+                // the trailing ones — O(step) instead of O(size).
+                Some(prev) if prev.end > range.start => {
+                    for b in &blocks[prev.start..range.start] {
+                        dist.remove_block(b);
+                    }
+                    for b in &blocks[prev.end..range.end] {
+                        dist.add_block(b);
+                    }
+                }
+                // Gap or first window: rebuild.
+                _ => {
+                    dist.clear();
+                    for b in &blocks[range.clone()] {
+                        dist.add_block(b);
+                    }
+                }
+            }
+            let members: Vec<&AttributedBlock> = blocks[range.clone()].iter().collect();
+            points.push(self.point_from_distribution(i as i64, &members, &dist));
+            current = Some(range);
+        }
+        points
+    }
+}
+
+/// Run many engine configurations over the same block stream in parallel.
+///
+/// Results come back in configuration order regardless of completion
+/// order. With a single configuration this degenerates to a plain call.
+pub fn run_matrix(
+    blocks: &[AttributedBlock],
+    configs: &[MeasurementEngine],
+) -> Vec<MeasurementSeries> {
+    if configs.len() <= 1 {
+        return configs.iter().map(|c| c.run(blocks)).collect();
+    }
+    let mut results: Vec<Option<MeasurementSeries>> = vec![None; configs.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(configs.len());
+        for (i, cfg) in configs.iter().enumerate() {
+            handles.push((i, scope.spawn(move |_| cfg.run(blocks))));
+        }
+        for (i, h) in handles {
+            results[i] = Some(h.join().expect("measurement thread panicked"));
+        }
+    })
+    .expect("crossbeam scope panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every config produces a series"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdec_chain::time::SECS_PER_DAY;
+    use blockdec_chain::{Credit, ProducerId};
+
+    /// `pattern[i]` produces block i (cycling), one block per `spacing`
+    /// seconds from the 2019 origin.
+    fn stream(pattern: &[u32], n: usize, spacing: i64) -> Vec<AttributedBlock> {
+        let o = Timestamp::year_2019_start().secs();
+        (0..n)
+            .map(|i| AttributedBlock {
+                height: 1000 + i as u64,
+                timestamp: Timestamp(o + i as i64 * spacing),
+                credits: vec![Credit {
+                    producer: ProducerId(pattern[i % pattern.len()]),
+                    weight: 1.0,
+                }],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fixed_daily_series_shape() {
+        // 6 blocks/day for 10 days, producers rotate 0,1,2.
+        let blocks = stream(&[0, 1, 2], 60, SECS_PER_DAY / 6);
+        let s = MeasurementEngine::new(MetricKind::Gini)
+            .fixed_calendar(Granularity::Day, Timestamp::year_2019_start())
+            .run(&blocks);
+        assert_eq!(s.points.len(), 10);
+        for p in &s.points {
+            assert_eq!(p.blocks, 6);
+            assert_eq!(p.producers, 3);
+            // Perfect rotation → perfectly equal shares → Gini 0.
+            assert!(p.value.abs() < 1e-12);
+        }
+        assert_eq!(s.points[0].start_height, 1000);
+        assert_eq!(s.points[0].end_height, 1005);
+    }
+
+    #[test]
+    fn sliding_series_matches_eq5_and_batch() {
+        let blocks = stream(&[0, 0, 0, 1, 2], 100, 60);
+        let spec = SlidingWindowSpec::new(20, 10);
+        let s = MeasurementEngine::new(MetricKind::ShannonEntropy)
+            .sliding_spec(spec)
+            .run(&blocks);
+        assert_eq!(s.points.len(), spec.window_count(100));
+        // Cross-check every point against a fresh batch computation.
+        for (i, range) in spec.iter(100).enumerate() {
+            let dist = ProducerDistribution::from_blocks(&blocks[range]);
+            let expected = MetricKind::ShannonEntropy.compute(&dist.weight_vector());
+            assert!(
+                (s.points[i].value - expected).abs() < 1e-9,
+                "window {i}: {} vs {expected}",
+                s.points[i].value
+            );
+        }
+    }
+
+    #[test]
+    fn sliding_with_gap_step_rebuilds() {
+        let blocks = stream(&[0, 1], 50, 60);
+        // step > size → windows don't overlap, exercising the rebuild arm.
+        let s = MeasurementEngine::new(MetricKind::Nakamoto)
+            .sliding(4, 10)
+            .run(&blocks);
+        let spec = SlidingWindowSpec::new(4, 10);
+        assert_eq!(s.points.len(), spec.window_count(50));
+        for p in &s.points {
+            assert_eq!(p.blocks, 4);
+            assert_eq!(p.value, 2.0); // two equal producers → both needed
+        }
+    }
+
+    #[test]
+    fn multi_credit_blocks_feed_all_producers() {
+        let o = Timestamp::year_2019_start().secs();
+        let mut blocks = stream(&[0], 10, 60);
+        // One anomaly block credited to 5 extra producers.
+        blocks.push(AttributedBlock {
+            height: 2000,
+            timestamp: Timestamp(o + 1000),
+            credits: (10..15)
+                .map(|i| Credit {
+                    producer: ProducerId(i),
+                    weight: 1.0,
+                })
+                .collect(),
+        });
+        let s = MeasurementEngine::new(MetricKind::ShannonEntropy)
+            .fixed_calendar(Granularity::Day, Timestamp::year_2019_start())
+            .run(&blocks);
+        assert_eq!(s.points.len(), 1);
+        assert_eq!(s.points[0].blocks, 11);
+        assert_eq!(s.points[0].producers, 6);
+    }
+
+    #[test]
+    fn empty_stream_empty_series() {
+        let s = MeasurementEngine::new(MetricKind::Gini).run(&[]);
+        assert!(s.points.is_empty());
+        let s = MeasurementEngine::new(MetricKind::Gini).sliding(10, 5).run(&[]);
+        assert!(s.points.is_empty());
+    }
+
+    #[test]
+    fn matrix_matches_individual_runs() {
+        let blocks = stream(&[0, 0, 1, 2, 3], 200, 600);
+        let configs: Vec<MeasurementEngine> = MetricKind::PAPER
+            .iter()
+            .flat_map(|&m| {
+                vec![
+                    MeasurementEngine::new(m)
+                        .fixed_calendar(Granularity::Day, Timestamp::year_2019_start()),
+                    MeasurementEngine::new(m).sliding(24, 12),
+                ]
+            })
+            .collect();
+        let parallel = run_matrix(&blocks, &configs);
+        assert_eq!(parallel.len(), configs.len());
+        for (cfg, series) in configs.iter().zip(&parallel) {
+            assert_eq!(series, &cfg.run(&blocks));
+        }
+    }
+
+    #[test]
+    fn sliding_time_windows_measure_by_timestamp() {
+        // 6 blocks/day for 6 days; one-day windows stepping half a day.
+        let blocks = stream(&[0, 1, 2], 36, SECS_PER_DAY / 6);
+        let s = MeasurementEngine::new(MetricKind::Gini)
+            .sliding_time(SECS_PER_DAY, SECS_PER_DAY / 2)
+            .run(&blocks);
+        // span ≈ 6 days minus one window, half-day steps → ~11 windows.
+        assert!((9..=11).contains(&s.points.len()), "{}", s.points.len());
+        for p in &s.points {
+            assert_eq!(p.blocks, 6);
+            // Perfect rotation with window=multiple of pattern → Gini 0.
+            assert!(p.value.abs() < 1e-12);
+        }
+        assert_eq!(s.window.label(), format!("sliding-time/{SECS_PER_DAY}/{}", SECS_PER_DAY / 2));
+    }
+
+    #[test]
+    fn sliding_time_handles_out_of_order_timestamps() {
+        let mut blocks = stream(&[0, 1], 48, 3600);
+        // Swap two timestamps so height order ≠ time order.
+        let t = blocks[10].timestamp;
+        blocks[10].timestamp = blocks[11].timestamp;
+        blocks[11].timestamp = t;
+        let s = MeasurementEngine::new(MetricKind::ShannonEntropy)
+            .sliding_time(6 * 3600, 3 * 3600)
+            .run(&blocks);
+        assert!(!s.points.is_empty());
+        for p in &s.points {
+            assert!(p.start_time <= p.end_time);
+        }
+    }
+
+    #[test]
+    fn engine_accessors() {
+        let e = MeasurementEngine::new(MetricKind::Hhi).sliding(10, 5);
+        assert_eq!(e.metric(), MetricKind::Hhi);
+        assert!(matches!(e.window(), WindowSpec::SlidingBlocks(_)));
+    }
+}

@@ -1,0 +1,520 @@
+//! Incrementally-maintained metrics over integer block counts.
+//!
+//! The sliding-window engine's default path rebuilds a weight vector per
+//! emitted window — cheap because the paper emits at most ~1,500 windows
+//! per configuration. This module is the *streaming* alternative (and the
+//! subject of the `ablation_incremental` bench): a [`CountMultiset`] keeps
+//! per-producer block counts plus enough aggregate state to answer all
+//! three paper metrics after every single-block update:
+//!
+//! * **entropy** — maintains `Σ c·log2(c)` under `c → c±1` transitions,
+//!   O(1) per update;
+//! * **Gini** — walks the distinct count values (a `BTreeMap` keyed by
+//!   count), O(D) per query with D = number of *distinct* counts, which is
+//!   ≤ √(2·blocks) regardless of producer population;
+//! * **Nakamoto** — walks distinct counts descending until the threshold
+//!   share is reached, O(distinct counts above the cut).
+//!
+//! Counts are integers: this engine applies to the paper's per-address /
+//! first-address attribution where every credit is a whole block. For
+//! fractional attribution use the batch path.
+
+use crate::metrics::NAKAMOTO_THRESHOLD;
+use blockdec_chain::ProducerId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Multiset of per-producer integer block counts with O(1)/O(log) updates
+/// and fast metric queries.
+#[derive(Clone, Debug, Default)]
+pub struct CountMultiset {
+    /// producer → its current count (absent = 0).
+    per_producer: HashMap<ProducerId, u64>,
+    /// count value → number of producers holding exactly that count.
+    by_count: BTreeMap<u64, u64>,
+    /// Total blocks (Σ counts).
+    total: u64,
+    /// Σ c·log2(c) over producers, maintained incrementally.
+    sum_clog2c: f64,
+}
+
+fn clog2c(c: u64) -> f64 {
+    if c == 0 {
+        0.0
+    } else {
+        let c = c as f64;
+        c * c.log2()
+    }
+}
+
+impl CountMultiset {
+    /// An empty multiset.
+    pub fn new() -> CountMultiset {
+        CountMultiset::default()
+    }
+
+    /// Number of producers with a positive count.
+    pub fn producers(&self) -> usize {
+        self.per_producer.len()
+    }
+
+    /// Total block count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Current count of one producer.
+    pub fn count_of(&self, p: ProducerId) -> u64 {
+        self.per_producer.get(&p).copied().unwrap_or(0)
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    fn bump_count_bucket(&mut self, value: u64, delta: i64) {
+        if value == 0 {
+            return;
+        }
+        let entry = self.by_count.entry(value).or_insert(0);
+        let next = (*entry as i64) + delta;
+        debug_assert!(next >= 0, "count bucket underflow at value {value}");
+        if next <= 0 {
+            self.by_count.remove(&value);
+        } else {
+            *entry = next as u64;
+        }
+    }
+
+    /// Credit one block to a producer.
+    pub fn add(&mut self, p: ProducerId) {
+        let c = self.per_producer.entry(p).or_insert(0);
+        let old = *c;
+        *c += 1;
+        let new = *c;
+        self.bump_count_bucket(old, -1);
+        self.bump_count_bucket(new, 1);
+        self.total += 1;
+        self.sum_clog2c += clog2c(new) - clog2c(old);
+    }
+
+    /// Remove one previously-credited block from a producer.
+    ///
+    /// # Panics
+    /// If the producer has no blocks to remove (debug builds assert; in
+    /// release the call is a checked no-op returning `false`).
+    pub fn remove(&mut self, p: ProducerId) -> bool {
+        let Some(c) = self.per_producer.get_mut(&p) else {
+            debug_assert!(false, "removing block from producer with zero count");
+            return false;
+        };
+        let old = *c;
+        *c -= 1;
+        let new = *c;
+        if new == 0 {
+            self.per_producer.remove(&p);
+        }
+        self.bump_count_bucket(old, -1);
+        self.bump_count_bucket(new, 1);
+        self.total -= 1;
+        self.sum_clog2c += clog2c(new) - clog2c(old);
+        true
+    }
+
+    /// Shannon entropy in bits (paper Eqs. 2–3), from the maintained
+    /// aggregates: `log2(T) − Σ c·log2(c) / T`.
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let t = self.total as f64;
+        (t.log2() - self.sum_clog2c / t).max(0.0)
+    }
+
+    /// Gini coefficient (paper Eq. 1) computed by walking distinct count
+    /// values ascending.
+    pub fn gini(&self) -> f64 {
+        let n = self.per_producer.len();
+        if n < 2 || self.total == 0 {
+            return 0.0;
+        }
+        let n_f = n as f64;
+        let total = self.total as f64;
+        // Producers sorted ascending by count occupy consecutive ranks;
+        // a value v held by m producers starting at 1-based rank r
+        // contributes v · Σ_{i=r}^{r+m−1} (2i − n − 1).
+        let mut rank: u64 = 1;
+        let mut weighted = 0.0;
+        for (&value, &mult) in &self.by_count {
+            let m = mult as f64;
+            let r = rank as f64;
+            // Σ_{i=r}^{r+m−1} 2i = 2·(m·r + m(m−1)/2); minus m·(n+1).
+            let coeff = 2.0 * (m * r + m * (m - 1.0) / 2.0) - m * (n_f + 1.0);
+            weighted += value as f64 * coeff;
+            rank += mult;
+        }
+        (weighted / (n_f * total)).clamp(0.0, 1.0)
+    }
+
+    /// Nakamoto coefficient (paper Eq. 4) at the standard 51% threshold.
+    pub fn nakamoto(&self) -> usize {
+        self.nakamoto_with_threshold(NAKAMOTO_THRESHOLD)
+    }
+
+    /// Nakamoto coefficient at an arbitrary threshold in (0, 1].
+    pub fn nakamoto_with_threshold(&self, threshold: f64) -> usize {
+        assert!(threshold > 0.0 && threshold <= 1.0);
+        if self.total == 0 {
+            return 0;
+        }
+        let target = threshold * self.total as f64;
+        let mut cum = 0.0;
+        let mut producers_used = 0usize;
+        for (&value, &mult) in self.by_count.iter().rev() {
+            // All `mult` producers at this count may be needed; take them
+            // one "value" at a time.
+            let v = value as f64;
+            for _ in 0..mult {
+                cum += v;
+                producers_used += 1;
+                if cum >= target - self.total as f64 * 1e-12 {
+                    return producers_used;
+                }
+            }
+        }
+        self.per_producer.len()
+    }
+
+    /// Snapshot the counts as f64 weights — for cross-checking against
+    /// the batch metrics.
+    pub fn weight_vector(&self) -> Vec<f64> {
+        self.per_producer.values().map(|&c| c as f64).collect()
+    }
+}
+
+/// A fully-streaming sliding-window engine over *integer-credit* block
+/// streams (the paper's per-address and first-address attribution modes).
+///
+/// Unlike [`crate::engine::MeasurementEngine`], which snapshots the
+/// window's weight vector per emission, this engine answers each window
+/// from the [`CountMultiset`]'s maintained aggregates: O(1) entropy,
+/// O(distinct counts) Gini and Nakamoto. It is the subject of the
+/// `ablation_incremental` bench and is equivalence-tested against the
+/// batch engine.
+///
+/// Returns `None` from [`StreamingSlidingEngine::run`] when any credit is
+/// non-integral (fall back to the batch engine there).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingSlidingEngine {
+    metric: crate::metrics::MetricKind,
+    spec: crate::windows::sliding::SlidingWindowSpec,
+}
+
+impl StreamingSlidingEngine {
+    /// Engine for a metric over a sliding spec. Only the three paper
+    /// metrics have streaming implementations.
+    ///
+    /// # Panics
+    /// If `metric` is not Gini, ShannonEntropy, or Nakamoto.
+    pub fn new(
+        metric: crate::metrics::MetricKind,
+        spec: crate::windows::sliding::SlidingWindowSpec,
+    ) -> StreamingSlidingEngine {
+        use crate::metrics::MetricKind;
+        assert!(
+            matches!(
+                metric,
+                MetricKind::Gini | MetricKind::ShannonEntropy | MetricKind::Nakamoto
+            ),
+            "no streaming implementation for {metric:?}"
+        );
+        StreamingSlidingEngine { metric, spec }
+    }
+
+    fn value(&self, m: &CountMultiset) -> f64 {
+        use crate::metrics::MetricKind;
+        match self.metric {
+            MetricKind::Gini => m.gini(),
+            MetricKind::ShannonEntropy => m.entropy(),
+            MetricKind::Nakamoto => m.nakamoto() as f64,
+            _ => unreachable!("validated in new()"),
+        }
+    }
+
+    /// Run over a block stream. `None` when a fractional credit is
+    /// encountered (integer-credit streams only).
+    pub fn run(
+        &self,
+        blocks: &[blockdec_chain::AttributedBlock],
+    ) -> Option<crate::series::MeasurementSeries> {
+        use crate::series::{MeasurementPoint, MeasurementSeries, WindowLabel};
+
+        let apply = |m: &mut CountMultiset,
+                     block: &blockdec_chain::AttributedBlock,
+                     add: bool|
+         -> Option<()> {
+            for c in &block.credits {
+                if c.weight.fract() != 0.0 || c.weight < 0.0 {
+                    return None;
+                }
+                for _ in 0..(c.weight as u64) {
+                    if add {
+                        m.add(c.producer);
+                    } else {
+                        m.remove(c.producer);
+                    }
+                }
+            }
+            Some(())
+        };
+
+        let mut points = Vec::with_capacity(self.spec.window_count(blocks.len()));
+        let mut m = CountMultiset::new();
+        let mut prev: Option<std::ops::Range<usize>> = None;
+        for (i, range) in self.spec.iter(blocks.len()).enumerate() {
+            match prev.take() {
+                Some(p) if p.end > range.start => {
+                    for b in &blocks[p.start..range.start] {
+                        apply(&mut m, b, false)?;
+                    }
+                    for b in &blocks[p.end..range.end] {
+                        apply(&mut m, b, true)?;
+                    }
+                }
+                _ => {
+                    m = CountMultiset::new();
+                    for b in &blocks[range.clone()] {
+                        apply(&mut m, b, true)?;
+                    }
+                }
+            }
+            let first = &blocks[range.start];
+            let last = &blocks[range.end - 1];
+            points.push(MeasurementPoint {
+                index: i as i64,
+                start_height: first.height,
+                end_height: last.height,
+                start_time: first.timestamp,
+                end_time: last.timestamp,
+                blocks: range.len() as u64,
+                producers: m.producers() as u64,
+                value: self.value(&m),
+            });
+            prev = Some(range);
+        }
+        Some(MeasurementSeries {
+            metric: self.metric,
+            window: WindowLabel::SlidingBlocks {
+                size: self.spec.size,
+                step: self.spec.step,
+            },
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{gini, nakamoto, shannon_entropy};
+
+    fn p(i: u32) -> ProducerId {
+        ProducerId(i)
+    }
+
+    fn filled(counts: &[(u32, u64)]) -> CountMultiset {
+        let mut m = CountMultiset::new();
+        for &(id, c) in counts {
+            for _ in 0..c {
+                m.add(p(id));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn add_remove_bookkeeping() {
+        let mut m = CountMultiset::new();
+        m.add(p(1));
+        m.add(p(1));
+        m.add(p(2));
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.producers(), 2);
+        assert_eq!(m.count_of(p(1)), 2);
+        assert!(m.remove(p(1)));
+        assert_eq!(m.count_of(p(1)), 1);
+        assert!(m.remove(p(1)));
+        assert_eq!(m.producers(), 1);
+        assert_eq!(m.count_of(p(1)), 0);
+        assert!(m.remove(p(2)));
+        assert!(m.is_empty());
+        assert!(m.entropy().abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_from_absent_is_safe_noop_in_release() {
+        // Only meaningful without debug assertions; under debug this is
+        // covered by the should_panic test below.
+        if !cfg!(debug_assertions) {
+            let mut m = CountMultiset::new();
+            assert!(!m.remove(p(9)));
+            assert_eq!(m.total(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn remove_from_absent_panics_in_debug() {
+        let mut m = CountMultiset::new();
+        m.remove(p(9));
+    }
+
+    #[test]
+    fn entropy_matches_batch() {
+        let m = filled(&[(1, 10), (2, 5), (3, 5), (4, 1)]);
+        let batch = shannon_entropy(&m.weight_vector());
+        assert!((m.entropy() - batch).abs() < 1e-9, "{} vs {batch}", m.entropy());
+    }
+
+    #[test]
+    fn gini_matches_batch() {
+        let m = filled(&[(1, 10), (2, 5), (3, 5), (4, 1), (5, 1), (6, 2)]);
+        let batch = gini(&m.weight_vector());
+        assert!((m.gini() - batch).abs() < 1e-9, "{} vs {batch}", m.gini());
+    }
+
+    #[test]
+    fn nakamoto_matches_batch() {
+        let m = filled(&[(1, 17), (2, 13), (3, 12), (4, 11), (5, 9), (6, 38)]);
+        assert_eq!(m.nakamoto(), nakamoto(&m.weight_vector()));
+    }
+
+    #[test]
+    fn metrics_track_through_slides() {
+        // Simulate a slide: add a skewed prefix, then remove it while
+        // adding a uniform suffix; metrics must equal batch at each step.
+        let mut m = CountMultiset::new();
+        let mut log: Vec<ProducerId> = Vec::new();
+        for i in 0..200u32 {
+            let producer = p(i % 7);
+            m.add(producer);
+            log.push(producer);
+        }
+        for i in 0..150usize {
+            m.remove(log[i]);
+            m.add(p(7 + (i % 13) as u32));
+            let w = m.weight_vector();
+            assert!((m.entropy() - shannon_entropy(&w)).abs() < 1e-9);
+            assert!((m.gini() - gini(&w)).abs() < 1e-9);
+            assert_eq!(m.nakamoto(), nakamoto(&w));
+        }
+    }
+
+    #[test]
+    fn empty_metrics_are_degenerate() {
+        let m = CountMultiset::new();
+        assert_eq!(m.entropy(), 0.0);
+        assert_eq!(m.gini(), 0.0);
+        assert_eq!(m.nakamoto(), 0);
+    }
+
+    #[test]
+    fn single_producer() {
+        let m = filled(&[(1, 42)]);
+        assert_eq!(m.entropy(), 0.0);
+        assert_eq!(m.gini(), 0.0);
+        assert_eq!(m.nakamoto(), 1);
+    }
+
+    #[test]
+    fn uniform_many() {
+        let m = filled(&(0..100u32).map(|i| (i, 1)).collect::<Vec<_>>());
+        assert!((m.entropy() - (100f64).log2()).abs() < 1e-9);
+        assert!(m.gini().abs() < 1e-12);
+        assert_eq!(m.nakamoto(), 51);
+    }
+
+    mod streaming_engine {
+        use super::*;
+        use crate::engine::MeasurementEngine;
+        use crate::metrics::MetricKind;
+        use crate::windows::sliding::SlidingWindowSpec;
+        use blockdec_chain::{AttributedBlock, Credit, Timestamp};
+
+        fn stream(pattern: &[u32], n: usize) -> Vec<AttributedBlock> {
+            (0..n)
+                .map(|i| AttributedBlock {
+                    height: i as u64,
+                    timestamp: Timestamp(1_546_300_800 + i as i64 * 600),
+                    credits: vec![Credit {
+                        producer: p(pattern[i % pattern.len()]),
+                        weight: 1.0,
+                    }],
+                })
+                .collect()
+        }
+
+        #[test]
+        fn matches_batch_engine_exactly() {
+            let blocks = stream(&[0, 0, 1, 2, 3, 3, 3, 4], 300);
+            let spec = SlidingWindowSpec::new(40, 15);
+            for metric in [MetricKind::Gini, MetricKind::ShannonEntropy, MetricKind::Nakamoto] {
+                let streaming = StreamingSlidingEngine::new(metric, spec)
+                    .run(&blocks)
+                    .expect("integer credits");
+                let batch = MeasurementEngine::new(metric).sliding_spec(spec).run(&blocks);
+                assert_eq!(streaming.points.len(), batch.points.len());
+                for (s, b) in streaming.points.iter().zip(&batch.points) {
+                    assert_eq!(s.index, b.index);
+                    assert_eq!(s.blocks, b.blocks);
+                    assert_eq!(s.producers, b.producers);
+                    assert!(
+                        (s.value - b.value).abs() < 1e-9,
+                        "{metric:?} window {}: {} vs {}",
+                        s.index,
+                        s.value,
+                        b.value
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn handles_multi_credit_blocks() {
+            let mut blocks = stream(&[0, 1], 60);
+            blocks[30].credits = (10..40)
+                .map(|i| Credit {
+                    producer: p(i),
+                    weight: 1.0,
+                })
+                .collect();
+            let spec = SlidingWindowSpec::new(20, 10);
+            let streaming = StreamingSlidingEngine::new(MetricKind::ShannonEntropy, spec)
+                .run(&blocks)
+                .expect("integer credits");
+            let batch = MeasurementEngine::new(MetricKind::ShannonEntropy)
+                .sliding_spec(spec)
+                .run(&blocks);
+            for (s, b) in streaming.points.iter().zip(&batch.points) {
+                assert!((s.value - b.value).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn rejects_fractional_credits() {
+            let mut blocks = stream(&[0, 1], 30);
+            blocks[5].credits[0].weight = 0.5;
+            let spec = SlidingWindowSpec::new(10, 5);
+            assert!(StreamingSlidingEngine::new(MetricKind::Gini, spec)
+                .run(&blocks)
+                .is_none());
+        }
+
+        #[test]
+        #[should_panic(expected = "no streaming implementation")]
+        fn unsupported_metric_panics() {
+            StreamingSlidingEngine::new(MetricKind::Hhi, SlidingWindowSpec::new(10, 5));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # blockdec-core
+//!
+//! The paper's contribution: decentralization *metrics* (Gini coefficient,
+//! Shannon entropy, Nakamoto coefficient, plus extension metrics) and the
+//! *window engines* that apply them over a year of blocks with day/week/
+//! month granularities — both fixed calendar windows (§II-C) and
+//! overlapping sliding windows (§III).
+//!
+//! The pipeline is: attributed blocks → per-window producer distribution →
+//! metric value → [`series::MeasurementSeries`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod engine;
+pub mod incremental;
+pub mod metrics;
+pub mod series;
+pub mod windows;
+
+pub use distribution::ProducerDistribution;
+pub use engine::MeasurementEngine;
+pub use incremental::{CountMultiset, StreamingSlidingEngine};
+pub use metrics::MetricKind;
+pub use series::{MeasurementPoint, MeasurementSeries};

@@ -1,0 +1,121 @@
+//! Shannon entropy (paper Eqs. 2–3).
+//!
+//! With `p_i = b_i / Σ b_i` the share of blocks mined by producer `i`:
+//!
+//! ```text
+//! E = − Σ_i p_i · log2(p_i)
+//! ```
+//!
+//! Interpretation (paper §II-B2): higher entropy means the distribution
+//! of mining power is more random/disordered — *more* decentralized.
+//! `E` ranges from 0 (one producer) to `log2(n)` (n equal producers).
+
+use super::positive_weights;
+
+/// Shannon entropy in bits of the normalized weight distribution.
+/// Empty/degenerate input yields 0.0.
+///
+/// ```
+/// use blockdec_core::metrics::shannon_entropy;
+/// assert_eq!(shannon_entropy(&[1.0; 8]), 3.0);      // 8 equal miners
+/// assert_eq!(shannon_entropy(&[42.0]), 0.0);        // monopoly
+/// assert_eq!(shannon_entropy(&[2.0, 1.0, 1.0]), 1.5);
+/// ```
+pub fn shannon_entropy(weights: &[f64]) -> f64 {
+    let w: Vec<f64> = positive_weights(weights).collect();
+    if w.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // E = log2(T) − Σ w·log2(w) / T  — one pass, no per-element division.
+    let sum_wlogw: f64 = w.iter().map(|&x| x * x.log2()).sum();
+    let e = total.log2() - sum_wlogw / total;
+    e.max(0.0)
+}
+
+/// Entropy normalized by its maximum `log2(n)`: 0..=1, comparable across
+/// windows with different producer populations. Returns 0.0 when fewer
+/// than two producers hold weight.
+pub fn normalized_shannon_entropy(weights: &[f64]) -> f64 {
+    let n = positive_weights(weights).count();
+    if n < 2 {
+        return 0.0;
+    }
+    (shannon_entropy(weights) / (n as f64).log2()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn uniform_distribution_maximizes() {
+        // n equal producers → log2(n) bits.
+        assert_close(shannon_entropy(&[1.0; 2]), 1.0);
+        assert_close(shannon_entropy(&[1.0; 8]), 3.0);
+        assert_close(shannon_entropy(&[5.0; 8]), 3.0);
+    }
+
+    #[test]
+    fn single_producer_is_zero() {
+        assert_close(shannon_entropy(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[0.0, 0.0]), 0.0);
+        assert_eq!(normalized_shannon_entropy(&[]), 0.0);
+        assert_eq!(normalized_shannon_entropy(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn known_case() {
+        // p = (1/2, 1/4, 1/4): E = 1.5 bits.
+        assert_close(shannon_entropy(&[2.0, 1.0, 1.0]), 1.5);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let scaled: Vec<f64> = w.iter().map(|x| x * 777.0).collect();
+        assert_close(shannon_entropy(&w), shannon_entropy(&scaled));
+    }
+
+    #[test]
+    fn bounded_by_log2_n() {
+        let w = [9.0, 3.0, 1.0, 1.0, 0.5];
+        let e = shannon_entropy(&w);
+        assert!(e > 0.0);
+        assert!(e <= (5f64).log2() + 1e-12);
+    }
+
+    #[test]
+    fn normalized_is_one_for_uniform() {
+        assert_close(normalized_shannon_entropy(&[3.0; 7]), 1.0);
+        let skewed = normalized_shannon_entropy(&[100.0, 1.0, 1.0]);
+        assert!(skewed > 0.0 && skewed < 1.0);
+    }
+
+    #[test]
+    fn concentration_lowers_entropy() {
+        let spread = shannon_entropy(&[1.0; 10]);
+        let concentrated = shannon_entropy(&[91.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert!(concentrated < spread);
+    }
+
+    #[test]
+    fn zeros_are_ignored_not_nan() {
+        // 0·log(0) must be treated as 0, not NaN.
+        let e = shannon_entropy(&[0.0, 1.0, 1.0]);
+        assert!(e.is_finite());
+        assert_close(e, 1.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Gini coefficient (paper Eq. 1).
+//!
+//! For producer block counts `NB_{A_i}`:
+//!
+//! ```text
+//! G = Σ_{i,j} |NB_i − NB_j| / (2 · |A| · Σ_i NB_i)
+//! ```
+//!
+//! Computed in O(n log n) via the sorted-rank identity
+//! `Σ_{i,j} |x_i − x_j| = 2 · Σ_i (2i − n − 1) · x_(i)` for ascending
+//! `x_(i)` with 1-based rank `i`, which is exact and avoids the O(n²)
+//! double loop.
+//!
+//! Interpretation (paper §II-B1): G near 0 means mining power is evenly
+//! spread — *more* decentralized; G near 1 means concentration.
+
+use super::positive_weights;
+
+/// Gini coefficient of a weight slice. Returns 0.0 for fewer than two
+/// positive weights (a single producer is "perfectly equal with itself";
+/// the paper never evaluates this degenerate case).
+///
+/// ```
+/// use blockdec_core::metrics::gini;
+/// assert_eq!(gini(&[5.0, 5.0, 5.0]), 0.0);          // perfect equality
+/// assert_eq!(gini(&[1.0, 3.0]), 0.25);              // Eq. 1 by hand
+/// assert!(gini(&[100.0, 1.0, 1.0, 1.0]) > 0.7);     // concentration
+/// ```
+pub fn gini(weights: &[f64]) -> f64 {
+    let mut w: Vec<f64> = positive_weights(weights).collect();
+    let n = w.len();
+    if n < 2 {
+        return 0.0;
+    }
+    w.sort_unstable_by(f64::total_cmp);
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let n_f = n as f64;
+    // Σ_i (2i − n − 1) x_(i), 1-based i over ascending x.
+    let weighted: f64 = w
+        .iter()
+        .enumerate()
+        .map(|(i0, &x)| (2.0 * (i0 as f64 + 1.0) - n_f - 1.0) * x)
+        .sum();
+    (weighted / (n_f * total)).clamp(0.0, 1.0)
+}
+
+/// The Lorenz curve underlying the Gini coefficient: cumulative
+/// population share → cumulative block share, as `(x, y)` points from
+/// `(0, 0)` to `(1, 1)` over producers sorted ascending by weight.
+///
+/// The Gini coefficient equals twice the area between this curve and the
+/// `y = x` diagonal — useful for plotting *why* a window's Gini is what
+/// it is (e.g. the paper's §II-C3 pie-chart discussion). Returns just the
+/// endpoints for fewer than one positive weight.
+pub fn lorenz_curve(weights: &[f64]) -> Vec<(f64, f64)> {
+    let mut w: Vec<f64> = positive_weights(weights).collect();
+    w.sort_unstable_by(f64::total_cmp);
+    let total: f64 = w.iter().sum();
+    let n = w.len();
+    let mut out = Vec::with_capacity(n + 1);
+    out.push((0.0, 0.0));
+    if n == 0 || total <= 0.0 {
+        out.push((1.0, 1.0));
+        return out;
+    }
+    let mut cum = 0.0;
+    for (i, &x) in w.iter().enumerate() {
+        cum += x;
+        out.push(((i + 1) as f64 / n as f64, cum / total));
+    }
+    // Guard the final point against f64 residue.
+    if let Some(last) = out.last_mut() {
+        *last = (1.0, 1.0);
+    }
+    out
+}
+
+/// Reference O(n²) implementation of Eq. 1, used by tests and the
+/// correctness benches to validate [`gini`].
+pub fn gini_pairwise_reference(weights: &[f64]) -> f64 {
+    let w: Vec<f64> = positive_weights(weights).collect();
+    let n = w.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut diff_sum = 0.0;
+    for &a in &w {
+        for &b in &w {
+            diff_sum += (a - b).abs();
+        }
+    }
+    diff_sum / (2.0 * n as f64 * total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn perfectly_equal_is_zero() {
+        assert_close(gini(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+        assert_close(gini(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[7.0]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn maximal_concentration_approaches_one() {
+        // One producer holds (almost) everything; with n producers the max
+        // Gini is (n-1)/n. Zero weights are ignored, so the competitors
+        // hold a near-zero weight instead.
+        let mut w = vec![1e-9; 100];
+        w[0] = 1000.0;
+        let g = gini(&w);
+        assert!(g > 0.98, "gini {g}");
+        assert!(g <= 1.0);
+    }
+
+    #[test]
+    fn known_small_cases() {
+        // {1, 3}: Σ|xi−xj| = 4; G = 4 / (2·2·4) = 0.25.
+        assert_close(gini(&[1.0, 3.0]), 0.25);
+        // {1, 1, 2}: pairwise sum = 4; G = 4 / (2·3·4) = 1/6.
+        assert_close(gini(&[1.0, 1.0, 2.0]), 1.0 / 6.0);
+        // {0 ignored, so {2,2,4} scales the same as {1,1,2}}.
+        assert_close(gini(&[2.0, 2.0, 4.0]), 1.0 / 6.0);
+    }
+
+    #[test]
+    fn matches_pairwise_reference() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![10.0, 1.0, 1.0, 1.0],
+            vec![3.5, 3.5, 1.0, 0.5, 9.25],
+            (1..=50).map(|i| (i * i) as f64).collect(),
+        ];
+        for w in cases {
+            assert_close(gini(&w), gini_pairwise_reference(&w));
+        }
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let w = [1.0, 4.0, 2.0, 8.0];
+        let scaled: Vec<f64> = w.iter().map(|x| x * 1234.5).collect();
+        assert_close(gini(&w), gini(&scaled));
+    }
+
+    #[test]
+    fn permutation_invariant() {
+        let a = [5.0, 1.0, 3.0, 2.0];
+        let b = [1.0, 2.0, 3.0, 5.0];
+        assert_close(gini(&a), gini(&b));
+    }
+
+    #[test]
+    fn zeros_and_negatives_are_ignored() {
+        assert_close(gini(&[1.0, 3.0]), gini(&[0.0, 1.0, -2.0, 3.0, 0.0]));
+    }
+
+    #[test]
+    fn lorenz_curve_endpoints_and_monotonicity() {
+        let curve = lorenz_curve(&[1.0, 5.0, 2.0, 2.0]);
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        assert_eq!(curve.len(), 5);
+        for pair in curve.windows(2) {
+            assert!(pair[1].0 > pair[0].0);
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        // Lorenz lies on or below the diagonal.
+        for &(x, y) in &curve {
+            assert!(y <= x + 1e-12, "({x}, {y}) above diagonal");
+        }
+    }
+
+    #[test]
+    fn lorenz_area_recovers_gini() {
+        // Gini = 1 − 2 · ∫ L(x) dx (trapezoid over the curve points).
+        let w = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let curve = lorenz_curve(&w);
+        let mut area = 0.0;
+        for pair in curve.windows(2) {
+            let ((x0, y0), (x1, y1)) = (pair[0], pair[1]);
+            area += (x1 - x0) * (y0 + y1) / 2.0;
+        }
+        // With trapezoids through the discrete Lorenz points, the
+        // identity for Eq. 1's Gini is exactly G = 1 − 2·area.
+        let g = 1.0 - 2.0 * area;
+        assert!((g - gini(&w)).abs() < 1e-9, "{g} vs {}", gini(&w));
+    }
+
+    #[test]
+    fn lorenz_degenerate_inputs() {
+        assert_eq!(lorenz_curve(&[]), vec![(0.0, 0.0), (1.0, 1.0)]);
+        let one = lorenz_curve(&[7.0]);
+        assert_eq!(one, vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn perfect_equality_lorenz_is_diagonal() {
+        for (x, y) in lorenz_curve(&[3.0; 10]) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn adding_small_producers_raises_gini() {
+        // The paper's §II-C3 observation: longer windows pull in many
+        // one-block miners, raising the Gini even when top shares are
+        // unchanged.
+        let top_heavy = [100.0, 80.0, 60.0, 40.0];
+        let mut with_tail = top_heavy.to_vec();
+        with_tail.extend(std::iter::repeat(1.0).take(50));
+        assert!(gini(&with_tail) > gini(&top_heavy));
+    }
+}

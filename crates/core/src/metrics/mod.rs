@@ -1,0 +1,225 @@
+//! Decentralization metrics.
+//!
+//! The paper's three metrics — [`mod@gini`] (Eq. 1), [`entropy`] (Eqs. 2–3),
+//! and [`mod@nakamoto`] (Eq. 4) — plus extension metrics commonly used in
+//! follow-up work: Herfindahl–Hirschman index ([`mod@hhi`]), Theil index
+//! ([`mod@theil`]), normalized entropy, and top-k share ([`topk`]).
+//!
+//! All metric functions take an unordered slice of non-negative producer
+//! weights (block credits within a window). Zero weights are ignored;
+//! an all-zero or empty slice yields the metric's degenerate value.
+
+pub mod entropy;
+pub mod gini;
+pub mod hhi;
+pub mod nakamoto;
+pub mod theil;
+pub mod topk;
+
+pub use entropy::{normalized_shannon_entropy, shannon_entropy};
+pub use gini::gini;
+pub use hhi::hhi;
+pub use nakamoto::{
+    nakamoto, nakamoto_with_threshold, NAKAMOTO_THRESHOLD, SELFISH_MINING_THRESHOLD,
+};
+pub use theil::theil;
+pub use topk::top_k_share;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a metric for the engine, reports, and serialized configs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum MetricKind {
+    /// Gini coefficient of producer block counts (paper Eq. 1). 0 =
+    /// perfectly equal, 1 = fully concentrated. *Lower* is more
+    /// decentralized.
+    Gini,
+    /// Shannon entropy of the block-share distribution in bits (paper
+    /// Eqs. 2–3). *Higher* is more decentralized.
+    ShannonEntropy,
+    /// Shannon entropy divided by `log2(producers)`: 0..=1, comparable
+    /// across windows with different producer populations. Extension
+    /// metric.
+    NormalizedEntropy,
+    /// Nakamoto coefficient: minimum number of producers jointly holding
+    /// ≥ 51% of the window's blocks (paper Eq. 4). *Higher* is more
+    /// decentralized.
+    Nakamoto,
+    /// Herfindahl–Hirschman index: sum of squared shares, 1/n..=1.
+    /// *Lower* is more decentralized. Extension metric.
+    Hhi,
+    /// Theil index (GE(1) inequality). *Lower* is more decentralized.
+    /// Extension metric.
+    Theil,
+    /// Share of blocks produced by the single largest producer. Extension
+    /// metric.
+    Top1Share,
+    /// Nakamoto coefficient at the 33% selfish-mining threshold the
+    /// paper's introduction discusses (Eyal & Sirer): the minimum number
+    /// of entities able to profitably attack via selfish mining.
+    /// Extension metric.
+    NakamotoSelfish,
+}
+
+impl MetricKind {
+    /// The paper's three headline metrics.
+    pub const PAPER: [MetricKind; 3] = [
+        MetricKind::Gini,
+        MetricKind::ShannonEntropy,
+        MetricKind::Nakamoto,
+    ];
+
+    /// Every supported metric.
+    pub const ALL: [MetricKind; 8] = [
+        MetricKind::Gini,
+        MetricKind::ShannonEntropy,
+        MetricKind::NormalizedEntropy,
+        MetricKind::Nakamoto,
+        MetricKind::Hhi,
+        MetricKind::Theil,
+        MetricKind::Top1Share,
+        MetricKind::NakamotoSelfish,
+    ];
+
+    /// Short snake_case label for CSV headers and file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Gini => "gini",
+            MetricKind::ShannonEntropy => "entropy",
+            MetricKind::NormalizedEntropy => "norm_entropy",
+            MetricKind::Nakamoto => "nakamoto",
+            MetricKind::Hhi => "hhi",
+            MetricKind::Theil => "theil",
+            MetricKind::Top1Share => "top1_share",
+            MetricKind::NakamotoSelfish => "nakamoto_33",
+        }
+    }
+
+    /// True when larger values mean *more* decentralized (entropy,
+    /// Nakamoto); false when larger means more concentrated (Gini, HHI,
+    /// Theil, top-1 share).
+    pub fn higher_is_more_decentralized(self) -> bool {
+        matches!(
+            self,
+            MetricKind::ShannonEntropy
+                | MetricKind::NormalizedEntropy
+                | MetricKind::Nakamoto
+                | MetricKind::NakamotoSelfish
+        )
+    }
+
+    /// Evaluate this metric on a weight slice.
+    pub fn compute(self, weights: &[f64]) -> f64 {
+        match self {
+            MetricKind::Gini => gini(weights),
+            MetricKind::ShannonEntropy => shannon_entropy(weights),
+            MetricKind::NormalizedEntropy => normalized_shannon_entropy(weights),
+            MetricKind::Nakamoto => nakamoto(weights) as f64,
+            MetricKind::Hhi => hhi(weights),
+            MetricKind::Theil => theil(weights),
+            MetricKind::Top1Share => top_k_share(weights, 1),
+            MetricKind::NakamotoSelfish => {
+                nakamoto_with_threshold(weights, SELFISH_MINING_THRESHOLD) as f64
+            }
+        }
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for MetricKind {
+    type Err = String;
+
+    /// Parse a metric by its [`MetricKind::label`].
+    fn from_str(s: &str) -> Result<MetricKind, String> {
+        MetricKind::ALL
+            .iter()
+            .copied()
+            .find(|m| m.label() == s)
+            .ok_or_else(|| {
+                let labels: Vec<&str> = MetricKind::ALL.iter().map(|m| m.label()).collect();
+                format!("unknown metric {s:?} (one of {})", labels.join("|"))
+            })
+    }
+}
+
+/// Filter out zero and (defensively) negative or non-finite weights;
+/// shared by the metric implementations.
+pub(crate) fn positive_weights(weights: &[f64]) -> impl Iterator<Item = f64> + '_ {
+    weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = MetricKind::ALL.iter().map(|m| m.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MetricKind::ALL.len());
+    }
+
+    #[test]
+    fn paper_metrics_are_a_subset() {
+        for m in MetricKind::PAPER {
+            assert!(MetricKind::ALL.contains(&m));
+        }
+    }
+
+    #[test]
+    fn direction_flags() {
+        assert!(!MetricKind::Gini.higher_is_more_decentralized());
+        assert!(MetricKind::ShannonEntropy.higher_is_more_decentralized());
+        assert!(MetricKind::Nakamoto.higher_is_more_decentralized());
+        assert!(!MetricKind::Hhi.higher_is_more_decentralized());
+    }
+
+    #[test]
+    fn compute_dispatches() {
+        let w = [3.0, 1.0];
+        assert_eq!(MetricKind::Gini.compute(&w), gini(&w));
+        assert_eq!(MetricKind::ShannonEntropy.compute(&w), shannon_entropy(&w));
+        assert_eq!(MetricKind::Nakamoto.compute(&w), nakamoto(&w) as f64);
+        assert_eq!(MetricKind::Top1Share.compute(&w), 0.75);
+        assert_eq!(
+            MetricKind::NakamotoSelfish.compute(&w),
+            nakamoto_with_threshold(&w, SELFISH_MINING_THRESHOLD) as f64
+        );
+    }
+
+    #[test]
+    fn selfish_threshold_never_exceeds_majority_threshold() {
+        let w = [0.3, 0.25, 0.2, 0.15, 0.1];
+        assert!(MetricKind::NakamotoSelfish.compute(&w) <= MetricKind::Nakamoto.compute(&w));
+    }
+
+    #[test]
+    fn positive_weights_filters_garbage() {
+        let w = [1.0, 0.0, -2.0, f64::NAN, f64::INFINITY, 3.0];
+        let kept: Vec<f64> = positive_weights(&w).collect();
+        assert_eq!(kept, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&MetricKind::Nakamoto).unwrap();
+        let back: MetricKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, MetricKind::Nakamoto);
+    }
+
+    #[test]
+    fn from_str_roundtrips_labels() {
+        for m in MetricKind::ALL {
+            assert_eq!(m.label().parse::<MetricKind>().unwrap(), m);
+        }
+        let err = "sharpe".parse::<MetricKind>().unwrap_err();
+        assert!(err.contains("gini"), "{err}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Nakamoto coefficient (paper Eq. 4).
+//!
+//! ```text
+//! N = min{ k ∈ [1..K] : Σ_{i=1..k} p_(i) ≥ 0.51 }
+//! ```
+//!
+//! where `p_(i)` are producer shares sorted descending: the minimum number
+//! of entities that would have to collude to control the chain.
+//! The paper (following Srinivasan's original definition applied to the
+//! 51%-attack threshold) uses **0.51** rather than 0.5, and we default to
+//! that; [`nakamoto_with_threshold`] exposes the knob for the 0.33
+//! selfish-mining variant discussed in the introduction.
+
+use super::positive_weights;
+
+/// The paper's collusion threshold (51%).
+pub const NAKAMOTO_THRESHOLD: f64 = 0.51;
+
+/// The selfish-mining threshold (33%) from Eyal & Sirer, discussed in
+/// the paper's introduction as the weaker-attacker bound.
+pub const SELFISH_MINING_THRESHOLD: f64 = 0.33;
+
+/// Nakamoto coefficient at the standard 51% threshold. Returns 0 for an
+/// empty distribution.
+///
+/// ```
+/// use blockdec_core::metrics::nakamoto;
+/// // 2019-style Ethereum shares: the top 2 hold 49%, so 3 must collude.
+/// let shares = [0.27, 0.22, 0.12, 0.09, 0.06, 0.05, 0.05, 0.05, 0.04, 0.03, 0.02];
+/// assert_eq!(nakamoto(&shares), 3);
+/// assert_eq!(nakamoto(&[52.0, 48.0]), 1);
+/// ```
+pub fn nakamoto(weights: &[f64]) -> usize {
+    nakamoto_with_threshold(weights, NAKAMOTO_THRESHOLD)
+}
+
+/// Nakamoto coefficient at an arbitrary share threshold in (0, 1].
+pub fn nakamoto_with_threshold(weights: &[f64], threshold: f64) -> usize {
+    assert!(
+        threshold > 0.0 && threshold <= 1.0,
+        "threshold must be in (0, 1], got {threshold}"
+    );
+    let mut w: Vec<f64> = positive_weights(weights).collect();
+    if w.is_empty() {
+        return 0;
+    }
+    let total: f64 = w.iter().sum();
+    // Descending by weight.
+    w.sort_unstable_by(|a, b| b.total_cmp(a));
+    let target = threshold * total;
+    let mut cum = 0.0;
+    for (i, x) in w.iter().enumerate() {
+        cum += x;
+        // `>=` with a tiny relative epsilon: f64 summation must not push a
+        // producer holding exactly 51% to a coefficient of 2.
+        if cum >= target - total * 1e-12 {
+            return i + 1;
+        }
+    }
+    w.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_producer_is_one() {
+        assert_eq!(nakamoto(&[10.0]), 1);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(nakamoto(&[]), 0);
+        assert_eq!(nakamoto(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn dominant_majority_is_one() {
+        assert_eq!(nakamoto(&[52.0, 24.0, 24.0]), 1);
+    }
+
+    #[test]
+    fn exactly_51_percent_is_one() {
+        assert_eq!(nakamoto(&[51.0, 49.0]), 1);
+    }
+
+    #[test]
+    fn just_under_51_needs_two() {
+        assert_eq!(nakamoto(&[50.9, 49.1]), 2);
+    }
+
+    #[test]
+    fn uniform_needs_just_over_half() {
+        // 10 equal producers: 6 are needed for 60% ≥ 51%.
+        assert_eq!(nakamoto(&[1.0; 10]), 6);
+        // 100 equal producers: 51 needed.
+        assert_eq!(nakamoto(&[1.0; 100]), 51);
+    }
+
+    #[test]
+    fn paper_style_pool_table() {
+        // 2019-like Bitcoin shares: top-4 = 53% → coefficient 4.
+        let shares = [0.17, 0.13, 0.12, 0.11, 0.09, 0.07, 0.07, 0.06, 0.06, 0.06, 0.06];
+        assert_eq!(nakamoto(&shares), 4);
+        // 2019-like Ethereum shares: top-3 = 60% → coefficient 3.
+        let shares = [0.27, 0.22, 0.11, 0.08, 0.05, 0.09, 0.09, 0.09];
+        assert_eq!(nakamoto(&shares), 3);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        assert_eq!(nakamoto(&[1.0, 9.0, 2.0]), nakamoto(&[9.0, 2.0, 1.0]));
+    }
+
+    #[test]
+    fn custom_thresholds() {
+        let w = [40.0, 30.0, 20.0, 10.0];
+        // 33% selfish-mining bar: the largest producer alone passes.
+        assert_eq!(nakamoto_with_threshold(&w, 0.33), 1);
+        // Full control requires everyone.
+        assert_eq!(nakamoto_with_threshold(&w, 1.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_panics() {
+        nakamoto_with_threshold(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn concentration_lowers_coefficient() {
+        let spread = nakamoto(&[1.0; 20]);
+        let concentrated = nakamoto(&[50.0, 30.0, 1.0, 1.0, 1.0]);
+        assert!(concentrated < spread);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let w = [5.0, 3.0, 2.0, 1.0];
+        let scaled: Vec<f64> = w.iter().map(|x| x * 1e6).collect();
+        assert_eq!(nakamoto(&w), nakamoto(&scaled));
+    }
+}

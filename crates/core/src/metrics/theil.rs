@@ -1,0 +1,87 @@
+//! Theil index (extension metric).
+//!
+//! The Theil-T inequality index over producer block counts `x_i` with mean
+//! `μ`:
+//!
+//! ```text
+//! T = (1/n) · Σ_i (x_i/μ) · ln(x_i/μ)
+//! ```
+//!
+//! 0 for perfect equality, `ln(n)` for full concentration. Unlike Gini it
+//! is additively decomposable, which follow-up decentralization studies
+//! use to split inequality within/between pool tiers.
+
+use super::positive_weights;
+
+/// Theil-T index. Empty or single-producer input yields 0.0.
+pub fn theil(weights: &[f64]) -> f64 {
+    let w: Vec<f64> = positive_weights(weights).collect();
+    let n = w.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mean = total / n as f64;
+    let t = w
+        .iter()
+        .map(|&x| {
+            let r = x / mean;
+            r * r.ln()
+        })
+        .sum::<f64>()
+        / n as f64;
+    t.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn equality_is_zero() {
+        assert_close(theil(&[4.0; 6]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(theil(&[]), 0.0);
+        assert_eq!(theil(&[3.0]), 0.0);
+        assert_eq!(theil(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn bounded_by_ln_n() {
+        // Near-total concentration approaches ln(n).
+        let mut w = vec![1e-9; 10];
+        w[0] = 1e6;
+        let t = theil(&w);
+        assert!(t > 0.9 * (10f64).ln());
+        assert!(t <= (10f64).ln() + 1e-6);
+    }
+
+    #[test]
+    fn known_case() {
+        // x = (1, 3), μ = 2: T = ½(½·ln½ + 3/2·ln(3/2)).
+        let expected = 0.5 * (0.5 * 0.5f64.ln() + 1.5 * 1.5f64.ln());
+        assert_close(theil(&[1.0, 3.0]), expected);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let w = [1.0, 2.0, 5.0];
+        let scaled: Vec<f64> = w.iter().map(|x| x * 42.0).collect();
+        assert_close(theil(&w), theil(&scaled));
+    }
+
+    #[test]
+    fn concentration_raises_theil() {
+        assert!(theil(&[90.0, 5.0, 5.0]) > theil(&[40.0, 30.0, 30.0]));
+    }
+}

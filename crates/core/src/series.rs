@@ -1,0 +1,210 @@
+//! Measurement results: one value per window.
+
+use crate::metrics::MetricKind;
+use blockdec_chain::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One measured window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementPoint {
+    /// Window index: the calendar bucket (day/week/month number from the
+    /// origin) for fixed windows, or the slide index `i` for sliding
+    /// windows.
+    pub index: i64,
+    /// Height of the first block in the window.
+    pub start_height: u64,
+    /// Height of the last block in the window (inclusive).
+    pub end_height: u64,
+    /// Timestamp of the first block.
+    pub start_time: Timestamp,
+    /// Timestamp of the last block.
+    pub end_time: Timestamp,
+    /// Number of blocks in the window.
+    pub blocks: u64,
+    /// Number of distinct producers credited in the window.
+    pub producers: u64,
+    /// The metric value.
+    pub value: f64,
+}
+
+/// How the windows of a series were formed — carried on the series so
+/// reports can label output without replumbing configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WindowLabel {
+    /// Calendar fixed windows at a granularity ("day", "week", "month").
+    FixedCalendar {
+        /// Granularity label.
+        granularity: String,
+    },
+    /// Block-count sliding windows.
+    SlidingBlocks {
+        /// Window size N in blocks.
+        size: usize,
+        /// Step M in blocks.
+        step: usize,
+    },
+    /// Time-based sliding windows (extension).
+    SlidingTime {
+        /// Window duration in seconds.
+        duration_secs: i64,
+        /// Step in seconds.
+        step_secs: i64,
+    },
+}
+
+impl WindowLabel {
+    /// Compact human-readable form, e.g. `fixed/day`, `sliding/144/72`,
+    /// or `sliding-time/86400/43200`.
+    pub fn label(&self) -> String {
+        match self {
+            WindowLabel::FixedCalendar { granularity } => format!("fixed/{granularity}"),
+            WindowLabel::SlidingBlocks { size, step } => format!("sliding/{size}/{step}"),
+            WindowLabel::SlidingTime {
+                duration_secs,
+                step_secs,
+            } => format!("sliding-time/{duration_secs}/{step_secs}"),
+        }
+    }
+}
+
+/// A complete measurement run: metric × windowing × block stream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSeries {
+    /// Which metric was computed.
+    pub metric: MetricKind,
+    /// How windows were formed.
+    pub window: WindowLabel,
+    /// Per-window results, in window order.
+    pub points: Vec<MeasurementPoint>,
+}
+
+impl MeasurementSeries {
+    /// Just the metric values, in window order.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.value).collect()
+    }
+
+    /// Arithmetic mean of the values; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Smallest value with its window index; `None` when empty.
+    pub fn min(&self) -> Option<(i64, f64)> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.value.total_cmp(&b.value))
+            .map(|p| (p.index, p.value))
+    }
+
+    /// Largest value with its window index; `None` when empty.
+    pub fn max(&self) -> Option<(i64, f64)> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.value.total_cmp(&b.value))
+            .map(|p| (p.index, p.value))
+    }
+
+    /// Render as CSV with a header row. Columns match the per-point
+    /// fields; `value` is printed with full precision.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,start_height,end_height,start_time,end_time,blocks,producers,value\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                p.index,
+                p.start_height,
+                p.end_height,
+                p.start_time.secs(),
+                p.end_time.secs(),
+                p.blocks,
+                p.producers,
+                p.value
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> MeasurementSeries {
+        MeasurementSeries {
+            metric: MetricKind::Gini,
+            window: WindowLabel::FixedCalendar {
+                granularity: "day".into(),
+            },
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| MeasurementPoint {
+                    index: i as i64,
+                    start_height: i as u64 * 10,
+                    end_height: i as u64 * 10 + 9,
+                    start_time: Timestamp(i as i64 * 100),
+                    end_time: Timestamp(i as i64 * 100 + 99),
+                    blocks: 10,
+                    producers: 3,
+                    value: v,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn stats() {
+        let s = series(&[0.5, 0.7, 0.3]);
+        assert_eq!(s.values(), vec![0.5, 0.7, 0.3]);
+        assert!((s.mean().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(s.min().unwrap(), (2, 0.3));
+        assert_eq!(s.max().unwrap(), (1, 0.7));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = series(&[]);
+        assert!(s.mean().is_none());
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+    }
+
+    #[test]
+    fn csv_shape() {
+        let s = series(&[0.25]);
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("index,"));
+        assert_eq!(lines[1], "0,0,9,0,99,10,3,0.25");
+    }
+
+    #[test]
+    fn window_labels() {
+        assert_eq!(
+            WindowLabel::FixedCalendar {
+                granularity: "week".into()
+            }
+            .label(),
+            "fixed/week"
+        );
+        assert_eq!(
+            WindowLabel::SlidingBlocks { size: 144, step: 72 }.label(),
+            "sliding/144/72"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = series(&[0.1, 0.2]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MeasurementSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

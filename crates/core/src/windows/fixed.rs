@@ -1,0 +1,184 @@
+//! Calendar fixed windows (§II-C).
+//!
+//! Each block is assigned to the day / 7-day week / calendar month
+//! containing its timestamp, measured from an origin (2019-01-01 for the
+//! paper's year). Windows never overlap; two consecutive windows share no
+//! blocks. Assignment is by timestamp, not position, so the occasional
+//! out-of-order Bitcoin timestamp lands in the bucket its miner declared —
+//! the same behaviour as a BigQuery `GROUP BY DATE(timestamp)`.
+
+use blockdec_chain::{AttributedBlock, Granularity, Timestamp};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// One calendar bucket and the (index) ranges of blocks inside it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedWindow {
+    /// Bucket index from the origin (day number, week number, or month
+    /// number; 0-based).
+    pub bucket: i64,
+    /// Indices into the source block slice belonging to this bucket, in
+    /// stream order. Usually one contiguous range; timestamp jitter can
+    /// split it.
+    pub block_indices: Vec<u32>,
+}
+
+impl FixedWindow {
+    /// Convenience for the common contiguous case in tests.
+    pub fn contiguous(bucket: i64, range: Range<u32>) -> FixedWindow {
+        FixedWindow {
+            bucket,
+            block_indices: range.collect(),
+        }
+    }
+}
+
+/// Partition a block slice into calendar windows at a granularity.
+///
+/// Returns windows sorted by bucket index. Buckets with no blocks simply
+/// do not appear (the paper's plots likewise have no point for an empty
+/// day — which never occurs in real 2019 data).
+pub fn fixed_calendar_windows(
+    blocks: &[AttributedBlock],
+    granularity: Granularity,
+    origin: Timestamp,
+) -> Vec<FixedWindow> {
+    let mut buckets: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+    for (i, b) in blocks.iter().enumerate() {
+        let bucket = b.timestamp.bucket(granularity, origin);
+        buckets
+            .entry(bucket)
+            .or_default()
+            .push(u32::try_from(i).expect("more than u32::MAX blocks in one run"));
+    }
+    buckets
+        .into_iter()
+        .map(|(bucket, block_indices)| FixedWindow {
+            bucket,
+            block_indices,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdec_chain::{Credit, ProducerId};
+    use blockdec_chain::time::SECS_PER_DAY;
+
+    fn block_at(height: u64, t: i64) -> AttributedBlock {
+        AttributedBlock {
+            height,
+            timestamp: Timestamp(t),
+            credits: vec![Credit {
+                producer: ProducerId(0),
+                weight: 1.0,
+            }],
+        }
+    }
+
+    fn origin() -> Timestamp {
+        Timestamp::year_2019_start()
+    }
+
+    #[test]
+    fn daily_partition() {
+        let o = origin().secs();
+        let blocks = vec![
+            block_at(1, o),
+            block_at(2, o + 100),
+            block_at(3, o + SECS_PER_DAY),
+            block_at(4, o + SECS_PER_DAY * 2 + 5),
+        ];
+        let w = fixed_calendar_windows(&blocks, Granularity::Day, origin());
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].bucket, 0);
+        assert_eq!(w[0].block_indices, vec![0, 1]);
+        assert_eq!(w[1].bucket, 1);
+        assert_eq!(w[1].block_indices, vec![2]);
+        assert_eq!(w[2].bucket, 2);
+    }
+
+    #[test]
+    fn weekly_partition() {
+        let o = origin().secs();
+        let blocks: Vec<AttributedBlock> = (0..21)
+            .map(|d| block_at(d, o + (d as i64) * SECS_PER_DAY + 1))
+            .collect();
+        let w = fixed_calendar_windows(&blocks, Granularity::Week, origin());
+        assert_eq!(w.len(), 3);
+        for (i, win) in w.iter().enumerate() {
+            assert_eq!(win.bucket, i as i64);
+            assert_eq!(win.block_indices.len(), 7);
+        }
+    }
+
+    #[test]
+    fn monthly_partition_uses_calendar_months() {
+        // Jan has 31 days, Feb 28: a block on Jan 31 is month 0, on Feb 1
+        // month 1, on Mar 1 month 2.
+        let o = origin().secs();
+        let blocks = vec![
+            block_at(1, o + 30 * SECS_PER_DAY), // Jan 31
+            block_at(2, o + 31 * SECS_PER_DAY), // Feb 1
+            block_at(3, o + 59 * SECS_PER_DAY), // Mar 1
+        ];
+        let w = fixed_calendar_windows(&blocks, Granularity::Month, origin());
+        assert_eq!(
+            w.iter().map(|x| x.bucket).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn out_of_order_timestamp_lands_in_declared_bucket() {
+        let o = origin().secs();
+        let blocks = vec![
+            block_at(1, o + 10),
+            block_at(2, o + SECS_PER_DAY + 10),
+            // Miner-declared timestamp back in day 0 even though the block
+            // follows a day-1 block.
+            block_at(3, o + 20),
+            block_at(4, o + SECS_PER_DAY + 30),
+        ];
+        let w = fixed_calendar_windows(&blocks, Granularity::Day, origin());
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].block_indices, vec![0, 2]);
+        assert_eq!(w[1].block_indices, vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_windows() {
+        assert!(fixed_calendar_windows(&[], Granularity::Day, origin()).is_empty());
+    }
+
+    #[test]
+    fn pre_origin_blocks_get_negative_buckets() {
+        let o = origin().secs();
+        let blocks = vec![block_at(1, o - 10), block_at(2, o + 10)];
+        let w = fixed_calendar_windows(&blocks, Granularity::Day, origin());
+        assert_eq!(w[0].bucket, -1);
+        assert_eq!(w[1].bucket, 0);
+    }
+
+    #[test]
+    fn full_year_has_365_days_52_weeks_12_months() {
+        let o = origin().secs();
+        // One block every 6 hours for all of 2019.
+        let blocks: Vec<AttributedBlock> = (0..365 * 4)
+            .map(|i| block_at(i, o + (i as i64) * 21_600))
+            .collect();
+        let days = fixed_calendar_windows(&blocks, Granularity::Day, origin());
+        assert_eq!(days.len(), 365);
+        let weeks = fixed_calendar_windows(&blocks, Granularity::Week, origin());
+        // 365 days = 52 full weeks + 1 day spilling into week 52.
+        assert_eq!(weeks.len(), 53);
+        assert_eq!(weeks.last().unwrap().block_indices.len(), 4);
+        let months = fixed_calendar_windows(&blocks, Granularity::Month, origin());
+        assert_eq!(months.len(), 12);
+        // January: 31 days × 4 blocks.
+        assert_eq!(months[0].block_indices.len(), 124);
+        // February 2019: 28 days × 4.
+        assert_eq!(months[1].block_indices.len(), 112);
+    }
+}

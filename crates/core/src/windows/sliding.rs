@@ -1,0 +1,214 @@
+//! Block-count sliding windows (§III-A).
+//!
+//! A sliding window of size `N` blocks advances `M` blocks per step, so
+//! consecutive windows share `N − M` blocks. With `S` total blocks the
+//! number of full windows is the paper's Eq. 5:
+//!
+//! ```text
+//! L = (S − N) / M + 1        (integer division; 0 when S < N)
+//! ```
+//!
+//! The paper fixes `M = N/2`, doubling the number of measurements per
+//! year relative to fixed windows; [`SlidingWindowSpec::paper`] encodes
+//! that choice.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Size/step parameters of a sliding window.
+///
+/// ```
+/// use blockdec_core::windows::sliding::SlidingWindowSpec;
+/// // The paper's Bitcoin day window: N = 144, M = 72.
+/// let spec = SlidingWindowSpec::paper(144);
+/// assert_eq!(spec.overlap(), 72);
+/// // Eq. 5 over a nominal Bitcoin year:
+/// assert_eq!(spec.window_count(52_560), 729);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlidingWindowSpec {
+    /// Window size N in blocks. Must be ≥ 1.
+    pub size: usize,
+    /// Step M in blocks. Must be ≥ 1 (M > N is legal and leaves gaps).
+    pub step: usize,
+}
+
+impl SlidingWindowSpec {
+    /// A window with explicit size and step.
+    ///
+    /// # Panics
+    /// If `size == 0` or `step == 0`.
+    pub fn new(size: usize, step: usize) -> SlidingWindowSpec {
+        assert!(size > 0, "window size must be positive");
+        assert!(step > 0, "step must be positive");
+        SlidingWindowSpec { size, step }
+    }
+
+    /// The paper's configuration: step M = N/2 (N must be even ≥ 2).
+    pub fn paper(size: usize) -> SlidingWindowSpec {
+        assert!(size >= 2, "paper windows need N >= 2");
+        SlidingWindowSpec::new(size, size / 2)
+    }
+
+    /// Overlap N − M between consecutive windows (0 when M ≥ N).
+    pub fn overlap(&self) -> usize {
+        self.size.saturating_sub(self.step)
+    }
+
+    /// Eq. 5: number of full windows over `total_blocks` blocks.
+    pub fn window_count(&self, total_blocks: usize) -> usize {
+        if total_blocks < self.size {
+            0
+        } else {
+            (total_blocks - self.size) / self.step + 1
+        }
+    }
+
+    /// The index range of the `i`-th window (0-based); `None` when it
+    /// would run past the stream end.
+    pub fn window_range(&self, i: usize, total_blocks: usize) -> Option<Range<usize>> {
+        let start = i.checked_mul(self.step)?;
+        let end = start.checked_add(self.size)?;
+        (end <= total_blocks).then_some(start..end)
+    }
+
+    /// Iterate all full windows over a stream of `total_blocks` blocks.
+    pub fn iter(&self, total_blocks: usize) -> SlidingWindowIter {
+        SlidingWindowIter {
+            spec: *self,
+            total_blocks,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over the index ranges of successive sliding windows.
+#[derive(Clone, Debug)]
+pub struct SlidingWindowIter {
+    spec: SlidingWindowSpec,
+    total_blocks: usize,
+    next: usize,
+}
+
+impl Iterator for SlidingWindowIter {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        let r = self.spec.window_range(self.next, self.total_blocks)?;
+        self.next += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self
+            .spec
+            .window_count(self.total_blocks)
+            .saturating_sub(self.next);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SlidingWindowIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq5_window_count() {
+        // S=10, N=4, M=2 → (10−4)/2+1 = 4 windows.
+        let spec = SlidingWindowSpec::new(4, 2);
+        assert_eq!(spec.window_count(10), 4);
+        // Not enough blocks.
+        assert_eq!(spec.window_count(3), 0);
+        // Exactly one window.
+        assert_eq!(spec.window_count(4), 1);
+        // Paper Bitcoin day windows: S=54231? Use nominal year: S=52560,
+        // N=144, M=72 → (52560−144)/72+1 = 729 ≈ "about 700 results".
+        let day = SlidingWindowSpec::paper(144);
+        assert_eq!(day.window_count(52_560), 729);
+    }
+
+    #[test]
+    fn paper_spec_halves() {
+        let s = SlidingWindowSpec::paper(144);
+        assert_eq!(s.size, 144);
+        assert_eq!(s.step, 72);
+        assert_eq!(s.overlap(), 72);
+    }
+
+    #[test]
+    fn ranges_advance_by_step() {
+        let spec = SlidingWindowSpec::new(4, 2);
+        let ranges: Vec<_> = spec.iter(10).collect();
+        assert_eq!(ranges, vec![0..4, 2..6, 4..8, 6..10]);
+    }
+
+    #[test]
+    fn consecutive_windows_share_overlap() {
+        let spec = SlidingWindowSpec::new(6, 2);
+        let ranges: Vec<_> = spec.iter(12).collect();
+        for pair in ranges.windows(2) {
+            let shared = pair[0].end.saturating_sub(pair[1].start);
+            assert_eq!(shared, spec.overlap());
+        }
+    }
+
+    #[test]
+    fn step_larger_than_size_leaves_gaps() {
+        let spec = SlidingWindowSpec::new(2, 5);
+        let ranges: Vec<_> = spec.iter(12).collect();
+        assert_eq!(ranges, vec![0..2, 5..7, 10..12]);
+        assert_eq!(spec.overlap(), 0);
+    }
+
+    #[test]
+    fn step_equal_to_size_is_fixed_windows() {
+        // M = N degenerates to non-overlapping fixed-length windows.
+        let spec = SlidingWindowSpec::new(3, 3);
+        let ranges: Vec<_> = spec.iter(9).collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..9]);
+    }
+
+    #[test]
+    fn window_range_bounds() {
+        let spec = SlidingWindowSpec::new(4, 2);
+        assert_eq!(spec.window_range(0, 10), Some(0..4));
+        assert_eq!(spec.window_range(3, 10), Some(6..10));
+        assert_eq!(spec.window_range(4, 10), None);
+    }
+
+    #[test]
+    fn iterator_len_matches_eq5() {
+        for (s, n, m) in [(100, 10, 3), (57, 8, 8), (9, 10, 1), (1000, 144, 72)] {
+            let spec = SlidingWindowSpec::new(n, m);
+            let it = spec.iter(s);
+            assert_eq!(it.len(), spec.window_count(s));
+            assert_eq!(it.count(), spec.window_count(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn zero_size_panics() {
+        SlidingWindowSpec::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        SlidingWindowSpec::new(4, 0);
+    }
+
+    #[test]
+    fn doubling_property() {
+        // §III-A: with M = N/2 the number of measurements roughly doubles
+        // versus fixed windows (S/N of them).
+        let s = 52_560;
+        let n = 144;
+        let fixed = s / n;
+        let sliding = SlidingWindowSpec::paper(n).window_count(s);
+        assert!(sliding >= 2 * fixed - 2);
+        assert!(sliding <= 2 * fixed);
+    }
+}

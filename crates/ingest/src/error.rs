@@ -1,0 +1,78 @@
+//! Ingest error type.
+
+use std::fmt;
+use std::io;
+
+/// Errors from parsing external data.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed record; carries the 1-based line number when known.
+    Parse {
+        /// 1-based line number (0 = unknown).
+        line: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A record parsed but failed chain-model validation.
+    Invalid {
+        /// 1-based line number.
+        line: u64,
+        /// The underlying chain error.
+        source: blockdec_chain::ChainError,
+    },
+}
+
+impl IngestError {
+    /// Helper for parse failures.
+    pub fn parse(line: u64, detail: impl Into<String>) -> IngestError {
+        IngestError::Parse {
+            line,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "io error: {e}"),
+            IngestError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
+            IngestError::Invalid { line, source } => {
+                write!(f, "invalid record at line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Invalid { source, .. } => Some(source),
+            IngestError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> IngestError {
+        IngestError::Io(e)
+    }
+}
+
+/// Ingest result alias.
+pub type Result<T> = std::result::Result<T, IngestError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line() {
+        let e = IngestError::parse(42, "bad field");
+        assert!(e.to_string().contains("line 42"));
+        assert!(e.to_string().contains("bad field"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # blockdec-ingest
+//!
+//! Import/export for block data, so the measurement pipeline can run on
+//! *real* chain data as well as simulated streams:
+//!
+//! * [`csv`] — a dependency-free RFC 4180 CSV reader/writer plus the
+//!   repository's canonical block CSV schema;
+//! * [`jsonl`] — JSON-lines serialization of blocks and attribution
+//!   results;
+//! * [`bigquery`] — parsers for the Google BigQuery public crypto
+//!   dataset export schemas (`crypto_bitcoin.blocks`,
+//!   `crypto_ethereum.blocks`), the exact source the paper collected
+//!   from (§II-A);
+//! * [`timeparse`] — the timestamp formats those exports use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigquery;
+pub mod csv;
+pub mod error;
+pub mod jsonl;
+pub mod timeparse;
+
+pub use error::IngestError;

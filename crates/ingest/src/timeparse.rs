@@ -1,0 +1,142 @@
+//! Timestamp formats used by BigQuery exports and CSV files.
+//!
+//! Accepted forms:
+//! * integer seconds since the epoch (`1546300800`);
+//! * integer milliseconds (heuristically: ≥ 10^12);
+//! * `YYYY-MM-DD HH:MM:SS UTC` (BigQuery's default TIMESTAMP rendering);
+//! * `YYYY-MM-DDTHH:MM:SSZ` (ISO 8601, optional fractional seconds,
+//!   which are truncated);
+//! * `YYYY-MM-DD` (midnight).
+
+use blockdec_chain::time::days_from_civil;
+use blockdec_chain::Timestamp;
+
+/// Parse a timestamp string; `None` when unrecognized.
+pub fn parse_timestamp(s: &str) -> Option<Timestamp> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    // Pure integer: seconds or milliseconds.
+    if let Ok(n) = s.parse::<i64>() {
+        return Some(if n.abs() >= 1_000_000_000_000 {
+            Timestamp(n / 1000)
+        } else {
+            Timestamp(n)
+        });
+    }
+    // Date part.
+    let bytes = s.as_bytes();
+    if bytes.len() < 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: i32 = s.get(0..4)?.parse().ok()?;
+    let month: u8 = s.get(5..7)?.parse().ok()?;
+    let day: u8 = s.get(8..10)?.parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    let midnight = days_from_civil(year, month, day) * 86_400;
+
+    let rest = &s[10..];
+    if rest.is_empty() {
+        return Some(Timestamp(midnight));
+    }
+    // Separator: space or 'T'.
+    let rest = rest.strip_prefix(['T', ' '])?;
+    if rest.len() < 8 {
+        return None;
+    }
+    let hour: i64 = rest.get(0..2)?.parse().ok()?;
+    let min: i64 = rest.get(3..5)?.parse().ok()?;
+    let sec: i64 = rest.get(6..8)?.parse().ok()?;
+    if rest.as_bytes().get(2) != Some(&b':') || rest.as_bytes().get(5) != Some(&b':') {
+        return None;
+    }
+    if hour > 23 || min > 59 || sec > 60 {
+        return None;
+    }
+    // Tail: optional fractional seconds, then "Z", " UTC", "+00:00" or
+    // nothing.
+    let mut tail = &rest[8..];
+    if let Some(stripped) = tail.strip_prefix('.') {
+        let digits = stripped.bytes().take_while(u8::is_ascii_digit).count();
+        if digits == 0 {
+            return None;
+        }
+        tail = &stripped[digits..];
+    }
+    match tail {
+        "" | "Z" | " UTC" | "+00:00" | "+00" | " +00:00" => {}
+        _ => return None,
+    }
+    Some(Timestamp(midnight + hour * 3600 + min * 60 + sec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JAN1_2019: i64 = 1_546_300_800;
+
+    #[test]
+    fn integer_seconds_and_millis() {
+        assert_eq!(parse_timestamp("1546300800").unwrap().secs(), JAN1_2019);
+        assert_eq!(parse_timestamp("1546300800000").unwrap().secs(), JAN1_2019);
+        assert_eq!(parse_timestamp(" 1546300800 ").unwrap().secs(), JAN1_2019);
+    }
+
+    #[test]
+    fn bigquery_format() {
+        assert_eq!(
+            parse_timestamp("2019-01-01 00:00:00 UTC").unwrap().secs(),
+            JAN1_2019
+        );
+        assert_eq!(
+            parse_timestamp("2019-01-14 12:30:45 UTC").unwrap().secs(),
+            JAN1_2019 + 13 * 86_400 + 12 * 3600 + 30 * 60 + 45
+        );
+    }
+
+    #[test]
+    fn iso_formats() {
+        assert_eq!(parse_timestamp("2019-01-01T00:00:00Z").unwrap().secs(), JAN1_2019);
+        assert_eq!(
+            parse_timestamp("2019-01-01T00:00:00.123Z").unwrap().secs(),
+            JAN1_2019
+        );
+        assert_eq!(
+            parse_timestamp("2019-01-01T00:00:00+00:00").unwrap().secs(),
+            JAN1_2019
+        );
+        assert_eq!(parse_timestamp("2019-01-01 00:00:00").unwrap().secs(), JAN1_2019);
+    }
+
+    #[test]
+    fn date_only_is_midnight() {
+        assert_eq!(parse_timestamp("2019-01-01").unwrap().secs(), JAN1_2019);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for s in [
+            "",
+            "not a date",
+            "2019-13-01",
+            "2019-01-32",
+            "2019-01-01 25:00:00",
+            "2019-01-01 00:61:00",
+            "2019-01-01 00:00:00 PST",
+            "2019/01/01",
+            "2019-01-01T00:00:00.Z",
+        ] {
+            assert!(parse_timestamp(s).is_none(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_with_chain_rendering() {
+        let t = Timestamp(JAN1_2019 + 3661);
+        assert_eq!(parse_timestamp(&t.to_iso8601()).unwrap(), t);
+    }
+}

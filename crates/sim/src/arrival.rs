@@ -1,0 +1,248 @@
+//! Block arrival process: difficulty-coupled Poisson arrivals plus
+//! miner-declared timestamp jitter.
+//!
+//! Arrival times are exponential with mean `difficulty / hashrate`; the
+//! difficulty state adjusts per the chain's retarget rule, closing the
+//! loop. Hashrate follows an exponential growth curve over the scenario
+//! (Bitcoin's 2019 hashrate roughly doubled, which is what pushed the
+//! year to 54,231 blocks instead of the nominal 52,560).
+//!
+//! Declared timestamps differ from arrival times on Bitcoin: miners stamp
+//! with clock error, so a small fraction of blocks carry timestamps
+//! earlier than their parent's (legal under median-time-past). Ethereum
+//! enforces strict monotonicity, so jitter there only stretches gaps.
+
+use crate::difficulty::DifficultyState;
+use crate::rng::SimRng;
+use blockdec_chain::ChainKind;
+
+/// One produced block arrival.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Arrival {
+    /// True arrival time (seconds since epoch).
+    pub arrival_time: i64,
+    /// Miner-declared timestamp (what goes in the block header).
+    pub declared_time: i64,
+    /// Difficulty at this block, rounded to integer units.
+    pub difficulty: u64,
+}
+
+/// Parameters of the arrival process.
+#[derive(Clone, Debug)]
+pub struct ArrivalConfig {
+    /// Chain (controls timestamp-jitter legality).
+    pub chain: ChainKind,
+    /// Hashrate at day 0 (arbitrary units; difficulty is calibrated
+    /// against it).
+    pub base_hashrate: f64,
+    /// Total multiplicative hashrate growth across `days` (e.g. 2.2 =
+    /// ends the year at 2.2x).
+    pub growth: f64,
+    /// Scenario length in days (for the growth exponent).
+    pub days: f64,
+    /// Enable miner clock jitter on declared timestamps.
+    pub timestamp_jitter: bool,
+}
+
+/// Stateful arrival generator.
+#[derive(Clone, Debug)]
+pub struct ArrivalProcess {
+    config: ArrivalConfig,
+    difficulty: DifficultyState,
+    start_time: i64,
+    current_time: f64,
+    last_declared: i64,
+    recent_declared: Vec<i64>,
+}
+
+impl ArrivalProcess {
+    /// Start the process at `start_time`.
+    pub fn new(config: ArrivalConfig, difficulty: DifficultyState, start_time: i64) -> ArrivalProcess {
+        ArrivalProcess {
+            config,
+            difficulty,
+            start_time,
+            current_time: start_time as f64,
+            last_declared: start_time,
+            recent_declared: Vec::with_capacity(11),
+        }
+    }
+
+    /// Hashrate at an absolute time, following the growth curve.
+    pub fn hashrate_at(&self, time: f64) -> f64 {
+        let day = (time - self.start_time as f64) / 86_400.0;
+        let frac = (day / self.config.days).clamp(0.0, 1.0);
+        self.config.base_hashrate * self.config.growth.powf(frac)
+    }
+
+    /// Median of recent declared timestamps (Bitcoin median-time-past).
+    fn median_time_past(&self) -> i64 {
+        if self.recent_declared.is_empty() {
+            return self.start_time;
+        }
+        let mut v = self.recent_declared.clone();
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+
+    /// Produce the next block arrival.
+    pub fn next_block(&mut self, rng: &mut SimRng) -> Arrival {
+        let hashrate = self.hashrate_at(self.current_time);
+        let mean = self.difficulty.expected_interval(hashrate);
+        // Inter-arrival of at least one second keeps integer timestamps
+        // strictly ordered for Ethereum.
+        let dt = rng.exponential(mean).max(1.0);
+        self.current_time += dt;
+        let arrival = self.current_time as i64;
+        self.difficulty.on_block(arrival, dt);
+
+        let declared = if self.config.timestamp_jitter {
+            match self.config.chain {
+                ChainKind::Bitcoin => {
+                    // ~5% of blocks declare up to 2 minutes in the past,
+                    // bounded below by median-time-past + 1 so validation
+                    // holds; the rest declare up to 30s in the future.
+                    let jitter = if rng.chance(0.05) {
+                        -(rng.below(120) as i64)
+                    } else {
+                        rng.below(30) as i64
+                    };
+                    (arrival + jitter).max(self.median_time_past() + 1)
+                }
+                ChainKind::Ethereum => arrival.max(self.last_declared + 1),
+            }
+        } else {
+            match self.config.chain {
+                ChainKind::Bitcoin => arrival,
+                ChainKind::Ethereum => arrival.max(self.last_declared + 1),
+            }
+        };
+
+        self.last_declared = declared;
+        self.recent_declared.push(declared);
+        if self.recent_declared.len() > 11 {
+            self.recent_declared.remove(0);
+        }
+
+        Arrival {
+            arrival_time: arrival,
+            declared_time: declared,
+            difficulty: self.difficulty.difficulty().round().max(1.0) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdec_chain::params::RetargetRule;
+
+    fn btc_process(jitter: bool) -> ArrivalProcess {
+        let cfg = ArrivalConfig {
+            chain: ChainKind::Bitcoin,
+            base_hashrate: 1.0,
+            growth: 1.0,
+            days: 365.0,
+            timestamp_jitter: jitter,
+        };
+        let diff = DifficultyState::new(RetargetRule::Epoch { interval: 2016 }, 600.0, 600.0, 0);
+        ArrivalProcess::new(cfg, diff, 0)
+    }
+
+    #[test]
+    fn mean_interval_near_target() {
+        let mut rng = SimRng::new(20);
+        let mut p = btc_process(false);
+        let n = 20_000;
+        let mut last = 0i64;
+        for _ in 0..n {
+            last = p.next_block(&mut rng).arrival_time;
+        }
+        let mean = last as f64 / n as f64;
+        assert!((mean - 600.0).abs() < 15.0, "mean {mean}");
+    }
+
+    #[test]
+    fn growth_speeds_up_blocks() {
+        let mut rng = SimRng::new(21);
+        let cfg = ArrivalConfig {
+            chain: ChainKind::Bitcoin,
+            base_hashrate: 1.0,
+            growth: 4.0,
+            days: 10.0,
+            timestamp_jitter: false,
+        };
+        // Epoch so long it never retargets in this test: pure growth.
+        let diff = DifficultyState::new(RetargetRule::Epoch { interval: 1_000_000 }, 600.0, 600.0, 0);
+        let mut p = ArrivalProcess::new(cfg, diff, 0);
+        let mut times = Vec::new();
+        for _ in 0..3000 {
+            times.push(p.next_block(&mut rng).arrival_time);
+        }
+        // Average interval over the last 500 blocks is well below the
+        // first 500's.
+        let early = (times[499] - times[0]) as f64 / 499.0;
+        let n = times.len();
+        let late = (times[n - 1] - times[n - 500]) as f64 / 499.0;
+        assert!(late < early * 0.7, "early {early} late {late}");
+    }
+
+    #[test]
+    fn ethereum_declared_times_strictly_increase() {
+        let mut rng = SimRng::new(22);
+        let cfg = ArrivalConfig {
+            chain: ChainKind::Ethereum,
+            base_hashrate: 1.0,
+            growth: 1.3,
+            days: 365.0,
+            timestamp_jitter: true,
+        };
+        let diff = DifficultyState::new(RetargetRule::PerBlock, 14.4, 14.4, 0);
+        let mut p = ArrivalProcess::new(cfg, diff, 0);
+        let mut last = i64::MIN;
+        for _ in 0..5000 {
+            let a = p.next_block(&mut rng);
+            assert!(a.declared_time > last);
+            last = a.declared_time;
+        }
+    }
+
+    #[test]
+    fn bitcoin_jitter_produces_some_backward_steps_but_respects_mtp() {
+        let mut rng = SimRng::new(23);
+        let mut p = btc_process(true);
+        let mut declared = Vec::new();
+        for _ in 0..5000 {
+            declared.push(p.next_block(&mut rng).declared_time);
+        }
+        let backward = declared.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(backward > 0, "expected some non-monotone declared times");
+        // And each declared time exceeds the median of the prior 11.
+        for i in 11..declared.len() {
+            let mut window: Vec<i64> = declared[i - 11..i].to_vec();
+            window.sort_unstable();
+            let mtp = window[window.len() / 2];
+            assert!(declared[i] > mtp, "at {i}: {} <= {mtp}", declared[i]);
+        }
+    }
+
+    #[test]
+    fn difficulty_is_positive_and_tracks() {
+        let mut rng = SimRng::new(24);
+        let mut p = btc_process(false);
+        for _ in 0..1000 {
+            assert!(p.next_block(&mut rng).difficulty >= 1);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut r1 = SimRng::new(25);
+        let mut r2 = SimRng::new(25);
+        let mut p1 = btc_process(true);
+        let mut p2 = btc_process(true);
+        for _ in 0..500 {
+            assert_eq!(p1.next_block(&mut r1), p2.next_block(&mut r2));
+        }
+    }
+}

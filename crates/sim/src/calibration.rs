@@ -1,0 +1,151 @@
+//! Stream-level summaries used to calibrate scenarios.
+//!
+//! These are simulator-facing statistics (block rates, realized producer
+//! shares, producer-population sizes) — the decentralization *metrics*
+//! live in `blockdec-core`; the calibration tests that tie the two
+//! together are the workspace integration tests and EXPERIMENTS.md.
+
+use crate::generator::GeneratedStream;
+use blockdec_chain::Timestamp;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Summary statistics of a generated stream.
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    /// Total blocks.
+    pub blocks: u64,
+    /// Number of distinct calendar days covered.
+    pub days: u32,
+    /// Mean blocks per covered day.
+    pub blocks_per_day: f64,
+    /// Realized share of total credits per producer name, descending.
+    pub producer_shares: Vec<(String, f64)>,
+    /// Distinct producers over the whole stream.
+    pub distinct_producers: usize,
+    /// Mean distinct producers per day.
+    pub mean_producers_per_day: f64,
+}
+
+impl StreamSummary {
+    /// Combined share of the top `k` producers.
+    pub fn top_share(&self, k: usize) -> f64 {
+        self.producer_shares.iter().take(k).map(|(_, s)| s).sum()
+    }
+
+    /// Realized share of a named producer (0.0 when absent).
+    pub fn share_of(&self, name: &str) -> f64 {
+        self.producer_shares
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Summarize a stream relative to a calendar origin.
+pub fn summarize(stream: &GeneratedStream, origin: Timestamp) -> StreamSummary {
+    let mut credits: HashMap<u32, f64> = HashMap::new();
+    let mut per_day: BTreeMap<i64, HashSet<u32>> = BTreeMap::new();
+    let mut total = 0.0f64;
+    for b in &stream.attributed {
+        let day = b.timestamp.day_index(origin);
+        let day_set = per_day.entry(day).or_default();
+        for c in &b.credits {
+            *credits.entry(c.producer.0).or_insert(0.0) += c.weight;
+            total += c.weight;
+            day_set.insert(c.producer.0);
+        }
+    }
+    let mut producer_shares: Vec<(String, f64)> = credits
+        .iter()
+        .map(|(&id, &w)| {
+            let name = stream
+                .registry
+                .name(blockdec_chain::ProducerId(id))
+                .unwrap_or("<unknown>")
+                .to_string();
+            (name, if total > 0.0 { w / total } else { 0.0 })
+        })
+        .collect();
+    producer_shares.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let days = per_day.len() as u32;
+    let mean_producers_per_day = if days == 0 {
+        0.0
+    } else {
+        per_day.values().map(|s| s.len() as f64).sum::<f64>() / f64::from(days)
+    };
+
+    StreamSummary {
+        blocks: stream.attributed.len() as u64,
+        days,
+        blocks_per_day: if days == 0 {
+            0.0
+        } else {
+            stream.attributed.len() as f64 / f64::from(days)
+        },
+        producer_shares,
+        distinct_producers: credits.len(),
+        mean_producers_per_day,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn bitcoin_short_run_summary_is_plausible() {
+        let s = Scenario::bitcoin_2019().truncated(7);
+        let stream = s.generate();
+        let sum = summarize(&stream, Timestamp::year_2019_start());
+        assert_eq!(sum.days, 7);
+        assert!((120.0..170.0).contains(&sum.blocks_per_day), "{}", sum.blocks_per_day);
+        // Early-year regime: BTC.com leads at ~14%.
+        let lead = sum.share_of("BTC.com");
+        assert!((0.07..0.25).contains(&lead), "BTC.com share {lead}");
+        // A healthy tail of unknown producers exists.
+        assert!(sum.distinct_producers > 50, "{}", sum.distinct_producers);
+        // Shares sum to 1.
+        let total: f64 = sum.producer_shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ethereum_short_run_summary_is_plausible() {
+        let mut s = Scenario::ethereum_2019().truncated(2);
+        s.limit_blocks = Some(12_000);
+        let stream = s.generate();
+        let sum = summarize(&stream, Timestamp::year_2019_start());
+        let ethermine = sum.share_of("Ethermine");
+        assert!((0.18..0.34).contains(&ethermine), "Ethermine {ethermine}");
+        let spark = sum.share_of("SparkPool");
+        assert!(spark > 0.12, "SparkPool {spark}");
+        // Top-2 below the 51% line on average (Nakamoto 3 territory).
+        assert!(sum.top_share(3) >= 0.50, "top3 {}", sum.top_share(3));
+    }
+
+    #[test]
+    fn top_share_is_monotone() {
+        let s = Scenario::bitcoin_2019().truncated(3);
+        let sum = summarize(&s.generate(), Timestamp::year_2019_start());
+        let mut prev = 0.0;
+        for k in 1..10 {
+            let t = sum.top_share(k);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn empty_stream_summary() {
+        let mut s = Scenario::bitcoin_2019().truncated(1);
+        s.limit_blocks = Some(0);
+        let sum = summarize(&s.generate(), Timestamp::year_2019_start());
+        assert_eq!(sum.blocks, 0);
+        assert_eq!(sum.days, 0);
+        assert_eq!(sum.distinct_producers, 0);
+        assert_eq!(sum.top_share(5), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Difficulty adjustment — the feedback loop that keeps simulated block
+//! production at the chain's target rate.
+//!
+//! * **Bitcoin** ([`RetargetRule::Epoch`]): every 2016 blocks, difficulty
+//!   scales by expected/actual epoch duration, clamped 4x either way —
+//!   the mainnet rule. Growing hashrate therefore produces the same
+//!   slightly-faster-than-600s average 2019 showed (54,231 blocks instead
+//!   of the nominal 52,560).
+//! * **Ethereum** ([`RetargetRule::PerBlock`]): the Homestead rule
+//!   `diff += parent/2048 · max(1 − ⌊dt/10⌋, −99)`. Its equilibrium under
+//!   exponential inter-arrival is a mean of `10/ln 2 ≈ 14.4s` — which is
+//!   exactly the "6,000 blocks per day" the paper quotes.
+
+use blockdec_chain::params::RetargetRule;
+
+/// Difficulty controller state.
+#[derive(Clone, Debug)]
+pub struct DifficultyState {
+    rule: RetargetRule,
+    difficulty: f64,
+    target_interval: f64,
+    /// Epoch bookkeeping (Bitcoin rule).
+    blocks_in_epoch: u64,
+    epoch_start_time: i64,
+}
+
+impl DifficultyState {
+    /// Initialize at a starting difficulty and target interval (seconds).
+    pub fn new(rule: RetargetRule, initial_difficulty: f64, target_interval: f64, start_time: i64) -> DifficultyState {
+        assert!(initial_difficulty > 0.0);
+        assert!(target_interval > 0.0);
+        DifficultyState {
+            rule,
+            difficulty: initial_difficulty,
+            target_interval,
+            blocks_in_epoch: 0,
+            epoch_start_time: start_time,
+        }
+    }
+
+    /// Current difficulty (arbitrary units).
+    pub fn difficulty(&self) -> f64 {
+        self.difficulty
+    }
+
+    /// Expected seconds to the next block at the given hashrate
+    /// (difficulty is calibrated so that difficulty/hashrate = seconds).
+    pub fn expected_interval(&self, hashrate: f64) -> f64 {
+        debug_assert!(hashrate > 0.0);
+        self.difficulty / hashrate
+    }
+
+    /// Record a produced block and adjust difficulty per the rule.
+    /// `block_time` is the block's arrival time, `dt` the seconds since
+    /// the previous block.
+    pub fn on_block(&mut self, block_time: i64, dt: f64) {
+        match self.rule {
+            RetargetRule::Epoch { interval } => {
+                self.blocks_in_epoch += 1;
+                if self.blocks_in_epoch >= interval {
+                    let actual = (block_time - self.epoch_start_time).max(1) as f64;
+                    let expected = self.target_interval * interval as f64;
+                    let ratio = (expected / actual).clamp(0.25, 4.0);
+                    self.difficulty *= ratio;
+                    self.blocks_in_epoch = 0;
+                    self.epoch_start_time = block_time;
+                }
+            }
+            RetargetRule::PerBlock => {
+                // Homestead: adjustment in units of parent/2048.
+                let steps = (dt / 10.0).floor();
+                let factor = (1.0 - steps).max(-99.0);
+                self.difficulty += self.difficulty / 2048.0 * factor;
+                // Never collapse to zero on pathological gaps.
+                self.difficulty = self.difficulty.max(1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn epoch_rule_restores_target_after_hashrate_jump() {
+        // Hashrate doubles: blocks come twice as fast until the retarget,
+        // after which difficulty doubles and the interval is restored.
+        let target = 600.0;
+        let mut d = DifficultyState::new(RetargetRule::Epoch { interval: 100 }, 600.0, target, 0);
+        let hashrate = 2.0; // doubled from the 1.0 the difficulty assumed
+        let mut t = 0i64;
+        for _ in 0..100 {
+            let dt = d.expected_interval(hashrate);
+            t += dt as i64;
+            d.on_block(t, dt);
+        }
+        // After one epoch the expected interval at the new hashrate is
+        // back near the target.
+        let restored = d.expected_interval(hashrate);
+        assert!(
+            (restored - target).abs() < target * 0.05,
+            "interval {restored}"
+        );
+    }
+
+    #[test]
+    fn epoch_rule_clamps_extreme_swings() {
+        let mut d = DifficultyState::new(RetargetRule::Epoch { interval: 10 }, 1000.0, 600.0, 0);
+        // Blocks arrive absurdly fast (1s apart): ratio clamps at 4.
+        for i in 1..=10 {
+            d.on_block(i, 1.0);
+        }
+        assert!((d.difficulty() - 4000.0).abs() < 1e-6);
+        // And absurdly slow: clamps at 0.25.
+        let mut d = DifficultyState::new(RetargetRule::Epoch { interval: 10 }, 1000.0, 600.0, 0);
+        for i in 1..=10 {
+            d.on_block(i * 1_000_000, 1_000_000.0);
+        }
+        assert!((d.difficulty() - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_block_rule_raises_on_fast_blocks() {
+        let mut d = DifficultyState::new(RetargetRule::PerBlock, 1000.0, 14.4, 0);
+        d.on_block(5, 5.0); // dt < 10 → +parent/2048
+        assert!(d.difficulty() > 1000.0);
+    }
+
+    #[test]
+    fn per_block_rule_lowers_on_slow_blocks() {
+        let mut d = DifficultyState::new(RetargetRule::PerBlock, 1000.0, 14.4, 0);
+        d.on_block(30, 30.0); // dt in [30, 40) → factor −2
+        assert!(d.difficulty() < 1000.0);
+    }
+
+    #[test]
+    fn per_block_rule_floors_at_minus_99() {
+        let mut d = DifficultyState::new(RetargetRule::PerBlock, 1_000_000.0, 14.4, 0);
+        d.on_block(100_000, 100_000.0);
+        let expected = 1_000_000.0 - 1_000_000.0 / 2048.0 * 99.0;
+        assert!((d.difficulty() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn homestead_equilibrium_is_near_6000_blocks_per_day() {
+        // Run the closed loop with exponential arrivals at constant
+        // hashrate: the mean interval converges near 10/ln2 ≈ 14.43s,
+        // i.e. ≈ 5,990 blocks/day.
+        let mut rng = SimRng::new(12);
+        let hashrate = 1.0;
+        let mut d = DifficultyState::new(RetargetRule::PerBlock, 14.4, 14.4, 0);
+        let mut t = 0.0f64;
+        // Warm up.
+        for _ in 0..20_000 {
+            let dt = rng.exponential(d.expected_interval(hashrate));
+            t += dt;
+            d.on_block(t as i64, dt);
+        }
+        // Measure.
+        let t0 = t;
+        let n = 60_000;
+        for _ in 0..n {
+            let dt = rng.exponential(d.expected_interval(hashrate));
+            t += dt;
+            d.on_block(t as i64, dt);
+        }
+        let mean_dt = (t - t0) / n as f64;
+        let blocks_per_day = 86_400.0 / mean_dt;
+        assert!(
+            (5_600.0..6_400.0).contains(&blocks_per_day),
+            "blocks/day {blocks_per_day}"
+        );
+    }
+
+    #[test]
+    fn difficulty_never_hits_zero() {
+        let mut d = DifficultyState::new(RetargetRule::PerBlock, 10.0, 14.4, 0);
+        for i in 0..100 {
+            d.on_block(i * 1_000_000, 1_000_000.0);
+        }
+        assert!(d.difficulty() >= 1.0);
+    }
+}

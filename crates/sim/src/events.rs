@@ -1,0 +1,222 @@
+//! Injected events: the scripted anomalies the paper analyses.
+//!
+//! * [`EventConfig::MultiCoinbase`] — a block whose coinbase pays dozens
+//!   of independent addresses (P2Pool-style payout). Two such blocks
+//!   (>80 and >90 addresses) on Jan 14 are the paper's day-14 case study
+//!   (§II-C1d): under per-address attribution they crater the daily Gini
+//!   (≈0.34) and spike the daily entropy (≈6.2) and Nakamoto coefficient.
+//! * [`EventConfig::DominantShare`] — a pool's hashrate share is forced to
+//!   a value over a day range. A 4–5 day burst straddling a week boundary
+//!   reproduces the §III-B cross-interval anomaly that sliding windows
+//!   reveal and fixed weekly windows dilute (Fig. 13, day 60).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A scripted event in a scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventConfig {
+    /// On `day`, the `block_of_day`-th block pays `addresses` independent
+    /// coinbase addresses instead of its miner's.
+    MultiCoinbase {
+        /// Day offset from scenario start (0-based).
+        day: u32,
+        /// Which block of that day is replaced (0-based; clamped to the
+        /// day's actual block count by the generator).
+        block_of_day: u32,
+        /// Number of independent payout addresses.
+        addresses: u32,
+    },
+    /// Force a pool's effective share to `share` for days in
+    /// `start_day..end_day`.
+    DominantShare {
+        /// Pool name (must exist in the scenario's pool list).
+        pool: String,
+        /// First affected day (inclusive).
+        start_day: u32,
+        /// First unaffected day (exclusive).
+        end_day: u32,
+        /// Forced normalized share in (0, 1).
+        share: f64,
+    },
+}
+
+/// Pre-indexed view of a scenario's events for fast per-day queries.
+#[derive(Clone, Debug, Default)]
+pub struct EventSchedule {
+    multi_coinbase: HashMap<u32, Vec<(u32, u32)>>,
+    dominant: Vec<(String, u32, u32, f64)>,
+}
+
+impl EventSchedule {
+    /// Index a list of event configs.
+    pub fn new(events: &[EventConfig]) -> EventSchedule {
+        let mut s = EventSchedule::default();
+        for e in events {
+            match e {
+                EventConfig::MultiCoinbase {
+                    day,
+                    block_of_day,
+                    addresses,
+                } => {
+                    s.multi_coinbase
+                        .entry(*day)
+                        .or_default()
+                        .push((*block_of_day, *addresses));
+                }
+                EventConfig::DominantShare {
+                    pool,
+                    start_day,
+                    end_day,
+                    share,
+                } => {
+                    s.dominant
+                        .push((pool.clone(), *start_day, *end_day, *share));
+                }
+            }
+        }
+        // Deterministic order within a day.
+        for v in s.multi_coinbase.values_mut() {
+            v.sort_unstable();
+        }
+        s
+    }
+
+    /// Multi-coinbase injections for a day: `(block_of_day, addresses)`,
+    /// sorted by block offset.
+    pub fn multi_coinbase_on(&self, day: u32) -> &[(u32, u32)] {
+        self.multi_coinbase
+            .get(&day)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Share overrides in force on a day: pool name → forced share.
+    pub fn share_overrides_on(&self, day: u32) -> HashMap<&str, f64> {
+        let mut out = HashMap::new();
+        for (pool, start, end, share) in &self.dominant {
+            if (*start..*end).contains(&day) {
+                out.insert(pool.as_str(), *share);
+            }
+        }
+        out
+    }
+
+    /// True when no events are scheduled at all.
+    pub fn is_empty(&self) -> bool {
+        self.multi_coinbase.is_empty() && self.dominant.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_multi_coinbase_by_day() {
+        let s = EventSchedule::new(&[
+            EventConfig::MultiCoinbase {
+                day: 13,
+                block_of_day: 80,
+                addresses: 95,
+            },
+            EventConfig::MultiCoinbase {
+                day: 13,
+                block_of_day: 40,
+                addresses: 85,
+            },
+            EventConfig::MultiCoinbase {
+                day: 20,
+                block_of_day: 10,
+                addresses: 30,
+            },
+        ]);
+        assert_eq!(s.multi_coinbase_on(13), &[(40, 85), (80, 95)]);
+        assert_eq!(s.multi_coinbase_on(20), &[(10, 30)]);
+        assert!(s.multi_coinbase_on(14).is_empty());
+    }
+
+    #[test]
+    fn dominant_share_day_ranges() {
+        let s = EventSchedule::new(&[EventConfig::DominantShare {
+            pool: "BTC.com".into(),
+            start_day: 59,
+            end_day: 63,
+            share: 0.53,
+        }]);
+        assert!(s.share_overrides_on(58).is_empty());
+        assert_eq!(s.share_overrides_on(59).get("BTC.com"), Some(&0.53));
+        assert_eq!(s.share_overrides_on(62).get("BTC.com"), Some(&0.53));
+        assert!(s.share_overrides_on(63).is_empty());
+    }
+
+    #[test]
+    fn overlapping_dominant_events_last_wins_is_stable() {
+        let s = EventSchedule::new(&[
+            EventConfig::DominantShare {
+                pool: "A".into(),
+                start_day: 0,
+                end_day: 10,
+                share: 0.4,
+            },
+            EventConfig::DominantShare {
+                pool: "A".into(),
+                start_day: 5,
+                end_day: 15,
+                share: 0.6,
+            },
+        ]);
+        // Later config wins on the overlap (HashMap insert order).
+        assert_eq!(s.share_overrides_on(7).get("A"), Some(&0.6));
+        assert_eq!(s.share_overrides_on(2).get("A"), Some(&0.4));
+        assert_eq!(s.share_overrides_on(12).get("A"), Some(&0.6));
+    }
+
+    #[test]
+    fn two_pools_can_be_forced_simultaneously() {
+        let s = EventSchedule::new(&[
+            EventConfig::DominantShare {
+                pool: "A".into(),
+                start_day: 0,
+                end_day: 5,
+                share: 0.3,
+            },
+            EventConfig::DominantShare {
+                pool: "B".into(),
+                start_day: 0,
+                end_day: 5,
+                share: 0.3,
+            },
+        ]);
+        let o = s.share_overrides_on(1);
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = EventSchedule::new(&[]);
+        assert!(s.is_empty());
+        assert!(s.multi_coinbase_on(0).is_empty());
+        assert!(s.share_overrides_on(0).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let events = vec![
+            EventConfig::MultiCoinbase {
+                day: 13,
+                block_of_day: 40,
+                addresses: 85,
+            },
+            EventConfig::DominantShare {
+                pool: "X".into(),
+                start_day: 1,
+                end_day: 2,
+                share: 0.5,
+            },
+        ];
+        let json = serde_json::to_string(&events).unwrap();
+        let back: Vec<EventConfig> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events, back);
+    }
+}

@@ -1,0 +1,171 @@
+//! Pool hashrate-share schedules with stochastic drift.
+//!
+//! Each pool's share of total hashrate follows a piecewise-linear
+//! schedule over the year (capturing regime changes such as the early-2019
+//! Bitcoin consolidation) multiplied by a slowly-drifting log-normal
+//! factor (capturing day-to-day luck and rig churn). Shares across the
+//! population are renormalized daily, so schedules express *relative*
+//! intent and need not sum to exactly one.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One knot of a share schedule: `share` holds from/interpolates at `day`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SharePoint {
+    /// Day offset from the scenario start (fractional allowed).
+    pub day: f64,
+    /// Intended share of total hashrate at that day.
+    pub share: f64,
+}
+
+/// Piecewise-linear interpolation over schedule knots. Before the first
+/// knot the first share holds; after the last, the last share holds.
+pub fn schedule_share(schedule: &[SharePoint], day: f64) -> f64 {
+    match schedule {
+        [] => 0.0,
+        [only] => only.share,
+        _ => {
+            let first = schedule.first().expect("non-empty");
+            if day <= first.day {
+                return first.share;
+            }
+            let last = schedule.last().expect("non-empty");
+            if day >= last.day {
+                return last.share;
+            }
+            for pair in schedule.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if day >= a.day && day <= b.day {
+                    let span = b.day - a.day;
+                    if span <= 0.0 {
+                        return b.share;
+                    }
+                    let t = (day - a.day) / span;
+                    return a.share + t * (b.share - a.share);
+                }
+            }
+            last.share
+        }
+    }
+}
+
+/// Multiplicative log-normal drift state for one pool.
+#[derive(Clone, Debug)]
+pub struct DriftState {
+    /// Current multiplicative factor applied to the scheduled share.
+    pub factor: f64,
+    /// Daily log-sigma of the random walk.
+    pub sigma: f64,
+    /// Mean-reversion strength per day (0 = pure random walk).
+    pub reversion: f64,
+}
+
+impl DriftState {
+    /// Fresh drift at factor 1.0.
+    pub fn new(sigma: f64, reversion: f64) -> DriftState {
+        DriftState {
+            factor: 1.0,
+            sigma,
+            reversion,
+        }
+    }
+
+    /// Advance one day: factor follows an Ornstein–Uhlenbeck-flavoured
+    /// walk in log space, clamped to [0.25, 4.0] so no pool's luck can
+    /// overwhelm its schedule.
+    pub fn step(&mut self, rng: &mut SimRng) {
+        let log_f = self.factor.ln();
+        let next = log_f * (1.0 - self.reversion) + self.sigma * rng.standard_normal();
+        self.factor = next.exp().clamp(0.25, 4.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knots(points: &[(f64, f64)]) -> Vec<SharePoint> {
+        points
+            .iter()
+            .map(|&(day, share)| SharePoint { day, share })
+            .collect()
+    }
+
+    #[test]
+    fn empty_schedule_is_zero() {
+        assert_eq!(schedule_share(&[], 10.0), 0.0);
+    }
+
+    #[test]
+    fn single_knot_is_constant() {
+        let s = knots(&[(50.0, 0.2)]);
+        assert_eq!(schedule_share(&s, 0.0), 0.2);
+        assert_eq!(schedule_share(&s, 100.0), 0.2);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let s = knots(&[(10.0, 0.1), (20.0, 0.3)]);
+        assert_eq!(schedule_share(&s, 0.0), 0.1);
+        assert_eq!(schedule_share(&s, 25.0), 0.3);
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let s = knots(&[(0.0, 0.0), (10.0, 1.0)]);
+        assert!((schedule_share(&s, 5.0) - 0.5).abs() < 1e-12);
+        assert!((schedule_share(&s, 2.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_segment() {
+        let s = knots(&[(0.0, 0.2), (50.0, 0.2), (90.0, 0.1), (365.0, 0.1)]);
+        assert_eq!(schedule_share(&s, 25.0), 0.2);
+        assert!((schedule_share(&s, 70.0) - 0.15).abs() < 1e-12);
+        assert_eq!(schedule_share(&s, 200.0), 0.1);
+    }
+
+    #[test]
+    fn duplicate_day_knots_do_not_divide_by_zero() {
+        let s = knots(&[(10.0, 0.1), (10.0, 0.5), (20.0, 0.5)]);
+        let v = schedule_share(&s, 10.0);
+        assert!(v == 0.1 || v == 0.5);
+        assert!((schedule_share(&s, 15.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_stays_clamped_and_deterministic() {
+        let mut rng1 = SimRng::new(9);
+        let mut rng2 = SimRng::new(9);
+        let mut d1 = DriftState::new(0.2, 0.05);
+        let mut d2 = DriftState::new(0.2, 0.05);
+        for _ in 0..1000 {
+            d1.step(&mut rng1);
+            d2.step(&mut rng2);
+            assert_eq!(d1.factor.to_bits(), d2.factor.to_bits());
+            assert!((0.25..=4.0).contains(&d1.factor));
+        }
+    }
+
+    #[test]
+    fn zero_sigma_drift_stays_at_one() {
+        let mut rng = SimRng::new(10);
+        let mut d = DriftState::new(0.0, 0.1);
+        for _ in 0..100 {
+            d.step(&mut rng);
+        }
+        assert!((d.factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reversion_pulls_back_to_one() {
+        let mut rng = SimRng::new(11);
+        let mut d = DriftState::new(0.0, 0.5);
+        d.factor = 3.0;
+        for _ in 0..50 {
+            d.step(&mut rng);
+        }
+        assert!((d.factor - 1.0).abs() < 0.01, "factor {}", d.factor);
+    }
+}

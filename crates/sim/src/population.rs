@@ -1,0 +1,341 @@
+//! The miner population: named pools plus a Pareto long tail of solo
+//! miners.
+//!
+//! Day by day the population recomputes effective sampling weights:
+//! scheduled pool shares × a drifting luck factor, a scheduled aggregate
+//! tail share split across solo miners by Pareto rank weights, and any
+//! event-forced share overrides (the dominant-miner burst of Fig. 13).
+//! Block producers are then drawn from the resulting categorical
+//! distribution.
+
+use crate::hashrate::{schedule_share, DriftState, SharePoint};
+use crate::rng::{cumulative, pareto_rank_weights, SimRng};
+use std::collections::HashMap;
+
+/// A pool as the population sees it at runtime.
+#[derive(Clone, Debug)]
+pub struct PoolState {
+    /// Canonical pool name (also the attribution identity).
+    pub name: String,
+    /// Coinbase marker / extra_data the pool stamps, if it self-identifies.
+    pub tag: Option<String>,
+    /// Seed for the pool's synthesized payout address.
+    pub address_seed: u64,
+    /// Intended share schedule over the scenario.
+    pub schedule: Vec<SharePoint>,
+    /// Stochastic luck drift.
+    pub drift: DriftState,
+}
+
+/// Who produced a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MinerRef {
+    /// A named pool (index into the pool list).
+    Pool(usize),
+    /// A solo tail miner (stable tail index).
+    Tail(u32),
+}
+
+/// Tail (solo miner) configuration at runtime.
+#[derive(Clone, Debug)]
+pub struct TailState {
+    /// Number of distinct solo miners.
+    pub miners: u32,
+    /// Pareto exponent for rank weights (0 = uniform).
+    pub alpha: f64,
+    /// Aggregate tail share schedule.
+    pub schedule: Vec<SharePoint>,
+}
+
+/// The sampling population, refreshed daily.
+#[derive(Clone, Debug)]
+pub struct MinerPopulation {
+    pools: Vec<PoolState>,
+    tail: TailState,
+    tail_cum: Vec<f64>,
+    // Daily state:
+    pool_cum: Vec<f64>,
+    pool_total: f64,
+    tail_weight: f64,
+}
+
+impl MinerPopulation {
+    /// Build a population. Panics if there are neither pools nor tail
+    /// miners.
+    pub fn new(pools: Vec<PoolState>, tail: TailState) -> MinerPopulation {
+        assert!(
+            !pools.is_empty() || tail.miners > 0,
+            "population needs at least one miner"
+        );
+        let tail_cum = cumulative(&pareto_rank_weights(tail.miners as usize, tail.alpha));
+        let mut p = MinerPopulation {
+            pools,
+            tail,
+            tail_cum,
+            pool_cum: Vec::new(),
+            pool_total: 0.0,
+            tail_weight: 0.0,
+        };
+        p.refresh(0.0, &HashMap::new());
+        p
+    }
+
+    /// Number of pools.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Access a pool's static identity.
+    pub fn pool(&self, idx: usize) -> &PoolState {
+        &self.pools[idx]
+    }
+
+    /// Find a pool index by name.
+    pub fn pool_index(&self, name: &str) -> Option<usize> {
+        self.pools.iter().position(|p| p.name == name)
+    }
+
+    /// Advance drift state one day. Call once per simulated day before
+    /// [`Self::refresh`].
+    pub fn step_drift(&mut self, rng: &mut SimRng) {
+        for pool in &mut self.pools {
+            pool.drift.step(rng);
+        }
+    }
+
+    /// Recompute sampling weights for `day`, applying event share
+    /// overrides (pool index → forced normalized share).
+    pub fn refresh(&mut self, day: f64, overrides: &HashMap<usize, f64>) {
+        let forced_total: f64 = overrides.values().sum();
+        let free_budget = (1.0 - forced_total).max(0.0);
+
+        // Raw (unnormalized) intended weights for non-overridden mass.
+        let mut raw: Vec<f64> = self
+            .pools
+            .iter()
+            .map(|p| (schedule_share(&p.schedule, day) * p.drift.factor).max(0.0))
+            .collect();
+        let raw_tail = schedule_share(&self.tail.schedule, day).max(0.0);
+        let raw_free: f64 = raw
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !overrides.contains_key(i))
+            .map(|(_, w)| *w)
+            .sum::<f64>()
+            + raw_tail;
+
+        let scale = if raw_free > 0.0 {
+            free_budget / raw_free
+        } else {
+            0.0
+        };
+
+        for (i, w) in raw.iter_mut().enumerate() {
+            *w = match overrides.get(&i) {
+                Some(&forced) => forced.max(0.0),
+                None => *w * scale,
+            };
+        }
+        self.tail_weight = if self.tail.miners > 0 {
+            raw_tail * scale
+        } else {
+            0.0
+        };
+        self.pool_cum = cumulative(&raw);
+        self.pool_total = self.pool_cum.last().copied().unwrap_or(0.0);
+    }
+
+    /// Current effective share of a pool (after overrides/normalization).
+    pub fn effective_pool_share(&self, idx: usize) -> f64 {
+        let total = self.pool_total + self.tail_weight;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let lo = if idx == 0 { 0.0 } else { self.pool_cum[idx - 1] };
+        (self.pool_cum[idx] - lo) / total
+    }
+
+    /// Current effective aggregate tail share.
+    pub fn effective_tail_share(&self) -> f64 {
+        let total = self.pool_total + self.tail_weight;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.tail_weight / total
+        }
+    }
+
+    /// Draw the producer of the next block.
+    pub fn sample(&self, rng: &mut SimRng) -> MinerRef {
+        let total = self.pool_total + self.tail_weight;
+        assert!(total > 0.0, "population has zero total weight");
+        let x = rng.unit() * total;
+        if x < self.pool_total && !self.pools.is_empty() {
+            // Find in pool cumulative.
+            let i = match self
+                .pool_cum
+                .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+            {
+                Ok(i) => (i + 1).min(self.pools.len() - 1),
+                Err(i) => i.min(self.pools.len() - 1),
+            };
+            MinerRef::Pool(i)
+        } else {
+            MinerRef::Tail(rng.pick_cumulative(&self.tail_cum) as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(name: &str, share: f64) -> PoolState {
+        PoolState {
+            name: name.to_string(),
+            tag: Some(format!("/{name}/")),
+            address_seed: name.len() as u64,
+            schedule: vec![SharePoint { day: 0.0, share }],
+            drift: DriftState::new(0.0, 0.0),
+        }
+    }
+
+    fn tail(miners: u32, share: f64) -> TailState {
+        TailState {
+            miners,
+            alpha: 0.8,
+            schedule: vec![SharePoint { day: 0.0, share }],
+        }
+    }
+
+    fn sample_shares(pop: &MinerPopulation, rng: &mut SimRng, n: usize) -> (Vec<f64>, f64) {
+        let mut pool_counts = vec![0u32; pop.pool_count()];
+        let mut tail_count = 0u32;
+        for _ in 0..n {
+            match pop.sample(rng) {
+                MinerRef::Pool(i) => pool_counts[i] += 1,
+                MinerRef::Tail(_) => tail_count += 1,
+            }
+        }
+        (
+            pool_counts.iter().map(|&c| c as f64 / n as f64).collect(),
+            tail_count as f64 / n as f64,
+        )
+    }
+
+    #[test]
+    fn sampling_matches_intended_shares() {
+        let pop = MinerPopulation::new(
+            vec![pool("A", 0.5), pool("B", 0.3)],
+            tail(100, 0.2),
+        );
+        let mut rng = SimRng::new(30);
+        let (shares, tail_share) = sample_shares(&pop, &mut rng, 200_000);
+        assert!((shares[0] - 0.5).abs() < 0.01, "A {}", shares[0]);
+        assert!((shares[1] - 0.3).abs() < 0.01, "B {}", shares[1]);
+        assert!((tail_share - 0.2).abs() < 0.01, "tail {tail_share}");
+    }
+
+    #[test]
+    fn shares_renormalize_when_not_summing_to_one() {
+        // Intent sums to 0.5: normalization doubles everything.
+        let pop = MinerPopulation::new(vec![pool("A", 0.3), pool("B", 0.1)], tail(10, 0.1));
+        assert!((pop.effective_pool_share(0) - 0.6).abs() < 1e-9);
+        assert!((pop.effective_pool_share(1) - 0.2).abs() < 1e-9);
+        assert!((pop.effective_tail_share() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn override_forces_share() {
+        let mut pop = MinerPopulation::new(
+            vec![pool("A", 0.4), pool("B", 0.4)],
+            tail(50, 0.2),
+        );
+        let mut forced = HashMap::new();
+        forced.insert(0usize, 0.55f64);
+        pop.refresh(0.0, &forced);
+        assert!((pop.effective_pool_share(0) - 0.55).abs() < 1e-9);
+        // Remaining 0.45 split 2:1 between B (0.4) and tail (0.2).
+        assert!((pop.effective_pool_share(1) - 0.30).abs() < 1e-9);
+        assert!((pop.effective_tail_share() - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_changes_take_effect_on_refresh() {
+        let mut p = pool("A", 0.8);
+        p.schedule = vec![
+            SharePoint { day: 0.0, share: 0.8 },
+            SharePoint { day: 100.0, share: 0.2 },
+        ];
+        let mut pop = MinerPopulation::new(vec![p, pool("B", 0.2)], tail(0, 0.0));
+        assert!((pop.effective_pool_share(0) - 0.8).abs() < 1e-9);
+        pop.refresh(100.0, &HashMap::new());
+        assert!((pop.effective_pool_share(0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_only_population() {
+        let pop = MinerPopulation::new(vec![], tail(500, 1.0));
+        let mut rng = SimRng::new(31);
+        for _ in 0..100 {
+            assert!(matches!(pop.sample(&mut rng), MinerRef::Tail(_)));
+        }
+    }
+
+    #[test]
+    fn pool_only_population() {
+        let pop = MinerPopulation::new(vec![pool("A", 1.0)], tail(0, 0.0));
+        let mut rng = SimRng::new(32);
+        for _ in 0..100 {
+            assert_eq!(pop.sample(&mut rng), MinerRef::Pool(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miner")]
+    fn empty_population_panics() {
+        MinerPopulation::new(vec![], tail(0, 0.0));
+    }
+
+    #[test]
+    fn tail_rank_weights_favour_low_ranks() {
+        let pop = MinerPopulation::new(vec![], tail(1000, 1.0));
+        let mut rng = SimRng::new(33);
+        let mut low = 0u32;
+        let mut high = 0u32;
+        for _ in 0..50_000 {
+            if let MinerRef::Tail(i) = pop.sample(&mut rng) {
+                if i < 10 {
+                    low += 1;
+                } else if i >= 500 {
+                    high += 1;
+                }
+            }
+        }
+        // First 10 ranks together outweigh the entire back half.
+        assert!(low > high, "low {low} high {high}");
+    }
+
+    #[test]
+    fn pool_index_lookup() {
+        let pop = MinerPopulation::new(vec![pool("A", 0.5), pool("B", 0.5)], tail(0, 0.0));
+        assert_eq!(pop.pool_index("B"), Some(1));
+        assert_eq!(pop.pool_index("C"), None);
+    }
+
+    #[test]
+    fn drift_changes_effective_shares() {
+        let mut a = pool("A", 0.5);
+        a.drift = DriftState::new(0.5, 0.0);
+        let mut pop = MinerPopulation::new(vec![a, pool("B", 0.5)], tail(0, 0.0));
+        let before = pop.effective_pool_share(0);
+        let mut rng = SimRng::new(34);
+        // Step drift until the factor moves materially.
+        for _ in 0..5 {
+            pop.step_drift(&mut rng);
+        }
+        pop.refresh(0.0, &HashMap::new());
+        let after = pop.effective_pool_share(0);
+        assert!((after - before).abs() > 1e-3, "drift had no effect");
+    }
+}

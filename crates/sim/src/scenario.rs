@@ -1,0 +1,398 @@
+//! Scenario configuration and the calibrated 2019 presets.
+//!
+//! A [`Scenario`] fully describes a simulated measurement year:
+//! population (pools + tail), arrival dynamics, events, and attribution
+//! mode. Scenarios serialize to JSON so experiments are reproducible
+//! artifacts.
+//!
+//! The presets encode the 2019 hashrate landscape the paper measured:
+//!
+//! * [`Scenario::bitcoin_2019`] — ~18 named pools with an early-year
+//!   flatter regime (more unknown/solo mining, the paper's "higher and
+//!   more fluctuating decentralization in the first 50 days") that
+//!   consolidates by day ~90; multi-coinbase anomaly blocks on day 13
+//!   (Jan 14, §II-C1d) and a handful of other early days; a 4-day
+//!   dominant-miner burst straddling the week-8/9 boundary around day 60
+//!   (the Fig. 13 cross-interval anomaly).
+//! * [`Scenario::ethereum_2019`] — the stable, more concentrated Ethereum
+//!   pool set (Ethermine + SparkPool ≈ half the network), no events —
+//!   the paper finds "no abnormal value observed during the year".
+
+use crate::events::EventConfig;
+use crate::hashrate::SharePoint;
+use blockdec_chain::{AttributionMode, ChainKind, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A pool in a scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Canonical name (also used for event targeting).
+    pub name: String,
+    /// Coinbase marker / extra_data the pool stamps on its blocks.
+    pub tag: Option<String>,
+    /// Known payout address (Ethereum pools); synthesized when `None`.
+    pub address: Option<String>,
+    /// Intended share schedule (piecewise linear over days).
+    pub schedule: Vec<SharePoint>,
+    /// Daily log-sigma of the luck drift.
+    pub drift_sigma: f64,
+    /// Daily mean-reversion of the luck drift.
+    pub drift_reversion: f64,
+}
+
+/// The solo-miner long tail of a scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TailConfig {
+    /// Number of distinct solo miners.
+    pub miners: u32,
+    /// Pareto exponent of the rank weights.
+    pub alpha: f64,
+    /// Aggregate tail share schedule.
+    pub schedule: Vec<SharePoint>,
+}
+
+/// A complete simulation scenario.
+///
+/// ```
+/// use blockdec_sim::Scenario;
+/// // Two deterministic days of calibrated Bitcoin 2019.
+/// let scenario = Scenario::bitcoin_2019().truncated(2);
+/// let stream = scenario.generate();
+/// assert!((250..330).contains(&stream.attributed.len()));
+/// assert!(stream.registry.get("F2Pool").is_some());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Which chain is being simulated.
+    pub chain: ChainKind,
+    /// RNG seed; same seed + config → identical stream.
+    pub seed: u64,
+    /// Scenario start (seconds since epoch; presets use 2019-01-01).
+    pub start_time: i64,
+    /// Length in days.
+    pub days: u32,
+    /// Named pools.
+    pub pools: Vec<PoolConfig>,
+    /// Solo-miner tail.
+    pub tail: TailConfig,
+    /// Scripted events.
+    pub events: Vec<EventConfig>,
+    /// Multiplicative hashrate growth per 365 days (1.0 = flat). Defined
+    /// per year so truncated scenarios keep the full-year dynamics.
+    pub hashrate_growth: f64,
+    /// Miner clock jitter on declared timestamps.
+    pub timestamp_jitter: bool,
+    /// How blocks are attributed downstream.
+    pub attribution: AttributionMode,
+    /// Hard cap on generated blocks (`None` = run the full `days`).
+    pub limit_blocks: Option<u64>,
+}
+
+fn knots(points: &[(f64, f64)]) -> Vec<SharePoint> {
+    points
+        .iter()
+        .map(|&(day, share)| SharePoint { day, share })
+        .collect()
+}
+
+/// A Bitcoin pool with an early-year share that consolidates to a
+/// late-year share between days 50 and 90.
+fn btc_pool(name: &str, tag: &str, early: f64, late: f64) -> PoolConfig {
+    PoolConfig {
+        name: name.to_string(),
+        tag: Some(tag.to_string()),
+        address: None,
+        schedule: knots(&[(0.0, early), (50.0, early), (90.0, late), (365.0, late)]),
+        drift_sigma: 0.04,
+        drift_reversion: 0.15,
+    }
+}
+
+/// An Ethereum pool with a constant intended share and a known address.
+fn eth_pool(name: &str, tag: &str, address: &str, share: f64) -> PoolConfig {
+    PoolConfig {
+        name: name.to_string(),
+        tag: Some(tag.to_string()),
+        address: Some(address.to_string()),
+        schedule: knots(&[(0.0, share)]),
+        drift_sigma: 0.05,
+        drift_reversion: 0.20,
+    }
+}
+
+impl Scenario {
+    /// The calibrated Bitcoin 2019 preset. See module docs.
+    pub fn bitcoin_2019() -> Scenario {
+        let pools = vec![
+            btc_pool("BTC.com", "/BTC.COM/", 0.130, 0.175),
+            btc_pool("AntPool", "/AntPool/", 0.100, 0.130),
+            btc_pool("F2Pool", "/F2Pool/", 0.095, 0.120),
+            btc_pool("Poolin", "/poolin.com/", 0.070, 0.115),
+            btc_pool("SlushPool", "/slush/", 0.080, 0.075),
+            btc_pool("ViaBTC", "/ViaBTC/", 0.065, 0.060),
+            btc_pool("BTC.TOP", "/BTC.TOP/", 0.060, 0.055),
+            btc_pool("Huobi.pool", "/Huobi/", 0.045, 0.045),
+            btc_pool("1THash", "/1THash", 0.030, 0.025),
+            btc_pool("BitFury", "/Bitfury/", 0.025, 0.030),
+            btc_pool("Bitcoin.com", "/pool.bitcoin.com/", 0.025, 0.020),
+            btc_pool("BitClub", "/BitClub Network/", 0.020, 0.015),
+            btc_pool("Bixin", "/Bixin/", 0.020, 0.015),
+            btc_pool("SpiderPool", "/SpiderPool/", 0.015, 0.010),
+            btc_pool("NovaBlock", "/NovaBlock", 0.015, 0.010),
+            btc_pool("OKExPool", "/okpool.top/", 0.015, 0.010),
+            btc_pool("58COIN", "/58coin", 0.010, 0.005),
+            btc_pool("WAYI.CN", "/WAYI.CN/", 0.010, 0.005),
+        ];
+        // The paper's day-14 (Jan 14) anomaly: two blocks with >80 and >90
+        // coinbase addresses; plus a few smaller multi-payout blocks on
+        // other early days, matching the "first 50 days" turbulence.
+        let events = vec![
+            EventConfig::MultiCoinbase { day: 13, block_of_day: 42, addresses: 85 },
+            EventConfig::MultiCoinbase { day: 13, block_of_day: 101, addresses: 93 },
+            EventConfig::MultiCoinbase { day: 5, block_of_day: 60, addresses: 34 },
+            EventConfig::MultiCoinbase { day: 9, block_of_day: 88, addresses: 46 },
+            EventConfig::MultiCoinbase { day: 22, block_of_day: 17, addresses: 52 },
+            EventConfig::MultiCoinbase { day: 30, block_of_day: 70, addresses: 38 },
+            EventConfig::MultiCoinbase { day: 38, block_of_day: 55, addresses: 61 },
+            EventConfig::MultiCoinbase { day: 45, block_of_day: 12, addresses: 29 },
+            // Fig. 13 cross-interval anomaly: a 4-day dominance burst over
+            // days 61..65 — two days in week 8 (days 56-62) and two in
+            // week 9, so each fixed weekly window dilutes it while a
+            // sliding weekly window aligned on it sees all four days.
+            EventConfig::DominantShare {
+                pool: "BTC.com".into(),
+                start_day: 61,
+                end_day: 65,
+                share: 0.53,
+            },
+        ];
+        Scenario {
+            name: "bitcoin-2019".into(),
+            chain: ChainKind::Bitcoin,
+            seed: 2019_0101,
+            start_time: Timestamp::year_2019_start().secs(),
+            days: 365,
+            pools,
+            tail: TailConfig {
+                miners: 160,
+                alpha: 1.30,
+                schedule: knots(&[(0.0, 0.12), (50.0, 0.12), (90.0, 0.05), (365.0, 0.05)]),
+            },
+            events,
+            hashrate_growth: 2.2,
+            timestamp_jitter: true,
+            attribution: AttributionMode::PerAddress,
+            limit_blocks: None,
+        }
+    }
+
+    /// The calibrated Ethereum 2019 preset. See module docs.
+    pub fn ethereum_2019() -> Scenario {
+        let pools = vec![
+            eth_pool("Ethermine", "ethermine-eu1", "0xea674fdde714fd979de3edf0f56aa9716b898ec8", 0.270),
+            eth_pool("SparkPool", "sparkpool-eth-cn-hz2", "0x5a0b54d5dc17e0aadc383d2db43b0a0d3e029c4c", 0.225),
+            eth_pool("F2Pool", "f2pool-eth", "0x829bd824b016326a401d083b33d092293333a830", 0.125),
+            eth_pool("Nanopool", "nanopool.org", "0x52bc44d5378309ee2abf1539bf71de1b7d7be3b5", 0.090),
+            eth_pool("MiningPoolHub", "miningpoolhub1", "0xb2930b35844a230f00e51431acae96fe543a0347", 0.060),
+            eth_pool("zhizhu.top", "zhizhu2.0", "0x04668ec2f57cc15c381b461b9fedab5d451c8f7f", 0.050),
+            eth_pool("Hiveon", "hiveon-pool", "0x1ad91ee08f21be3de0ba2ba6918e714da6b45836", 0.035),
+            eth_pool("DwarfPool", "dwarfpool1", "0x2a65aca4d5fc5b5c859090a6c34d164135398226", 0.030),
+            eth_pool("firepool", "firepool.com", "0x35f61dfb08ada13eba64bf156b80df3d5b3a738d", 0.020),
+            eth_pool("UUPool", "uupool.cn", "0xd224ca0c819e8e97ba0136b3b95ceff503b79f53", 0.020),
+        ];
+        Scenario {
+            name: "ethereum-2019".into(),
+            chain: ChainKind::Ethereum,
+            seed: 2019_0102,
+            start_time: Timestamp::year_2019_start().secs(),
+            days: 365,
+            pools,
+            tail: TailConfig {
+                miners: 300,
+                alpha: 1.20,
+                schedule: knots(&[(0.0, 0.085)]),
+            },
+            events: Vec::new(),
+            hashrate_growth: 1.45,
+            timestamp_jitter: true,
+            attribution: AttributionMode::PerAddress,
+            limit_blocks: None,
+        }
+    }
+
+    /// Shorten the scenario (for tests and quick runs): keeps the first
+    /// `days` days of every schedule and drops events outside the range.
+    pub fn truncated(mut self, days: u32) -> Scenario {
+        self.days = days;
+        self.events.retain(|e| match e {
+            EventConfig::MultiCoinbase { day, .. } => *day < days,
+            EventConfig::DominantShare { start_day, .. } => *start_day < days,
+        });
+        self
+    }
+
+    /// Replace the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// The chain's parameter spec.
+    pub fn spec(&self) -> &'static blockdec_chain::ChainSpec {
+        self.chain.spec()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Scenario, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashrate::schedule_share;
+
+    #[test]
+    fn bitcoin_preset_shares_are_sane() {
+        let s = Scenario::bitcoin_2019();
+        assert_eq!(s.chain, ChainKind::Bitcoin);
+        // Late-year pool + tail intent sums near 1.
+        let pools_late: f64 = s
+            .pools
+            .iter()
+            .map(|p| schedule_share(&p.schedule, 200.0))
+            .sum();
+        let tail_late = schedule_share(&s.tail.schedule, 200.0);
+        // Shares are renormalized by the population, so intent only has
+        // to be near 1.
+        assert!((pools_late + tail_late - 1.0).abs() < 0.06, "{}", pools_late + tail_late);
+        // Early-year too.
+        let pools_early: f64 = s
+            .pools
+            .iter()
+            .map(|p| schedule_share(&p.schedule, 10.0))
+            .sum();
+        let tail_early = schedule_share(&s.tail.schedule, 10.0);
+        assert!((pools_early + tail_early - 1.0).abs() < 0.06);
+        // Early year is flatter: the tail holds materially more.
+        assert!(tail_early > tail_late + 0.05);
+        // Late-year top-4 just clears 51% → the paper's stable Nakamoto 4.
+        let mut late: Vec<f64> = s
+            .pools
+            .iter()
+            .map(|p| schedule_share(&p.schedule, 200.0))
+            .collect();
+        late.sort_by(|a, b| b.total_cmp(a));
+        let top4: f64 = late[..4].iter().sum();
+        assert!(top4 >= 0.51, "top4 {top4}");
+        assert!(late[..3].iter().sum::<f64>() < 0.51);
+    }
+
+    #[test]
+    fn ethereum_preset_shares_are_sane() {
+        let s = Scenario::ethereum_2019();
+        let pools: f64 = s
+            .pools
+            .iter()
+            .map(|p| schedule_share(&p.schedule, 100.0))
+            .sum();
+        let tail = schedule_share(&s.tail.schedule, 100.0);
+        assert!((pools + tail - 1.0).abs() < 0.02);
+        // Top-2 just under 51%, top-3 over → Nakamoto oscillates 2–3.
+        let mut shares: Vec<f64> = s
+            .pools
+            .iter()
+            .map(|p| schedule_share(&p.schedule, 100.0))
+            .collect();
+        shares.sort_by(|a, b| b.total_cmp(a));
+        let top2: f64 = shares[..2].iter().sum();
+        let top3: f64 = shares[..3].iter().sum();
+        assert!(top2 < 0.51 && top2 > 0.44, "top2 {top2}");
+        assert!(top3 >= 0.51, "top3 {top3}");
+        // No scripted anomalies on Ethereum (§II-C2d).
+        assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn bitcoin_preset_contains_day14_anomaly() {
+        let s = Scenario::bitcoin_2019();
+        let day13: Vec<_> = s
+            .events
+            .iter()
+            .filter(|e| matches!(e, EventConfig::MultiCoinbase { day: 13, .. }))
+            .collect();
+        assert_eq!(day13.len(), 2);
+        let big = s.events.iter().any(
+            |e| matches!(e, EventConfig::MultiCoinbase { addresses, .. } if *addresses > 90),
+        );
+        assert!(big, "needs a >90-address block like no. 558,545");
+    }
+
+    #[test]
+    fn truncation_drops_out_of_range_events() {
+        let s = Scenario::bitcoin_2019().truncated(20);
+        assert_eq!(s.days, 20);
+        for e in &s.events {
+            match e {
+                EventConfig::MultiCoinbase { day, .. } => assert!(*day < 20),
+                EventConfig::DominantShare { start_day, .. } => assert!(*start_day < 20),
+            }
+        }
+        // Day-13 events survive a 20-day truncation.
+        assert!(!s.events.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        for s in [Scenario::bitcoin_2019(), Scenario::ethereum_2019()] {
+            let json = s.to_json();
+            let back = Scenario::from_json(&json).unwrap();
+            assert_eq!(s, back);
+        }
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let s = Scenario::ethereum_2019().with_seed(99);
+        assert_eq!(s.seed, 99);
+        assert_eq!(s.spec().kind, ChainKind::Ethereum);
+    }
+
+    #[test]
+    fn eth_pool_addresses_match_builtin_tag_db() {
+        // Every preset Ethereum pool address must be recognized by the
+        // built-in attribution table — that is how blocks get attributed.
+        let db = blockdec_chain::pooltags::PoolTagDb::builtin();
+        for p in Scenario::ethereum_2019().pools {
+            let addr = p.address.expect("eth pools have known addresses");
+            assert_eq!(
+                db.match_address(ChainKind::Ethereum, &addr),
+                Some(p.name.as_str()),
+                "address {addr} must map to {}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn btc_pool_tags_match_builtin_tag_db() {
+        let db = blockdec_chain::pooltags::PoolTagDb::builtin();
+        for p in Scenario::bitcoin_2019().pools {
+            let tag = p.tag.expect("btc pools have tags");
+            assert_eq!(
+                db.match_tag(ChainKind::Bitcoin, &tag),
+                Some(p.name.as_str()),
+                "tag {tag} must map to {}",
+                p.name
+            );
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the simulator: determinism, population
+//! arithmetic under arbitrary share tables, schedule interpolation, and
+//! generated-chain invariants for arbitrary (small) scenarios.
+
+use blockdec_chain::validate::{validate_chain, ValidationConfig};
+use blockdec_chain::{AttributionMode, ChainKind, Timestamp};
+use blockdec_sim::events::EventConfig;
+use blockdec_sim::hashrate::{schedule_share, SharePoint};
+use blockdec_sim::population::{MinerPopulation, PoolState, TailState};
+use blockdec_sim::rng::SimRng;
+use blockdec_sim::scenario::{PoolConfig, Scenario, TailConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn pool_state(name: String, share: f64) -> PoolState {
+    PoolState {
+        name,
+        tag: None,
+        address_seed: 1,
+        schedule: vec![SharePoint { day: 0.0, share }],
+        drift: blockdec_sim::hashrate::DriftState::new(0.0, 0.0),
+    }
+}
+
+/// Arbitrary small scenarios: 2–6 pools with arbitrary positive shares,
+/// a tail, and maybe an event.
+fn scenarios() -> impl Strategy<Value = Scenario> {
+    (
+        prop::collection::vec(0.01f64..0.4, 2..6),
+        1u32..60,
+        0.0f64..0.3,
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(shares, tail_miners_x10, tail_share, seed, with_event)| {
+            let pools: Vec<PoolConfig> = shares
+                .iter()
+                .enumerate()
+                .map(|(i, &share)| PoolConfig {
+                    name: format!("pool-{i}"),
+                    tag: Some(format!("/pool-{i}/")),
+                    address: None,
+                    schedule: vec![SharePoint { day: 0.0, share }],
+                    drift_sigma: 0.05,
+                    drift_reversion: 0.2,
+                })
+                .collect();
+            let events = if with_event {
+                vec![EventConfig::MultiCoinbase {
+                    day: 1,
+                    block_of_day: 10,
+                    addresses: 25,
+                }]
+            } else {
+                Vec::new()
+            };
+            Scenario {
+                name: "prop".into(),
+                chain: ChainKind::Bitcoin,
+                seed,
+                start_time: Timestamp::year_2019_start().secs(),
+                days: 3,
+                pools,
+                tail: TailConfig {
+                    miners: tail_miners_x10 * 10,
+                    alpha: 0.9,
+                    schedule: vec![SharePoint {
+                        day: 0.0,
+                        share: tail_share,
+                    }],
+                },
+                events,
+                hashrate_growth: 1.5,
+                timestamp_jitter: true,
+                attribution: AttributionMode::PerAddress,
+                limit_blocks: Some(600),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_is_deterministic(scenario in scenarios()) {
+        let a = scenario.generate_blocks();
+        let b = scenario.generate_blocks();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_chains_always_validate(scenario in scenarios()) {
+        let blocks = scenario.generate_blocks();
+        prop_assume!(!blocks.is_empty());
+        let report = validate_chain(&blocks, &ValidationConfig::default())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(report.blocks as usize, blocks.len());
+        prop_assert_eq!(report.first_height, ChainKind::Bitcoin.spec().first_block_2019);
+    }
+
+    #[test]
+    fn attribution_covers_every_block(scenario in scenarios()) {
+        let stream = scenario.generate();
+        let blocks = scenario.generate_blocks();
+        prop_assert_eq!(stream.attributed.len(), blocks.len());
+        for (ab, b) in stream.attributed.iter().zip(&blocks) {
+            prop_assert_eq!(ab.height, b.height);
+            prop_assert!(!ab.credits.is_empty());
+            // Per-address attribution: one credit per payout address for
+            // untagged blocks, exactly one for pool-tagged blocks.
+            if b.coinbase.tag.is_some() {
+                prop_assert_eq!(ab.credits.len(), 1);
+            } else {
+                prop_assert_eq!(ab.credits.len(), b.coinbase.payout_addresses.len());
+            }
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_any_scenario(scenario in scenarios()) {
+        let json = scenario.to_json();
+        let back = Scenario::from_json(&json).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(back, scenario);
+    }
+}
+
+proptest! {
+    #[test]
+    fn schedule_share_is_bounded_and_continuous(
+        knots in prop::collection::vec((0.0f64..365.0, 0.0f64..1.0), 1..6),
+        day in -10.0f64..400.0,
+    ) {
+        let mut sorted = knots.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let schedule: Vec<SharePoint> = sorted
+            .iter()
+            .map(|&(day, share)| SharePoint { day, share })
+            .collect();
+        let v = schedule_share(&schedule, day);
+        let lo = sorted.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+        let hi = sorted.iter().map(|&(_, s)| s).fold(0.0, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+        // Continuity: nearby days give nearby shares.
+        let v2 = schedule_share(&schedule, day + 1e-6);
+        prop_assert!((v - v2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn population_shares_always_normalize(
+        shares in prop::collection::vec(0.001f64..1.0, 1..8),
+        tail_share in 0.0f64..0.5,
+        forced in prop::option::of((0usize..8, 0.05f64..0.6)),
+    ) {
+        let pools: Vec<PoolState> = shares
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| pool_state(format!("p{i}"), s))
+            .collect();
+        let n = pools.len();
+        let mut pop = MinerPopulation::new(
+            pools,
+            TailState {
+                miners: 50,
+                alpha: 1.0,
+                schedule: vec![SharePoint { day: 0.0, share: tail_share }],
+            },
+        );
+        let mut overrides = HashMap::new();
+        if let Some((idx, share)) = forced {
+            if idx < n {
+                overrides.insert(idx, share);
+            }
+        }
+        pop.refresh(0.0, &overrides);
+        let total: f64 = (0..n).map(|i| pop.effective_pool_share(i)).sum::<f64>()
+            + pop.effective_tail_share();
+        prop_assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+        // Forced share is honoured exactly.
+        if let Some((idx, share)) = forced {
+            if idx < n {
+                prop_assert!((pop.effective_pool_share(idx) - share).abs() < 1e-9);
+            }
+        }
+        // Sampling never panics and returns valid refs.
+        let mut rng = SimRng::new(1);
+        for _ in 0..50 {
+            let _ = pop.sample(&mut rng);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! LRU cache of decoded segments.
+//!
+//! Scans repeatedly touch the same recent segments (sliding windows
+//! overlap by construction), so a small LRU of decoded row vectors avoids
+//! re-reading and re-decoding files. Thread-safe via `parking_lot::Mutex`;
+//! entries are `Arc`-shared so a hit never copies rows.
+
+use crate::row::RowRecord;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared decoded segment.
+pub type CachedSegment = Arc<Vec<RowRecord>>;
+
+struct Inner {
+    map: HashMap<String, (u64, CachedSegment)>,
+    clock: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// LRU cache keyed by segment file name.
+pub struct SegmentCache {
+    inner: Mutex<Inner>,
+}
+
+impl SegmentCache {
+    /// Cache holding up to `capacity` decoded segments. Capacity 0
+    /// disables caching (every get misses).
+    pub fn new(capacity: usize) -> SegmentCache {
+        SegmentCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                capacity,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Look up a segment, loading and inserting on miss via `load`.
+    pub fn get_or_load<E>(
+        &self,
+        key: &str,
+        load: impl FnOnce() -> Result<Vec<RowRecord>, E>,
+    ) -> Result<CachedSegment, E> {
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some((stamp, seg)) = inner.map.get_mut(key) {
+                *stamp = clock;
+                let seg = Arc::clone(seg);
+                inner.hits += 1;
+                return Ok(seg);
+            }
+            inner.misses += 1;
+        }
+        // Load outside the lock: decoding can be slow.
+        let rows = Arc::new(load()?);
+        let mut inner = self.inner.lock();
+        if inner.capacity > 0 {
+            inner.clock += 1;
+            let clock = inner.clock;
+            inner.map.insert(key.to_string(), (clock, Arc::clone(&rows)));
+            while inner.map.len() > inner.capacity {
+                let oldest = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty over capacity");
+                inner.map.remove(&oldest);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Drop every entry (called when the store appends new segments).
+    pub fn invalidate(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of cached segments.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn rows(tag: u64) -> Vec<RowRecord> {
+        vec![RowRecord {
+            height: tag,
+            timestamp: 0,
+            producer: 0,
+            credit_millis: 1000,
+            tx_count: 0,
+            size_bytes: 0,
+            difficulty: 0,
+        }]
+    }
+
+    fn load(tag: u64, counter: &mut u32) -> Result<Vec<RowRecord>, Infallible> {
+        *counter += 1;
+        Ok(rows(tag))
+    }
+
+    #[test]
+    fn caches_hits() {
+        let cache = SegmentCache::new(4);
+        let mut loads = 0;
+        let a = cache.get_or_load("a", || load(1, &mut loads)).unwrap();
+        let b = cache.get_or_load("a", || load(1, &mut loads)).unwrap();
+        assert_eq!(loads, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = SegmentCache::new(2);
+        let mut loads = 0;
+        cache.get_or_load("a", || load(1, &mut loads)).unwrap();
+        cache.get_or_load("b", || load(2, &mut loads)).unwrap();
+        // Touch "a" so "b" is the LRU.
+        cache.get_or_load("a", || load(1, &mut loads)).unwrap();
+        cache.get_or_load("c", || load(3, &mut loads)).unwrap();
+        assert_eq!(cache.len(), 2);
+        // "a" still cached, "b" evicted.
+        cache.get_or_load("a", || load(1, &mut loads)).unwrap();
+        assert_eq!(loads, 3);
+        cache.get_or_load("b", || load(2, &mut loads)).unwrap();
+        assert_eq!(loads, 4);
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let cache = SegmentCache::new(0);
+        let mut loads = 0;
+        cache.get_or_load("a", || load(1, &mut loads)).unwrap();
+        cache.get_or_load("a", || load(1, &mut loads)).unwrap();
+        assert_eq!(loads, 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let cache = SegmentCache::new(4);
+        let mut loads = 0;
+        cache.get_or_load("a", || load(1, &mut loads)).unwrap();
+        cache.invalidate();
+        assert!(cache.is_empty());
+        cache.get_or_load("a", || load(1, &mut loads)).unwrap();
+        assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn load_errors_propagate_and_do_not_cache() {
+        let cache = SegmentCache::new(4);
+        let r: Result<_, &str> = cache.get_or_load("a", || Err("disk on fire"));
+        assert_eq!(r.unwrap_err(), "disk on fire");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(SegmentCache::new(8));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let key = format!("seg-{}", (t + i) % 12);
+                    let seg = cache
+                        .get_or_load::<Infallible>(&key, || Ok(rows((t + i) % 12)))
+                        .unwrap();
+                    assert_eq!(seg[0].height, (t + i) % 12);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

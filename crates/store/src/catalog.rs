@@ -1,0 +1,241 @@
+//! The segment catalog: `manifest.json`.
+//!
+//! The manifest is the store's commit point. Appends first write new
+//! segment files, then atomically replace the manifest; a crash before
+//! the rename leaves the previous consistent state visible. Loading
+//! validates that every referenced segment exists and that height ranges
+//! are ordered and non-overlapping.
+
+use crate::error::{Result, StoreError};
+use crate::zonemap::ZoneMap;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Metadata of one sealed segment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// File name relative to the store directory.
+    pub file: String,
+    /// Zone map of the segment.
+    pub zone: ZoneMap,
+}
+
+/// The store manifest.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version.
+    pub version: u16,
+    /// Sealed segments in height order.
+    pub segments: Vec<SegmentMeta>,
+    /// Monotonic counter used to name the next segment file.
+    pub next_segment_id: u64,
+}
+
+impl Manifest {
+    /// A fresh, empty manifest.
+    pub fn new() -> Manifest {
+        Manifest {
+            version: 1,
+            segments: Vec::new(),
+            next_segment_id: 0,
+        }
+    }
+
+    /// Total rows across sealed segments.
+    pub fn total_rows(&self) -> u64 {
+        self.segments.iter().map(|s| s.zone.rows).sum()
+    }
+
+    /// Validate internal ordering invariants and that every segment file
+    /// exists under `dir`.
+    pub fn validate(&self, dir: &Path) -> Result<()> {
+        if self.version != 1 {
+            return Err(StoreError::BadFormat {
+                what: "manifest".into(),
+                detail: format!("unsupported version {}", self.version),
+            });
+        }
+        for pair in self.segments.windows(2) {
+            if pair[1].zone.min_height < pair[0].zone.max_height {
+                return Err(StoreError::InconsistentCatalog(format!(
+                    "segments {} and {} overlap by height",
+                    pair[0].file, pair[1].file
+                )));
+            }
+        }
+        for seg in &self.segments {
+            let path = dir.join(&seg.file);
+            if !path.is_file() {
+                return Err(StoreError::InconsistentCatalog(format!(
+                    "segment file missing: {}",
+                    seg.file
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Save atomically to `dir/manifest.json`.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        let path = dir.join("manifest.json");
+        let tmp = dir.join("manifest.json.tmp");
+        let json = serde_json::to_vec_pretty(self).expect("manifest serializes");
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+            f.write_all(&json).map_err(|e| StoreError::io(&tmp, e))?;
+            f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| StoreError::io(&path, e))?;
+        Ok(())
+    }
+
+    /// Load and validate from `dir/manifest.json`.
+    pub fn load(dir: &Path) -> Result<Manifest> {
+        let path = dir.join("manifest.json");
+        let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+        let manifest: Manifest =
+            serde_json::from_slice(&bytes).map_err(|e| StoreError::BadFormat {
+                what: path.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        manifest.validate(dir)?;
+        Ok(manifest)
+    }
+}
+
+/// Conventional segment file name for an id.
+pub fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:08}.bds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone(min_h: u64, max_h: u64) -> ZoneMap {
+        ZoneMap {
+            min_height: min_h,
+            max_height: max_h,
+            min_time: 0,
+            max_time: 1,
+            rows: max_h - min_h + 1,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("blockdec-cat-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmp_dir("rt");
+        let mut m = Manifest::new();
+        fs::write(dir.join("seg-00000000.bds"), b"x").unwrap();
+        m.segments.push(SegmentMeta {
+            file: "seg-00000000.bds".into(),
+            zone: zone(100, 200),
+        });
+        m.next_segment_id = 1;
+        m.save(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap();
+        assert_eq!(back, m);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_segment_file_fails_validation() {
+        let dir = tmp_dir("missing");
+        let mut m = Manifest::new();
+        m.segments.push(SegmentMeta {
+            file: "seg-00000000.bds".into(),
+            zone: zone(1, 2),
+        });
+        m.save(&dir).unwrap();
+        let err = Manifest::load(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::InconsistentCatalog(_)), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overlapping_segments_fail_validation() {
+        let dir = tmp_dir("overlap");
+        fs::write(dir.join("a.bds"), b"x").unwrap();
+        fs::write(dir.join("b.bds"), b"x").unwrap();
+        let mut m = Manifest::new();
+        m.segments.push(SegmentMeta {
+            file: "a.bds".into(),
+            zone: zone(100, 200),
+        });
+        m.segments.push(SegmentMeta {
+            file: "b.bds".into(),
+            zone: zone(150, 300),
+        });
+        assert!(matches!(
+            m.validate(&dir),
+            Err(StoreError::InconsistentCatalog(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_boundary_height_is_allowed() {
+        // A multi-credit block can straddle a segment boundary: the next
+        // segment may start at the previous one's max height.
+        let dir = tmp_dir("boundary");
+        fs::write(dir.join("a.bds"), b"x").unwrap();
+        fs::write(dir.join("b.bds"), b"x").unwrap();
+        let mut m = Manifest::new();
+        m.segments.push(SegmentMeta {
+            file: "a.bds".into(),
+            zone: zone(100, 200),
+        });
+        m.segments.push(SegmentMeta {
+            file: "b.bds".into(),
+            zone: zone(200, 300),
+        });
+        assert!(m.validate(&dir).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tmp_write_does_not_affect_recovery() {
+        // A crash between writing manifest.json.tmp and the rename must
+        // leave the previous committed manifest untouched.
+        let dir = tmp_dir("torn");
+        let mut m = Manifest::new();
+        fs::write(dir.join("a.bds"), b"x").unwrap();
+        m.segments.push(SegmentMeta {
+            file: "a.bds".into(),
+            zone: zone(1, 10),
+        });
+        m.save(&dir).unwrap();
+        // Simulate the torn write of a newer manifest.
+        fs::write(dir.join("manifest.json.tmp"), b"{ half written garbag").unwrap();
+        let recovered = Manifest::load(&dir).unwrap();
+        assert_eq!(recovered, m);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_bad_format() {
+        let dir = tmp_dir("corrupt");
+        fs::write(dir.join("manifest.json"), b"{{{").unwrap();
+        assert!(matches!(
+            Manifest::load(&dir).unwrap_err(),
+            StoreError::BadFormat { .. }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_names_are_sortable() {
+        assert_eq!(segment_file_name(0), "seg-00000000.bds");
+        assert_eq!(segment_file_name(42), "seg-00000042.bds");
+        assert!(segment_file_name(9) < segment_file_name(10));
+    }
+}

@@ -1,0 +1,135 @@
+//! Producer dictionary persistence.
+//!
+//! The store's producer ids are indices into a name list saved as
+//! `dictionary.json`. Writes are atomic (temp + rename) and verified by a
+//! CRC stored alongside the names, so a torn write is detected rather
+//! than silently mis-attributing every block.
+
+use crate::checksum::crc32;
+use crate::error::{Result, StoreError};
+use blockdec_chain::ProducerRegistry;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+#[derive(Serialize, Deserialize)]
+struct DictFile {
+    version: u16,
+    crc32: u32,
+    names: Vec<String>,
+}
+
+fn names_crc(names: &[String]) -> u32 {
+    let mut joined = Vec::new();
+    for n in names {
+        joined.extend_from_slice(n.as_bytes());
+        joined.push(0);
+    }
+    crc32(&joined)
+}
+
+/// Save a registry to `path` atomically.
+pub fn save_dictionary(path: &Path, registry: &ProducerRegistry) -> Result<()> {
+    let names = registry.to_name_list();
+    let file = DictFile {
+        version: 1,
+        crc32: names_crc(&names),
+        names,
+    };
+    let json = serde_json::to_vec_pretty(&file).expect("dictionary serializes");
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        f.write_all(&json).map_err(|e| StoreError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
+    Ok(())
+}
+
+/// Load a registry from `path`, verifying integrity.
+pub fn load_dictionary(path: &Path) -> Result<ProducerRegistry> {
+    let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    let file: DictFile = serde_json::from_slice(&bytes).map_err(|e| StoreError::BadFormat {
+        what: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    if file.version != 1 {
+        return Err(StoreError::BadFormat {
+            what: path.display().to_string(),
+            detail: format!("unsupported dictionary version {}", file.version),
+        });
+    }
+    let actual = names_crc(&file.names);
+    if actual != file.crc32 {
+        return Err(StoreError::Corrupt {
+            what: path.display().to_string(),
+            detail: format!("dictionary crc mismatch: {actual:#010x} vs {:#010x}", file.crc32),
+        });
+    }
+    Ok(ProducerRegistry::from_name_list(&file.names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("blockdec-dict-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmp_dir("rt");
+        let path = dir.join("dictionary.json");
+        let mut reg = ProducerRegistry::new();
+        for n in ["F2Pool", "AntPool", "1A2b3C"] {
+            reg.intern(n);
+        }
+        save_dictionary(&path, &reg).unwrap();
+        let back = load_dictionary(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        for (id, name) in reg.iter() {
+            assert_eq!(back.get(name), Some(id));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_registry_roundtrip() {
+        let dir = tmp_dir("empty");
+        let path = dir.join("dictionary.json");
+        save_dictionary(&path, &ProducerRegistry::new()).unwrap();
+        assert!(load_dictionary(&path).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detects_tampering() {
+        let dir = tmp_dir("tamper");
+        let path = dir.join("dictionary.json");
+        let mut reg = ProducerRegistry::new();
+        reg.intern("F2Pool");
+        save_dictionary(&path, &reg).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("F2Pool", "FakePool")).unwrap();
+        let err = load_dictionary(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_json() {
+        let dir = tmp_dir("garbage");
+        let path = dir.join("dictionary.json");
+        fs::write(&path, b"not json at all").unwrap();
+        assert!(matches!(
+            load_dictionary(&path).unwrap_err(),
+            StoreError::BadFormat { .. }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

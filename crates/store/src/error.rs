@@ -1,0 +1,107 @@
+//! Store error type.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Errors from the block store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io {
+        /// Path involved, when known.
+        path: Option<PathBuf>,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// A page or file failed its CRC32 integrity check.
+    Corrupt {
+        /// What was being read.
+        what: String,
+        /// Details (expected/actual checksums, truncation, ...).
+        detail: String,
+    },
+    /// File exists but does not look like a store artifact (bad magic or
+    /// unsupported version).
+    BadFormat {
+        /// What was being read.
+        what: String,
+        /// Details.
+        detail: String,
+    },
+    /// The manifest references state that is inconsistent (missing
+    /// segment file, overlapping rows, dictionary shorter than the ids
+    /// used, ...).
+    InconsistentCatalog(String),
+    /// Caller error: appending rows that violate ordering, unknown
+    /// producer ids, and similar contract breaches.
+    InvalidAppend(String),
+}
+
+impl StoreError {
+    pub(crate) fn io(path: impl Into<PathBuf>, source: io::Error) -> StoreError {
+        StoreError::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => match path {
+                Some(p) => write!(f, "io error at {}: {source}", p.display()),
+                None => write!(f, "io error: {source}"),
+            },
+            StoreError::Corrupt { what, detail } => write!(f, "corrupt {what}: {detail}"),
+            StoreError::BadFormat { what, detail } => write!(f, "bad format in {what}: {detail}"),
+            StoreError::InconsistentCatalog(d) => write!(f, "inconsistent catalog: {d}"),
+            StoreError::InvalidAppend(d) => write!(f, "invalid append: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io {
+            path: None,
+            source: e,
+        }
+    }
+}
+
+/// Store result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = StoreError::io("/tmp/x", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("/tmp/x"));
+        let e = StoreError::Corrupt {
+            what: "page 3".into(),
+            detail: "crc mismatch".into(),
+        };
+        assert!(e.to_string().contains("page 3"));
+        assert!(e.to_string().contains("crc mismatch"));
+    }
+
+    #[test]
+    fn io_conversion_keeps_source() {
+        let e: StoreError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,42 @@
+//! # blockdec-store
+//!
+//! Embedded append-only columnar block store — the repository's stand-in
+//! for the hosted warehouse (Google BigQuery) the paper queried.
+//!
+//! Data model: one *attribution row* per block credit
+//! ([`row::RowRecord`]): `(height, timestamp, producer, credit,
+//! tx_count, size_bytes, difficulty)`. An ordinary block is a single row;
+//! a day-14-style multi-coinbase block explodes into one row per payout
+//! address — exactly the shape a `GROUP BY producer` wants.
+//!
+//! On disk a store directory holds:
+//!
+//! * numbered segment files (`seg-00000042.bds`) of up to 64Ki rows, each
+//!   column encoded (delta/zigzag + varint) into CRC32-checksummed pages;
+//! * `dictionary.json` — the producer-name dictionary (id = index);
+//! * `manifest.json` — the segment catalog with per-segment zone maps
+//!   (min/max height and timestamp), committed atomically via
+//!   write-to-temp + rename.
+//!
+//! Reads go through [`store::BlockStore::scan`], which prunes segments by
+//! zone map before touching their pages and streams decoded rows through
+//! an LRU segment cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod checksum;
+pub mod dictionary;
+pub mod encoding;
+pub mod error;
+pub mod page;
+pub mod row;
+pub mod segment;
+pub mod store;
+pub mod zonemap;
+
+pub use error::StoreError;
+pub use row::RowRecord;
+pub use store::{BlockStore, ScanPredicate};

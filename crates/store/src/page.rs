@@ -1,0 +1,130 @@
+//! On-disk page framing: `[codec u8][rows u32][len u32][payload][crc u32]`.
+//!
+//! The CRC32 covers the header fields *and* the payload, so a corrupted
+//! length or codec id is caught as reliably as corrupted data. All
+//! integers are little-endian.
+
+use crate::checksum::Crc32Hasher;
+use crate::encoding::Codec;
+use crate::error::{Result, StoreError};
+
+/// Fixed bytes before the payload.
+pub const PAGE_HEADER_LEN: usize = 1 + 4 + 4;
+/// Trailing checksum bytes.
+pub const PAGE_TRAILER_LEN: usize = 4;
+
+/// Append a framed page to `out`.
+pub fn write_page(out: &mut Vec<u8>, codec: Codec, rows: u32, payload: &[u8]) {
+    let start = out.len();
+    out.push(codec as u8);
+    out.extend_from_slice(&rows.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let mut h = Crc32Hasher::new();
+    h.update(&out[start..]);
+    out.extend_from_slice(&h.finalize().to_le_bytes());
+}
+
+/// Read one framed page from the front of `input`, advancing it.
+/// Returns `(codec, row_count, payload)`.
+pub fn read_page<'a>(input: &mut &'a [u8], what: &str) -> Result<(Codec, u32, &'a [u8])> {
+    let corrupt = |detail: String| StoreError::Corrupt {
+        what: what.to_string(),
+        detail,
+    };
+    if input.len() < PAGE_HEADER_LEN + PAGE_TRAILER_LEN {
+        return Err(corrupt(format!("page truncated: {} bytes", input.len())));
+    }
+    let codec = Codec::from_id(input[0])?;
+    let rows = u32::from_le_bytes(input[1..5].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(input[5..9].try_into().expect("4 bytes")) as usize;
+    let frame_len = PAGE_HEADER_LEN + len + PAGE_TRAILER_LEN;
+    if input.len() < frame_len {
+        return Err(corrupt(format!(
+            "payload truncated: need {frame_len}, have {}",
+            input.len()
+        )));
+    }
+    let payload = &input[PAGE_HEADER_LEN..PAGE_HEADER_LEN + len];
+    let stored_crc = u32::from_le_bytes(
+        input[PAGE_HEADER_LEN + len..frame_len]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    let mut h = Crc32Hasher::new();
+    h.update(&input[..PAGE_HEADER_LEN + len]);
+    let actual = h.finalize();
+    if actual != stored_crc {
+        return Err(corrupt(format!(
+            "crc mismatch: stored {stored_crc:#010x}, computed {actual:#010x}"
+        )));
+    }
+    *input = &input[frame_len..];
+    Ok((codec, rows, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_page(&mut buf, Codec::DeltaVarint, 3, &[1, 2, 3, 4, 5]);
+        write_page(&mut buf, Codec::PlainVarint, 1, &[9]);
+        let mut slice = buf.as_slice();
+        let (c, r, p) = read_page(&mut slice, "t").unwrap();
+        assert_eq!((c, r, p), (Codec::DeltaVarint, 3, &[1u8, 2, 3, 4, 5][..]));
+        let (c, r, p) = read_page(&mut slice, "t").unwrap();
+        assert_eq!((c, r, p), (Codec::PlainVarint, 1, &[9u8][..]));
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let mut buf = Vec::new();
+        write_page(&mut buf, Codec::PlainVarint, 0, &[]);
+        let mut slice = buf.as_slice();
+        let (_, rows, payload) = read_page(&mut slice, "t").unwrap();
+        assert_eq!(rows, 0);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn detects_payload_corruption() {
+        let mut buf = Vec::new();
+        write_page(&mut buf, Codec::PlainVarint, 2, &[10, 20, 30]);
+        buf[PAGE_HEADER_LEN + 1] ^= 0xFF;
+        let mut slice = buf.as_slice();
+        let err = read_page(&mut slice, "t").unwrap_err();
+        assert!(err.to_string().contains("crc mismatch"), "{err}");
+    }
+
+    #[test]
+    fn detects_header_corruption() {
+        let mut buf = Vec::new();
+        write_page(&mut buf, Codec::PlainVarint, 2, &[10, 20, 30]);
+        buf[1] ^= 0x01; // row count
+        let mut slice = buf.as_slice();
+        assert!(read_page(&mut slice, "t").is_err());
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let mut buf = Vec::new();
+        write_page(&mut buf, Codec::PlainVarint, 2, &[10, 20, 30]);
+        let mut slice = &buf[..buf.len() - 2];
+        assert!(read_page(&mut slice, "t").is_err());
+        let mut slice = &buf[..4];
+        assert!(read_page(&mut slice, "t").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_codec() {
+        let mut buf = Vec::new();
+        write_page(&mut buf, Codec::PlainVarint, 1, &[1]);
+        buf[0] = 77;
+        let mut slice = buf.as_slice();
+        assert!(read_page(&mut slice, "t").is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! The store's row model: one attribution row per block credit.
+
+use blockdec_chain::{AttributedBlock, Block, Credit, ProducerId, Timestamp};
+
+/// Credit denominator: weights are stored in thousandths of a block.
+pub const CREDIT_SCALE: u32 = 1000;
+
+/// One attribution row. An ordinary block is one row with
+/// `credit_millis == 1000`; a multi-coinbase block is one row per payout
+/// address (each with full credit under the paper's attribution), and a
+/// fractionally-attributed block is rows whose credits sum to ~1000.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowRecord {
+    /// Block height.
+    pub height: u64,
+    /// Block timestamp (seconds).
+    pub timestamp: i64,
+    /// Producer id in the *store's* dictionary.
+    pub producer: u32,
+    /// Credit in thousandths of a block.
+    pub credit_millis: u32,
+    /// Transactions in the block (0 when not tracked).
+    pub tx_count: u32,
+    /// Serialized block size (0 when not tracked).
+    pub size_bytes: u32,
+    /// Difficulty (0 when not tracked).
+    pub difficulty: u64,
+}
+
+impl RowRecord {
+    /// The credit as a float block weight.
+    pub fn credit(&self) -> f64 {
+        f64::from(self.credit_millis) / f64::from(CREDIT_SCALE)
+    }
+
+    /// Rows for an attributed block (producer ids taken verbatim — the
+    /// caller aligns dictionaries; see `BlockStore::append_attributed`).
+    pub fn from_attributed(block: &AttributedBlock) -> Vec<RowRecord> {
+        block
+            .credits
+            .iter()
+            .map(|c| RowRecord {
+                height: block.height,
+                timestamp: block.timestamp.secs(),
+                producer: c.producer.0,
+                credit_millis: weight_to_millis(c.weight),
+                tx_count: 0,
+                size_bytes: 0,
+                difficulty: 0,
+            })
+            .collect()
+    }
+
+    /// Rows for a full block plus its credits, carrying block metadata.
+    pub fn from_block(block: &Block, credits: &[Credit]) -> Vec<RowRecord> {
+        credits
+            .iter()
+            .map(|c| RowRecord {
+                height: block.height,
+                timestamp: block.timestamp.secs(),
+                producer: c.producer.0,
+                credit_millis: weight_to_millis(c.weight),
+                tx_count: block.tx_count,
+                size_bytes: block.size_bytes,
+                difficulty: block.difficulty,
+            })
+            .collect()
+    }
+
+    /// Reconstruct the attribution view of a run of rows sharing a
+    /// height. Rows must be non-empty and same-height.
+    pub fn to_attributed(rows: &[RowRecord]) -> AttributedBlock {
+        debug_assert!(!rows.is_empty());
+        debug_assert!(rows.windows(2).all(|w| w[0].height == w[1].height));
+        let first = rows[0];
+        AttributedBlock {
+            height: first.height,
+            timestamp: Timestamp(first.timestamp),
+            credits: rows
+                .iter()
+                .map(|r| Credit {
+                    producer: ProducerId(r.producer),
+                    weight: r.credit(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Convert a float weight to credit millis, saturating and rounding.
+pub fn weight_to_millis(weight: f64) -> u32 {
+    (weight * f64::from(CREDIT_SCALE)).round().clamp(0.0, f64::from(u32::MAX)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_conversion() {
+        assert_eq!(weight_to_millis(1.0), 1000);
+        assert_eq!(weight_to_millis(0.5), 500);
+        assert_eq!(weight_to_millis(1.0 / 3.0), 333);
+        assert_eq!(weight_to_millis(0.0), 0);
+        assert_eq!(weight_to_millis(-1.0), 0);
+    }
+
+    fn attributed(height: u64, credits: &[(u32, f64)]) -> AttributedBlock {
+        AttributedBlock {
+            height,
+            timestamp: Timestamp(1_546_300_800 + height as i64),
+            credits: credits
+                .iter()
+                .map(|&(p, w)| Credit {
+                    producer: ProducerId(p),
+                    weight: w,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn from_attributed_explodes_credits() {
+        let ab = attributed(10, &[(1, 1.0), (2, 1.0), (3, 1.0)]);
+        let rows = RowRecord::from_attributed(&ab);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.height, 10);
+            assert_eq!(r.credit_millis, 1000);
+        }
+        assert_eq!(rows[1].producer, 2);
+    }
+
+    #[test]
+    fn attributed_roundtrip() {
+        let ab = attributed(11, &[(5, 1.0), (9, 0.5)]);
+        let rows = RowRecord::from_attributed(&ab);
+        let back = RowRecord::to_attributed(&rows);
+        assert_eq!(back.height, ab.height);
+        assert_eq!(back.timestamp, ab.timestamp);
+        assert_eq!(back.credits.len(), 2);
+        assert_eq!(back.credits[0].producer, ProducerId(5));
+        assert!((back.credits[1].weight - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_block_carries_metadata() {
+        use blockdec_chain::{Address, ChainKind};
+        let block = Block::builder(ChainKind::Bitcoin, 99)
+            .timestamp(Timestamp(7))
+            .difficulty(1234)
+            .tx_count(2500)
+            .size_bytes(1_000_000)
+            .payout(Address::synthesize(ChainKind::Bitcoin, 1))
+            .build()
+            .unwrap();
+        let credits = [Credit {
+            producer: ProducerId(4),
+            weight: 1.0,
+        }];
+        let rows = RowRecord::from_block(&block, &credits);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tx_count, 2500);
+        assert_eq!(rows[0].size_bytes, 1_000_000);
+        assert_eq!(rows[0].difficulty, 1234);
+        assert_eq!(rows[0].producer, 4);
+    }
+}

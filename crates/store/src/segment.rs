@@ -1,0 +1,268 @@
+//! Segment encoding and file I/O.
+//!
+//! A segment file is `MAGIC "BDSG" | version u16 | row_count u32` followed
+//! by seven column pages (height, timestamp, producer, credit, tx_count,
+//! size_bytes, difficulty), each CRC-framed by [`crate::page`]. Sorted
+//! columns use delta encoding; id-like columns use plain varints.
+
+use crate::encoding::{
+    decode_column, decode_signed_column, encode_column, encode_signed_column, Codec,
+};
+use crate::error::{Result, StoreError};
+use crate::page::{read_page, write_page};
+use crate::row::RowRecord;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes of a segment file.
+pub const MAGIC: [u8; 4] = *b"BDSG";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Maximum rows per segment.
+pub const SEGMENT_ROWS: usize = 65_536;
+
+/// The column layout, in file order.
+const COLUMNS: [(&str, Codec); 7] = [
+    ("height", Codec::DeltaVarint),
+    ("timestamp", Codec::DeltaVarint),
+    ("producer", Codec::PlainVarint),
+    ("credit", Codec::PlainVarint),
+    ("tx_count", Codec::PlainVarint),
+    ("size_bytes", Codec::PlainVarint),
+    ("difficulty", Codec::DeltaVarint),
+];
+
+/// Encode rows into the segment byte format.
+pub fn encode_segment(rows: &[RowRecord]) -> Vec<u8> {
+    assert!(!rows.is_empty(), "cannot encode an empty segment");
+    assert!(rows.len() <= SEGMENT_ROWS, "segment over capacity");
+    let n = rows.len();
+    let mut out = Vec::with_capacity(n * 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+
+    let mut payload = Vec::with_capacity(n * 2);
+    for (name, codec) in COLUMNS {
+        payload.clear();
+        match name {
+            "height" => encode_column(codec, &collect(rows, |r| r.height), &mut payload),
+            "timestamp" => {
+                let v: Vec<i64> = rows.iter().map(|r| r.timestamp).collect();
+                encode_signed_column(codec, &v, &mut payload);
+            }
+            "producer" => encode_column(codec, &collect(rows, |r| u64::from(r.producer)), &mut payload),
+            "credit" => encode_column(
+                codec,
+                &collect(rows, |r| u64::from(r.credit_millis)),
+                &mut payload,
+            ),
+            "tx_count" => encode_column(codec, &collect(rows, |r| u64::from(r.tx_count)), &mut payload),
+            "size_bytes" => encode_column(
+                codec,
+                &collect(rows, |r| u64::from(r.size_bytes)),
+                &mut payload,
+            ),
+            "difficulty" => encode_column(codec, &collect(rows, |r| r.difficulty), &mut payload),
+            _ => unreachable!(),
+        }
+        write_page(&mut out, codec, n as u32, &payload);
+    }
+    out
+}
+
+fn collect(rows: &[RowRecord], f: impl Fn(&RowRecord) -> u64) -> Vec<u64> {
+    rows.iter().map(f).collect()
+}
+
+/// Decode a segment byte buffer back into rows.
+pub fn decode_segment(data: &[u8], what: &str) -> Result<Vec<RowRecord>> {
+    let bad = |detail: String| StoreError::BadFormat {
+        what: what.to_string(),
+        detail,
+    };
+    if data.len() < 10 {
+        return Err(bad(format!("file too short: {} bytes", data.len())));
+    }
+    if data[..4] != MAGIC {
+        return Err(bad("bad magic".to_string()));
+    }
+    let version = u16::from_le_bytes(data[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(bad(format!("unsupported version {version}")));
+    }
+    let n = u32::from_le_bytes(data[6..10].try_into().expect("4 bytes")) as usize;
+    if n == 0 || n > SEGMENT_ROWS {
+        return Err(bad(format!("row count {n} out of range")));
+    }
+
+    let mut cursor = &data[10..];
+    let mut cols_u64: Vec<Vec<u64>> = Vec::with_capacity(6);
+    let mut timestamps: Vec<i64> = Vec::new();
+    for (name, _) in COLUMNS {
+        let (codec, rows_in_page, payload) = read_page(&mut cursor, what)?;
+        if rows_in_page as usize != n {
+            return Err(StoreError::Corrupt {
+                what: what.to_string(),
+                detail: format!("column {name}: {rows_in_page} rows, expected {n}"),
+            });
+        }
+        if name == "timestamp" {
+            timestamps = decode_signed_column(codec, payload, n)?;
+        } else {
+            cols_u64.push(decode_column(codec, payload, n)?);
+        }
+    }
+    if !cursor.is_empty() {
+        return Err(StoreError::Corrupt {
+            what: what.to_string(),
+            detail: format!("{} trailing bytes after last page", cursor.len()),
+        });
+    }
+
+    let (heights, rest) = cols_u64.split_first().expect("7 columns");
+    let producers = &rest[0];
+    let credits = &rest[1];
+    let txs = &rest[2];
+    let sizes = &rest[3];
+    let difficulties = &rest[4];
+
+    let narrow = |v: u64, col: &str| -> Result<u32> {
+        u32::try_from(v).map_err(|_| StoreError::Corrupt {
+            what: what.to_string(),
+            detail: format!("column {col}: value {v} exceeds u32"),
+        })
+    };
+
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        rows.push(RowRecord {
+            height: heights[i],
+            timestamp: timestamps[i],
+            producer: narrow(producers[i], "producer")?,
+            credit_millis: narrow(credits[i], "credit")?,
+            tx_count: narrow(txs[i], "tx_count")?,
+            size_bytes: narrow(sizes[i], "size_bytes")?,
+            difficulty: difficulties[i],
+        });
+    }
+    Ok(rows)
+}
+
+/// Write a segment file (write to `.tmp`, fsync, rename).
+pub fn write_segment_file(path: &Path, rows: &[RowRecord]) -> Result<()> {
+    let bytes = encode_segment(rows);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        f.write_all(&bytes).map_err(|e| StoreError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
+    Ok(())
+}
+
+/// Read and decode a segment file.
+pub fn read_segment_file(path: &Path) -> Result<Vec<RowRecord>> {
+    let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    decode_segment(&bytes, &path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize) -> Vec<RowRecord> {
+        (0..n)
+            .map(|i| RowRecord {
+                height: 556_459 + (i / 2) as u64, // some multi-credit heights
+                timestamp: 1_546_300_800 + (i as i64) * 300,
+                producer: (i % 23) as u32,
+                credit_millis: if i % 7 == 0 { 500 } else { 1000 },
+                tx_count: 2_000 + (i % 100) as u32,
+                size_bytes: 900_000 + (i % 1000) as u32,
+                difficulty: 5_000_000_000_000 + (i as u64) * 17,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_small_and_large() {
+        for n in [1usize, 2, 100, 4096] {
+            let r = rows(n);
+            let encoded = encode_segment(&r);
+            let decoded = decode_segment(&encoded, "test").unwrap();
+            assert_eq!(decoded, r, "n={n}");
+        }
+    }
+
+    #[test]
+    fn compression_is_effective() {
+        let r = rows(4096);
+        let encoded = encode_segment(&r);
+        let raw_size = r.len() * std::mem::size_of::<RowRecord>();
+        assert!(
+            encoded.len() * 2 < raw_size,
+            "encoded {} vs raw {raw_size}",
+            encoded.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let r = rows(4);
+        let mut encoded = encode_segment(&r);
+        encoded[0] = b'X';
+        assert!(decode_segment(&encoded, "t").is_err());
+        let mut encoded = encode_segment(&r);
+        encoded[4] = 99;
+        assert!(decode_segment(&encoded, "t").is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_column() {
+        let r = rows(64);
+        let mut encoded = encode_segment(&r);
+        // Flip a byte well inside the first column page payload.
+        let idx = 10 + 9 + 5;
+        encoded[idx] ^= 0xFF;
+        let err = decode_segment(&encoded, "t").unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_garbage() {
+        let r = rows(64);
+        let encoded = encode_segment(&r);
+        assert!(decode_segment(&encoded[..encoded.len() - 3], "t").is_err());
+        let mut padded = encoded.clone();
+        padded.extend_from_slice(&[0, 1, 2]);
+        assert!(decode_segment(&padded, "t").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_segment_panics() {
+        encode_segment(&[]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("blockdec-seg-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-00000000.bds");
+        let r = rows(1000);
+        write_segment_file(&path, &r).unwrap();
+        assert_eq!(read_segment_file(&path).unwrap(), r);
+        // No temp file left behind.
+        assert!(!path.with_extension("tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_segment_file(Path::new("/nonexistent/nope.bds")).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+    }
+}

@@ -1,0 +1,901 @@
+//! The public store API: [`BlockStore`].
+
+use crate::cache::SegmentCache;
+use crate::catalog::{segment_file_name, Manifest, SegmentMeta};
+use crate::dictionary::{load_dictionary, save_dictionary};
+use crate::error::{Result, StoreError};
+use crate::row::{weight_to_millis, RowRecord};
+use crate::segment::{read_segment_file, write_segment_file, SEGMENT_ROWS};
+use crate::zonemap::ZoneMap;
+use blockdec_chain::{AttributedBlock, ProducerRegistry};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Filter for [`BlockStore::scan`]. All bounds are inclusive; `None`
+/// means unconstrained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanPredicate {
+    /// Height range.
+    pub heights: Option<(u64, u64)>,
+    /// Timestamp range (seconds).
+    pub times: Option<(i64, i64)>,
+    /// Restrict to a single producer id.
+    pub producer: Option<u32>,
+}
+
+impl ScanPredicate {
+    /// Match everything.
+    pub fn all() -> ScanPredicate {
+        ScanPredicate::default()
+    }
+
+    /// Restrict to a height range (inclusive).
+    pub fn heights(mut self, lo: u64, hi: u64) -> Self {
+        self.heights = Some((lo, hi));
+        self
+    }
+
+    /// Restrict to a timestamp range (inclusive).
+    pub fn times(mut self, lo: i64, hi: i64) -> Self {
+        self.times = Some((lo, hi));
+        self
+    }
+
+    /// Restrict to one producer.
+    pub fn producer(mut self, id: u32) -> Self {
+        self.producer = Some(id);
+        self
+    }
+
+    /// Row-level test.
+    pub fn matches(&self, row: &RowRecord) -> bool {
+        if let Some((lo, hi)) = self.heights {
+            if row.height < lo || row.height > hi {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.times {
+            if row.timestamp < lo || row.timestamp > hi {
+                return false;
+            }
+        }
+        if let Some(p) = self.producer {
+            if row.producer != p {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Segment-level test against a zone map.
+    pub fn may_match(&self, zone: &ZoneMap) -> bool {
+        if let Some((lo, hi)) = self.heights {
+            if !zone.overlaps_heights(lo, hi) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.times {
+            if !zone.overlaps_times(lo, hi) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Pruning statistics of one scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Sealed segments in the catalog.
+    pub segments_total: usize,
+    /// Segments skipped by zone-map pruning.
+    pub segments_pruned: usize,
+    /// Rows returned.
+    pub rows_returned: u64,
+}
+
+/// An embedded columnar block store rooted at a directory.
+///
+/// ```
+/// use blockdec_store::{BlockStore, RowRecord, ScanPredicate};
+/// let dir = std::env::temp_dir().join(format!("blockdec-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let mut store = BlockStore::create(&dir).unwrap();
+/// let pool = store.intern_producer("F2Pool");
+/// store.append_rows(&[RowRecord {
+///     height: 556_459,
+///     timestamp: 1_546_300_800,
+///     producer: pool,
+///     credit_millis: 1_000,
+///     tx_count: 2_500,
+///     size_bytes: 1_100_000,
+///     difficulty: 5_618_595_848_853,
+/// }]).unwrap();
+/// store.flush().unwrap();
+/// let rows = store.scan(&ScanPredicate::all().heights(556_000, 557_000)).unwrap();
+/// assert_eq!(rows.len(), 1);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+pub struct BlockStore {
+    dir: PathBuf,
+    manifest: Manifest,
+    registry: ProducerRegistry,
+    cache: SegmentCache,
+    active: Vec<RowRecord>,
+    last_height: Option<u64>,
+}
+
+/// Default decoded-segment cache capacity.
+const DEFAULT_CACHE_SEGMENTS: usize = 8;
+
+impl BlockStore {
+    /// Create a new store in `dir` (created if missing; must not already
+    /// contain a manifest).
+    pub fn create(dir: impl AsRef<Path>) -> Result<BlockStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        if dir.join("manifest.json").exists() {
+            return Err(StoreError::InvalidAppend(format!(
+                "store already exists at {}",
+                dir.display()
+            )));
+        }
+        let store = BlockStore {
+            dir,
+            manifest: Manifest::new(),
+            registry: ProducerRegistry::new(),
+            cache: SegmentCache::new(DEFAULT_CACHE_SEGMENTS),
+            active: Vec::new(),
+            last_height: None,
+        };
+        store.manifest.save(&store.dir)?;
+        save_dictionary(&store.dir.join("dictionary.json"), &store.registry)?;
+        Ok(store)
+    }
+
+    /// Open an existing store.
+    pub fn open(dir: impl AsRef<Path>) -> Result<BlockStore> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = Manifest::load(&dir)?;
+        let registry = load_dictionary(&dir.join("dictionary.json"))?;
+        let last_height = manifest.segments.last().map(|s| s.zone.max_height);
+        Ok(BlockStore {
+            dir,
+            manifest,
+            registry,
+            cache: SegmentCache::new(DEFAULT_CACHE_SEGMENTS),
+            active: Vec::new(),
+            last_height,
+        })
+    }
+
+    /// Open if a manifest exists, otherwise create.
+    pub fn open_or_create(dir: impl AsRef<Path>) -> Result<BlockStore> {
+        if dir.as_ref().join("manifest.json").exists() {
+            BlockStore::open(dir)
+        } else {
+            BlockStore::create(dir)
+        }
+    }
+
+    /// The store's producer dictionary.
+    pub fn registry(&self) -> &ProducerRegistry {
+        &self.registry
+    }
+
+    /// Intern a producer name into the store's dictionary.
+    pub fn intern_producer(&mut self, name: &str) -> u32 {
+        self.registry.intern(name).0
+    }
+
+    /// Total rows (sealed + buffered).
+    pub fn row_count(&self) -> u64 {
+        self.manifest.total_rows() + self.active.len() as u64
+    }
+
+    /// Sealed segment count.
+    pub fn segment_count(&self) -> usize {
+        self.manifest.segments.len()
+    }
+
+    /// Rows buffered in memory, not yet sealed.
+    pub fn buffered_rows(&self) -> usize {
+        self.active.len()
+    }
+
+    fn check_order(&mut self, rows: &[RowRecord]) -> Result<()> {
+        let mut last = self.last_height;
+        for r in rows {
+            if let Some(prev) = last {
+                if r.height < prev {
+                    return Err(StoreError::InvalidAppend(format!(
+                        "height {} after {prev}: appends must be height-ordered",
+                        r.height
+                    )));
+                }
+            }
+            if usize::try_from(r.producer).expect("u32 fits usize") >= self.registry.len() {
+                return Err(StoreError::InvalidAppend(format!(
+                    "producer id {} not in dictionary (len {})",
+                    r.producer,
+                    self.registry.len()
+                )));
+            }
+            last = Some(r.height);
+        }
+        self.last_height = last;
+        Ok(())
+    }
+
+    /// Append raw rows (producer ids must already be interned via
+    /// [`Self::intern_producer`]). Heights must be non-decreasing across
+    /// the store's lifetime.
+    pub fn append_rows(&mut self, rows: &[RowRecord]) -> Result<()> {
+        self.check_order(rows)?;
+        self.active.extend_from_slice(rows);
+        // Seal full segments eagerly to bound memory.
+        while self.active.len() >= SEGMENT_ROWS {
+            let rest = self.active.split_off(SEGMENT_ROWS);
+            let chunk = std::mem::replace(&mut self.active, rest);
+            self.seal(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Append attributed blocks whose producer ids refer to
+    /// `src_registry`; names are re-interned into the store's own
+    /// dictionary.
+    pub fn append_attributed(
+        &mut self,
+        blocks: &[AttributedBlock],
+        src_registry: &ProducerRegistry,
+    ) -> Result<()> {
+        let mut id_map: Vec<Option<u32>> = vec![None; src_registry.len()];
+        let mut rows = Vec::with_capacity(blocks.len());
+        for b in blocks {
+            for c in &b.credits {
+                let src_idx = c.producer.index();
+                let mapped = match id_map.get(src_idx).copied().flatten() {
+                    Some(m) => m,
+                    None => {
+                        let name = src_registry.name(c.producer).ok_or_else(|| {
+                            StoreError::InvalidAppend(format!(
+                                "producer {} missing from source registry",
+                                c.producer
+                            ))
+                        })?;
+                        let m = self.registry.intern(name).0;
+                        if src_idx < id_map.len() {
+                            id_map[src_idx] = Some(m);
+                        }
+                        m
+                    }
+                };
+                rows.push(RowRecord {
+                    height: b.height,
+                    timestamp: b.timestamp.secs(),
+                    producer: mapped,
+                    credit_millis: weight_to_millis(c.weight),
+                    tx_count: 0,
+                    size_bytes: 0,
+                    difficulty: 0,
+                });
+            }
+        }
+        self.append_rows(&rows)
+    }
+
+    fn seal(&mut self, rows: Vec<RowRecord>) -> Result<()> {
+        debug_assert!(!rows.is_empty());
+        let id = self.manifest.next_segment_id;
+        let file = segment_file_name(id);
+        write_segment_file(&self.dir.join(&file), &rows)?;
+        self.manifest.segments.push(SegmentMeta {
+            file,
+            zone: ZoneMap::from_rows(&rows),
+        });
+        self.manifest.next_segment_id = id + 1;
+        // Commit: dictionary first (superset is harmless), then manifest.
+        save_dictionary(&self.dir.join("dictionary.json"), &self.registry)?;
+        self.manifest.save(&self.dir)?;
+        self.cache.invalidate();
+        Ok(())
+    }
+
+    /// Seal any buffered rows into a final (possibly short) segment and
+    /// commit. Idempotent when the buffer is empty.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.active.is_empty() {
+            // Still persist dictionary growth from interning.
+            save_dictionary(&self.dir.join("dictionary.json"), &self.registry)?;
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.active);
+        self.seal(rows)
+    }
+
+    /// Scan rows matching a predicate, in height order.
+    pub fn scan(&self, pred: &ScanPredicate) -> Result<Vec<RowRecord>> {
+        Ok(self.scan_with_stats(pred)?.0)
+    }
+
+    /// Scan with zone-map pruning statistics.
+    pub fn scan_with_stats(&self, pred: &ScanPredicate) -> Result<(Vec<RowRecord>, ScanStats)> {
+        let mut stats = ScanStats {
+            segments_total: self.manifest.segments.len(),
+            ..ScanStats::default()
+        };
+        let mut out = Vec::new();
+        for seg in &self.manifest.segments {
+            if !pred.may_match(&seg.zone) {
+                stats.segments_pruned += 1;
+                continue;
+            }
+            let path = self.dir.join(&seg.file);
+            let rows = self
+                .cache
+                .get_or_load(&seg.file, || read_segment_file(&path))?;
+            out.extend(rows.iter().filter(|r| pred.matches(r)).copied());
+        }
+        out.extend(self.active.iter().filter(|r| pred.matches(r)).copied());
+        stats.rows_returned = out.len() as u64;
+        Ok((out, stats))
+    }
+
+    /// Visit matching rows in height order without materializing the
+    /// result set — memory use is bounded by one decoded segment
+    /// regardless of how many rows match. Returns pruning statistics.
+    pub fn scan_for_each(
+        &self,
+        pred: &ScanPredicate,
+        mut visit: impl FnMut(&RowRecord),
+    ) -> Result<ScanStats> {
+        let mut stats = ScanStats {
+            segments_total: self.manifest.segments.len(),
+            ..ScanStats::default()
+        };
+        for seg in &self.manifest.segments {
+            if !pred.may_match(&seg.zone) {
+                stats.segments_pruned += 1;
+                continue;
+            }
+            let path = self.dir.join(&seg.file);
+            let rows = self
+                .cache
+                .get_or_load(&seg.file, || read_segment_file(&path))?;
+            for r in rows.iter().filter(|r| pred.matches(r)) {
+                visit(r);
+                stats.rows_returned += 1;
+            }
+        }
+        for r in self.active.iter().filter(|r| pred.matches(r)) {
+            visit(r);
+            stats.rows_returned += 1;
+        }
+        Ok(stats)
+    }
+
+    /// Scan and regroup rows into attribution view (one
+    /// [`AttributedBlock`] per height).
+    pub fn scan_attributed(&self, pred: &ScanPredicate) -> Result<Vec<AttributedBlock>> {
+        let rows = self.scan(pred)?;
+        let mut out: Vec<AttributedBlock> = Vec::new();
+        let mut i = 0;
+        while i < rows.len() {
+            let mut j = i + 1;
+            while j < rows.len() && rows[j].height == rows[i].height {
+                j += 1;
+            }
+            out.push(RowRecord::to_attributed(&rows[i..j]));
+            i = j;
+        }
+        Ok(out)
+    }
+
+    /// Cache `(hits, misses)` counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Verify every on-disk artifact: decode all segments (exercising
+    /// page CRCs), re-derive their zone maps against the manifest, and
+    /// check that all row producer ids resolve in the dictionary.
+    /// Collects problems instead of stopping at the first.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        for seg in &self.manifest.segments {
+            report.segments_checked += 1;
+            let path = self.dir.join(&seg.file);
+            match read_segment_file(&path) {
+                Ok(rows) => {
+                    report.rows_checked += rows.len() as u64;
+                    let zone = ZoneMap::from_rows(&rows);
+                    if zone != seg.zone {
+                        report.errors.push(format!(
+                            "{}: zone map drift (manifest {:?}, actual {:?})",
+                            seg.file, seg.zone, zone
+                        ));
+                    }
+                    if let Some(bad) = rows
+                        .iter()
+                        .find(|r| r.producer as usize >= self.registry.len())
+                    {
+                        report.errors.push(format!(
+                            "{}: producer id {} outside dictionary (len {})",
+                            seg.file,
+                            bad.producer,
+                            self.registry.len()
+                        ));
+                    }
+                }
+                Err(e) => report.errors.push(format!("{}: {e}", seg.file)),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Merge under-filled adjacent segments into full ones. Repeated
+    /// `flush` calls create short segments; compaction rewrites them into
+    /// [`SEGMENT_ROWS`]-sized chunks, commits the new manifest, then
+    /// removes the superseded files. No-op (returning `false`) when the
+    /// segment count would not shrink. Buffered rows are flushed first.
+    pub fn compact(&mut self) -> Result<bool> {
+        self.flush()?;
+        let total: u64 = self.manifest.total_rows();
+        let ideal = (total as usize).div_ceil(SEGMENT_ROWS);
+        if self.manifest.segments.len() <= ideal || total == 0 {
+            return Ok(false);
+        }
+        // Load everything in order (segment count is bounded by the
+        // pre-compaction state; datasets at our scale fit comfortably).
+        let mut all_rows: Vec<RowRecord> = Vec::with_capacity(total as usize);
+        let old_files: Vec<String> = self
+            .manifest
+            .segments
+            .iter()
+            .map(|s| s.file.clone())
+            .collect();
+        for file in &old_files {
+            all_rows.extend(read_segment_file(&self.dir.join(file))?.into_iter());
+        }
+
+        let mut new_segments = Vec::with_capacity(ideal);
+        let mut next_id = self.manifest.next_segment_id;
+        for chunk in all_rows.chunks(SEGMENT_ROWS) {
+            let file = segment_file_name(next_id);
+            write_segment_file(&self.dir.join(&file), chunk)?;
+            new_segments.push(SegmentMeta {
+                file,
+                zone: ZoneMap::from_rows(chunk),
+            });
+            next_id += 1;
+        }
+        self.manifest.segments = new_segments;
+        self.manifest.next_segment_id = next_id;
+        self.manifest.save(&self.dir)?;
+        self.cache.invalidate();
+        // Old files are garbage once the manifest commit lands; removal
+        // failures are harmless leftovers.
+        for file in old_files {
+            let _ = fs::remove_file(self.dir.join(file));
+        }
+        Ok(true)
+    }
+}
+
+/// Outcome of [`BlockStore::scrub`].
+#[derive(Clone, Debug, Default)]
+pub struct ScrubReport {
+    /// Segments read and decoded.
+    pub segments_checked: usize,
+    /// Rows decoded across all segments.
+    pub rows_checked: u64,
+    /// Problems found (empty = healthy).
+    pub errors: Vec<String>,
+}
+
+impl ScrubReport {
+    /// True when no problems were found.
+    pub fn is_healthy(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockdec_chain::{Credit, ProducerId, Timestamp};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "blockdec-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn row(store: &mut BlockStore, height: u64, producer: &str) -> RowRecord {
+        let id = store.intern_producer(producer);
+        RowRecord {
+            height,
+            timestamp: 1_546_300_800 + height as i64 * 600,
+            producer: id,
+            credit_millis: 1000,
+            tx_count: 10,
+            size_bytes: 100,
+            difficulty: 5,
+        }
+    }
+
+    #[test]
+    fn create_append_scan_roundtrip() {
+        let dir = tmp_dir("basic");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let rows: Vec<RowRecord> = (0..100).map(|h| row(&mut store, h, "F2Pool")).collect();
+        store.append_rows(&rows).unwrap();
+        store.flush().unwrap();
+        let got = store.scan(&ScanPredicate::all()).unwrap();
+        assert_eq!(got, rows);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_everything() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut store = BlockStore::create(&dir).unwrap();
+            let rows: Vec<RowRecord> = (0..50).map(|h| row(&mut store, h, "AntPool")).collect();
+            store.append_rows(&rows).unwrap();
+            store.flush().unwrap();
+        }
+        let store = BlockStore::open(&dir).unwrap();
+        assert_eq!(store.row_count(), 50);
+        assert_eq!(store.registry().get("AntPool"), Some(ProducerId(0)));
+        let got = store.scan(&ScanPredicate::all()).unwrap();
+        assert_eq!(got.len(), 50);
+        assert_eq!(got[49].height, 49);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = tmp_dir("exists");
+        BlockStore::create(&dir).unwrap();
+        assert!(BlockStore::create(&dir).is_err());
+        assert!(BlockStore::open_or_create(&dir).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_order_heights() {
+        let dir = tmp_dir("order");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let a = row(&mut store, 10, "X1");
+        let b = row(&mut store, 9, "X1");
+        store.append_rows(&[a]).unwrap();
+        let err = store.append_rows(&[b]).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidAppend(_)), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_producer_ids() {
+        let dir = tmp_dir("unknown-producer");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let r = RowRecord {
+            height: 1,
+            timestamp: 0,
+            producer: 7, // never interned
+            credit_millis: 1000,
+            tx_count: 0,
+            size_bytes: 0,
+            difficulty: 0,
+        };
+        assert!(store.append_rows(&[r]).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seals_full_segments_automatically() {
+        let dir = tmp_dir("autoseal");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let rows: Vec<RowRecord> = (0..(SEGMENT_ROWS as u64 + 10))
+            .map(|h| row(&mut store, h, "P"))
+            .collect();
+        store.append_rows(&rows).unwrap();
+        assert_eq!(store.segment_count(), 1);
+        assert_eq!(store.buffered_rows(), 10);
+        store.flush().unwrap();
+        assert_eq!(store.segment_count(), 2);
+        assert_eq!(store.buffered_rows(), 0);
+        assert_eq!(store.row_count(), SEGMENT_ROWS as u64 + 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_sees_unflushed_rows() {
+        let dir = tmp_dir("unflushed");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let r = row(&mut store, 5, "P");
+        store.append_rows(&[r]).unwrap();
+        assert_eq!(store.scan(&ScanPredicate::all()).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn predicates_filter_and_prune() {
+        let dir = tmp_dir("pred");
+        let mut store = BlockStore::create(&dir).unwrap();
+        // Two sealed segments with disjoint height ranges.
+        let first: Vec<RowRecord> = (0..100).map(|h| row(&mut store, h, "A")).collect();
+        store.append_rows(&first).unwrap();
+        store.flush().unwrap();
+        let second: Vec<RowRecord> = (100..200).map(|h| row(&mut store, h, "B")).collect();
+        store.append_rows(&second).unwrap();
+        store.flush().unwrap();
+
+        let (rows, stats) = store
+            .scan_with_stats(&ScanPredicate::all().heights(150, 160))
+            .unwrap();
+        assert_eq!(rows.len(), 11);
+        assert_eq!(stats.segments_total, 2);
+        assert_eq!(stats.segments_pruned, 1);
+
+        // Time predicate.
+        let t0 = 1_546_300_800 + 50 * 600;
+        let t1 = 1_546_300_800 + 59 * 600;
+        let rows = store.scan(&ScanPredicate::all().times(t0, t1)).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| r.timestamp >= t0 && r.timestamp <= t1));
+
+        // Producer predicate.
+        let b = store.registry().get("B").unwrap().0;
+        let rows = store.scan(&ScanPredicate::all().producer(b)).unwrap();
+        assert_eq!(rows.len(), 100);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_attributed_remaps_ids() {
+        let dir = tmp_dir("remap");
+        let mut store = BlockStore::create(&dir).unwrap();
+        // Pre-intern something so ids diverge from the source registry.
+        store.intern_producer("AlreadyHere");
+
+        let mut src = ProducerRegistry::new();
+        let f2 = src.intern("F2Pool");
+        let ant = src.intern("AntPool");
+        let blocks = vec![
+            AttributedBlock {
+                height: 1,
+                timestamp: Timestamp(100),
+                credits: vec![Credit { producer: f2, weight: 1.0 }],
+            },
+            AttributedBlock {
+                height: 2,
+                timestamp: Timestamp(200),
+                credits: vec![
+                    Credit { producer: ant, weight: 1.0 },
+                    Credit { producer: f2, weight: 1.0 },
+                ],
+            },
+        ];
+        store.append_attributed(&blocks, &src).unwrap();
+        store.flush().unwrap();
+
+        let rows = store.scan(&ScanPredicate::all()).unwrap();
+        assert_eq!(rows.len(), 3);
+        let f2_store = store.registry().get("F2Pool").unwrap().0;
+        assert_eq!(rows[0].producer, f2_store);
+        assert_ne!(f2_store, f2.0, "ids must be remapped, not copied");
+
+        let back = store.scan_attributed(&ScanPredicate::all()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].credits.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multi_credit_heights_survive_segment_boundaries() {
+        let dir = tmp_dir("boundary");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let p = store.intern_producer("P");
+        // Rows sharing one height right at the segment edge.
+        let mut rows = Vec::new();
+        for h in 0..(SEGMENT_ROWS as u64 - 1) {
+            rows.push(RowRecord {
+                height: h,
+                timestamp: h as i64,
+                producer: p,
+                credit_millis: 1000,
+                tx_count: 0,
+                size_bytes: 0,
+                difficulty: 0,
+            });
+        }
+        let edge = SEGMENT_ROWS as u64 - 1;
+        for _ in 0..5 {
+            rows.push(RowRecord {
+                height: edge,
+                timestamp: edge as i64,
+                producer: p,
+                credit_millis: 1000,
+                tx_count: 0,
+                size_bytes: 0,
+                difficulty: 0,
+            });
+        }
+        store.append_rows(&rows).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.segment_count(), 2);
+        let blocks = store.scan_attributed(&ScanPredicate::all()).unwrap();
+        let last = blocks.last().unwrap();
+        assert_eq!(last.height, edge);
+        assert_eq!(last.credits.len(), 5, "credits split across segments must regroup");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_segment_surfaces_on_scan() {
+        let dir = tmp_dir("corrupt");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let rows: Vec<RowRecord> = (0..10).map(|h| row(&mut store, h, "P")).collect();
+        store.append_rows(&rows).unwrap();
+        store.flush().unwrap();
+        // Flip a byte in the middle of the segment file.
+        let seg = dir.join(segment_file_name(0));
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&seg, bytes).unwrap();
+
+        let store = BlockStore::open(&dir).unwrap();
+        let err = store.scan(&ScanPredicate::all()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn visitor_scan_matches_materialized_scan() {
+        let dir = tmp_dir("visitor");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let rows: Vec<RowRecord> = (0..200).map(|h| row(&mut store, h, "P")).collect();
+        store.append_rows(&rows[..150]).unwrap();
+        store.flush().unwrap();
+        store.append_rows(&rows[150..]).unwrap(); // part stays buffered
+
+        let pred = ScanPredicate::all().heights(100, 180);
+        let materialized = store.scan(&pred).unwrap();
+        let mut visited = Vec::new();
+        let stats = store
+            .scan_for_each(&pred, |r| visited.push(*r))
+            .unwrap();
+        assert_eq!(visited, materialized);
+        assert_eq!(stats.rows_returned, materialized.len() as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_reports_healthy_store() {
+        let dir = tmp_dir("scrub-ok");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let rows: Vec<RowRecord> = (0..100).map(|h| row(&mut store, h, "P")).collect();
+        store.append_rows(&rows).unwrap();
+        store.flush().unwrap();
+        let report = store.scrub().unwrap();
+        assert!(report.is_healthy(), "{:?}", report.errors);
+        assert_eq!(report.segments_checked, 1);
+        assert_eq!(report.rows_checked, 100);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_catches_corruption_without_aborting() {
+        let dir = tmp_dir("scrub-bad");
+        let mut store = BlockStore::create(&dir).unwrap();
+        for batch in 0..2u64 {
+            let rows: Vec<RowRecord> = (batch * 50..batch * 50 + 50)
+                .map(|h| row(&mut store, h, "P"))
+                .collect();
+            store.append_rows(&rows).unwrap();
+            store.flush().unwrap();
+        }
+        // Corrupt only the first segment.
+        let seg = dir.join(segment_file_name(0));
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&seg, bytes).unwrap();
+
+        let store = BlockStore::open(&dir).unwrap();
+        let report = store.scrub().unwrap();
+        assert!(!report.is_healthy());
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.segments_checked, 2);
+        // The healthy segment's rows were still counted.
+        assert_eq!(report.rows_checked, 50);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_merges_small_segments() {
+        let dir = tmp_dir("compact");
+        let mut store = BlockStore::create(&dir).unwrap();
+        // 40 tiny flushes → 40 segments.
+        for batch in 0..40u64 {
+            let rows: Vec<RowRecord> = (batch * 10..batch * 10 + 10)
+                .map(|h| row(&mut store, h, "P"))
+                .collect();
+            store.append_rows(&rows).unwrap();
+            store.flush().unwrap();
+        }
+        assert_eq!(store.segment_count(), 40);
+        let before = store.scan(&ScanPredicate::all()).unwrap();
+
+        assert!(store.compact().unwrap());
+        assert_eq!(store.segment_count(), 1);
+        assert_eq!(store.row_count(), 400);
+        let after = store.scan(&ScanPredicate::all()).unwrap();
+        assert_eq!(before, after, "compaction must not change contents");
+        // Old segment files are gone; scrub is clean.
+        assert!(store.scrub().unwrap().is_healthy());
+        assert!(!dir.join(segment_file_name(0)).exists());
+
+        // Idempotent: second compaction is a no-op.
+        assert!(!store.compact().unwrap());
+
+        // Reopen still sees everything.
+        drop(store);
+        let store = BlockStore::open(&dir).unwrap();
+        assert_eq!(store.row_count(), 400);
+        assert_eq!(store.scan(&ScanPredicate::all()).unwrap(), after);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_flushes_buffered_rows_first() {
+        let dir = tmp_dir("compact-buf");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let rows: Vec<RowRecord> = (0..10).map(|h| row(&mut store, h, "P")).collect();
+        store.append_rows(&rows[..5]).unwrap();
+        store.flush().unwrap();
+        store.append_rows(&rows[5..]).unwrap();
+        // 1 sealed + 5 buffered: compact seals the buffer (2 segs) then
+        // merges to 1.
+        assert!(store.compact().unwrap());
+        assert_eq!(store.segment_count(), 1);
+        assert_eq!(store.buffered_rows(), 0);
+        assert_eq!(store.scan(&ScanPredicate::all()).unwrap(), rows);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_on_empty_store_is_noop() {
+        let dir = tmp_dir("compact-empty");
+        let mut store = BlockStore::create(&dir).unwrap();
+        assert!(!store.compact().unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_scans() {
+        let dir = tmp_dir("cache");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let rows: Vec<RowRecord> = (0..10).map(|h| row(&mut store, h, "P")).collect();
+        store.append_rows(&rows).unwrap();
+        store.flush().unwrap();
+        store.scan(&ScanPredicate::all()).unwrap();
+        store.scan(&ScanPredicate::all()).unwrap();
+        let (hits, misses) = store.cache_stats();
+        assert_eq!(misses, 1);
+        assert!(hits >= 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

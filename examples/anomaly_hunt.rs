@@ -1,0 +1,120 @@
+//! Reproduce the paper's two anomaly case studies on simulated data:
+//!
+//! * §II-C1d — the day-14 (Jan 14) multi-coinbase blocks that crater the
+//!   daily Gini and spike the daily entropy under per-address
+//!   attribution;
+//! * §III-B — the ~day-60 dominant-miner burst that *sliding* windows
+//!   reveal and fixed weekly windows dilute (Fig. 13).
+//!
+//! ```sh
+//! cargo run --release --example anomaly_hunt
+//! ```
+
+use blockdec::prelude::*;
+use blockdec_analysis::anomaly::{sliding_reveals, threshold_runs};
+use blockdec_chain::Granularity;
+
+fn main() {
+    // 90 days covers both scripted anomalies (day 13 and days 59–62).
+    let scenario = Scenario::bitcoin_2019().truncated(90);
+    let stream = scenario.generate();
+    let origin = Timestamp::year_2019_start();
+
+    // --- Case 1: the day-14 multi-coinbase anomaly -----------------------
+    let daily_gini = MeasurementEngine::new(MetricKind::Gini)
+        .fixed_calendar(Granularity::Day, origin)
+        .run(&stream.attributed);
+    let daily_entropy = MeasurementEngine::new(MetricKind::ShannonEntropy)
+        .fixed_calendar(Granularity::Day, origin)
+        .run(&stream.attributed);
+
+    let detector = AnomalyDetector::default();
+    println!("robust outliers in daily entropy (threshold 3.5 robust z):");
+    for a in detector.detect(&daily_entropy) {
+        println!(
+            "  day {:>2}: entropy {:.2} (score {:+.1})",
+            a.index, a.value, a.score
+        );
+    }
+    let day13_gini = daily_gini
+        .points
+        .iter()
+        .find(|p| p.index == 13)
+        .expect("day 13 measured");
+    let day13_entropy = daily_entropy
+        .points
+        .iter()
+        .find(|p| p.index == 13)
+        .expect("day 13 measured");
+    println!(
+        "\nday 14 (index 13): {} blocks but {} producers → Gini {:.2}, entropy {:.2}",
+        day13_gini.blocks, day13_gini.producers, day13_gini.value, day13_entropy.value
+    );
+    println!("(paper: 148 blocks, Gini 0.34, entropy 6.2 — two blocks paid >80 addresses)\n");
+
+    // --- Case 2: the day-60 burst that fixed windows miss ----------------
+    let spec = scenario.spec();
+    let weekly_n = spec.window_blocks(Granularity::Week) as usize;
+
+    let nakamoto_daily_sliding = MeasurementEngine::new(MetricKind::Nakamoto)
+        .sliding(spec.window_blocks(Granularity::Day) as usize, 72)
+        .run(&stream.attributed);
+    let runs = threshold_runs(&nakamoto_daily_sliding, |v| v <= 1.0);
+    for run in &runs {
+        println!(
+            "dominance burst: Nakamoto = 1 across sliding windows {}..={} (≈ days {}–{})",
+            run.first_index,
+            run.last_index,
+            run.first_index / 2,
+            run.last_index / 2 + 1
+        );
+    }
+
+    let weekly_fixed = MeasurementEngine::new(MetricKind::Nakamoto)
+        .fixed_calendar(Granularity::Week, origin)
+        .run(&stream.attributed);
+    let weekly_sliding = MeasurementEngine::new(MetricKind::Nakamoto)
+        .sliding(weekly_n, weekly_n / 2)
+        .run(&stream.attributed);
+    println!(
+        "\nweekly Nakamoto minima: fixed {:?} vs sliding {:?}",
+        weekly_fixed.min().map(|(_, v)| v),
+        weekly_sliding.min().map(|(_, v)| v)
+    );
+    // The burst straddles a week boundary, so every *fixed* week dilutes
+    // it — only sliding windows aligned on the burst dip below 4.
+    let fixed_dips = threshold_runs(&weekly_fixed, |v| v < 4.0);
+    let sliding_dips = threshold_runs(&weekly_sliding, |v| v < 4.0);
+    println!(
+        "weekly windows with Nakamoto < 4: fixed {} vs sliding {} — the \
+         cross-interval dip only sliding windows capture",
+        fixed_dips.iter().map(|r| r.len).sum::<usize>(),
+        sliding_dips.iter().map(|r| r.len).sum::<usize>()
+    );
+    // The same comparison through the robust outlier detector, on the
+    // weekly entropy series (continuous, so MAD scores are meaningful).
+    let weekly_entropy_fixed = MeasurementEngine::new(MetricKind::ShannonEntropy)
+        .fixed_calendar(Granularity::Week, origin)
+        .run(&stream.attributed);
+    let weekly_entropy_sliding = MeasurementEngine::new(MetricKind::ShannonEntropy)
+        .sliding(weekly_n, weekly_n / 2)
+        .run(&stream.attributed);
+    let revealed = sliding_reveals(
+        &weekly_entropy_fixed,
+        &weekly_entropy_sliding,
+        &AnomalyDetector::new(3.0),
+    );
+    println!(
+        "anomalous weekly entropy windows visible ONLY with sliding windows: {}",
+        revealed.len()
+    );
+    for a in revealed {
+        println!(
+            "  sliding window {} (≈ day {}): entropy {:.2}",
+            a.index,
+            (a.start_time - origin.secs()) / 86_400,
+            a.value
+        );
+    }
+    println!("\n(paper §III-B: sliding windows reveal cross-interval changes that fixed\n windows overlook, e.g. the abnormal Nakamoto change at day 60 in Fig. 13)");
+}

@@ -1,0 +1,131 @@
+//! Measure a hypothetical chain of your own design.
+//!
+//! Builds a custom scenario from scratch (not one of the 2019 presets):
+//! a small PoW chain where one pool grows from 20% to 60% hashrate over
+//! a year — then watches every metric (including the extension metrics)
+//! call out the creeping centralization, and round-trips the scenario
+//! through its JSON config form.
+//!
+//! ```sh
+//! cargo run --release --example custom_chain
+//! ```
+
+use blockdec::prelude::*;
+use blockdec_chain::Granularity;
+use blockdec_sim::events::EventConfig;
+use blockdec_sim::hashrate::SharePoint;
+use blockdec_sim::scenario::{PoolConfig, TailConfig};
+
+fn pool(name: &str, schedule: &[(f64, f64)]) -> PoolConfig {
+    PoolConfig {
+        name: name.to_string(),
+        tag: Some(format!("/{name}/")),
+        address: None,
+        schedule: schedule
+            .iter()
+            .map(|&(day, share)| SharePoint { day, share })
+            .collect(),
+        drift_sigma: 0.05,
+        drift_reversion: 0.2,
+    }
+}
+
+fn main() {
+    // A Bitcoin-like chain where "MegaPool" swallows the network.
+    let scenario = Scenario {
+        name: "megapool-takeover".into(),
+        chain: ChainKind::Bitcoin,
+        seed: 7,
+        start_time: Timestamp::year_2019_start().secs(),
+        days: 365,
+        pools: vec![
+            pool("MegaPool", &[(0.0, 0.20), (180.0, 0.45), (365.0, 0.60)]),
+            pool("Steady", &[(0.0, 0.18)]),
+            pool("Fair", &[(0.0, 0.15)]),
+            pool("Small", &[(0.0, 0.12)]),
+            pool("Tiny", &[(0.0, 0.08)]),
+        ],
+        tail: TailConfig {
+            miners: 120,
+            alpha: 0.9,
+            schedule: vec![SharePoint { day: 0.0, share: 0.20 }],
+        },
+        events: vec![EventConfig::DominantShare {
+            pool: "MegaPool".into(),
+            start_day: 300,
+            end_day: 303,
+            share: 0.70,
+        }],
+        hashrate_growth: 1.5,
+        timestamp_jitter: true,
+        attribution: AttributionMode::PerAddress,
+        limit_blocks: None,
+    };
+
+    // Scenarios are plain data: persist and reload the config.
+    let json = scenario.to_json();
+    let reloaded = Scenario::from_json(&json).expect("scenario round-trips");
+    assert_eq!(reloaded, scenario);
+    println!(
+        "scenario config is {} bytes of JSON (fully reproducible; seed {})\n",
+        json.len(),
+        scenario.seed
+    );
+
+    let stream = scenario.generate();
+    println!("generated {} blocks\n", stream.attributed.len());
+
+    // Watch centralization creep in, monthly, on every metric.
+    let origin = Timestamp(scenario.start_time);
+    println!("month |    gini | entropy | nakamoto |     hhi | norm_entropy | top1");
+    let series: Vec<_> = [
+        MetricKind::Gini,
+        MetricKind::ShannonEntropy,
+        MetricKind::Nakamoto,
+        MetricKind::Hhi,
+        MetricKind::NormalizedEntropy,
+        MetricKind::Top1Share,
+    ]
+    .iter()
+    .map(|&m| {
+        MeasurementEngine::new(m)
+            .fixed_calendar(Granularity::Month, origin)
+            .run(&stream.attributed)
+    })
+    .collect();
+    for i in 0..series[0].points.len() {
+        println!(
+            "{:>5} | {:>7.3} | {:>7.3} | {:>8} | {:>7.3} | {:>12.3} | {:>4.2}",
+            series[0].points[i].index,
+            series[0].points[i].value,
+            series[1].points[i].value,
+            series[2].points[i].value as u64,
+            series[3].points[i].value,
+            series[4].points[i].value,
+            series[5].points[i].value,
+        );
+    }
+
+    // The takeover in one sentence.
+    let nakamoto = &series[2];
+    let first = nakamoto.points.first().expect("a year of months");
+    let last = nakamoto.points.last().expect("a year of months");
+    println!(
+        "\nNakamoto coefficient fell from {} to {} — by December, {} entit{} control >51%.",
+        first.value as u64,
+        last.value as u64,
+        last.value as u64,
+        if last.value as u64 == 1 { "y" } else { "ies" }
+    );
+
+    // And the 3-day 70% burst near day 300 shows up in sliding windows.
+    let sliding = MeasurementEngine::new(MetricKind::Top1Share)
+        .sliding(144, 72)
+        .run(&stream.attributed);
+    let (idx, worst) = sliding.max().expect("non-empty");
+    println!(
+        "worst single-producer share in any one-day sliding window: {:.0}% (window {idx}, ≈ day {})",
+        worst * 100.0,
+        idx / 2
+    );
+}

@@ -1,0 +1,67 @@
+//! # blockdec
+//!
+//! Facade crate for the `blockdec` workspace: a full reproduction of
+//! *"Measuring Decentralization in Bitcoin and Ethereum using Multiple
+//! Metrics and Granularities"* (ICDE 2021).
+//!
+//! Re-exports every layer of the pipeline so applications can depend on a
+//! single crate:
+//!
+//! * [`chain`] — block/producer data model, attribution, calendar math
+//! * [`sim`] — the calibrated 2019 block-stream simulator (data source)
+//! * [`store`] — embedded columnar block store (BigQuery substitute)
+//! * [`query`] — scans and aggregation over the store
+//! * [`core`] — decentralization metrics and window engines (the paper's
+//!   contribution)
+//! * [`analysis`] — statistics, anomaly detection, chain comparison
+//! * [`ingest`] — CSV / JSONL / BigQuery-export import and export
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use blockdec::prelude::*;
+//!
+//! // Simulate a couple of simulated days of Bitcoin 2019 and measure it.
+//! let mut scenario = Scenario::bitcoin_2019();
+//! scenario.limit_blocks = Some(288);
+//! let stream = scenario.generate();
+//! let blocks = stream.attributed;
+//!
+//! let series = MeasurementEngine::new(MetricKind::Gini)
+//!     .fixed_calendar(Granularity::Day, Timestamp::year_2019_start())
+//!     .run(&blocks);
+//! assert!(!series.points.is_empty());
+//! for point in &series.points {
+//!     assert!((0.0..=1.0).contains(&point.value));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use blockdec_analysis as analysis;
+pub use blockdec_chain as chain;
+pub use blockdec_core as core;
+pub use blockdec_ingest as ingest;
+pub use blockdec_query as query;
+pub use blockdec_sim as sim;
+pub use blockdec_store as store;
+
+/// Commonly used items across the whole pipeline.
+pub mod prelude {
+    pub use blockdec_analysis::anomaly::AnomalyDetector;
+    pub use blockdec_analysis::compare::ChainComparison;
+    pub use blockdec_analysis::stats::SeriesStats;
+    pub use blockdec_chain::{
+        Address, AttributedBlock, AttributionMode, Attributor, Block, ChainKind, Credit,
+        Granularity, ProducerId, ProducerRegistry, Timestamp,
+    };
+    pub use blockdec_core::distribution::ProducerDistribution;
+    pub use blockdec_core::engine::MeasurementEngine;
+    pub use blockdec_core::metrics::MetricKind;
+    pub use blockdec_core::series::{MeasurementPoint, MeasurementSeries};
+    pub use blockdec_core::windows::sliding::SlidingWindowSpec;
+    pub use blockdec_query::aggregate::producer_block_counts;
+    pub use blockdec_query::{Filter, MeasurementSource, Plan};
+    pub use blockdec_sim::scenario::Scenario;
+    pub use blockdec_store::store::{BlockStore, ScanPredicate};
+}

@@ -1,0 +1,59 @@
+//! Scratch calibration probe (run with --nocapture). Prints paper-vs-sim
+//! summary numbers; tightened assertions live in measurement_pipeline.rs.
+
+use blockdec::prelude::*;
+use blockdec_chain::Granularity;
+use blockdec_core::engine::run_matrix;
+
+fn probe(scenario: Scenario, sizes: [usize; 3]) {
+    let t0 = std::time::Instant::now();
+    let stream = scenario.generate();
+    eprintln!(
+        "[{}] {} blocks, {} producers, gen in {:?}",
+        scenario.name,
+        stream.attributed.len(),
+        stream.registry.len(),
+        t0.elapsed()
+    );
+    let origin = Timestamp::year_2019_start();
+    let mut configs = Vec::new();
+    for m in [MetricKind::Gini, MetricKind::ShannonEntropy, MetricKind::Nakamoto] {
+        for g in Granularity::ALL {
+            configs.push(MeasurementEngine::new(m).fixed_calendar(g, origin));
+        }
+        for n in sizes {
+            configs.push(MeasurementEngine::new(m).sliding(n, n / 2));
+        }
+    }
+    let t1 = std::time::Instant::now();
+    let results = run_matrix(&stream.attributed, &configs);
+    eprintln!("  measured {} series in {:?}", results.len(), t1.elapsed());
+    for s in &results {
+        let mean = s.mean().unwrap_or(f64::NAN);
+        let (imin, vmin) = s.min().unwrap_or((0, f64::NAN));
+        let (imax, vmax) = s.max().unwrap_or((0, f64::NAN));
+        eprintln!(
+            "  {:>8} {:<14} n={:<4} mean={:.3} min={:.3}@{} max={:.3}@{}",
+            s.metric.label(),
+            s.window.label(),
+            s.points.len(),
+            mean,
+            vmin,
+            imin,
+            vmax,
+            imax
+        );
+    }
+}
+
+#[test]
+#[ignore = "calibration probe; run explicitly with --ignored --nocapture"]
+fn calibration_probe_bitcoin() {
+    probe(Scenario::bitcoin_2019(), [144, 1008, 4320]);
+}
+
+#[test]
+#[ignore = "calibration probe; run explicitly with --ignored --nocapture"]
+fn calibration_probe_ethereum() {
+    probe(Scenario::ethereum_2019(), [6000, 42_000, 180_000]);
+}
