@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 gate for blockdec (see README "CI gate"). Every step must pass
+# before merge. Run from the repository root.
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "ci.sh: all gates passed"

@@ -33,6 +33,7 @@ pub fn series_summary_line(label: &str, series: &MeasurementSeries) -> String {
 
 /// Markdown table summarizing many series.
 pub fn series_summary_markdown(rows: &[(String, &MeasurementSeries)]) -> String {
+    let _t = blockdec_obs::span_timed!("stage.report", series = rows.len());
     let mut out = String::from(
         "| series | metric | window | n | mean | std | min | max |\n\
          |---|---|---|---|---|---|---|---|\n",
@@ -69,6 +70,7 @@ pub fn series_summary_markdown(rows: &[(String, &MeasurementSeries)]) -> String 
 
 /// Markdown rendering of a chain comparison, ending with the verdict.
 pub fn comparison_markdown(cmp: &ChainComparison) -> String {
+    let _t = blockdec_obs::span_timed!("stage.report", comparison_rows = cmp.rows.len());
     let mut out = String::new();
     writeln!(out, "## {} vs {}\n", cmp.label_a, cmp.label_b).expect("write");
     out.push_str(&format!(

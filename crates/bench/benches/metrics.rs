@@ -5,17 +5,25 @@
 use blockdec_core::metrics::gini::gini_pairwise_reference;
 use blockdec_core::metrics::{gini, hhi, nakamoto, shannon_entropy, theil, top_k_share};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+
+/// splitmix64: deterministic jitter without an RNG dependency.
+fn splitmix64(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// A realistic window distribution: a pool head plus a Pareto tail.
 fn weights(n: usize) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut state = 42u64;
     (0..n)
         .map(|i| {
             let base = 1000.0 / ((i + 1) as f64).powf(0.9);
-            base * (0.5 + rng.gen::<f64>())
+            base * (0.5 + splitmix64(&mut state))
         })
         .collect()
 }

@@ -13,6 +13,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
+    // Tracing honors BLOCKDEC_LOG / BLOCKDEC_LOG_FORMAT; off by default.
+    blockdec_obs::log::init(blockdec_obs::Config::from_env());
     let mut ids: Vec<String> = Vec::new();
     let mut outdir = PathBuf::from("experiments-out");
     let mut quick = false;
@@ -81,6 +83,9 @@ fn main() -> ExitCode {
         eprintln!("could not write summary.md: {e}");
     }
     println!("\nartifacts in {}", outdir.display());
+    if blockdec_obs::log::enabled(blockdec_obs::Level::Info, "experiments") {
+        blockdec_obs::RunSummary::collect().emit();
+    }
     if failed {
         ExitCode::FAILURE
     } else {

@@ -38,7 +38,7 @@ pub fn encode_hex(bytes: &[u8]) -> String {
 /// Decode a hex string (with or without a `0x` prefix) into bytes.
 pub fn decode_hex(s: &str) -> Result<Vec<u8>, ChainError> {
     let s = s.strip_prefix("0x").unwrap_or(s);
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(ChainError::InvalidHex {
             input: truncate_for_error(s),
             reason: "odd number of hex digits",

@@ -257,7 +257,7 @@ fn scrub_and_compact() {
     let store = dir.join("store");
     // Two loads create two under-filled segments.
     for seed in ["1", "2"] {
-        let days = if seed == "1" { "3" } else { "3" };
+        let days = "3";
         let out = blockdec(&[
             "load", "--chain", "bitcoin", "--days", days, "--seed", seed,
             "--store", store.to_str().unwrap(),

@@ -4,7 +4,7 @@
 //! experiment harness use. Configure a metric and a windowing policy, then
 //! [`MeasurementEngine::run`] it over a height-ordered slice of attributed
 //! blocks. [`run_matrix`] evaluates many (metric, windowing) combinations
-//! in one call, fanning out across threads with `crossbeam` — each
+//! in one call, fanning out across scoped threads — each
 //! configuration is independent, so the full paper matrix (3 metrics × 3
 //! granularities × 2 window families × 2 chains) parallelizes trivially.
 
@@ -126,6 +126,13 @@ impl MeasurementEngine {
 
     /// Measure a height-ordered block stream.
     pub fn run(&self, blocks: &[AttributedBlock]) -> MeasurementSeries {
+        let window_label = self.window.label().label();
+        let _t = blockdec_obs::span_timed!(
+            "stage.measure",
+            metric = self.metric.to_string(),
+            window = window_label,
+            blocks = blocks.len(),
+        );
         let points = match self.window {
             WindowSpec::FixedCalendar {
                 granularity,
@@ -134,6 +141,10 @@ impl MeasurementEngine {
             WindowSpec::SlidingBlocks(spec) => self.run_sliding(blocks, spec),
             WindowSpec::SlidingTime(spec) => self.run_sliding_time(blocks, spec),
         };
+        blockdec_obs::counter("engine.runs").inc();
+        blockdec_obs::counter("engine.blocks").add(blocks.len() as u64);
+        blockdec_obs::counter("engine.windows").add(points.len() as u64);
+        blockdec_obs::debug!(windows = points.len(); "measurement complete");
         MeasurementSeries {
             metric: self.metric,
             window: self.window.label(),
@@ -255,17 +266,21 @@ pub fn run_matrix(
     if configs.len() <= 1 {
         return configs.iter().map(|c| c.run(blocks)).collect();
     }
+    let _t = blockdec_obs::span_timed!(
+        "stage.measure_matrix",
+        configs = configs.len(),
+        blocks = blocks.len(),
+    );
     let mut results: Vec<Option<MeasurementSeries>> = vec![None; configs.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(configs.len());
         for (i, cfg) in configs.iter().enumerate() {
-            handles.push((i, scope.spawn(move |_| cfg.run(blocks))));
+            handles.push((i, scope.spawn(move || cfg.run(blocks))));
         }
         for (i, h) in handles {
             results[i] = Some(h.join().expect("measurement thread panicked"));
         }
-    })
-    .expect("crossbeam scope panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every config produces a series"))

@@ -401,8 +401,8 @@ mod tests {
             m.add(producer);
             log.push(producer);
         }
-        for i in 0..150usize {
-            m.remove(log[i]);
+        for (i, &removed) in log.iter().enumerate().take(150) {
+            m.remove(removed);
             m.add(p(7 + (i % 13) as u32));
             let w = m.weight_vector();
             assert!((m.entropy() - shannon_entropy(&w)).abs() < 1e-9);

@@ -227,7 +227,7 @@ mod tests {
         // unchanged.
         let top_heavy = [100.0, 80.0, 60.0, 40.0];
         let mut with_tail = top_heavy.to_vec();
-        with_tail.extend(std::iter::repeat(1.0).take(50));
+        with_tail.extend(std::iter::repeat_n(1.0, 50));
         assert!(gini(&with_tail) > gini(&top_heavy));
     }
 }

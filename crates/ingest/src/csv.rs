@@ -103,6 +103,8 @@ pub fn write_blocks_csv(out: &mut impl Write, blocks: &[Block]) -> std::io::Resu
 /// validated; rows must be height-ordered but gaps are allowed (a
 /// filtered export is still measurable).
 pub fn read_blocks_csv(input: impl BufRead, chain: ChainKind) -> Result<Vec<Block>> {
+    let _t = blockdec_obs::span_timed!("stage.ingest", format = "csv");
+    let mut line_count: u64 = 0;
     let mut blocks = Vec::new();
     let mut lines = input.lines();
     let header = lines
@@ -116,6 +118,7 @@ pub fn read_blocks_csv(input: impl BufRead, chain: ChainKind) -> Result<Vec<Bloc
     }
     for (i, line) in lines.enumerate() {
         let line_no = i as u64 + 2;
+        line_count = line_no;
         let line = line?;
         let Some(fields) = parse_record(&line, line_no)? else {
             continue;
@@ -170,6 +173,9 @@ pub fn read_blocks_csv(input: impl BufRead, chain: ChainKind) -> Result<Vec<Bloc
         }
         blocks.push(block);
     }
+    blockdec_obs::counter("ingest.lines").add(line_count);
+    blockdec_obs::counter("ingest.blocks").add(blocks.len() as u64);
+    blockdec_obs::debug!(blocks = blocks.len(), lines = line_count; "parsed CSV export");
     Ok(blocks)
 }
 

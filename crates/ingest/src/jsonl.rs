@@ -20,9 +20,12 @@ pub fn write_blocks_jsonl(out: &mut impl Write, blocks: &[Block]) -> Result<()> 
 
 /// Read blocks from JSONL (empty lines skipped).
 pub fn read_blocks_jsonl(input: impl BufRead) -> Result<Vec<Block>> {
+    let _t = blockdec_obs::span_timed!("stage.ingest", format = "jsonl");
+    let mut line_count: u64 = 0;
     let mut out = Vec::new();
     for (i, line) in input.lines().enumerate() {
         let line_no = i as u64 + 1;
+        line_count = line_no;
         let line = line?;
         if line.trim().is_empty() {
             continue;
@@ -34,6 +37,9 @@ pub fn read_blocks_jsonl(input: impl BufRead) -> Result<Vec<Block>> {
             .map_err(|source| IngestError::Invalid { line: line_no, source })?;
         out.push(block);
     }
+    blockdec_obs::counter("ingest.lines").add(line_count);
+    blockdec_obs::counter("ingest.blocks").add(out.len() as u64);
+    blockdec_obs::debug!(blocks = out.len(), lines = line_count; "parsed JSONL export");
     Ok(out)
 }
 
@@ -49,6 +55,7 @@ pub fn write_attributed_jsonl(out: &mut impl Write, blocks: &[AttributedBlock]) 
 
 /// Read attribution results from JSONL.
 pub fn read_attributed_jsonl(input: impl BufRead) -> Result<Vec<AttributedBlock>> {
+    let _t = blockdec_obs::span_timed!("stage.ingest", format = "jsonl-attributed");
     let mut out = Vec::new();
     for (i, line) in input.lines().enumerate() {
         let line = line?;
@@ -60,6 +67,8 @@ pub fn read_attributed_jsonl(input: impl BufRead) -> Result<Vec<AttributedBlock>
                 .map_err(|e| IngestError::parse(i as u64 + 1, e.to_string()))?,
         );
     }
+    blockdec_obs::counter("ingest.blocks").add(out.len() as u64);
+    blockdec_obs::debug!(blocks = out.len(); "parsed attributed JSONL");
     Ok(out)
 }
 

@@ -1,0 +1,242 @@
+//! End-of-run summary: per-stage wall time, throughput, cache hit rate,
+//! and windows emitted, assembled from the metrics registry.
+
+use crate::metrics::{counter_values, histogram_snapshots, HistogramSnapshot};
+use crate::log::LogFormat;
+use std::collections::BTreeMap;
+
+/// One `stage.*` histogram rendered for the summary table.
+#[derive(Clone, Debug)]
+pub struct StageLine {
+    /// Stage name with the `stage.` prefix stripped.
+    pub name: String,
+    /// How many times the stage ran.
+    pub count: u64,
+    /// Total wall seconds across runs.
+    pub total_secs: f64,
+}
+
+/// A snapshot of the run's headline numbers. Build with
+/// [`RunSummary::collect`]; render with [`RunSummary::render_text`] /
+/// [`RunSummary::render_json`] or print via [`RunSummary::emit`].
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Per-stage wall time, in registration (alphabetical) order.
+    pub stages: Vec<StageLine>,
+    /// Blocks processed per wall second of measurement (or simulation /
+    /// ingest when no measurement ran). `None` when nothing was counted.
+    pub blocks_per_sec: Option<f64>,
+    /// Segment-cache hit rate in `[0, 1]`; `None` before any lookup.
+    pub cache_hit_rate: Option<f64>,
+    /// Measurement windows emitted (`engine.windows`).
+    pub windows: u64,
+    /// Every registered counter, for the machine-readable dump.
+    pub counters: BTreeMap<String, u64>,
+}
+
+fn rate(blocks: u64, secs: f64) -> Option<f64> {
+    if blocks == 0 || secs <= 0.0 {
+        None
+    } else {
+        Some(blocks as f64 / secs)
+    }
+}
+
+impl RunSummary {
+    /// Read the current registry state into a summary.
+    pub fn collect() -> RunSummary {
+        let counters = counter_values();
+        let hists: BTreeMap<String, HistogramSnapshot> = histogram_snapshots();
+        let stages: Vec<StageLine> = hists
+            .iter()
+            .filter_map(|(name, snap)| {
+                let stage = name.strip_prefix("stage.")?;
+                Some(StageLine {
+                    name: stage.to_string(),
+                    count: snap.count,
+                    total_secs: snap.sum,
+                })
+            })
+            .collect();
+        let get = |k: &str| counters.get(k).copied().unwrap_or(0);
+        let stage_secs =
+            |k: &str| hists.get(k).map(|s| s.sum).unwrap_or(0.0);
+        // Prefer measurement throughput; fall back to whichever stage ran.
+        let blocks_per_sec = rate(get("engine.blocks"), stage_secs("stage.measure"))
+            .or_else(|| rate(get("sim.blocks"), stage_secs("stage.simulate")))
+            .or_else(|| rate(get("ingest.blocks"), stage_secs("stage.ingest")));
+        let hits = get("store.cache.hit");
+        let misses = get("store.cache.miss");
+        let cache_hit_rate = if hits + misses > 0 {
+            Some(hits as f64 / (hits + misses) as f64)
+        } else {
+            None
+        };
+        RunSummary {
+            stages,
+            blocks_per_sec,
+            cache_hit_rate,
+            windows: get("engine.windows"),
+            counters,
+        }
+    }
+
+    /// Human-readable multi-line table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("run summary\n");
+        if self.stages.is_empty() {
+            out.push_str("  stages: none recorded\n");
+        } else {
+            out.push_str("  stage                 runs   wall time\n");
+            for s in &self.stages {
+                out.push_str(&format!(
+                    "  {:<20} {:>5}   {:>8.3}s\n",
+                    s.name, s.count, s.total_secs
+                ));
+            }
+        }
+        match self.blocks_per_sec {
+            Some(r) => out.push_str(&format!("  throughput: {r:.0} blocks/sec\n")),
+            None => out.push_str("  throughput: n/a\n"),
+        }
+        match self.cache_hit_rate {
+            Some(r) => out.push_str(&format!(
+                "  store cache: {:.1}% hit rate\n",
+                r * 100.0
+            )),
+            None => out.push_str("  store cache: no lookups\n"),
+        }
+        out.push_str(&format!("  windows emitted: {}\n", self.windows));
+        out
+    }
+
+    /// One JSON object (no trailing newline) with `stages`, `throughput`,
+    /// `cache_hit_rate`, `windows`, and the raw `counters` map.
+    pub fn render_json(&self) -> String {
+        fn push_f64(out: &mut String, v: f64) {
+            if v.is_finite() {
+                out.push_str(&format!("{v:.6}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        let mut out = String::from("{\"summary\":{\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"runs\":{},\"wall_secs\":",
+                s.name, s.count
+            ));
+            push_f64(&mut out, s.total_secs);
+            out.push('}');
+        }
+        out.push_str("],\"blocks_per_sec\":");
+        match self.blocks_per_sec {
+            Some(r) => push_f64(&mut out, r),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"cache_hit_rate\":");
+        match self.cache_hit_rate {
+            Some(r) => push_f64(&mut out, r),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(",\"windows\":{},\"counters\":{{", self.windows));
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("}}}");
+        out
+    }
+
+    /// Print the summary to stderr in the logger's configured format
+    /// (text when no logger is installed).
+    pub fn emit(&self) {
+        let json = matches!(
+            crate::log::logger().map(|l| l.format()),
+            Some(LogFormat::Json)
+        );
+        if json {
+            eprintln!("{}", self.render_json());
+        } else {
+            eprint!("{}", self.render_text());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSummary {
+        RunSummary {
+            stages: vec![
+                StageLine {
+                    name: "measure".into(),
+                    count: 2,
+                    total_secs: 1.25,
+                },
+                StageLine {
+                    name: "scan".into(),
+                    count: 1,
+                    total_secs: 0.5,
+                },
+            ],
+            blocks_per_sec: Some(42_000.0),
+            cache_hit_rate: Some(0.875),
+            windows: 365,
+            counters: BTreeMap::from([
+                ("engine.windows".to_string(), 365u64),
+                ("store.cache.hit".to_string(), 7u64),
+            ]),
+        }
+    }
+
+    #[test]
+    fn text_contains_headline_numbers() {
+        let text = sample().render_text();
+        assert!(text.contains("measure"), "{text}");
+        assert!(text.contains("42000 blocks/sec"), "{text}");
+        assert!(text.contains("87.5% hit rate"), "{text}");
+        assert!(text.contains("windows emitted: 365"), "{text}");
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let json = sample().render_json();
+        assert!(json.starts_with("{\"summary\":{"));
+        assert!(json.contains("\"windows\":365"), "{json}");
+        assert!(json.contains("\"cache_hit_rate\":0.875"), "{json}");
+        assert!(json.contains("\"engine.windows\":365"), "{json}");
+        // Balanced braces (no string values contain braces here).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_summary_renders() {
+        let s = RunSummary {
+            stages: Vec::new(),
+            blocks_per_sec: None,
+            cache_hit_rate: None,
+            windows: 0,
+            counters: BTreeMap::new(),
+        };
+        assert!(s.render_text().contains("none recorded"));
+        assert!(s.render_json().contains("\"blocks_per_sec\":null"));
+    }
+
+    #[test]
+    fn collect_reads_registry() {
+        crate::metrics::counter("engine.windows").add(3);
+        crate::metrics::histogram("stage.summary_test").record(0.25);
+        let s = RunSummary::collect();
+        assert!(s.windows >= 3);
+        assert!(s.stages.iter().any(|st| st.name == "summary_test"));
+    }
+}

@@ -1,0 +1,62 @@
+//! RFC 3339 UTC timestamps without a date-time dependency.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Civil date from days since the UNIX epoch (Howard Hinnant's
+/// `civil_from_days` algorithm, valid far beyond any plausible log time).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Format UNIX seconds + subsecond millis as `YYYY-MM-DDTHH:MM:SS.mmmZ`.
+pub fn rfc3339(secs: i64, millis: u32) -> String {
+    let days = secs.div_euclid(86_400);
+    let tod = secs.rem_euclid(86_400);
+    let (y, mo, d) = civil_from_days(days);
+    format!(
+        "{y:04}-{mo:02}-{d:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        tod / 3600,
+        (tod / 60) % 60,
+        tod % 60
+    )
+}
+
+/// The current wall-clock instant as an RFC 3339 string.
+pub fn now_rfc3339() -> String {
+    match SystemTime::now().duration_since(UNIX_EPOCH) {
+        Ok(d) => rfc3339(d.as_secs() as i64, d.subsec_millis()),
+        // Clock before 1970: clamp to the epoch rather than panic.
+        Err(_) => rfc3339(0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(rfc3339(0, 0), "1970-01-01T00:00:00.000Z");
+        // 2019-01-01T00:00:00Z == 1546300800.
+        assert_eq!(rfc3339(1_546_300_800, 250), "2019-01-01T00:00:00.250Z");
+        // Leap-year day: 2020-02-29T12:34:56Z == 1582979696.
+        assert_eq!(rfc3339(1_582_979_696, 7), "2020-02-29T12:34:56.007Z");
+    }
+
+    #[test]
+    fn now_is_parseable_shape() {
+        let s = now_rfc3339();
+        assert_eq!(s.len(), 24);
+        assert!(s.ends_with('Z'));
+        assert_eq!(&s[10..11], "T");
+    }
+}

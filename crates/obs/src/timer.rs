@@ -1,0 +1,130 @@
+//! Wall-time helpers: record elapsed time into a named histogram.
+
+use crate::metrics::{histogram, Histogram};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Records wall time into a histogram when dropped (or explicitly via
+/// [`Timer::stop`]).
+///
+/// ```
+/// let t = blockdec_obs::Timer::new("stage.example");
+/// // ... work ...
+/// let secs = t.stop(); // or just drop it
+/// assert!(secs >= 0.0);
+/// ```
+pub struct Timer {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl Timer {
+    /// Start timing into the histogram named `name`.
+    pub fn new(name: &str) -> Timer {
+        Timer {
+            hist: histogram(name),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Seconds since the timer started, without recording.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stop now, record, and return the elapsed seconds.
+    pub fn stop(mut self) -> f64 {
+        let secs = self.elapsed_secs();
+        self.hist.record(secs);
+        self.armed = false;
+        secs
+    }
+
+    /// Abandon the timer without recording anything.
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Guard pairing a log span with a timer: returned by
+/// [`crate::span_timed!`], records into the histogram named after the
+/// span when dropped.
+pub struct TimedSpan {
+    /// The entered log span (closes on drop).
+    pub span: crate::log::Span,
+    /// The running timer (records on drop).
+    pub timer: Timer,
+}
+
+/// Enter a [`crate::span!`] at debug level **and** start a [`Timer`]
+/// recording into a histogram of the same name. Bind the result:
+/// `let _t = span_timed!("stage.measure", metric = name);`.
+#[macro_export]
+macro_rules! span_timed {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::timer::TimedSpan {
+            span: $crate::log::Span::enter(
+                $crate::log::Level::Debug,
+                module_path!(),
+                $name,
+                vec![$((stringify!($key), $crate::log::FieldValue::from($value))),*],
+            ),
+            timer: $crate::timer::Timer::new($name),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::histogram;
+    use std::time::Duration;
+
+    #[test]
+    fn timer_records_plausible_bounds() {
+        let t = Timer::new("test.timer.bounds");
+        std::thread::sleep(Duration::from_millis(15));
+        let secs = t.stop();
+        // Lower bound is exact; upper bound is generous for loaded CI.
+        assert!(secs >= 0.015, "{secs}");
+        assert!(secs < 5.0, "{secs}");
+        let snap = histogram("test.timer.bounds").snapshot();
+        assert_eq!(snap.count, 1);
+        assert!((snap.sum - secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timer_records_on_drop() {
+        {
+            let _t = Timer::new("test.timer.drop");
+        }
+        assert_eq!(histogram("test.timer.drop").snapshot().count, 1);
+    }
+
+    #[test]
+    fn discard_records_nothing() {
+        Timer::new("test.timer.discard").discard();
+        assert_eq!(histogram("test.timer.discard").snapshot().count, 0);
+    }
+
+    #[test]
+    fn span_timed_records_histogram() {
+        {
+            let _t = span_timed!("test.timer.span", tag = 7u64);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = histogram("test.timer.span").snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum >= 0.002);
+    }
+}

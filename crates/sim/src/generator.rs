@@ -289,6 +289,12 @@ impl Scenario {
     /// attribution results (suitable for the full 2.2M-block Ethereum
     /// year).
     pub fn generate(&self) -> GeneratedStream {
+        let _t = blockdec_obs::span_timed!(
+            "stage.simulate",
+            chain = self.chain.to_string(),
+            days = self.days,
+            seed = self.seed,
+        );
         let mut attributor = Attributor::new(self.chain, self.attribution);
         let mut attributed = Vec::new();
         let mut first_height = 0;
@@ -300,6 +306,13 @@ impl Scenario {
             last_height = block.height;
             attributed.push(attributor.attribute(&block));
         }
+        blockdec_obs::counter("sim.blocks").add(attributed.len() as u64);
+        blockdec_obs::debug!(
+            blocks = attributed.len(),
+            first_height = first_height,
+            last_height = last_height;
+            "generated attributed stream"
+        );
         GeneratedStream {
             attributed,
             attribution_stats: attributor.stats(),
@@ -311,7 +324,15 @@ impl Scenario {
 
     /// Materialize full [`Block`]s (small runs / tests / export).
     pub fn generate_blocks(&self) -> Vec<Block> {
-        self.iter().collect()
+        let _t = blockdec_obs::span_timed!(
+            "stage.simulate",
+            chain = self.chain.to_string(),
+            days = self.days,
+            seed = self.seed,
+        );
+        let blocks: Vec<Block> = self.iter().collect();
+        blockdec_obs::counter("sim.blocks").add(blocks.len() as u64);
+        blocks
     }
 }
 

@@ -1,43 +1,73 @@
 //! Deterministic randomness and the distributions the simulator needs.
 //!
-//! Everything derives from a single seeded [`rand::rngs::StdRng`]; the
-//! extra distributions (exponential, standard normal, Pareto weights) are
-//! implemented here by inversion / Box–Muller rather than adding a
-//! `rand_distr` dependency.
+//! Everything derives from a single seeded xoshiro256++ generator,
+//! implemented inline so the simulator has no external RNG dependency;
+//! the distributions (exponential, standard normal, Pareto weights) are
+//! implemented by inversion / Box–Muller.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Simulator RNG: a seeded `StdRng` plus the distribution helpers.
+/// Simulator RNG: a seeded xoshiro256++ core plus distribution helpers.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// splitmix64 step, used to expand the seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Seeded construction; the same seed yields the same stream.
     pub fn new(seed: u64) -> SimRng {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut n = [s0, s1, s2, s3];
+        n[2] ^= n[0];
+        n[3] ^= n[1];
+        n[1] ^= n[2];
+        n[0] ^= n[3];
+        n[2] ^= t;
+        n[3] = n[3].rotate_left(45);
+        self.state = n;
+        result
     }
 
     /// Derive an independent child RNG for a named sub-stream, so adding
     /// draws in one component does not perturb another.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base: u64 = self.inner.gen();
+        let base: u64 = self.next_u64();
         SimRng::new(base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
     /// Uniform in [0, 1).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`. `n` must be positive.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.inner.gen_range(0..n)
+        // Widening-multiply range reduction (Lemire); bias is < 2^-64
+        // and irrelevant for simulation, so no rejection loop.
+        (((u128::from(self.next_u64())) * u128::from(n)) >> 64) as u64
     }
 
     /// Exponential with the given mean (inversion method).

@@ -1,0 +1,80 @@
+//! Minimal byte-cursor traits used by the column encoders.
+//!
+//! API-compatible subset of the `bytes` crate's `Buf`/`BufMut` (the only
+//! methods the encoders use), implemented over plain slices and vectors
+//! so the store has no external byte-buffer dependency.
+
+/// A readable byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read one byte and advance.
+    fn get_u8(&mut self) -> u8;
+    /// True while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("get_u8 past end of buffer");
+        *self = rest;
+        *first
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn get_u8(&mut self) -> u8 {
+        (**self).get_u8()
+    }
+}
+
+/// A writable byte sink.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_u8(&mut self, b: u8) {
+        (**self).put_u8(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_cursor_advances() {
+        let data = [1u8, 2, 3];
+        let mut s: &[u8] = &data;
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.get_u8(), 1);
+        assert_eq!(s.get_u8(), 2);
+        assert!(s.has_remaining());
+        assert_eq!(s.get_u8(), 3);
+        assert!(!s.has_remaining());
+    }
+
+    #[test]
+    fn vec_sink_appends() {
+        let mut v = Vec::new();
+        v.put_u8(7);
+        v.put_u8(8);
+        assert_eq!(v, [7, 8]);
+    }
+}

@@ -2,13 +2,23 @@
 //!
 //! Scans repeatedly touch the same recent segments (sliding windows
 //! overlap by construction), so a small LRU of decoded row vectors avoids
-//! re-reading and re-decoding files. Thread-safe via `parking_lot::Mutex`;
-//! entries are `Arc`-shared so a hit never copies rows.
+//! re-reading and re-decoding files. Thread-safe via `std::sync::Mutex`
+//! (poison is ignored: the cache holds only plain data, so a panicking
+//! reader cannot leave it logically inconsistent); entries are
+//! `Arc`-shared so a hit never copies rows.
 
 use crate::row::RowRecord;
-use parking_lot::Mutex;
+use blockdec_obs::metrics::{counter, Counter};
+use blockdec_obs::trace;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Process-wide `store.cache.hit` / `store.cache.miss` counters, looked
+/// up once so the per-lookup cost is two relaxed atomic adds.
+fn cache_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
+    static COUNTERS: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    COUNTERS.get_or_init(|| (counter("store.cache.hit"), counter("store.cache.miss")))
+}
 
 /// Shared decoded segment.
 pub type CachedSegment = Arc<Vec<RowRecord>>;
@@ -27,6 +37,11 @@ pub struct SegmentCache {
 }
 
 impl SegmentCache {
+    /// Lock the cache state, ignoring poison (see module docs).
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Cache holding up to `capacity` decoded segments. Capacity 0
     /// disables caching (every get misses).
     pub fn new(capacity: usize) -> SegmentCache {
@@ -48,20 +63,25 @@ impl SegmentCache {
         load: impl FnOnce() -> Result<Vec<RowRecord>, E>,
     ) -> Result<CachedSegment, E> {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.locked();
             inner.clock += 1;
             let clock = inner.clock;
             if let Some((stamp, seg)) = inner.map.get_mut(key) {
                 *stamp = clock;
                 let seg = Arc::clone(seg);
                 inner.hits += 1;
+                drop(inner);
+                cache_counters().0.inc();
+                trace!(segment = key, cache_hit = true; "segment cache lookup");
                 return Ok(seg);
             }
             inner.misses += 1;
         }
+        cache_counters().1.inc();
+        trace!(segment = key, cache_hit = false; "segment cache lookup");
         // Load outside the lock: decoding can be slow.
         let rows = Arc::new(load()?);
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         if inner.capacity > 0 {
             inner.clock += 1;
             let clock = inner.clock;
@@ -81,18 +101,18 @@ impl SegmentCache {
 
     /// Drop every entry (called when the store appends new segments).
     pub fn invalidate(&self) {
-        self.inner.lock().map.clear();
+        self.locked().map.clear();
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
+        let inner = self.locked();
         (inner.hits, inner.misses)
     }
 
     /// Number of cached segments.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.locked().map.len()
     }
 
     /// True when nothing is cached.

@@ -6,8 +6,8 @@
 //! varint. A frame-of-reference bit-packed codec is provided as the
 //! `ablation_encoding` bench comparator.
 
+use crate::bufio::{Buf, BufMut};
 use crate::error::{Result, StoreError};
-use bytes::{Buf, BufMut};
 
 /// Write a u64 as LEB128 varint.
 pub fn put_uvarint(buf: &mut impl BufMut, mut v: u64) {
@@ -176,7 +176,7 @@ pub fn decode_column(codec: Codec, mut data: &[u8], count: usize) -> Result<Vec<
                     detail: format!("width {width} > 64"),
                 });
             }
-            let needed = ((count as u64 * u64::from(width)) + 7) / 8;
+            let needed = (count as u64 * u64::from(width)).div_ceil(8);
             if (data.remaining() as u64) < needed {
                 return Err(StoreError::Corrupt {
                     what: "bitpack body".into(),

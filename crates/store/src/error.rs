@@ -101,7 +101,7 @@ mod tests {
 
     #[test]
     fn io_conversion_keeps_source() {
-        let e: StoreError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: StoreError = io::Error::other("boom").into();
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bufio;
 pub mod cache;
 pub mod catalog;
 pub mod checksum;

@@ -152,6 +152,7 @@ pub fn decode_segment(data: &[u8], what: &str) -> Result<Vec<RowRecord>> {
 
 /// Write a segment file (write to `.tmp`, fsync, rename).
 pub fn write_segment_file(path: &Path, rows: &[RowRecord]) -> Result<()> {
+    let timer = blockdec_obs::Timer::new("store.segment_write");
     let bytes = encode_segment(rows);
     let tmp = path.with_extension("tmp");
     {
@@ -160,13 +161,32 @@ pub fn write_segment_file(path: &Path, rows: &[RowRecord]) -> Result<()> {
         f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
     }
     fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
+    let elapsed_ms = timer.stop() * 1e3;
+    blockdec_obs::counter("store.segments.written").inc();
+    blockdec_obs::debug!(
+        file = path.display().to_string(),
+        rows = rows.len(),
+        bytes = bytes.len(),
+        elapsed_ms = elapsed_ms;
+        "wrote segment"
+    );
     Ok(())
 }
 
 /// Read and decode a segment file.
 pub fn read_segment_file(path: &Path) -> Result<Vec<RowRecord>> {
+    let timer = blockdec_obs::Timer::new("store.segment_read");
     let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
-    decode_segment(&bytes, &path.display().to_string())
+    let rows = decode_segment(&bytes, &path.display().to_string())?;
+    let elapsed_ms = timer.stop() * 1e3;
+    blockdec_obs::counter("store.segments.read").inc();
+    blockdec_obs::debug!(
+        file = path.display().to_string(),
+        rows = rows.len(),
+        elapsed_ms = elapsed_ms;
+        "read segment"
+    );
+    Ok(rows)
 }
 
 #[cfg(test)]

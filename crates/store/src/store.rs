@@ -305,6 +305,7 @@ impl BlockStore {
     /// Seal any buffered rows into a final (possibly short) segment and
     /// commit. Idempotent when the buffer is empty.
     pub fn flush(&mut self) -> Result<()> {
+        let _t = blockdec_obs::span_timed!("stage.store_flush", rows = self.active.len());
         if self.active.is_empty() {
             // Still persist dictionary growth from interning.
             save_dictionary(&self.dir.join("dictionary.json"), &self.registry)?;
@@ -321,6 +322,7 @@ impl BlockStore {
 
     /// Scan with zone-map pruning statistics.
     pub fn scan_with_stats(&self, pred: &ScanPredicate) -> Result<(Vec<RowRecord>, ScanStats)> {
+        let _t = blockdec_obs::span_timed!("stage.scan", segments = self.manifest.segments.len());
         let mut stats = ScanStats {
             segments_total: self.manifest.segments.len(),
             ..ScanStats::default()
@@ -339,6 +341,13 @@ impl BlockStore {
         }
         out.extend(self.active.iter().filter(|r| pred.matches(r)).copied());
         stats.rows_returned = out.len() as u64;
+        blockdec_obs::counter("store.rows.scanned").add(stats.rows_returned);
+        blockdec_obs::debug!(
+            rows = stats.rows_returned,
+            pruned = stats.segments_pruned,
+            total_segments = stats.segments_total;
+            "scan complete"
+        );
         Ok((out, stats))
     }
 
@@ -372,6 +381,7 @@ impl BlockStore {
             visit(r);
             stats.rows_returned += 1;
         }
+        blockdec_obs::counter("store.rows.scanned").add(stats.rows_returned);
         Ok(stats)
     }
 
@@ -461,7 +471,7 @@ impl BlockStore {
             .map(|s| s.file.clone())
             .collect();
         for file in &old_files {
-            all_rows.extend(read_segment_file(&self.dir.join(file))?.into_iter());
+            all_rows.extend(read_segment_file(&self.dir.join(file))?);
         }
 
         let mut new_segments = Vec::with_capacity(ideal);

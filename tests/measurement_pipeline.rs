@@ -173,7 +173,7 @@ fn sliding_doubles_measurement_count_and_preserves_means() {
 fn store_roundtrip_measures_identically() {
     // sim → store → scan → measure must equal sim → measure.
     let btc = {
-        let mut s = Scenario::bitcoin_2019().truncated(20);
+        let s = Scenario::bitcoin_2019().truncated(20);
         s.generate()
     };
     let dir = std::env::temp_dir().join(format!("blockdec-it-roundtrip-{}", std::process::id()));
@@ -209,7 +209,7 @@ fn store_roundtrip_measures_identically() {
 #[test]
 fn matrix_runner_handles_the_full_paper_grid() {
     let btc = {
-        let mut s = Scenario::bitcoin_2019().truncated(30);
+        let s = Scenario::bitcoin_2019().truncated(30);
         s.generate()
     };
     let origin = Timestamp::year_2019_start();
@@ -305,7 +305,7 @@ fn streaming_engine_agrees_on_simulated_data() {
 #[test]
 fn producer_block_counts_match_engine_totals() {
     let btc = {
-        let mut s = Scenario::bitcoin_2019().truncated(10);
+        let s = Scenario::bitcoin_2019().truncated(10);
         s.generate()
     };
     let dir = std::env::temp_dir().join(format!("blockdec-it-counts-{}", std::process::id()));

@@ -1,0 +1,527 @@
+//! Offline subset of the `proptest` property-testing framework.
+//!
+//! Implements the API surface the blockdec test suites use — the
+//! `proptest!` runner macro, `Strategy` with `prop_map` / `prop_filter` /
+//! `prop_recursive`, range and regex-character-class strategies,
+//! collections, tuples, `prop_oneof!`, `Just`, `any::<T>()`, and
+//! `sample::Index` — on top of a deterministic splitmix64 RNG.
+//!
+//! Differences from real proptest: no shrinking (failures report the
+//! case seed instead of a minimized input), and string strategies accept
+//! only the `[class]{m,n}` regex shape the test suites use.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::{TestCaseError, TestRng};
+
+/// The glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
+                    prop_oneof, proptest};
+}
+
+/// Namespaced strategy modules, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::collection::{btree_map, vec};
+    }
+    /// Character strategies.
+    pub mod char {
+        pub use crate::char_strategy::range;
+    }
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::{BoxedStrategy, Strategy};
+
+        /// `Option<T>` that is `Some` half the time.
+        pub fn of<S: Strategy + 'static>(inner: S) -> BoxedStrategy<Option<S::Value>>
+        where
+            S::Value: 'static,
+        {
+            BoxedStrategy::from_fn(move |rng| {
+                if rng.next_u64() & 1 == 0 {
+                    None
+                } else {
+                    Some(inner.generate(rng))
+                }
+            })
+        }
+    }
+    pub use crate::sample;
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical random generator.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arb_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Mix of uniform [0,1), scaled magnitudes, raw bit patterns, and
+    /// special values — raw bits alone would almost never produce the
+    /// small "ordinary" numbers most properties exercise.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.next_u64() % 8 {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => 0.0,
+            2 => -1.0,
+            3 => (rng.next_u64() % 10_000) as f64,
+            4 => -((rng.next_u64() % 10_000) as f64),
+            _ => {
+                let mantissa = rng.unit_f64() * 2.0 - 1.0;
+                let exp = (rng.next_u64() % 61) as i32 - 30;
+                mantissa * 10f64.powi(exp)
+            }
+        }
+    }
+}
+
+/// `proptest::sample` — index sampling.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// A position into a collection whose length is unknown at
+    /// generation time; resolved with [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map this sample onto `0..len` (`len` must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.range_usize(self.size.start, self.size.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with `size` entries (duplicate keys
+    /// collapse, like real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = rng.range_usize(self.size.start, self.size.end);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Character strategies (`prop::char`).
+pub mod char_strategy {
+    use super::{Strategy, TestRng};
+
+    /// Uniform character in `lo..=hi` (by code point).
+    pub fn range(lo: char, hi: char) -> CharRange {
+        CharRange { lo, hi }
+    }
+
+    /// See [`range`].
+    pub struct CharRange {
+        lo: char,
+        hi: char,
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            let lo = self.lo as u32;
+            let hi = self.hi as u32;
+            loop {
+                let v = lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((self.start as i128) + off) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let lo = self.start as u32;
+        let hi = self.end as u32;
+        assert!(lo < hi, "empty range strategy");
+        loop {
+            let v = lo + (rng.next_u64() % u64::from(hi - lo)) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from regex-like patterns
+// ---------------------------------------------------------------------------
+
+/// Parsed `[class]{m,n}` pattern.
+struct CharClassPattern {
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Option<CharClassPattern> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let rest = &rest[close + 1..];
+    let rest = rest.strip_prefix('{')?;
+    let rest = rest.strip_suffix('}')?;
+    let (min, max) = match rest.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = rest.parse().ok()?;
+            (n, n)
+        }
+    };
+    let chars: Vec<char> = class.chars().collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            ranges.push((chars[i], chars[i + 2]));
+            i += 3;
+        } else {
+            ranges.push((chars[i], chars[i]));
+            i += 1;
+        }
+    }
+    if ranges.is_empty() {
+        return None;
+    }
+    Some(CharClassPattern { ranges, min, max })
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    /// Interpret the string as a `[class]{m,n}` regex (the only shape
+    /// the workspace's tests use) and generate matching strings.
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let p = parse_pattern(self).unwrap_or_else(|| {
+            panic!("proptest stub: unsupported string pattern {self:?} (expected [class]{{m,n}})")
+        });
+        let n = p.min + (rng.next_u64() as usize) % (p.max - p.min + 1);
+        (0..n)
+            .map(|_| {
+                let (lo, hi) = p.ranges[(rng.next_u64() as usize) % p.ranges.len()];
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + (rng.next_u64() % u64::from(span)) as u32)
+                    .unwrap_or(lo)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Union of same-valued strategies; used by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice between the options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() as usize) % self.options.len();
+        self.options[i].generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body; failure reports the message without
+/// panicking past the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion with value output.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion with value output.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), __a
+        );
+    }};
+}
+
+/// Discard the current case (the runner draws a replacement).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u64..100, mut v in some_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __cases: u32 = __config.cases;
+                let __max_rejects: u32 = __cases.saturating_mul(16).saturating_add(256);
+                let mut __seed: u64 = $crate::test_runner::initial_seed(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut __accepted: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __accepted < __cases {
+                    let __case_seed = __seed;
+                    let mut __rng = $crate::test_runner::TestRng::new(__case_seed);
+                    __seed = __seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    $(let $pat = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => { __accepted += 1; }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(__why),
+                        ) => {
+                            __rejected += 1;
+                            if __rejected > __max_rejects {
+                                panic!(
+                                    "proptest {}: too many rejected cases ({}): last prop_assume: {}",
+                                    stringify!($name), __rejected, __why
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed (case {} of {}, seed {:#x}):\n{}",
+                                stringify!($name), __accepted + 1, __cases, __case_seed, __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Used by `Strategy::boxed`.
+pub(crate) type GenFn<T> = Arc<dyn Fn(&mut TestRng) -> T>;

@@ -1,0 +1,198 @@
+//! The `Strategy` trait and its combinators.
+
+use crate::test_runner::TestRng;
+use crate::GenFn;
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Discard values failing the predicate (regenerating up to a bound).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        FilterStrategy {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Generate a value, then derive a second strategy from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `branch`
+    /// wraps an inner strategy into a composite one. `depth` bounds the
+    /// nesting; `_target_size` and `_expected_branch` are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _target_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let composite = branch(current).boxed();
+            let leaf2 = leaf.clone();
+            // Half leaves, half composites at each level keeps depth
+            // distribution similar to real proptest's recursive unions.
+            current = BoxedStrategy::from_fn(move |rng| {
+                if rng.next_u64() & 1 == 0 {
+                    leaf2.generate(rng)
+                } else {
+                    composite.generate(rng)
+                }
+            });
+        }
+        current
+    }
+
+    /// Type-erase into a cloneable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for FilterStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}): rejected 10000 consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMapStrategy<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: GenFn<T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Arc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    pub(crate) fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen: Arc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}

@@ -1,0 +1,449 @@
+//! The self-describing JSON value tree the stub serde traits target.
+//!
+//! `serde_json` re-exports these types as `serde_json::{Value, Map,
+//! Number}`; they are defined here so the `Serialize` / `Deserialize`
+//! traits can reference them without a circular dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An owned JSON object: string keys in sorted order (matching
+/// `serde_json` without `preserve_order`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    inner: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+    /// Insert, returning any previous value for the key.
+    pub fn insert(&mut self, k: String, v: Value) -> Option<Value> {
+        self.inner.insert(k, v)
+    }
+    /// Look up a key.
+    pub fn get(&self, k: &str) -> Option<&Value> {
+        self.inner.get(k)
+    }
+    /// True when the key is present.
+    pub fn contains_key(&self, k: &str) -> bool {
+        self.inner.contains_key(k)
+    }
+    /// Remove a key.
+    pub fn remove(&mut self, k: &str) -> Option<Value> {
+        self.inner.remove(k)
+    }
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.inner.iter()
+    }
+    /// Iterate keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.inner.keys()
+    }
+    /// Iterate values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.inner.values()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        Map {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+///
+/// Non-negative integers normalize to the unsigned variant so that
+/// `Number::from(5i64) == Number::from(5u64)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Number(N);
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    /// Build from an f64 (non-finite values are preserved here and
+    /// rendered as `null` by the serializer, matching serde_json).
+    pub fn from_f64(f: f64) -> Number {
+        Number(N::F(f))
+    }
+    /// The value as u64, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(u) => Some(u),
+            N::I(i) => u64::try_from(i).ok(),
+            N::F(_) => None,
+        }
+    }
+    /// The value as i64, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::U(u) => i64::try_from(u).ok(),
+            N::I(i) => Some(i),
+            N::F(_) => None,
+        }
+    }
+    /// The value as f64 (integers convert lossily beyond 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::U(u) => Some(u as f64),
+            N::I(i) => Some(i as f64),
+            N::F(f) => Some(f),
+        }
+    }
+    /// True for the unsigned variant.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.0, N::U(_))
+    }
+    /// True for the signed variant.
+    pub fn is_i64(&self) -> bool {
+        matches!(self.0, N::I(_))
+    }
+    /// True for the float variant.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::F(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.0, other.0) {
+            (N::U(a), N::U(b)) => a == b,
+            (N::I(a), N::I(b)) => a == b,
+            (N::F(a), N::F(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Number {
+        Number(N::U(v))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Number {
+        if v >= 0 {
+            Number(N::U(v as u64))
+        } else {
+            Number(N::I(v))
+        }
+    }
+}
+
+macro_rules! number_from {
+    ($($t:ty => $via:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number {
+                Number::from(v as $via)
+            }
+        }
+    )*};
+}
+number_from!(u8 => u64, u16 => u64, u32 => u64, usize => u64,
+             i8 => i64, i16 => i64, i32 => i64, isize => i64);
+
+/// Render an f64 the way serde_json's `float_roundtrip` mode does:
+/// shortest decimal that round-trips, with a trailing `.0` on integral
+/// values so the token re-parses as a float.
+pub(crate) fn format_f64(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    if f == f.trunc() && f.abs() < 1e16 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::U(u) => write!(f, "{u}"),
+            N::I(i) => write!(f, "{i}"),
+            N::F(x) => f.write_str(&format_f64(x)),
+        }
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// Object field lookup (None for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// Boolean content.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    /// u64 content.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+    /// i64 content.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+    /// f64 content (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+    /// Array content.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    /// Object content.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    /// Externally-tagged single-entry object, used by derived enum code.
+    #[doc(hidden)]
+    pub fn tagged(tag: &str, inner: Value) -> Value {
+        let mut m = Map::new();
+        m.insert(tag.to_string(), inner);
+        Value::Object(m)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::from_f64(v))
+    }
+}
+impl From<Number> for Value {
+    fn from(v: Number) -> Value {
+        Value::Number(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::from(v))
+            }
+        }
+    )*};
+}
+value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Write `s` as a JSON string literal (quotes + escapes) into `out`.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    /// Compact JSON rendering into a string buffer.
+    #[doc(hidden)]
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty (2-space indented) JSON rendering.
+    #[doc(hidden)]
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        const PAD: &str = "  ";
+        match self {
+            Value::Array(a) if !a.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    for _ in 0..=indent {
+                        out.push_str(PAD);
+                    }
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                for _ in 0..indent {
+                    out.push_str(PAD);
+                }
+                out.push(']');
+            }
+            Value::Object(m) if !m.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    for _ in 0..=indent {
+                        out.push_str(PAD);
+                    }
+                    escape_into(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                for _ in 0..indent {
+                    out.push_str(PAD);
+                }
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON, like `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        f.write_str(&s)
+    }
+}

@@ -1,0 +1,375 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). The parser handles the shapes the
+//! workspace uses:
+//!
+//! * structs with named fields;
+//! * tuple structs (1 field = transparent newtype, n fields = array);
+//! * unit structs;
+//! * enums with unit, newtype, and struct variants (externally tagged).
+//!
+//! Generics are rejected with a compile error (no workspace type needs
+//! them). `#[serde(...)]` attributes are accepted and ignored — the only
+//! one the workspace uses is `transparent` on newtype structs, which is
+//! already this macro's default newtype behaviour (matching real serde).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (named fields) or index (tuple fields).
+enum Fields {
+    /// `struct S;`
+    Unit,
+    /// `struct S(T, U);` — arity only; types aren't needed.
+    Tuple(usize),
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip any number of `#[...]` attribute groups.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(super)`, `pub(in ...)`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a comma-delimited token sequence at top level (groups keep
+/// their commas internal because they arrive as single `Group` trees).
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            if p.as_char() == ',' {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse `{ a: T, b: U }` field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let mut names = Vec::new();
+    for item in split_commas(group.stream().into_iter().collect()) {
+        let mut i = skip_attrs(&item, 0);
+        i = skip_vis(&item, i);
+        if let Some(TokenTree::Ident(id)) = item.get(i) {
+            names.push(id.to_string());
+        }
+    }
+    names
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = split_commas(g.stream().into_iter().collect())
+                        .into_iter()
+                        .filter(|t| !t.is_empty())
+                        .count();
+                    Fields::Tuple(arity)
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Input::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            let mut variants = Vec::new();
+            for item in split_commas(body.stream().into_iter().collect()) {
+                let j = skip_attrs(&item, 0);
+                let vname = match item.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    None => continue,
+                    other => return Err(format!("expected variant name, got {other:?}")),
+                };
+                let fields = match item.get(j + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = split_commas(g.stream().into_iter().collect())
+                            .into_iter()
+                            .filter(|t| !t.is_empty())
+                            .count();
+                        Fields::Tuple(arity)
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Ok(Input::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn named_to_value(fields: &[String], access_prefix: &str) -> String {
+    let mut s = String::from("{ let mut __m = ::serde::value::Map::new();\n");
+    for f in fields {
+        s.push_str(&format!(
+            "__m.insert({f:?}.to_string(), ::serde::Serialize::to_value({access_prefix}{f}));\n"
+        ));
+    }
+    s.push_str("::serde::value::Value::Object(__m) }");
+    s
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::value::Value::Null".to_string(),
+                Fields::Tuple(1) => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!(
+                        "::serde::value::Value::Array(vec![{}])",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => named_to_value(fs, "&self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n}}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__x0) => ::serde::value::Value::tagged({vn:?}, \
+                         ::serde::Serialize::to_value(__x0)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::Value::tagged({vn:?}, \
+                             ::serde::value::Value::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let inner = named_to_value(fs, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::value::Value::tagged({vn:?}, {inner}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{ match self {{\n{arms}}} }}\n}}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn named_from_value(type_path: &str, fields: &[String], src: &str) -> String {
+    let mut s = format!(
+        "{{ let __m = {src}.as_object().ok_or_else(|| \
+         ::serde::DeError::expected(\"object\", {type_path:?}))?;\n\
+         Ok({type_path} {{\n"
+    );
+    for f in fields {
+        s.push_str(&format!("{f}: ::serde::__field(__m, {f:?})?,\n"));
+    }
+    s.push_str("}) }");
+    s
+}
+
+fn tuple_from_value(type_path: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        return format!("Ok({type_path}(::serde::Deserialize::from_value({src})?))");
+    }
+    let mut s = format!(
+        "{{ let __a = {src}.as_array().ok_or_else(|| \
+         ::serde::DeError::expected(\"array\", {type_path:?}))?;\n\
+         if __a.len() != {n} {{ return Err(::serde::DeError::custom(format!(\
+         \"expected {n} elements for {type_path}, got {{}}\", __a.len()))); }}\n\
+         Ok({type_path}("
+    );
+    for i in 0..n {
+        s.push_str(&format!("::serde::Deserialize::from_value(&__a[{i}])?, "));
+    }
+    s.push_str(")) }");
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+                Fields::Tuple(n) => tuple_from_value(name, *n, "v"),
+                Fields::Named(fs) => named_from_value(name, fs, "v"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let path = format!("{name}::{vn}");
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({path}),\n"));
+                        // Also accept {"Variant": null} for symmetry.
+                        tagged_arms.push_str(&format!("{vn:?} => Ok({path}),\n"));
+                    }
+                    Fields::Tuple(n) => {
+                        let body = tuple_from_value(&path, *n, "__inner");
+                        tagged_arms.push_str(&format!("{vn:?} => {body},\n"));
+                    }
+                    Fields::Named(fs) => {
+                        let body = named_from_value(&path, fs, "__inner");
+                        tagged_arms.push_str(&format!("{vn:?} => {body},\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::value::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::value::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.iter().next().expect(\"len 1\");\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::expected(\"string or single-key object\", {name:?})),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde stub codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde stub codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline, API-compatible subset of `serde_json`.
+//!
+//! Re-exports the stub serde's [`Value`] tree and adds a complete JSON
+//! text parser and compact/pretty printers. Floats round-trip (the
+//! printer emits the shortest decimal form that parses back to the same
+//! bits, via Rust's `Display`), matching the `float_roundtrip` feature
+//! of real serde_json that the workspace enables.
+
+pub use serde::value::{Map, Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// Serialization / deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.0)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.msg)
+    }
+}
+
+/// `Result` alias matching serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstruct a deserializable type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    Ok(T::from_value(value)?)
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialize to a pretty (2-space indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut s = String::new();
+    value.to_value().write_pretty(&mut s, 0);
+    Ok(s)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to pretty JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Serialize compact JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+/// Parse a JSON string into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parse JSON bytes into any deserializable type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] in place. Supports the object-literal form used by
+/// the workspace (`json!({"key": expr, ...})`), plain `null`, and any
+/// serializable expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert($key.to_string(), $crate::to_value(&$val)); )*
+        $crate::Value::Object(__m)
+    }};
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+mod parse {
+    use super::{Error, Map, Number, Result, Value};
+
+    pub fn parse(s: &str) -> Result<Value> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    const MAX_DEPTH: usize = 128;
+
+    impl<'a> Parser<'a> {
+        fn err(&self, msg: &str) -> Error {
+            Error::new(format!("{msg} at byte {}", self.pos))
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while let Some(b) = self.peek() {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<()> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected `{}`", b as char)))
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(self.err("invalid literal"))
+            }
+        }
+
+        fn value(&mut self, depth: usize) -> Result<Value> {
+            if depth > MAX_DEPTH {
+                return Err(self.err("recursion limit exceeded"));
+            }
+            match self.peek() {
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::String),
+                Some(b'[') => {
+                    self.pos += 1;
+                    let mut items = Vec::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    loop {
+                        self.skip_ws();
+                        items.push(self.value(depth + 1)?);
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => self.pos += 1,
+                            Some(b']') => {
+                                self.pos += 1;
+                                return Ok(Value::Array(items));
+                            }
+                            _ => return Err(self.err("expected `,` or `]`")),
+                        }
+                    }
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    let mut m = Map::new();
+                    self.skip_ws();
+                    if self.peek() == Some(b'}') {
+                        self.pos += 1;
+                        return Ok(Value::Object(m));
+                    }
+                    loop {
+                        self.skip_ws();
+                        let key = self.string()?;
+                        self.skip_ws();
+                        self.expect(b':')?;
+                        self.skip_ws();
+                        let v = self.value(depth + 1)?;
+                        m.insert(key, v);
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => self.pos += 1,
+                            Some(b'}') => {
+                                self.pos += 1;
+                                return Ok(Value::Object(m));
+                            }
+                            _ => return Err(self.err("expected `,` or `}`")),
+                        }
+                    }
+                }
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(self.err("expected value")),
+            }
+        }
+
+        fn string(&mut self) -> Result<String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+                match b {
+                    b'"' => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    b'\\' => {
+                        self.pos += 1;
+                        let e = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                        self.pos += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hi = self.hex4()?;
+                                let c = if (0xD800..0xDC00).contains(&hi) {
+                                    // surrogate pair
+                                    if self.bytes[self.pos..].starts_with(b"\\u") {
+                                        self.pos += 2;
+                                        let lo = self.hex4()?;
+                                        if !(0xDC00..0xE000).contains(&lo) {
+                                            return Err(self.err("invalid low surrogate"));
+                                        }
+                                        let cp =
+                                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(cp)
+                                            .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                    } else {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                } else if (0xDC00..0xE000).contains(&hi) {
+                                    return Err(self.err("unpaired surrogate"));
+                                } else {
+                                    char::from_u32(hi).ok_or_else(|| self.err("invalid \\u"))?
+                                };
+                                out.push(c);
+                            }
+                            _ => return Err(self.err("unknown escape")),
+                        }
+                    }
+                    0x00..=0x1F => return Err(self.err("control character in string")),
+                    _ => {
+                        // Consume one UTF-8 scalar (input is valid UTF-8).
+                        let start = self.pos;
+                        let len = utf8_len(b);
+                        self.pos += len;
+                        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32> {
+            if self.pos + 4 > self.bytes.len() {
+                return Err(self.err("truncated \\u escape"));
+            }
+            let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                .map_err(|_| self.err("bad \\u escape"))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+            self.pos += 4;
+            Ok(v)
+        }
+
+        fn number(&mut self) -> Result<Value> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            if self.peek() == Some(b'.') {
+                is_float = true;
+                self.pos += 1;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                is_float = true;
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("bad number"))?;
+            if !is_float {
+                if let Ok(u) = text.parse::<u64>() {
+                    return Ok(Value::Number(Number::from(u)));
+                }
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Number(Number::from(i)));
+                }
+                // Integer out of 64-bit range: fall through to f64.
+            }
+            let f: f64 = text
+                .parse()
+                .map_err(|_| self.err("invalid number"))?;
+            Ok(Value::Number(Number::from_f64(f)))
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for text in ["null", "true", "false", "0", "-5", "12345678901234567890"] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn float_roundtrip_bits() {
+        for f in [0.1, 1.0, -0.0, 1e300, 5e-324, std::f64::consts::PI] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v: Value = from_str(r#""a\n\t\"\\\u0041\ud83d\ude00b""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\n\t\"\\A\u{1F600}b");
+        let round: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(round, v);
+    }
+
+    #[test]
+    fn object_and_array() {
+        let v: Value = from_str(r#"{"b": [1, 2.5, "x"], "a": null}"#).unwrap();
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert!(v.get("a").unwrap().is_null());
+        // compact output sorts keys (BTreeMap-backed map)
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":null,"b":[1,2.5,"x"]}"#);
+    }
+
+    #[test]
+    fn json_macro_object() {
+        let addrs = vec![Value::String("x".into())];
+        let v = json!({"n": 5u64, "s": "hi", "list": addrs});
+        assert_eq!(to_string(&v).unwrap(), r#"{"list":["x"],"n":5,"s":"hi"}"#);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("\"\\q\"").is_err());
+    }
+}
