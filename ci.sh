@@ -8,4 +8,11 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# Smoke: the matrix planner must exactly match the per-config baseline
+# on a small dataset and emit a machine-readable bench summary (the
+# binary exits non-zero on divergence).
+mkdir -p target/ci-smoke
+./target/release/experiments --days 14 --bench-json target/ci-smoke/bench.json
+test -s target/ci-smoke/bench.json
+
 echo "ci.sh: all gates passed"

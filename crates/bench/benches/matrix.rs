@@ -1,0 +1,44 @@
+//! Matrix benchmark: the shared-window planner versus the pre-planner
+//! baseline that ran every configuration independently.
+//!
+//! Both sides evaluate the full paper matrix (3 metrics × day/week/month
+//! fixed + block-count sliding + time-based sliding = 15 configurations,
+//! 5 unique window specs), so the planner's advantage is exactly the
+//! shared windowing, shared distribution maintenance, and shared sorted
+//! scratch across the three metrics of each spec.
+
+use blockdec_bench::perf::{naive_matrix, paper_matrix};
+use blockdec_bench::Dataset;
+use blockdec_core::engine::run_matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_matrix(c: &mut Criterion) {
+    // BTC-scale: 10-minute blocks; ETH-scale: 13-second blocks. Days are
+    // truncated so a Criterion iteration stays in the tens of
+    // milliseconds; the experiments binary's --bench-json mode runs the
+    // same matrices at full scale.
+    let cases = [
+        ("bitcoin", Dataset::bitcoin(60), 1008),
+        ("ethereum", Dataset::ethereum(7), 6000),
+    ];
+    let mut group = c.benchmark_group("matrix");
+    group.sample_size(10);
+    for (name, ds, sliding) in &cases {
+        let configs = paper_matrix(ds, *sliding);
+        group.bench_with_input(
+            BenchmarkId::new("naive_per_config", name),
+            &ds.attributed,
+            |b, blocks| b.iter(|| black_box(naive_matrix(blocks, &configs))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("planner", name),
+            &ds.attributed,
+            |b, blocks| b.iter(|| black_box(run_matrix(blocks, &configs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

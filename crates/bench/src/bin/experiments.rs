@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! cargo run --release -p blockdec-bench --bin experiments [-- ids...]
-//!     [--out DIR]    output directory (default ./experiments-out)
-//!     [--quick]      truncate to 120 simulated days (covers both
-//!                    scripted anomalies) instead of the full year
+//!     [--out DIR]        output directory (default ./experiments-out)
+//!     [--quick]          truncate to 120 simulated days (covers both
+//!                        scripted anomalies) instead of the full year
+//!     [--days N]         truncate to exactly N simulated days
+//!     [--bench-json P]   also benchmark the shared-window matrix planner
+//!                        against the per-config baseline and write a
+//!                        machine-readable summary to P; with no ids
+//!                        listed, runs the benchmark alone
 //! ```
 
+use blockdec_bench::perf::{run_matrix_bench, summary_line, write_bench_json};
 use blockdec_bench::{run_experiment, Dataset, ALL_EXPERIMENTS};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,6 +24,8 @@ fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut outdir = PathBuf::from("experiments-out");
     let mut quick = false;
+    let mut days_override: Option<u32> = None;
+    let mut bench_json: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,6 +37,20 @@ fn main() -> ExitCode {
                 }
             },
             "--quick" => quick = true,
+            "--days" => match args.next().and_then(|d| d.parse().ok()) {
+                Some(d) if d > 0 => days_override = Some(d),
+                _ => {
+                    eprintln!("--days needs a positive day count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--bench-json" => match args.next() {
+                Some(p) => bench_json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--bench-json needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
             "--list" => {
                 for (id, title) in ALL_EXPERIMENTS {
                     println!("{id:8} {title}");
@@ -38,17 +60,21 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
+    // `--bench-json` with no explicit ids runs the benchmark alone.
+    let bench_only = bench_json.is_some() && ids.is_empty();
+    if ids.is_empty() && !bench_only {
         ids = ALL_EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
     }
 
-    let days = if quick { 120 } else { 365 };
+    let days = days_override.unwrap_or(if quick { 120 } else { 365 });
     eprintln!("generating calibrated datasets ({days} days)...");
     let t0 = Instant::now();
     let btc = Dataset::bitcoin(days);
+    let btc_gen_secs = t0.elapsed().as_secs_f64();
     eprintln!("  bitcoin: {} blocks in {:?}", btc.len(), t0.elapsed());
     let t1 = Instant::now();
     let eth = Dataset::ethereum(days);
+    let eth_gen_secs = t1.elapsed().as_secs_f64();
     eprintln!("  ethereum: {} blocks in {:?}", eth.len(), t1.elapsed());
 
     let mut summary = String::from("# blockdec experiment run\n\n");
@@ -79,10 +105,34 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let Err(e) = std::fs::write(outdir.join("summary.md"), &summary) {
-        eprintln!("could not write summary.md: {e}");
+    if let Some(path) = &bench_json {
+        eprintln!("\nbenchmarking shared-window planner vs per-config baseline...");
+        // The paper's sliding sizes: 1008 blocks (~1 week of BTC),
+        // 6000 blocks (~21.7 hours of ETH).
+        let results = [
+            run_matrix_bench(&btc, btc_gen_secs, 1008),
+            run_matrix_bench(&eth, eth_gen_secs, 6000),
+        ];
+        for b in &results {
+            println!("{}", summary_line(b));
+            if !b.exact_match {
+                eprintln!("bench FAILED: planner output diverged on {}", b.dataset);
+                failed = true;
+            }
+        }
+        if let Err(e) = write_bench_json(path, &results) {
+            eprintln!("could not write {}: {e}", path.display());
+            failed = true;
+        } else {
+            println!("bench summary written to {}", path.display());
+        }
     }
-    println!("\nartifacts in {}", outdir.display());
+    if !bench_only {
+        if let Err(e) = std::fs::write(outdir.join("summary.md"), &summary) {
+            eprintln!("could not write summary.md: {e}");
+        }
+        println!("\nartifacts in {}", outdir.display());
+    }
     if blockdec_obs::log::enabled(blockdec_obs::Level::Info, "experiments") {
         blockdec_obs::RunSummary::collect().emit();
     }

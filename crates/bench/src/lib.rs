@@ -14,6 +14,8 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod perf;
 
 pub use datasets::Dataset;
 pub use experiments::{run_experiment, ExperimentResult, ALL_EXPERIMENTS};
+pub use perf::{naive_matrix, run_matrix_bench, write_bench_json, MatrixBench};

@@ -1,0 +1,183 @@
+//! Matrix-planner performance harness shared by the `matrix` Criterion
+//! bench and the experiments binary's `--bench-json` mode.
+//!
+//! The baseline here, [`naive_matrix`], is the pre-planner `run_matrix`:
+//! one scoped thread per configuration, each calling
+//! [`MeasurementEngine::run`] and therefore re-windowing, re-building,
+//! and re-sorting the block stream independently. The planner
+//! ([`blockdec_core::planner::MatrixPlan`], reached through the current
+//! `run_matrix`) shares that work across every configuration with the
+//! same window spec, which is where the measured speedup comes from.
+
+use crate::datasets::Dataset;
+use blockdec_chain::time::SECS_PER_DAY;
+use blockdec_chain::{AttributedBlock, Granularity};
+use blockdec_core::engine::{run_matrix, MeasurementEngine};
+use blockdec_core::metrics::MetricKind;
+use blockdec_core::series::MeasurementSeries;
+use blockdec_core::MatrixPlan;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// The pre-planner `run_matrix`: fan out one scoped thread per
+/// configuration, each running the full window pipeline on its own.
+pub fn naive_matrix(
+    blocks: &[AttributedBlock],
+    configs: &[MeasurementEngine],
+) -> Vec<MeasurementSeries> {
+    let mut results: Vec<Option<MeasurementSeries>> = (0..configs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(configs.len());
+        for (i, cfg) in configs.iter().enumerate() {
+            handles.push((i, scope.spawn(move || cfg.run(blocks))));
+        }
+        for (i, h) in handles {
+            results[i] = Some(h.join().expect("measurement thread panicked"));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every config produces a series"))
+        .collect()
+}
+
+/// The paper's full per-chain matrix: every PAPER metric over day/week/
+/// month fixed calendar windows, one block-count sliding spec, and one
+/// day-long time-based sliding spec — 15 configurations, 5 unique
+/// window specs.
+pub fn paper_matrix(ds: &Dataset, sliding_size: usize) -> Vec<MeasurementEngine> {
+    let origin = ds.origin();
+    let mut configs = Vec::new();
+    for &metric in &MetricKind::PAPER {
+        for granularity in [Granularity::Day, Granularity::Week, Granularity::Month] {
+            configs.push(MeasurementEngine::new(metric).fixed_calendar(granularity, origin));
+        }
+        configs.push(MeasurementEngine::new(metric).sliding(sliding_size, sliding_size / 2));
+        configs.push(MeasurementEngine::new(metric).sliding_time(SECS_PER_DAY, SECS_PER_DAY / 2));
+    }
+    configs
+}
+
+/// One dataset's naive-vs-planner measurement.
+pub struct MatrixBench {
+    /// Chain label ("bitcoin" / "ethereum").
+    pub dataset: String,
+    /// Blocks in the stream.
+    pub blocks: usize,
+    /// Configurations in the matrix.
+    pub configs: usize,
+    /// Unique window specs after planner dedup.
+    pub window_specs: usize,
+    /// Seconds to generate the dataset (context, not part of the ratio).
+    pub generate_secs: f64,
+    /// Wall seconds for the per-config naive baseline.
+    pub naive_secs: f64,
+    /// Wall seconds for the shared-window planner.
+    pub planner_secs: f64,
+    /// Planner throughput: `blocks / planner_secs`.
+    pub planner_blocks_per_sec: f64,
+    /// `naive_secs / planner_secs`.
+    pub speedup: f64,
+    /// Whether the planner's output equalled the naive output exactly.
+    pub exact_match: bool,
+}
+
+/// Run the naive baseline and the planner once each over the same
+/// matrix, check the outputs for exact equality, and report timings.
+pub fn run_matrix_bench(ds: &Dataset, generate_secs: f64, sliding_size: usize) -> MatrixBench {
+    let configs = paper_matrix(ds, sliding_size);
+    let blocks = &ds.attributed;
+
+    let t = Instant::now();
+    let naive = naive_matrix(blocks, &configs);
+    let naive_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let planned = run_matrix(blocks, &configs);
+    let planner_secs = t.elapsed().as_secs_f64();
+
+    MatrixBench {
+        dataset: ds.name.clone(),
+        blocks: blocks.len(),
+        configs: configs.len(),
+        window_specs: MatrixPlan::new(&configs).window_specs(),
+        generate_secs,
+        naive_secs,
+        planner_secs,
+        planner_blocks_per_sec: blocks.len() as f64 / planner_secs.max(1e-9),
+        speedup: naive_secs / planner_secs.max(1e-9),
+        exact_match: naive == planned,
+    }
+}
+
+/// One human-readable summary line for a bench result.
+pub fn summary_line(b: &MatrixBench) -> String {
+    format!(
+        "{}: {} blocks, {} configs / {} specs — naive {:.3}s, planner {:.3}s \
+         ({:.2}x, {:.0} blocks/s), exact match: {}",
+        b.dataset,
+        b.blocks,
+        b.configs,
+        b.window_specs,
+        b.naive_secs,
+        b.planner_secs,
+        b.speedup,
+        b.planner_blocks_per_sec,
+        b.exact_match
+    )
+}
+
+/// Write results as a machine-readable JSON document so successive runs
+/// can be committed (`BENCH_*.json`) and compared as a trajectory.
+pub fn write_bench_json(path: &Path, results: &[MatrixBench]) -> io::Result<()> {
+    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 1,\n");
+    out.push_str("  \"datasets\": [\n");
+    for (i, b) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"dataset\": \"{}\",\n      \"blocks\": {},\n      \
+             \"configs\": {},\n      \"window_specs\": {},\n      \
+             \"generate_secs\": {:.6},\n      \"naive_secs\": {:.6},\n      \
+             \"planner_secs\": {:.6},\n      \"planner_blocks_per_sec\": {:.1},\n      \
+             \"speedup\": {:.3},\n      \"exact_match\": {}\n    }}{}\n",
+            b.dataset,
+            b.blocks,
+            b.configs,
+            b.window_specs,
+            b.generate_secs,
+            b.naive_secs,
+            b.planner_secs,
+            b.planner_blocks_per_sec,
+            b.speedup,
+            b.exact_match,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_matches_planner_and_json_is_written() {
+        let ds = Dataset::bitcoin(7);
+        let bench = run_matrix_bench(&ds, 0.0, 144);
+        assert!(bench.exact_match, "planner diverged from naive baseline");
+        assert_eq!(bench.configs, 15);
+        assert_eq!(bench.window_specs, 5);
+
+        let path = std::env::temp_dir().join(format!(
+            "blockdec-bench-json-{}.json",
+            std::process::id()
+        ));
+        write_bench_json(&path, &[bench]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"matrix\""));
+        assert!(body.contains("\"dataset\": \"bitcoin\""));
+        assert!(body.contains("\"exact_match\": true"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -7,7 +7,7 @@ use blockdec_analysis::report::{
     anomalies_csv, comparison_markdown, series_summary_line, sparkline_line,
 };
 use blockdec_chain::{ChainKind, Granularity, Timestamp};
-use blockdec_core::engine::MeasurementEngine;
+use blockdec_core::engine::{run_matrix, MeasurementEngine};
 use blockdec_core::metrics::MetricKind;
 use blockdec_core::series::MeasurementSeries;
 use blockdec_ingest::{bigquery, csv as csvio, jsonl};
@@ -162,22 +162,65 @@ pub fn ingest(args: &Args) -> CmdResult {
 }
 
 fn measure_series(args: &Args) -> Result<MeasurementSeries, String> {
+    let mut series = measure_matrix_series(args)?;
+    if series.len() > 1 {
+        return Err("expected a single --metric for this command".into());
+    }
+    Ok(series.pop().expect("at least one metric"))
+}
+
+/// Parse `--metric` (comma-separated list allowed) plus `--window` into
+/// engine configs and run them through the shared-window matrix planner,
+/// so `measure --metric gini,entropy,nakamoto` windows and sorts the
+/// store's blocks once instead of once per metric.
+fn measure_matrix_series(args: &Args) -> Result<Vec<MeasurementSeries>, String> {
     let store_dir = args.required("store")?;
-    let metric = parse_metric(args.get("metric").unwrap_or("gini"))?;
-    let engine = parse_window(args.get("window").unwrap_or("fixed:day"), metric)?;
+    let window = args.get("window").unwrap_or("fixed:day");
+    let configs = args
+        .get("metric")
+        .unwrap_or("gini")
+        .split(',')
+        .map(|m| parse_window(window, parse_metric(m.trim())?))
+        .collect::<Result<Vec<_>, _>>()?;
     let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
     let blocks = store
         .attributed_blocks(&Filter::True)
         .map_err(|e| e.to_string())?;
-    Ok(engine.run(&blocks))
+    Ok(run_matrix(&blocks, &configs))
 }
 
-/// `blockdec measure` — metric series to stdout/file as CSV.
+/// Render several series over the same window spec as one long-format
+/// CSV: the usual per-point columns behind a leading `metric` column.
+fn matrix_csv(all: &[MeasurementSeries]) -> String {
+    let mut out = String::from(
+        "metric,index,start_height,end_height,start_time,end_time,blocks,producers,value\n",
+    );
+    for series in all {
+        let body = series.to_csv();
+        for line in body.lines().skip(1) {
+            out.push_str(series.metric.label());
+            out.push(',');
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// `blockdec measure` — metric series to stdout/file as CSV. With a
+/// comma-separated `--metric` list every metric is computed from one
+/// shared window pass and the CSV gains a leading `metric` column.
 pub fn measure(args: &Args) -> CmdResult {
-    let series = measure_series(args)?;
-    eprintln!("{}", series_summary_line("store", &series));
-    eprintln!("{}", sparkline_line("series", &series, 60));
-    let csv = series.to_csv();
+    let all = measure_matrix_series(args)?;
+    for series in &all {
+        eprintln!("{}", series_summary_line("store", series));
+        eprintln!("{}", sparkline_line("series", series, 60));
+    }
+    let csv = if all.len() == 1 {
+        all[0].to_csv()
+    } else {
+        matrix_csv(&all)
+    };
     match args.get("out") {
         Some(path) => fs::write(path, csv).map_err(|e| format!("write {path}: {e}")),
         None => {
@@ -206,22 +249,22 @@ pub fn compare(args: &Args) -> CmdResult {
     let label_a = args.get("label-a").unwrap_or("chain-a");
     let label_b = args.get("label-b").unwrap_or("chain-b");
 
+    // One engine config per paper metric × granularity; the matrix
+    // planner dedups them down to one window pass per granularity.
+    let configs: Vec<MeasurementEngine> = MetricKind::PAPER
+        .into_iter()
+        .flat_map(|metric| {
+            Granularity::ALL.iter().map(move |&g| {
+                MeasurementEngine::new(metric).fixed_calendar(g, Timestamp::year_2019_start())
+            })
+        })
+        .collect();
     let run_all = |dir: &str| -> Result<Vec<MeasurementSeries>, String> {
         let store = BlockStore::open(dir).map_err(|e| e.to_string())?;
         let blocks = store
             .attributed_blocks(&Filter::True)
             .map_err(|e| e.to_string())?;
-        let mut out = Vec::new();
-        for metric in MetricKind::PAPER {
-            for g in Granularity::ALL {
-                out.push(
-                    MeasurementEngine::new(metric)
-                        .fixed_calendar(g, Timestamp::year_2019_start())
-                        .run(&blocks),
-                );
-            }
-        }
-        Ok(out)
+        Ok(run_matrix(&blocks, &configs))
     };
     let series_a = run_all(dir_a)?;
     let series_b = run_all(dir_b)?;

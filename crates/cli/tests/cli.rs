@@ -309,6 +309,32 @@ fn bad_window_spec_is_rejected() {
 }
 
 #[test]
+fn measure_accepts_comma_separated_metric_list() {
+    let dir = workdir("multimetric");
+    let store = dir.join("store");
+    let out = blockdec(&[
+        "load", "--chain", "bitcoin", "--days", "5", "--store", store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = blockdec(&[
+        "measure", "--store", store.to_str().unwrap(), "--metric",
+        "gini,entropy,nakamoto", "--window", "fixed:day",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let csv = stdout(&out);
+    assert!(csv.starts_with("metric,index,start_height"), "{csv}");
+    // Header + 5 days × 3 metrics in long format.
+    assert_eq!(csv.lines().count(), 16, "{csv}");
+    for metric in ["gini", "entropy", "nakamoto"] {
+        assert!(
+            csv.lines().any(|l| l.starts_with(&format!("{metric},"))),
+            "{metric} rows missing:\n{csv}"
+        );
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn unknown_metric_is_rejected_with_choices() {
     let dir = workdir("badmetric");
     let store = dir.join("store");

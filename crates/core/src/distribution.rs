@@ -125,6 +125,19 @@ impl ProducerDistribution {
         self.weights.values().copied().collect()
     }
 
+    /// Fill `buf` with this distribution's weights in
+    /// sorted-scratch-contract form: positive finite weights only,
+    /// ascending by [`f64::total_cmp`] — ready for the `*_sorted` metric
+    /// kernels ([`crate::metrics::MetricKind::compute_sorted`]). The
+    /// buffer is cleared first so one allocation can serve every window
+    /// of a run; the result is bit-identical to
+    /// `crate::metrics::sorted_positive(&self.weight_vector())`.
+    pub fn sorted_weights_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend(self.weights.values().copied().filter(|w| w.is_finite() && *w > 0.0));
+        buf.sort_unstable_by(f64::total_cmp);
+    }
+
     /// Snapshot `(producer, weight)` pairs sorted by descending weight,
     /// ties broken by producer id for determinism.
     pub fn ranked(&self) -> Vec<(ProducerId, f64)> {
@@ -260,6 +273,19 @@ mod tests {
         let mut v = d.weight_vector();
         v.sort_by(f64::total_cmp);
         assert_eq!(v, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn sorted_weights_into_reuses_and_sorts() {
+        let d = ProducerDistribution::from_pairs([(p(9), 3.0), (p(1), 5.0), (p(4), 1.0)]);
+        let mut buf = vec![99.0; 8];
+        d.sorted_weights_into(&mut buf);
+        assert_eq!(buf, vec![1.0, 3.0, 5.0]);
+        // Refill with a different distribution: buffer is cleared first.
+        let d2 = ProducerDistribution::from_pairs([(p(2), 2.0)]);
+        d2.sorted_weights_into(&mut buf);
+        assert_eq!(buf, vec![2.0]);
+        assert_eq!(buf, crate::metrics::sorted_positive(&d2.weight_vector()));
     }
 
     #[test]

@@ -4,21 +4,26 @@
 //! experiment harness use. Configure a metric and a windowing policy, then
 //! [`MeasurementEngine::run`] it over a height-ordered slice of attributed
 //! blocks. [`run_matrix`] evaluates many (metric, windowing) combinations
-//! in one call, fanning out across scoped threads — each
-//! configuration is independent, so the full paper matrix (3 metrics × 3
-//! granularities × 2 window families × 2 chains) parallelizes trivially.
+//! in one call; it is a compatibility wrapper over the matrix planner
+//! ([`crate::planner`]), which deduplicates shared window specs so the
+//! full paper matrix (3 metrics × 3 granularities × 2 window families × 2
+//! chains) windows and accumulates each unique window stream once instead
+//! of once per configuration.
 
 use crate::distribution::ProducerDistribution;
 use crate::metrics::MetricKind;
 use crate::series::{MeasurementPoint, MeasurementSeries, WindowLabel};
 use crate::windows::fixed::fixed_calendar_windows;
 use crate::windows::sliding::SlidingWindowSpec;
-use crate::windows::sliding_time::{time_windows, TimeWindowSpec};
+use crate::windows::sliding_time::{time_windows_indexed, TimeWindowSpec};
 use blockdec_chain::{AttributedBlock, Granularity, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// Windowing policy for a measurement run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Eq + Hash` so the matrix planner can group configurations by window
+/// spec and materialize each unique window stream once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum WindowSpec {
     /// Calendar fixed windows (§II-C) at a granularity from an origin.
     FixedCalendar {
@@ -35,7 +40,9 @@ pub enum WindowSpec {
 }
 
 impl WindowSpec {
-    fn label(&self) -> WindowLabel {
+    /// The serializable label of this window spec, as carried by
+    /// [`MeasurementSeries::window`].
+    pub fn label(&self) -> WindowLabel {
         match self {
             WindowSpec::FixedCalendar { granularity, .. } => WindowLabel::FixedCalendar {
                 granularity: granularity.label().to_string(),
@@ -155,19 +162,19 @@ impl MeasurementEngine {
     fn point_from_distribution(
         &self,
         index: i64,
-        members: &[&AttributedBlock],
+        first: &AttributedBlock,
+        last: &AttributedBlock,
+        blocks: u64,
         dist: &ProducerDistribution,
     ) -> MeasurementPoint {
-        debug_assert!(!members.is_empty());
-        let first = members.first().expect("windows are non-empty");
-        let last = members.last().expect("windows are non-empty");
+        debug_assert!(blocks > 0);
         MeasurementPoint {
             index,
             start_height: first.height,
             end_height: last.height,
             start_time: first.timestamp,
             end_time: last.timestamp,
-            blocks: members.len() as u64,
+            blocks,
             producers: dist.producers() as u64,
             value: self.metric.compute(&dist.weight_vector()),
         }
@@ -182,16 +189,19 @@ impl MeasurementEngine {
         fixed_calendar_windows(blocks, granularity, origin)
             .into_iter()
             .map(|w| {
-                let members: Vec<&AttributedBlock> = w
-                    .block_indices
-                    .iter()
-                    .map(|&i| &blocks[i as usize])
-                    .collect();
                 let mut dist = ProducerDistribution::new();
-                for b in &members {
-                    dist.add_block(b);
+                for &i in &w.block_indices {
+                    dist.add_block(&blocks[i as usize]);
                 }
-                self.point_from_distribution(w.bucket, &members, &dist)
+                let first = &blocks[*w.block_indices.first().expect("non-empty") as usize];
+                let last = &blocks[*w.block_indices.last().expect("non-empty") as usize];
+                self.point_from_distribution(
+                    w.bucket,
+                    first,
+                    last,
+                    w.block_indices.len() as u64,
+                    &dist,
+                )
             })
             .collect()
     }
@@ -203,18 +213,25 @@ impl MeasurementEngine {
     ) -> Vec<MeasurementPoint> {
         // Time windows assign by timestamp: order a view by time (miner
         // clock jitter makes height order only approximately time order).
-        let mut by_time: Vec<&AttributedBlock> = blocks.iter().collect();
-        by_time.sort_by_key(|b| (b.timestamp, b.height));
-        let owned: Vec<AttributedBlock> = by_time.iter().map(|b| (*b).clone()).collect();
-        time_windows(&owned, spec)
+        // A sorted u32 permutation replaces the former deep clone of the
+        // whole stream — 4 bytes per block instead of a full copy.
+        let order = timestamp_order(blocks);
+        time_windows_indexed(blocks, &order, spec)
             .into_iter()
             .map(|w| {
-                let members: Vec<&AttributedBlock> = owned[w.blocks.clone()].iter().collect();
                 let mut dist = ProducerDistribution::new();
-                for b in &members {
-                    dist.add_block(b);
+                for &i in &order[w.blocks.clone()] {
+                    dist.add_block(&blocks[i as usize]);
                 }
-                self.point_from_distribution(w.index as i64, &members, &dist)
+                let first = &blocks[order[w.blocks.start] as usize];
+                let last = &blocks[order[w.blocks.end - 1] as usize];
+                self.point_from_distribution(
+                    w.index as i64,
+                    first,
+                    last,
+                    w.blocks.len() as u64,
+                    &dist,
+                )
             })
             .collect()
     }
@@ -247,44 +264,45 @@ impl MeasurementEngine {
                     }
                 }
             }
-            let members: Vec<&AttributedBlock> = blocks[range.clone()].iter().collect();
-            points.push(self.point_from_distribution(i as i64, &members, &dist));
+            points.push(self.point_from_distribution(
+                i as i64,
+                &blocks[range.start],
+                &blocks[range.end - 1],
+                range.len() as u64,
+                &dist,
+            ));
             current = Some(range);
         }
         points
     }
 }
 
-/// Run many engine configurations over the same block stream in parallel.
+/// The timestamp-sorted `u32` permutation of a block slice, ties broken
+/// by height: `order[j]` indexes the j-th block by `(timestamp, height)`.
+/// Shared by the engine's and the planner's time-window paths.
+pub(crate) fn timestamp_order(blocks: &[AttributedBlock]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..blocks.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| {
+        let b = &blocks[i as usize];
+        (b.timestamp, b.height)
+    });
+    order
+}
+
+/// Run many engine configurations over the same block stream.
 ///
-/// Results come back in configuration order regardless of completion
-/// order. With a single configuration this degenerates to a plain call.
+/// Compatibility wrapper over the matrix planner
+/// ([`crate::planner::MatrixPlan`]): configurations sharing a window spec
+/// are grouped so each unique window stream is materialized once and
+/// every metric reads one shared sorted scratch buffer per window.
+/// Results come back in configuration order and are exactly equal
+/// (bit-for-bit for the paper's unit-credit attribution) to running each
+/// configuration separately.
 pub fn run_matrix(
     blocks: &[AttributedBlock],
     configs: &[MeasurementEngine],
 ) -> Vec<MeasurementSeries> {
-    if configs.len() <= 1 {
-        return configs.iter().map(|c| c.run(blocks)).collect();
-    }
-    let _t = blockdec_obs::span_timed!(
-        "stage.measure_matrix",
-        configs = configs.len(),
-        blocks = blocks.len(),
-    );
-    let mut results: Vec<Option<MeasurementSeries>> = vec![None; configs.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(configs.len());
-        for (i, cfg) in configs.iter().enumerate() {
-            handles.push((i, scope.spawn(move || cfg.run(blocks))));
-        }
-        for (i, h) in handles {
-            results[i] = Some(h.join().expect("measurement thread panicked"));
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every config produces a series"))
-        .collect()
+    crate::planner::MatrixPlan::new(configs).run(blocks)
 }
 
 #[cfg(test)]

@@ -88,13 +88,23 @@ impl CountMultiset {
 
     /// Credit one block to a producer.
     pub fn add(&mut self, p: ProducerId) {
+        self.add_n(p, 1);
+    }
+
+    /// Credit `n` blocks to a producer in one O(log) update — a
+    /// multi-payout anomaly block moves a producer's bucket once instead
+    /// of `n` times.
+    pub fn add_n(&mut self, p: ProducerId, n: u64) {
+        if n == 0 {
+            return;
+        }
         let c = self.per_producer.entry(p).or_insert(0);
         let old = *c;
-        *c += 1;
+        *c += n;
         let new = *c;
         self.bump_count_bucket(old, -1);
         self.bump_count_bucket(new, 1);
-        self.total += 1;
+        self.total += n;
         self.sum_clog2c += clog2c(new) - clog2c(old);
     }
 
@@ -104,21 +114,37 @@ impl CountMultiset {
     /// If the producer has no blocks to remove (debug builds assert; in
     /// release the call is a checked no-op returning `false`).
     pub fn remove(&mut self, p: ProducerId) -> bool {
+        self.remove_n(p, 1)
+    }
+
+    /// Remove `n` previously-credited blocks from a producer in one
+    /// O(log) update — the mirror of [`CountMultiset::add_n`]. Returns
+    /// `true` when all `n` were present.
+    ///
+    /// # Panics
+    /// If fewer than `n` blocks are held (debug builds assert; in release
+    /// the count clamps at zero and the call returns `false`).
+    pub fn remove_n(&mut self, p: ProducerId, n: u64) -> bool {
+        if n == 0 {
+            return true;
+        }
         let Some(c) = self.per_producer.get_mut(&p) else {
             debug_assert!(false, "removing block from producer with zero count");
             return false;
         };
         let old = *c;
-        *c -= 1;
+        debug_assert!(old >= n, "removing {n} blocks from a count of {old}");
+        let taken = n.min(old);
+        *c = old - taken;
         let new = *c;
         if new == 0 {
             self.per_producer.remove(&p);
         }
         self.bump_count_bucket(old, -1);
         self.bump_count_bucket(new, 1);
-        self.total -= 1;
+        self.total -= taken;
         self.sum_clog2c += clog2c(new) - clog2c(old);
-        true
+        taken == n
     }
 
     /// Shannon entropy in bits (paper Eqs. 2–3), from the maintained
@@ -257,12 +283,11 @@ impl StreamingSlidingEngine {
                 if c.weight.fract() != 0.0 || c.weight < 0.0 {
                     return None;
                 }
-                for _ in 0..(c.weight as u64) {
-                    if add {
-                        m.add(c.producer);
-                    } else {
-                        m.remove(c.producer);
-                    }
+                // One bucket move per credit, however many blocks it pays.
+                if add {
+                    m.add_n(c.producer, c.weight as u64);
+                } else {
+                    m.remove_n(c.producer, c.weight as u64);
                 }
             }
             Some(())
@@ -368,6 +393,34 @@ mod tests {
     fn remove_from_absent_panics_in_debug() {
         let mut m = CountMultiset::new();
         m.remove(p(9));
+    }
+
+    #[test]
+    fn add_n_equals_repeated_add() {
+        let mut bulk = CountMultiset::new();
+        bulk.add_n(p(1), 7);
+        bulk.add_n(p(2), 3);
+        bulk.add_n(p(1), 0); // no-op
+        let single = filled(&[(1, 7), (2, 3)]);
+        assert_eq!(bulk.total(), single.total());
+        assert_eq!(bulk.count_of(p(1)), 7);
+        assert!((bulk.entropy() - single.entropy()).abs() < 1e-12);
+        assert!((bulk.gini() - single.gini()).abs() < 1e-12);
+        assert_eq!(bulk.nakamoto(), single.nakamoto());
+    }
+
+    #[test]
+    fn remove_n_mirrors_add_n() {
+        let mut m = CountMultiset::new();
+        m.add_n(p(1), 30);
+        m.add_n(p(2), 10);
+        assert!(m.remove_n(p(1), 30));
+        assert_eq!(m.producers(), 1);
+        assert_eq!(m.count_of(p(1)), 0);
+        assert!(m.remove_n(p(2), 0)); // no-op succeeds
+        assert!(m.remove_n(p(2), 10));
+        assert!(m.is_empty());
+        assert!(m.entropy().abs() < 1e-12);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!
 //! The pipeline is: attributed blocks → per-window producer distribution →
 //! metric value → [`series::MeasurementSeries`].
+//!
+//! Multi-configuration sweeps go through the matrix [`planner`], which
+//! deduplicates shared window specs and evaluates every metric of a
+//! window from one sorted scratch buffer; [`engine::run_matrix`] is its
+//! compatibility entry point.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,6 +21,7 @@ pub mod distribution;
 pub mod engine;
 pub mod incremental;
 pub mod metrics;
+pub mod planner;
 pub mod series;
 pub mod windows;
 
@@ -23,4 +29,5 @@ pub use distribution::ProducerDistribution;
 pub use engine::MeasurementEngine;
 pub use incremental::{CountMultiset, StreamingSlidingEngine};
 pub use metrics::MetricKind;
+pub use planner::MatrixPlan;
 pub use series::{MeasurementPoint, MeasurementSeries};

@@ -10,7 +10,7 @@
 //! of mining power is more random/disordered — *more* decentralized.
 //! `E` ranges from 0 (one producer) to `log2(n)` (n equal producers).
 
-use super::positive_weights;
+use super::{debug_check_sorted, sorted_positive};
 
 /// Shannon entropy in bits of the normalized weight distribution.
 /// Empty/degenerate input yields 0.0.
@@ -22,16 +22,24 @@ use super::positive_weights;
 /// assert_eq!(shannon_entropy(&[2.0, 1.0, 1.0]), 1.5);
 /// ```
 pub fn shannon_entropy(weights: &[f64]) -> f64 {
-    let w: Vec<f64> = positive_weights(weights).collect();
-    if w.is_empty() {
+    shannon_entropy_sorted(&sorted_positive(weights))
+}
+
+/// [`shannon_entropy`] kernel over a slice already in
+/// sorted-scratch-contract form (finite, strictly positive, ascending by
+/// `total_cmp`). The summation runs in ascending order, which is also
+/// what makes the public wrapper permutation-deterministic.
+pub fn shannon_entropy_sorted(sorted: &[f64]) -> f64 {
+    debug_check_sorted(sorted);
+    if sorted.is_empty() {
         return 0.0;
     }
-    let total: f64 = w.iter().sum();
+    let total: f64 = sorted.iter().sum();
     if total <= 0.0 {
         return 0.0;
     }
     // E = log2(T) − Σ w·log2(w) / T  — one pass, no per-element division.
-    let sum_wlogw: f64 = w.iter().map(|&x| x * x.log2()).sum();
+    let sum_wlogw: f64 = sorted.iter().map(|&x| x * x.log2()).sum();
     let e = total.log2() - sum_wlogw / total;
     e.max(0.0)
 }
@@ -40,11 +48,17 @@ pub fn shannon_entropy(weights: &[f64]) -> f64 {
 /// windows with different producer populations. Returns 0.0 when fewer
 /// than two producers hold weight.
 pub fn normalized_shannon_entropy(weights: &[f64]) -> f64 {
-    let n = positive_weights(weights).count();
+    normalized_shannon_entropy_sorted(&sorted_positive(weights))
+}
+
+/// [`normalized_shannon_entropy`] kernel over a slice already in
+/// sorted-scratch-contract form.
+pub fn normalized_shannon_entropy_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
     if n < 2 {
         return 0.0;
     }
-    (shannon_entropy(weights) / (n as f64).log2()).clamp(0.0, 1.0)
+    (shannon_entropy_sorted(sorted) / (n as f64).log2()).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

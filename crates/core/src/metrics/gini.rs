@@ -14,7 +14,7 @@
 //! Interpretation (paper §II-B1): G near 0 means mining power is evenly
 //! spread — *more* decentralized; G near 1 means concentration.
 
-use super::positive_weights;
+use super::{debug_check_sorted, positive_weights, sorted_positive};
 
 /// Gini coefficient of a weight slice. Returns 0.0 for fewer than two
 /// positive weights (a single producer is "perfectly equal with itself";
@@ -27,19 +27,26 @@ use super::positive_weights;
 /// assert!(gini(&[100.0, 1.0, 1.0, 1.0]) > 0.7);     // concentration
 /// ```
 pub fn gini(weights: &[f64]) -> f64 {
-    let mut w: Vec<f64> = positive_weights(weights).collect();
-    let n = w.len();
+    gini_sorted(&sorted_positive(weights))
+}
+
+/// [`gini`] kernel over a slice already in sorted-scratch-contract form
+/// (finite, strictly positive, ascending by `total_cmp`); skips the
+/// per-call filter + sort so a shared scratch buffer can be reused
+/// across metrics.
+pub fn gini_sorted(sorted: &[f64]) -> f64 {
+    debug_check_sorted(sorted);
+    let n = sorted.len();
     if n < 2 {
         return 0.0;
     }
-    w.sort_unstable_by(f64::total_cmp);
-    let total: f64 = w.iter().sum();
+    let total: f64 = sorted.iter().sum();
     if total <= 0.0 {
         return 0.0;
     }
     let n_f = n as f64;
     // Σ_i (2i − n − 1) x_(i), 1-based i over ascending x.
-    let weighted: f64 = w
+    let weighted: f64 = sorted
         .iter()
         .enumerate()
         .map(|(i0, &x)| (2.0 * (i0 as f64 + 1.0) - n_f - 1.0) * x)

@@ -7,20 +7,26 @@
 //! metrics, and its reciprocal `1/HHI` is the "effective number of
 //! producers".
 
-use super::positive_weights;
+use super::{debug_check_sorted, sorted_positive};
 
 /// Herfindahl–Hirschman index of the normalized weights. Empty input
 /// yields 0.0.
 pub fn hhi(weights: &[f64]) -> f64 {
-    let w: Vec<f64> = positive_weights(weights).collect();
-    if w.is_empty() {
+    hhi_sorted(&sorted_positive(weights))
+}
+
+/// [`hhi`] kernel over a slice already in sorted-scratch-contract form
+/// (finite, strictly positive, ascending by `total_cmp`).
+pub fn hhi_sorted(sorted: &[f64]) -> f64 {
+    debug_check_sorted(sorted);
+    if sorted.is_empty() {
         return 0.0;
     }
-    let total: f64 = w.iter().sum();
+    let total: f64 = sorted.iter().sum();
     if total <= 0.0 {
         return 0.0;
     }
-    let sum_sq: f64 = w.iter().map(|&x| x * x).sum();
+    let sum_sq: f64 = sorted.iter().map(|&x| x * x).sum();
     (sum_sq / (total * total)).clamp(0.0, 1.0)
 }
 

@@ -8,6 +8,23 @@
 //! All metric functions take an unordered slice of non-negative producer
 //! weights (block credits within a window). Zero weights are ignored;
 //! an all-zero or empty slice yields the metric's degenerate value.
+//!
+//! # Sorted kernels
+//!
+//! Every metric also exposes a `*_sorted` kernel (e.g. [`gini::gini_sorted`])
+//! that skips filtering and sorting. Kernels require their input to satisfy
+//! the **sorted-scratch contract**: every weight is finite and strictly
+//! positive, and the slice is ascending under [`f64::total_cmp`] — exactly
+//! what [`sorted_positive`] (and
+//! [`ProducerDistribution::sorted_weights_into`]) produce. The public
+//! functions are thin sort-then-delegate wrappers over these kernels, so a
+//! caller that evaluates many metrics over one weight vector (the matrix
+//! planner in [`crate::planner`]) can filter + sort once and reuse the
+//! buffer, with bit-identical results to calling each public function
+//! separately.
+//!
+//! [`ProducerDistribution::sorted_weights_into`]:
+//!     crate::distribution::ProducerDistribution::sorted_weights_into
 
 pub mod entropy;
 pub mod gini;
@@ -16,14 +33,18 @@ pub mod nakamoto;
 pub mod theil;
 pub mod topk;
 
-pub use entropy::{normalized_shannon_entropy, shannon_entropy};
-pub use gini::gini;
-pub use hhi::hhi;
-pub use nakamoto::{
-    nakamoto, nakamoto_with_threshold, NAKAMOTO_THRESHOLD, SELFISH_MINING_THRESHOLD,
+pub use entropy::{
+    normalized_shannon_entropy, normalized_shannon_entropy_sorted, shannon_entropy,
+    shannon_entropy_sorted,
 };
-pub use theil::theil;
-pub use topk::top_k_share;
+pub use gini::{gini, gini_sorted};
+pub use hhi::{hhi, hhi_sorted};
+pub use nakamoto::{
+    nakamoto, nakamoto_sorted, nakamoto_with_threshold, nakamoto_with_threshold_sorted,
+    NAKAMOTO_THRESHOLD, SELFISH_MINING_THRESHOLD,
+};
+pub use theil::{theil, theil_sorted};
+pub use topk::{top_k_share, top_k_share_sorted};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -109,7 +130,10 @@ impl MetricKind {
         )
     }
 
-    /// Evaluate this metric on a weight slice.
+    /// Evaluate this metric on an unordered weight slice. Equivalent to
+    /// `self.compute_sorted(&sorted)` after filtering + sorting, which is
+    /// how it is implemented (every public metric function is a
+    /// sort-then-delegate wrapper over its `*_sorted` kernel).
     pub fn compute(self, weights: &[f64]) -> f64 {
         match self {
             MetricKind::Gini => gini(weights),
@@ -121,6 +145,27 @@ impl MetricKind {
             MetricKind::Top1Share => top_k_share(weights, 1),
             MetricKind::NakamotoSelfish => {
                 nakamoto_with_threshold(weights, SELFISH_MINING_THRESHOLD) as f64
+            }
+        }
+    }
+
+    /// Evaluate this metric on a slice satisfying the sorted-scratch
+    /// contract (finite, strictly positive, ascending by
+    /// [`f64::total_cmp`]). Bit-identical to [`MetricKind::compute`] on
+    /// any permutation-with-garbage of the same weights; skips the
+    /// per-metric filter + sort so a shared scratch buffer can serve
+    /// every metric of a window.
+    pub fn compute_sorted(self, sorted: &[f64]) -> f64 {
+        match self {
+            MetricKind::Gini => gini_sorted(sorted),
+            MetricKind::ShannonEntropy => shannon_entropy_sorted(sorted),
+            MetricKind::NormalizedEntropy => normalized_shannon_entropy_sorted(sorted),
+            MetricKind::Nakamoto => nakamoto_sorted(sorted) as f64,
+            MetricKind::Hhi => hhi_sorted(sorted),
+            MetricKind::Theil => theil_sorted(sorted),
+            MetricKind::Top1Share => top_k_share_sorted(sorted, 1),
+            MetricKind::NakamotoSelfish => {
+                nakamoto_with_threshold_sorted(sorted, SELFISH_MINING_THRESHOLD) as f64
             }
         }
     }
@@ -152,6 +197,31 @@ impl std::str::FromStr for MetricKind {
 /// shared by the metric implementations.
 pub(crate) fn positive_weights(weights: &[f64]) -> impl Iterator<Item = f64> + '_ {
     weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0)
+}
+
+/// Filter to positive finite weights and sort ascending by
+/// [`f64::total_cmp`] — the canonical preparation step that puts a weight
+/// slice into sorted-scratch-contract form for the `*_sorted` kernels.
+/// The result is value-deterministic: any permutation of the same
+/// multiset of weights produces the identical vector.
+pub fn sorted_positive(weights: &[f64]) -> Vec<f64> {
+    let mut w: Vec<f64> = positive_weights(weights).collect();
+    w.sort_unstable_by(f64::total_cmp);
+    w
+}
+
+/// Debug-build validation of the sorted-scratch contract; compiles to
+/// nothing in release builds so kernels stay branch-free on the hot path.
+#[inline]
+pub(crate) fn debug_check_sorted(sorted: &[f64]) {
+    debug_assert!(
+        sorted.iter().all(|w| w.is_finite() && *w > 0.0),
+        "sorted kernel input must be finite and strictly positive"
+    );
+    debug_assert!(
+        sorted.windows(2).all(|p| p[0] <= p[1]),
+        "sorted kernel input must be ascending"
+    );
 }
 
 #[cfg(test)]
@@ -198,6 +268,27 @@ mod tests {
     fn selfish_threshold_never_exceeds_majority_threshold() {
         let w = [0.3, 0.25, 0.2, 0.15, 0.1];
         assert!(MetricKind::NakamotoSelfish.compute(&w) <= MetricKind::Nakamoto.compute(&w));
+    }
+
+    #[test]
+    fn compute_sorted_matches_compute_bitwise() {
+        let w = [5.0, 0.25, 3.0, 0.0, -1.0, 3.0, 1.5, f64::NAN];
+        let sorted = sorted_positive(&w);
+        for m in MetricKind::ALL {
+            assert_eq!(
+                m.compute(&w).to_bits(),
+                m.compute_sorted(&sorted).to_bits(),
+                "{m} differs between compute and compute_sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_positive_is_permutation_invariant() {
+        let a = [3.0, 1.0, 2.0, 0.0, 2.0];
+        let b = [2.0, 2.0, 0.0, 3.0, 1.0];
+        assert_eq!(sorted_positive(&a), sorted_positive(&b));
+        assert_eq!(sorted_positive(&a), vec![1.0, 2.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! that; [`nakamoto_with_threshold`] exposes the knob for the 0.33
 //! selfish-mining variant discussed in the introduction.
 
-use super::positive_weights;
+use super::{debug_check_sorted, sorted_positive};
 
 /// The paper's collusion threshold (51%).
 pub const NAKAMOTO_THRESHOLD: f64 = 0.51;
@@ -36,20 +36,31 @@ pub fn nakamoto(weights: &[f64]) -> usize {
 
 /// Nakamoto coefficient at an arbitrary share threshold in (0, 1].
 pub fn nakamoto_with_threshold(weights: &[f64], threshold: f64) -> usize {
+    nakamoto_with_threshold_sorted(&sorted_positive(weights), threshold)
+}
+
+/// [`nakamoto`] kernel over a slice already in sorted-scratch-contract
+/// form (ascending): walks producers from the large end.
+pub fn nakamoto_sorted(sorted: &[f64]) -> usize {
+    nakamoto_with_threshold_sorted(sorted, NAKAMOTO_THRESHOLD)
+}
+
+/// [`nakamoto_with_threshold`] kernel over a slice already in
+/// sorted-scratch-contract form (ascending).
+pub fn nakamoto_with_threshold_sorted(sorted: &[f64], threshold: f64) -> usize {
     assert!(
         threshold > 0.0 && threshold <= 1.0,
         "threshold must be in (0, 1], got {threshold}"
     );
-    let mut w: Vec<f64> = positive_weights(weights).collect();
-    if w.is_empty() {
+    debug_check_sorted(sorted);
+    if sorted.is_empty() {
         return 0;
     }
-    let total: f64 = w.iter().sum();
-    // Descending by weight.
-    w.sort_unstable_by(|a, b| b.total_cmp(a));
+    let total: f64 = sorted.iter().sum();
     let target = threshold * total;
     let mut cum = 0.0;
-    for (i, x) in w.iter().enumerate() {
+    // Largest producers first: the ascending slice walked from the end.
+    for (i, x) in sorted.iter().rev().enumerate() {
         cum += x;
         // `>=` with a tiny relative epsilon: f64 summation must not push a
         // producer holding exactly 51% to a coefficient of 2.
@@ -57,7 +68,7 @@ pub fn nakamoto_with_threshold(weights: &[f64], threshold: f64) -> usize {
             return i + 1;
         }
     }
-    w.len()
+    sorted.len()
 }
 
 #[cfg(test)]

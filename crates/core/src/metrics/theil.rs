@@ -11,21 +11,27 @@
 //! is additively decomposable, which follow-up decentralization studies
 //! use to split inequality within/between pool tiers.
 
-use super::positive_weights;
+use super::{debug_check_sorted, sorted_positive};
 
 /// Theil-T index. Empty or single-producer input yields 0.0.
 pub fn theil(weights: &[f64]) -> f64 {
-    let w: Vec<f64> = positive_weights(weights).collect();
-    let n = w.len();
+    theil_sorted(&sorted_positive(weights))
+}
+
+/// [`theil`] kernel over a slice already in sorted-scratch-contract form
+/// (finite, strictly positive, ascending by `total_cmp`).
+pub fn theil_sorted(sorted: &[f64]) -> f64 {
+    debug_check_sorted(sorted);
+    let n = sorted.len();
     if n < 2 {
         return 0.0;
     }
-    let total: f64 = w.iter().sum();
+    let total: f64 = sorted.iter().sum();
     if total <= 0.0 {
         return 0.0;
     }
     let mean = total / n as f64;
-    let t = w
+    let t = sorted
         .iter()
         .map(|&x| {
             let r = x / mean;

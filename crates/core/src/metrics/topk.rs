@@ -4,29 +4,31 @@
 //! producers — the quantity behind the paper's Fig. 7 pie charts and the
 //! most direct "who controls the chain" number.
 
-use super::positive_weights;
+use super::{debug_check_sorted, positive_weights, sorted_positive};
 
 /// Combined share of the `k` heaviest producers, in 0..=1. Returns 0.0
 /// for an empty distribution or `k == 0`; returns 1.0 when `k` covers all
 /// producers.
 pub fn top_k_share(weights: &[f64], k: usize) -> f64 {
-    if k == 0 {
+    top_k_share_sorted(&sorted_positive(weights), k)
+}
+
+/// [`top_k_share`] kernel over a slice already in sorted-scratch-contract
+/// form (ascending): the `k` heaviest producers are the slice's tail.
+pub fn top_k_share_sorted(sorted: &[f64], k: usize) -> f64 {
+    debug_check_sorted(sorted);
+    if k == 0 || sorted.is_empty() {
         return 0.0;
     }
-    let mut w: Vec<f64> = positive_weights(weights).collect();
-    if w.is_empty() {
-        return 0.0;
-    }
-    let total: f64 = w.iter().sum();
+    let total: f64 = sorted.iter().sum();
     if total <= 0.0 {
         return 0.0;
     }
-    if k >= w.len() {
+    if k >= sorted.len() {
         return 1.0;
     }
-    // Partial selection: only the k largest need ordering.
-    w.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
-    let top: f64 = w[..k].iter().sum();
+    // Largest-first summation, matching the historical descending walk.
+    let top: f64 = sorted[sorted.len() - k..].iter().rev().sum();
     (top / total).clamp(0.0, 1.0)
 }
 

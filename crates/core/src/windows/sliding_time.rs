@@ -103,20 +103,48 @@ pub fn time_windows(blocks: &[AttributedBlock], spec: TimeWindowSpec) -> Vec<Tim
         blocks.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
         "blocks must be timestamp-ordered"
     );
-    let (Some(first), Some(last)) = (blocks.first(), blocks.last()) else {
+    windows_over(blocks.len(), |i| blocks[i].timestamp.secs(), spec)
+}
+
+/// [`time_windows`] over a timestamp-ordered *permutation* of a block
+/// slice: `order[j]` is the index into `blocks` of the j-th block by
+/// `(timestamp, height)`. The emitted [`TimeWindow::blocks`] ranges index
+/// into `order`, not into `blocks` — so callers window an unsorted stream
+/// without cloning it (the engine's time-window path sorts a `Vec<u32>`
+/// of indices instead of the blocks themselves).
+pub fn time_windows_indexed(
+    blocks: &[AttributedBlock],
+    order: &[u32],
+    spec: TimeWindowSpec,
+) -> Vec<TimeWindow> {
+    debug_assert_eq!(order.len(), blocks.len(), "order must be a permutation");
+    debug_assert!(
+        order
+            .windows(2)
+            .all(|w| blocks[w[0] as usize].timestamp <= blocks[w[1] as usize].timestamp),
+        "order must be timestamp-sorted"
+    );
+    windows_over(order.len(), |i| blocks[order[i] as usize].timestamp.secs(), spec)
+}
+
+/// Shared two-cursor window walk over any timestamp-ordered view: `ts_at`
+/// maps a view position in `0..len` to its timestamp in seconds.
+fn windows_over(len: usize, ts_at: impl Fn(usize) -> i64, spec: TimeWindowSpec) -> Vec<TimeWindow> {
+    if len == 0 {
         return Vec::new();
-    };
+    }
+    let (first, last) = (ts_at(0), ts_at(len - 1));
     // Anchor at the explicit alignment when given, snapped forward so the
     // first window is the earliest aligned one that can contain a block.
     let origin = match spec.align {
         Some(align) => {
-            let delta = first.timestamp.secs() - align;
+            let delta = first - align;
             let k = if delta >= 0 { delta / spec.step_secs } else { 0 };
             Timestamp(align + k * spec.step_secs)
         }
-        None => first.timestamp,
+        None => Timestamp(first),
     };
-    let end = Timestamp(last.timestamp.secs() + 1);
+    let end = Timestamp(last + 1);
     let count = spec.window_count(origin, end);
     let mut out = Vec::with_capacity(count);
     // Two moving cursors: windows advance monotonically, so each block is
@@ -124,11 +152,11 @@ pub fn time_windows(blocks: &[AttributedBlock], spec: TimeWindowSpec) -> Vec<Tim
     let mut lo = 0usize;
     for i in 0..count {
         let span = spec.window_span(i, origin);
-        while lo < blocks.len() && blocks[lo].timestamp.secs() < span.start {
+        while lo < len && ts_at(lo) < span.start {
             lo += 1;
         }
         let mut hi = lo;
-        while hi < blocks.len() && blocks[hi].timestamp.secs() < span.end {
+        while hi < len && ts_at(hi) < span.end {
             hi += 1;
         }
         if hi > lo {
@@ -242,6 +270,34 @@ mod tests {
     #[should_panic(expected = "duration must be positive")]
     fn zero_duration_panics() {
         TimeWindowSpec::new(0, 1);
+    }
+
+    #[test]
+    fn indexed_windows_match_sorted_clone() {
+        // Jittered timestamps, deliberately out of order.
+        let times = [50i64, 10, 30, 0, 40, 20, 60, 35];
+        let blocks: Vec<AttributedBlock> =
+            times.iter().enumerate().map(|(i, &t)| block(i as u64, t)).collect();
+        let mut order: Vec<u32> = (0..blocks.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            (blocks[i as usize].timestamp, blocks[i as usize].height)
+        });
+        let mut sorted = blocks.clone();
+        sorted.sort_by_key(|b| (b.timestamp, b.height));
+        let spec = TimeWindowSpec::new(25, 10);
+        let via_clone = time_windows(&sorted, spec);
+        let via_index = time_windows_indexed(&blocks, &order, spec);
+        assert_eq!(via_clone, via_index);
+        // And the ranges select the same blocks through the permutation.
+        for (a, b) in via_clone.iter().zip(&via_index) {
+            let clone_heights: Vec<u64> =
+                sorted[a.blocks.clone()].iter().map(|blk| blk.height).collect();
+            let index_heights: Vec<u64> = order[b.blocks.clone()]
+                .iter()
+                .map(|&i| blocks[i as usize].height)
+                .collect();
+            assert_eq!(clone_heights, index_heights);
+        }
     }
 
     #[test]

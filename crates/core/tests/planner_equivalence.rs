@@ -1,0 +1,177 @@
+//! Planner-vs-naive equivalence over the full paper configuration matrix.
+//!
+//! The matrix planner must be a pure optimization: for the paper's
+//! unit-credit attribution its output is **exactly** equal — `assert_eq!`
+//! on [`MeasurementSeries`], not an epsilon — to running every
+//! configuration through [`MeasurementEngine::run`] individually. Also
+//! property-tests that every `*_sorted` metric kernel matches its
+//! sort-then-delegate public wrapper on arbitrary weight vectors.
+
+use blockdec_chain::time::SECS_PER_DAY;
+use blockdec_chain::{AttributedBlock, Credit, Granularity, ProducerId, Timestamp};
+use blockdec_core::engine::run_matrix;
+use blockdec_core::metrics::{
+    gini, gini_sorted, hhi, hhi_sorted, nakamoto, nakamoto_sorted, normalized_shannon_entropy,
+    normalized_shannon_entropy_sorted, shannon_entropy, shannon_entropy_sorted, sorted_positive,
+    theil, theil_sorted, top_k_share, top_k_share_sorted,
+};
+use blockdec_core::{MatrixPlan, MeasurementEngine, MetricKind};
+use proptest::prelude::*;
+
+/// A year-scale-shaped stream with miner clock jitter, rotating producer
+/// shares, and unit credits — the attribution mode the paper uses.
+fn stream(n: usize, spacing: i64) -> Vec<AttributedBlock> {
+    let o = Timestamp::year_2019_start().secs();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Skewed producer pick over ~12 producers plus timestamp jitter.
+            let r = (state >> 33) as u32;
+            let producer = match r % 100 {
+                0..=29 => 0,
+                30..=49 => 1,
+                50..=64 => 2,
+                65..=76 => 3,
+                n => 4 + (n % 8),
+            };
+            let jitter = (r % 120) as i64 - 60;
+            AttributedBlock {
+                height: 1000 + i as u64,
+                timestamp: Timestamp(o + i as i64 * spacing + jitter),
+                credits: vec![Credit {
+                    producer: ProducerId(producer),
+                    weight: 1.0,
+                }],
+            }
+        })
+        .collect()
+}
+
+/// The paper's full matrix for one chain: every PAPER metric × day/week/
+/// month fixed calendar × block-count sliding × time-based sliding.
+fn paper_matrix(sliding_size: usize) -> Vec<MeasurementEngine> {
+    let origin = Timestamp::year_2019_start();
+    let mut configs = Vec::new();
+    for &metric in &MetricKind::PAPER {
+        for granularity in [Granularity::Day, Granularity::Week, Granularity::Month] {
+            configs.push(MeasurementEngine::new(metric).fixed_calendar(granularity, origin));
+        }
+        configs.push(MeasurementEngine::new(metric).sliding(sliding_size, sliding_size / 2));
+        configs.push(
+            MeasurementEngine::new(metric).sliding_time(SECS_PER_DAY, SECS_PER_DAY / 2),
+        );
+    }
+    configs
+}
+
+#[test]
+fn planner_exactly_equals_naive_on_full_paper_matrix() {
+    // ~40 days of 10-minute blocks with jitter.
+    let blocks = stream(5760, 600);
+    let configs = paper_matrix(144);
+    let planned = run_matrix(&blocks, &configs);
+    assert_eq!(planned.len(), configs.len());
+    for (cfg, series) in configs.iter().zip(&planned) {
+        let naive = cfg.run(&blocks);
+        assert_eq!(
+            series, &naive,
+            "planner differs from engine for {:?} over {:?}",
+            cfg.metric(),
+            cfg.window()
+        );
+    }
+    // The plan really did share streams: 15 configs, 5 unique specs.
+    let plan = MatrixPlan::new(&configs);
+    assert_eq!(plan.window_specs(), 5);
+    assert_eq!(plan.dedup_hits(), 10);
+}
+
+#[test]
+fn planner_exactly_equals_naive_with_multi_credit_anomalies() {
+    let mut blocks = stream(2880, 600);
+    // Multi-payout anomaly blocks: many unit credits on one block, like
+    // the merged-mining / payout-split blocks the ingest layer flags.
+    for i in (100..2880).step_by(500) {
+        blocks[i].credits = (50..80)
+            .map(|p| Credit {
+                producer: ProducerId(p),
+                weight: 1.0,
+            })
+            .collect();
+    }
+    let configs = paper_matrix(96);
+    for (cfg, series) in configs.iter().zip(&run_matrix(&blocks, &configs)) {
+        assert_eq!(series, &cfg.run(&blocks), "config {:?}/{:?}", cfg.metric(), cfg.window());
+    }
+}
+
+#[test]
+fn planner_exactly_equals_naive_for_all_metrics() {
+    // Beyond the paper's three: the whole MetricKind surface over one
+    // shared sliding spec plus one fixed spec.
+    let blocks = stream(1440, 600);
+    let origin = Timestamp::year_2019_start();
+    let mut configs = Vec::new();
+    for &metric in &MetricKind::ALL {
+        configs.push(MeasurementEngine::new(metric).sliding(72, 36));
+        configs.push(MeasurementEngine::new(metric).fixed_calendar(Granularity::Day, origin));
+    }
+    let plan = MatrixPlan::new(&configs);
+    assert_eq!(plan.window_specs(), 2);
+    for (cfg, series) in configs.iter().zip(&plan.run(&blocks)) {
+        assert_eq!(series, &cfg.run(&blocks), "config {:?}/{:?}", cfg.metric(), cfg.window());
+    }
+}
+
+fn weights() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..1000.0, 0..60)
+}
+
+proptest! {
+    #[test]
+    fn sorted_kernels_match_wrappers(w in weights(), k in 0usize..8, threshold in 0.05f64..1.0) {
+        let sorted = sorted_positive(&w);
+        prop_assert_eq!(gini(&w).to_bits(), gini_sorted(&sorted).to_bits());
+        prop_assert_eq!(
+            shannon_entropy(&w).to_bits(),
+            shannon_entropy_sorted(&sorted).to_bits()
+        );
+        prop_assert_eq!(
+            normalized_shannon_entropy(&w).to_bits(),
+            normalized_shannon_entropy_sorted(&sorted).to_bits()
+        );
+        prop_assert_eq!(nakamoto(&w), nakamoto_sorted(&sorted));
+        prop_assert_eq!(
+            blockdec_core::metrics::nakamoto_with_threshold(&w, threshold),
+            blockdec_core::metrics::nakamoto_with_threshold_sorted(&sorted, threshold)
+        );
+        prop_assert_eq!(hhi(&w).to_bits(), hhi_sorted(&sorted).to_bits());
+        prop_assert_eq!(theil(&w).to_bits(), theil_sorted(&sorted).to_bits());
+        prop_assert_eq!(
+            top_k_share(&w, k).to_bits(),
+            top_k_share_sorted(&sorted, k).to_bits()
+        );
+    }
+
+    #[test]
+    fn compute_sorted_matches_compute_on_garbage_inputs(
+        mut w in prop::collection::vec(-10.0f64..1000.0, 0..40),
+        zeros in 0usize..5,
+    ) {
+        // Inject zeros and non-finite values the filter must drop.
+        for _ in 0..zeros {
+            w.push(0.0);
+            w.push(f64::NAN);
+            w.push(f64::INFINITY);
+        }
+        let sorted = sorted_positive(&w);
+        for m in MetricKind::ALL {
+            prop_assert_eq!(
+                m.compute(&w).to_bits(),
+                m.compute_sorted(&sorted).to_bits(),
+                "{} differs", m
+            );
+        }
+    }
+}

@@ -18,7 +18,7 @@ pub mod stream;
 
 pub use aggregate::{producer_block_counts, top_producers, ProducerAgg};
 pub use expr::Filter;
-pub use measure::measure_fixed_streaming;
+pub use measure::{measure_fixed_streaming, measure_fixed_streaming_matrix};
 pub use parse::parse_query;
 pub use plan::{Plan, QueryOutput};
 pub use stream::MeasurementSource;

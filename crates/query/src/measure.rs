@@ -50,6 +50,23 @@ pub fn measure_fixed_streaming(
     granularity: Granularity,
     origin: Timestamp,
 ) -> Result<MeasurementSeries> {
+    let mut series = measure_fixed_streaming_matrix(store, filter, &[metric], granularity, origin)?;
+    Ok(series.pop().expect("one metric in, one series out"))
+}
+
+/// Planner-style multi-metric variant of [`measure_fixed_streaming`]:
+/// every requested metric is answered from **one** store scan and, per
+/// bucket, one sorted scratch fill — the store-backed analogue of
+/// [`blockdec_core::planner::MatrixPlan`] for a single fixed-calendar
+/// window spec. Returns one series per metric, in input order (duplicate
+/// metrics each get their own series).
+pub fn measure_fixed_streaming_matrix(
+    store: &BlockStore,
+    filter: &Filter,
+    metrics: &[MetricKind],
+    granularity: Granularity,
+    origin: Timestamp,
+) -> Result<Vec<MeasurementSeries>> {
     let (pred, residual) = filter.compile();
     let mut buckets: BTreeMap<i64, BucketAcc> = BTreeMap::new();
     store.scan_for_each(&pred, |row| {
@@ -71,26 +88,37 @@ pub fn measure_fixed_streaming(
         acc.end_time = acc.end_time.max(row.timestamp);
     })?;
 
-    let points = buckets
-        .into_iter()
-        .map(|(bucket, acc)| MeasurementPoint {
-            index: bucket,
-            start_height: acc.start_height,
-            end_height: acc.end_height,
-            start_time: Timestamp(acc.start_time),
-            end_time: Timestamp(acc.end_time),
-            blocks: acc.blocks,
-            producers: acc.dist.producers() as u64,
-            value: metric.compute(&acc.dist.weight_vector()),
-        })
+    let mut per_metric: Vec<Vec<MeasurementPoint>> = metrics
+        .iter()
+        .map(|_| Vec::with_capacity(buckets.len()))
         .collect();
-    Ok(MeasurementSeries {
-        metric,
-        window: WindowLabel::FixedCalendar {
-            granularity: granularity.label().to_string(),
-        },
-        points,
-    })
+    let mut scratch = Vec::new();
+    for (&bucket, acc) in &buckets {
+        acc.dist.sorted_weights_into(&mut scratch);
+        for (slot, &metric) in metrics.iter().enumerate() {
+            per_metric[slot].push(MeasurementPoint {
+                index: bucket,
+                start_height: acc.start_height,
+                end_height: acc.end_height,
+                start_time: Timestamp(acc.start_time),
+                end_time: Timestamp(acc.end_time),
+                blocks: acc.blocks,
+                producers: acc.dist.producers() as u64,
+                value: metric.compute_sorted(&scratch),
+            });
+        }
+    }
+    Ok(metrics
+        .iter()
+        .zip(per_metric)
+        .map(|(&metric, points)| MeasurementSeries {
+            metric,
+            window: WindowLabel::FixedCalendar {
+                granularity: granularity.label().to_string(),
+            },
+            points,
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -143,6 +171,29 @@ mod tests {
                     );
                 }
             }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn matrix_scan_equals_per_metric_scans() {
+        let (store, dir) = test_store("matrix");
+        let origin = Timestamp::year_2019_start();
+        let metrics = [MetricKind::Gini, MetricKind::ShannonEntropy, MetricKind::Nakamoto];
+        let combined = measure_fixed_streaming_matrix(
+            &store,
+            &Filter::True,
+            &metrics,
+            Granularity::Day,
+            origin,
+        )
+        .unwrap();
+        assert_eq!(combined.len(), 3);
+        for (&metric, series) in metrics.iter().zip(&combined) {
+            let single =
+                measure_fixed_streaming(&store, &Filter::True, metric, Granularity::Day, origin)
+                    .unwrap();
+            assert_eq!(series, &single, "{metric:?}");
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
