@@ -3,16 +3,19 @@
 # before merge. Run from the repository root.
 set -eux
 
+cargo fmt --all -- --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 # Smoke: the matrix planner must exactly match the per-config baseline
-# on a small dataset and emit a machine-readable bench summary (the
-# binary exits non-zero on divergence).
+# AND the columnar (SoA) pipeline must bitwise-match the AoS pipeline on
+# a small dataset, emitting a machine-readable bench summary (the binary
+# exits non-zero on any divergence).
 mkdir -p target/ci-smoke
 ./target/release/experiments --days 14 --bench-json target/ci-smoke/bench.json
 test -s target/ci-smoke/bench.json
+grep -q '"columnar": \[' target/ci-smoke/bench.json
 
 echo "ci.sh: all gates passed"

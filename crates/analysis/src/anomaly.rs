@@ -153,9 +153,9 @@ pub fn sliding_reveals(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blockdec_chain::Timestamp;
     use blockdec_core::metrics::MetricKind;
     use blockdec_core::series::{MeasurementPoint, WindowLabel};
-    use blockdec_chain::Timestamp;
 
     fn series(values: &[f64], window_secs: i64, step_secs: i64) -> MeasurementSeries {
         MeasurementSeries {
@@ -233,9 +233,21 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                Run { first_index: 1, last_index: 3, len: 3 },
-                Run { first_index: 5, last_index: 5, len: 1 },
-                Run { first_index: 7, last_index: 7, len: 1 },
+                Run {
+                    first_index: 1,
+                    last_index: 3,
+                    len: 3
+                },
+                Run {
+                    first_index: 5,
+                    last_index: 5,
+                    len: 1
+                },
+                Run {
+                    first_index: 7,
+                    last_index: 7,
+                    len: 1
+                },
             ]
         );
     }

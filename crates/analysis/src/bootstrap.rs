@@ -93,7 +93,9 @@ mod tests {
     use super::*;
 
     fn wiggly(n: usize, base: f64, amp: f64) -> Vec<f64> {
-        (0..n).map(|i| base + amp * ((i % 7) as f64 - 3.0)).collect()
+        (0..n)
+            .map(|i| base + amp * ((i % 7) as f64 - 3.0))
+            .collect()
     }
 
     #[test]

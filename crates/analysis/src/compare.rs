@@ -139,8 +139,16 @@ impl ChainComparison {
     pub fn verdict(&self) -> String {
         let (da, db) = self.decentralization_score();
         let (sa, sb) = self.stability_score();
-        let dec = if da >= db { &self.label_a } else { &self.label_b };
-        let sta = if sa >= sb { &self.label_a } else { &self.label_b };
+        let dec = if da >= db {
+            &self.label_a
+        } else {
+            &self.label_b
+        };
+        let sta = if sa >= sb {
+            &self.label_a
+        } else {
+            &self.label_b
+        };
         format!(
             "the degree of decentralization in {dec} is higher, \
              while the degree of decentralization in {sta} is more stable"
@@ -151,8 +159,8 @@ impl ChainComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blockdec_core::series::{MeasurementPoint, WindowLabel};
     use blockdec_chain::Timestamp;
+    use blockdec_core::series::{MeasurementPoint, WindowLabel};
 
     fn series(metric: MetricKind, granularity: &str, values: &[f64]) -> MeasurementSeries {
         MeasurementSeries {
@@ -198,7 +206,10 @@ mod tests {
         assert_eq!(cmp.decentralization_score(), (2, 0));
         assert_eq!(cmp.stability_score(), (0, 2));
         let v = cmp.verdict();
-        assert!(v.contains("bitcoin is higher") || v.contains("in bitcoin is higher"), "{v}");
+        assert!(
+            v.contains("bitcoin is higher") || v.contains("in bitcoin is higher"),
+            "{v}"
+        );
         assert!(v.contains("ethereum is more stable"), "{v}");
     }
 

@@ -168,9 +168,9 @@ pub fn anomalies_csv(anomalies: &[Anomaly]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blockdec_chain::Timestamp;
     use blockdec_core::metrics::MetricKind;
     use blockdec_core::series::{MeasurementPoint, WindowLabel};
-    use blockdec_chain::Timestamp;
 
     fn series(values: &[f64]) -> MeasurementSeries {
         MeasurementSeries {

@@ -188,7 +188,9 @@ mod tests {
     #[test]
     fn noise_has_no_trend() {
         // Deterministic zig-zag: no monotonic component.
-        let vals: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 1.0 } else { 2.0 }).collect();
+        let vals: Vec<f64> = (0..60)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 2.0 })
+            .collect();
         let mk = mann_kendall(&vals).unwrap();
         assert_eq!(mk.trend, Trend::None);
     }

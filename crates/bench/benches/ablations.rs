@@ -41,8 +41,7 @@ fn ablation_incremental(c: &mut Criterion) {
     // Engine path: distribution maintained across slides, metric
     // recomputed from a snapshot per emission.
     group.bench_function("engine_add_remove", |b| {
-        let engine =
-            MeasurementEngine::new(MetricKind::ShannonEntropy).sliding_spec(spec);
+        let engine = MeasurementEngine::new(MetricKind::ShannonEntropy).sliding_spec(spec);
         b.iter(|| black_box(engine.run(blocks)))
     });
 
@@ -120,5 +119,10 @@ fn ablation_encoding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation_incremental, ablation_zonemap, ablation_encoding);
+criterion_group!(
+    benches,
+    ablation_incremental,
+    ablation_zonemap,
+    ablation_encoding
+);
 criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Columnar benchmark: the SoA pipeline versus AoS materialization.
+//!
+//! Two axes, both over the full paper matrix:
+//!
+//! * `scan/*` — store scan alone: `scan_attributed` regroups rows into
+//!   `Vec<AttributedBlock>` (one heap `Vec<Credit>` per block) while
+//!   `scan_columnar` streams the same rows into five flat columns.
+//! * `planner/*` — planner alone over pre-materialized inputs: the AoS
+//!   entry point pays a `BlockColumns::from_blocks` conversion on every
+//!   run; the columnar entry point starts from a borrowed
+//!   `ColumnsSlice` and allocates nothing per block.
+
+use blockdec_bench::perf::paper_matrix;
+use blockdec_bench::Dataset;
+use blockdec_core::MatrixPlan;
+use blockdec_store::{BlockStore, ScanPredicate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_columnar(c: &mut Criterion) {
+    // Same truncations as the matrix bench: small enough for Criterion,
+    // shaped like the real chains. The experiments binary's --bench-json
+    // mode runs the same pipelines at full scale.
+    let cases = [
+        ("bitcoin", Dataset::bitcoin(60), 1008),
+        ("ethereum", Dataset::ethereum(7), 6000),
+    ];
+
+    let mut scan_group = c.benchmark_group("columnar_scan");
+    scan_group.sample_size(10);
+    let mut stores = Vec::new();
+    for (name, ds, _) in &cases {
+        let dir = std::env::temp_dir().join(format!(
+            "blockdec-colbench-cr-{}-{}",
+            name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = BlockStore::create(&dir).expect("create bench store");
+        store
+            .append_attributed(&ds.attributed, &ds.registry)
+            .expect("append dataset");
+        store.flush().expect("flush");
+        let pred = ScanPredicate::all();
+        scan_group.bench_with_input(BenchmarkId::new("aos", name), &store, |b, s| {
+            b.iter(|| black_box(s.scan_attributed(&pred).unwrap().len()))
+        });
+        scan_group.bench_with_input(BenchmarkId::new("soa", name), &store, |b, s| {
+            b.iter(|| black_box(s.scan_columnar(&pred).unwrap().len()))
+        });
+        stores.push(dir);
+    }
+    scan_group.finish();
+
+    let mut plan_group = c.benchmark_group("columnar_planner");
+    plan_group.sample_size(10);
+    for (name, ds, sliding) in &cases {
+        let configs = paper_matrix(ds, *sliding);
+        let plan = MatrixPlan::new(&configs);
+        let cols = ds.columns();
+        plan_group.bench_with_input(
+            BenchmarkId::new("aos", name),
+            &ds.attributed,
+            |b, blocks| b.iter(|| black_box(plan.run(blocks))),
+        );
+        plan_group.bench_with_input(BenchmarkId::new("soa", name), &cols, |b, cols| {
+            b.iter(|| black_box(plan.run_columns(cols.as_slice())))
+        });
+    }
+    plan_group.finish();
+
+    for dir in stores {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+criterion_group!(benches, bench_columnar);
+criterion_main!(benches);

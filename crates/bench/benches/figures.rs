@@ -49,10 +49,20 @@ fn figures(c: &mut Criterion) {
     let eth = Dataset::ethereum(3);
 
     fixed_bench(c, "fig01_btc_gini_fixed", &btc, MetricKind::Gini);
-    fixed_bench(c, "fig02_btc_entropy_fixed", &btc, MetricKind::ShannonEntropy);
+    fixed_bench(
+        c,
+        "fig02_btc_entropy_fixed",
+        &btc,
+        MetricKind::ShannonEntropy,
+    );
     fixed_bench(c, "fig03_btc_nakamoto_fixed", &btc, MetricKind::Nakamoto);
     fixed_bench(c, "fig04_eth_gini_fixed", &eth, MetricKind::Gini);
-    fixed_bench(c, "fig05_eth_entropy_fixed", &eth, MetricKind::ShannonEntropy);
+    fixed_bench(
+        c,
+        "fig05_eth_entropy_fixed",
+        &eth,
+        MetricKind::ShannonEntropy,
+    );
     fixed_bench(c, "fig06_eth_nakamoto_fixed", &eth, MetricKind::Nakamoto);
 
     // Fig. 7: the day-vs-month top-share aggregation.
@@ -79,8 +89,18 @@ fn figures(c: &mut Criterion) {
         })
     });
 
-    sliding_bench(c, "fig09_btc_entropy_sliding", &btc, MetricKind::ShannonEntropy);
-    sliding_bench(c, "fig10_eth_entropy_sliding", &eth, MetricKind::ShannonEntropy);
+    sliding_bench(
+        c,
+        "fig09_btc_entropy_sliding",
+        &btc,
+        MetricKind::ShannonEntropy,
+    );
+    sliding_bench(
+        c,
+        "fig10_eth_entropy_sliding",
+        &eth,
+        MetricKind::ShannonEntropy,
+    );
     sliding_bench(c, "fig11_btc_gini_sliding", &btc, MetricKind::Gini);
     sliding_bench(c, "fig12_eth_gini_sliding", &eth, MetricKind::Gini);
     sliding_bench(c, "fig13_btc_nakamoto_sliding", &btc, MetricKind::Nakamoto);
@@ -93,8 +113,8 @@ fn figures(c: &mut Criterion) {
                 for g in Granularity::ALL {
                     let n = btc.scenario.spec().window_blocks(g) as usize;
                     if n < btc.attributed.len() {
-                        let engine =
-                            MeasurementEngine::new(metric).sliding_spec(SlidingWindowSpec::paper(n));
+                        let engine = MeasurementEngine::new(metric)
+                            .sliding_spec(SlidingWindowSpec::paper(n));
                         black_box(engine.run(&btc.attributed).mean());
                     }
                 }

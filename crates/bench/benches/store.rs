@@ -9,7 +9,9 @@ use std::path::PathBuf;
 const ROWS: u64 = 200_000;
 
 fn rows(store: &mut BlockStore) -> Vec<RowRecord> {
-    let producers: Vec<u32> = (0..24).map(|i| store.intern_producer(&format!("pool-{i}"))).collect();
+    let producers: Vec<u32> = (0..24)
+        .map(|i| store.intern_producer(&format!("pool-{i}")))
+        .collect();
     (0..ROWS)
         .map(|h| RowRecord {
             height: 556_459 + h,
@@ -24,7 +26,8 @@ fn rows(store: &mut BlockStore) -> Vec<RowRecord> {
 }
 
 fn fresh_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("blockdec-bench-store-{tag}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("blockdec-bench-store-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }

@@ -12,7 +12,9 @@
 //!                        listed, runs the benchmark alone
 //! ```
 
-use blockdec_bench::perf::{run_matrix_bench, summary_line, write_bench_json};
+use blockdec_bench::perf::{
+    columnar_summary_line, run_columnar_bench, run_matrix_bench, summary_line, write_bench_json,
+};
 use blockdec_bench::{run_experiment, Dataset, ALL_EXPERIMENTS};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -63,7 +65,10 @@ fn main() -> ExitCode {
     // `--bench-json` with no explicit ids runs the benchmark alone.
     let bench_only = bench_json.is_some() && ids.is_empty();
     if ids.is_empty() && !bench_only {
-        ids = ALL_EXPERIMENTS.iter().map(|(id, _)| id.to_string()).collect();
+        ids = ALL_EXPERIMENTS
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect();
     }
 
     let days = days_override.unwrap_or(if quick { 120 } else { 365 });
@@ -120,7 +125,19 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
-        if let Err(e) = write_bench_json(path, &results) {
+        eprintln!("\nbenchmarking columnar (SoA) pipeline vs AoS materialization...");
+        let columnar = [
+            run_columnar_bench(&btc, 1008),
+            run_columnar_bench(&eth, 6000),
+        ];
+        for b in &columnar {
+            println!("{}", columnar_summary_line(b));
+            if !b.exact_match {
+                eprintln!("bench FAILED: columnar pipeline diverged on {}", b.dataset);
+                failed = true;
+            }
+        }
+        if let Err(e) = write_bench_json(path, &results, &columnar) {
             eprintln!("could not write {}: {e}", path.display());
             failed = true;
         } else {

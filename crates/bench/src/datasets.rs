@@ -1,6 +1,6 @@
 //! Shared simulated datasets for experiments and benches.
 
-use blockdec_chain::{AttributedBlock, ProducerRegistry, Timestamp};
+use blockdec_chain::{AttributedBlock, BlockColumns, ProducerRegistry, Timestamp};
 use blockdec_sim::Scenario;
 
 /// A generated, attributed chain-year (or prefix of one).
@@ -49,5 +49,10 @@ impl Dataset {
     /// The measurement origin (2019-01-01).
     pub fn origin(&self) -> Timestamp {
         Timestamp(self.scenario.start_time)
+    }
+
+    /// The same stream in columnar (SoA) layout.
+    pub fn columns(&self) -> BlockColumns {
+        BlockColumns::from_blocks(&self.attributed)
     }
 }

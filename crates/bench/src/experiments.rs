@@ -28,26 +28,77 @@ use std::path::{Path, PathBuf};
 
 /// Every experiment id with a one-line description.
 pub const ALL_EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig1", "Fig. 1 — Bitcoin Gini coefficient, fixed windows (day/week/month)"),
+    (
+        "fig1",
+        "Fig. 1 — Bitcoin Gini coefficient, fixed windows (day/week/month)",
+    ),
     ("fig2", "Fig. 2 — Bitcoin Shannon entropy, fixed windows"),
-    ("fig3", "Fig. 3 — Bitcoin Nakamoto coefficient, fixed windows"),
+    (
+        "fig3",
+        "Fig. 3 — Bitcoin Nakamoto coefficient, fixed windows",
+    ),
     ("fig4", "Fig. 4 — Ethereum Gini coefficient, fixed windows"),
     ("fig5", "Fig. 5 — Ethereum Shannon entropy, fixed windows"),
-    ("fig6", "Fig. 6 — Ethereum Nakamoto coefficient, fixed windows"),
-    ("fig7", "Fig. 7 — Bitcoin top-producer block shares: 2019-12-07 vs December 2019"),
-    ("fig9", "Fig. 9 — Bitcoin Shannon entropy, sliding windows (144/1008/4320, M=N/2)"),
-    ("fig10", "Fig. 10 — Ethereum Shannon entropy, sliding windows (6000/42000/180000)"),
-    ("fig11", "Fig. 11 — Bitcoin Gini coefficient, sliding windows"),
-    ("fig12", "Fig. 12 — Ethereum Gini coefficient, sliding windows"),
-    ("fig13", "Fig. 13 — Bitcoin Nakamoto coefficient, sliding windows (+day-60 anomaly)"),
-    ("fig14", "Fig. 14 — Ethereum Nakamoto coefficient, sliding windows"),
-    ("table1", "T1 — §III-B quoted Bitcoin sliding-window averages (entropy & Gini)"),
-    ("table2", "T2 — §III-B quoted Ethereum sliding-window averages (entropy & Gini)"),
-    ("table3", "T3 — §II-C day-14 anomaly: multi-coinbase blocks under per-address attribution"),
-    ("ext1", "EXT1 — structural break: the early-2019 Bitcoin consolidation as a changepoint"),
-    ("ext2", "EXT2 — metric concordance: the three metrics reveal the same trend (§I)"),
-    ("ext3", "EXT3 — attack thresholds: Nakamoto at 51% vs the 33% selfish-mining bound"),
-    ("ext4", "EXT4 — window-family robustness: block-count vs time-based sliding windows"),
+    (
+        "fig6",
+        "Fig. 6 — Ethereum Nakamoto coefficient, fixed windows",
+    ),
+    (
+        "fig7",
+        "Fig. 7 — Bitcoin top-producer block shares: 2019-12-07 vs December 2019",
+    ),
+    (
+        "fig9",
+        "Fig. 9 — Bitcoin Shannon entropy, sliding windows (144/1008/4320, M=N/2)",
+    ),
+    (
+        "fig10",
+        "Fig. 10 — Ethereum Shannon entropy, sliding windows (6000/42000/180000)",
+    ),
+    (
+        "fig11",
+        "Fig. 11 — Bitcoin Gini coefficient, sliding windows",
+    ),
+    (
+        "fig12",
+        "Fig. 12 — Ethereum Gini coefficient, sliding windows",
+    ),
+    (
+        "fig13",
+        "Fig. 13 — Bitcoin Nakamoto coefficient, sliding windows (+day-60 anomaly)",
+    ),
+    (
+        "fig14",
+        "Fig. 14 — Ethereum Nakamoto coefficient, sliding windows",
+    ),
+    (
+        "table1",
+        "T1 — §III-B quoted Bitcoin sliding-window averages (entropy & Gini)",
+    ),
+    (
+        "table2",
+        "T2 — §III-B quoted Ethereum sliding-window averages (entropy & Gini)",
+    ),
+    (
+        "table3",
+        "T3 — §II-C day-14 anomaly: multi-coinbase blocks under per-address attribution",
+    ),
+    (
+        "ext1",
+        "EXT1 — structural break: the early-2019 Bitcoin consolidation as a changepoint",
+    ),
+    (
+        "ext2",
+        "EXT2 — metric concordance: the three metrics reveal the same trend (§I)",
+    ),
+    (
+        "ext3",
+        "EXT3 — attack thresholds: Nakamoto at 51% vs the 33% selfish-mining bound",
+    ),
+    (
+        "ext4",
+        "EXT4 — window-family robustness: block-count vs time-based sliding windows",
+    ),
 ];
 
 /// Result of one experiment run.
@@ -108,7 +159,10 @@ fn sliding_sizes(ds: &Dataset) -> Vec<(Granularity, usize)> {
         .collect()
 }
 
-fn sliding_series(ds: &Dataset, metric: MetricKind) -> Vec<(Granularity, usize, MeasurementSeries)> {
+fn sliding_series(
+    ds: &Dataset,
+    metric: MetricKind,
+) -> Vec<(Granularity, usize, MeasurementSeries)> {
     sliding_sizes(ds)
         .into_iter()
         .map(|(g, n)| {
@@ -136,7 +190,12 @@ fn fixed_figure(
     for ((g, series), paper) in fixed_series(ds, metric).iter().zip(paper_notes) {
         files.push(write_csv(
             outdir,
-            &format!("{id}_{}_{}_fixed_{}.csv", ds.name, metric.label(), g.label()),
+            &format!(
+                "{id}_{}_{}_fixed_{}.csv",
+                ds.name,
+                metric.label(),
+                g.label()
+            ),
             series,
         )?);
         lines.push(stat_line(
@@ -176,7 +235,12 @@ fn sliding_figure(
             series,
         )?);
         lines.push(stat_line(
-            &format!("{} sliding/{} (N={n}, M={})", metric.label(), g.label(), n / 2),
+            &format!(
+                "{} sliding/{} (N={n}, M={})",
+                metric.label(),
+                g.label(),
+                n / 2
+            ),
             series,
             paper,
         ));
@@ -200,11 +264,12 @@ fn fig7(btc: &Dataset, outdir: &Path) -> io::Result<ExperimentResult> {
         .map(|b| b.timestamp.day_index(origin))
         .unwrap_or(0);
     let day_idx = 340.min(last_day);
-    let month_idx = 11.min(btc
-        .attributed
-        .last()
-        .map(|b| b.timestamp.month_index(origin))
-        .unwrap_or(0));
+    let month_idx = 11.min(
+        btc.attributed
+            .last()
+            .map(|b| b.timestamp.month_index(origin))
+            .unwrap_or(0),
+    );
 
     let mut csv = String::from("scope,producer,blocks,share\n");
     let mut lines = Vec::new();
@@ -354,7 +419,9 @@ fn table3(btc: &Dataset, outdir: &Path) -> io::Result<ExperimentResult> {
         ),
         format!("  daily Gini:    measured {gini:.3} | paper 0.34 (an extreme low)"),
         format!("  daily entropy: measured {entropy:.3} | paper 6.2 (an extreme high)"),
-        format!("  daily Nakamoto: measured {nakamoto} | paper: daily spikes >35 in the first 50 days"),
+        format!(
+            "  daily Nakamoto: measured {nakamoto} | paper: daily spikes >35 in the first 50 days"
+        ),
     ];
 
     // Ablation: re-attribute the same day with FirstAddress credit.
@@ -463,7 +530,11 @@ fn ext1(btc: &Dataset, outdir: &Path) -> io::Result<ExperimentResult> {
     let origin = btc.origin();
     let mut lines = Vec::new();
     let mut csv = String::from("metric,changepoint_day,mean_before,mean_after,magnitude_sigmas\n");
-    for metric in [MetricKind::ShannonEntropy, MetricKind::Gini, MetricKind::Nakamoto] {
+    for metric in [
+        MetricKind::ShannonEntropy,
+        MetricKind::Gini,
+        MetricKind::Nakamoto,
+    ] {
         let series = MeasurementEngine::new(metric)
             .fixed_calendar(Granularity::Day, origin)
             .run(&btc.attributed);
@@ -548,13 +619,12 @@ fn ext2(btc: &Dataset, eth: &Dataset, outdir: &Path) -> io::Result<ExperimentRes
                 let rho = spearman(va, vb).unwrap_or(f64::NAN);
                 // Align signs: flip when the two metrics point in
                 // opposite directions, so "same trend" = positive.
-                let aligned = if ma.higher_is_more_decentralized()
-                    == mb.higher_is_more_decentralized()
-                {
-                    rho
-                } else {
-                    -rho
-                };
+                let aligned =
+                    if ma.higher_is_more_decentralized() == mb.higher_is_more_decentralized() {
+                        rho
+                    } else {
+                        -rho
+                    };
                 csv.push_str(&format!(
                     "{},{}~{},{rho:.3}\n",
                     ds.name,
@@ -781,11 +851,7 @@ pub fn run_experiment(
             "fig12",
             eth,
             MetricKind::Gini,
-            [
-                "avg ≈0.837; very stable",
-                "avg ≈0.878",
-                "avg ≈0.916",
-            ],
+            ["avg ≈0.837; very stable", "avg ≈0.878", "avg ≈0.916"],
             outdir,
         ),
         "fig13" => fig13(btc, outdir),
@@ -892,7 +958,10 @@ mod tests {
         let dir = outdir("t3");
         let r = run_experiment("table3", &btc, &Dataset::ethereum(0), &dir).unwrap();
         let text = r.lines.join("\n");
-        assert!(text.contains("flagged by the robust outlier detector: true"), "{text}");
+        assert!(
+            text.contains("flagged by the robust outlier detector: true"),
+            "{text}"
+        );
         assert!(text.contains("largest=93"), "{text}");
         fs::remove_dir_all(&dir).unwrap();
     }

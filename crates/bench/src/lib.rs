@@ -18,4 +18,7 @@ pub mod perf;
 
 pub use datasets::Dataset;
 pub use experiments::{run_experiment, ExperimentResult, ALL_EXPERIMENTS};
-pub use perf::{naive_matrix, run_matrix_bench, write_bench_json, MatrixBench};
+pub use perf::{
+    naive_matrix, run_columnar_bench, run_matrix_bench, write_bench_json, ColumnarBench,
+    MatrixBench,
+};

@@ -11,11 +11,12 @@
 
 use crate::datasets::Dataset;
 use blockdec_chain::time::SECS_PER_DAY;
-use blockdec_chain::{AttributedBlock, Granularity};
+use blockdec_chain::{AttributedBlock, Credit, Granularity};
 use blockdec_core::engine::{run_matrix, MeasurementEngine};
 use blockdec_core::metrics::MetricKind;
 use blockdec_core::series::MeasurementSeries;
 use blockdec_core::MatrixPlan;
+use blockdec_store::{BlockStore, ScanPredicate};
 use std::io;
 use std::path::Path;
 use std::time::Instant;
@@ -111,6 +112,115 @@ pub fn run_matrix_bench(ds: &Dataset, generate_secs: f64, sliding_size: usize) -
     }
 }
 
+/// One dataset's AoS-vs-columnar end-to-end pipeline measurement:
+/// store scan plus full paper-matrix planner run, once over
+/// `Vec<AttributedBlock>` and once over [`blockdec_chain::BlockColumns`].
+pub struct ColumnarBench {
+    /// Chain label ("bitcoin" / "ethereum").
+    pub dataset: String,
+    /// Blocks in the stream.
+    pub blocks: usize,
+    /// Total attribution credits across all blocks.
+    pub credits: usize,
+    /// Configurations in the matrix.
+    pub configs: usize,
+    /// Wall seconds for `scan_attributed` + `MatrixPlan::run` (AoS).
+    pub aos_secs: f64,
+    /// Wall seconds for `scan_columnar` + `MatrixPlan::run_columns` (SoA).
+    pub columnar_secs: f64,
+    /// `aos_secs / columnar_secs`.
+    pub speedup: f64,
+    /// Resident bytes of the AoS block stream (blocks plus their
+    /// per-block credit `Vec` buffers), computed analytically.
+    pub aos_resident_bytes: usize,
+    /// Resident bytes of the columnar stream (five flat columns),
+    /// computed analytically via `BlockColumns::resident_bytes`.
+    pub columnar_resident_bytes: usize,
+    /// Whether the columnar pipeline's output equalled the AoS output
+    /// bitwise (`==` on the full series, not an epsilon comparison).
+    pub exact_match: bool,
+}
+
+/// Analytic resident footprint of an AoS attributed stream: the block
+/// array itself plus each block's separately heap-allocated credit
+/// buffer. Deterministic, so it serves as the peak-allocation proxy in
+/// committed bench artifacts.
+pub fn aos_resident_bytes(blocks: &[AttributedBlock]) -> usize {
+    let credits: usize = blocks.iter().map(|b| b.credits.len()).sum();
+    std::mem::size_of_val(blocks) + credits * std::mem::size_of::<Credit>()
+}
+
+/// Run both end-to-end pipelines — store scan through planner — over the
+/// same dataset and matrix, check outputs for bitwise equality, and
+/// report timings plus resident-memory footprints.
+///
+/// The dataset is first persisted to a throwaway store so both sides pay
+/// the same I/O: `scan_attributed` materializes `Vec<AttributedBlock>`
+/// (one heap `Vec<Credit>` per block) while `scan_columnar` streams rows
+/// straight into flat columns.
+pub fn run_columnar_bench(ds: &Dataset, sliding_size: usize) -> ColumnarBench {
+    let configs = paper_matrix(ds, sliding_size);
+    let plan = MatrixPlan::new(&configs);
+
+    let dir = std::env::temp_dir().join(format!(
+        "blockdec-colbench-{}-{}",
+        ds.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = BlockStore::create(&dir).expect("create bench store");
+    store
+        .append_attributed(&ds.attributed, &ds.registry)
+        .expect("append bench dataset");
+    store.flush().expect("flush bench store");
+    let pred = ScanPredicate::all();
+
+    let t = Instant::now();
+    let blocks = store.scan_attributed(&pred).expect("AoS scan");
+    let aos_series = plan.run(&blocks);
+    let aos_secs = t.elapsed().as_secs_f64();
+    let aos_bytes = aos_resident_bytes(&blocks);
+    drop(blocks);
+
+    let t = Instant::now();
+    let cols = store.scan_columnar(&pred).expect("columnar scan");
+    let col_series = plan.run_columns(cols.as_slice());
+    let columnar_secs = t.elapsed().as_secs_f64();
+
+    let result = ColumnarBench {
+        dataset: ds.name.clone(),
+        blocks: cols.len(),
+        credits: cols.credit_count(),
+        configs: configs.len(),
+        aos_secs,
+        columnar_secs,
+        speedup: aos_secs / columnar_secs.max(1e-9),
+        aos_resident_bytes: aos_bytes,
+        columnar_resident_bytes: cols.resident_bytes(),
+        exact_match: aos_series == col_series,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// One human-readable summary line for a columnar bench result.
+pub fn columnar_summary_line(b: &ColumnarBench) -> String {
+    format!(
+        "{}: {} blocks / {} credits — AoS {:.3}s / {:.1} MiB, columnar {:.3}s / {:.1} MiB \
+         ({:.2}x time, {:.2}x memory), exact match: {}",
+        b.dataset,
+        b.blocks,
+        b.credits,
+        b.aos_secs,
+        b.aos_resident_bytes as f64 / (1024.0 * 1024.0),
+        b.columnar_secs,
+        b.columnar_resident_bytes as f64 / (1024.0 * 1024.0),
+        b.speedup,
+        b.aos_resident_bytes as f64 / (b.columnar_resident_bytes.max(1) as f64),
+        b.exact_match
+    )
+}
+
 /// One human-readable summary line for a bench result.
 pub fn summary_line(b: &MatrixBench) -> String {
     format!(
@@ -130,10 +240,17 @@ pub fn summary_line(b: &MatrixBench) -> String {
 
 /// Write results as a machine-readable JSON document so successive runs
 /// can be committed (`BENCH_*.json`) and compared as a trajectory.
-pub fn write_bench_json(path: &Path, results: &[MatrixBench]) -> io::Result<()> {
-    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 1,\n");
-    out.push_str("  \"datasets\": [\n");
-    for (i, b) in results.iter().enumerate() {
+///
+/// Version 2 carries two sections: `matrix` (naive-vs-planner, as in
+/// version 1) and `columnar` (AoS-vs-SoA end-to-end pipeline).
+pub fn write_bench_json(
+    path: &Path,
+    matrix: &[MatrixBench],
+    columnar: &[ColumnarBench],
+) -> io::Result<()> {
+    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 2,\n");
+    out.push_str("  \"matrix\": [\n");
+    for (i, b) in matrix.iter().enumerate() {
         out.push_str(&format!(
             "    {{\n      \"dataset\": \"{}\",\n      \"blocks\": {},\n      \
              \"configs\": {},\n      \"window_specs\": {},\n      \
@@ -150,7 +267,28 @@ pub fn write_bench_json(path: &Path, results: &[MatrixBench]) -> io::Result<()> 
             b.planner_blocks_per_sec,
             b.speedup,
             b.exact_match,
-            if i + 1 < results.len() { "," } else { "" }
+            if i + 1 < matrix.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"columnar\": [\n");
+    for (i, b) in columnar.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"dataset\": \"{}\",\n      \"blocks\": {},\n      \
+             \"credits\": {},\n      \"configs\": {},\n      \
+             \"aos_secs\": {:.6},\n      \"columnar_secs\": {:.6},\n      \
+             \"speedup\": {:.3},\n      \"aos_resident_bytes\": {},\n      \
+             \"columnar_resident_bytes\": {},\n      \"exact_match\": {}\n    }}{}\n",
+            b.dataset,
+            b.blocks,
+            b.credits,
+            b.configs,
+            b.aos_secs,
+            b.columnar_secs,
+            b.speedup,
+            b.aos_resident_bytes,
+            b.columnar_resident_bytes,
+            b.exact_match,
+            if i + 1 < columnar.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -169,14 +307,25 @@ mod tests {
         assert_eq!(bench.configs, 15);
         assert_eq!(bench.window_specs, 5);
 
-        let path = std::env::temp_dir().join(format!(
-            "blockdec-bench-json-{}.json",
-            std::process::id()
-        ));
-        write_bench_json(&path, &[bench]).unwrap();
+        let col = run_columnar_bench(&ds, 144);
+        assert!(col.exact_match, "columnar pipeline diverged from AoS");
+        assert_eq!(col.blocks, ds.len());
+        assert!(
+            col.columnar_resident_bytes < col.aos_resident_bytes,
+            "columns must be smaller: {} vs {}",
+            col.columnar_resident_bytes,
+            col.aos_resident_bytes
+        );
+
+        let path =
+            std::env::temp_dir().join(format!("blockdec-bench-json-{}.json", std::process::id()));
+        write_bench_json(&path, &[bench], &[col]).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"bench\": \"matrix\""));
+        assert!(body.contains("\"version\": 2"));
         assert!(body.contains("\"dataset\": \"bitcoin\""));
+        assert!(body.contains("\"columnar\": ["));
+        assert!(body.contains("\"aos_resident_bytes\""));
         assert!(body.contains("\"exact_match\": true"));
         std::fs::remove_file(&path).unwrap();
     }

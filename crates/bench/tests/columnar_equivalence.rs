@@ -1,0 +1,75 @@
+//! Bitwise columnar-vs-AoS equivalence over the full paper matrix.
+//!
+//! The columnar pipeline reaches the planner through three genuinely
+//! different code paths — `Attributor::attribute_into` during
+//! simulation, `BlockStore::scan_columnar` during scans, and
+//! `BlockColumns::from_blocks` conversion — while the AoS pipeline uses
+//! `Attributor::attribute`, `BlockStore::scan_attributed`, and the
+//! planner's AoS wrapper. Every comparison here is `assert_eq!` on the
+//! full `MeasurementSeries` values (f64 bit equality via `==`), not an
+//! epsilon check.
+
+use blockdec_bench::perf::paper_matrix;
+use blockdec_bench::Dataset;
+use blockdec_chain::BlockColumns;
+use blockdec_core::MatrixPlan;
+use blockdec_store::{BlockStore, ScanPredicate};
+
+/// Run the full paper matrix through every AoS and columnar entry point
+/// for one dataset and require bitwise-identical output.
+fn assert_pipelines_agree(ds: &Dataset, sliding_size: usize) {
+    let configs = paper_matrix(ds, sliding_size);
+    let plan = MatrixPlan::new(&configs);
+
+    // Simulation boundary: attribute_into vs attribute.
+    let soa = ds.scenario.generate_columns();
+    soa.columns.validate().unwrap();
+    assert_eq!(soa.columns, BlockColumns::from_blocks(&ds.attributed));
+
+    // Planner entry points over in-memory streams.
+    let aos_series = plan.run(&ds.attributed);
+    let col_series = plan.run_columns(soa.columns.as_slice());
+    assert_eq!(aos_series, col_series);
+
+    // Store roundtrip: scan_attributed vs scan_columnar feeding the
+    // planner, end to end.
+    let dir =
+        std::env::temp_dir().join(format!("blockdec-coleq-{}-{}", ds.name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = BlockStore::create(&dir).unwrap();
+    store
+        .append_attributed(&ds.attributed, &ds.registry)
+        .unwrap();
+    store.flush().unwrap();
+    let pred = ScanPredicate::all();
+
+    let scanned_blocks = store.scan_attributed(&pred).unwrap();
+    let scanned_cols = store.scan_columnar(&pred).unwrap();
+    scanned_cols.validate().unwrap();
+    assert_eq!(scanned_cols.to_blocks(), scanned_blocks);
+    assert_eq!(
+        plan.run(&scanned_blocks),
+        plan.run_columns(scanned_cols.as_slice())
+    );
+    assert_eq!(plan.run_columns(scanned_cols.as_slice()), aos_series);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bitcoin_columnar_matches_aos_on_full_paper_matrix() {
+    // 20 days covers the day-13 multi-coinbase anomaly, so the matrix
+    // runs over real multi-credit blocks.
+    let ds = Dataset::bitcoin(20);
+    let max_credits = ds.attributed.iter().map(|b| b.credits.len()).max().unwrap();
+    assert!(
+        max_credits >= 85,
+        "expected the day-13 anomaly blocks in the stream, max credits {max_credits}"
+    );
+    assert_pipelines_agree(&ds, 1008);
+}
+
+#[test]
+fn ethereum_columnar_matches_aos_on_full_paper_matrix() {
+    let ds = Dataset::ethereum(2);
+    assert_pipelines_agree(&ds, 6000);
+}

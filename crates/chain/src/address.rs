@@ -45,7 +45,10 @@ impl Address {
             return Err(err("length outside 14..=74"));
         }
         if let Some(rest) = s.strip_prefix("bc1") {
-            if !rest.bytes().all(|b| BECH32.contains(&b.to_ascii_lowercase())) {
+            if !rest
+                .bytes()
+                .all(|b| BECH32.contains(&b.to_ascii_lowercase()))
+            {
                 return Err(err("invalid bech32 data character"));
             }
         } else if s.starts_with('1') || s.starts_with('3') {
@@ -63,7 +66,9 @@ impl Address {
             input: s.to_string(),
             reason,
         };
-        let hex = s.strip_prefix("0x").ok_or_else(|| err("missing 0x prefix"))?;
+        let hex = s
+            .strip_prefix("0x")
+            .ok_or_else(|| err("missing 0x prefix"))?;
         if hex.len() != 40 {
             return Err(err("expected 40 hex digits"));
         }
@@ -138,10 +143,11 @@ mod tests {
     #[test]
     fn parses_p2sh_and_bech32() {
         assert!(Address::parse(ChainKind::Bitcoin, "3J98t1WpEZ73CNmQviecrnyiWrnqRhWNLy").is_ok());
-        assert!(
-            Address::parse(ChainKind::Bitcoin, "bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4")
-                .is_ok()
-        );
+        assert!(Address::parse(
+            ChainKind::Bitcoin,
+            "bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4"
+        )
+        .is_ok());
     }
 
     #[test]
@@ -164,7 +170,11 @@ mod tests {
 
     #[test]
     fn rejects_bad_ethereum() {
-        assert!(Address::parse(ChainKind::Ethereum, "ea674fdde714fd979de3edf0f56aa9716b898ec8").is_err());
+        assert!(Address::parse(
+            ChainKind::Ethereum,
+            "ea674fdde714fd979de3edf0f56aa9716b898ec8"
+        )
+        .is_err());
         assert!(Address::parse(ChainKind::Ethereum, "0x1234").is_err());
         assert!(Address::parse(ChainKind::Ethereum, &format!("0x{}", "g".repeat(40))).is_err());
     }

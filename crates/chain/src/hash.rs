@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn decode_hex_handles_mixed_case() {
-        assert_eq!(decode_hex("DeadBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(
+            decode_hex("DeadBEEF").unwrap(),
+            vec![0xde, 0xad, 0xbe, 0xef]
+        );
     }
 
     #[test]
@@ -189,10 +192,7 @@ mod tests {
     #[test]
     fn short_is_stable_prefix() {
         let h = BlockHash::digest(3, 3);
-        assert_eq!(
-            h.short(),
-            u64::from_le_bytes(h.0[..8].try_into().unwrap())
-        );
+        assert_eq!(h.short(), u64::from_le_bytes(h.0[..8].try_into().unwrap()));
     }
 
     #[test]

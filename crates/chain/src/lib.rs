@@ -16,6 +16,7 @@
 pub mod address;
 pub mod attribution;
 pub mod block;
+pub mod columns;
 pub mod error;
 pub mod hash;
 pub mod params;
@@ -27,6 +28,7 @@ pub mod validate;
 pub use address::Address;
 pub use attribution::{AttributedBlock, AttributionMode, Attributor, Credit};
 pub use block::{Block, BlockBuilder, CoinbaseInfo};
+pub use columns::{BlockColumns, ColumnsSlice};
 pub use error::ChainError;
 pub use hash::BlockHash;
 pub use params::{ChainKind, ChainSpec};

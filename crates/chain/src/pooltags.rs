@@ -28,43 +28,142 @@ pub struct PoolTag {
 
 /// Known Bitcoin coinbase-script markers (2019 era).
 pub static BITCOIN_TAGS: &[PoolTag] = &[
-    PoolTag { pool: "BTC.com", marker: "/BTC.COM/" },
-    PoolTag { pool: "BTC.com", marker: "btccom" },
-    PoolTag { pool: "AntPool", marker: "/AntPool/" },
-    PoolTag { pool: "F2Pool", marker: "/F2Pool/" },
-    PoolTag { pool: "F2Pool", marker: "🐟" },
-    PoolTag { pool: "Poolin", marker: "/poolin.com/" },
-    PoolTag { pool: "SlushPool", marker: "/slush/" },
-    PoolTag { pool: "ViaBTC", marker: "/ViaBTC/" },
-    PoolTag { pool: "BTC.TOP", marker: "/BTC.TOP/" },
-    PoolTag { pool: "Huobi.pool", marker: "/HuoBi/" },
-    PoolTag { pool: "Huobi.pool", marker: "/Huobi/" },
-    PoolTag { pool: "1THash", marker: "/1THash" },
-    PoolTag { pool: "BitFury", marker: "/Bitfury/" },
-    PoolTag { pool: "Bitcoin.com", marker: "/pool.bitcoin.com/" },
-    PoolTag { pool: "BitClub", marker: "/BitClub Network/" },
-    PoolTag { pool: "Bixin", marker: "/Bixin/" },
-    PoolTag { pool: "SpiderPool", marker: "/SpiderPool/" },
-    PoolTag { pool: "NovaBlock", marker: "/NovaBlock" },
-    PoolTag { pool: "OKExPool", marker: "/okpool.top/" },
-    PoolTag { pool: "Bitdeer", marker: "/Bitdeer/" },
-    PoolTag { pool: "58COIN", marker: "/58coin" },
-    PoolTag { pool: "WAYI.CN", marker: "/WAYI.CN/" },
+    PoolTag {
+        pool: "BTC.com",
+        marker: "/BTC.COM/",
+    },
+    PoolTag {
+        pool: "BTC.com",
+        marker: "btccom",
+    },
+    PoolTag {
+        pool: "AntPool",
+        marker: "/AntPool/",
+    },
+    PoolTag {
+        pool: "F2Pool",
+        marker: "/F2Pool/",
+    },
+    PoolTag {
+        pool: "F2Pool",
+        marker: "🐟",
+    },
+    PoolTag {
+        pool: "Poolin",
+        marker: "/poolin.com/",
+    },
+    PoolTag {
+        pool: "SlushPool",
+        marker: "/slush/",
+    },
+    PoolTag {
+        pool: "ViaBTC",
+        marker: "/ViaBTC/",
+    },
+    PoolTag {
+        pool: "BTC.TOP",
+        marker: "/BTC.TOP/",
+    },
+    PoolTag {
+        pool: "Huobi.pool",
+        marker: "/HuoBi/",
+    },
+    PoolTag {
+        pool: "Huobi.pool",
+        marker: "/Huobi/",
+    },
+    PoolTag {
+        pool: "1THash",
+        marker: "/1THash",
+    },
+    PoolTag {
+        pool: "BitFury",
+        marker: "/Bitfury/",
+    },
+    PoolTag {
+        pool: "Bitcoin.com",
+        marker: "/pool.bitcoin.com/",
+    },
+    PoolTag {
+        pool: "BitClub",
+        marker: "/BitClub Network/",
+    },
+    PoolTag {
+        pool: "Bixin",
+        marker: "/Bixin/",
+    },
+    PoolTag {
+        pool: "SpiderPool",
+        marker: "/SpiderPool/",
+    },
+    PoolTag {
+        pool: "NovaBlock",
+        marker: "/NovaBlock",
+    },
+    PoolTag {
+        pool: "OKExPool",
+        marker: "/okpool.top/",
+    },
+    PoolTag {
+        pool: "Bitdeer",
+        marker: "/Bitdeer/",
+    },
+    PoolTag {
+        pool: "58COIN",
+        marker: "/58coin",
+    },
+    PoolTag {
+        pool: "WAYI.CN",
+        marker: "/WAYI.CN/",
+    },
 ];
 
 /// Known Ethereum pool `extra_data` markers (2019 era).
 pub static ETHEREUM_TAGS: &[PoolTag] = &[
-    PoolTag { pool: "Ethermine", marker: "ethermine" },
-    PoolTag { pool: "SparkPool", marker: "sparkpool" },
-    PoolTag { pool: "F2Pool", marker: "f2pool" },
-    PoolTag { pool: "Nanopool", marker: "nanopool" },
-    PoolTag { pool: "MiningPoolHub", marker: "miningpoolhub" },
-    PoolTag { pool: "zhizhu.top", marker: "zhizhu" },
-    PoolTag { pool: "Hiveon", marker: "hiveon" },
-    PoolTag { pool: "DwarfPool", marker: "dwarfpool" },
-    PoolTag { pool: "firepool", marker: "firepool" },
-    PoolTag { pool: "MiningExpress", marker: "mining-express" },
-    PoolTag { pool: "UUPool", marker: "uupool" },
+    PoolTag {
+        pool: "Ethermine",
+        marker: "ethermine",
+    },
+    PoolTag {
+        pool: "SparkPool",
+        marker: "sparkpool",
+    },
+    PoolTag {
+        pool: "F2Pool",
+        marker: "f2pool",
+    },
+    PoolTag {
+        pool: "Nanopool",
+        marker: "nanopool",
+    },
+    PoolTag {
+        pool: "MiningPoolHub",
+        marker: "miningpoolhub",
+    },
+    PoolTag {
+        pool: "zhizhu.top",
+        marker: "zhizhu",
+    },
+    PoolTag {
+        pool: "Hiveon",
+        marker: "hiveon",
+    },
+    PoolTag {
+        pool: "DwarfPool",
+        marker: "dwarfpool",
+    },
+    PoolTag {
+        pool: "firepool",
+        marker: "firepool",
+    },
+    PoolTag {
+        pool: "MiningExpress",
+        marker: "mining-express",
+    },
+    PoolTag {
+        pool: "UUPool",
+        marker: "uupool",
+    },
 ];
 
 /// Known Ethereum pool payout addresses (2019 era, lowercase hex).
@@ -73,7 +172,10 @@ pub static ETHEREUM_ADDRESSES: &[(&str, &str)] = &[
     ("0x5a0b54d5dc17e0aadc383d2db43b0a0d3e029c4c", "SparkPool"),
     ("0x829bd824b016326a401d083b33d092293333a830", "F2Pool"),
     ("0x52bc44d5378309ee2abf1539bf71de1b7d7be3b5", "Nanopool"),
-    ("0xb2930b35844a230f00e51431acae96fe543a0347", "MiningPoolHub"),
+    (
+        "0xb2930b35844a230f00e51431acae96fe543a0347",
+        "MiningPoolHub",
+    ),
     ("0x04668ec2f57cc15c381b461b9fedab5d451c8f7f", "zhizhu.top"),
     ("0x1ad91ee08f21be3de0ba2ba6918e714da6b45836", "Hiveon"),
     ("0x2a65aca4d5fc5b5c859090a6c34d164135398226", "DwarfPool"),
@@ -184,7 +286,10 @@ mod tests {
             db.match_tag(ChainKind::Bitcoin, "xx/BTC.COM/yy"),
             Some("BTC.com")
         );
-        assert_eq!(db.match_tag(ChainKind::Bitcoin, "/slush/"), Some("SlushPool"));
+        assert_eq!(
+            db.match_tag(ChainKind::Bitcoin, "/slush/"),
+            Some("SlushPool")
+        );
         assert_eq!(db.match_tag(ChainKind::Bitcoin, "/nomatch/"), None);
     }
 
@@ -218,7 +323,10 @@ mod tests {
             Some("Ethermine")
         );
         assert_eq!(
-            db.match_address(ChainKind::Ethereum, "0x0000000000000000000000000000000000000000"),
+            db.match_address(
+                ChainKind::Ethereum,
+                "0x0000000000000000000000000000000000000000"
+            ),
             None
         );
         // Bitcoin address matching is deliberately unsupported.
@@ -233,10 +341,16 @@ mod tests {
         let mut db = PoolTagDb::empty();
         assert_eq!(db.match_tag(ChainKind::Bitcoin, "/MyPool/"), None);
         db.add_marker(ChainKind::Bitcoin, "/MyPool/", "MyPool");
-        assert_eq!(db.match_tag(ChainKind::Bitcoin, "xx/MyPool/xx"), Some("MyPool"));
+        assert_eq!(
+            db.match_tag(ChainKind::Bitcoin, "xx/MyPool/xx"),
+            Some("MyPool")
+        );
         db.add_address("0xABC0000000000000000000000000000000000def", "MyEthPool");
         assert_eq!(
-            db.match_address(ChainKind::Ethereum, "0xabc0000000000000000000000000000000000def"),
+            db.match_address(
+                ChainKind::Ethereum,
+                "0xabc0000000000000000000000000000000000def"
+            ),
             Some("MyEthPool")
         );
     }

@@ -15,9 +15,7 @@ use std::ops::{Add, Sub};
 pub const SECS_PER_DAY: i64 = 86_400;
 
 /// A UTC timestamp in whole seconds since the Unix epoch.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Timestamp(pub i64);
 

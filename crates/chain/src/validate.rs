@@ -63,7 +63,10 @@ fn median_time_past(window: &[i64]) -> i64 {
 }
 
 /// Validate a height-ordered block sequence as a chain segment.
-pub fn validate_chain(blocks: &[Block], config: &ValidationConfig) -> Result<ValidationReport, ChainError> {
+pub fn validate_chain(
+    blocks: &[Block],
+    config: &ValidationConfig,
+) -> Result<ValidationReport, ChainError> {
     let first = blocks.first().ok_or(ChainError::BrokenChain {
         height: 0,
         reason: "empty block sequence".to_string(),
@@ -96,7 +99,9 @@ pub fn validate_chain(blocks: &[Block], config: &ValidationConfig) -> Result<Val
                 )));
             }
             if config.check_parent_links && block.parent != prev.hash {
-                return Err(broken("parent hash does not match previous block".to_string()));
+                return Err(broken(
+                    "parent hash does not match previous block".to_string(),
+                ));
             }
             if config.check_timestamps {
                 let dt = block.timestamp - prev.timestamp;

@@ -7,7 +7,7 @@ use blockdec_analysis::report::{
     anomalies_csv, comparison_markdown, series_summary_line, sparkline_line,
 };
 use blockdec_chain::{ChainKind, Granularity, Timestamp};
-use blockdec_core::engine::{run_matrix, MeasurementEngine};
+use blockdec_core::engine::{run_matrix_columns, MeasurementEngine};
 use blockdec_core::metrics::MetricKind;
 use blockdec_core::series::MeasurementSeries;
 use blockdec_ingest::{bigquery, csv as csvio, jsonl};
@@ -183,10 +183,11 @@ fn measure_matrix_series(args: &Args) -> Result<Vec<MeasurementSeries>, String> 
         .map(|m| parse_window(window, parse_metric(m.trim())?))
         .collect::<Result<Vec<_>, _>>()?;
     let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
-    let blocks = store
-        .attributed_blocks(&Filter::True)
+    // Store → columns → planner: no AoS block stream is materialized.
+    let cols = store
+        .block_columns(&Filter::True)
         .map_err(|e| e.to_string())?;
-    Ok(run_matrix(&blocks, &configs))
+    Ok(run_matrix_columns(cols.as_slice(), &configs))
 }
 
 /// Render several series over the same window spec as one long-format
@@ -261,10 +262,10 @@ pub fn compare(args: &Args) -> CmdResult {
         .collect();
     let run_all = |dir: &str| -> Result<Vec<MeasurementSeries>, String> {
         let store = BlockStore::open(dir).map_err(|e| e.to_string())?;
-        let blocks = store
-            .attributed_blocks(&Filter::True)
+        let cols = store
+            .block_columns(&Filter::True)
             .map_err(|e| e.to_string())?;
-        Ok(run_matrix(&blocks, &configs))
+        Ok(run_matrix_columns(cols.as_slice(), &configs))
     };
     let series_a = run_all(dir_a)?;
     let series_b = run_all(dir_b)?;
@@ -297,10 +298,10 @@ pub fn analyze(args: &Args) -> CmdResult {
 
     let store_dir = args.required("store")?;
     let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
-    let blocks = store
-        .attributed_blocks(&Filter::True)
+    let cols = store
+        .block_columns(&Filter::True)
         .map_err(|e| e.to_string())?;
-    if blocks.is_empty() {
+    if cols.is_empty() {
         return Err("store holds no blocks".into());
     }
     let origin = Timestamp::year_2019_start();
@@ -308,9 +309,9 @@ pub fn analyze(args: &Args) -> CmdResult {
     println!("# decentralization report: {store_dir}\n");
     println!(
         "{} blocks, heights {}..={}, {} producers\n",
-        blocks.len(),
-        blocks.first().expect("non-empty").height,
-        blocks.last().expect("non-empty").height,
+        cols.len(),
+        cols.height(0),
+        cols.height(cols.len() - 1),
         store.registry().len()
     );
     let top = Plan::top_k(Filter::True, 5)
@@ -318,7 +319,12 @@ pub fn analyze(args: &Args) -> CmdResult {
         .map_err(|e| e.to_string())?;
     println!("## top producers\n");
     for row in &top.rows {
-        println!("- {} — {} blocks ({:.1}%)", row[0], row[1], row[2].parse::<f64>().unwrap_or(0.0) * 100.0);
+        println!(
+            "- {} — {} blocks ({:.1}%)",
+            row[0],
+            row[1],
+            row[2].parse::<f64>().unwrap_or(0.0) * 100.0
+        );
     }
 
     println!("\n## daily series\n");
@@ -326,22 +332,23 @@ pub fn analyze(args: &Args) -> CmdResult {
     for metric in MetricKind::PAPER {
         let series = MeasurementEngine::new(metric)
             .fixed_calendar(Granularity::Day, origin)
-            .run(&blocks);
+            .run_columns(cols.as_slice());
         let values = series.values();
         let Some(stats) = SeriesStats::from_values(&values) else {
             continue;
         };
         println!("### {}\n", metric.label());
-        println!("```\n{}\n```", blockdec_analysis::report::sparkline(&values, 70));
+        println!(
+            "```\n{}\n```",
+            blockdec_analysis::report::sparkline(&values, 70)
+        );
         println!(
             "- mean {:.3}, std {:.3}, range [{:.3}, {:.3}], CV {}",
             stats.mean,
             stats.std,
             stats.min,
             stats.max,
-            stats
-                .cv()
-                .map_or("-".to_string(), |cv| format!("{cv:.3}"))
+            stats.cv().map_or("-".to_string(), |cv| format!("{cv:.3}"))
         );
         if let Some(mk) = mann_kendall(&values) {
             println!(

@@ -30,7 +30,14 @@ fn workdir(tag: &str) -> PathBuf {
 fn help_lists_commands() {
     let out = blockdec(&["help"]);
     assert!(out.status.success());
-    for cmd in ["simulate", "ingest", "measure", "report", "compare", "anomalies"] {
+    for cmd in [
+        "simulate",
+        "ingest",
+        "measure",
+        "report",
+        "compare",
+        "anomalies",
+    ] {
         assert!(stdout(&out).contains(cmd), "help missing {cmd}");
     }
 }
@@ -54,7 +61,12 @@ fn simulate_writes_csv() {
     let dir = workdir("simulate");
     let csv = dir.join("blocks.csv");
     let out = blockdec(&[
-        "simulate", "--chain", "bitcoin", "--days", "2", "--out",
+        "simulate",
+        "--chain",
+        "bitcoin",
+        "--days",
+        "2",
+        "--out",
         csv.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -71,7 +83,12 @@ fn full_pipeline_load_measure_report_anomalies() {
     let dir = workdir("pipeline");
     let store = dir.join("store");
     let out = blockdec(&[
-        "load", "--chain", "bitcoin", "--days", "20", "--store",
+        "load",
+        "--chain",
+        "bitcoin",
+        "--days",
+        "20",
+        "--store",
         store.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -79,8 +96,13 @@ fn full_pipeline_load_measure_report_anomalies() {
 
     // measure: daily gini series as CSV on stdout.
     let out = blockdec(&[
-        "measure", "--store", store.to_str().unwrap(), "--metric", "gini",
-        "--window", "fixed:day",
+        "measure",
+        "--store",
+        store.to_str().unwrap(),
+        "--metric",
+        "gini",
+        "--window",
+        "fixed:day",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let csv = stdout(&out);
@@ -90,8 +112,15 @@ fn full_pipeline_load_measure_report_anomalies() {
     // measure with sliding window to a file.
     let series = dir.join("series.csv");
     let out = blockdec(&[
-        "measure", "--store", store.to_str().unwrap(), "--metric", "entropy",
-        "--window", "sliding:144:72", "--out", series.to_str().unwrap(),
+        "measure",
+        "--store",
+        store.to_str().unwrap(),
+        "--metric",
+        "entropy",
+        "--window",
+        "sliding:144:72",
+        "--out",
+        series.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(fs::read_to_string(&series).unwrap().lines().count() > 30);
@@ -102,12 +131,20 @@ fn full_pipeline_load_measure_report_anomalies() {
     let table = stdout(&out);
     assert!(table.starts_with("producer,blocks,share"));
     assert_eq!(table.lines().count(), 4);
-    assert!(table.contains("BTC.com") || table.contains("AntPool"), "{table}");
+    assert!(
+        table.contains("BTC.com") || table.contains("AntPool"),
+        "{table}"
+    );
 
     // anomalies: day 13 must appear.
     let out = blockdec(&[
-        "anomalies", "--store", store.to_str().unwrap(), "--metric", "entropy",
-        "--window", "fixed:day",
+        "anomalies",
+        "--store",
+        store.to_str().unwrap(),
+        "--metric",
+        "entropy",
+        "--window",
+        "fixed:day",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(
@@ -124,27 +161,51 @@ fn ingest_roundtrip_and_compare() {
     // Simulate both chains to files, ingest into stores, compare.
     let btc_csv = dir.join("btc.csv");
     let out = blockdec(&[
-        "simulate", "--chain", "bitcoin", "--days", "10", "--out",
+        "simulate",
+        "--chain",
+        "bitcoin",
+        "--days",
+        "10",
+        "--out",
         btc_csv.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let btc_store = dir.join("btc-store");
     let out = blockdec(&[
-        "ingest", "--chain", "bitcoin", "--input", btc_csv.to_str().unwrap(),
-        "--store", btc_store.to_str().unwrap(),
+        "ingest",
+        "--chain",
+        "bitcoin",
+        "--input",
+        btc_csv.to_str().unwrap(),
+        "--store",
+        btc_store.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
 
     let eth_store = dir.join("eth-store");
     let out = blockdec(&[
-        "load", "--chain", "ethereum", "--days", "10", "--limit", "30000",
-        "--store", eth_store.to_str().unwrap(),
+        "load",
+        "--chain",
+        "ethereum",
+        "--days",
+        "10",
+        "--limit",
+        "30000",
+        "--store",
+        eth_store.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
 
     let out = blockdec(&[
-        "compare", "--store-a", btc_store.to_str().unwrap(), "--store-b",
-        eth_store.to_str().unwrap(), "--label-a", "bitcoin", "--label-b", "ethereum",
+        "compare",
+        "--store-a",
+        btc_store.to_str().unwrap(),
+        "--store-b",
+        eth_store.to_str().unwrap(),
+        "--label-a",
+        "bitcoin",
+        "--label-b",
+        "ethereum",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let report = stdout(&out);
@@ -162,14 +223,30 @@ fn jsonl_format_roundtrip() {
     let dir = workdir("jsonl");
     let file = dir.join("blocks.jsonl");
     let out = blockdec(&[
-        "simulate", "--chain", "ethereum", "--days", "1", "--limit", "500",
-        "--format", "jsonl", "--out", file.to_str().unwrap(),
+        "simulate",
+        "--chain",
+        "ethereum",
+        "--days",
+        "1",
+        "--limit",
+        "500",
+        "--format",
+        "jsonl",
+        "--out",
+        file.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let store = dir.join("store");
     let out = blockdec(&[
-        "ingest", "--chain", "ethereum", "--format", "jsonl", "--input",
-        file.to_str().unwrap(), "--store", store.to_str().unwrap(),
+        "ingest",
+        "--chain",
+        "ethereum",
+        "--format",
+        "jsonl",
+        "--input",
+        file.to_str().unwrap(),
+        "--store",
+        store.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stderr(&out).contains("ingested 500 blocks"));
@@ -181,21 +258,33 @@ fn query_language_end_to_end() {
     let dir = workdir("query");
     let store = dir.join("store");
     let out = blockdec(&[
-        "load", "--chain", "bitcoin", "--days", "10", "--store",
+        "load",
+        "--chain",
+        "bitcoin",
+        "--days",
+        "10",
+        "--store",
         store.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
 
     // top-k.
     let out = blockdec(&[
-        "query", "--store", store.to_str().unwrap(), "--q", "top 3 producers",
+        "query",
+        "--store",
+        store.to_str().unwrap(),
+        "--q",
+        "top 3 producers",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert_eq!(stdout(&out).lines().count(), 4);
 
     // count over a calendar day.
     let out = blockdec(&[
-        "query", "--store", store.to_str().unwrap(), "--q",
+        "query",
+        "--store",
+        store.to_str().unwrap(),
+        "--q",
         "count where time between \"2019-01-03\" and \"2019-01-04\"",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -208,18 +297,28 @@ fn query_language_end_to_end() {
 
     // producer filter by name.
     let out = blockdec(&[
-        "query", "--store", store.to_str().unwrap(), "--q",
+        "query",
+        "--store",
+        store.to_str().unwrap(),
+        "--q",
         "count where producer = \"F2Pool\"",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
 
     // Parse errors surface.
     let out = blockdec(&[
-        "query", "--store", store.to_str().unwrap(), "--q",
+        "query",
+        "--store",
+        store.to_str().unwrap(),
+        "--q",
         "count where producer = \"NoSuchPool\"",
     ]);
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("unknown producer"), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("unknown producer"),
+        "{}",
+        stderr(&out)
+    );
     fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -228,7 +327,12 @@ fn analyze_produces_full_report() {
     let dir = workdir("analyze");
     let store = dir.join("store");
     let out = blockdec(&[
-        "load", "--chain", "bitcoin", "--days", "30", "--store",
+        "load",
+        "--chain",
+        "bitcoin",
+        "--days",
+        "30",
+        "--store",
         store.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -259,8 +363,15 @@ fn scrub_and_compact() {
     for seed in ["1", "2"] {
         let days = "3";
         let out = blockdec(&[
-            "load", "--chain", "bitcoin", "--days", days, "--seed", seed,
-            "--store", store.to_str().unwrap(),
+            "load",
+            "--chain",
+            "bitcoin",
+            "--days",
+            days,
+            "--seed",
+            seed,
+            "--store",
+            store.to_str().unwrap(),
         ]);
         // The second load appends lower heights → expect failure there.
         if seed == "1" {
@@ -295,13 +406,29 @@ fn scrub_and_compact() {
 fn bad_window_spec_is_rejected() {
     let dir = workdir("badwin");
     let store = dir.join("store");
-    blockdec(&["load", "--chain", "bitcoin", "--days", "1", "--store", store.to_str().unwrap()]);
+    blockdec(&[
+        "load",
+        "--chain",
+        "bitcoin",
+        "--days",
+        "1",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
     let out = blockdec(&[
-        "measure", "--store", store.to_str().unwrap(), "--window", "sliding:0:0",
+        "measure",
+        "--store",
+        store.to_str().unwrap(),
+        "--window",
+        "sliding:0:0",
     ]);
     assert!(!out.status.success());
     let out = blockdec(&[
-        "measure", "--store", store.to_str().unwrap(), "--window", "fixed:decade",
+        "measure",
+        "--store",
+        store.to_str().unwrap(),
+        "--window",
+        "fixed:decade",
     ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("granularity"));
@@ -313,12 +440,23 @@ fn measure_accepts_comma_separated_metric_list() {
     let dir = workdir("multimetric");
     let store = dir.join("store");
     let out = blockdec(&[
-        "load", "--chain", "bitcoin", "--days", "5", "--store", store.to_str().unwrap(),
+        "load",
+        "--chain",
+        "bitcoin",
+        "--days",
+        "5",
+        "--store",
+        store.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let out = blockdec(&[
-        "measure", "--store", store.to_str().unwrap(), "--metric",
-        "gini,entropy,nakamoto", "--window", "fixed:day",
+        "measure",
+        "--store",
+        store.to_str().unwrap(),
+        "--metric",
+        "gini,entropy,nakamoto",
+        "--window",
+        "fixed:day",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let csv = stdout(&out);
@@ -338,9 +476,21 @@ fn measure_accepts_comma_separated_metric_list() {
 fn unknown_metric_is_rejected_with_choices() {
     let dir = workdir("badmetric");
     let store = dir.join("store");
-    blockdec(&["load", "--chain", "bitcoin", "--days", "1", "--store", store.to_str().unwrap()]);
+    blockdec(&[
+        "load",
+        "--chain",
+        "bitcoin",
+        "--days",
+        "1",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
     let out = blockdec(&[
-        "measure", "--store", store.to_str().unwrap(), "--metric", "sharpe",
+        "measure",
+        "--store",
+        store.to_str().unwrap(),
+        "--metric",
+        "sharpe",
     ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("gini"), "{}", stderr(&out));

@@ -98,6 +98,25 @@ impl ProducerDistribution {
         }
     }
 
+    /// Add a block's credits given as parallel columns — the columnar
+    /// counterpart of [`ProducerDistribution::add_block`]. Slices must be
+    /// the same length (one weight per producer).
+    pub fn add_credits(&mut self, producers: &[ProducerId], weights: &[f64]) {
+        debug_assert_eq!(producers.len(), weights.len(), "parallel credit columns");
+        for (&p, &w) in producers.iter().zip(weights) {
+            self.add(p, w);
+        }
+    }
+
+    /// Remove a block's credits given as parallel columns — the columnar
+    /// counterpart of [`ProducerDistribution::remove_block`].
+    pub fn remove_credits(&mut self, producers: &[ProducerId], weights: &[f64]) {
+        debug_assert_eq!(producers.len(), weights.len(), "parallel credit columns");
+        for (&p, &w) in producers.iter().zip(weights) {
+            self.remove(p, w);
+        }
+    }
+
     /// Number of distinct producers with positive weight.
     pub fn producers(&self) -> usize {
         self.weights.len()
@@ -134,7 +153,12 @@ impl ProducerDistribution {
     /// `crate::metrics::sorted_positive(&self.weight_vector())`.
     pub fn sorted_weights_into(&self, buf: &mut Vec<f64>) {
         buf.clear();
-        buf.extend(self.weights.values().copied().filter(|w| w.is_finite() && *w > 0.0));
+        buf.extend(
+            self.weights
+                .values()
+                .copied()
+                .filter(|w| w.is_finite() && *w > 0.0),
+        );
         buf.sort_unstable_by(f64::total_cmp);
     }
 
@@ -142,7 +166,11 @@ impl ProducerDistribution {
     /// ties broken by producer id for determinism.
     pub fn ranked(&self) -> Vec<(ProducerId, f64)> {
         let mut v: Vec<(ProducerId, f64)> = self.weights.iter().map(|(&p, &w)| (p, w)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite").then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("weights are finite")
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 
@@ -225,7 +253,11 @@ mod tests {
         for _ in 0..10 {
             d.remove(p(7), 0.1);
         }
-        assert!(d.is_empty(), "phantom producer left: {:?}", d.weight_of(p(7)));
+        assert!(
+            d.is_empty(),
+            "phantom producer left: {:?}",
+            d.weight_of(p(7))
+        );
     }
 
     #[test]
@@ -245,12 +277,8 @@ mod tests {
 
     #[test]
     fn ranked_is_descending_and_deterministic() {
-        let d = ProducerDistribution::from_pairs([
-            (p(3), 1.0),
-            (p(1), 5.0),
-            (p(2), 1.0),
-            (p(4), 3.0),
-        ]);
+        let d =
+            ProducerDistribution::from_pairs([(p(3), 1.0), (p(1), 5.0), (p(2), 1.0), (p(4), 3.0)]);
         let r = d.ranked();
         assert_eq!(r[0], (p(1), 5.0));
         assert_eq!(r[1], (p(4), 3.0));
@@ -261,7 +289,11 @@ mod tests {
 
     #[test]
     fn from_blocks_equals_manual() {
-        let blocks = vec![block(1, &[(1, 1.0)]), block(2, &[(1, 1.0)]), block(3, &[(2, 1.0)])];
+        let blocks = vec![
+            block(1, &[(1, 1.0)]),
+            block(2, &[(1, 1.0)]),
+            block(3, &[(2, 1.0)]),
+        ];
         let d = ProducerDistribution::from_blocks(&blocks);
         assert_eq!(d.weight_of(p(1)), 2.0);
         assert_eq!(d.weight_of(p(2)), 1.0);

@@ -13,10 +13,10 @@
 use crate::distribution::ProducerDistribution;
 use crate::metrics::MetricKind;
 use crate::series::{MeasurementPoint, MeasurementSeries, WindowLabel};
-use crate::windows::fixed::fixed_calendar_windows;
+use crate::windows::fixed::fixed_calendar_windows_columns;
 use crate::windows::sliding::SlidingWindowSpec;
-use crate::windows::sliding_time::{time_windows_indexed, TimeWindowSpec};
-use blockdec_chain::{AttributedBlock, Granularity, Timestamp};
+use crate::windows::sliding_time::{time_windows_columns, TimeWindowSpec};
+use blockdec_chain::{AttributedBlock, BlockColumns, ColumnsSlice, Granularity, Timestamp};
 use serde::{Deserialize, Serialize};
 
 /// Windowing policy for a measurement run.
@@ -132,24 +132,36 @@ impl MeasurementEngine {
     }
 
     /// Measure a height-ordered block stream.
+    ///
+    /// Thin compatibility wrapper: converts to [`BlockColumns`] and
+    /// delegates to [`MeasurementEngine::run_columns`], which is the
+    /// canonical evaluation path.
     pub fn run(&self, blocks: &[AttributedBlock]) -> MeasurementSeries {
+        let cols = BlockColumns::from_blocks(blocks);
+        self.run_columns(cols.as_slice())
+    }
+
+    /// Measure a height-ordered columnar block stream. This is the
+    /// canonical path: every windowing family iterates the flat columns
+    /// directly and no per-block credit `Vec` is touched.
+    pub fn run_columns(&self, cols: ColumnsSlice<'_>) -> MeasurementSeries {
         let window_label = self.window.label().label();
         let _t = blockdec_obs::span_timed!(
             "stage.measure",
             metric = self.metric.to_string(),
             window = window_label,
-            blocks = blocks.len(),
+            blocks = cols.len(),
         );
         let points = match self.window {
             WindowSpec::FixedCalendar {
                 granularity,
                 origin,
-            } => self.run_fixed(blocks, granularity, origin),
-            WindowSpec::SlidingBlocks(spec) => self.run_sliding(blocks, spec),
-            WindowSpec::SlidingTime(spec) => self.run_sliding_time(blocks, spec),
+            } => self.run_fixed(cols, granularity, origin),
+            WindowSpec::SlidingBlocks(spec) => self.run_sliding(cols, spec),
+            WindowSpec::SlidingTime(spec) => self.run_sliding_time(cols, spec),
         };
         blockdec_obs::counter("engine.runs").inc();
-        blockdec_obs::counter("engine.blocks").add(blocks.len() as u64);
+        blockdec_obs::counter("engine.blocks").add(cols.len() as u64);
         blockdec_obs::counter("engine.windows").add(points.len() as u64);
         blockdec_obs::debug!(windows = points.len(); "measurement complete");
         MeasurementSeries {
@@ -162,18 +174,19 @@ impl MeasurementEngine {
     fn point_from_distribution(
         &self,
         index: i64,
-        first: &AttributedBlock,
-        last: &AttributedBlock,
+        cols: ColumnsSlice<'_>,
+        first: usize,
+        last: usize,
         blocks: u64,
         dist: &ProducerDistribution,
     ) -> MeasurementPoint {
         debug_assert!(blocks > 0);
         MeasurementPoint {
             index,
-            start_height: first.height,
-            end_height: last.height,
-            start_time: first.timestamp,
-            end_time: last.timestamp,
+            start_height: cols.height(first),
+            end_height: cols.height(last),
+            start_time: cols.timestamp(first),
+            end_time: cols.timestamp(last),
             blocks,
             producers: dist.producers() as u64,
             value: self.metric.compute(&dist.weight_vector()),
@@ -182,21 +195,22 @@ impl MeasurementEngine {
 
     fn run_fixed(
         &self,
-        blocks: &[AttributedBlock],
+        cols: ColumnsSlice<'_>,
         granularity: Granularity,
         origin: Timestamp,
     ) -> Vec<MeasurementPoint> {
-        fixed_calendar_windows(blocks, granularity, origin)
+        fixed_calendar_windows_columns(cols, granularity, origin)
             .into_iter()
             .map(|w| {
                 let mut dist = ProducerDistribution::new();
                 for &i in &w.block_indices {
-                    dist.add_block(&blocks[i as usize]);
+                    dist.add_credits(cols.producers_of(i as usize), cols.weights_of(i as usize));
                 }
-                let first = &blocks[*w.block_indices.first().expect("non-empty") as usize];
-                let last = &blocks[*w.block_indices.last().expect("non-empty") as usize];
+                let first = *w.block_indices.first().expect("non-empty") as usize;
+                let last = *w.block_indices.last().expect("non-empty") as usize;
                 self.point_from_distribution(
                     w.bucket,
+                    cols,
                     first,
                     last,
                     w.block_indices.len() as u64,
@@ -208,25 +222,26 @@ impl MeasurementEngine {
 
     fn run_sliding_time(
         &self,
-        blocks: &[AttributedBlock],
+        cols: ColumnsSlice<'_>,
         spec: TimeWindowSpec,
     ) -> Vec<MeasurementPoint> {
         // Time windows assign by timestamp: order a view by time (miner
         // clock jitter makes height order only approximately time order).
         // A sorted u32 permutation replaces the former deep clone of the
         // whole stream — 4 bytes per block instead of a full copy.
-        let order = timestamp_order(blocks);
-        time_windows_indexed(blocks, &order, spec)
+        let order = timestamp_order_columns(cols);
+        time_windows_columns(cols, &order, spec)
             .into_iter()
             .map(|w| {
                 let mut dist = ProducerDistribution::new();
                 for &i in &order[w.blocks.clone()] {
-                    dist.add_block(&blocks[i as usize]);
+                    dist.add_credits(cols.producers_of(i as usize), cols.weights_of(i as usize));
                 }
-                let first = &blocks[order[w.blocks.start] as usize];
-                let last = &blocks[order[w.blocks.end - 1] as usize];
+                let first = order[w.blocks.start] as usize;
+                let last = order[w.blocks.end - 1] as usize;
                 self.point_from_distribution(
                     w.index as i64,
+                    cols,
                     first,
                     last,
                     w.blocks.len() as u64,
@@ -238,36 +253,37 @@ impl MeasurementEngine {
 
     fn run_sliding(
         &self,
-        blocks: &[AttributedBlock],
+        cols: ColumnsSlice<'_>,
         spec: SlidingWindowSpec,
     ) -> Vec<MeasurementPoint> {
-        let mut points = Vec::with_capacity(spec.window_count(blocks.len()));
+        let mut points = Vec::with_capacity(spec.window_count(cols.len()));
         let mut dist = ProducerDistribution::new();
         let mut current: Option<std::ops::Range<usize>> = None;
-        for (i, range) in spec.iter(blocks.len()).enumerate() {
+        for (i, range) in spec.iter(cols.len()).enumerate() {
             match current.take() {
                 // Overlapping advance: drop the leading `step` blocks, add
                 // the trailing ones — O(step) instead of O(size).
                 Some(prev) if prev.end > range.start => {
-                    for b in &blocks[prev.start..range.start] {
-                        dist.remove_block(b);
+                    for b in prev.start..range.start {
+                        dist.remove_credits(cols.producers_of(b), cols.weights_of(b));
                     }
-                    for b in &blocks[prev.end..range.end] {
-                        dist.add_block(b);
+                    for b in prev.end..range.end {
+                        dist.add_credits(cols.producers_of(b), cols.weights_of(b));
                     }
                 }
                 // Gap or first window: rebuild.
                 _ => {
                     dist.clear();
-                    for b in &blocks[range.clone()] {
-                        dist.add_block(b);
+                    for b in range.clone() {
+                        dist.add_credits(cols.producers_of(b), cols.weights_of(b));
                     }
                 }
             }
             points.push(self.point_from_distribution(
                 i as i64,
-                &blocks[range.start],
-                &blocks[range.end - 1],
+                cols,
+                range.start,
+                range.end - 1,
                 range.len() as u64,
                 &dist,
             ));
@@ -279,13 +295,21 @@ impl MeasurementEngine {
 
 /// The timestamp-sorted `u32` permutation of a block slice, ties broken
 /// by height: `order[j]` indexes the j-th block by `(timestamp, height)`.
-/// Shared by the engine's and the planner's time-window paths.
-pub(crate) fn timestamp_order(blocks: &[AttributedBlock]) -> Vec<u32> {
+pub fn timestamp_order(blocks: &[AttributedBlock]) -> Vec<u32> {
     let mut order: Vec<u32> = (0..blocks.len() as u32).collect();
     order.sort_unstable_by_key(|&i| {
         let b = &blocks[i as usize];
         (b.timestamp, b.height)
     });
+    order
+}
+
+/// [`timestamp_order`] over columnar storage — the permutation the
+/// engine's and the planner's time-window paths sort. Only the timestamp
+/// and height columns are read.
+pub fn timestamp_order_columns(cols: ColumnsSlice<'_>) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..cols.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| (cols.timestamp(i as usize), cols.height(i as usize)));
     order
 }
 
@@ -303,6 +327,15 @@ pub fn run_matrix(
     configs: &[MeasurementEngine],
 ) -> Vec<MeasurementSeries> {
     crate::planner::MatrixPlan::new(configs).run(blocks)
+}
+
+/// [`run_matrix`] over columnar storage: the store → columns → planner
+/// pipeline with zero AoS materialization.
+pub fn run_matrix_columns(
+    cols: ColumnsSlice<'_>,
+    configs: &[MeasurementEngine],
+) -> Vec<MeasurementSeries> {
+    crate::planner::MatrixPlan::new(configs).run_columns(cols)
 }
 
 #[cfg(test)]
@@ -407,7 +440,9 @@ mod tests {
     fn empty_stream_empty_series() {
         let s = MeasurementEngine::new(MetricKind::Gini).run(&[]);
         assert!(s.points.is_empty());
-        let s = MeasurementEngine::new(MetricKind::Gini).sliding(10, 5).run(&[]);
+        let s = MeasurementEngine::new(MetricKind::Gini)
+            .sliding(10, 5)
+            .run(&[]);
         assert!(s.points.is_empty());
     }
 
@@ -445,7 +480,10 @@ mod tests {
             // Perfect rotation with window=multiple of pattern → Gini 0.
             assert!(p.value.abs() < 1e-12);
         }
-        assert_eq!(s.window.label(), format!("sliding-time/{SECS_PER_DAY}/{}", SECS_PER_DAY / 2));
+        assert_eq!(
+            s.window.label(),
+            format!("sliding-time/{SECS_PER_DAY}/{}", SECS_PER_DAY / 2)
+        );
     }
 
     #[test]

@@ -269,58 +269,68 @@ impl StreamingSlidingEngine {
 
     /// Run over a block stream. `None` when a fractional credit is
     /// encountered (integer-credit streams only).
+    ///
+    /// Thin compatibility wrapper: converts to
+    /// [`blockdec_chain::BlockColumns`] and delegates to
+    /// [`StreamingSlidingEngine::run_columns`], the canonical path.
     pub fn run(
         &self,
         blocks: &[blockdec_chain::AttributedBlock],
     ) -> Option<crate::series::MeasurementSeries> {
+        let cols = blockdec_chain::BlockColumns::from_blocks(blocks);
+        self.run_columns(cols.as_slice())
+    }
+
+    /// Run over a columnar block stream, iterating the flat credit
+    /// columns directly. `None` when a fractional credit is encountered
+    /// (integer-credit streams only).
+    pub fn run_columns(
+        &self,
+        cols: blockdec_chain::ColumnsSlice<'_>,
+    ) -> Option<crate::series::MeasurementSeries> {
         use crate::series::{MeasurementPoint, MeasurementSeries, WindowLabel};
 
-        let apply = |m: &mut CountMultiset,
-                     block: &blockdec_chain::AttributedBlock,
-                     add: bool|
-         -> Option<()> {
-            for c in &block.credits {
-                if c.weight.fract() != 0.0 || c.weight < 0.0 {
+        let apply = |m: &mut CountMultiset, b: usize, add: bool| -> Option<()> {
+            for (&producer, &weight) in cols.producers_of(b).iter().zip(cols.weights_of(b)) {
+                if weight.fract() != 0.0 || weight < 0.0 {
                     return None;
                 }
                 // One bucket move per credit, however many blocks it pays.
                 if add {
-                    m.add_n(c.producer, c.weight as u64);
+                    m.add_n(producer, weight as u64);
                 } else {
-                    m.remove_n(c.producer, c.weight as u64);
+                    m.remove_n(producer, weight as u64);
                 }
             }
             Some(())
         };
 
-        let mut points = Vec::with_capacity(self.spec.window_count(blocks.len()));
+        let mut points = Vec::with_capacity(self.spec.window_count(cols.len()));
         let mut m = CountMultiset::new();
         let mut prev: Option<std::ops::Range<usize>> = None;
-        for (i, range) in self.spec.iter(blocks.len()).enumerate() {
+        for (i, range) in self.spec.iter(cols.len()).enumerate() {
             match prev.take() {
                 Some(p) if p.end > range.start => {
-                    for b in &blocks[p.start..range.start] {
+                    for b in p.start..range.start {
                         apply(&mut m, b, false)?;
                     }
-                    for b in &blocks[p.end..range.end] {
+                    for b in p.end..range.end {
                         apply(&mut m, b, true)?;
                     }
                 }
                 _ => {
                     m = CountMultiset::new();
-                    for b in &blocks[range.clone()] {
+                    for b in range.clone() {
                         apply(&mut m, b, true)?;
                     }
                 }
             }
-            let first = &blocks[range.start];
-            let last = &blocks[range.end - 1];
             points.push(MeasurementPoint {
                 index: i as i64,
-                start_height: first.height,
-                end_height: last.height,
-                start_time: first.timestamp,
-                end_time: last.timestamp,
+                start_height: cols.height(range.start),
+                end_height: cols.height(range.end - 1),
+                start_time: cols.timestamp(range.start),
+                end_time: cols.timestamp(range.end - 1),
                 blocks: range.len() as u64,
                 producers: m.producers() as u64,
                 value: self.value(&m),
@@ -427,7 +437,11 @@ mod tests {
     fn entropy_matches_batch() {
         let m = filled(&[(1, 10), (2, 5), (3, 5), (4, 1)]);
         let batch = shannon_entropy(&m.weight_vector());
-        assert!((m.entropy() - batch).abs() < 1e-9, "{} vs {batch}", m.entropy());
+        assert!(
+            (m.entropy() - batch).abs() < 1e-9,
+            "{} vs {batch}",
+            m.entropy()
+        );
     }
 
     #[test]
@@ -512,11 +526,17 @@ mod tests {
         fn matches_batch_engine_exactly() {
             let blocks = stream(&[0, 0, 1, 2, 3, 3, 3, 4], 300);
             let spec = SlidingWindowSpec::new(40, 15);
-            for metric in [MetricKind::Gini, MetricKind::ShannonEntropy, MetricKind::Nakamoto] {
+            for metric in [
+                MetricKind::Gini,
+                MetricKind::ShannonEntropy,
+                MetricKind::Nakamoto,
+            ] {
                 let streaming = StreamingSlidingEngine::new(metric, spec)
                     .run(&blocks)
                     .expect("integer credits");
-                let batch = MeasurementEngine::new(metric).sliding_spec(spec).run(&blocks);
+                let batch = MeasurementEngine::new(metric)
+                    .sliding_spec(spec)
+                    .run(&blocks);
                 assert_eq!(streaming.points.len(), batch.points.len());
                 for (s, b) in streaming.points.iter().zip(&batch.points) {
                     assert_eq!(s.index, b.index);

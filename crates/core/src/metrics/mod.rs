@@ -196,7 +196,10 @@ impl std::str::FromStr for MetricKind {
 /// Filter out zero and (defensively) negative or non-finite weights;
 /// shared by the metric implementations.
 pub(crate) fn positive_weights(weights: &[f64]) -> impl Iterator<Item = f64> + '_ {
-    weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0)
+    weights
+        .iter()
+        .copied()
+        .filter(|w| w.is_finite() && *w > 0.0)
 }
 
 /// Filter to positive finite weights and sort ascending by

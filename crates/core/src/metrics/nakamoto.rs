@@ -112,7 +112,9 @@ mod tests {
     #[test]
     fn paper_style_pool_table() {
         // 2019-like Bitcoin shares: top-4 = 53% → coefficient 4.
-        let shares = [0.17, 0.13, 0.12, 0.11, 0.09, 0.07, 0.07, 0.06, 0.06, 0.06, 0.06];
+        let shares = [
+            0.17, 0.13, 0.12, 0.11, 0.09, 0.07, 0.07, 0.06, 0.06, 0.06, 0.06,
+        ];
         assert_eq!(nakamoto(&shares), 4);
         // 2019-like Ethereum shares: top-3 = 60% → coefficient 3.
         let shares = [0.27, 0.22, 0.11, 0.08, 0.05, 0.09, 0.09, 0.09];

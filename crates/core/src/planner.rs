@@ -37,13 +37,13 @@
 //! band — so fractional-attribution comparisons should use an epsilon.
 
 use crate::distribution::ProducerDistribution;
-use crate::engine::{timestamp_order, MeasurementEngine, WindowSpec};
+use crate::engine::{timestamp_order_columns, MeasurementEngine, WindowSpec};
 use crate::metrics::MetricKind;
 use crate::series::{MeasurementPoint, MeasurementSeries};
-use crate::windows::fixed::fixed_calendar_windows;
+use crate::windows::fixed::fixed_calendar_windows_columns;
 use crate::windows::sliding::SlidingWindowSpec;
-use crate::windows::sliding_time::{time_windows_indexed, TimeWindowSpec};
-use blockdec_chain::{AttributedBlock, Granularity, Timestamp};
+use crate::windows::sliding_time::{time_windows_columns, TimeWindowSpec};
+use blockdec_chain::{AttributedBlock, BlockColumns, ColumnsSlice, Granularity, Timestamp};
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -98,10 +98,13 @@ impl MatrixPlan {
                 groups.len() - 1
             });
             let metrics = &mut groups[gi].metrics;
-            let slot = metrics.iter().position(|&m| m == cfg.metric()).unwrap_or_else(|| {
-                metrics.push(cfg.metric());
-                metrics.len() - 1
-            });
+            let slot = metrics
+                .iter()
+                .position(|&m| m == cfg.metric())
+                .unwrap_or_else(|| {
+                    metrics.push(cfg.metric());
+                    metrics.len() - 1
+                });
             slots.push((gi, slot));
         }
         MatrixPlan { groups, slots }
@@ -123,19 +126,29 @@ impl MatrixPlan {
         self.slots.len() - self.groups.len()
     }
 
-    /// Execute the plan over a height-ordered block stream. Results come
-    /// back in input-configuration order.
+    /// Execute the plan over a height-ordered block stream.
+    ///
+    /// Thin compatibility wrapper: converts to [`BlockColumns`] and
+    /// delegates to [`MatrixPlan::run_columns`], the canonical path.
     pub fn run(&self, blocks: &[AttributedBlock]) -> Vec<MeasurementSeries> {
+        let cols = BlockColumns::from_blocks(blocks);
+        self.run_columns(cols.as_slice())
+    }
+
+    /// Execute the plan over a height-ordered columnar block stream.
+    /// Results come back in input-configuration order. Every window
+    /// family and the chunked workers iterate the flat columns directly.
+    pub fn run_columns(&self, cols: ColumnsSlice<'_>) -> Vec<MeasurementSeries> {
         let _t = blockdec_obs::span_timed!(
             "stage.measure_matrix",
             configs = self.configs(),
             specs = self.window_specs(),
-            blocks = blocks.len(),
+            blocks = cols.len(),
         );
         blockdec_obs::counter("planner.window_specs").add(self.window_specs() as u64);
         blockdec_obs::counter("planner.dedup_hits").add(self.dedup_hits() as u64);
         let per_group: Vec<Vec<MeasurementSeries>> =
-            self.groups.iter().map(|g| eval_group(g, blocks)).collect();
+            self.groups.iter().map(|g| eval_group(g, cols)).collect();
         let mut out = Vec::with_capacity(self.slots.len());
         let mut windows_emitted = 0u64;
         for &(gi, slot) in &self.slots {
@@ -154,14 +167,14 @@ impl MatrixPlan {
 
 /// Materialize one group's window stream and fan its rows out into one
 /// series per metric.
-fn eval_group(group: &SpecGroup, blocks: &[AttributedBlock]) -> Vec<MeasurementSeries> {
+fn eval_group(group: &SpecGroup, cols: ColumnsSlice<'_>) -> Vec<MeasurementSeries> {
     let rows = match group.window {
         WindowSpec::FixedCalendar {
             granularity,
             origin,
-        } => eval_fixed(blocks, granularity, origin, &group.metrics),
-        WindowSpec::SlidingBlocks(spec) => eval_sliding(blocks, spec, &group.metrics),
-        WindowSpec::SlidingTime(spec) => eval_sliding_time(blocks, spec, &group.metrics),
+        } => eval_fixed(cols, granularity, origin, &group.metrics),
+        WindowSpec::SlidingBlocks(spec) => eval_sliding(cols, spec, &group.metrics),
+        WindowSpec::SlidingTime(spec) => eval_sliding_time(cols, spec, &group.metrics),
     };
     // Each row's scratch fill served every metric past the first for free.
     blockdec_obs::counter("planner.scratch_reuse")
@@ -199,10 +212,12 @@ fn eval_group(group: &SpecGroup, blocks: &[AttributedBlock]) -> Vec<MeasurementS
 
 /// Sort the window's distribution into the shared scratch once, then
 /// evaluate every metric of the group from the pre-sorted slice.
+/// `(first, last)` are the window's inclusive block-position bounds in
+/// `cols`.
 fn finish_row(
     index: i64,
-    first: &AttributedBlock,
-    last: &AttributedBlock,
+    cols: ColumnsSlice<'_>,
+    (first, last): (usize, usize),
     blocks: u64,
     dist: &ProducerDistribution,
     scratch: &mut Vec<f64>,
@@ -211,10 +226,10 @@ fn finish_row(
     dist.sorted_weights_into(scratch);
     WindowRow {
         index,
-        start_height: first.height,
-        end_height: last.height,
-        start_time: first.timestamp,
-        end_time: last.timestamp,
+        start_height: cols.height(first),
+        end_height: cols.height(last),
+        start_time: cols.timestamp(first),
+        end_time: cols.timestamp(last),
         blocks,
         producers: dist.producers() as u64,
         values: metrics.iter().map(|m| m.compute_sorted(scratch)).collect(),
@@ -264,12 +279,12 @@ where
 }
 
 fn eval_fixed(
-    blocks: &[AttributedBlock],
+    cols: ColumnsSlice<'_>,
     granularity: Granularity,
     origin: Timestamp,
     metrics: &[MetricKind],
 ) -> Vec<WindowRow> {
-    let windows = fixed_calendar_windows(blocks, granularity, origin);
+    let windows = fixed_calendar_windows_columns(cols, granularity, origin);
     run_chunked(windows.len(), |chunk| {
         let mut dist = ProducerDistribution::new();
         let mut scratch = Vec::new();
@@ -277,14 +292,14 @@ fn eval_fixed(
         for w in &windows[chunk] {
             dist.clear();
             for &i in &w.block_indices {
-                dist.add_block(&blocks[i as usize]);
+                dist.add_credits(cols.producers_of(i as usize), cols.weights_of(i as usize));
             }
-            let first = &blocks[*w.block_indices.first().expect("non-empty") as usize];
-            let last = &blocks[*w.block_indices.last().expect("non-empty") as usize];
+            let first = *w.block_indices.first().expect("non-empty") as usize;
+            let last = *w.block_indices.last().expect("non-empty") as usize;
             rows.push(finish_row(
                 w.bucket,
-                first,
-                last,
+                cols,
+                (first, last),
                 w.block_indices.len() as u64,
                 &dist,
                 &mut scratch,
@@ -296,41 +311,43 @@ fn eval_fixed(
 }
 
 fn eval_sliding(
-    blocks: &[AttributedBlock],
+    cols: ColumnsSlice<'_>,
     spec: SlidingWindowSpec,
     metrics: &[MetricKind],
 ) -> Vec<WindowRow> {
-    let total = spec.window_count(blocks.len());
+    let total = spec.window_count(cols.len());
     run_chunked(total, |chunk| {
         let mut dist = ProducerDistribution::new();
         let mut scratch = Vec::new();
         let mut rows = Vec::with_capacity(chunk.len());
         let mut current: Option<Range<usize>> = None;
         for wi in chunk {
-            let range = spec.window_range(wi, blocks.len()).expect("window within count");
+            let range = spec
+                .window_range(wi, cols.len())
+                .expect("window within count");
             match current.take() {
                 // Overlapping advance: O(step) slide, same arm the
                 // engine's own sliding path takes.
                 Some(prev) if prev.end > range.start => {
-                    for b in &blocks[prev.start..range.start] {
-                        dist.remove_block(b);
+                    for b in prev.start..range.start {
+                        dist.remove_credits(cols.producers_of(b), cols.weights_of(b));
                     }
-                    for b in &blocks[prev.end..range.end] {
-                        dist.add_block(b);
+                    for b in prev.end..range.end {
+                        dist.add_credits(cols.producers_of(b), cols.weights_of(b));
                     }
                 }
                 // Chunk-leading window, or a gap (step > size): rebuild.
                 _ => {
                     dist.clear();
-                    for b in &blocks[range.clone()] {
-                        dist.add_block(b);
+                    for b in range.clone() {
+                        dist.add_credits(cols.producers_of(b), cols.weights_of(b));
                     }
                 }
             }
             rows.push(finish_row(
                 wi as i64,
-                &blocks[range.start],
-                &blocks[range.end - 1],
+                cols,
+                (range.start, range.end - 1),
                 range.len() as u64,
                 &dist,
                 &mut scratch,
@@ -343,13 +360,13 @@ fn eval_sliding(
 }
 
 fn eval_sliding_time(
-    blocks: &[AttributedBlock],
+    cols: ColumnsSlice<'_>,
     spec: TimeWindowSpec,
     metrics: &[MetricKind],
 ) -> Vec<WindowRow> {
     // One permutation sort per spec, shared by every chunk and metric.
-    let order = timestamp_order(blocks);
-    let windows = time_windows_indexed(blocks, &order, spec);
+    let order = timestamp_order_columns(cols);
+    let windows = time_windows_columns(cols, &order, spec);
     let (order, windows) = (&order, &windows);
     run_chunked(windows.len(), move |chunk| {
         let mut dist = ProducerDistribution::new();
@@ -362,23 +379,35 @@ fn eval_sliding_time(
                 // overlapping windows slide just like block windows.
                 Some(prev) if prev.end > w.blocks.start => {
                     for &i in &order[prev.start..w.blocks.start] {
-                        dist.remove_block(&blocks[i as usize]);
+                        dist.remove_credits(
+                            cols.producers_of(i as usize),
+                            cols.weights_of(i as usize),
+                        );
                     }
                     for &i in &order[prev.end..w.blocks.end] {
-                        dist.add_block(&blocks[i as usize]);
+                        dist.add_credits(
+                            cols.producers_of(i as usize),
+                            cols.weights_of(i as usize),
+                        );
                     }
                 }
                 _ => {
                     dist.clear();
                     for &i in &order[w.blocks.clone()] {
-                        dist.add_block(&blocks[i as usize]);
+                        dist.add_credits(
+                            cols.producers_of(i as usize),
+                            cols.weights_of(i as usize),
+                        );
                     }
                 }
             }
             rows.push(finish_row(
                 w.index as i64,
-                &blocks[order[w.blocks.start] as usize],
-                &blocks[order[w.blocks.end - 1] as usize],
+                cols,
+                (
+                    order[w.blocks.start] as usize,
+                    order[w.blocks.end - 1] as usize,
+                ),
                 w.blocks.len() as u64,
                 &dist,
                 &mut scratch,
@@ -462,6 +491,33 @@ mod tests {
         let out = MatrixPlan::new(&[cfg]).run(&[]);
         assert_eq!(out.len(), 1);
         assert!(out[0].points.is_empty());
+    }
+
+    #[test]
+    fn columnar_sub_slice_equals_aos_sub_slice() {
+        // Multi-credit anomaly blocks plus a zero-credit block, evaluated
+        // through a ColumnsSlice whose credit offsets do NOT start at 0 —
+        // the planner must handle rebased views identically to a fresh
+        // conversion of the same AoS range.
+        let mut blocks = stream(&[0, 1, 2, 3], 400, 600);
+        for k in 0..30usize {
+            let i = 13 * (k + 1) % blocks.len();
+            blocks[i].credits = (0..5 + k as u32)
+                .map(|j| Credit {
+                    producer: ProducerId(100 + j),
+                    weight: 1.0,
+                })
+                .collect();
+        }
+        blocks[200].credits.clear();
+        let cols = BlockColumns::from_blocks(&blocks);
+        let configs = paper_fixed_and_sliding_configs();
+        let plan = MatrixPlan::new(&configs);
+        for (lo, hi) in [(0, 400), (37, 391), (150, 150)] {
+            let via_cols = plan.run_columns(cols.slice(lo, hi));
+            let via_aos = plan.run(&blocks[lo..hi]);
+            assert_eq!(via_cols, via_aos, "range {lo}..{hi}");
+        }
     }
 
     #[test]

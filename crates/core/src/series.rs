@@ -195,7 +195,11 @@ mod tests {
             "fixed/week"
         );
         assert_eq!(
-            WindowLabel::SlidingBlocks { size: 144, step: 72 }.label(),
+            WindowLabel::SlidingBlocks {
+                size: 144,
+                step: 72
+            }
+            .label(),
             "sliding/144/72"
         );
     }

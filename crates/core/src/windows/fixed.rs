@@ -7,7 +7,7 @@
 //! out-of-order Bitcoin timestamp lands in the bucket its miner declared —
 //! the same behaviour as a BigQuery `GROUP BY DATE(timestamp)`.
 
-use blockdec_chain::{AttributedBlock, Granularity, Timestamp};
+use blockdec_chain::{AttributedBlock, ColumnsSlice, Granularity, Timestamp};
 use std::collections::BTreeMap;
 use std::ops::Range;
 
@@ -43,11 +43,30 @@ pub fn fixed_calendar_windows(
     granularity: Granularity,
     origin: Timestamp,
 ) -> Vec<FixedWindow> {
+    windows_by_bucket(blocks.len(), |i| {
+        blocks[i].timestamp.bucket(granularity, origin)
+    })
+}
+
+/// [`fixed_calendar_windows`] over columnar storage: bucketing needs only
+/// the timestamp column, so no AoS view is ever materialized.
+pub fn fixed_calendar_windows_columns(
+    cols: ColumnsSlice<'_>,
+    granularity: Granularity,
+    origin: Timestamp,
+) -> Vec<FixedWindow> {
+    windows_by_bucket(cols.len(), |i| {
+        cols.timestamp(i).bucket(granularity, origin)
+    })
+}
+
+/// Shared bucketing walk over any timestamped view: `bucket_at` maps a
+/// position in `0..len` to its calendar bucket.
+fn windows_by_bucket(len: usize, bucket_at: impl Fn(usize) -> i64) -> Vec<FixedWindow> {
     let mut buckets: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
-    for (i, b) in blocks.iter().enumerate() {
-        let bucket = b.timestamp.bucket(granularity, origin);
+    for i in 0..len {
         buckets
-            .entry(bucket)
+            .entry(bucket_at(i))
             .or_default()
             .push(u32::try_from(i).expect("more than u32::MAX blocks in one run"));
     }
@@ -63,8 +82,8 @@ pub fn fixed_calendar_windows(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blockdec_chain::{Credit, ProducerId};
     use blockdec_chain::time::SECS_PER_DAY;
+    use blockdec_chain::{Credit, ProducerId};
 
     fn block_at(height: u64, t: i64) -> AttributedBlock {
         AttributedBlock {

@@ -13,7 +13,7 @@
 //! at least one block; `L = (total_span − D) / S + 1` full windows are
 //! considered, mirroring Eq. 5 in the time domain.
 
-use blockdec_chain::{AttributedBlock, Timestamp};
+use blockdec_chain::{AttributedBlock, ColumnsSlice, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -124,7 +124,32 @@ pub fn time_windows_indexed(
             .all(|w| blocks[w[0] as usize].timestamp <= blocks[w[1] as usize].timestamp),
         "order must be timestamp-sorted"
     );
-    windows_over(order.len(), |i| blocks[order[i] as usize].timestamp.secs(), spec)
+    windows_over(
+        order.len(),
+        |i| blocks[order[i] as usize].timestamp.secs(),
+        spec,
+    )
+}
+
+/// [`time_windows_indexed`] over columnar storage: the walk touches only
+/// the timestamp column through the permutation, nothing else.
+pub fn time_windows_columns(
+    cols: ColumnsSlice<'_>,
+    order: &[u32],
+    spec: TimeWindowSpec,
+) -> Vec<TimeWindow> {
+    debug_assert_eq!(order.len(), cols.len(), "order must be a permutation");
+    debug_assert!(
+        order
+            .windows(2)
+            .all(|w| cols.timestamp(w[0] as usize) <= cols.timestamp(w[1] as usize)),
+        "order must be timestamp-sorted"
+    );
+    windows_over(
+        order.len(),
+        |i| cols.timestamp(order[i] as usize).secs(),
+        spec,
+    )
 }
 
 /// Shared two-cursor window walk over any timestamp-ordered view: `ts_at`
@@ -139,7 +164,11 @@ fn windows_over(len: usize, ts_at: impl Fn(usize) -> i64, spec: TimeWindowSpec) 
     let origin = match spec.align {
         Some(align) => {
             let delta = first - align;
-            let k = if delta >= 0 { delta / spec.step_secs } else { 0 };
+            let k = if delta >= 0 {
+                delta / spec.step_secs
+            } else {
+                0
+            };
             Timestamp(align + k * spec.step_secs)
         }
         None => Timestamp(first),
@@ -228,7 +257,10 @@ mod tests {
             }
         }
         // Half-overlap: consecutive windows share blocks.
-        let shared = windows[0].blocks.end.saturating_sub(windows[1].blocks.start);
+        let shared = windows[0]
+            .blocks
+            .end
+            .saturating_sub(windows[1].blocks.start);
         assert!(shared > 0, "consecutive windows must overlap");
     }
 
@@ -276,12 +308,13 @@ mod tests {
     fn indexed_windows_match_sorted_clone() {
         // Jittered timestamps, deliberately out of order.
         let times = [50i64, 10, 30, 0, 40, 20, 60, 35];
-        let blocks: Vec<AttributedBlock> =
-            times.iter().enumerate().map(|(i, &t)| block(i as u64, t)).collect();
+        let blocks: Vec<AttributedBlock> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| block(i as u64, t))
+            .collect();
         let mut order: Vec<u32> = (0..blocks.len() as u32).collect();
-        order.sort_unstable_by_key(|&i| {
-            (blocks[i as usize].timestamp, blocks[i as usize].height)
-        });
+        order.sort_unstable_by_key(|&i| (blocks[i as usize].timestamp, blocks[i as usize].height));
         let mut sorted = blocks.clone();
         sorted.sort_by_key(|b| (b.timestamp, b.height));
         let spec = TimeWindowSpec::new(25, 10);
@@ -290,8 +323,10 @@ mod tests {
         assert_eq!(via_clone, via_index);
         // And the ranges select the same blocks through the permutation.
         for (a, b) in via_clone.iter().zip(&via_index) {
-            let clone_heights: Vec<u64> =
-                sorted[a.blocks.clone()].iter().map(|blk| blk.height).collect();
+            let clone_heights: Vec<u64> = sorted[a.blocks.clone()]
+                .iter()
+                .map(|blk| blk.height)
+                .collect();
             let index_heights: Vec<u64> = order[b.blocks.clone()]
                 .iter()
                 .map(|&i| blocks[i as usize].height)
@@ -314,6 +349,9 @@ mod tests {
         let windows = time_windows(&blocks, TimeWindowSpec::new(1_000, 500));
         let first = windows.first().unwrap().blocks.len();
         let last = windows.last().unwrap().blocks.len();
-        assert!(last > first, "late windows must hold more blocks ({first} vs {last})");
+        assert!(
+            last > first,
+            "late windows must hold more blocks ({first} vs {last})"
+        );
     }
 }

@@ -2,11 +2,11 @@
 
 use blockdec_chain::{AttributedBlock, Credit, ProducerId, Timestamp};
 use blockdec_core::incremental::CountMultiset;
+use blockdec_core::metrics::gini::gini_pairwise_reference;
 use blockdec_core::metrics::{
     gini, hhi, nakamoto, nakamoto_with_threshold, normalized_shannon_entropy, shannon_entropy,
     theil, top_k_share,
 };
-use blockdec_core::metrics::gini::gini_pairwise_reference;
 use blockdec_core::windows::sliding::SlidingWindowSpec;
 use blockdec_core::ProducerDistribution;
 use proptest::prelude::*;

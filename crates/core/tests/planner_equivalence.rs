@@ -25,7 +25,9 @@ fn stream(n: usize, spacing: i64) -> Vec<AttributedBlock> {
     let mut state = 0x9e3779b97f4a7c15u64;
     (0..n)
         .map(|i| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Skewed producer pick over ~12 producers plus timestamp jitter.
             let r = (state >> 33) as u32;
             let producer = match r % 100 {
@@ -58,9 +60,7 @@ fn paper_matrix(sliding_size: usize) -> Vec<MeasurementEngine> {
             configs.push(MeasurementEngine::new(metric).fixed_calendar(granularity, origin));
         }
         configs.push(MeasurementEngine::new(metric).sliding(sliding_size, sliding_size / 2));
-        configs.push(
-            MeasurementEngine::new(metric).sliding_time(SECS_PER_DAY, SECS_PER_DAY / 2),
-        );
+        configs.push(MeasurementEngine::new(metric).sliding_time(SECS_PER_DAY, SECS_PER_DAY / 2));
     }
     configs
 }
@@ -75,7 +75,8 @@ fn planner_exactly_equals_naive_on_full_paper_matrix() {
     for (cfg, series) in configs.iter().zip(&planned) {
         let naive = cfg.run(&blocks);
         assert_eq!(
-            series, &naive,
+            series,
+            &naive,
             "planner differs from engine for {:?} over {:?}",
             cfg.metric(),
             cfg.window()
@@ -102,7 +103,13 @@ fn planner_exactly_equals_naive_with_multi_credit_anomalies() {
     }
     let configs = paper_matrix(96);
     for (cfg, series) in configs.iter().zip(&run_matrix(&blocks, &configs)) {
-        assert_eq!(series, &cfg.run(&blocks), "config {:?}/{:?}", cfg.metric(), cfg.window());
+        assert_eq!(
+            series,
+            &cfg.run(&blocks),
+            "config {:?}/{:?}",
+            cfg.metric(),
+            cfg.window()
+        );
     }
 }
 
@@ -120,7 +127,13 @@ fn planner_exactly_equals_naive_for_all_metrics() {
     let plan = MatrixPlan::new(&configs);
     assert_eq!(plan.window_specs(), 2);
     for (cfg, series) in configs.iter().zip(&plan.run(&blocks)) {
-        assert_eq!(series, &cfg.run(&blocks), "config {:?}/{:?}", cfg.metric(), cfg.window());
+        assert_eq!(
+            series,
+            &cfg.run(&blocks),
+            "config {:?}/{:?}",
+            cfg.metric(),
+            cfg.window()
+        );
     }
 }
 

@@ -100,8 +100,12 @@ pub fn parse_bitcoin_row(line_no: u64, row: &Value) -> Result<Block> {
     if let Some(Value::Array(addrs)) = row.get("coinbase_addresses") {
         for a in addrs {
             if let Some(s) = a.as_str() {
-                let parsed = Address::parse(ChainKind::Bitcoin, s)
-                    .map_err(|source| IngestError::Invalid { line: line_no, source })?;
+                let parsed = Address::parse(ChainKind::Bitcoin, s).map_err(|source| {
+                    IngestError::Invalid {
+                        line: line_no,
+                        source,
+                    }
+                })?;
                 builder = builder.payout(parsed);
                 any_address = true;
             }
@@ -123,9 +127,10 @@ pub fn parse_bitcoin_row(line_no: u64, row: &Value) -> Result<Block> {
         };
         builder = builder.payout(Address::synthesize(ChainKind::Bitcoin, seed));
     }
-    builder
-        .build()
-        .map_err(|source| IngestError::Invalid { line: line_no, source })
+    builder.build().map_err(|source| IngestError::Invalid {
+        line: line_no,
+        source,
+    })
 }
 
 /// Parse one `crypto_ethereum.blocks` row.
@@ -134,8 +139,11 @@ pub fn parse_ethereum_row(line_no: u64, row: &Value) -> Result<Block> {
     let timestamp = get_timestamp(row, line_no)?;
     let miner = get_str(row, "miner")
         .ok_or_else(|| IngestError::parse(line_no, "missing field \"miner\""))?;
-    let address = Address::parse(ChainKind::Ethereum, miner)
-        .map_err(|source| IngestError::Invalid { line: line_no, source })?;
+    let address =
+        Address::parse(ChainKind::Ethereum, miner).map_err(|source| IngestError::Invalid {
+            line: line_no,
+            source,
+        })?;
 
     let mut builder = Block::builder(ChainKind::Ethereum, height)
         .timestamp(timestamp)
@@ -146,9 +154,10 @@ pub fn parse_ethereum_row(line_no: u64, row: &Value) -> Result<Block> {
     if let Some(tag) = get_str(row, "extra_data").and_then(hex_to_tag) {
         builder = builder.tag(tag);
     }
-    builder
-        .build()
-        .map_err(|source| IngestError::Invalid { line: line_no, source })
+    builder.build().map_err(|source| IngestError::Invalid {
+        line: line_no,
+        source,
+    })
 }
 
 /// Write blocks in the BigQuery export schema (the inverse of
@@ -230,8 +239,8 @@ pub fn read_bigquery_jsonl(input: impl BufRead, chain: ChainKind) -> Result<Vec<
         if line.trim().is_empty() {
             continue;
         }
-        let row: Value = serde_json::from_str(&line)
-            .map_err(|e| IngestError::parse(line_no, e.to_string()))?;
+        let row: Value =
+            serde_json::from_str(&line).map_err(|e| IngestError::parse(line_no, e.to_string()))?;
         let block = match chain {
             ChainKind::Bitcoin => parse_bitcoin_row(line_no, &row)?,
             ChainKind::Ethereum => parse_ethereum_row(line_no, &row)?,
@@ -286,8 +295,7 @@ mod tests {
         let blocks =
             read_bigquery_jsonl(BufReader::new(rows.as_bytes()), ChainKind::Bitcoin).unwrap();
         assert_eq!(
-            blocks[0].coinbase.payout_addresses,
-            blocks[1].coinbase.payout_addresses,
+            blocks[0].coinbase.payout_addresses, blocks[1].coinbase.payout_addresses,
             "same tag must synthesize the same placeholder address"
         );
     }
@@ -333,8 +341,8 @@ mod tests {
     #[test]
     fn missing_fields_error_with_line() {
         let rows = "{\"number\": 1, \"timestamp\": 1546300800, \"miner\": \"0x5a0b54d5dc17e0aadc383d2db43b0a0d3e029c4c\"}\n{\"timestamp\": 1}\n";
-        let err = read_bigquery_jsonl(BufReader::new(rows.as_bytes()), ChainKind::Ethereum)
-            .unwrap_err();
+        let err =
+            read_bigquery_jsonl(BufReader::new(rows.as_bytes()), ChainKind::Ethereum).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
     }
 

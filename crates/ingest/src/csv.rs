@@ -155,13 +155,16 @@ pub fn read_blocks_csv(input: impl BufRead, chain: ChainKind) -> Result<Vec<Bloc
             builder = builder.tag(fields[2].clone());
         }
         for addr in fields[3].split(';').filter(|a| !a.is_empty()) {
-            let parsed = Address::parse(chain, addr)
-                .map_err(|source| IngestError::Invalid { line: line_no, source })?;
+            let parsed = Address::parse(chain, addr).map_err(|source| IngestError::Invalid {
+                line: line_no,
+                source,
+            })?;
             builder = builder.payout(parsed);
         }
-        let block = builder
-            .build()
-            .map_err(|source| IngestError::Invalid { line: line_no, source })?;
+        let block = builder.build().map_err(|source| IngestError::Invalid {
+            line: line_no,
+            source,
+        })?;
         if let Some(prev) = blocks.last() {
             let prev: &Block = prev;
             if block.height <= prev.height {
@@ -196,10 +199,15 @@ mod tests {
             vec!["a,b", "c"]
         );
         assert_eq!(
-            parse_record("\"he said \"\"hi\"\"\",x", 1).unwrap().unwrap(),
+            parse_record("\"he said \"\"hi\"\"\",x", 1)
+                .unwrap()
+                .unwrap(),
             vec!["he said \"hi\"", "x"]
         );
-        assert_eq!(parse_record("a,,c", 1).unwrap().unwrap(), vec!["a", "", "c"]);
+        assert_eq!(
+            parse_record("a,,c", 1).unwrap().unwrap(),
+            vec!["a", "", "c"]
+        );
         assert!(parse_record("", 1).unwrap().is_none());
         assert!(parse_record("\"unterminated", 1).is_err());
     }
@@ -263,8 +271,7 @@ mod tests {
     #[test]
     fn rejects_wrong_field_count() {
         let data = format!("{BLOCK_CSV_HEADER}\n1,2,3\n");
-        let err =
-            read_blocks_csv(BufReader::new(data.as_bytes()), ChainKind::Bitcoin).unwrap_err();
+        let err = read_blocks_csv(BufReader::new(data.as_bytes()), ChainKind::Bitcoin).unwrap_err();
         assert!(err.to_string().contains("7 fields"));
     }
 
@@ -274,25 +281,24 @@ mod tests {
         let mut blocks = sample_blocks();
         blocks.swap(0, 1);
         write_blocks_csv(&mut out, &blocks).unwrap();
-        let err =
-            read_blocks_csv(BufReader::new(out.as_slice()), ChainKind::Bitcoin).unwrap_err();
+        let err = read_blocks_csv(BufReader::new(out.as_slice()), ChainKind::Bitcoin).unwrap_err();
         assert!(err.to_string().contains("not after"));
     }
 
     #[test]
     fn rejects_invalid_address() {
         let data = format!("{BLOCK_CSV_HEADER}\n1,1546300800,,notanaddress,5,0,0\n");
-        let err =
-            read_blocks_csv(BufReader::new(data.as_bytes()), ChainKind::Bitcoin).unwrap_err();
+        let err = read_blocks_csv(BufReader::new(data.as_bytes()), ChainKind::Bitcoin).unwrap_err();
         assert!(matches!(err, IngestError::Invalid { line: 2, .. }));
     }
 
     #[test]
     fn line_numbers_in_errors() {
-        let data = format!("{BLOCK_CSV_HEADER}\n1,1546300800,,{},5,0,0\nbad\n",
-            Address::synthesize(ChainKind::Bitcoin, 9));
-        let err =
-            read_blocks_csv(BufReader::new(data.as_bytes()), ChainKind::Bitcoin).unwrap_err();
+        let data = format!(
+            "{BLOCK_CSV_HEADER}\n1,1546300800,,{},5,0,0\nbad\n",
+            Address::synthesize(ChainKind::Bitcoin, 9)
+        );
+        let err = read_blocks_csv(BufReader::new(data.as_bytes()), ChainKind::Bitcoin).unwrap_err();
         assert!(err.to_string().contains("line 3"), "{err}");
     }
 }

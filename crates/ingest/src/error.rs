@@ -38,7 +38,9 @@ impl fmt::Display for IngestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IngestError::Io(e) => write!(f, "io error: {e}"),
-            IngestError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
+            IngestError::Parse { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
             IngestError::Invalid { line, source } => {
                 write!(f, "invalid record at line {line}: {source}")
             }

@@ -30,11 +30,12 @@ pub fn read_blocks_jsonl(input: impl BufRead) -> Result<Vec<Block>> {
         if line.trim().is_empty() {
             continue;
         }
-        let block: Block = serde_json::from_str(&line)
-            .map_err(|e| IngestError::parse(line_no, e.to_string()))?;
-        block
-            .validate()
-            .map_err(|source| IngestError::Invalid { line: line_no, source })?;
+        let block: Block =
+            serde_json::from_str(&line).map_err(|e| IngestError::parse(line_no, e.to_string()))?;
+        block.validate().map_err(|source| IngestError::Invalid {
+            line: line_no,
+            source,
+        })?;
         out.push(block);
     }
     blockdec_obs::counter("ingest.lines").add(line_count);

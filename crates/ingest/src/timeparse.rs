@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn iso_formats() {
-        assert_eq!(parse_timestamp("2019-01-01T00:00:00Z").unwrap().secs(), JAN1_2019);
+        assert_eq!(
+            parse_timestamp("2019-01-01T00:00:00Z").unwrap().secs(),
+            JAN1_2019
+        );
         assert_eq!(
             parse_timestamp("2019-01-01T00:00:00.123Z").unwrap().secs(),
             JAN1_2019
@@ -109,7 +112,10 @@ mod tests {
             parse_timestamp("2019-01-01T00:00:00+00:00").unwrap().secs(),
             JAN1_2019
         );
-        assert_eq!(parse_timestamp("2019-01-01 00:00:00").unwrap().secs(), JAN1_2019);
+        assert_eq!(
+            parse_timestamp("2019-01-01 00:00:00").unwrap().secs(),
+            JAN1_2019
+        );
     }
 
     #[test]

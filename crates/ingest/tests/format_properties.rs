@@ -28,7 +28,10 @@ fn field() -> impl Strategy<Value = String> {
 fn blocks() -> impl Strategy<Value = Vec<Block>> {
     (
         1u64..1_000_000,
-        prop::collection::vec((1u64..4, 0i64..100_000, 1u64..100, 1usize..4, any::<bool>()), 1..40),
+        prop::collection::vec(
+            (1u64..4, 0i64..100_000, 1u64..100, 1usize..4, any::<bool>()),
+            1..40,
+        ),
     )
         .prop_map(|(start, raw)| {
             let mut height = start;
@@ -63,15 +66,16 @@ fn arb_json() -> impl Strategy<Value = serde_json::Value> {
         Just(serde_json::Value::Null),
         any::<bool>().prop_map(serde_json::Value::from),
         any::<i64>().prop_map(serde_json::Value::from),
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(serde_json::Value::from),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(serde_json::Value::from),
         "[a-z0-9 /:-]{0,20}".prop_map(serde_json::Value::from),
     ];
     leaf.prop_recursive(3, 24, 6, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4).prop_map(serde_json::Value::Array),
-            prop::collection::btree_map("[a-z_]{1,12}", inner, 0..6).prop_map(|m| {
-                serde_json::Value::Object(m.into_iter().collect())
-            }),
+            prop::collection::btree_map("[a-z_]{1,12}", inner, 0..6)
+                .prop_map(|m| { serde_json::Value::Object(m.into_iter().collect()) }),
         ]
     })
 }

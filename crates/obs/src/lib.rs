@@ -43,8 +43,8 @@
 pub mod log;
 pub mod metrics;
 pub mod summary;
-pub mod timer;
 mod timefmt;
+pub mod timer;
 
 pub use log::{Config, Level, LogFormat};
 pub use metrics::{counter, histogram, Counter, Histogram, HistogramSnapshot};

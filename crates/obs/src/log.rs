@@ -257,7 +257,8 @@ impl Config {
             }
         }
         // Longest prefix first so the most specific directive wins.
-        self.directives.sort_by_key(|d| std::cmp::Reverse(d.prefix.len()));
+        self.directives
+            .sort_by_key(|d| std::cmp::Reverse(d.prefix.len()));
         Ok(())
     }
 
@@ -585,8 +586,8 @@ mod tests {
 
     #[test]
     fn filter_directives_pick_most_specific() {
-        let cfg = Config::from_filter("warn,blockdec_store=trace,blockdec_store::cache=error")
-            .unwrap();
+        let cfg =
+            Config::from_filter("warn,blockdec_store=trace,blockdec_store::cache=error").unwrap();
         let logger = Logger {
             config: cfg,
             start: Instant::now(),

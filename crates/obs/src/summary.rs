@@ -1,8 +1,8 @@
 //! End-of-run summary: per-stage wall time, throughput, cache hit rate,
 //! and windows emitted, assembled from the metrics registry.
 
-use crate::metrics::{counter_values, histogram_snapshots, HistogramSnapshot};
 use crate::log::LogFormat;
+use crate::metrics::{counter_values, histogram_snapshots, HistogramSnapshot};
 use std::collections::BTreeMap;
 
 /// One `stage.*` histogram rendered for the summary table.
@@ -59,8 +59,7 @@ impl RunSummary {
             })
             .collect();
         let get = |k: &str| counters.get(k).copied().unwrap_or(0);
-        let stage_secs =
-            |k: &str| hists.get(k).map(|s| s.sum).unwrap_or(0.0);
+        let stage_secs = |k: &str| hists.get(k).map(|s| s.sum).unwrap_or(0.0);
         // Prefer measurement throughput; fall back to whichever stage ran.
         let blocks_per_sec = rate(get("engine.blocks"), stage_secs("stage.measure"))
             .or_else(|| rate(get("sim.blocks"), stage_secs("stage.simulate")))
@@ -100,10 +99,7 @@ impl RunSummary {
             None => out.push_str("  throughput: n/a\n"),
         }
         match self.cache_hit_rate {
-            Some(r) => out.push_str(&format!(
-                "  store cache: {:.1}% hit rate\n",
-                r * 100.0
-            )),
+            Some(r) => out.push_str(&format!("  store cache: {:.1}% hit rate\n", r * 100.0)),
             None => out.push_str("  store cache: no lookups\n"),
         }
         out.push_str(&format!("  windows emitted: {}\n", self.windows));

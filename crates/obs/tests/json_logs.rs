@@ -32,7 +32,10 @@ fn json_log_line_parses_and_round_trips_fields() {
         v.get("span").and_then(Value::as_str),
         Some("stage.scan:store.segment_read")
     );
-    assert_eq!(v.get("message").and_then(Value::as_str), Some("read segment"));
+    assert_eq!(
+        v.get("message").and_then(Value::as_str),
+        Some("read segment")
+    );
     let fields = v.get("fields").expect("fields object");
     assert_eq!(fields.get("rows").and_then(Value::as_u64), Some(65_536));
     assert_eq!(fields.get("cache_hit"), Some(&Value::Bool(false)));
@@ -54,7 +57,11 @@ fn json_log_line_handles_non_finite_floats() {
         "m",
     );
     let v: Value = serde_json::from_str(&line).expect("valid JSON despite NaN");
-    assert!(v.get("fields").and_then(|f| f.get("bad")).unwrap().is_null());
+    assert!(v
+        .get("fields")
+        .and_then(|f| f.get("bad"))
+        .unwrap()
+        .is_null());
     assert!(v.get("span").is_none());
 }
 
@@ -102,7 +109,9 @@ fn init_and_macros_do_not_panic_in_json_mode() {
     // (Output goes to this test binary's stderr; the parse checks above
     // cover content.)
     blockdec_obs::log::init(
-        Config::from_filter("trace").unwrap().format(LogFormat::Json),
+        Config::from_filter("trace")
+            .unwrap()
+            .format(LogFormat::Json),
     );
     blockdec_obs::info!(blocks = 10u64; "info event");
     blockdec_obs::debug!("debug event with fmt {}", 1 + 1);

@@ -53,7 +53,11 @@ pub fn top_producers(store: &BlockStore, filter: &Filter, k: usize) -> Result<Ve
             share: if total > 0.0 { blocks / total } else { 0.0 },
         })
         .collect();
-    aggs.sort_by(|a, b| b.blocks.total_cmp(&a.blocks).then(a.producer.cmp(&b.producer)));
+    aggs.sort_by(|a, b| {
+        b.blocks
+            .total_cmp(&a.blocks)
+            .then(a.producer.cmp(&b.producer))
+    });
     aggs.truncate(k);
     Ok(aggs)
 }
@@ -130,8 +134,7 @@ mod tests {
     #[test]
     fn filter_restricts_range() {
         let (store, dir) = test_store("range");
-        let counts =
-            producer_block_counts(&store, &Filter::HeightBetween(0, 9)).unwrap();
+        let counts = producer_block_counts(&store, &Filter::HeightBetween(0, 9)).unwrap();
         assert_eq!(counts, vec![(0, 5.0), (1, 5.0)]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -173,7 +176,10 @@ mod tests {
         let (store, dir) = test_store("empty");
         let counts = producer_block_counts(&store, &Filter::HeightBetween(500, 600)).unwrap();
         assert!(counts.is_empty());
-        assert_eq!(total_blocks(&store, &Filter::HeightBetween(500, 600)).unwrap(), 0.0);
+        assert_eq!(
+            total_blocks(&store, &Filter::HeightBetween(500, 600)).unwrap(),
+            0.0
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -184,7 +184,7 @@ mod tests {
     }
 
     #[test]
-    fn pushdown_plus_residual_equals_direct(){
+    fn pushdown_plus_residual_equals_direct() {
         let filters = [
             Filter::True,
             Filter::HeightBetween(20, 80).and(Filter::CreditAtLeast(500)),
@@ -193,7 +193,15 @@ mod tests {
                 .and(Filter::ProducerIs(2)),
         ];
         let rows: Vec<RowRecord> = (0..100)
-            .map(|i| row(i, (i as i64) * 10, (i % 4) as u32, (i % 3) as u32 * 500, (i % 10) as u32))
+            .map(|i| {
+                row(
+                    i,
+                    (i as i64) * 10,
+                    (i % 4) as u32,
+                    (i % 3) as u32 * 500,
+                    (i % 10) as u32,
+                )
+            })
             .collect();
         for f in &filters {
             let (pred, residual) = f.compile();

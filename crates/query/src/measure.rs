@@ -179,7 +179,11 @@ mod tests {
     fn matrix_scan_equals_per_metric_scans() {
         let (store, dir) = test_store("matrix");
         let origin = Timestamp::year_2019_start();
-        let metrics = [MetricKind::Gini, MetricKind::ShannonEntropy, MetricKind::Nakamoto];
+        let metrics = [
+            MetricKind::Gini,
+            MetricKind::ShannonEntropy,
+            MetricKind::Nakamoto,
+        ];
         let combined = measure_fixed_streaming_matrix(
             &store,
             &Filter::True,
@@ -204,14 +208,9 @@ mod tests {
         let origin = Timestamp::year_2019_start();
         let day3 = origin.secs() + 3 * 86_400;
         let filter = Filter::TimeBetween(day3, day3 + 86_400 - 1);
-        let series = measure_fixed_streaming(
-            &store,
-            &filter,
-            MetricKind::Gini,
-            Granularity::Day,
-            origin,
-        )
-        .unwrap();
+        let series =
+            measure_fixed_streaming(&store, &filter, MetricKind::Gini, Granularity::Day, origin)
+                .unwrap();
         assert_eq!(series.points.len(), 1);
         assert_eq!(series.points[0].index, 3);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -219,10 +218,8 @@ mod tests {
 
     #[test]
     fn empty_store_yields_empty_series() {
-        let dir = std::env::temp_dir().join(format!(
-            "blockdec-measure-empty-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("blockdec-measure-empty-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = BlockStore::create(&dir).unwrap();
         let series = measure_fixed_streaming(

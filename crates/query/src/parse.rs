@@ -387,7 +387,11 @@ mod tests {
 
     #[test]
     fn numbers_allow_underscores() {
-        let plan = parse_query("count where height between 556_459 and 610_690", &registry()).unwrap();
+        let plan = parse_query(
+            "count where height between 556_459 and 610_690",
+            &registry(),
+        )
+        .unwrap();
         assert_eq!(plan.filter, Filter::HeightBetween(556_459, 610_690));
     }
 

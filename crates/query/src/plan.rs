@@ -173,7 +173,9 @@ mod tests {
     #[test]
     fn count_plan() {
         let (store, dir) = test_store("count");
-        let out = Plan::count(Filter::HeightBetween(0, 4)).execute(&store).unwrap();
+        let out = Plan::count(Filter::HeightBetween(0, 4))
+            .execute(&store)
+            .unwrap();
         assert_eq!(out.rows, vec![vec!["5".to_string()]]);
         std::fs::remove_dir_all(&dir).unwrap();
     }

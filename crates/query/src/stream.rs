@@ -6,7 +6,7 @@
 //! examples and CLI use to run identical measurements over either.
 
 use crate::expr::Filter;
-use blockdec_chain::AttributedBlock;
+use blockdec_chain::{AttributedBlock, BlockColumns};
 use blockdec_store::error::Result;
 use blockdec_store::{BlockStore, RowRecord};
 
@@ -14,25 +14,25 @@ use blockdec_store::{BlockStore, RowRecord};
 pub trait MeasurementSource {
     /// Height-ordered attributed blocks matching the filter.
     fn attributed_blocks(&self, filter: &Filter) -> Result<Vec<AttributedBlock>>;
+
+    /// Height-ordered columnar blocks matching the filter. The default
+    /// converts the AoS stream; sources with a native columnar path (the
+    /// store) override it to skip AoS materialization entirely.
+    fn block_columns(&self, filter: &Filter) -> Result<BlockColumns> {
+        Ok(BlockColumns::from_blocks(&self.attributed_blocks(filter)?))
+    }
 }
 
 impl MeasurementSource for BlockStore {
     fn attributed_blocks(&self, filter: &Filter) -> Result<Vec<AttributedBlock>> {
+        // One streaming columnar scan, then a single AoS materialization
+        // at the edge — no intermediate Vec<RowRecord>.
+        Ok(self.block_columns(filter)?.to_blocks())
+    }
+
+    fn block_columns(&self, filter: &Filter) -> Result<BlockColumns> {
         let (pred, residual) = filter.compile();
-        let rows = self.scan(&pred)?;
-        let kept: Vec<RowRecord> = rows.into_iter().filter(|r| residual.matches(r)).collect();
-        // Regroup rows by height into attribution view.
-        let mut out: Vec<AttributedBlock> = Vec::new();
-        let mut i = 0;
-        while i < kept.len() {
-            let mut j = i + 1;
-            while j < kept.len() && kept[j].height == kept[i].height {
-                j += 1;
-            }
-            out.push(RowRecord::to_attributed(&kept[i..j]));
-            i = j;
-        }
-        Ok(out)
+        self.scan_columnar_filtered(&pred, |r| residual.matches(r))
     }
 }
 
@@ -42,22 +42,36 @@ impl MeasurementSource for Vec<AttributedBlock> {
         // of its rows would.
         Ok(self
             .iter()
-            .filter(|b| {
-                b.credits.iter().any(|c| {
-                    filter.matches(&RowRecord {
-                        height: b.height,
-                        timestamp: b.timestamp.secs(),
-                        producer: c.producer.0,
-                        credit_millis: blockdec_store::row::weight_to_millis(c.weight),
-                        tx_count: 0,
-                        size_bytes: 0,
-                        difficulty: 0,
-                    })
-                })
-            })
+            .filter(|b| block_matches(b, filter))
             .cloned()
             .collect())
     }
+
+    fn block_columns(&self, filter: &Filter) -> Result<BlockColumns> {
+        // Push matching blocks straight into columns — no cloned credit
+        // Vecs along the way.
+        let mut cols = BlockColumns::new();
+        for b in self.iter().filter(|b| block_matches(b, filter)) {
+            cols.push_attributed(b);
+        }
+        Ok(cols)
+    }
+}
+
+/// Whole-block filter semantics for in-memory sources: a block matches
+/// when any of its credit rows would.
+fn block_matches(b: &AttributedBlock, filter: &Filter) -> bool {
+    b.credits.iter().any(|c| {
+        filter.matches(&RowRecord {
+            height: b.height,
+            timestamp: b.timestamp.secs(),
+            producer: c.producer.0,
+            credit_millis: blockdec_store::row::weight_to_millis(c.weight),
+            tx_count: 0,
+            size_bytes: 0,
+            difficulty: 0,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -122,6 +136,40 @@ mod tests {
         }
         // Multi-credit block regrouped.
         assert_eq!(from_store[1].credits.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn columns_agree_with_attributed_blocks_for_both_sources() {
+        let dir = std::env::temp_dir().join(format!(
+            "blockdec-stream-cols-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = BlockStore::create(&dir).unwrap();
+        let mut reg = ProducerRegistry::new();
+        for p in ["P0", "P1", "P2"] {
+            reg.intern(p);
+        }
+        let blocks = vec![ab(10, &[0]), ab(11, &[1, 2]), ab(12, &[0]), ab(13, &[2])];
+        store.append_attributed(&blocks, &reg).unwrap();
+        store.flush().unwrap();
+
+        for filter in [Filter::True, Filter::HeightBetween(11, 12)] {
+            let store_cols = store.block_columns(&filter).unwrap();
+            store_cols.validate().unwrap();
+            assert_eq!(
+                store_cols.to_blocks(),
+                store.attributed_blocks(&filter).unwrap()
+            );
+            let vec_cols = blocks.block_columns(&filter).unwrap();
+            vec_cols.validate().unwrap();
+            assert_eq!(
+                vec_cols.to_blocks(),
+                blocks.attributed_blocks(&filter).unwrap()
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

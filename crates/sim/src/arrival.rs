@@ -57,7 +57,11 @@ pub struct ArrivalProcess {
 
 impl ArrivalProcess {
     /// Start the process at `start_time`.
-    pub fn new(config: ArrivalConfig, difficulty: DifficultyState, start_time: i64) -> ArrivalProcess {
+    pub fn new(
+        config: ArrivalConfig,
+        difficulty: DifficultyState,
+        start_time: i64,
+    ) -> ArrivalProcess {
         ArrivalProcess {
             config,
             difficulty,
@@ -173,7 +177,14 @@ mod tests {
             timestamp_jitter: false,
         };
         // Epoch so long it never retargets in this test: pure growth.
-        let diff = DifficultyState::new(RetargetRule::Epoch { interval: 1_000_000 }, 600.0, 600.0, 0);
+        let diff = DifficultyState::new(
+            RetargetRule::Epoch {
+                interval: 1_000_000,
+            },
+            600.0,
+            600.0,
+            0,
+        );
         let mut p = ArrivalProcess::new(cfg, diff, 0);
         let mut times = Vec::new();
         for _ in 0..3000 {

@@ -103,7 +103,11 @@ mod tests {
         // Clock jitter can push one reported timestamp past the boundary,
         // spilling a block into an eighth calendar day.
         assert!((7..=8).contains(&sum.days), "days {}", sum.days);
-        assert!((120.0..170.0).contains(&sum.blocks_per_day), "{}", sum.blocks_per_day);
+        assert!(
+            (120.0..170.0).contains(&sum.blocks_per_day),
+            "{}",
+            sum.blocks_per_day
+        );
         // Early-year regime: BTC.com leads at ~14%.
         let lead = sum.share_of("BTC.com");
         assert!((0.07..0.25).contains(&lead), "BTC.com share {lead}");

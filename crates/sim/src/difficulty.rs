@@ -26,7 +26,12 @@ pub struct DifficultyState {
 
 impl DifficultyState {
     /// Initialize at a starting difficulty and target interval (seconds).
-    pub fn new(rule: RetargetRule, initial_difficulty: f64, target_interval: f64, start_time: i64) -> DifficultyState {
+    pub fn new(
+        rule: RetargetRule,
+        initial_difficulty: f64,
+        target_interval: f64,
+        start_time: i64,
+    ) -> DifficultyState {
         assert!(initial_difficulty > 0.0);
         assert!(target_interval > 0.0);
         DifficultyState {

@@ -13,8 +13,8 @@ use crate::rng::SimRng;
 use crate::scenario::Scenario;
 use blockdec_chain::hash::splitmix64;
 use blockdec_chain::{
-    Address, AttributedBlock, Attributor, Block, BlockHash, ChainKind, ProducerRegistry,
-    Timestamp,
+    Address, AttributedBlock, Attributor, Block, BlockColumns, BlockHash, ChainKind,
+    ProducerRegistry, Timestamp,
 };
 use std::collections::HashMap;
 
@@ -149,8 +149,8 @@ impl BlockGenerator {
     fn sample_tx_and_size(&mut self) -> (u32, u32) {
         match self.chain {
             ChainKind::Bitcoin => {
-                let tx = (2_200.0 + 500.0 * self.rng_meta.standard_normal())
-                    .clamp(100.0, 5_000.0) as u32;
+                let tx = (2_200.0 + 500.0 * self.rng_meta.standard_normal()).clamp(100.0, 5_000.0)
+                    as u32;
                 let size = (tx as f64 * 440.0 * (0.9 + 0.2 * self.rng_meta.unit())) as u32;
                 (tx, size.min(1_400_000))
             }
@@ -279,6 +279,34 @@ impl GeneratedStream {
     }
 }
 
+/// The outcome of [`Scenario::generate_columns`]: columnar attribution
+/// results plus summary metadata.
+#[derive(Clone, Debug)]
+pub struct GeneratedColumns {
+    /// Per-block attribution results in columnar (SoA) layout, height order.
+    pub columns: BlockColumns,
+    /// Producer name registry accumulated during attribution.
+    pub registry: ProducerRegistry,
+    /// `(tag_hits, address_hits, fallbacks)` from the attributor.
+    pub attribution_stats: (u64, u64, u64),
+    /// First generated height.
+    pub first_height: u64,
+    /// Last generated height.
+    pub last_height: u64,
+}
+
+impl GeneratedColumns {
+    /// Number of blocks generated.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when nothing was generated.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
 impl Scenario {
     /// Lazy block iterator for this scenario.
     pub fn iter(&self) -> BlockGenerator {
@@ -315,6 +343,44 @@ impl Scenario {
         );
         GeneratedStream {
             attributed,
+            attribution_stats: attributor.stats(),
+            registry: attributor.into_registry(),
+            first_height,
+            last_height,
+        }
+    }
+
+    /// Generate and attribute the whole stream straight into columnar
+    /// (SoA) layout — no per-block credit `Vec`s are ever allocated, so
+    /// this is the cheapest way to feed the 2.2M-block Ethereum year to
+    /// the measurement planner.
+    pub fn generate_columns(&self) -> GeneratedColumns {
+        let _t = blockdec_obs::span_timed!(
+            "stage.simulate",
+            chain = self.chain.to_string(),
+            days = self.days,
+            seed = self.seed,
+        );
+        let mut attributor = Attributor::new(self.chain, self.attribution);
+        let mut columns = BlockColumns::new();
+        let mut first_height = 0;
+        let mut last_height = 0;
+        for (i, block) in self.iter().enumerate() {
+            if i == 0 {
+                first_height = block.height;
+            }
+            last_height = block.height;
+            attributor.attribute_into(&block, &mut columns);
+        }
+        blockdec_obs::counter("sim.blocks").add(columns.len() as u64);
+        blockdec_obs::debug!(
+            blocks = columns.len(),
+            first_height = first_height,
+            last_height = last_height;
+            "generated columnar attributed stream"
+        );
+        GeneratedColumns {
+            columns,
             attribution_stats: attributor.stats(),
             registry: attributor.into_registry(),
             first_height,
@@ -414,9 +480,18 @@ mod tests {
             .iter()
             .filter(|b| b.coinbase.payout_addresses.len() > 1)
             .collect();
-        let counts: Vec<usize> = multi.iter().map(|b| b.coinbase.payout_addresses.len()).collect();
-        assert!(counts.contains(&85), "expected an 85-address block: {counts:?}");
-        assert!(counts.contains(&93), "expected a 93-address block: {counts:?}");
+        let counts: Vec<usize> = multi
+            .iter()
+            .map(|b| b.coinbase.payout_addresses.len())
+            .collect();
+        assert!(
+            counts.contains(&85),
+            "expected an 85-address block: {counts:?}"
+        );
+        assert!(
+            counts.contains(&93),
+            "expected a 93-address block: {counts:?}"
+        );
         // They land on day 13.
         let origin = Timestamp::year_2019_start();
         for b in &multi {
@@ -432,8 +507,12 @@ mod tests {
         for b in s.iter() {
             let n = b.coinbase.payout_addresses.len();
             if n > 1 {
-                let mut set: Vec<&str> =
-                    b.coinbase.payout_addresses.iter().map(|a| a.as_str()).collect();
+                let mut set: Vec<&str> = b
+                    .coinbase
+                    .payout_addresses
+                    .iter()
+                    .map(|a| a.as_str())
+                    .collect();
                 set.sort_unstable();
                 set.dedup();
                 assert_eq!(set.len(), n, "duplicate payout addresses");
@@ -470,6 +549,23 @@ mod tests {
             stream.last_height,
             s.spec().first_block_2019 + stream.len() as u64 - 1
         );
+    }
+
+    #[test]
+    fn generate_columns_matches_generate() {
+        // 15 days covers the day-13 multi-coinbase anomaly blocks, so the
+        // columnar path is exercised on real multi-credit blocks too.
+        let s = small_btc(15);
+        let aos = s.generate();
+        let soa = s.generate_columns();
+        soa.columns.validate().unwrap();
+        assert_eq!(soa.columns, BlockColumns::from_blocks(&aos.attributed));
+        assert_eq!(soa.attribution_stats, aos.attribution_stats);
+        assert_eq!(soa.first_height, aos.first_height);
+        assert_eq!(soa.last_height, aos.last_height);
+        let names_aos: Vec<&str> = aos.registry.iter().map(|(_, n)| n).collect();
+        let names_soa: Vec<&str> = soa.registry.iter().map(|(_, n)| n).collect();
+        assert_eq!(names_aos, names_soa);
     }
 
     #[test]

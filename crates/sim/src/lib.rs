@@ -29,5 +29,5 @@ pub mod population;
 pub mod rng;
 pub mod scenario;
 
-pub use generator::{BlockGenerator, GeneratedStream};
+pub use generator::{BlockGenerator, GeneratedColumns, GeneratedStream};
 pub use scenario::Scenario;

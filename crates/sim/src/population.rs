@@ -151,7 +151,11 @@ impl MinerPopulation {
         if total <= 0.0 {
             return 0.0;
         }
-        let lo = if idx == 0 { 0.0 } else { self.pool_cum[idx - 1] };
+        let lo = if idx == 0 {
+            0.0
+        } else {
+            self.pool_cum[idx - 1]
+        };
         (self.pool_cum[idx] - lo) / total
     }
 
@@ -225,10 +229,7 @@ mod tests {
 
     #[test]
     fn sampling_matches_intended_shares() {
-        let pop = MinerPopulation::new(
-            vec![pool("A", 0.5), pool("B", 0.3)],
-            tail(100, 0.2),
-        );
+        let pop = MinerPopulation::new(vec![pool("A", 0.5), pool("B", 0.3)], tail(100, 0.2));
         let mut rng = SimRng::new(30);
         let (shares, tail_share) = sample_shares(&pop, &mut rng, 200_000);
         assert!((shares[0] - 0.5).abs() < 0.01, "A {}", shares[0]);
@@ -247,10 +248,7 @@ mod tests {
 
     #[test]
     fn override_forces_share() {
-        let mut pop = MinerPopulation::new(
-            vec![pool("A", 0.4), pool("B", 0.4)],
-            tail(50, 0.2),
-        );
+        let mut pop = MinerPopulation::new(vec![pool("A", 0.4), pool("B", 0.4)], tail(50, 0.2));
         let mut forced = HashMap::new();
         forced.insert(0usize, 0.55f64);
         pop.refresh(0.0, &forced);
@@ -264,8 +262,14 @@ mod tests {
     fn schedule_changes_take_effect_on_refresh() {
         let mut p = pool("A", 0.8);
         p.schedule = vec![
-            SharePoint { day: 0.0, share: 0.8 },
-            SharePoint { day: 100.0, share: 0.2 },
+            SharePoint {
+                day: 0.0,
+                share: 0.8,
+            },
+            SharePoint {
+                day: 100.0,
+                share: 0.2,
+            },
         ];
         let mut pop = MinerPopulation::new(vec![p, pool("B", 0.2)], tail(0, 0.0));
         assert!((pop.effective_pool_share(0) - 0.8).abs() < 1e-9);

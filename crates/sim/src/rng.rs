@@ -191,7 +191,7 @@ mod tests {
         }
         let share = |i: usize| counts[i] as f64 / n as f64;
         assert!((share(0) - 0.1).abs() < 0.01);
-        assert!((share(1) - 0.3) .abs() < 0.01);
+        assert!((share(1) - 0.3).abs() < 0.01);
         assert!((share(2) - 0.6).abs() < 0.01);
     }
 

@@ -149,14 +149,46 @@ impl Scenario {
         // coinbase addresses; plus a few smaller multi-payout blocks on
         // other early days, matching the "first 50 days" turbulence.
         let events = vec![
-            EventConfig::MultiCoinbase { day: 13, block_of_day: 42, addresses: 85 },
-            EventConfig::MultiCoinbase { day: 13, block_of_day: 101, addresses: 93 },
-            EventConfig::MultiCoinbase { day: 5, block_of_day: 60, addresses: 34 },
-            EventConfig::MultiCoinbase { day: 9, block_of_day: 88, addresses: 46 },
-            EventConfig::MultiCoinbase { day: 22, block_of_day: 17, addresses: 52 },
-            EventConfig::MultiCoinbase { day: 30, block_of_day: 70, addresses: 38 },
-            EventConfig::MultiCoinbase { day: 38, block_of_day: 55, addresses: 61 },
-            EventConfig::MultiCoinbase { day: 45, block_of_day: 12, addresses: 29 },
+            EventConfig::MultiCoinbase {
+                day: 13,
+                block_of_day: 42,
+                addresses: 85,
+            },
+            EventConfig::MultiCoinbase {
+                day: 13,
+                block_of_day: 101,
+                addresses: 93,
+            },
+            EventConfig::MultiCoinbase {
+                day: 5,
+                block_of_day: 60,
+                addresses: 34,
+            },
+            EventConfig::MultiCoinbase {
+                day: 9,
+                block_of_day: 88,
+                addresses: 46,
+            },
+            EventConfig::MultiCoinbase {
+                day: 22,
+                block_of_day: 17,
+                addresses: 52,
+            },
+            EventConfig::MultiCoinbase {
+                day: 30,
+                block_of_day: 70,
+                addresses: 38,
+            },
+            EventConfig::MultiCoinbase {
+                day: 38,
+                block_of_day: 55,
+                addresses: 61,
+            },
+            EventConfig::MultiCoinbase {
+                day: 45,
+                block_of_day: 12,
+                addresses: 29,
+            },
             // Fig. 13 cross-interval anomaly: a 4-day dominance burst over
             // days 61..65 — two days in week 8 (days 56-62) and two in
             // week 9, so each fixed weekly window dilutes it while a
@@ -191,16 +223,66 @@ impl Scenario {
     /// The calibrated Ethereum 2019 preset. See module docs.
     pub fn ethereum_2019() -> Scenario {
         let pools = vec![
-            eth_pool("Ethermine", "ethermine-eu1", "0xea674fdde714fd979de3edf0f56aa9716b898ec8", 0.270),
-            eth_pool("SparkPool", "sparkpool-eth-cn-hz2", "0x5a0b54d5dc17e0aadc383d2db43b0a0d3e029c4c", 0.225),
-            eth_pool("F2Pool", "f2pool-eth", "0x829bd824b016326a401d083b33d092293333a830", 0.125),
-            eth_pool("Nanopool", "nanopool.org", "0x52bc44d5378309ee2abf1539bf71de1b7d7be3b5", 0.090),
-            eth_pool("MiningPoolHub", "miningpoolhub1", "0xb2930b35844a230f00e51431acae96fe543a0347", 0.060),
-            eth_pool("zhizhu.top", "zhizhu2.0", "0x04668ec2f57cc15c381b461b9fedab5d451c8f7f", 0.050),
-            eth_pool("Hiveon", "hiveon-pool", "0x1ad91ee08f21be3de0ba2ba6918e714da6b45836", 0.035),
-            eth_pool("DwarfPool", "dwarfpool1", "0x2a65aca4d5fc5b5c859090a6c34d164135398226", 0.030),
-            eth_pool("firepool", "firepool.com", "0x35f61dfb08ada13eba64bf156b80df3d5b3a738d", 0.020),
-            eth_pool("UUPool", "uupool.cn", "0xd224ca0c819e8e97ba0136b3b95ceff503b79f53", 0.020),
+            eth_pool(
+                "Ethermine",
+                "ethermine-eu1",
+                "0xea674fdde714fd979de3edf0f56aa9716b898ec8",
+                0.270,
+            ),
+            eth_pool(
+                "SparkPool",
+                "sparkpool-eth-cn-hz2",
+                "0x5a0b54d5dc17e0aadc383d2db43b0a0d3e029c4c",
+                0.225,
+            ),
+            eth_pool(
+                "F2Pool",
+                "f2pool-eth",
+                "0x829bd824b016326a401d083b33d092293333a830",
+                0.125,
+            ),
+            eth_pool(
+                "Nanopool",
+                "nanopool.org",
+                "0x52bc44d5378309ee2abf1539bf71de1b7d7be3b5",
+                0.090,
+            ),
+            eth_pool(
+                "MiningPoolHub",
+                "miningpoolhub1",
+                "0xb2930b35844a230f00e51431acae96fe543a0347",
+                0.060,
+            ),
+            eth_pool(
+                "zhizhu.top",
+                "zhizhu2.0",
+                "0x04668ec2f57cc15c381b461b9fedab5d451c8f7f",
+                0.050,
+            ),
+            eth_pool(
+                "Hiveon",
+                "hiveon-pool",
+                "0x1ad91ee08f21be3de0ba2ba6918e714da6b45836",
+                0.035,
+            ),
+            eth_pool(
+                "DwarfPool",
+                "dwarfpool1",
+                "0x2a65aca4d5fc5b5c859090a6c34d164135398226",
+                0.030,
+            ),
+            eth_pool(
+                "firepool",
+                "firepool.com",
+                "0x35f61dfb08ada13eba64bf156b80df3d5b3a738d",
+                0.020,
+            ),
+            eth_pool(
+                "UUPool",
+                "uupool.cn",
+                "0xd224ca0c819e8e97ba0136b3b95ceff503b79f53",
+                0.020,
+            ),
         ];
         Scenario {
             name: "ethereum-2019".into(),
@@ -273,7 +355,11 @@ mod tests {
         let tail_late = schedule_share(&s.tail.schedule, 200.0);
         // Shares are renormalized by the population, so intent only has
         // to be near 1.
-        assert!((pools_late + tail_late - 1.0).abs() < 0.06, "{}", pools_late + tail_late);
+        assert!(
+            (pools_late + tail_late - 1.0).abs() < 0.06,
+            "{}",
+            pools_late + tail_late
+        );
         // Early-year too.
         let pools_early: f64 = s
             .pools
@@ -330,9 +416,10 @@ mod tests {
             .filter(|e| matches!(e, EventConfig::MultiCoinbase { day: 13, .. }))
             .collect();
         assert_eq!(day13.len(), 2);
-        let big = s.events.iter().any(
-            |e| matches!(e, EventConfig::MultiCoinbase { addresses, .. } if *addresses > 90),
-        );
+        let big = s
+            .events
+            .iter()
+            .any(|e| matches!(e, EventConfig::MultiCoinbase { addresses, .. } if *addresses > 90));
         assert!(big, "needs a >90-address block like no. 558,545");
     }
 

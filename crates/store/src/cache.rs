@@ -85,7 +85,9 @@ impl SegmentCache {
         if inner.capacity > 0 {
             inner.clock += 1;
             let clock = inner.clock;
-            inner.map.insert(key.to_string(), (clock, Arc::clone(&rows)));
+            inner
+                .map
+                .insert(key.to_string(), (clock, Arc::clone(&rows)));
             while inner.map.len() > inner.capacity {
                 let oldest = inner
                     .map

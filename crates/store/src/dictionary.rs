@@ -65,7 +65,10 @@ pub fn load_dictionary(path: &Path) -> Result<ProducerRegistry> {
     if actual != file.crc32 {
         return Err(StoreError::Corrupt {
             what: path.display().to_string(),
-            detail: format!("dictionary crc mismatch: {actual:#010x} vs {:#010x}", file.crc32),
+            detail: format!(
+                "dictionary crc mismatch: {actual:#010x} vs {:#010x}",
+                file.crc32
+            ),
         });
     }
     Ok(ProducerRegistry::from_name_list(&file.names))

@@ -225,7 +225,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip() {
-        let cases = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         for v in cases {
             let mut buf = Vec::new();
             put_uvarint(&mut buf, v);
@@ -330,7 +340,10 @@ mod tests {
         encode_column(Codec::ForBitpack, &values, &mut out);
         // width 0: just header bytes.
         assert!(out.len() < 16, "{}", out.len());
-        assert_eq!(decode_column(Codec::ForBitpack, &out, 4096).unwrap(), values);
+        assert_eq!(
+            decode_column(Codec::ForBitpack, &out, 4096).unwrap(),
+            values
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The store's row model: one attribution row per block credit.
 
+use crate::error::StoreError;
 use blockdec_chain::{AttributedBlock, Block, Credit, ProducerId, Timestamp};
 
 /// Credit denominator: weights are stored in thousandths of a block.
@@ -69,11 +70,33 @@ impl RowRecord {
 
     /// Reconstruct the attribution view of a run of rows sharing a
     /// height. Rows must be non-empty and same-height.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on empty or mixed-height input;
+    /// use [`RowRecord::try_to_attributed`] for a fallible version.
     pub fn to_attributed(rows: &[RowRecord]) -> AttributedBlock {
-        debug_assert!(!rows.is_empty());
-        debug_assert!(rows.windows(2).all(|w| w[0].height == w[1].height));
-        let first = rows[0];
-        AttributedBlock {
+        RowRecord::try_to_attributed(rows).unwrap_or_else(|e| panic!("to_attributed: {e}"))
+    }
+
+    /// Checked variant of [`RowRecord::to_attributed`]: rejects an empty
+    /// run or a run that mixes heights instead of panicking.
+    pub fn try_to_attributed(rows: &[RowRecord]) -> Result<AttributedBlock, StoreError> {
+        let first = match rows.first() {
+            Some(first) => *first,
+            None => {
+                return Err(StoreError::InconsistentCatalog(
+                    "empty row run: a block needs at least one attribution row".into(),
+                ))
+            }
+        };
+        if let Some(w) = rows.windows(2).find(|w| w[0].height != w[1].height) {
+            return Err(StoreError::InconsistentCatalog(format!(
+                "row run mixes heights {} and {}",
+                w[0].height, w[1].height
+            )));
+        }
+        Ok(AttributedBlock {
             height: first.height,
             timestamp: Timestamp(first.timestamp),
             credits: rows
@@ -83,13 +106,15 @@ impl RowRecord {
                     weight: r.credit(),
                 })
                 .collect(),
-        }
+        })
     }
 }
 
 /// Convert a float weight to credit millis, saturating and rounding.
 pub fn weight_to_millis(weight: f64) -> u32 {
-    (weight * f64::from(CREDIT_SCALE)).round().clamp(0.0, f64::from(u32::MAX)) as u32
+    (weight * f64::from(CREDIT_SCALE))
+        .round()
+        .clamp(0.0, f64::from(u32::MAX)) as u32
 }
 
 #[cfg(test)]
@@ -141,6 +166,24 @@ mod tests {
         assert_eq!(back.credits.len(), 2);
         assert_eq!(back.credits[0].producer, ProducerId(5));
         assert!((back.credits[1].weight - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_to_attributed_rejects_bad_runs() {
+        assert!(matches!(
+            RowRecord::try_to_attributed(&[]),
+            Err(StoreError::InconsistentCatalog(_))
+        ));
+        let mut rows = RowRecord::from_attributed(&attributed(11, &[(5, 1.0), (9, 0.5)]));
+        rows[1].height = 12;
+        let err = RowRecord::try_to_attributed(&rows).unwrap_err();
+        assert!(err.to_string().contains("mixes heights"));
+    }
+
+    #[test]
+    #[should_panic(expected = "to_attributed")]
+    fn to_attributed_panics_with_message_on_empty() {
+        RowRecord::to_attributed(&[]);
     }
 
     #[test]

@@ -52,13 +52,21 @@ pub fn encode_segment(rows: &[RowRecord]) -> Vec<u8> {
                 let v: Vec<i64> = rows.iter().map(|r| r.timestamp).collect();
                 encode_signed_column(codec, &v, &mut payload);
             }
-            "producer" => encode_column(codec, &collect(rows, |r| u64::from(r.producer)), &mut payload),
+            "producer" => encode_column(
+                codec,
+                &collect(rows, |r| u64::from(r.producer)),
+                &mut payload,
+            ),
             "credit" => encode_column(
                 codec,
                 &collect(rows, |r| u64::from(r.credit_millis)),
                 &mut payload,
             ),
-            "tx_count" => encode_column(codec, &collect(rows, |r| u64::from(r.tx_count)), &mut payload),
+            "tx_count" => encode_column(
+                codec,
+                &collect(rows, |r| u64::from(r.tx_count)),
+                &mut payload,
+            ),
             "size_bytes" => encode_column(
                 codec,
                 &collect(rows, |r| u64::from(r.size_bytes)),

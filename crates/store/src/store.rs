@@ -7,7 +7,9 @@ use crate::error::{Result, StoreError};
 use crate::row::{weight_to_millis, RowRecord};
 use crate::segment::{read_segment_file, write_segment_file, SEGMENT_ROWS};
 use crate::zonemap::ZoneMap;
-use blockdec_chain::{AttributedBlock, ProducerRegistry};
+use blockdec_chain::{
+    AttributedBlock, BlockColumns, Credit, ProducerId, ProducerRegistry, Timestamp,
+};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -387,19 +389,93 @@ impl BlockStore {
 
     /// Scan and regroup rows into attribution view (one
     /// [`AttributedBlock`] per height).
+    ///
+    /// Regroups rows *as they stream* out of [`BlockStore::scan_for_each`]
+    /// — the full `Vec<RowRecord>` is never collected, so peak memory is
+    /// one decoded segment plus the result itself. Returns
+    /// [`StoreError::InconsistentCatalog`] if the scan ever yields rows
+    /// out of height order (a corrupt manifest, not a caller error).
     pub fn scan_attributed(&self, pred: &ScanPredicate) -> Result<Vec<AttributedBlock>> {
-        let rows = self.scan(pred)?;
         let mut out: Vec<AttributedBlock> = Vec::new();
-        let mut i = 0;
-        while i < rows.len() {
-            let mut j = i + 1;
-            while j < rows.len() && rows[j].height == rows[i].height {
-                j += 1;
+        let mut disorder: Option<(u64, u64)> = None;
+        self.scan_for_each(pred, |r| {
+            if out.last().is_some_and(|b| b.height == r.height) {
+                let b = out.last_mut().expect("just observed a last block");
+                b.credits.push(Credit {
+                    producer: ProducerId(r.producer),
+                    weight: r.credit(),
+                });
+                return;
             }
-            out.push(RowRecord::to_attributed(&rows[i..j]));
-            i = j;
+            if let Some(b) = out.last() {
+                if r.height < b.height && disorder.is_none() {
+                    disorder = Some((b.height, r.height));
+                }
+            }
+            out.push(AttributedBlock {
+                height: r.height,
+                timestamp: Timestamp(r.timestamp),
+                credits: vec![Credit {
+                    producer: ProducerId(r.producer),
+                    weight: r.credit(),
+                }],
+            });
+        })?;
+        if let Some((prev, next)) = disorder {
+            return Err(StoreError::InconsistentCatalog(format!(
+                "scan yielded rows out of height order: height {next} after {prev}"
+            )));
         }
         Ok(out)
+    }
+
+    /// Scan straight into columnar form: [`scan_for_each`] feeds
+    /// [`BlockColumns::push_row`] directly, so neither an intermediate
+    /// `Vec<RowRecord>` nor any per-block credit `Vec` is ever allocated.
+    ///
+    /// [`scan_for_each`]: BlockStore::scan_for_each
+    pub fn scan_columnar(&self, pred: &ScanPredicate) -> Result<BlockColumns> {
+        self.scan_columnar_filtered(pred, |_| true)
+    }
+
+    /// [`BlockStore::scan_columnar`] with an extra row-level filter the
+    /// zone-mapped predicate cannot express (the query layer's residual
+    /// filters). Rows rejected by `keep` never reach the columns.
+    pub fn scan_columnar_filtered(
+        &self,
+        pred: &ScanPredicate,
+        keep: impl Fn(&RowRecord) -> bool,
+    ) -> Result<BlockColumns> {
+        let mut cols = BlockColumns::new();
+        let mut last_height: Option<u64> = None;
+        let mut disorder: Option<(u64, u64)> = None;
+        self.scan_for_each(pred, |r| {
+            if !keep(r) {
+                return;
+            }
+            if let Some(h) = last_height {
+                if r.height < h && disorder.is_none() {
+                    disorder = Some((h, r.height));
+                }
+            }
+            last_height = Some(r.height);
+            cols.push_row(
+                r.height,
+                Timestamp(r.timestamp),
+                ProducerId(r.producer),
+                r.credit(),
+            );
+        })?;
+        if let Some((prev, next)) = disorder {
+            return Err(StoreError::InconsistentCatalog(format!(
+                "scan yielded rows out of height order: height {next} after {prev}"
+            )));
+        }
+        debug_assert!(cols.validate().is_ok(), "scan built invalid columns");
+        blockdec_obs::counter("columnar.blocks").add(cols.len() as u64);
+        blockdec_obs::counter("columnar.credits").add(cols.credit_count() as u64);
+        blockdec_obs::counter("columnar.bytes_resident").add(cols.resident_bytes() as u64);
+        Ok(cols)
     }
 
     /// Cache `(hits, misses)` counters.
@@ -686,14 +762,23 @@ mod tests {
             AttributedBlock {
                 height: 1,
                 timestamp: Timestamp(100),
-                credits: vec![Credit { producer: f2, weight: 1.0 }],
+                credits: vec![Credit {
+                    producer: f2,
+                    weight: 1.0,
+                }],
             },
             AttributedBlock {
                 height: 2,
                 timestamp: Timestamp(200),
                 credits: vec![
-                    Credit { producer: ant, weight: 1.0 },
-                    Credit { producer: f2, weight: 1.0 },
+                    Credit {
+                        producer: ant,
+                        weight: 1.0,
+                    },
+                    Credit {
+                        producer: f2,
+                        weight: 1.0,
+                    },
                 ],
             },
         ];
@@ -748,7 +833,63 @@ mod tests {
         let blocks = store.scan_attributed(&ScanPredicate::all()).unwrap();
         let last = blocks.last().unwrap();
         assert_eq!(last.height, edge);
-        assert_eq!(last.credits.len(), 5, "credits split across segments must regroup");
+        assert_eq!(
+            last.credits.len(),
+            5,
+            "credits split across segments must regroup"
+        );
+        // The columnar scan must regroup the straddling block identically.
+        let cols = store.scan_columnar(&ScanPredicate::all()).unwrap();
+        cols.validate().unwrap();
+        assert_eq!(cols.len(), blocks.len());
+        assert_eq!(cols.producers_of(cols.len() - 1).len(), 5);
+        assert_eq!(cols.to_blocks(), blocks);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn columnar_scan_matches_attributed_scan() {
+        let dir = tmp_dir("columnar");
+        let mut store = BlockStore::create(&dir).unwrap();
+        let p = store.intern_producer("P");
+        let q = store.intern_producer("Q");
+        // Mixed 1/3-credit heights spanning sealed segments plus the
+        // unflushed active buffer.
+        let mut rows = Vec::new();
+        for h in 0..((SEGMENT_ROWS + SEGMENT_ROWS / 2) as u64) {
+            let n = if h % 7 == 0 { 3 } else { 1 };
+            for k in 0..n {
+                rows.push(RowRecord {
+                    height: h,
+                    timestamp: h as i64 * 600,
+                    producer: if k == 0 { p } else { q },
+                    credit_millis: 1000,
+                    tx_count: 0,
+                    size_bytes: 0,
+                    difficulty: 0,
+                });
+            }
+        }
+        let split = rows.len() - 40;
+        store.append_rows(&rows[..split]).unwrap();
+        store.flush().unwrap();
+        store.append_rows(&rows[split..]).unwrap(); // stays buffered
+
+        for pred in [
+            ScanPredicate::all(),
+            ScanPredicate::all().heights(100, 5000),
+        ] {
+            let blocks = store.scan_attributed(&pred).unwrap();
+            let cols = store.scan_columnar(&pred).unwrap();
+            cols.validate().unwrap();
+            assert_eq!(cols.to_blocks(), blocks);
+        }
+        // Residual row filter: only producer q's rows survive.
+        let filtered = store
+            .scan_columnar_filtered(&ScanPredicate::all(), |r| r.producer == q)
+            .unwrap();
+        assert!(!filtered.is_empty());
+        assert!((0..filtered.len()).all(|i| filtered.producers_of(i).iter().all(|pr| pr.0 == q)));
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -784,9 +925,7 @@ mod tests {
         let pred = ScanPredicate::all().heights(100, 180);
         let materialized = store.scan(&pred).unwrap();
         let mut visited = Vec::new();
-        let stats = store
-            .scan_for_each(&pred, |r| visited.push(*r))
-            .unwrap();
+        let stats = store.scan_for_each(&pred, |r| visited.push(*r)).unwrap();
         assert_eq!(visited, materialized);
         assert_eq!(stats.rows_returned, materialized.len() as u64);
         fs::remove_dir_all(&dir).unwrap();

@@ -48,7 +48,10 @@ fn main() {
         tail: TailConfig {
             miners: 120,
             alpha: 0.9,
-            schedule: vec![SharePoint { day: 0.0, share: 0.20 }],
+            schedule: vec![SharePoint {
+                day: 0.0,
+                share: 0.20,
+            }],
         },
         events: vec![EventConfig::DominantShare {
             pool: "MegaPool".into(),

@@ -66,7 +66,10 @@ fn main() {
     let top = Plan::top_k(Filter::True, 5)
         .execute(&btc_store)
         .expect("plan executes");
-    println!("\nbitcoin top-5 producers (from the store):\n{}", top.to_csv());
+    println!(
+        "\nbitcoin top-5 producers (from the store):\n{}",
+        top.to_csv()
+    );
 
     // 4. Measure both chains at every (metric, granularity).
     let btc_series = measure_all("bitcoin", &btc_store);

@@ -61,7 +61,9 @@ fn main() {
 
     // 4. Persist and measure.
     let mut store = BlockStore::create(workdir.join("store")).expect("create store");
-    store.append_attributed(&attributed, &registry).expect("append");
+    store
+        .append_attributed(&attributed, &registry)
+        .expect("append");
     store.flush().expect("flush");
     let from_store = store
         .attributed_blocks(&Filter::True)
@@ -78,7 +80,11 @@ fn main() {
             blockdec_analysis::report::sparkline(&series.values(), 40)
         );
         if let Some(mean) = series.mean() {
-            println!("  {:<9} mean {mean:.3} over {} days", "", series.points.len());
+            println!(
+                "  {:<9} mean {mean:.3} over {} days",
+                "",
+                series.points.len()
+            );
         }
     }
 

@@ -17,7 +17,11 @@ fn probe(scenario: Scenario, sizes: [usize; 3]) {
     );
     let origin = Timestamp::year_2019_start();
     let mut configs = Vec::new();
-    for m in [MetricKind::Gini, MetricKind::ShannonEntropy, MetricKind::Nakamoto] {
+    for m in [
+        MetricKind::Gini,
+        MetricKind::ShannonEntropy,
+        MetricKind::Nakamoto,
+    ] {
         for g in Granularity::ALL {
             configs.push(MeasurementEngine::new(m).fixed_calendar(g, origin));
         }

@@ -3,9 +3,9 @@
 //! through JSONL, or through a BigQuery-style export.
 
 use blockdec::prelude::*;
+use blockdec_chain::hash::encode_hex;
 use blockdec_chain::Granularity;
 use blockdec_ingest::{csv as csvio, jsonl};
-use blockdec_chain::hash::encode_hex;
 use std::io::BufReader;
 
 fn daily_gini(blocks: &[AttributedBlock]) -> Vec<f64> {
@@ -28,7 +28,8 @@ fn csv_roundtrip_measures_identically() {
 
     let mut buf = Vec::new();
     csvio::write_blocks_csv(&mut buf, &blocks).unwrap();
-    let parsed = csvio::read_blocks_csv(BufReader::new(buf.as_slice()), ChainKind::Bitcoin).unwrap();
+    let parsed =
+        csvio::read_blocks_csv(BufReader::new(buf.as_slice()), ChainKind::Bitcoin).unwrap();
     assert_eq!(parsed.len(), blocks.len());
     let via_csv = daily_gini(&attribute(&parsed));
 
@@ -132,7 +133,9 @@ fn store_persists_across_sessions_with_growing_dictionary() {
     let first = Scenario::bitcoin_2019().truncated(5).generate();
     {
         let mut store = BlockStore::create(&dir).unwrap();
-        store.append_attributed(&first.attributed, &first.registry).unwrap();
+        store
+            .append_attributed(&first.attributed, &first.registry)
+            .unwrap();
         store.flush().unwrap();
     }
 

@@ -24,11 +24,7 @@ fn eth() -> blockdec_sim::GeneratedStream {
     s.generate()
 }
 
-fn fixed(
-    blocks: &[AttributedBlock],
-    metric: MetricKind,
-    g: Granularity,
-) -> MeasurementSeries {
+fn fixed(blocks: &[AttributedBlock], metric: MetricKind, g: Granularity) -> MeasurementSeries {
     MeasurementEngine::new(metric)
         .fixed_calendar(g, Timestamp::year_2019_start())
         .run(blocks)
@@ -58,10 +54,16 @@ fn bitcoin_is_more_decentralized_ethereum_more_stable() {
     );
     // Every metric at daily granularity: Bitcoin more decentralized.
     let (dec_btc, dec_eth) = cmp.decentralization_score();
-    assert_eq!(dec_btc, 3, "bitcoin should win all 3 metrics, lost {dec_eth}");
+    assert_eq!(
+        dec_btc, 3,
+        "bitcoin should win all 3 metrics, lost {dec_eth}"
+    );
     // Stability: Ethereum wins the majority.
     let (sta_btc, sta_eth) = cmp.stability_score();
-    assert!(sta_eth > sta_btc, "ethereum stability {sta_eth} vs {sta_btc}");
+    assert!(
+        sta_eth > sta_btc,
+        "ethereum stability {sta_eth} vs {sta_btc}"
+    );
     assert_eq!(
         cmp.verdict(),
         "the degree of decentralization in bitcoin is higher, \
@@ -91,12 +93,20 @@ fn gini_grows_with_granularity_on_both_chains() {
 #[test]
 fn entropy_is_granularity_insensitive() {
     let stream = btc();
-    let day = fixed(&stream.attributed, MetricKind::ShannonEntropy, Granularity::Day)
-        .mean()
-        .expect("series");
-    let month = fixed(&stream.attributed, MetricKind::ShannonEntropy, Granularity::Month)
-        .mean()
-        .expect("series");
+    let day = fixed(
+        &stream.attributed,
+        MetricKind::ShannonEntropy,
+        Granularity::Day,
+    )
+    .mean()
+    .expect("series");
+    let month = fixed(
+        &stream.attributed,
+        MetricKind::ShannonEntropy,
+        Granularity::Month,
+    )
+    .mean()
+    .expect("series");
     // Paper Fig. 2: "overall patterns quite close" — within ~15%.
     assert!((day - month).abs() / day < 0.15, "day {day} month {month}");
 }
@@ -152,7 +162,11 @@ fn sliding_doubles_measurement_count_and_preserves_means() {
     // sliding/fixed averages stay close.
     let btc = btc();
     let n = 144usize;
-    let fixed_series = fixed(&btc.attributed, MetricKind::ShannonEntropy, Granularity::Day);
+    let fixed_series = fixed(
+        &btc.attributed,
+        MetricKind::ShannonEntropy,
+        Granularity::Day,
+    );
     let sliding_series = MeasurementEngine::new(MetricKind::ShannonEntropy)
         .sliding_spec(SlidingWindowSpec::paper(n))
         .run(&btc.attributed);
@@ -179,7 +193,9 @@ fn store_roundtrip_measures_identically() {
     let dir = std::env::temp_dir().join(format!("blockdec-it-roundtrip-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut store = BlockStore::create(&dir).unwrap();
-    store.append_attributed(&btc.attributed, &btc.registry).unwrap();
+    store
+        .append_attributed(&btc.attributed, &btc.registry)
+        .unwrap();
     store.flush().unwrap();
 
     let from_store = store.attributed_blocks(&Filter::True).unwrap();
@@ -311,7 +327,9 @@ fn producer_block_counts_match_engine_totals() {
     let dir = std::env::temp_dir().join(format!("blockdec-it-counts-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut store = BlockStore::create(&dir).unwrap();
-    store.append_attributed(&btc.attributed, &btc.registry).unwrap();
+    store
+        .append_attributed(&btc.attributed, &btc.registry)
+        .unwrap();
     store.flush().unwrap();
 
     let counts = producer_block_counts(&store, &Filter::True).unwrap();

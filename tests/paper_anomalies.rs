@@ -36,10 +36,18 @@ fn day14_multicoinbase_anomaly_shape() {
 
     // Extreme low Gini / high entropy on day 13.
     assert!(at(&gini, 13) < 0.45, "day-13 gini {}", at(&gini, 13));
-    assert!(at(&entropy, 13) > 5.5, "day-13 entropy {}", at(&entropy, 13));
+    assert!(
+        at(&entropy, 13) > 5.5,
+        "day-13 entropy {}",
+        at(&entropy, 13)
+    );
     // The paper reports daily Nakamoto spikes >35 during the first 50
     // days; day 13 is the biggest one.
-    assert!(at(&nakamoto, 13) > 15.0, "day-13 nakamoto {}", at(&nakamoto, 13));
+    assert!(
+        at(&nakamoto, 13) > 15.0,
+        "day-13 nakamoto {}",
+        at(&nakamoto, 13)
+    );
 
     // Day 13 is the global extreme of the first three months.
     assert_eq!(gini.min().expect("non-empty").0, 13);
@@ -110,7 +118,10 @@ fn attribution_mode_ablation_on_day13() {
     let g_per = daily_gini(&per_address);
     let g_first = daily_gini(&first_address);
     assert!(g_per < 0.45, "per-address gini {g_per}");
-    assert!(g_first > g_per + 0.1, "first-address {g_first} vs per-address {g_per}");
+    assert!(
+        g_first > g_per + 0.1,
+        "first-address {g_first} vs per-address {g_per}"
+    );
 }
 
 #[test]
@@ -136,8 +147,14 @@ fn day60_burst_visible_in_sliding_but_diluted_in_fixed_weekly() {
         .iter()
         .map(|r| r.len)
         .sum();
-    assert_eq!(fixed_dips, 0, "fixed weekly windows should dilute the burst");
-    assert!(sliding_dips >= 1, "sliding weekly windows must reveal the dip");
+    assert_eq!(
+        fixed_dips, 0,
+        "fixed weekly windows should dilute the burst"
+    );
+    assert!(
+        sliding_dips >= 1,
+        "sliding weekly windows must reveal the dip"
+    );
 }
 
 #[test]
@@ -191,7 +208,12 @@ fn early_year_bitcoin_is_more_decentralized_and_less_stable() {
     let entropy = MeasurementEngine::new(MetricKind::ShannonEntropy)
         .fixed_calendar(Granularity::Day, origin)
         .run(&stream.attributed);
-    let early: Vec<f64> = entropy.points.iter().filter(|p| p.index < 50).map(|p| p.value).collect();
+    let early: Vec<f64> = entropy
+        .points
+        .iter()
+        .filter(|p| p.index < 50)
+        .map(|p| p.value)
+        .collect();
     let late: Vec<f64> = entropy
         .points
         .iter()

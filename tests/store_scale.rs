@@ -47,7 +47,11 @@ fn multi_segment_store_end_to_end() {
         .scan_with_stats(&ScanPredicate::all().heights(6_988_615 + 150_000, 6_988_615 + 150_999))
         .unwrap();
     assert_eq!(rows.len(), 1_000);
-    assert!(stats.segments_pruned >= 2, "pruned {}", stats.segments_pruned);
+    assert!(
+        stats.segments_pruned >= 2,
+        "pruned {}",
+        stats.segments_pruned
+    );
 
     // Streaming fixed-window measurement off the store: ~32 days of data.
     let series = measure_fixed_streaming(

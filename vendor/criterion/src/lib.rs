@@ -221,7 +221,10 @@ fn run_one<F: FnMut(&mut Bencher)>(
             format!("  ({:.0} elem/s)", n as f64 / median.as_secs_f64())
         }
         Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
-            format!("  ({:.1} MiB/s)", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            )
         }
         _ => String::new(),
     };

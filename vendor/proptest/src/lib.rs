@@ -23,8 +23,9 @@ pub use test_runner::{TestCaseError, TestRng};
 pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
-                    prop_oneof, proptest};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Namespaced strategy modules, mirroring `proptest::prop`.
@@ -338,8 +339,7 @@ impl Strategy for &'static str {
             .map(|_| {
                 let (lo, hi) = p.ranges[(rng.next_u64() as usize) % p.ranges.len()];
                 let span = hi as u32 - lo as u32 + 1;
-                char::from_u32(lo as u32 + (rng.next_u64() % u64::from(span)) as u32)
-                    .unwrap_or(lo)
+                char::from_u32(lo as u32 + (rng.next_u64() % u64::from(span)) as u32).unwrap_or(lo)
             })
             .collect()
     }
@@ -439,7 +439,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *__a != *__b,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($a), stringify!($b), __a
+            stringify!($a),
+            stringify!($b),
+            __a
         );
     }};
 }
@@ -449,9 +451,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
         }
     };
 }

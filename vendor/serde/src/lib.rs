@@ -290,7 +290,9 @@ impl Deserialize for f32 {
 
 impl Deserialize for char {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        let s = v.as_str().ok_or_else(|| DeError::expected("string", "char"))?;
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "char"))?;
         let mut it = s.chars();
         match (it.next(), it.next()) {
             (Some(c), None) => Ok(c),

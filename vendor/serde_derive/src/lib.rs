@@ -32,8 +32,14 @@ struct Variant {
 }
 
 enum Input {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Skip any number of `#[...]` attribute groups.
@@ -200,17 +206,12 @@ fn gen_serialize(input: &Input) -> String {
         Input::Struct { name, fields } => {
             let body = match fields {
                 Fields::Unit => "::serde::value::Value::Null".to_string(),
-                Fields::Tuple(1) => {
-                    "::serde::Serialize::to_value(&self.0)".to_string()
-                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
                 Fields::Tuple(n) => {
                     let items: Vec<String> = (0..*n)
                         .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                         .collect();
-                    format!(
-                        "::serde::value::Value::Array(vec![{}])",
-                        items.join(", ")
-                    )
+                    format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
                 }
                 Fields::Named(fs) => named_to_value(fs, "&self."),
             };

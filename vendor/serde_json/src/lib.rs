@@ -276,8 +276,7 @@ mod parse {
                                         if !(0xDC00..0xE000).contains(&lo) {
                                             return Err(self.err("invalid low surrogate"));
                                         }
-                                        let cp =
-                                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                        let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                         char::from_u32(cp)
                                             .ok_or_else(|| self.err("invalid surrogate pair"))?
                                     } else {
@@ -355,9 +354,7 @@ mod parse {
                 }
                 // Integer out of 64-bit range: fall through to f64.
             }
-            let f: f64 = text
-                .parse()
-                .map_err(|_| self.err("invalid number"))?;
+            let f: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
             Ok(Value::Number(Number::from_f64(f)))
         }
     }
