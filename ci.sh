@@ -18,4 +18,13 @@ mkdir -p target/ci-smoke
 test -s target/ci-smoke/bench.json
 grep -q '"columnar": \[' target/ci-smoke/bench.json
 
+# Smoke: durability. A freshly loaded store must fsck clean (exit 0),
+# and the fsck self-test must inject, detect, and repair every fault
+# class (exit 0; any miss is non-zero and fails the gate under set -e).
+rm -rf target/ci-smoke/fsck-store target/ci-smoke/fsck-selftest
+./target/release/blockdec load --chain bitcoin --days 2 --seed 11 \
+    --store target/ci-smoke/fsck-store
+./target/release/blockdec fsck --store target/ci-smoke/fsck-store
+./target/release/blockdec fsck --self-test --store target/ci-smoke/fsck-selftest
+
 echo "ci.sh: all gates passed"

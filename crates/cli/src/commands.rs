@@ -13,11 +13,22 @@ use blockdec_core::series::MeasurementSeries;
 use blockdec_ingest::{bigquery, csv as csvio, jsonl};
 use blockdec_query::{Filter, MeasurementSource, Plan};
 use blockdec_sim::Scenario;
-use blockdec_store::BlockStore;
+use blockdec_store::{BlockStore, FaultInjector, FaultKind, RowRecord, ScanPredicate, StoreDoctor};
 use std::fs;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
 
 type CmdResult = Result<(), String>;
+
+/// `fsck` exit code: the store is clean.
+pub const FSCK_CLEAN: u8 = 0;
+/// `fsck` exit code: faults were detected and `--repair` was not given.
+pub const FSCK_FAULTS_FOUND: u8 = 1;
+/// `fsck` exit code: faults were detected, repaired, and the store now
+/// checks clean.
+pub const FSCK_REPAIRED: u8 = 2;
+/// `fsck` exit code: repair ran but the store still checks dirty.
+pub const FSCK_UNREPAIRABLE: u8 = 3;
 
 fn parse_chain(s: &str) -> Result<ChainKind, String> {
     match s {
@@ -411,6 +422,269 @@ pub fn compact(args: &Args) -> CmdResult {
         println!("already compact ({before} segments)");
     }
     Ok(())
+}
+
+/// `blockdec fsck` — check (and with `--repair`, fix) a store's on-disk
+/// state. Exit codes: [`FSCK_CLEAN`], [`FSCK_FAULTS_FOUND`],
+/// [`FSCK_REPAIRED`], [`FSCK_UNREPAIRABLE`]. With `--self-test`, runs
+/// the built-in fault-injection round-trip under the given directory
+/// instead (used by CI).
+pub fn fsck(args: &Args) -> Result<u8, String> {
+    let store_dir = args.required("store")?;
+    if args.has_switch("self-test") {
+        return fsck_self_test(Path::new(store_dir));
+    }
+    let doctor = StoreDoctor::new(store_dir);
+    let report = doctor.check().map_err(|e| e.to_string())?;
+    println!(
+        "checked {} segments / {} rows",
+        report.segments_checked, report.rows_checked
+    );
+    for f in &report.faults {
+        eprintln!("FAULT [{}] {}: {}", f.kind.label(), f.file, f.detail);
+    }
+    if report.is_clean() {
+        println!("store is clean");
+        return Ok(FSCK_CLEAN);
+    }
+    if !args.has_switch("repair") {
+        eprintln!(
+            "{} fault(s) found; re-run with --repair to fix",
+            report.faults.len()
+        );
+        return Ok(FSCK_FAULTS_FOUND);
+    }
+    let outcome = doctor.repair().map_err(|e| e.to_string())?;
+    println!(
+        "repaired: {} segment(s) quarantined ({} rows), {} temp file(s) removed{}{}",
+        outcome.quarantined.len(),
+        outcome.rows_quarantined,
+        outcome.removed_temps,
+        if outcome.manifest_rewritten {
+            ", manifest rewritten"
+        } else {
+            ""
+        },
+        if outcome.dictionary_rebuilt {
+            ", dictionary rebuilt"
+        } else {
+            ""
+        },
+    );
+    let post = doctor.check().map_err(|e| e.to_string())?;
+    if post.is_clean() {
+        println!("store is clean after repair");
+        Ok(FSCK_REPAIRED)
+    } else {
+        for f in &post.faults {
+            eprintln!("STILL FAULTY [{}] {}: {}", f.kind.label(), f.file, f.detail);
+        }
+        Ok(FSCK_UNREPAIRABLE)
+    }
+}
+
+/// 60 deterministic fixture rows (heights 0..60, two producers).
+fn fsck_fixture_rows() -> Vec<RowRecord> {
+    (0..60u64)
+        .map(|h| RowRecord {
+            height: h,
+            timestamp: 1_546_300_800 + h as i64 * 600,
+            producer: (h % 3 == 0) as u32,
+            credit_millis: 1000,
+            tx_count: 2,
+            size_bytes: 500,
+            difficulty: 7,
+        })
+        .collect()
+}
+
+/// Build a clean 3-segment fixture store at `dir` and return its rows.
+fn fsck_build_fixture(dir: &Path) -> Result<Vec<RowRecord>, String> {
+    let _ = fs::remove_dir_all(dir);
+    let mut store = BlockStore::create(dir).map_err(|e| e.to_string())?;
+    store.intern_producer("self-test-major");
+    store.intern_producer("self-test-minor");
+    let rows = fsck_fixture_rows();
+    for chunk in rows.chunks(20) {
+        store.append_rows(chunk).map_err(|e| e.to_string())?;
+        store.flush().map_err(|e| e.to_string())?;
+    }
+    Ok(rows)
+}
+
+/// One self-test round-trip: build fixture → `inject` → detect
+/// `expect` → repair → verify clean, and verify a strict scan returns
+/// exactly the clean rows minus `lost` (an inclusive height range).
+fn fsck_self_test_case(
+    base: &Path,
+    label: &str,
+    expect: FaultKind,
+    lost: Option<(u64, u64)>,
+    inject: impl FnOnce(&mut FaultInjector) -> Result<(), blockdec_store::StoreError>,
+) -> Result<(), String> {
+    let dir = base.join(format!("case-{label}"));
+    let rows = fsck_build_fixture(&dir)?;
+    let mut inj = FaultInjector::new(&dir, 0xB10C_DEC0 + label.len() as u64);
+    inject(&mut inj).map_err(|e| format!("{label}: inject: {e}"))?;
+
+    let doctor = StoreDoctor::new(&dir);
+    let report = doctor.check().map_err(|e| format!("{label}: check: {e}"))?;
+    if !report.has(expect) {
+        return Err(format!(
+            "{label}: expected {} to be detected, got {:?}",
+            expect.label(),
+            report.kinds()
+        ));
+    }
+    doctor
+        .repair()
+        .map_err(|e| format!("{label}: repair: {e}"))?;
+    let post = doctor
+        .check()
+        .map_err(|e| format!("{label}: post-check: {e}"))?;
+    if !post.is_clean() {
+        return Err(format!(
+            "{label}: still dirty after repair: {:?}",
+            post.faults
+        ));
+    }
+
+    let expected: Vec<RowRecord> = rows
+        .into_iter()
+        .filter(|r| lost.is_none_or(|(lo, hi)| r.height < lo || r.height > hi))
+        .collect();
+    let store = BlockStore::open(&dir).map_err(|e| format!("{label}: reopen: {e}"))?;
+    let got = store
+        .scan(&ScanPredicate::all())
+        .map_err(|e| format!("{label}: post-repair scan: {e}"))?;
+    if got != expected {
+        return Err(format!(
+            "{label}: post-repair scan returned {} rows, expected {}",
+            got.len(),
+            expected.len()
+        ));
+    }
+    println!(
+        "self-test {label}: detected {}, repaired, {} rows surviving",
+        expect.label(),
+        got.len()
+    );
+    Ok(())
+}
+
+/// `blockdec fsck --self-test`: exercise every fault class end to end
+/// (inject → detect → repair → verify) in scratch stores under `base`.
+fn fsck_self_test(base: &Path) -> Result<u8, String> {
+    use blockdec_store::catalog::segment_file_name;
+    let victim = segment_file_name(1); // heights 20..=39
+
+    fsck_self_test_case(
+        base,
+        "truncation",
+        FaultKind::Truncated,
+        Some((20, 39)),
+        |i| i.truncate(&victim),
+    )?;
+    fsck_self_test_case(base, "bit-flip", FaultKind::BitRot, Some((20, 39)), |i| {
+        i.flip_bit(&victim)
+    })?;
+    fsck_self_test_case(base, "bad-page", FaultKind::BadPage, Some((20, 39)), |i| {
+        i.corrupt_page_header(&victim)
+    })?;
+    fsck_self_test_case(base, "zone-drift", FaultKind::ZoneDrift, None, |i| {
+        i.drift_zone(&victim)
+    })?;
+    fsck_self_test_case(
+        base,
+        "missing-segment",
+        FaultKind::MissingSegment,
+        Some((20, 39)),
+        |i| i.delete_segment(&victim),
+    )?;
+    fsck_self_test_case(base, "orphan", FaultKind::OrphanSegment, None, |i| {
+        i.orphan_copy(&segment_file_name(0), 77).map(|_| ())
+    })?;
+    fsck_self_test_case(
+        base,
+        "missing-manifest",
+        FaultKind::MissingManifest,
+        None,
+        |i| i.drop_manifest(),
+    )?;
+    fsck_self_test_case(
+        base,
+        "missing-dictionary",
+        FaultKind::MissingDictionary,
+        None,
+        |i| i.drop_dictionary(),
+    )?;
+    fsck_self_test_case(
+        base,
+        "bad-dictionary",
+        FaultKind::BadDictionary,
+        None,
+        |i| i.corrupt_dictionary(),
+    )?;
+    fsck_self_test_case(base, "torn-tmp", FaultKind::TornTemp, None, |i| {
+        i.torn_tmp()
+    })?;
+
+    // Crash mid-flush: the segment file and dictionary commit, then the
+    // manifest commit "crashes". The committed state must be intact and
+    // the uncommitted segment must end up quarantined as an orphan.
+    {
+        let dir = base.join("case-crash-mid-flush");
+        let rows = fsck_build_fixture(&dir)?;
+        let mut store = BlockStore::open(&dir).map_err(|e| e.to_string())?;
+        let extra: Vec<RowRecord> = (60..80u64)
+            .map(|h| RowRecord {
+                height: h,
+                timestamp: 1_546_300_800 + h as i64 * 600,
+                producer: 0,
+                credit_millis: 1000,
+                tx_count: 2,
+                size_bytes: 500,
+                difficulty: 7,
+            })
+            .collect();
+        store.append_rows(&extra).map_err(|e| e.to_string())?;
+        let mut inj = FaultInjector::new(&dir, 7);
+        inj.arm_crash_at_commit(3); // 1 = segment, 2 = dictionary, 3 = manifest
+        if store.flush().is_ok() {
+            return Err("crash-mid-flush: flush should have failed".into());
+        }
+        drop(store);
+        let doctor = StoreDoctor::new(&dir);
+        let report = doctor.check().map_err(|e| e.to_string())?;
+        if !report.has(FaultKind::OrphanSegment) || !report.has(FaultKind::TornTemp) {
+            return Err(format!(
+                "crash-mid-flush: expected orphan-segment + torn-temp, got {:?}",
+                report.kinds()
+            ));
+        }
+        doctor.repair().map_err(|e| e.to_string())?;
+        if !doctor.check().map_err(|e| e.to_string())?.is_clean() {
+            return Err("crash-mid-flush: still dirty after repair".into());
+        }
+        let store = BlockStore::open(&dir).map_err(|e| e.to_string())?;
+        let got = store
+            .scan(&ScanPredicate::all())
+            .map_err(|e| e.to_string())?;
+        if got != rows {
+            return Err(format!(
+                "crash-mid-flush: expected the {} committed rows, got {}",
+                rows.len(),
+                got.len()
+            ));
+        }
+        println!(
+            "self-test crash-mid-flush: detected orphan-segment + torn-temp, repaired, {} rows surviving",
+            got.len()
+        );
+    }
+
+    println!("self-test: all fault classes detected and repaired");
+    Ok(FSCK_CLEAN)
 }
 
 /// `blockdec anomalies` — robust outliers of a metric series.

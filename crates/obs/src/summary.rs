@@ -30,6 +30,10 @@ pub struct RunSummary {
     pub cache_hit_rate: Option<f64>,
     /// Measurement windows emitted (`engine.windows`).
     pub windows: u64,
+    /// Store faults classified this run (`store.fault.detected`).
+    pub faults_detected: u64,
+    /// Segments quarantined by repair (`store.fault.quarantined`).
+    pub segments_quarantined: u64,
     /// Every registered counter, for the machine-readable dump.
     pub counters: BTreeMap<String, u64>,
 }
@@ -76,6 +80,8 @@ impl RunSummary {
             blocks_per_sec,
             cache_hit_rate,
             windows: get("engine.windows"),
+            faults_detected: get("store.fault.detected"),
+            segments_quarantined: get("store.fault.quarantined"),
             counters,
         }
     }
@@ -103,6 +109,12 @@ impl RunSummary {
             None => out.push_str("  store cache: no lookups\n"),
         }
         out.push_str(&format!("  windows emitted: {}\n", self.windows));
+        if self.faults_detected > 0 || self.segments_quarantined > 0 {
+            out.push_str(&format!(
+                "  store faults: {} detected, {} segment(s) quarantined\n",
+                self.faults_detected, self.segments_quarantined
+            ));
+        }
         out
     }
 
@@ -138,7 +150,10 @@ impl RunSummary {
             Some(r) => push_f64(&mut out, r),
             None => out.push_str("null"),
         }
-        out.push_str(&format!(",\"windows\":{},\"counters\":{{", self.windows));
+        out.push_str(&format!(
+            ",\"windows\":{},\"faults_detected\":{},\"segments_quarantined\":{},\"counters\":{{",
+            self.windows, self.faults_detected, self.segments_quarantined
+        ));
         for (i, (k, v)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -185,6 +200,8 @@ mod tests {
             blocks_per_sec: Some(42_000.0),
             cache_hit_rate: Some(0.875),
             windows: 365,
+            faults_detected: 0,
+            segments_quarantined: 0,
             counters: BTreeMap::from([
                 ("engine.windows".to_string(), 365u64),
                 ("store.cache.hit".to_string(), 7u64),
@@ -221,10 +238,29 @@ mod tests {
             blocks_per_sec: None,
             cache_hit_rate: None,
             windows: 0,
+            faults_detected: 0,
+            segments_quarantined: 0,
             counters: BTreeMap::new(),
         };
         assert!(s.render_text().contains("none recorded"));
         assert!(s.render_json().contains("\"blocks_per_sec\":null"));
+        // A fault-free run stays quiet about faults in the text table.
+        assert!(!s.render_text().contains("store faults"));
+    }
+
+    #[test]
+    fn fault_line_renders_when_nonzero() {
+        let mut s = sample();
+        s.faults_detected = 3;
+        s.segments_quarantined = 1;
+        let text = s.render_text();
+        assert!(
+            text.contains("store faults: 3 detected, 1 segment(s) quarantined"),
+            "{text}"
+        );
+        let json = s.render_json();
+        assert!(json.contains("\"faults_detected\":3"), "{json}");
+        assert!(json.contains("\"segments_quarantined\":1"), "{json}");
     }
 
     #[test]

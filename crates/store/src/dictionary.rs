@@ -5,12 +5,12 @@
 //! CRC stored alongside the names, so a torn write is detected rather
 //! than silently mis-attributing every block.
 
+use crate::atomic::atomic_replace;
 use crate::checksum::crc32;
 use crate::error::{Result, StoreError};
 use blockdec_chain::ProducerRegistry;
 use serde::{Deserialize, Serialize};
 use std::fs;
-use std::io::Write;
 use std::path::Path;
 
 #[derive(Serialize, Deserialize)]
@@ -29,7 +29,7 @@ fn names_crc(names: &[String]) -> u32 {
     crc32(&joined)
 }
 
-/// Save a registry to `path` atomically.
+/// Save a registry to `path` crash-safely (see [`crate::atomic`]).
 pub fn save_dictionary(path: &Path, registry: &ProducerRegistry) -> Result<()> {
     let names = registry.to_name_list();
     let file = DictFile {
@@ -38,14 +38,7 @@ pub fn save_dictionary(path: &Path, registry: &ProducerRegistry) -> Result<()> {
         names,
     };
     let json = serde_json::to_vec_pretty(&file).expect("dictionary serializes");
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
-        f.write_all(&json).map_err(|e| StoreError::io(&tmp, e))?;
-        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
-    }
-    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
-    Ok(())
+    atomic_replace(path, &json)
 }
 
 /// Load a registry from `path`, verifying integrity.
@@ -121,6 +114,25 @@ mod tests {
         fs::write(&path, text.replace("F2Pool", "FakePool")).unwrap();
         let err = load_dictionary(&path).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_crash_between_write_and_rename_is_recoverable() {
+        let dir = tmp_dir("crash");
+        let path = dir.join("dictionary.json");
+        let mut reg = ProducerRegistry::new();
+        reg.intern("F2Pool");
+        save_dictionary(&path, &reg).unwrap();
+        reg.intern("AntPool");
+        crate::atomic::arm_crash_before_rename(1);
+        assert!(save_dictionary(&path, &reg).is_err());
+        // Previous dictionary still loads; torn temp left behind.
+        assert_eq!(load_dictionary(&path).unwrap().len(), 1);
+        assert!(crate::atomic::temp_path(&path).exists());
+        crate::atomic::remove_stale_temps(&dir).unwrap();
+        save_dictionary(&path, &reg).unwrap();
+        assert_eq!(load_dictionary(&path).unwrap().len(), 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 

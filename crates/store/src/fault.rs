@@ -1,0 +1,203 @@
+//! Seeded, deterministic fault injection for durability tests.
+//!
+//! [`FaultInjector`] mutates a store directory into each fault class
+//! that [`crate::StoreDoctor`] knows how to classify. Every mutation is
+//! driven by a splitmix64 stream seeded at construction, so a failing
+//! inject → detect → repair → verify round-trip is reproducible from
+//! its seed alone. The injector is test/tooling support: it lives in
+//! the library (not `#[cfg(test)]`) so integration tests and the
+//! `blockdec fsck --self-test` harness can share it, but nothing in the
+//! read or write paths depends on it.
+
+use crate::atomic;
+use crate::catalog::Manifest;
+use crate::error::{Result, StoreError};
+use crate::segment::{refit_footer, FOOTER_LEN};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Fixed-offset byte inside the first page's header (the codec id): the
+/// segment header is `MAGIC(4) | version(2) | row_count(4)`.
+const FIRST_PAGE_CODEC_OFFSET: usize = 10;
+/// A codec id no codec will ever claim.
+const BOGUS_CODEC_ID: u8 = 0x77;
+
+/// Deterministic store corruptor; see the module docs.
+pub struct FaultInjector {
+    state: u64,
+    dir: PathBuf,
+}
+
+impl FaultInjector {
+    /// An injector for the store at `dir`, deterministic in `seed`.
+    pub fn new(dir: impl AsRef<Path>, seed: u64) -> FaultInjector {
+        FaultInjector {
+            // Avoid the all-zero stream for seed 0.
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            dir: dir.as_ref().to_path_buf(),
+        }
+    }
+
+    /// Next value of the splitmix64 stream.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn seg_path(&self, file: &str) -> PathBuf {
+        self.dir.join(file)
+    }
+
+    fn read_seg(&self, file: &str) -> Result<Vec<u8>> {
+        let path = self.seg_path(file);
+        fs::read(&path).map_err(|e| StoreError::io(&path, e))
+    }
+
+    fn write_seg(&self, file: &str, bytes: &[u8]) -> Result<()> {
+        let path = self.seg_path(file);
+        fs::write(&path, bytes).map_err(|e| StoreError::io(&path, e))
+    }
+
+    /// Flip one random bit in the segment's body (header or pages,
+    /// never the footer), leaving the footer claiming the old CRC —
+    /// classified as bit rot.
+    pub fn flip_bit(&mut self, file: &str) -> Result<()> {
+        let mut bytes = self.read_seg(file)?;
+        assert!(bytes.len() > FOOTER_LEN, "segment too short to corrupt");
+        let body_len = (bytes.len() - FOOTER_LEN) as u64;
+        let at = self.next_below(body_len) as usize;
+        let bit = self.next_below(8) as u32;
+        bytes[at] ^= 1 << bit;
+        self.write_seg(file, &bytes)
+    }
+
+    /// Cut the segment short at a random point — a torn write. Always
+    /// keeps at least one byte and always drops at least the footer.
+    pub fn truncate(&mut self, file: &str) -> Result<()> {
+        let mut bytes = self.read_seg(file)?;
+        let max_keep = (bytes.len() - FOOTER_LEN) as u64;
+        let keep = 1 + self.next_below(max_keep) as usize;
+        bytes.truncate(keep);
+        self.write_seg(file, &bytes)
+    }
+
+    /// Overwrite the first page's codec id with a bogus value, then
+    /// refit the footer so the file still looks finalized — a buggy
+    /// writer rather than bit rot.
+    pub fn corrupt_page_header(&mut self, file: &str) -> Result<()> {
+        let mut bytes = self.read_seg(file)?;
+        assert!(
+            bytes.len() > FIRST_PAGE_CODEC_OFFSET + FOOTER_LEN,
+            "segment too short for a page header"
+        );
+        bytes[FIRST_PAGE_CODEC_OFFSET] = BOGUS_CODEC_ID;
+        refit_footer(&mut bytes);
+        self.write_seg(file, &bytes)
+    }
+
+    /// Delete a segment file the manifest still references.
+    pub fn delete_segment(&mut self, file: &str) -> Result<()> {
+        let path = self.seg_path(file);
+        fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))
+    }
+
+    /// Copy an existing segment to an unreferenced `seg-*.bds` name —
+    /// an orphan, as left behind by a crash between segment write and
+    /// manifest commit.
+    pub fn orphan_copy(&mut self, file: &str, as_id: u64) -> Result<String> {
+        let name = crate::catalog::segment_file_name(as_id);
+        let to = self.seg_path(&name);
+        fs::copy(self.seg_path(file), &to).map_err(|e| StoreError::io(&to, e))?;
+        Ok(name)
+    }
+
+    /// Remove `manifest.json` entirely.
+    pub fn drop_manifest(&mut self) -> Result<()> {
+        let path = self.dir.join("manifest.json");
+        fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))
+    }
+
+    /// Remove `dictionary.json` entirely.
+    pub fn drop_dictionary(&mut self) -> Result<()> {
+        let path = self.dir.join("dictionary.json");
+        fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))
+    }
+
+    /// Flip one random bit in `dictionary.json` so its CRC (or JSON
+    /// framing) no longer holds.
+    pub fn corrupt_dictionary(&mut self) -> Result<()> {
+        let path = self.dir.join("dictionary.json");
+        let mut bytes = fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+        assert!(!bytes.is_empty());
+        let at = self.next_below(bytes.len() as u64) as usize;
+        bytes[at] ^= 1 << self.next_below(8);
+        fs::write(&path, bytes).map_err(|e| StoreError::io(&path, e))
+    }
+
+    /// Perturb one segment's zone map in the manifest so it no longer
+    /// matches the rows on disk — manifest drift.
+    pub fn drift_zone(&mut self, file: &str) -> Result<()> {
+        let mut manifest = Manifest::load_lenient(&self.dir)?;
+        let seg = manifest
+            .segments
+            .iter_mut()
+            .find(|s| s.file == file)
+            .unwrap_or_else(|| panic!("{file} not in manifest"));
+        seg.zone.max_height += 1 + self.next_below(1000);
+        seg.zone.rows += 1;
+        manifest.save(&self.dir)
+    }
+
+    /// Leave a torn `manifest.json.tmp` behind, as an interrupted
+    /// commit would.
+    pub fn torn_tmp(&mut self) -> Result<()> {
+        let path = atomic::temp_path(&self.dir.join("manifest.json"));
+        let garbage = format!("{{ torn at {}", self.next_u64());
+        fs::write(&path, garbage).map_err(|e| StoreError::io(&path, e))
+    }
+
+    /// Arm a crash at the `nth` upcoming atomic commit on this thread
+    /// (see [`atomic::arm_crash_before_rename`]). A
+    /// [`crate::BlockStore::flush`] of a sealed segment performs three
+    /// commits in order — segment file, dictionary, manifest — so
+    /// `nth = 3` crashes exactly at the manifest commit point.
+    pub fn arm_crash_at_commit(&mut self, nth: u32) {
+        atomic::arm_crash_before_rename(nth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_in_seed() {
+        let mut a = FaultInjector::new("/tmp/x", 42);
+        let mut b = FaultInjector::new("/tmp/y", 42);
+        let mut c = FaultInjector::new("/tmp/x", 43);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+        assert!(sa.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn next_below_stays_in_range() {
+        let mut inj = FaultInjector::new("/tmp/x", 7);
+        for bound in [1u64, 2, 3, 17, 1 << 40] {
+            for _ in 0..64 {
+                assert!(inj.next_below(bound) < bound);
+            }
+        }
+    }
+}

@@ -21,23 +21,35 @@
 //! Reads go through [`store::BlockStore::scan`], which prunes segments by
 //! zone map before touching their pages and streams decoded rows through
 //! an LRU segment cache.
+//!
+//! Durability: every artifact is committed via [`atomic`] (write-temp +
+//! fsync + atomic rename), segment files carry a finalization footer so
+//! torn writes are detectable, [`doctor::StoreDoctor`] classifies and
+//! repairs on-disk faults (quarantining rather than deleting), and
+//! [`fault::FaultInjector`] reproduces each fault class deterministically
+//! for tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod bufio;
 pub mod cache;
 pub mod catalog;
 pub mod checksum;
 pub mod dictionary;
+pub mod doctor;
 pub mod encoding;
 pub mod error;
+pub mod fault;
 pub mod page;
 pub mod row;
 pub mod segment;
 pub mod store;
 pub mod zonemap;
 
+pub use doctor::{Fault, FaultKind, FsckReport, RepairOutcome, StoreDoctor};
 pub use error::StoreError;
+pub use fault::FaultInjector;
 pub use row::RowRecord;
-pub use store::{BlockStore, ScanPredicate};
+pub use store::{BlockStore, ScanOptions, ScanPredicate, ScanStats};

@@ -92,8 +92,33 @@ pub struct ScanStats {
     pub segments_total: usize,
     /// Segments skipped by zone-map pruning.
     pub segments_pruned: usize,
+    /// Unreadable segments skipped by a degraded scan (always 0 for a
+    /// strict scan, which errors instead). See [`ScanOptions`].
+    pub segments_skipped: usize,
     /// Rows returned.
     pub rows_returned: u64,
+}
+
+/// Read-path behavior knobs for scans.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// When true, a segment that fails to read or decode is skipped
+    /// (counted in [`ScanStats::segments_skipped`] and in the
+    /// `store.fault.segments_skipped` counter) instead of aborting the
+    /// scan — a *degraded* scan that returns every surviving row.
+    pub skip_corrupt: bool,
+}
+
+impl ScanOptions {
+    /// Strict scanning (the default): any unreadable segment is an error.
+    pub fn strict() -> ScanOptions {
+        ScanOptions::default()
+    }
+
+    /// Degraded scanning: skip unreadable segments, return survivors.
+    pub fn degraded() -> ScanOptions {
+        ScanOptions { skip_corrupt: true }
+    }
 }
 
 /// An embedded columnar block store rooted at a directory.
@@ -156,10 +181,27 @@ impl BlockStore {
     }
 
     /// Open an existing store.
+    ///
+    /// Recovers from interrupted commits first: stale `*.tmp` crash
+    /// artifacts are removed (the previous committed state is what the
+    /// manifest describes), and a store whose manifest commits zero rows
+    /// may be missing its dictionary (crash between `create`'s two
+    /// commits) — an empty dictionary is recreated in that case.
     pub fn open(dir: impl AsRef<Path>) -> Result<BlockStore> {
         let dir = dir.as_ref().to_path_buf();
+        let removed = crate::atomic::remove_stale_temps(&dir)?;
+        if removed > 0 {
+            blockdec_obs::warn!(
+                removed = removed;
+                "removed stale temp files from an interrupted commit"
+            );
+        }
         let manifest = Manifest::load(&dir)?;
-        let registry = load_dictionary(&dir.join("dictionary.json"))?;
+        let dict_path = dir.join("dictionary.json");
+        if !dict_path.exists() && manifest.total_rows() == 0 {
+            save_dictionary(&dict_path, &ProducerRegistry::new())?;
+        }
+        let registry = load_dictionary(&dict_path)?;
         let last_height = manifest.segments.last().map(|s| s.zone.max_height);
         Ok(BlockStore {
             dir,
@@ -324,29 +366,23 @@ impl BlockStore {
 
     /// Scan with zone-map pruning statistics.
     pub fn scan_with_stats(&self, pred: &ScanPredicate) -> Result<(Vec<RowRecord>, ScanStats)> {
+        self.scan_with_options(pred, ScanOptions::strict())
+    }
+
+    /// Materializing scan under explicit [`ScanOptions`] — use
+    /// [`ScanOptions::degraded`] to read past corrupt segments.
+    pub fn scan_with_options(
+        &self,
+        pred: &ScanPredicate,
+        opts: ScanOptions,
+    ) -> Result<(Vec<RowRecord>, ScanStats)> {
         let _t = blockdec_obs::span_timed!("stage.scan", segments = self.manifest.segments.len());
-        let mut stats = ScanStats {
-            segments_total: self.manifest.segments.len(),
-            ..ScanStats::default()
-        };
         let mut out = Vec::new();
-        for seg in &self.manifest.segments {
-            if !pred.may_match(&seg.zone) {
-                stats.segments_pruned += 1;
-                continue;
-            }
-            let path = self.dir.join(&seg.file);
-            let rows = self
-                .cache
-                .get_or_load(&seg.file, || read_segment_file(&path))?;
-            out.extend(rows.iter().filter(|r| pred.matches(r)).copied());
-        }
-        out.extend(self.active.iter().filter(|r| pred.matches(r)).copied());
-        stats.rows_returned = out.len() as u64;
-        blockdec_obs::counter("store.rows.scanned").add(stats.rows_returned);
+        let stats = self.scan_for_each_with(pred, opts, |r| out.push(*r))?;
         blockdec_obs::debug!(
             rows = stats.rows_returned,
             pruned = stats.segments_pruned,
+            skipped = stats.segments_skipped,
             total_segments = stats.segments_total;
             "scan complete"
         );
@@ -359,6 +395,20 @@ impl BlockStore {
     pub fn scan_for_each(
         &self,
         pred: &ScanPredicate,
+        visit: impl FnMut(&RowRecord),
+    ) -> Result<ScanStats> {
+        self.scan_for_each_with(pred, ScanOptions::strict(), visit)
+    }
+
+    /// [`BlockStore::scan_for_each`] under explicit [`ScanOptions`].
+    /// With [`ScanOptions::degraded`], an unreadable segment is skipped
+    /// and counted ([`ScanStats::segments_skipped`], plus the
+    /// `store.fault.segments_skipped` counter) instead of aborting —
+    /// the scan yields every row of the surviving segments.
+    pub fn scan_for_each_with(
+        &self,
+        pred: &ScanPredicate,
+        opts: ScanOptions,
         mut visit: impl FnMut(&RowRecord),
     ) -> Result<ScanStats> {
         let mut stats = ScanStats {
@@ -371,9 +421,22 @@ impl BlockStore {
                 continue;
             }
             let path = self.dir.join(&seg.file);
-            let rows = self
+            let rows = match self
                 .cache
-                .get_or_load(&seg.file, || read_segment_file(&path))?;
+                .get_or_load(&seg.file, || read_segment_file(&path))
+            {
+                Ok(rows) => rows,
+                Err(e) if opts.skip_corrupt => {
+                    stats.segments_skipped += 1;
+                    blockdec_obs::counter("store.fault.segments_skipped").inc();
+                    blockdec_obs::warn!(
+                        file = seg.file.clone();
+                        "degraded scan skipping unreadable segment: {e}"
+                    );
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             for r in rows.iter().filter(|r| pred.matches(r)) {
                 visit(r);
                 stats.rows_returned += 1;
@@ -523,6 +586,30 @@ impl BlockStore {
             }
         }
         Ok(report)
+    }
+
+    /// Run a full fault check over the store's on-disk state without
+    /// modifying anything. See [`crate::StoreDoctor::check`].
+    pub fn fsck(&self) -> Result<crate::doctor::FsckReport> {
+        crate::doctor::StoreDoctor::new(&self.dir).check()
+    }
+
+    /// Repair the on-disk store (see [`crate::StoreDoctor::repair`])
+    /// and resynchronize this handle with the repaired state: the
+    /// manifest and dictionary are reloaded and the segment cache is
+    /// invalidated so no quarantined segment is ever served from
+    /// memory.
+    pub fn repair(&mut self) -> Result<crate::doctor::RepairOutcome> {
+        let outcome = crate::doctor::StoreDoctor::new(&self.dir).repair()?;
+        self.manifest = Manifest::load(&self.dir)?;
+        self.registry = load_dictionary(&self.dir.join("dictionary.json"))?;
+        self.cache.invalidate();
+        self.last_height = self
+            .active
+            .last()
+            .map(|r| r.height)
+            .or_else(|| self.manifest.segments.last().map(|s| s.zone.max_height));
+        Ok(outcome)
     }
 
     /// Merge under-filled adjacent segments into full ones. Repeated

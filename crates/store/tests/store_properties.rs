@@ -133,6 +133,35 @@ proptest! {
     }
 
     #[test]
+    fn segment_any_truncation_point_errors_never_panics(rows in row_batches(), keep in any::<proptest::sample::Index>()) {
+        // Cut anywhere — empty file, mid-header, mid-page, mid-footer.
+        // Decode must return Err (finalization footer gone or length
+        // mismatch), and must never panic or return partial rows.
+        let encoded = encode_segment(&rows);
+        let truncated = &encoded[..keep.index(encoded.len())];
+        prop_assert!(decode_segment(truncated, "prop").is_err());
+    }
+
+    #[test]
+    fn segment_bitflip_never_yields_wrong_rows(rows in row_batches(), flip in any::<proptest::sample::Index>(), bit in 0u8..8) {
+        // Flip any single bit anywhere in the file, footer included.
+        // Decode must either reject the damage or — if the flip cancels
+        // out semantically — return exactly the original rows; silently
+        // wrong data is never acceptable.
+        let encoded = encode_segment(&rows);
+        let mut damaged = encoded.clone();
+        let pos = flip.index(damaged.len());
+        damaged[pos] ^= 1 << bit;
+        match decode_segment(&damaged, "prop") {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(
+                decoded, rows,
+                "single-bit corruption at byte {} produced silently wrong rows", pos
+            ),
+        }
+    }
+
+    #[test]
     fn crc32_differs_on_modification(data in prop::collection::vec(any::<u8>(), 1..200), flip in any::<proptest::sample::Index>()) {
         let original = crc32(&data);
         let mut modified = data.clone();
