@@ -6,17 +6,22 @@ set -eux
 cargo fmt --all -- --check
 cargo build --release --workspace
 cargo test -q --workspace
+cargo test -q --workspace --doc
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-# Smoke: the matrix planner must exactly match the per-config baseline
-# AND the columnar (SoA) pipeline must bitwise-match the AoS pipeline on
-# a small dataset, emitting a machine-readable bench summary (the binary
-# exits non-zero on any divergence).
+# Smoke: the matrix planner must exactly match the per-config baseline,
+# the columnar (SoA) pipeline must bitwise-match the AoS pipeline, AND
+# the parallel store->columns decode must bitwise-match the sequential
+# one while staying above the checked-in throughput floors (see
+# ci/decode-baseline.txt), emitting a machine-readable bench summary
+# (the binary exits non-zero on any divergence or regression).
 mkdir -p target/ci-smoke
-./target/release/experiments --days 14 --bench-json target/ci-smoke/bench.json
+./target/release/experiments --days 14 --bench-json target/ci-smoke/bench.json \
+    --decode-baseline ci/decode-baseline.txt
 test -s target/ci-smoke/bench.json
 grep -q '"columnar": \[' target/ci-smoke/bench.json
+grep -q '"decode": \[' target/ci-smoke/bench.json
 
 # Smoke: durability. A freshly loaded store must fsck clean (exit 0),
 # and the fsck self-test must inject, detect, and repair every fault

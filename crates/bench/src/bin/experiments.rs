@@ -10,10 +10,16 @@
 //!                        against the per-config baseline and write a
 //!                        machine-readable summary to P; with no ids
 //!                        listed, runs the benchmark alone
+//!     [--decode-baseline P]  with --bench-json: read "<dataset>
+//!                        <min_blocks_per_sec>" lines from P and fail if
+//!                        the store→columns decode drops below any floor
+//!                        (the checked-in ci/decode-baseline.txt is ~0.7×
+//!                        a healthy run, so a >30% regression fails CI)
 //! ```
 
 use blockdec_bench::perf::{
-    columnar_summary_line, run_columnar_bench, run_matrix_bench, summary_line, write_bench_json,
+    columnar_summary_line, decode_summary_line, run_columnar_bench, run_decode_bench,
+    run_matrix_bench, summary_line, write_bench_json,
 };
 use blockdec_bench::{run_experiment, Dataset, ALL_EXPERIMENTS};
 use std::path::PathBuf;
@@ -28,6 +34,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut days_override: Option<u32> = None;
     let mut bench_json: Option<PathBuf> = None;
+    let mut decode_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,6 +57,13 @@ fn main() -> ExitCode {
                 Some(p) => bench_json = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--bench-json needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--decode-baseline" => match args.next() {
+                Some(p) => decode_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--decode-baseline needs a file path");
                     return ExitCode::from(2);
                 }
             },
@@ -137,7 +151,61 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
-        if let Err(e) = write_bench_json(path, &results, &columnar) {
+        eprintln!("\nbenchmarking store→columns decode, sequential vs parallel...");
+        let decode = [run_decode_bench(&btc), run_decode_bench(&eth)];
+        for b in &decode {
+            println!("{}", decode_summary_line(b));
+            if !b.exact_match {
+                eprintln!("bench FAILED: parallel decode diverged on {}", b.dataset);
+                failed = true;
+            }
+        }
+        if let Some(baseline) = &decode_baseline {
+            match std::fs::read_to_string(baseline) {
+                Ok(body) => {
+                    for line in body.lines() {
+                        let line = line.trim();
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        let mut parts = line.split_whitespace();
+                        let (name, floor) = match (
+                            parts.next(),
+                            parts.next().and_then(|v| v.parse::<f64>().ok()),
+                        ) {
+                            (Some(n), Some(f)) => (n, f),
+                            _ => {
+                                eprintln!("bad baseline line {line:?} in {}", baseline.display());
+                                failed = true;
+                                continue;
+                            }
+                        };
+                        match decode.iter().find(|b| b.dataset == name) {
+                            Some(b) => {
+                                let rate =
+                                    b.parallel_blocks_per_sec.max(b.sequential_blocks_per_sec);
+                                if rate < floor {
+                                    eprintln!(
+                                        "bench FAILED: {name} decode {rate:.0} blocks/s is \
+                                         below the baseline floor {floor:.0}"
+                                    );
+                                    failed = true;
+                                }
+                            }
+                            None => {
+                                eprintln!("baseline names unknown dataset {name:?}");
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("could not read {}: {e}", baseline.display());
+                    failed = true;
+                }
+            }
+        }
+        if let Err(e) = write_bench_json(path, &results, &columnar, &decode) {
             eprintln!("could not write {}: {e}", path.display());
             failed = true;
         } else {

@@ -203,6 +203,135 @@ pub fn run_columnar_bench(ds: &Dataset, sliding_size: usize) -> ColumnarBench {
     result
 }
 
+/// One dataset's sequential-vs-parallel store→columns decode
+/// measurement: the raw [`BlockStore::scan_columnar_with`] path, timed
+/// at one worker (sequential) and at the auto thread count, with the two
+/// outputs compared bitwise.
+pub struct DecodeBench {
+    /// Chain label ("bitcoin" / "ethereum").
+    pub dataset: String,
+    /// Blocks decoded.
+    pub blocks: usize,
+    /// Attribution rows (credits) decoded.
+    pub credits: usize,
+    /// Sealed segment files in the store.
+    pub segments: usize,
+    /// Total bytes of segment files on disk.
+    pub store_bytes: u64,
+    /// Worker threads used by the parallel run (auto = one per CPU,
+    /// clamped to the segment count).
+    pub threads: usize,
+    /// Best-of-3 wall seconds for the one-worker scan.
+    pub sequential_secs: f64,
+    /// Best-of-3 wall seconds for the auto-thread scan.
+    pub parallel_secs: f64,
+    /// `blocks / sequential_secs`.
+    pub sequential_blocks_per_sec: f64,
+    /// `blocks / parallel_secs`.
+    pub parallel_blocks_per_sec: f64,
+    /// `store_bytes / sequential_secs`, in MB (2^20 bytes) per second.
+    pub sequential_mb_per_sec: f64,
+    /// `store_bytes / parallel_secs`, in MB per second.
+    pub parallel_mb_per_sec: f64,
+    /// Whether the parallel scan's `BlockColumns` equalled the
+    /// sequential scan's bitwise (`==` on every column, CSR offsets
+    /// included).
+    pub exact_match: bool,
+}
+
+/// Persist the dataset to a throwaway store (sealed in chunks so the
+/// worker pool has segments to fan out over), then time the columnar
+/// scan sequentially and in parallel, best of three runs each.
+pub fn run_decode_bench(ds: &Dataset) -> DecodeBench {
+    use blockdec_store::ScanOptions;
+
+    let dir = std::env::temp_dir().join(format!(
+        "blockdec-decbench-{}-{}",
+        ds.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = BlockStore::create(&dir).expect("create bench store");
+    let step = ds.attributed.len().div_ceil(8).max(1);
+    for chunk in ds.attributed.chunks(step) {
+        store
+            .append_attributed(chunk, &ds.registry)
+            .expect("append bench dataset");
+        store.flush().expect("flush bench store");
+    }
+    let segments = store.segment_count();
+    let store_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("read bench store dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "bds"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    let pred = ScanPredicate::all();
+
+    let time_scan = |threads: usize| {
+        let opts = ScanOptions::strict().with_threads(threads);
+        let mut best = f64::INFINITY;
+        let mut cols = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let (c, _) = store
+                .scan_columnar_with(&pred, opts, |_| true)
+                .expect("bench scan");
+            best = best.min(t.elapsed().as_secs_f64());
+            cols = Some(c);
+        }
+        (best, cols.expect("three runs happened"))
+    };
+    let (sequential_secs, sequential) = time_scan(1);
+    let (parallel_secs, parallel) = time_scan(0);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(segments.max(1));
+
+    let mb = store_bytes as f64 / (1024.0 * 1024.0);
+    let result = DecodeBench {
+        dataset: ds.name.clone(),
+        blocks: sequential.len(),
+        credits: sequential.credit_count(),
+        segments,
+        store_bytes,
+        threads,
+        sequential_secs,
+        parallel_secs,
+        sequential_blocks_per_sec: sequential.len() as f64 / sequential_secs.max(1e-9),
+        parallel_blocks_per_sec: parallel.len() as f64 / parallel_secs.max(1e-9),
+        sequential_mb_per_sec: mb / sequential_secs.max(1e-9),
+        parallel_mb_per_sec: mb / parallel_secs.max(1e-9),
+        exact_match: sequential == parallel,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// One human-readable summary line for a decode bench result.
+pub fn decode_summary_line(b: &DecodeBench) -> String {
+    format!(
+        "{}: {} blocks / {} credits in {} segments ({:.1} MiB) — sequential {:.3}s \
+         ({:.0} blocks/s, {:.1} MB/s), {} threads {:.3}s ({:.0} blocks/s, {:.1} MB/s), \
+         exact match: {}",
+        b.dataset,
+        b.blocks,
+        b.credits,
+        b.segments,
+        b.store_bytes as f64 / (1024.0 * 1024.0),
+        b.sequential_secs,
+        b.sequential_blocks_per_sec,
+        b.sequential_mb_per_sec,
+        b.threads,
+        b.parallel_secs,
+        b.parallel_blocks_per_sec,
+        b.parallel_mb_per_sec,
+        b.exact_match
+    )
+}
+
 /// One human-readable summary line for a columnar bench result.
 pub fn columnar_summary_line(b: &ColumnarBench) -> String {
     format!(
@@ -241,14 +370,17 @@ pub fn summary_line(b: &MatrixBench) -> String {
 /// Write results as a machine-readable JSON document so successive runs
 /// can be committed (`BENCH_*.json`) and compared as a trajectory.
 ///
-/// Version 2 carries two sections: `matrix` (naive-vs-planner, as in
-/// version 1) and `columnar` (AoS-vs-SoA end-to-end pipeline).
+/// Version 3 carries three sections: `matrix` (naive-vs-planner, as in
+/// version 1), `columnar` (AoS-vs-SoA end-to-end pipeline, added in
+/// version 2), and `decode` (sequential-vs-parallel store→columns
+/// decode throughput).
 pub fn write_bench_json(
     path: &Path,
     matrix: &[MatrixBench],
     columnar: &[ColumnarBench],
+    decode: &[DecodeBench],
 ) -> io::Result<()> {
-    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 2,\n");
+    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 3,\n");
     out.push_str("  \"matrix\": [\n");
     for (i, b) in matrix.iter().enumerate() {
         out.push_str(&format!(
@@ -291,6 +423,33 @@ pub fn write_bench_json(
             if i + 1 < columnar.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"decode\": [\n");
+    for (i, b) in decode.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"dataset\": \"{}\",\n      \"blocks\": {},\n      \
+             \"credits\": {},\n      \"segments\": {},\n      \
+             \"store_bytes\": {},\n      \"threads\": {},\n      \
+             \"sequential_secs\": {:.6},\n      \"parallel_secs\": {:.6},\n      \
+             \"sequential_blocks_per_sec\": {:.1},\n      \
+             \"parallel_blocks_per_sec\": {:.1},\n      \
+             \"sequential_mb_per_sec\": {:.1},\n      \
+             \"parallel_mb_per_sec\": {:.1},\n      \"exact_match\": {}\n    }}{}\n",
+            b.dataset,
+            b.blocks,
+            b.credits,
+            b.segments,
+            b.store_bytes,
+            b.threads,
+            b.sequential_secs,
+            b.parallel_secs,
+            b.sequential_blocks_per_sec,
+            b.parallel_blocks_per_sec,
+            b.sequential_mb_per_sec,
+            b.parallel_mb_per_sec,
+            b.exact_match,
+            if i + 1 < decode.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out)
 }
@@ -317,15 +476,23 @@ mod tests {
             col.aos_resident_bytes
         );
 
+        let dec = run_decode_bench(&ds);
+        assert!(dec.exact_match, "parallel decode diverged from sequential");
+        assert_eq!(dec.blocks, ds.len());
+        assert!(dec.segments >= 2, "bench store must span segments");
+        assert!(dec.store_bytes > 0);
+
         let path =
             std::env::temp_dir().join(format!("blockdec-bench-json-{}.json", std::process::id()));
-        write_bench_json(&path, &[bench], &[col]).unwrap();
+        write_bench_json(&path, &[bench], &[col], &[dec]).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"bench\": \"matrix\""));
-        assert!(body.contains("\"version\": 2"));
+        assert!(body.contains("\"version\": 3"));
         assert!(body.contains("\"dataset\": \"bitcoin\""));
         assert!(body.contains("\"columnar\": ["));
+        assert!(body.contains("\"decode\": ["));
         assert!(body.contains("\"aos_resident_bytes\""));
+        assert!(body.contains("\"parallel_blocks_per_sec\""));
         assert!(body.contains("\"exact_match\": true"));
         std::fs::remove_file(&path).unwrap();
     }

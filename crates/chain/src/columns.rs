@@ -133,6 +133,40 @@ impl BlockColumns {
         self.push_credit(producer, weight);
     }
 
+    /// Append another column set built from the rows that followed this
+    /// one in scan order — the stitch step of a chunked parallel scan,
+    /// where each worker builds a partial `BlockColumns` and the partials
+    /// are concatenated in height order.
+    ///
+    /// When `other`'s first block has the same height as this set's last
+    /// block (a multi-credit block straddling the chunk boundary), the
+    /// two are merged into one block: `other`'s leading credits join the
+    /// existing block and this set's timestamp wins, exactly as
+    /// [`BlockColumns::push_row`] regroups a same-height run. All five
+    /// columns are appended with bulk copies, so stitching costs O(moved
+    /// bytes) with no per-row branching.
+    pub fn append_columns(&mut self, other: &BlockColumns) {
+        if other.is_empty() {
+            return;
+        }
+        let base = self.producers.len() as u32;
+        let merge_first = self.heights.last() == Some(&other.heights[0]);
+        self.producers.extend_from_slice(&other.producers);
+        self.weights.extend_from_slice(&other.weights);
+        let skip = usize::from(merge_first);
+        if merge_first {
+            // The boundary block absorbs other's leading credit run.
+            *self
+                .credit_starts
+                .last_mut()
+                .expect("credit_starts is never empty") = base + other.credit_starts[1];
+        }
+        self.heights.extend_from_slice(&other.heights[skip..]);
+        self.timestamps.extend_from_slice(&other.timestamps[skip..]);
+        self.credit_starts
+            .extend(other.credit_starts[skip + 1..].iter().map(|&s| base + s));
+    }
+
     /// Append a whole attributed block (including zero-credit blocks).
     pub fn push_attributed(&mut self, block: &AttributedBlock) {
         self.push_block(block.height, block.timestamp);
@@ -468,6 +502,50 @@ mod tests {
         assert_eq!(cols.len(), 2);
         assert_eq!(cols.timestamp(1), Timestamp(60));
         assert_eq!(cols.producers_of(1), &[ProducerId(1), ProducerId(2)]);
+    }
+
+    #[test]
+    fn append_columns_matches_push_row_stream() {
+        // Rows as a scan would yield them, with a multi-credit height.
+        let rows: Vec<(u64, i64, u32)> = vec![
+            (5, 50, 0),
+            (6, 60, 1),
+            (6, 60, 2), // same height: regrouped
+            (7, 70, 0),
+            (8, 80, 3),
+        ];
+        let mut reference = BlockColumns::new();
+        for &(h, t, p) in &rows {
+            reference.push_row(h, Timestamp(t), ProducerId(p), 1.0);
+        }
+        // Every split point, including one inside the height-6 run, must
+        // stitch back to the reference — CSR offsets included.
+        for split in 0..=rows.len() {
+            let mut left = BlockColumns::new();
+            for &(h, t, p) in &rows[..split] {
+                left.push_row(h, Timestamp(t), ProducerId(p), 1.0);
+            }
+            let mut right = BlockColumns::new();
+            for &(h, t, p) in &rows[split..] {
+                right.push_row(h, Timestamp(t), ProducerId(p), 1.0);
+            }
+            left.append_columns(&right);
+            left.validate().unwrap();
+            assert_eq!(left, reference, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn append_columns_keeps_first_timestamp_on_merge() {
+        let mut left = BlockColumns::new();
+        left.push_row(9, Timestamp(90), ProducerId(0), 1.0);
+        let mut right = BlockColumns::new();
+        right.push_row(9, Timestamp(999), ProducerId(1), 1.0);
+        left.append_columns(&right);
+        left.validate().unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left.timestamp(0), Timestamp(90), "first timestamp wins");
+        assert_eq!(left.producers_of(0), &[ProducerId(0), ProducerId(1)]);
     }
 
     #[test]

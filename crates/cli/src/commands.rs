@@ -172,6 +172,17 @@ pub fn ingest(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Open a store for reading, honoring the global `--scan-threads` flag:
+/// columnar decode worker count, `0` (default) = one per CPU, `1` =
+/// sequential. See docs/PERFORMANCE.md for guidance.
+fn open_store(dir: &str, args: &Args) -> Result<BlockStore, String> {
+    let mut store = BlockStore::open(dir).map_err(|e| e.to_string())?;
+    if let Some(threads) = args.get_parsed::<usize>("scan-threads")? {
+        store.set_scan_threads(threads);
+    }
+    Ok(store)
+}
+
 fn measure_series(args: &Args) -> Result<MeasurementSeries, String> {
     let mut series = measure_matrix_series(args)?;
     if series.len() > 1 {
@@ -193,7 +204,7 @@ fn measure_matrix_series(args: &Args) -> Result<Vec<MeasurementSeries>, String> 
         .split(',')
         .map(|m| parse_window(window, parse_metric(m.trim())?))
         .collect::<Result<Vec<_>, _>>()?;
-    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let store = open_store(store_dir, args)?;
     // Store → columns → planner: no AoS block stream is materialized.
     let cols = store
         .block_columns(&Filter::True)
@@ -246,7 +257,7 @@ pub fn measure(args: &Args) -> CmdResult {
 pub fn report(args: &Args) -> CmdResult {
     let store_dir = args.required("store")?;
     let k = args.get_parsed::<usize>("top")?.unwrap_or(10);
-    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let store = open_store(store_dir, args)?;
     let out = Plan::top_k(Filter::True, k)
         .execute(&store)
         .map_err(|e| e.to_string())?;
@@ -272,7 +283,7 @@ pub fn compare(args: &Args) -> CmdResult {
         })
         .collect();
     let run_all = |dir: &str| -> Result<Vec<MeasurementSeries>, String> {
-        let store = BlockStore::open(dir).map_err(|e| e.to_string())?;
+        let store = open_store(dir, args)?;
         let cols = store
             .block_columns(&Filter::True)
             .map_err(|e| e.to_string())?;
@@ -292,7 +303,7 @@ pub fn compare(args: &Args) -> CmdResult {
 pub fn query(args: &Args) -> CmdResult {
     let store_dir = args.required("store")?;
     let q = args.required("q")?;
-    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let store = open_store(store_dir, args)?;
     let plan = blockdec_query::parse_query(q, store.registry())?;
     let out = plan.execute(&store).map_err(|e| e.to_string())?;
     print!("{}", out.to_csv());
@@ -308,7 +319,7 @@ pub fn analyze(args: &Args) -> CmdResult {
     use blockdec_analysis::trend::{mann_kendall, sen_slope};
 
     let store_dir = args.required("store")?;
-    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let store = open_store(store_dir, args)?;
     let cols = store
         .block_columns(&Filter::True)
         .map_err(|e| e.to_string())?;

@@ -28,6 +28,13 @@ pub struct RunSummary {
     pub blocks_per_sec: Option<f64>,
     /// Segment-cache hit rate in `[0, 1]`; `None` before any lookup.
     pub cache_hit_rate: Option<f64>,
+    /// Attribution rows decoded per wall second of store scanning
+    /// (`store.decode.rows` over `stage.scan`). `None` when no columnar
+    /// scan ran.
+    pub decode_rows_per_sec: Option<f64>,
+    /// Segment bytes decoded per wall second of store scanning, in MB/s
+    /// (`store.decode.bytes` over `stage.scan`).
+    pub decode_mb_per_sec: Option<f64>,
     /// Measurement windows emitted (`engine.windows`).
     pub windows: u64,
     /// Store faults classified this run (`store.fault.detected`).
@@ -75,10 +82,16 @@ impl RunSummary {
         } else {
             None
         };
+        let scan_secs = stage_secs("stage.scan");
+        let decode_rows_per_sec = rate(get("store.decode.rows"), scan_secs);
+        let decode_mb_per_sec =
+            rate(get("store.decode.bytes"), scan_secs).map(|r| r / (1024.0 * 1024.0));
         RunSummary {
             stages,
             blocks_per_sec,
             cache_hit_rate,
+            decode_rows_per_sec,
+            decode_mb_per_sec,
             windows: get("engine.windows"),
             faults_detected: get("store.fault.detected"),
             segments_quarantined: get("store.fault.quarantined"),
@@ -107,6 +120,11 @@ impl RunSummary {
         match self.cache_hit_rate {
             Some(r) => out.push_str(&format!("  store cache: {:.1}% hit rate\n", r * 100.0)),
             None => out.push_str("  store cache: no lookups\n"),
+        }
+        if let (Some(rows), Some(mb)) = (self.decode_rows_per_sec, self.decode_mb_per_sec) {
+            out.push_str(&format!(
+                "  store decode: {rows:.0} rows/sec, {mb:.1} MB/sec\n"
+            ));
         }
         out.push_str(&format!("  windows emitted: {}\n", self.windows));
         if self.faults_detected > 0 || self.segments_quarantined > 0 {
@@ -147,6 +165,16 @@ impl RunSummary {
         }
         out.push_str(",\"cache_hit_rate\":");
         match self.cache_hit_rate {
+            Some(r) => push_f64(&mut out, r),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"decode_rows_per_sec\":");
+        match self.decode_rows_per_sec {
+            Some(r) => push_f64(&mut out, r),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"decode_mb_per_sec\":");
+        match self.decode_mb_per_sec {
             Some(r) => push_f64(&mut out, r),
             None => out.push_str("null"),
         }
@@ -199,6 +227,8 @@ mod tests {
             ],
             blocks_per_sec: Some(42_000.0),
             cache_hit_rate: Some(0.875),
+            decode_rows_per_sec: Some(2_000_000.0),
+            decode_mb_per_sec: Some(96.5),
             windows: 365,
             faults_detected: 0,
             segments_quarantined: 0,
@@ -215,6 +245,10 @@ mod tests {
         assert!(text.contains("measure"), "{text}");
         assert!(text.contains("42000 blocks/sec"), "{text}");
         assert!(text.contains("87.5% hit rate"), "{text}");
+        assert!(
+            text.contains("store decode: 2000000 rows/sec, 96.5 MB/sec"),
+            "{text}"
+        );
         assert!(text.contains("windows emitted: 365"), "{text}");
     }
 
@@ -237,6 +271,8 @@ mod tests {
             stages: Vec::new(),
             blocks_per_sec: None,
             cache_hit_rate: None,
+            decode_rows_per_sec: None,
+            decode_mb_per_sec: None,
             windows: 0,
             faults_detected: 0,
             segments_quarantined: 0,
@@ -244,8 +280,10 @@ mod tests {
         };
         assert!(s.render_text().contains("none recorded"));
         assert!(s.render_json().contains("\"blocks_per_sec\":null"));
-        // A fault-free run stays quiet about faults in the text table.
+        assert!(s.render_json().contains("\"decode_rows_per_sec\":null"));
+        // Quiet runs stay quiet: no fault line, no decode line.
         assert!(!s.render_text().contains("store faults"));
+        assert!(!s.render_text().contains("store decode"));
     }
 
     #[test]

@@ -5,6 +5,24 @@
 //! or identity, composed with zigzag (for signed deltas) and LEB128
 //! varint. A frame-of-reference bit-packed codec is provided as the
 //! `ablation_encoding` bench comparator.
+//!
+//! Decoding is batch-oriented: [`decode_column_into`] appends a whole
+//! column into a caller-owned buffer (so scans reuse scratch across
+//! segments), and the varint inner loop inspects eight input bytes at a
+//! time — a lane with no continuation bits emits eight one-byte values
+//! without per-value branching, falling back to the scalar decoder only
+//! for multi-byte values. Delta columns are decoded as raw zigzag varints
+//! first and prefix-summed in a second pass over the output buffer.
+//!
+//! ```
+//! use blockdec_store::encoding::{decode_column_into, encode_column, Codec};
+//! let heights: Vec<u64> = (556_459..556_459 + 100).collect();
+//! let mut page = Vec::new();
+//! encode_column(Codec::DeltaVarint, &heights, &mut page);
+//! let mut out = Vec::new();
+//! decode_column_into(Codec::DeltaVarint, &page, heights.len(), &mut out).unwrap();
+//! assert_eq!(out, heights);
+//! ```
 
 use crate::bufio::{Buf, BufMut};
 use crate::error::{Result, StoreError};
@@ -137,30 +155,79 @@ pub fn encode_column(codec: Codec, values: &[u64], out: &mut Vec<u8>) {
     }
 }
 
-/// Decode a u64 column of `count` values.
-pub fn decode_column(codec: Codec, mut data: &[u8], count: usize) -> Result<Vec<u64>> {
-    let mut out = Vec::with_capacity(count);
-    match codec {
-        Codec::PlainVarint => {
-            for _ in 0..count {
-                out.push(get_uvarint(&mut data)?);
+/// Decode `count` LEB128 varints from `data`, appending into `out`.
+///
+/// The hot loop reads input in eight-byte lanes: a lane whose bytes all
+/// have the continuation bit clear is eight complete one-byte varints and
+/// is emitted without per-value branching; a mixed lane emits the
+/// one-byte prefix before the first continuation bit and then decodes a
+/// single multi-byte value with the scalar [`get_uvarint`] (which owns
+/// all error classification, so truncated/overlong inputs fail exactly as
+/// the scalar loop would).
+fn get_uvarints(mut data: &[u8], count: usize, out: &mut Vec<u64>) -> Result<()> {
+    const CONT: u64 = 0x8080_8080_8080_8080;
+    out.reserve(count);
+    let mut remaining = count;
+    while remaining >= 8 && data.len() >= 8 {
+        let lane = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
+        let cont = lane & CONT;
+        if cont == 0 {
+            for &b in &data[..8] {
+                out.push(u64::from(b));
             }
+            data = &data[8..];
+            remaining -= 8;
+            continue;
         }
+        let prefix = (cont.trailing_zeros() / 8) as usize;
+        for &b in &data[..prefix] {
+            out.push(u64::from(b));
+        }
+        data = &data[prefix..];
+        out.push(get_uvarint(&mut data)?);
+        remaining -= prefix + 1;
+    }
+    for _ in 0..remaining {
+        out.push(get_uvarint(&mut data)?);
+    }
+    Ok(())
+}
+
+/// Decode a u64 column of `count` values.
+pub fn decode_column(codec: Codec, data: &[u8], count: usize) -> Result<Vec<u64>> {
+    let mut out = Vec::with_capacity(count);
+    decode_column_into(codec, data, count, &mut out)?;
+    Ok(out)
+}
+
+/// Decode a u64 column of `count` values, appending into `out` — the
+/// allocation-free core of [`decode_column`]. The columnar scan path
+/// calls this with per-thread scratch buffers so column decoding never
+/// allocates per segment.
+pub fn decode_column_into(
+    codec: Codec,
+    mut data: &[u8],
+    count: usize,
+    out: &mut Vec<u64>,
+) -> Result<()> {
+    match codec {
+        Codec::PlainVarint => get_uvarints(data, count, out)?,
         Codec::DeltaVarint => {
-            let mut prev = 0u64;
-            for i in 0..count {
-                let v = if i == 0 {
-                    get_uvarint(&mut data)?
-                } else {
-                    prev.wrapping_add(zigzag_decode(get_uvarint(&mut data)?) as u64)
-                };
-                out.push(v);
-                prev = v;
+            // Batch-decode the raw varint stream (first value absolute,
+            // the rest zigzag deltas), then prefix-sum in place.
+            let first = out.len();
+            get_uvarints(data, count, out)?;
+            if count > 0 {
+                let mut prev = out[first];
+                for v in out[first + 1..].iter_mut() {
+                    prev = prev.wrapping_add(zigzag_decode(*v) as u64);
+                    *v = prev;
+                }
             }
         }
         Codec::ForBitpack => {
             if count == 0 {
-                return Ok(out);
+                return Ok(());
             }
             let min = get_uvarint(&mut data)?;
             if !data.has_remaining() {
@@ -190,6 +257,7 @@ pub fn decode_column(codec: Codec, mut data: &[u8], count: usize) -> Result<Vec<
             } else {
                 (1u128 << width) - 1
             };
+            out.reserve(count);
             for _ in 0..count {
                 while bits < width {
                     acc |= u128::from(data.get_u8()) << bits;
@@ -202,7 +270,7 @@ pub fn decode_column(codec: Codec, mut data: &[u8], count: usize) -> Result<Vec<
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Encode i64 values (timestamps) by zigzag-mapping into u64 space first.
@@ -213,10 +281,28 @@ pub fn encode_signed_column(codec: Codec, values: &[i64], out: &mut Vec<u8>) {
 
 /// Decode i64 values written by [`encode_signed_column`].
 pub fn decode_signed_column(codec: Codec, data: &[u8], count: usize) -> Result<Vec<i64>> {
-    Ok(decode_column(codec, data, count)?
-        .into_iter()
-        .map(zigzag_decode)
-        .collect())
+    let mut scratch = Vec::new();
+    let mut out = Vec::with_capacity(count);
+    decode_signed_column_into(codec, data, count, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Decode i64 values written by [`encode_signed_column`], appending into
+/// `out`. `scratch` holds the intermediate zigzag-mapped u64 column (it
+/// is cleared first); passing the same buffers across calls makes the
+/// whole decode allocation-free after warm-up.
+pub fn decode_signed_column_into(
+    codec: Codec,
+    data: &[u8],
+    count: usize,
+    scratch: &mut Vec<u64>,
+    out: &mut Vec<i64>,
+) -> Result<()> {
+    scratch.clear();
+    decode_column_into(codec, data, count, scratch)?;
+    out.reserve(scratch.len());
+    out.extend(scratch.iter().map(|&v| zigzag_decode(v)));
+    Ok(())
 }
 
 #[cfg(test)]
@@ -304,6 +390,102 @@ mod tests {
                 roundtrip(codec, values);
             }
         }
+    }
+
+    #[test]
+    fn batch_varint_decode_matches_scalar() {
+        // Patterns chosen to hit every lane path: full one-byte lanes,
+        // mixed lanes with the continuation byte at each offset, counts
+        // that are not multiples of eight, and tails shorter than a lane.
+        let mut cases: Vec<Vec<u64>> = vec![
+            (0..64).collect(),                        // all one-byte
+            (0..64).map(|i| i * 1_000_003).collect(), // all multi-byte
+            vec![1; 7],                               // shorter than a lane
+            vec![u64::MAX; 9],
+        ];
+        for stride in 1..=9usize {
+            // One multi-byte value every `stride` values: the
+            // continuation bit lands at every in-lane offset.
+            cases.push(
+                (0..100u64)
+                    .map(|i| {
+                        if (i as usize).is_multiple_of(stride) {
+                            300 + i
+                        } else {
+                            i % 100
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        for values in &cases {
+            let mut buf = Vec::new();
+            for &v in values {
+                put_uvarint(&mut buf, v);
+            }
+            let mut batched = Vec::new();
+            get_uvarints(&buf, values.len(), &mut batched).unwrap();
+            assert_eq!(&batched, values);
+        }
+    }
+
+    #[test]
+    fn batch_varint_decode_errors_match_scalar() {
+        let values: Vec<u64> = (0..32).map(|i| i * 50_000).collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        for cut in 0..buf.len() {
+            let mut out = Vec::new();
+            assert!(
+                get_uvarints(&buf[..cut], values.len(), &mut out).is_err(),
+                "cut at {cut} must truncate"
+            );
+        }
+        // Overlong input fails through the scalar fallback.
+        let mut out = Vec::new();
+        assert!(get_uvarints(&[0xFF; 11], 1, &mut out).is_err());
+    }
+
+    #[test]
+    fn decode_into_appends_and_reuses_buffers() {
+        let a: Vec<u64> = (10..20).collect();
+        let b: Vec<u64> = (500_000..500_040).collect();
+        let mut page_a = Vec::new();
+        encode_column(Codec::DeltaVarint, &a, &mut page_a);
+        let mut page_b = Vec::new();
+        encode_column(Codec::DeltaVarint, &b, &mut page_b);
+        let mut out = Vec::new();
+        decode_column_into(Codec::DeltaVarint, &page_a, a.len(), &mut out).unwrap();
+        // Appending a second column must not disturb the first.
+        decode_column_into(Codec::DeltaVarint, &page_b, b.len(), &mut out).unwrap();
+        let expected: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(out, expected);
+
+        let ts = vec![1_546_300_800i64, -5, 0, 1_546_301_400];
+        let mut page = Vec::new();
+        encode_signed_column(Codec::DeltaVarint, &ts, &mut page);
+        let mut scratch = Vec::new();
+        let mut signed = Vec::new();
+        decode_signed_column_into(
+            Codec::DeltaVarint,
+            &page,
+            ts.len(),
+            &mut scratch,
+            &mut signed,
+        )
+        .unwrap();
+        decode_signed_column_into(
+            Codec::DeltaVarint,
+            &page,
+            ts.len(),
+            &mut scratch,
+            &mut signed,
+        )
+        .unwrap();
+        let twice: Vec<i64> = ts.iter().chain(ts.iter()).copied().collect();
+        assert_eq!(signed, twice);
     }
 
     #[test]

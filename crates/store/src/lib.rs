@@ -52,4 +52,5 @@ pub use doctor::{Fault, FaultKind, FsckReport, RepairOutcome, StoreDoctor};
 pub use error::StoreError;
 pub use fault::FaultInjector;
 pub use row::RowRecord;
+pub use segment::SegmentDecoder;
 pub use store::{BlockStore, ScanOptions, ScanPredicate, ScanStats};

@@ -14,7 +14,7 @@
 
 use crate::checksum::crc32;
 use crate::encoding::{
-    decode_column, decode_signed_column, encode_column, encode_signed_column, Codec,
+    decode_column_into, decode_signed_column_into, encode_column, encode_signed_column, Codec,
 };
 use crate::error::{Result, StoreError};
 use crate::page::{read_page, write_page};
@@ -167,82 +167,186 @@ fn collect(rows: &[RowRecord], f: impl Fn(&RowRecord) -> u64) -> Vec<u64> {
     rows.iter().map(f).collect()
 }
 
+/// Reusable zero-copy segment decoder: the shared decode core of both
+/// scan paths.
+///
+/// [`SegmentDecoder::decode`] verifies the footer and header, borrows
+/// each column page straight out of the input buffer (no payload copies
+/// — [`crate::page::read_page`] returns slices), and batch-decodes every
+/// column into scratch buffers owned by the decoder. Reusing one decoder
+/// across segments makes a scan allocation-free after the first segment,
+/// which is what lets the columnar path skip the per-segment
+/// `Vec<RowRecord>` materialization entirely.
+///
+/// Validation is exactly [`decode_segment`]'s (that function is now a
+/// thin wrapper over this type), so corrupt inputs fail identically on
+/// the row and columnar paths.
+///
+/// ```
+/// use blockdec_store::segment::{encode_segment, SegmentDecoder};
+/// use blockdec_store::RowRecord;
+/// let rows = vec![RowRecord {
+///     height: 7_100_000, timestamp: 1_546_300_800, producer: 3,
+///     credit_millis: 1_000, tx_count: 120, size_bytes: 30_000,
+///     difficulty: 2_579_862_183_216_551,
+/// }];
+/// let bytes = encode_segment(&rows);
+/// let mut dec = SegmentDecoder::new();
+/// let n = dec.decode(&bytes, "example").unwrap();
+/// assert_eq!(n, 1);
+/// assert_eq!(dec.row(0), rows[0]);
+/// ```
+#[derive(Default)]
+pub struct SegmentDecoder {
+    rows: usize,
+    heights: Vec<u64>,
+    timestamps: Vec<i64>,
+    ts_scratch: Vec<u64>,
+    producers: Vec<u64>,
+    credits: Vec<u64>,
+    tx_counts: Vec<u64>,
+    size_bytes: Vec<u64>,
+    difficulties: Vec<u64>,
+}
+
+impl SegmentDecoder {
+    /// A decoder with empty scratch buffers.
+    pub fn new() -> SegmentDecoder {
+        SegmentDecoder::default()
+    }
+
+    /// Decode a segment byte buffer into the decoder's columns, replacing
+    /// any previous contents. Returns the row count on success.
+    pub fn decode(&mut self, data: &[u8], what: &str) -> Result<usize> {
+        self.rows = 0;
+        verify_footer(data, what)?;
+        let body = &data[..data.len() - FOOTER_LEN];
+        let bad = |detail: String| StoreError::BadFormat {
+            what: what.to_string(),
+            detail,
+        };
+        if body.len() < 10 {
+            return Err(bad(format!("file too short: {} bytes", body.len())));
+        }
+        if body[..4] != MAGIC {
+            return Err(bad("bad magic".to_string()));
+        }
+        let version = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(bad(format!("unsupported version {version}")));
+        }
+        let n = u32::from_le_bytes(body[6..10].try_into().expect("4 bytes")) as usize;
+        if n == 0 || n > SEGMENT_ROWS {
+            return Err(bad(format!("row count {n} out of range")));
+        }
+
+        self.heights.clear();
+        self.timestamps.clear();
+        self.producers.clear();
+        self.credits.clear();
+        self.tx_counts.clear();
+        self.size_bytes.clear();
+        self.difficulties.clear();
+
+        let mut cursor = &body[10..];
+        for (name, _) in COLUMNS {
+            let (codec, rows_in_page, payload) = read_page(&mut cursor, what)?;
+            if rows_in_page as usize != n {
+                return Err(StoreError::Corrupt {
+                    what: what.to_string(),
+                    detail: format!("column {name}: {rows_in_page} rows, expected {n}"),
+                });
+            }
+            let out = match name {
+                "height" => &mut self.heights,
+                "timestamp" => {
+                    decode_signed_column_into(
+                        codec,
+                        payload,
+                        n,
+                        &mut self.ts_scratch,
+                        &mut self.timestamps,
+                    )?;
+                    continue;
+                }
+                "producer" => &mut self.producers,
+                "credit" => &mut self.credits,
+                "tx_count" => &mut self.tx_counts,
+                "size_bytes" => &mut self.size_bytes,
+                "difficulty" => &mut self.difficulties,
+                _ => unreachable!(),
+            };
+            decode_column_into(codec, payload, n, out)?;
+        }
+        if !cursor.is_empty() {
+            return Err(StoreError::Corrupt {
+                what: what.to_string(),
+                detail: format!("{} trailing bytes after last page", cursor.len()),
+            });
+        }
+
+        // Validate the u32-narrow columns row-major, in field order, so a
+        // segment with several oversized values reports the same first
+        // offender the row decoder always has.
+        let narrow = |v: u64, col: &str| -> Result<()> {
+            if v > u64::from(u32::MAX) {
+                return Err(StoreError::Corrupt {
+                    what: what.to_string(),
+                    detail: format!("column {col}: value {v} exceeds u32"),
+                });
+            }
+            Ok(())
+        };
+        for i in 0..n {
+            narrow(self.producers[i], "producer")?;
+            narrow(self.credits[i], "credit")?;
+            narrow(self.tx_counts[i], "tx_count")?;
+            narrow(self.size_bytes[i], "size_bytes")?;
+        }
+
+        self.rows = n;
+        Ok(n)
+    }
+
+    /// Rows decoded by the last successful [`SegmentDecoder::decode`].
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when no segment is currently decoded.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row `i` of the decoded segment, assembled on the stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn row(&self, i: usize) -> RowRecord {
+        assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        RowRecord {
+            height: self.heights[i],
+            timestamp: self.timestamps[i],
+            producer: self.producers[i] as u32,
+            credit_millis: self.credits[i] as u32,
+            tx_count: self.tx_counts[i] as u32,
+            size_bytes: self.size_bytes[i] as u32,
+            difficulty: self.difficulties[i],
+        }
+    }
+}
+
 /// Decode a segment byte buffer back into rows. The finalization footer
 /// is verified first, so a torn write or bit flip surfaces as a typed
 /// [`StoreError::Corrupt`] before any page is parsed.
+///
+/// This is the row-path wrapper over [`SegmentDecoder`]; both scan paths
+/// share its validation and batch decoding.
 pub fn decode_segment(data: &[u8], what: &str) -> Result<Vec<RowRecord>> {
-    verify_footer(data, what)?;
-    let body = &data[..data.len() - FOOTER_LEN];
-    let bad = |detail: String| StoreError::BadFormat {
-        what: what.to_string(),
-        detail,
-    };
-    if body.len() < 10 {
-        return Err(bad(format!("file too short: {} bytes", body.len())));
-    }
-    if body[..4] != MAGIC {
-        return Err(bad("bad magic".to_string()));
-    }
-    let version = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
-    if version != VERSION {
-        return Err(bad(format!("unsupported version {version}")));
-    }
-    let n = u32::from_le_bytes(body[6..10].try_into().expect("4 bytes")) as usize;
-    if n == 0 || n > SEGMENT_ROWS {
-        return Err(bad(format!("row count {n} out of range")));
-    }
-
-    let mut cursor = &body[10..];
-    let mut cols_u64: Vec<Vec<u64>> = Vec::with_capacity(6);
-    let mut timestamps: Vec<i64> = Vec::new();
-    for (name, _) in COLUMNS {
-        let (codec, rows_in_page, payload) = read_page(&mut cursor, what)?;
-        if rows_in_page as usize != n {
-            return Err(StoreError::Corrupt {
-                what: what.to_string(),
-                detail: format!("column {name}: {rows_in_page} rows, expected {n}"),
-            });
-        }
-        if name == "timestamp" {
-            timestamps = decode_signed_column(codec, payload, n)?;
-        } else {
-            cols_u64.push(decode_column(codec, payload, n)?);
-        }
-    }
-    if !cursor.is_empty() {
-        return Err(StoreError::Corrupt {
-            what: what.to_string(),
-            detail: format!("{} trailing bytes after last page", cursor.len()),
-        });
-    }
-
-    let (heights, rest) = cols_u64.split_first().expect("7 columns");
-    let producers = &rest[0];
-    let credits = &rest[1];
-    let txs = &rest[2];
-    let sizes = &rest[3];
-    let difficulties = &rest[4];
-
-    let narrow = |v: u64, col: &str| -> Result<u32> {
-        u32::try_from(v).map_err(|_| StoreError::Corrupt {
-            what: what.to_string(),
-            detail: format!("column {col}: value {v} exceeds u32"),
-        })
-    };
-
-    let mut rows = Vec::with_capacity(n);
-    for i in 0..n {
-        rows.push(RowRecord {
-            height: heights[i],
-            timestamp: timestamps[i],
-            producer: narrow(producers[i], "producer")?,
-            credit_millis: narrow(credits[i], "credit")?,
-            tx_count: narrow(txs[i], "tx_count")?,
-            size_bytes: narrow(sizes[i], "size_bytes")?,
-            difficulty: difficulties[i],
-        });
-    }
-    Ok(rows)
+    let mut dec = SegmentDecoder::new();
+    let n = dec.decode(data, what)?;
+    Ok((0..n).map(|i| dec.row(i)).collect())
 }
 
 /// Write a segment file crash-safely (see [`crate::atomic`]).

@@ -5,7 +5,7 @@ use crate::catalog::{segment_file_name, Manifest, SegmentMeta};
 use crate::dictionary::{load_dictionary, save_dictionary};
 use crate::error::{Result, StoreError};
 use crate::row::{weight_to_millis, RowRecord};
-use crate::segment::{read_segment_file, write_segment_file, SEGMENT_ROWS};
+use crate::segment::{read_segment_file, write_segment_file, SegmentDecoder, SEGMENT_ROWS};
 use crate::zonemap::ZoneMap;
 use blockdec_chain::{
     AttributedBlock, BlockColumns, Credit, ProducerId, ProducerRegistry, Timestamp,
@@ -107,6 +107,11 @@ pub struct ScanOptions {
     /// `store.fault.segments_skipped` counter) instead of aborting the
     /// scan — a *degraded* scan that returns every surviving row.
     pub skip_corrupt: bool,
+    /// Decode worker threads for columnar scans
+    /// ([`BlockStore::scan_columnar_with`]): `0` means one per available
+    /// CPU, `1` decodes inline on the calling thread. Row scans are
+    /// always sequential and ignore this.
+    pub threads: usize,
 }
 
 impl ScanOptions {
@@ -117,7 +122,16 @@ impl ScanOptions {
 
     /// Degraded scanning: skip unreadable segments, return survivors.
     pub fn degraded() -> ScanOptions {
-        ScanOptions { skip_corrupt: true }
+        ScanOptions {
+            skip_corrupt: true,
+            ..ScanOptions::default()
+        }
+    }
+
+    /// Same options with an explicit columnar decode thread count.
+    pub fn with_threads(mut self, threads: usize) -> ScanOptions {
+        self.threads = threads;
+        self
     }
 }
 
@@ -150,6 +164,7 @@ pub struct BlockStore {
     cache: SegmentCache,
     active: Vec<RowRecord>,
     last_height: Option<u64>,
+    scan_threads: usize,
 }
 
 /// Default decoded-segment cache capacity.
@@ -174,6 +189,7 @@ impl BlockStore {
             cache: SegmentCache::new(DEFAULT_CACHE_SEGMENTS),
             active: Vec::new(),
             last_height: None,
+            scan_threads: 0,
         };
         store.manifest.save(&store.dir)?;
         save_dictionary(&store.dir.join("dictionary.json"), &store.registry)?;
@@ -210,7 +226,16 @@ impl BlockStore {
             cache: SegmentCache::new(DEFAULT_CACHE_SEGMENTS),
             active: Vec::new(),
             last_height,
+            scan_threads: 0,
         })
+    }
+
+    /// Set the default decode thread count for this handle's columnar
+    /// scans: `0` (the initial value) means one per available CPU, `1`
+    /// forces sequential decoding. Explicit [`ScanOptions`] passed to
+    /// [`BlockStore::scan_columnar_with`] take precedence.
+    pub fn set_scan_threads(&mut self, threads: usize) {
+        self.scan_threads = threads;
     }
 
     /// Open if a manifest exists, otherwise create.
@@ -492,29 +517,164 @@ impl BlockStore {
         Ok(out)
     }
 
-    /// Scan straight into columnar form: [`scan_for_each`] feeds
-    /// [`BlockColumns::push_row`] directly, so neither an intermediate
-    /// `Vec<RowRecord>` nor any per-block credit `Vec` is ever allocated.
+    /// Scan straight into columnar form — the fastest read path in the
+    /// store. Non-pruned segments are decoded zero-copy by
+    /// [`crate::segment::SegmentDecoder`] (pages borrowed from the file
+    /// buffer, columns batch-decoded into reusable scratch) and pushed
+    /// into [`BlockColumns`] without ever materializing a
+    /// `Vec<RowRecord>`; with more than one decode thread the segment
+    /// list is split into contiguous chunks, each worker builds a partial
+    /// column set, and the partials are stitched back in height order.
     ///
-    /// [`scan_for_each`]: BlockStore::scan_for_each
+    /// The result is bitwise-identical to the sequential row scan
+    /// regrouped through [`BlockColumns::push_row`], at any thread count.
     pub fn scan_columnar(&self, pred: &ScanPredicate) -> Result<BlockColumns> {
         self.scan_columnar_filtered(pred, |_| true)
     }
 
     /// [`BlockStore::scan_columnar`] with an extra row-level filter the
     /// zone-mapped predicate cannot express (the query layer's residual
-    /// filters). Rows rejected by `keep` never reach the columns.
+    /// filters). Rows rejected by `keep` never reach the columns. The
+    /// filter must be `Sync`: decode workers apply it in parallel.
     pub fn scan_columnar_filtered(
         &self,
         pred: &ScanPredicate,
-        keep: impl Fn(&RowRecord) -> bool,
+        keep: impl Fn(&RowRecord) -> bool + Sync,
     ) -> Result<BlockColumns> {
-        let mut cols = BlockColumns::new();
+        let opts = ScanOptions::strict().with_threads(self.scan_threads);
+        Ok(self.scan_columnar_with(pred, opts, keep)?.0)
+    }
+
+    /// The fully explicit columnar scan: predicate, [`ScanOptions`]
+    /// (degraded mode and decode thread count), and a residual row
+    /// filter. Returns the columns plus [`ScanStats`].
+    ///
+    /// Exactness contract: for any fixed store state, predicate, filter,
+    /// and `skip_corrupt` setting, every thread count yields the same
+    /// `BlockColumns`, the same stats, and the same error (the first
+    /// unreadable segment in catalog order under strict options; the
+    /// first out-of-order height pair in scan order otherwise).
+    ///
+    /// ```
+    /// use blockdec_store::{BlockStore, RowRecord, ScanOptions, ScanPredicate};
+    /// let dir = std::env::temp_dir().join(format!("blockdec-doc-par-{}", std::process::id()));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// let mut store = BlockStore::create(&dir).unwrap();
+    /// let pool = store.intern_producer("Ethermine");
+    /// let rows: Vec<RowRecord> = (0..100)
+    ///     .map(|h| RowRecord {
+    ///         height: h,
+    ///         timestamp: 1_546_300_800 + h as i64 * 13,
+    ///         producer: pool,
+    ///         credit_millis: 1_000,
+    ///         tx_count: 120,
+    ///         size_bytes: 30_000,
+    ///         difficulty: 1,
+    ///     })
+    ///     .collect();
+    /// for chunk in rows.chunks(40) {
+    ///     store.append_rows(chunk).unwrap();
+    ///     store.flush().unwrap();
+    /// }
+    /// let pred = ScanPredicate::all();
+    /// let (sequential, _) = store
+    ///     .scan_columnar_with(&pred, ScanOptions::strict().with_threads(1), |_| true)
+    ///     .unwrap();
+    /// let (parallel, stats) = store
+    ///     .scan_columnar_with(&pred, ScanOptions::strict().with_threads(2), |_| true)
+    ///     .unwrap();
+    /// assert_eq!(parallel, sequential);
+    /// assert_eq!(stats.rows_returned, 100);
+    /// # std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn scan_columnar_with(
+        &self,
+        pred: &ScanPredicate,
+        opts: ScanOptions,
+        keep: impl Fn(&RowRecord) -> bool + Sync,
+    ) -> Result<(BlockColumns, ScanStats)> {
+        let _t = blockdec_obs::span_timed!("stage.scan", segments = self.manifest.segments.len());
+        let mut stats = ScanStats {
+            segments_total: self.manifest.segments.len(),
+            ..ScanStats::default()
+        };
+        let selected: Vec<&SegmentMeta> = self
+            .manifest
+            .segments
+            .iter()
+            .filter(|seg| pred.may_match(&seg.zone))
+            .collect();
+        stats.segments_pruned = stats.segments_total - selected.len();
+
+        let threads = effective_scan_threads(opts.threads, selected.len());
+        let mut partials: Vec<ColumnarPartial> = if threads <= 1 {
+            vec![decode_columnar_chunk(
+                &self.dir, &selected, pred, &keep, opts,
+            )]
+        } else {
+            let per_chunk = selected.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = selected
+                    .chunks(per_chunk)
+                    .map(|segs| {
+                        scope.spawn(|| decode_columnar_chunk(&self.dir, segs, pred, &keep, opts))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("decode worker never panics"))
+                    .collect()
+            })
+        };
+
+        // A strict decode error aborts before any stitching; chunks are
+        // in catalog order, so the first chunk's error is the error the
+        // sequential scan would have hit first.
+        for p in partials.iter_mut() {
+            if let Some(e) = p.error.take() {
+                return Err(e);
+            }
+        }
+        for (i, p) in partials.iter().enumerate() {
+            blockdec_obs::debug!(
+                thread = i,
+                segments = p.segments_decoded,
+                rows = p.rows_decoded,
+                bytes = p.bytes_decoded;
+                "columnar decode worker done"
+            );
+        }
+
+        let blocks: usize = partials.iter().map(|p| p.cols.len()).sum();
+        let credits: usize = partials.iter().map(|p| p.cols.credit_count()).sum();
+        let mut cols = BlockColumns::with_capacity(blocks, credits);
         let mut last_height: Option<u64> = None;
         let mut disorder: Option<(u64, u64)> = None;
-        self.scan_for_each(pred, |r| {
+        for p in &partials {
+            stats.segments_skipped += p.skipped;
+            stats.rows_returned += p.rows_matched;
+            if disorder.is_none() {
+                // Boundary disorder (last row of the previous chunk vs
+                // first accepted row of this one) is observed before any
+                // disorder internal to this chunk, as in a single pass.
+                if let (Some(prev), Some(first)) = (last_height, p.first_height) {
+                    if first < prev {
+                        disorder = Some((prev, first));
+                    }
+                }
+                if disorder.is_none() {
+                    disorder = p.disorder;
+                }
+            }
+            if p.last_height.is_some() {
+                last_height = p.last_height;
+            }
+            cols.append_columns(&p.cols);
+        }
+        for r in self.active.iter().filter(|r| pred.matches(r)) {
+            stats.rows_returned += 1;
             if !keep(r) {
-                return;
+                continue;
             }
             if let Some(h) = last_height {
                 if r.height < h && disorder.is_none() {
@@ -528,7 +688,8 @@ impl BlockStore {
                 ProducerId(r.producer),
                 r.credit(),
             );
-        })?;
+        }
+        blockdec_obs::counter("store.rows.scanned").add(stats.rows_returned);
         if let Some((prev, next)) = disorder {
             return Err(StoreError::InconsistentCatalog(format!(
                 "scan yielded rows out of height order: height {next} after {prev}"
@@ -538,7 +699,15 @@ impl BlockStore {
         blockdec_obs::counter("columnar.blocks").add(cols.len() as u64);
         blockdec_obs::counter("columnar.credits").add(cols.credit_count() as u64);
         blockdec_obs::counter("columnar.bytes_resident").add(cols.resident_bytes() as u64);
-        Ok(cols)
+        blockdec_obs::debug!(
+            rows = stats.rows_returned,
+            pruned = stats.segments_pruned,
+            skipped = stats.segments_skipped,
+            threads = threads,
+            total_segments = stats.segments_total;
+            "columnar scan complete"
+        );
+        Ok((cols, stats))
     }
 
     /// Cache `(hits, misses)` counters.
@@ -659,6 +828,125 @@ impl BlockStore {
         }
         Ok(true)
     }
+}
+
+/// Resolve a requested columnar decode thread count: `0` means one per
+/// available CPU, and no scan uses more threads than it has segments.
+fn effective_scan_threads(requested: usize, segments: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    n.clamp(1, segments.max(1))
+}
+
+/// One decode worker's output: a partial column set plus everything the
+/// stitch step needs to reproduce the sequential scan's stats, disorder
+/// detection, and error ordering.
+#[derive(Default)]
+struct ColumnarPartial {
+    cols: BlockColumns,
+    /// Rows matching the predicate (before the residual filter) — what
+    /// `ScanStats::rows_returned` counts.
+    rows_matched: u64,
+    /// Unreadable segments skipped (degraded mode only).
+    skipped: usize,
+    /// Height of the first/last row accepted into `cols`.
+    first_height: Option<u64>,
+    last_height: Option<u64>,
+    /// First out-of-order height pair observed inside this chunk.
+    disorder: Option<(u64, u64)>,
+    /// First decode error (strict mode): aborts the whole scan.
+    error: Option<StoreError>,
+    segments_decoded: usize,
+    rows_decoded: u64,
+    bytes_decoded: u64,
+}
+
+/// Decode a contiguous run of segments straight into a partial
+/// [`BlockColumns`]. One [`SegmentDecoder`] (and its scratch buffers) is
+/// reused across the whole chunk, and rows are assembled on the stack
+/// only to test the predicate and residual filter — no `Vec<RowRecord>`
+/// is ever built.
+fn decode_columnar_chunk(
+    dir: &Path,
+    segs: &[&SegmentMeta],
+    pred: &ScanPredicate,
+    keep: &(impl Fn(&RowRecord) -> bool + Sync),
+    opts: ScanOptions,
+) -> ColumnarPartial {
+    let mut part = ColumnarPartial::default();
+    let mut dec = SegmentDecoder::new();
+    for seg in segs {
+        let path = dir.join(&seg.file);
+        let timer = blockdec_obs::Timer::new("store.segment_read");
+        let decoded = fs::read(&path)
+            .map_err(|e| StoreError::io(&path, e))
+            .and_then(|bytes| {
+                let n = dec.decode(&bytes, &path.display().to_string())?;
+                Ok((bytes.len() as u64, n))
+            });
+        let (byte_len, n) = match decoded {
+            Ok(v) => v,
+            Err(e) if opts.skip_corrupt => {
+                part.skipped += 1;
+                blockdec_obs::counter("store.fault.segments_skipped").inc();
+                blockdec_obs::warn!(
+                    file = seg.file.clone();
+                    "degraded scan skipping unreadable segment: {e}"
+                );
+                continue;
+            }
+            Err(e) => {
+                part.error = Some(e);
+                break;
+            }
+        };
+        let elapsed_ms = timer.stop() * 1e3;
+        part.segments_decoded += 1;
+        part.rows_decoded += n as u64;
+        part.bytes_decoded += byte_len;
+        blockdec_obs::counter("store.segments.read").inc();
+        blockdec_obs::counter("store.decode.segments").inc();
+        blockdec_obs::counter("store.decode.rows").add(n as u64);
+        blockdec_obs::counter("store.decode.bytes").add(byte_len);
+        blockdec_obs::debug!(
+            file = seg.file.clone(),
+            rows = n,
+            bytes = byte_len,
+            elapsed_ms = elapsed_ms;
+            "decoded segment"
+        );
+        for i in 0..n {
+            let r = dec.row(i);
+            if !pred.matches(&r) {
+                continue;
+            }
+            part.rows_matched += 1;
+            if !keep(&r) {
+                continue;
+            }
+            if let Some(h) = part.last_height {
+                if r.height < h && part.disorder.is_none() {
+                    part.disorder = Some((h, r.height));
+                }
+            }
+            if part.first_height.is_none() {
+                part.first_height = Some(r.height);
+            }
+            part.last_height = Some(r.height);
+            part.cols.push_row(
+                r.height,
+                Timestamp(r.timestamp),
+                ProducerId(r.producer),
+                r.credit(),
+            );
+        }
+    }
+    part
 }
 
 /// Outcome of [`BlockStore::scrub`].

@@ -1,0 +1,56 @@
+//! Full-chain-year thread invariance: a calibrated 2019 Bitcoin year
+//! (≈54k blocks across many segments) loaded into a store must decode to
+//! the same `BlockColumns` — heights, timestamps, CSR credit offsets,
+//! producers, weights — whether the columnar scan runs sequentially or
+//! chunked across a worker pool. This is the scale-version of the unit
+//! fixtures in `crates/store/tests/parallel_scan.rs`.
+
+use blockdec::prelude::*;
+use blockdec_store::{ScanOptions, ScanPredicate};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("blockdec-chainyear-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn bitcoin_year_scan_is_thread_invariant() {
+    let stream = Scenario::bitcoin_2019().generate();
+    let dir = tmp_dir("btc");
+    let mut store = BlockStore::create(&dir).unwrap();
+    // A year of Bitcoin (~54k rows) fits in one 64Ki-row segment; seal in
+    // chunks so the scan actually has segments to fan out over.
+    let step = stream.attributed.len().div_ceil(8);
+    for chunk in stream.attributed.chunks(step) {
+        store.append_attributed(chunk, &stream.registry).unwrap();
+        store.flush().unwrap();
+    }
+    assert!(
+        store.segment_count() >= 2,
+        "fixture must span multiple segments, got {}",
+        store.segment_count()
+    );
+
+    let pred = ScanPredicate::all();
+    let (sequential, seq_stats) = store
+        .scan_columnar_with(&pred, ScanOptions::strict().with_threads(1), |_| true)
+        .unwrap();
+    sequential.validate().unwrap();
+    assert_eq!(sequential.len(), stream.attributed.len());
+
+    for threads in [2usize, 4, 0] {
+        let opts = ScanOptions::strict().with_threads(threads);
+        let (cols, stats) = store.scan_columnar_with(&pred, opts, |_| true).unwrap();
+        assert_eq!(cols, sequential, "threads={threads} diverged");
+        assert_eq!(stats.rows_returned, seq_stats.rows_returned);
+    }
+
+    // The public entry point (auto thread count) agrees too.
+    let cols = store.scan_columnar(&pred).unwrap();
+    assert_eq!(cols, sequential);
+
+    let _ = fs::remove_dir_all(&dir);
+}
