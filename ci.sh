@@ -11,17 +11,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 # Smoke: the matrix planner must exactly match the per-config baseline,
-# the columnar (SoA) pipeline must bitwise-match the AoS pipeline, AND
-# the parallel store->columns decode must bitwise-match the sequential
-# one while staying above the checked-in throughput floors (see
-# ci/decode-baseline.txt), emitting a machine-readable bench summary
-# (the binary exits non-zero on any divergence or regression).
+# the columnar (SoA) pipeline must bitwise-match the AoS pipeline, the
+# parallel store->columns decode must bitwise-match the sequential one,
+# AND the index/bloom-pruned filtered scans must bitwise-match a full
+# scan plus filter — all while staying above the checked-in throughput
+# floors (ci/decode-baseline.txt, ci/prune-baseline.txt), emitting a
+# machine-readable bench summary (the binary exits non-zero on any
+# divergence or regression).
 mkdir -p target/ci-smoke
 ./target/release/experiments --days 14 --bench-json target/ci-smoke/bench.json \
-    --decode-baseline ci/decode-baseline.txt
+    --decode-baseline ci/decode-baseline.txt \
+    --prune-baseline ci/prune-baseline.txt
 test -s target/ci-smoke/bench.json
 grep -q '"columnar": \[' target/ci-smoke/bench.json
 grep -q '"decode": \[' target/ci-smoke/bench.json
+grep -q '"pruned": \[' target/ci-smoke/bench.json
 
 # Smoke: durability. A freshly loaded store must fsck clean (exit 0),
 # and the fsck self-test must inject, detect, and repair every fault
@@ -31,5 +35,23 @@ rm -rf target/ci-smoke/fsck-store target/ci-smoke/fsck-selftest
     --store target/ci-smoke/fsck-store
 ./target/release/blockdec fsck --store target/ci-smoke/fsck-store
 ./target/release/blockdec fsck --self-test --store target/ci-smoke/fsck-selftest
+
+# Smoke: compaction. Load a deliberately fragmented store (a segment
+# every 150 blocks), compact it, and require (1) the segment count to
+# shrink, (2) a clean fsck afterwards, and (3) the measured series over
+# the compacted store to be byte-identical to the pre-compaction one.
+rm -rf target/ci-smoke/compact-store
+./target/release/blockdec load --chain bitcoin --days 4 --seed 11 \
+    --store target/ci-smoke/compact-store --flush-every 150
+./target/release/blockdec measure --store target/ci-smoke/compact-store \
+    --metric gini,entropy,nakamoto --window fixed:day \
+    --out target/ci-smoke/compact-before.csv
+./target/release/blockdec compact --store target/ci-smoke/compact-store \
+    | grep -q 'compacted .* segments into'
+./target/release/blockdec fsck --store target/ci-smoke/compact-store
+./target/release/blockdec measure --store target/ci-smoke/compact-store \
+    --metric gini,entropy,nakamoto --window fixed:day \
+    --out target/ci-smoke/compact-after.csv
+cmp target/ci-smoke/compact-before.csv target/ci-smoke/compact-after.csv
 
 echo "ci.sh: all gates passed"

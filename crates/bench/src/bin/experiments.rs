@@ -15,11 +15,16 @@
 //!                        the store→columns decode drops below any floor
 //!                        (the checked-in ci/decode-baseline.txt is ~0.7×
 //!                        a healthy run, so a >30% regression fails CI)
+//!     [--prune-baseline P]   with --bench-json: read "<dataset>-time" /
+//!                        "<dataset>-producer" floor lines from P and
+//!                        fail if a pruned scan's effective coverage rate
+//!                        (blocks/s) drops below any floor (same >30%
+//!                        regression margin as the decode baseline)
 //! ```
 
 use blockdec_bench::perf::{
-    columnar_summary_line, decode_summary_line, run_columnar_bench, run_decode_bench,
-    run_matrix_bench, summary_line, write_bench_json,
+    columnar_summary_line, decode_summary_line, pruned_summary_line, run_columnar_bench,
+    run_decode_bench, run_matrix_bench, run_pruned_bench, summary_line, write_bench_json,
 };
 use blockdec_bench::{run_experiment, Dataset, ALL_EXPERIMENTS};
 use std::path::PathBuf;
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
     let mut days_override: Option<u32> = None;
     let mut bench_json: Option<PathBuf> = None;
     let mut decode_baseline: Option<PathBuf> = None;
+    let mut prune_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,6 +70,13 @@ fn main() -> ExitCode {
                 Some(p) => decode_baseline = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--decode-baseline needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--prune-baseline" => match args.next() {
+                Some(p) => prune_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--prune-baseline needs a file path");
                     return ExitCode::from(2);
                 }
             },
@@ -205,7 +218,72 @@ fn main() -> ExitCode {
                 }
             }
         }
-        if let Err(e) = write_bench_json(path, &results, &columnar, &decode) {
+        eprintln!("\nbenchmarking pruned (index + bloom) scans vs full decode...");
+        let pruned = [run_pruned_bench(&btc), run_pruned_bench(&eth)];
+        for b in &pruned {
+            println!("{}", pruned_summary_line(b));
+            if !b.exact_match {
+                eprintln!(
+                    "bench FAILED: pruned scan diverged from full scan + filter on {}",
+                    b.dataset
+                );
+                failed = true;
+            }
+        }
+        if let Some(baseline) = &prune_baseline {
+            // Floors are named "<dataset>-time" / "<dataset>-producer" and
+            // compare against the pruned scan's effective coverage rate.
+            let rates: Vec<(String, f64)> = pruned
+                .iter()
+                .flat_map(|b| {
+                    [
+                        (format!("{}-time", b.dataset), b.time_blocks_per_sec),
+                        (format!("{}-producer", b.dataset), b.producer_blocks_per_sec),
+                    ]
+                })
+                .collect();
+            match std::fs::read_to_string(baseline) {
+                Ok(body) => {
+                    for line in body.lines() {
+                        let line = line.trim();
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        let mut parts = line.split_whitespace();
+                        let (name, floor) = match (
+                            parts.next(),
+                            parts.next().and_then(|v| v.parse::<f64>().ok()),
+                        ) {
+                            (Some(n), Some(f)) => (n, f),
+                            _ => {
+                                eprintln!("bad baseline line {line:?} in {}", baseline.display());
+                                failed = true;
+                                continue;
+                            }
+                        };
+                        match rates.iter().find(|(n, _)| n == name) {
+                            Some((_, rate)) if *rate < floor => {
+                                eprintln!(
+                                    "bench FAILED: {name} pruned scan {rate:.0} blocks/s is \
+                                     below the baseline floor {floor:.0}"
+                                );
+                                failed = true;
+                            }
+                            Some(_) => {}
+                            None => {
+                                eprintln!("baseline names unknown pruned scan {name:?}");
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("could not read {}: {e}", baseline.display());
+                    failed = true;
+                }
+            }
+        }
+        if let Err(e) = write_bench_json(path, &results, &columnar, &decode, &pruned) {
             eprintln!("could not write {}: {e}", path.display());
             failed = true;
         } else {

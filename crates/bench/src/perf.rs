@@ -310,6 +310,216 @@ pub fn run_decode_bench(ds: &Dataset) -> DecodeBench {
     result
 }
 
+/// One dataset's pruned-vs-full scan measurement over the compacted
+/// chain-year layout: a narrow time-range scan (page-group zone
+/// pruning) and a rare-producer scan (manifest/segment bloom pruning),
+/// each timed against a full columnar decode of the same store.
+pub struct PrunedBench {
+    /// Chain label ("bitcoin" / "ethereum").
+    pub dataset: String,
+    /// Blocks in the store (after the full decode).
+    pub blocks: usize,
+    /// Attribution rows (credits) in the store.
+    pub credits: usize,
+    /// Sealed segments after compaction.
+    pub segments: usize,
+    /// Best-of-3 wall seconds for the full columnar decode (no
+    /// predicate, nothing prunable).
+    pub full_secs: f64,
+    /// `blocks / full_secs`.
+    pub full_blocks_per_sec: f64,
+    /// Credit rows matched by the 3-day time-range predicate.
+    pub time_rows: u64,
+    /// Best-of-3 wall seconds for the pruned time-range scan.
+    pub time_secs: f64,
+    /// Effective coverage rate `blocks / time_secs` — how fast the
+    /// pruned scan sweeps the *whole* store, so it exceeds the full
+    /// decode rate exactly when pruning skips work.
+    pub time_blocks_per_sec: f64,
+    /// Segments skipped outright by the time-range scan.
+    pub time_segments_pruned: usize,
+    /// Column pages skipped inside decoded segments.
+    pub time_pages_pruned: u64,
+    /// `full_secs / time_secs`.
+    pub time_speedup: f64,
+    /// Name of the scanned producer (the store's most segment-local
+    /// producer — the worst case for a full decode, the best case for
+    /// bloom pruning, and exactly the per-entity query the SoK
+    /// literature runs).
+    pub producer: String,
+    /// Credit rows matched by the producer predicate.
+    pub producer_rows: u64,
+    /// Best-of-3 wall seconds for the pruned producer scan.
+    pub producer_secs: f64,
+    /// Effective coverage rate `blocks / producer_secs`.
+    pub producer_blocks_per_sec: f64,
+    /// Segments skipped by the producer scan (zone or bloom).
+    pub producer_segments_pruned: usize,
+    /// Segments skipped specifically by a producer-bloom miss.
+    pub producer_bloom_skips: usize,
+    /// Column pages skipped inside decoded segments.
+    pub producer_pages_pruned: u64,
+    /// `full_secs / producer_secs`.
+    pub producer_speedup: f64,
+    /// Whether both pruned scans were bitwise-identical to a full scan
+    /// plus residual filter, at one worker and at the auto thread count.
+    pub exact_match: bool,
+}
+
+/// Persist the dataset, compact it into large sorted v3 segments (the
+/// layout a chain-year store settles into), then time a full columnar
+/// decode against two pruned scans: a ~3-day time window in the middle
+/// of the range, and the producer whose rows span the fewest segments.
+///
+/// Both pruned outputs are checked bitwise against a full scan with the
+/// same predicate applied as a residual row filter, at `--scan-threads`
+/// 1 and auto.
+pub fn run_pruned_bench(ds: &Dataset) -> PrunedBench {
+    use blockdec_chain::time::SECS_PER_DAY as DAY;
+    use blockdec_store::segment::SEGMENT_ROWS;
+    use blockdec_store::ScanOptions;
+    use std::collections::HashMap;
+
+    let dir = std::env::temp_dir().join(format!(
+        "blockdec-prunebench-{}-{}",
+        ds.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = BlockStore::create(&dir).expect("create bench store");
+    let step = ds.attributed.len().div_ceil(8).max(1);
+    for chunk in ds.attributed.chunks(step) {
+        store
+            .append_attributed(chunk, &ds.registry)
+            .expect("append bench dataset");
+        store.flush().expect("flush bench store");
+    }
+    store.compact().expect("compact bench store");
+    let segments = store.segment_count();
+
+    // Derive the predicates from the store itself: a 3-day window in the
+    // middle of the covered time range, and the producer whose rows land
+    // in the fewest (height-sorted, SEGMENT_ROWS-aligned) segments.
+    let rows = store.scan(&ScanPredicate::all()).expect("row scan");
+    let ts_min = rows.iter().map(|r| r.timestamp).min().unwrap_or(0);
+    let ts_max = rows.iter().map(|r| r.timestamp).max().unwrap_or(0);
+    let lo = ts_min + (ts_max - ts_min) / 2;
+    let time_pred = ScanPredicate::all().times(lo, lo + 3 * DAY);
+
+    let mut locality: HashMap<u32, (usize, usize, u64)> = HashMap::new();
+    for (i, r) in rows.iter().enumerate() {
+        let bucket = i / SEGMENT_ROWS;
+        let e = locality.entry(r.producer).or_insert((bucket, bucket, 0));
+        e.0 = e.0.min(bucket);
+        e.1 = e.1.max(bucket);
+        e.2 += 1;
+    }
+    let (&rare, _) = locality
+        .iter()
+        .min_by_key(|(id, (first, last, n))| (last - first, *n, **id))
+        .expect("store is non-empty");
+    let names = store.registry().to_name_list();
+    let producer_name = names
+        .get(rare as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("producer-{rare}"));
+    let producer_pred = ScanPredicate::all().producer(rare);
+    drop(rows);
+
+    let bench_scan = |pred: &ScanPredicate| {
+        let opts = ScanOptions::strict().with_threads(0);
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let r = store
+                .scan_columnar_with(pred, opts, |_| true)
+                .expect("bench scan");
+            best = best.min(t.elapsed().as_secs_f64());
+            out = Some(r);
+        }
+        let (cols, stats) = out.expect("three runs happened");
+        (best, cols, stats)
+    };
+    let (full_secs, full_cols, _) = bench_scan(&ScanPredicate::all());
+    let (time_secs, _, time_stats) = bench_scan(&time_pred);
+    let (producer_secs, _, producer_stats) = bench_scan(&producer_pred);
+
+    let mut exact_match = true;
+    for pred in [&time_pred, &producer_pred] {
+        let (reference, _) = store
+            .scan_columnar_with(
+                &ScanPredicate::all(),
+                ScanOptions::strict().with_threads(1),
+                |r| pred.matches(r),
+            )
+            .expect("reference scan");
+        for threads in [1, 0] {
+            let (pruned, _) = store
+                .scan_columnar_with(pred, ScanOptions::strict().with_threads(threads), |_| true)
+                .expect("pruned scan");
+            exact_match &= pruned == reference;
+        }
+    }
+
+    let blocks = full_cols.len();
+    let result = PrunedBench {
+        dataset: ds.name.clone(),
+        blocks,
+        credits: full_cols.credit_count(),
+        segments,
+        full_secs,
+        full_blocks_per_sec: blocks as f64 / full_secs.max(1e-9),
+        time_rows: time_stats.rows_returned,
+        time_secs,
+        time_blocks_per_sec: blocks as f64 / time_secs.max(1e-9),
+        time_segments_pruned: time_stats.segments_pruned,
+        time_pages_pruned: time_stats.pages_pruned,
+        time_speedup: full_secs / time_secs.max(1e-9),
+        producer: producer_name,
+        producer_rows: producer_stats.rows_returned,
+        producer_secs,
+        producer_blocks_per_sec: blocks as f64 / producer_secs.max(1e-9),
+        producer_segments_pruned: producer_stats.segments_pruned,
+        producer_bloom_skips: producer_stats.bloom_skips,
+        producer_pages_pruned: producer_stats.pages_pruned,
+        producer_speedup: full_secs / producer_secs.max(1e-9),
+        exact_match,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// One human-readable summary line for a pruned-scan bench result.
+pub fn pruned_summary_line(b: &PrunedBench) -> String {
+    format!(
+        "{}: {} blocks in {} compacted segment(s) — full decode {:.4}s ({:.0} blocks/s); \
+         3-day window {:.4}s ({:.1}x, {}/{} segments + {} pages skipped, {} rows); \
+         producer {:?} {:.4}s ({:.1}x, {}/{} segments skipped ({} bloom) + {} pages, {} rows); \
+         exact match: {}",
+        b.dataset,
+        b.blocks,
+        b.segments,
+        b.full_secs,
+        b.full_blocks_per_sec,
+        b.time_secs,
+        b.time_speedup,
+        b.time_segments_pruned,
+        b.segments,
+        b.time_pages_pruned,
+        b.time_rows,
+        b.producer,
+        b.producer_secs,
+        b.producer_speedup,
+        b.producer_segments_pruned,
+        b.segments,
+        b.producer_bloom_skips,
+        b.producer_pages_pruned,
+        b.producer_rows,
+        b.exact_match
+    )
+}
+
 /// One human-readable summary line for a decode bench result.
 pub fn decode_summary_line(b: &DecodeBench) -> String {
     format!(
@@ -370,17 +580,19 @@ pub fn summary_line(b: &MatrixBench) -> String {
 /// Write results as a machine-readable JSON document so successive runs
 /// can be committed (`BENCH_*.json`) and compared as a trajectory.
 ///
-/// Version 3 carries three sections: `matrix` (naive-vs-planner, as in
+/// Version 4 carries four sections: `matrix` (naive-vs-planner, as in
 /// version 1), `columnar` (AoS-vs-SoA end-to-end pipeline, added in
-/// version 2), and `decode` (sequential-vs-parallel store→columns
-/// decode throughput).
+/// version 2), `decode` (sequential-vs-parallel store→columns decode
+/// throughput, added in version 3), and `pruned` (full decode vs
+/// index/bloom-pruned filtered scans over the compacted layout).
 pub fn write_bench_json(
     path: &Path,
     matrix: &[MatrixBench],
     columnar: &[ColumnarBench],
     decode: &[DecodeBench],
+    pruned: &[PrunedBench],
 ) -> io::Result<()> {
-    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 3,\n");
+    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 4,\n");
     out.push_str("  \"matrix\": [\n");
     for (i, b) in matrix.iter().enumerate() {
         out.push_str(&format!(
@@ -450,6 +662,45 @@ pub fn write_bench_json(
             if i + 1 < decode.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"pruned\": [\n");
+    for (i, b) in pruned.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"dataset\": \"{}\",\n      \"blocks\": {},\n      \
+             \"credits\": {},\n      \"segments\": {},\n      \
+             \"full_secs\": {:.6},\n      \"full_blocks_per_sec\": {:.1},\n      \
+             \"time_rows\": {},\n      \"time_secs\": {:.6},\n      \
+             \"time_blocks_per_sec\": {:.1},\n      \
+             \"time_segments_pruned\": {},\n      \"time_pages_pruned\": {},\n      \
+             \"time_speedup\": {:.3},\n      \"producer\": \"{}\",\n      \
+             \"producer_rows\": {},\n      \"producer_secs\": {:.6},\n      \
+             \"producer_blocks_per_sec\": {:.1},\n      \
+             \"producer_segments_pruned\": {},\n      \
+             \"producer_bloom_skips\": {},\n      \"producer_pages_pruned\": {},\n      \
+             \"producer_speedup\": {:.3},\n      \"exact_match\": {}\n    }}{}\n",
+            b.dataset,
+            b.blocks,
+            b.credits,
+            b.segments,
+            b.full_secs,
+            b.full_blocks_per_sec,
+            b.time_rows,
+            b.time_secs,
+            b.time_blocks_per_sec,
+            b.time_segments_pruned,
+            b.time_pages_pruned,
+            b.time_speedup,
+            b.producer,
+            b.producer_rows,
+            b.producer_secs,
+            b.producer_blocks_per_sec,
+            b.producer_segments_pruned,
+            b.producer_bloom_skips,
+            b.producer_pages_pruned,
+            b.producer_speedup,
+            b.exact_match,
+            if i + 1 < pruned.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out)
 }
@@ -482,17 +733,33 @@ mod tests {
         assert!(dec.segments >= 2, "bench store must span segments");
         assert!(dec.store_bytes > 0);
 
+        let pruned = run_pruned_bench(&ds);
+        assert!(
+            pruned.exact_match,
+            "pruned scan diverged from full scan plus filter"
+        );
+        assert_eq!(pruned.blocks, ds.len());
+        assert_eq!(
+            pruned.segments, 1,
+            "7 simulated days must compact to a single segment"
+        );
+        assert!(pruned.time_rows > 0, "3-day window matched nothing");
+        assert!(pruned.producer_rows > 0, "rare producer matched nothing");
+
         let path =
             std::env::temp_dir().join(format!("blockdec-bench-json-{}.json", std::process::id()));
-        write_bench_json(&path, &[bench], &[col], &[dec]).unwrap();
+        write_bench_json(&path, &[bench], &[col], &[dec], &[pruned]).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"bench\": \"matrix\""));
-        assert!(body.contains("\"version\": 3"));
+        assert!(body.contains("\"version\": 4"));
         assert!(body.contains("\"dataset\": \"bitcoin\""));
         assert!(body.contains("\"columnar\": ["));
         assert!(body.contains("\"decode\": ["));
+        assert!(body.contains("\"pruned\": ["));
         assert!(body.contains("\"aos_resident_bytes\""));
         assert!(body.contains("\"parallel_blocks_per_sec\""));
+        assert!(body.contains("\"time_speedup\""));
+        assert!(body.contains("\"producer_bloom_skips\""));
         assert!(body.contains("\"exact_match\": true"));
         std::fs::remove_file(&path).unwrap();
     }

@@ -125,10 +125,21 @@ pub fn load(args: &Args) -> CmdResult {
     let store_dir = args.required("store")?;
     let stream = scenario.generate();
     let mut store = BlockStore::open_or_create(store_dir).map_err(|e| e.to_string())?;
-    store
-        .append_attributed(&stream.attributed, &stream.registry)
-        .map_err(|e| e.to_string())?;
-    store.flush().map_err(|e| e.to_string())?;
+    // `--flush-every N` seals a segment every N blocks instead of one
+    // big flush at the end — produces the many-small-segments layout
+    // that `blockdec compact` exists to fix (used by the CI smoke).
+    let flush_every = args
+        .get_parsed::<usize>("flush-every")?
+        .unwrap_or(stream.attributed.len().max(1));
+    if flush_every == 0 {
+        return Err("--flush-every needs a positive block count".into());
+    }
+    for chunk in stream.attributed.chunks(flush_every) {
+        store
+            .append_attributed(chunk, &stream.registry)
+            .map_err(|e| e.to_string())?;
+        store.flush().map_err(|e| e.to_string())?;
+    }
     eprintln!(
         "loaded {} blocks ({} rows, {} producers) into {store_dir}",
         stream.attributed.len(),
@@ -605,6 +616,14 @@ fn fsck_self_test(base: &Path) -> Result<u8, String> {
     fsck_self_test_case(base, "zone-drift", FaultKind::ZoneDrift, None, |i| {
         i.drift_zone(&victim)
     })?;
+    // Index corruption is recoverable: the pages behind the damaged
+    // index stay intact, so repair salvages every row (lost = None).
+    fsck_self_test_case(base, "bad-index", FaultKind::BadIndex, None, |i| {
+        i.corrupt_index(&victim)
+    })?;
+    fsck_self_test_case(base, "page-zone-drift", FaultKind::BadIndex, None, |i| {
+        i.drift_page_zone(&victim)
+    })?;
     fsck_self_test_case(
         base,
         "missing-segment",
@@ -691,6 +710,62 @@ fn fsck_self_test(base: &Path) -> Result<u8, String> {
         println!(
             "self-test crash-mid-flush: detected orphan-segment + torn-temp, repaired, {} rows surviving",
             got.len()
+        );
+    }
+
+    // Crash mid-compaction: the replacement segment commits, then the
+    // manifest commit "crashes". The committed pre-compaction catalog
+    // must be untouched (no block lost), the half-written replacement
+    // must be quarantined as an orphan, and a post-repair compaction
+    // must complete with identical rows.
+    {
+        let dir = base.join("case-crash-mid-compaction");
+        let rows = fsck_build_fixture(&dir)?;
+        let mut store = BlockStore::open(&dir).map_err(|e| e.to_string())?;
+        let mut inj = FaultInjector::new(&dir, 9);
+        // compact() = flush (dictionary commit, 1) + replacement
+        // segment write (2) + manifest commit (3).
+        inj.arm_crash_at_commit(3);
+        if store.compact().is_ok() {
+            return Err("crash-mid-compaction: compact should have failed".into());
+        }
+        drop(store);
+        let doctor = StoreDoctor::new(&dir);
+        let report = doctor.check().map_err(|e| e.to_string())?;
+        if !report.has(FaultKind::OrphanSegment) || !report.has(FaultKind::TornTemp) {
+            return Err(format!(
+                "crash-mid-compaction: expected orphan-segment + torn-temp, got {:?}",
+                report.kinds()
+            ));
+        }
+        doctor.repair().map_err(|e| e.to_string())?;
+        if !doctor.check().map_err(|e| e.to_string())?.is_clean() {
+            return Err("crash-mid-compaction: still dirty after repair".into());
+        }
+        let mut store = BlockStore::open(&dir).map_err(|e| e.to_string())?;
+        let got = store
+            .scan(&ScanPredicate::all())
+            .map_err(|e| e.to_string())?;
+        if got != rows {
+            return Err(format!(
+                "crash-mid-compaction: expected the {} committed rows, got {}",
+                rows.len(),
+                got.len()
+            ));
+        }
+        // The retry after recovery completes and changes nothing.
+        if !store.compact().map_err(|e| e.to_string())? {
+            return Err("crash-mid-compaction: retry compaction was a no-op".into());
+        }
+        let after = store
+            .scan(&ScanPredicate::all())
+            .map_err(|e| e.to_string())?;
+        if after != rows {
+            return Err("crash-mid-compaction: rows changed across retried compaction".into());
+        }
+        println!(
+            "self-test crash-mid-compaction: committed state intact, repaired, retry compacted {} rows",
+            after.len()
         );
     }
 

@@ -35,6 +35,15 @@ pub struct RunSummary {
     /// Segment bytes decoded per wall second of store scanning, in MB/s
     /// (`store.decode.bytes` over `stage.scan`).
     pub decode_mb_per_sec: Option<f64>,
+    /// Segments skipped without being opened (`store.scan.segments_pruned`:
+    /// zone-map and producer-bloom pruning combined).
+    pub segments_pruned: u64,
+    /// The bloom-filter subset of the pruned segments
+    /// (`store.scan.bloom_skip`).
+    pub bloom_skips: u64,
+    /// Column pages skipped inside decoded segments via v3 page-group
+    /// zone maps (`store.scan.pages_pruned`).
+    pub pages_pruned: u64,
     /// Measurement windows emitted (`engine.windows`).
     pub windows: u64,
     /// Store faults classified this run (`store.fault.detected`).
@@ -92,6 +101,9 @@ impl RunSummary {
             cache_hit_rate,
             decode_rows_per_sec,
             decode_mb_per_sec,
+            segments_pruned: get("store.scan.segments_pruned"),
+            bloom_skips: get("store.scan.bloom_skip"),
+            pages_pruned: get("store.scan.pages_pruned"),
             windows: get("engine.windows"),
             faults_detected: get("store.fault.detected"),
             segments_quarantined: get("store.fault.quarantined"),
@@ -124,6 +136,12 @@ impl RunSummary {
         if let (Some(rows), Some(mb)) = (self.decode_rows_per_sec, self.decode_mb_per_sec) {
             out.push_str(&format!(
                 "  store decode: {rows:.0} rows/sec, {mb:.1} MB/sec\n"
+            ));
+        }
+        if self.segments_pruned > 0 || self.pages_pruned > 0 {
+            out.push_str(&format!(
+                "  scan pruning: {} segment(s) skipped ({} by bloom), {} page(s) skipped\n",
+                self.segments_pruned, self.bloom_skips, self.pages_pruned
             ));
         }
         out.push_str(&format!("  windows emitted: {}\n", self.windows));
@@ -179,6 +197,10 @@ impl RunSummary {
             None => out.push_str("null"),
         }
         out.push_str(&format!(
+            ",\"segments_pruned\":{},\"bloom_skips\":{},\"pages_pruned\":{}",
+            self.segments_pruned, self.bloom_skips, self.pages_pruned
+        ));
+        out.push_str(&format!(
             ",\"windows\":{},\"faults_detected\":{},\"segments_quarantined\":{},\"counters\":{{",
             self.windows, self.faults_detected, self.segments_quarantined
         ));
@@ -229,6 +251,9 @@ mod tests {
             cache_hit_rate: Some(0.875),
             decode_rows_per_sec: Some(2_000_000.0),
             decode_mb_per_sec: Some(96.5),
+            segments_pruned: 12,
+            bloom_skips: 4,
+            pages_pruned: 84,
             windows: 365,
             faults_detected: 0,
             segments_quarantined: 0,
@@ -249,6 +274,10 @@ mod tests {
             text.contains("store decode: 2000000 rows/sec, 96.5 MB/sec"),
             "{text}"
         );
+        assert!(
+            text.contains("scan pruning: 12 segment(s) skipped (4 by bloom), 84 page(s) skipped"),
+            "{text}"
+        );
         assert!(text.contains("windows emitted: 365"), "{text}");
     }
 
@@ -257,6 +286,10 @@ mod tests {
         let json = sample().render_json();
         assert!(json.starts_with("{\"summary\":{"));
         assert!(json.contains("\"windows\":365"), "{json}");
+        assert!(
+            json.contains("\"segments_pruned\":12,\"bloom_skips\":4,\"pages_pruned\":84"),
+            "{json}"
+        );
         assert!(json.contains("\"cache_hit_rate\":0.875"), "{json}");
         assert!(json.contains("\"engine.windows\":365"), "{json}");
         // Balanced braces (no string values contain braces here).
@@ -273,6 +306,9 @@ mod tests {
             cache_hit_rate: None,
             decode_rows_per_sec: None,
             decode_mb_per_sec: None,
+            segments_pruned: 0,
+            bloom_skips: 0,
+            pages_pruned: 0,
             windows: 0,
             faults_detected: 0,
             segments_quarantined: 0,
@@ -281,9 +317,11 @@ mod tests {
         assert!(s.render_text().contains("none recorded"));
         assert!(s.render_json().contains("\"blocks_per_sec\":null"));
         assert!(s.render_json().contains("\"decode_rows_per_sec\":null"));
-        // Quiet runs stay quiet: no fault line, no decode line.
+        // Quiet runs stay quiet: no fault line, no decode line, no
+        // pruning line.
         assert!(!s.render_text().contains("store faults"));
         assert!(!s.render_text().contains("store decode"));
+        assert!(!s.render_text().contains("scan pruning"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! are ordered and non-overlapping.
 
 use crate::atomic::atomic_replace;
+use crate::bloom::ProducerFilter;
 use crate::error::{Result, StoreError};
 use crate::zonemap::ZoneMap;
 use serde::{Deserialize, Serialize};
@@ -20,6 +21,23 @@ pub struct SegmentMeta {
     pub file: String,
     /// Zone map of the segment.
     pub zone: ZoneMap,
+    /// Whole-file footer CRC of the segment — its content identity.
+    /// Two manifest entries with the same `file` but different bytes
+    /// (e.g. across a compaction that recycles nothing but could in
+    /// principle reuse a name) always differ here.
+    pub crc: u32,
+    /// Mirror of the segment's producer bloom filter, so a
+    /// producer-filtered scan can skip the segment without opening it.
+    pub producers: ProducerFilter,
+}
+
+impl SegmentMeta {
+    /// Cache key for the decoded-segment LRU: file name **plus** content
+    /// CRC, so a rewritten segment can never be served from a stale
+    /// cache entry keyed by the bare file name.
+    pub fn cache_key(&self) -> String {
+        format!("{}@{:08x}", self.file, self.crc)
+    }
 }
 
 /// The store manifest.
@@ -133,6 +151,15 @@ mod tests {
         }
     }
 
+    fn meta(file: &str, zone: ZoneMap) -> SegmentMeta {
+        SegmentMeta {
+            file: file.into(),
+            zone,
+            crc: 0,
+            producers: ProducerFilter::from_producers(&[0]),
+        }
+    }
+
     fn tmp_dir(tag: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("blockdec-cat-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
@@ -145,10 +172,7 @@ mod tests {
         let dir = tmp_dir("rt");
         let mut m = Manifest::new();
         fs::write(dir.join("seg-00000000.bds"), b"x").unwrap();
-        m.segments.push(SegmentMeta {
-            file: "seg-00000000.bds".into(),
-            zone: zone(100, 200),
-        });
+        m.segments.push(meta("seg-00000000.bds", zone(100, 200)));
         m.next_segment_id = 1;
         m.save(&dir).unwrap();
         let back = Manifest::load(&dir).unwrap();
@@ -160,10 +184,7 @@ mod tests {
     fn missing_segment_file_fails_validation() {
         let dir = tmp_dir("missing");
         let mut m = Manifest::new();
-        m.segments.push(SegmentMeta {
-            file: "seg-00000000.bds".into(),
-            zone: zone(1, 2),
-        });
+        m.segments.push(meta("seg-00000000.bds", zone(1, 2)));
         m.save(&dir).unwrap();
         let err = Manifest::load(&dir).unwrap_err();
         assert!(matches!(err, StoreError::InconsistentCatalog(_)), "{err}");
@@ -176,14 +197,8 @@ mod tests {
         fs::write(dir.join("a.bds"), b"x").unwrap();
         fs::write(dir.join("b.bds"), b"x").unwrap();
         let mut m = Manifest::new();
-        m.segments.push(SegmentMeta {
-            file: "a.bds".into(),
-            zone: zone(100, 200),
-        });
-        m.segments.push(SegmentMeta {
-            file: "b.bds".into(),
-            zone: zone(150, 300),
-        });
+        m.segments.push(meta("a.bds", zone(100, 200)));
+        m.segments.push(meta("b.bds", zone(150, 300)));
         assert!(matches!(
             m.validate(&dir),
             Err(StoreError::InconsistentCatalog(_))
@@ -199,14 +214,8 @@ mod tests {
         fs::write(dir.join("a.bds"), b"x").unwrap();
         fs::write(dir.join("b.bds"), b"x").unwrap();
         let mut m = Manifest::new();
-        m.segments.push(SegmentMeta {
-            file: "a.bds".into(),
-            zone: zone(100, 200),
-        });
-        m.segments.push(SegmentMeta {
-            file: "b.bds".into(),
-            zone: zone(200, 300),
-        });
+        m.segments.push(meta("a.bds", zone(100, 200)));
+        m.segments.push(meta("b.bds", zone(200, 300)));
         assert!(m.validate(&dir).is_ok());
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -218,10 +227,7 @@ mod tests {
         let dir = tmp_dir("torn");
         let mut m = Manifest::new();
         fs::write(dir.join("a.bds"), b"x").unwrap();
-        m.segments.push(SegmentMeta {
-            file: "a.bds".into(),
-            zone: zone(1, 10),
-        });
+        m.segments.push(meta("a.bds", zone(1, 10)));
         m.save(&dir).unwrap();
         // Simulate the torn write of a newer manifest.
         fs::write(dir.join("manifest.json.tmp"), b"{ half written garbag").unwrap();
@@ -272,10 +278,7 @@ mod tests {
         let dir = tmp_dir("crash-save");
         let mut m = Manifest::new();
         fs::write(dir.join("a.bds"), b"x").unwrap();
-        m.segments.push(SegmentMeta {
-            file: "a.bds".into(),
-            zone: zone(1, 10),
-        });
+        m.segments.push(meta("a.bds", zone(1, 10)));
         m.save(&dir).unwrap();
 
         let mut newer = m.clone();

@@ -1,0 +1,260 @@
+//! Background compaction: merge runs of small, height-adjacent segments
+//! into full-size sorted v3 segments.
+//!
+//! Repeated `flush` calls seal whatever happens to be buffered, so a
+//! long ingest leaves a tail of under-filled segments behind. Each one
+//! costs a file open, a header/index parse, and per-page CRC work on
+//! every scan that touches its height range — and tiny segments make
+//! page-group pruning useless because a 40-row segment has one page
+//! group no matter what. Compaction rewrites such runs into
+//! [`SEGMENT_ROWS`]-sized segments whose page-group zone maps and
+//! producer bloom filters actually earn their keep.
+//!
+//! # Planning
+//!
+//! [`CompactionPolicy`] classifies a segment as *small* when its row
+//! count is below `small_rows`. The planner walks the catalog in order
+//! and collects maximal runs of adjacent small segments; a run is
+//! merged only when it has at least `min_run` members **and** the merge
+//! strictly shrinks the segment count (`ceil(sum_rows / SEGMENT_ROWS) <
+//! run_len`). Everything else — full segments, lone stragglers, runs
+//! already at their ideal packing — is left untouched, so compaction is
+//! idempotent: a second pass over compacted output plans nothing.
+//!
+//! # Crash safety
+//!
+//! Execution reuses the store's atomic commit machinery and keeps the
+//! manifest as the single commit point:
+//!
+//! 1. every replacement segment is written to a **fresh** id via
+//!    [`write_segment_file`] (write-temp + fsync + rename) — no live
+//!    file name is ever reused;
+//! 2. one [`Manifest::save`] splices all replacements in atomically;
+//! 3. only then are the superseded files removed, best-effort.
+//!
+//! A crash before step 2 leaves the committed catalog untouched and the
+//! new files as orphans; a crash after it leaves the old files as
+//! orphans. Either way [`crate::doctor::StoreDoctor`] quarantines the
+//! orphans and no committed row is lost.
+
+use crate::catalog::{segment_file_name, Manifest, SegmentMeta};
+use crate::error::Result;
+use crate::row::RowRecord;
+use crate::segment::{read_segment_file, write_segment_file, SEGMENT_ROWS};
+use crate::zonemap::ZoneMap;
+use std::fs;
+use std::ops::Range;
+use std::path::Path;
+
+/// When and how aggressively to merge small segments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Minimum number of adjacent small segments before a run is worth
+    /// rewriting. Higher values batch more work per rewrite and avoid
+    /// re-compacting the hot tail of an ongoing ingest.
+    pub min_run: usize,
+    /// A segment with fewer rows than this is *small* (a merge
+    /// candidate). Segments at or above the threshold are never
+    /// rewritten.
+    pub small_rows: u64,
+}
+
+impl CompactionPolicy {
+    /// The background policy for [`crate::BlockStore::set_compaction_policy`]:
+    /// wait for at least four adjacent under-filled segments before
+    /// merging, so steady flushing amortizes each rewrite.
+    pub fn size_tiered() -> CompactionPolicy {
+        CompactionPolicy {
+            min_run: 4,
+            small_rows: SEGMENT_ROWS as u64,
+        }
+    }
+
+    /// The eager policy behind explicit [`crate::BlockStore::compact`]
+    /// calls: any pair of adjacent under-filled segments that packs into
+    /// fewer files is merged now.
+    pub fn full() -> CompactionPolicy {
+        CompactionPolicy {
+            min_run: 2,
+            small_rows: SEGMENT_ROWS as u64,
+        }
+    }
+}
+
+/// What one compaction pass did, for logging and counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct CompactionReport {
+    /// Segments read and superseded.
+    pub segments_in: usize,
+    /// Replacement segments written.
+    pub segments_out: usize,
+    /// Rows carried across (never changes during compaction).
+    pub rows: u64,
+}
+
+/// Executes one compaction pass over a store directory's manifest.
+pub(crate) struct Compactor<'a> {
+    dir: &'a Path,
+    policy: CompactionPolicy,
+}
+
+impl<'a> Compactor<'a> {
+    pub(crate) fn new(dir: &'a Path, policy: CompactionPolicy) -> Compactor<'a> {
+        Compactor { dir, policy }
+    }
+
+    /// Plan and execute: merge every eligible run, commit the spliced
+    /// manifest once, then drop the superseded files. Returns `None`
+    /// when the plan is empty (nothing written, manifest untouched).
+    pub(crate) fn run(&self, manifest: &mut Manifest) -> Result<Option<CompactionReport>> {
+        let runs = plan_runs(&manifest.segments, self.policy);
+        if runs.is_empty() {
+            return Ok(None);
+        }
+        let _t = blockdec_obs::span_timed!("stage.compact", runs = runs.len());
+        let mut report = CompactionReport::default();
+        let mut replacements: Vec<(Range<usize>, Vec<SegmentMeta>)> = Vec::new();
+        let mut old_files: Vec<String> = Vec::new();
+        let mut next_id = manifest.next_segment_id;
+        for run in runs {
+            let mut rows: Vec<RowRecord> = Vec::new();
+            for seg in &manifest.segments[run.clone()] {
+                rows.extend(read_segment_file(&self.dir.join(&seg.file))?);
+                old_files.push(seg.file.clone());
+            }
+            let mut metas = Vec::new();
+            for chunk in rows.chunks(SEGMENT_ROWS) {
+                let file = segment_file_name(next_id);
+                next_id += 1;
+                let stamp = write_segment_file(&self.dir.join(&file), chunk)?;
+                metas.push(SegmentMeta {
+                    file,
+                    zone: ZoneMap::from_rows(chunk),
+                    crc: stamp.crc,
+                    producers: stamp.producers,
+                });
+            }
+            report.segments_in += run.len();
+            report.segments_out += metas.len();
+            report.rows += rows.len() as u64;
+            replacements.push((run, metas));
+        }
+        // Splice later runs first so earlier ranges stay valid, then
+        // commit everything in a single atomic manifest replace.
+        for (run, metas) in replacements.into_iter().rev() {
+            manifest.segments.splice(run, metas);
+        }
+        manifest.next_segment_id = next_id;
+        manifest.save(self.dir)?;
+        // The old files are garbage once the commit lands; a removal
+        // failure only leaves an orphan for the doctor to quarantine.
+        for file in &old_files {
+            let _ = fs::remove_file(self.dir.join(file));
+        }
+        blockdec_obs::counter("store.compact.runs").inc();
+        blockdec_obs::counter("store.compact.segments_in").add(report.segments_in as u64);
+        blockdec_obs::counter("store.compact.segments_out").add(report.segments_out as u64);
+        blockdec_obs::counter("store.compact.rows").add(report.rows);
+        blockdec_obs::info!(
+            segments_in = report.segments_in,
+            segments_out = report.segments_out,
+            rows = report.rows;
+            "compaction pass complete"
+        );
+        Ok(Some(report))
+    }
+}
+
+/// Find the maximal runs of adjacent small segments worth merging.
+fn plan_runs(segments: &[SegmentMeta], policy: CompactionPolicy) -> Vec<Range<usize>> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < segments.len() {
+        if segments[i].zone.rows >= policy.small_rows {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < segments.len() && segments[j].zone.rows < policy.small_rows {
+            j += 1;
+        }
+        let run_len = j - i;
+        if run_len >= policy.min_run {
+            let sum: u64 = segments[i..j].iter().map(|s| s.zone.rows).sum();
+            let packed = (sum as usize).div_ceil(SEGMENT_ROWS).max(1);
+            if packed < run_len {
+                runs.push(i..j);
+            }
+        }
+        i = j;
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bloom::ProducerFilter;
+
+    fn meta(rows: u64) -> SegmentMeta {
+        SegmentMeta {
+            file: String::new(),
+            zone: ZoneMap {
+                min_height: 0,
+                max_height: 0,
+                min_time: 0,
+                max_time: 0,
+                rows,
+            },
+            crc: 0,
+            producers: ProducerFilter::from_producers(&[0]),
+        }
+    }
+
+    fn plan(rows: &[u64], policy: CompactionPolicy) -> Vec<Range<usize>> {
+        let segs: Vec<SegmentMeta> = rows.iter().map(|&r| meta(r)).collect();
+        plan_runs(&segs, policy)
+    }
+
+    const FULL: u64 = SEGMENT_ROWS as u64;
+
+    #[test]
+    fn full_segments_are_never_planned() {
+        assert!(plan(&[FULL, FULL, FULL], CompactionPolicy::full()).is_empty());
+    }
+
+    #[test]
+    fn small_run_between_full_segments_is_planned() {
+        let runs = plan(&[FULL, 10, 10, 10, FULL], CompactionPolicy::full());
+        assert_eq!(runs, vec![1..4]);
+    }
+
+    #[test]
+    fn lone_small_segment_is_left_alone() {
+        assert!(plan(&[FULL, 10, FULL], CompactionPolicy::full()).is_empty());
+        assert!(plan(&[10], CompactionPolicy::full()).is_empty());
+    }
+
+    #[test]
+    fn run_that_would_not_shrink_is_skipped() {
+        // Two near-full segments pack into two segments: no benefit.
+        let runs = plan(&[FULL - 1, FULL - 1], CompactionPolicy::full());
+        assert!(runs.is_empty());
+        // But two half-full segments pack into one.
+        let runs = plan(&[FULL / 2, FULL / 2], CompactionPolicy::full());
+        assert_eq!(runs, vec![0..2]);
+    }
+
+    #[test]
+    fn size_tiered_waits_for_min_run() {
+        let tiered = CompactionPolicy::size_tiered();
+        assert!(plan(&[10, 10, 10], tiered).is_empty());
+        assert_eq!(plan(&[10, 10, 10, 10], tiered), vec![0..4]);
+    }
+
+    #[test]
+    fn multiple_runs_are_all_planned() {
+        let runs = plan(&[10, 10, FULL, 20, 20, 20], CompactionPolicy::full());
+        assert_eq!(runs, vec![0..2, 3..6]);
+    }
+}

@@ -14,11 +14,14 @@
 //! Surfaced on the command line as `blockdec fsck [--repair]`.
 
 use crate::atomic;
-use crate::catalog::{parse_segment_id, Manifest, SegmentMeta};
+use crate::bloom::ProducerFilter;
+use crate::catalog::{parse_segment_id, segment_file_name, Manifest, SegmentMeta};
 use crate::dictionary::{load_dictionary, save_dictionary};
 use crate::error::{Result, StoreError};
 use crate::row::RowRecord;
-use crate::segment::{check_footer, decode_segment, FooterCheck};
+use crate::segment::{
+    check_footer, decode_segment, footer_crc, write_segment_file, FooterCheck, SegmentDecoder,
+};
 use crate::zonemap::ZoneMap;
 use blockdec_chain::ProducerRegistry;
 use std::collections::BTreeSet;
@@ -43,6 +46,12 @@ pub enum FaultKind {
     /// (bad magic/version, bad page header, trailing bytes): a buggy or
     /// foreign writer.
     BadPage,
+    /// Segment index block (page zone maps + producer bloom filter) is
+    /// damaged or lies about the rows behind it, while the pages
+    /// themselves may be intact. Repair salvages the rows by decoding
+    /// pages sequentially and re-encodes them into a fresh segment —
+    /// zero rows lost when every page still checks out.
+    BadIndex,
     /// Segment decodes but its rows disagree with the manifest's zone
     /// map (or zone maps overlap between segments): manifest drift.
     ZoneDrift,
@@ -73,6 +82,7 @@ impl FaultKind {
             FaultKind::Truncated => "truncated-segment",
             FaultKind::BitRot => "bit-rot",
             FaultKind::BadPage => "bad-page",
+            FaultKind::BadIndex => "bad-index",
             FaultKind::ZoneDrift => "zone-drift",
             FaultKind::MissingSegment => "missing-segment",
             FaultKind::OrphanSegment => "orphan-segment",
@@ -142,6 +152,10 @@ pub struct RepairOutcome {
     /// count too — an orphan's rows were never committed, so they are
     /// not counted).
     pub rows_quarantined: u64,
+    /// Fresh segment files written from rows salvaged out of
+    /// quarantined segments (index-corruption repair): every row of the
+    /// originals survives under these names.
+    pub rebuilt: Vec<String>,
     /// Stale `*.tmp` files removed.
     pub removed_temps: usize,
     /// True when a new manifest was written.
@@ -170,6 +184,10 @@ pub struct StoreDoctor {
 /// Everything check() learns about one segment file.
 enum SegmentHealth {
     Healthy(Vec<RowRecord>),
+    /// The index block is damaged but every page decoded cleanly via
+    /// the sequential salvage path: repair can rebuild the segment
+    /// without losing a row.
+    Recoverable(FaultKind, String, Vec<RowRecord>),
     Faulty(FaultKind, String),
 }
 
@@ -188,6 +206,22 @@ fn classify_segment_bytes(bytes: &[u8], what: &str) -> SegmentHealth {
         }
         FooterCheck::Ok => match decode_segment(bytes, what) {
             Ok(rows) => SegmentHealth::Healthy(rows),
+            Err(e @ StoreError::CorruptIndex { .. }) => {
+                // The pages may be fine behind the damaged index: try
+                // the index-free salvage decode before giving up.
+                let mut dec = SegmentDecoder::new();
+                match dec.decode_salvage(bytes, what) {
+                    Ok(n) => SegmentHealth::Recoverable(
+                        FaultKind::BadIndex,
+                        format!("index damaged but all pages intact: {e}"),
+                        (0..n).map(|i| dec.row(i)).collect(),
+                    ),
+                    Err(_) => SegmentHealth::Faulty(
+                        FaultKind::BadIndex,
+                        format!("index damaged and pages unsalvageable: {e}"),
+                    ),
+                }
+            }
             Err(e) => SegmentHealth::Faulty(
                 FaultKind::BadPage,
                 format!("finalized but undecodable: {e}"),
@@ -312,7 +346,8 @@ impl StoreDoctor {
                 }
                 let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
                 match classify_segment_bytes(&bytes, &seg.file) {
-                    SegmentHealth::Faulty(kind, detail) => {
+                    SegmentHealth::Faulty(kind, detail)
+                    | SegmentHealth::Recoverable(kind, detail, _) => {
                         report.faults.push(Fault {
                             kind,
                             file: seg.file.clone(),
@@ -428,7 +463,9 @@ impl StoreDoctor {
         };
 
         // Decode every candidate; quarantine what cannot be trusted.
-        let mut kept: Vec<(String, Vec<RowRecord>)> = Vec::new();
+        // Index-only damage keeps its salvaged rows for re-encoding.
+        let mut kept: Vec<(String, Vec<RowRecord>, u32)> = Vec::new();
+        let mut salvaged: Vec<Vec<RowRecord>> = Vec::new();
         for file in candidates {
             let path = self.dir.join(&file);
             if !path.is_file() {
@@ -436,7 +473,21 @@ impl StoreDoctor {
             }
             let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
             match classify_segment_bytes(&bytes, &file) {
-                SegmentHealth::Healthy(rows) => kept.push((file, rows)),
+                SegmentHealth::Healthy(rows) => {
+                    let crc = footer_crc(&bytes).expect("healthy segment has a footer");
+                    kept.push((file, rows, crc));
+                }
+                SegmentHealth::Recoverable(kind, detail, rows) => {
+                    blockdec_obs::warn!(
+                        file = file.clone(),
+                        kind = kind.label(),
+                        rows = rows.len();
+                        "quarantining segment, salvaging its rows: {detail}"
+                    );
+                    self.quarantine(&file)?;
+                    outcome.quarantined.push(file);
+                    salvaged.push(rows);
+                }
                 SegmentHealth::Faulty(kind, detail) => {
                     blockdec_obs::warn!(
                         file = file.clone(),
@@ -452,7 +503,7 @@ impl StoreDoctor {
         // Orphans (only meaningful when a manifest told us what is
         // committed): preserve the bytes, but out of the data path.
         if manifest.is_some() {
-            let committed: BTreeSet<&String> = kept.iter().map(|(f, _)| f).collect();
+            let committed: BTreeSet<&String> = kept.iter().map(|(f, _, _)| f).collect();
             for name in self.on_disk_segments()? {
                 if !committed.contains(&name) {
                     self.quarantine(&name)?;
@@ -461,12 +512,34 @@ impl StoreDoctor {
             }
         }
 
+        // Re-encode salvaged rows into fresh-id segments. Ids start
+        // beyond every name ever seen so quarantined names are never
+        // reused; the final manifest id computation then clears these
+        // too, because the new names land in `kept`.
+        let first_salvage_id = kept
+            .iter()
+            .map(|(f, _, _)| f.as_str())
+            .chain(outcome.quarantined.iter().map(String::as_str))
+            .filter_map(parse_segment_id)
+            .map(|id| id + 1)
+            .max()
+            .unwrap_or(0)
+            .max(manifest.as_ref().map_or(0, |m| m.next_segment_id));
+        let mut recovered_rows = 0u64;
+        for (salvage_id, rows) in (first_salvage_id..).zip(salvaged) {
+            let file = segment_file_name(salvage_id);
+            let stamp = write_segment_file(&self.dir.join(&file), &rows)?;
+            recovered_rows += rows.len() as u64;
+            outcome.rebuilt.push(file.clone());
+            kept.push((file, rows, stamp.crc));
+        }
+
         // Order by height and drop (quarantine) anything that overlaps
         // its predecessor — a consistent catalog must be height-sorted.
-        kept.sort_by_key(|(file, rows)| (ZoneMap::from_rows(rows).min_height, file.clone()));
+        kept.sort_by_key(|(file, rows, _)| (ZoneMap::from_rows(rows).min_height, file.clone()));
         let mut segments: Vec<SegmentMeta> = Vec::with_capacity(kept.len());
         let mut surviving_rows: Vec<&[RowRecord]> = Vec::with_capacity(kept.len());
-        for (file, rows) in &kept {
+        for (file, rows, crc) in &kept {
             let zone = ZoneMap::from_rows(rows);
             if let Some(prevseg) = segments.last() {
                 if zone.min_height < prevseg.zone.max_height {
@@ -476,14 +549,19 @@ impl StoreDoctor {
                     continue;
                 }
             }
+            let producers: Vec<u32> = rows.iter().map(|r| r.producer).collect();
             segments.push(SegmentMeta {
                 file: file.clone(),
                 zone,
+                crc: *crc,
+                producers: ProducerFilter::from_producers(&producers),
             });
             surviving_rows.push(rows);
         }
         // Rows lost from the committed state (orphan rows were never
-        // committed, so only manifest-referenced quarantines count).
+        // committed, so only manifest-referenced quarantines count;
+        // salvaged rows live on in their rebuilt segments, so they are
+        // not lost either).
         if let Some(m) = &manifest {
             let survivors: BTreeSet<&str> = segments.iter().map(|s| s.file.as_str()).collect();
             outcome.rows_quarantined = m
@@ -491,7 +569,8 @@ impl StoreDoctor {
                 .iter()
                 .filter(|s| !survivors.contains(s.file.as_str()))
                 .map(|s| s.zone.rows)
-                .sum();
+                .sum::<u64>()
+                .saturating_sub(recovered_rows);
         }
 
         // Dictionary: rebuild with placeholders when missing/corrupt,
@@ -645,6 +724,49 @@ mod tests {
         assert!(doctor.check().unwrap().is_clean());
         let store = BlockStore::open(&dir).unwrap();
         assert_eq!(store.row_count(), 60);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_corruption_is_repaired_without_losing_rows() {
+        let dir = tmp_dir("bad-index");
+        let all = build_store(&dir);
+        let victim = segment_file_name(1);
+        crate::fault::FaultInjector::new(&dir, 7)
+            .corrupt_index(&victim)
+            .unwrap();
+        let doctor = StoreDoctor::new(&dir);
+        assert!(doctor.check().unwrap().has(FaultKind::BadIndex));
+        let outcome = doctor.repair().unwrap();
+        assert_eq!(outcome.quarantined, vec![victim.clone()]);
+        assert_eq!(outcome.rows_quarantined, 0, "salvage must lose no rows");
+        assert_eq!(outcome.rebuilt.len(), 1);
+        assert!(dir.join(QUARANTINE_DIR).join(&victim).exists());
+        assert!(doctor.check().unwrap().is_clean());
+        let store = BlockStore::open(&dir).unwrap();
+        assert_eq!(store.scan(&ScanPredicate::all()).unwrap(), all);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn page_zone_drift_is_repaired_without_losing_rows() {
+        // The index CRC is valid but a zone entry lies: only the full
+        // decode's cross-check catches it, and repair re-encodes the
+        // rows behind a truthful index.
+        let dir = tmp_dir("zone-lie");
+        let all = build_store(&dir);
+        let victim = segment_file_name(2);
+        crate::fault::FaultInjector::new(&dir, 11)
+            .drift_page_zone(&victim)
+            .unwrap();
+        let doctor = StoreDoctor::new(&dir);
+        assert!(doctor.check().unwrap().has(FaultKind::BadIndex));
+        let outcome = doctor.repair().unwrap();
+        assert_eq!(outcome.quarantined, vec![victim]);
+        assert_eq!(outcome.rows_quarantined, 0);
+        assert!(doctor.check().unwrap().is_clean());
+        let store = BlockStore::open(&dir).unwrap();
+        assert_eq!(store.scan(&ScanPredicate::all()).unwrap(), all);
         fs::remove_dir_all(&dir).unwrap();
     }
 

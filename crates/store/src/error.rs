@@ -29,6 +29,15 @@ pub enum StoreError {
         /// Details.
         detail: String,
     },
+    /// A v3 segment's index block (page zone maps + producer bloom
+    /// filter) is missing, unreadable, or disagrees with the rows it
+    /// describes.
+    CorruptIndex {
+        /// What was being read.
+        what: String,
+        /// Details.
+        detail: String,
+    },
     /// The manifest references state that is inconsistent (missing
     /// segment file, overlapping rows, dictionary shorter than the ids
     /// used, ...).
@@ -56,6 +65,9 @@ impl fmt::Display for StoreError {
             },
             StoreError::Corrupt { what, detail } => write!(f, "corrupt {what}: {detail}"),
             StoreError::BadFormat { what, detail } => write!(f, "bad format in {what}: {detail}"),
+            StoreError::CorruptIndex { what, detail } => {
+                write!(f, "corrupt segment index in {what}: {detail}")
+            }
             StoreError::InconsistentCatalog(d) => write!(f, "inconsistent catalog: {d}"),
             StoreError::InvalidAppend(d) => write!(f, "invalid append: {d}"),
         }

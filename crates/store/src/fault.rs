@@ -12,7 +12,7 @@
 use crate::atomic;
 use crate::catalog::Manifest;
 use crate::error::{Result, StoreError};
-use crate::segment::{refit_footer, FOOTER_LEN};
+use crate::segment::{index_bounds, refit_footer, refit_index_crc, FOOTER_LEN};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -140,6 +140,45 @@ impl FaultInjector {
         let at = self.next_below(bytes.len() as u64) as usize;
         bytes[at] ^= 1 << self.next_below(8);
         fs::write(&path, bytes).map_err(|e| StoreError::io(&path, e))
+    }
+
+    /// Flip one random bit inside the segment's index block (page-group
+    /// zone maps + producer bloom filter), then refit the footer so the
+    /// whole-file CRC still holds. The index's own CRC now disagrees,
+    /// so any decode fails with [`StoreError::CorruptIndex`] while
+    /// every page stays intact — the salvageable index-corruption
+    /// class.
+    pub fn corrupt_index(&mut self, file: &str) -> Result<()> {
+        let mut bytes = self.read_seg(file)?;
+        let (index_off, idx_field) =
+            index_bounds(&bytes).unwrap_or_else(|| panic!("{file} has no parseable index frame"));
+        // The CRC-covered index body ends 4 bytes before the index_off
+        // field (those 4 bytes are the index CRC itself).
+        let body_len = (idx_field - 4 - index_off) as u64;
+        let at = index_off + self.next_below(body_len) as usize;
+        bytes[at] ^= 1 << self.next_below(8);
+        refit_footer(&mut bytes);
+        self.write_seg(file, &bytes)
+    }
+
+    /// Widen the first page group's zone entry behind a *valid* index
+    /// CRC (index CRC and footer both refitted): the index parses
+    /// cleanly but lies about its rows. Only the full decode's
+    /// cross-check can catch this — the fault class a pruned scan would
+    /// silently trust.
+    pub fn drift_page_zone(&mut self, file: &str) -> Result<()> {
+        let mut bytes = self.read_seg(file)?;
+        let (index_off, _) =
+            index_bounds(&bytes).unwrap_or_else(|| panic!("{file} has no parseable index frame"));
+        // Entry 0 starts after `BDIX` + group_count; max_height sits 16
+        // bytes in (offset u32, rows u32, min_height u64 precede it).
+        let field = index_off + 8 + 16;
+        let mut max_h = u64::from_le_bytes(bytes[field..field + 8].try_into().expect("8 bytes"));
+        max_h += 1 + self.next_below(1000);
+        bytes[field..field + 8].copy_from_slice(&max_h.to_le_bytes());
+        refit_index_crc(&mut bytes);
+        refit_footer(&mut bytes);
+        self.write_seg(file, &bytes)
     }
 
     /// Perturb one segment's zone map in the manifest so it no longer

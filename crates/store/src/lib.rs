@@ -33,10 +33,12 @@
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod bloom;
 pub mod bufio;
 pub mod cache;
 pub mod catalog;
 pub mod checksum;
+pub mod compactor;
 pub mod dictionary;
 pub mod doctor;
 pub mod encoding;
@@ -48,6 +50,8 @@ pub mod segment;
 pub mod store;
 pub mod zonemap;
 
+pub use bloom::ProducerFilter;
+pub use compactor::CompactionPolicy;
 pub use doctor::{Fault, FaultKind, FsckReport, RepairOutcome, StoreDoctor};
 pub use error::StoreError;
 pub use fault::FaultInjector;

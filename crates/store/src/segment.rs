@@ -1,17 +1,25 @@
-//! Segment encoding and file I/O.
+//! Segment encoding and file I/O (format v3).
 //!
 //! A segment file is `MAGIC "BDSG" | version u16 | row_count u32` followed
-//! by seven column pages (height, timestamp, producer, credit, tx_count,
-//! size_bytes, difficulty), each CRC-framed by [`crate::page`], and closed
-//! by a 12-byte finalization footer `crc32 u32 | file_len u32 | "BDSF"`.
-//! Sorted columns use delta encoding; id-like columns use plain varints.
+//! by the rows split into **page groups** of up to [`PAGE_GROUP_ROWS`]
+//! rows. Each group holds seven column pages (height, timestamp,
+//! producer, credit, tx_count, size_bytes, difficulty), each CRC-framed
+//! by [`crate::page`]; delta encodings restart at every group so any
+//! group can be decoded on its own. After the last group comes the
+//! **index block** — per-group zone maps, per-group producer bloom
+//! filters, and a segment-level producer bloom filter, closed by its
+//! own CRC — then a `u32` with the index block's offset, and finally
+//! the 12-byte finalization footer `crc32 u32 | file_len u32 | "BDSF"`.
 //!
 //! The footer is what makes a torn write *classifiable*: a file without a
 //! valid footer was never finalized (truncation / power cut mid-write),
 //! while a file whose footer is present but whose whole-file CRC
 //! disagrees suffered bit rot after commit. The per-page CRCs remain as a
-//! second, independent layer that localizes damage to a column.
+//! second, independent layer that localizes damage to a column, and the
+//! index CRC is a third that lets a pruned scan trust the index without
+//! touching the pages it skips.
 
+use crate::bloom::ProducerFilter;
 use crate::checksum::crc32;
 use crate::encoding::{
     decode_column_into, decode_signed_column_into, encode_column, encode_signed_column, Codec,
@@ -19,15 +27,27 @@ use crate::encoding::{
 use crate::error::{Result, StoreError};
 use crate::page::{read_page, write_page};
 use crate::row::RowRecord;
+use crate::store::ScanPredicate;
+use crate::zonemap::ZoneMap;
 use std::fs;
 use std::path::Path;
 
 /// Magic bytes of a segment file.
 pub const MAGIC: [u8; 4] = *b"BDSG";
-/// Current format version (2 = finalization footer added).
-pub const VERSION: u16 = 2;
+/// Current format version (3 = page groups + index block added).
+pub const VERSION: u16 = 3;
 /// Maximum rows per segment.
 pub const SEGMENT_ROWS: usize = 65_536;
+/// Maximum rows per page group: every group except possibly the last
+/// holds exactly this many rows, so a full segment has 16 groups.
+pub const PAGE_GROUP_ROWS: usize = 4_096;
+
+/// Magic bytes opening the index block.
+pub const INDEX_MAGIC: [u8; 4] = *b"BDIX";
+/// On-disk size of one per-group index entry:
+/// `offset u32 | rows u32 | min_height u64 | max_height u64 |
+///  min_time i64 | max_time i64`.
+pub const GROUP_ENTRY_LEN: usize = 40;
 
 /// Trailing magic of a finalized segment.
 pub const FOOTER_MAGIC: [u8; 4] = *b"BDSF";
@@ -86,6 +106,47 @@ pub fn verify_footer(data: &[u8], what: &str) -> Result<()> {
     })
 }
 
+/// Footer *frame* check only — magic and recorded length, **not** the
+/// whole-file CRC. The pruned scan path uses this so it never has to
+/// checksum pages it is about to skip; the index CRC and the per-page
+/// CRCs of the groups it does decode still cover everything it reads.
+fn verify_footer_frame(data: &[u8], what: &str) -> Result<()> {
+    if data.len() < FOOTER_LEN || data[data.len() - 4..] != FOOTER_MAGIC {
+        return Err(StoreError::Corrupt {
+            what: what.to_string(),
+            detail: "missing finalization footer (torn write or truncated file)".to_string(),
+        });
+    }
+    let base = data.len() - FOOTER_LEN;
+    let stored_len =
+        u32::from_le_bytes(data[base + 4..base + 8].try_into().expect("4 bytes")) as usize;
+    if stored_len != data.len() {
+        return Err(StoreError::Corrupt {
+            what: what.to_string(),
+            detail: format!(
+                "footer length disagrees with file length {} (truncated after finalization)",
+                data.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The stored whole-file CRC of a finalized segment — its content
+/// identity (used to key the decoded-segment cache and recorded in the
+/// manifest). `None` when the footer frame is absent or inconsistent.
+pub fn footer_crc(data: &[u8]) -> Option<u32> {
+    if data.len() < FOOTER_LEN || data[data.len() - 4..] != FOOTER_MAGIC {
+        return None;
+    }
+    let base = data.len() - FOOTER_LEN;
+    let stored_len = u32::from_le_bytes(data[base + 4..base + 8].try_into().ok()?) as usize;
+    if stored_len != data.len() {
+        return None;
+    }
+    Some(u32::from_le_bytes(data[base..base + 4].try_into().ok()?))
+}
+
 /// Append the finalization footer to an encoded segment body.
 fn push_footer(out: &mut Vec<u8>) {
     let crc = crc32(out);
@@ -104,7 +165,36 @@ pub(crate) fn refit_footer(data: &mut Vec<u8>) {
     push_footer(data);
 }
 
-/// The column layout, in file order.
+/// Recompute and rewrite the index block's CRC over its current bytes —
+/// used by the fault injector to plant an index whose CRC is valid but
+/// whose zone entries disagree with the rows (a buggy-indexer fault, as
+/// opposed to index bit rot which leaves the CRC stale).
+pub(crate) fn refit_index_crc(data: &mut [u8]) {
+    let len = data.len();
+    assert!(len >= FOOTER_LEN + 8, "no index to refit");
+    let idx_field = len - FOOTER_LEN - 4;
+    let index_off =
+        u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes")) as usize;
+    assert!(index_off + 4 <= idx_field, "index offset out of range");
+    let crc = crc32(&data[index_off..idx_field - 4]);
+    data[idx_field - 4..idx_field].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Byte range `[start, end)` of the index block (magic through index
+/// CRC) inside a finalized segment, for targeted fault injection.
+pub(crate) fn index_bounds(data: &[u8]) -> Option<(usize, usize)> {
+    if data.len() < FOOTER_LEN + 8 {
+        return None;
+    }
+    let idx_field = data.len() - FOOTER_LEN - 4;
+    let index_off = u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().ok()?) as usize;
+    if index_off + 4 > idx_field {
+        return None;
+    }
+    Some((index_off, idx_field))
+}
+
+/// The column layout, in file order (repeated once per page group).
 const COLUMNS: [(&str, Codec); 7] = [
     ("height", Codec::DeltaVarint),
     ("timestamp", Codec::DeltaVarint),
@@ -114,6 +204,151 @@ const COLUMNS: [(&str, Codec); 7] = [
     ("size_bytes", Codec::PlainVarint),
     ("difficulty", Codec::DeltaVarint),
 ];
+
+/// One page group's entry in the index block: where its seven pages
+/// start, how many rows it holds, and its height/time zone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageGroup {
+    /// Absolute file offset of the group's first page header.
+    pub offset: u32,
+    /// Rows in the group (`1..=PAGE_GROUP_ROWS`).
+    pub rows: u32,
+    /// Smallest height in the group.
+    pub min_height: u64,
+    /// Largest height in the group.
+    pub max_height: u64,
+    /// Smallest timestamp in the group.
+    pub min_time: i64,
+    /// Largest timestamp in the group.
+    pub max_time: i64,
+}
+
+impl PageGroup {
+    /// The group's zone as a [`ZoneMap`], for predicate pruning.
+    pub fn zone(&self) -> ZoneMap {
+        ZoneMap {
+            min_height: self.min_height,
+            max_height: self.max_height,
+            min_time: self.min_time,
+            max_time: self.max_time,
+            rows: u64::from(self.rows),
+        }
+    }
+}
+
+/// A segment's decoded index block: per-group zones, per-group producer
+/// bloom filters, plus the segment-level producer bloom filter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentIndex {
+    /// Page groups in file (= height) order.
+    pub groups: Vec<PageGroup>,
+    /// One bloom filter per page group, parallel to `groups`, over the
+    /// distinct producer ids in that group. This is what lets a
+    /// producer-filtered scan skip pages *inside* a segment it cannot
+    /// skip outright — on a chain-year store every long-lived pool is
+    /// in every segment's bloom, but only in a few groups' blooms.
+    pub group_producers: Vec<ProducerFilter>,
+    /// Bloom filter over the distinct producer ids in the segment.
+    pub producers: ProducerFilter,
+}
+
+/// Parse and CRC-check the index block of a finalized v3 segment. The
+/// caller must have verified at least the footer frame, so the trailing
+/// `index_off` word is trustworthy as a length. Structural problems and
+/// CRC mismatches surface as [`StoreError::CorruptIndex`].
+pub fn parse_index(data: &[u8], what: &str) -> Result<SegmentIndex> {
+    let bad = |detail: String| StoreError::CorruptIndex {
+        what: what.to_string(),
+        detail,
+    };
+    if data.len() < FOOTER_LEN + 8 {
+        return Err(bad(format!("file too short for an index: {}", data.len())));
+    }
+    let idx_field = data.len() - FOOTER_LEN - 4;
+    let index_off =
+        u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes")) as usize;
+    if index_off < 10 || index_off + 4 > idx_field {
+        return Err(bad(format!("index offset {index_off} out of range")));
+    }
+    let region = &data[index_off..idx_field];
+    // Smallest possible index: magic + count + one entry + one minimal
+    // group bloom (k, nwords, one word) + minimal segment bloom + crc.
+    if region.len() < 4 + 4 + GROUP_ENTRY_LEN + 16 + 16 + 4 {
+        return Err(bad(format!("index too short: {} bytes", region.len())));
+    }
+    let crc_at = region.len() - 4;
+    let stored = u32::from_le_bytes(region[crc_at..].try_into().expect("4 bytes"));
+    if crc32(&region[..crc_at]) != stored {
+        return Err(bad("index crc mismatch".to_string()));
+    }
+    let body = &region[..crc_at];
+    if body[..4] != INDEX_MAGIC {
+        return Err(bad("bad index magic".to_string()));
+    }
+    let count = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")) as usize;
+    if count == 0 || count > SEGMENT_ROWS.div_ceil(PAGE_GROUP_ROWS) {
+        return Err(bad(format!("group count {count} out of range")));
+    }
+    let entries_end = 8 + count * GROUP_ENTRY_LEN;
+    if body.len() < entries_end {
+        return Err(bad("index truncated inside group entries".to_string()));
+    }
+    let mut groups = Vec::with_capacity(count);
+    let mut prev_offset = 0u32;
+    for g in 0..count {
+        let at = 8 + g * GROUP_ENTRY_LEN;
+        let e = &body[at..at + GROUP_ENTRY_LEN];
+        let group = PageGroup {
+            offset: u32::from_le_bytes(e[0..4].try_into().expect("4 bytes")),
+            rows: u32::from_le_bytes(e[4..8].try_into().expect("4 bytes")),
+            min_height: u64::from_le_bytes(e[8..16].try_into().expect("8 bytes")),
+            max_height: u64::from_le_bytes(e[16..24].try_into().expect("8 bytes")),
+            min_time: i64::from_le_bytes(e[24..32].try_into().expect("8 bytes")),
+            max_time: i64::from_le_bytes(e[32..40].try_into().expect("8 bytes")),
+        };
+        if group.rows == 0 || group.rows as usize > PAGE_GROUP_ROWS {
+            return Err(bad(format!(
+                "group {g}: row count {} out of range",
+                group.rows
+            )));
+        }
+        if (group.offset as usize) < 10 || group.offset as usize >= index_off {
+            return Err(bad(format!(
+                "group {g}: offset {} out of range",
+                group.offset
+            )));
+        }
+        if group.offset <= prev_offset && g > 0 {
+            return Err(bad(format!("group {g}: offsets not increasing")));
+        }
+        if group.min_height > group.max_height || group.min_time > group.max_time {
+            return Err(bad(format!("group {g}: inverted zone bounds")));
+        }
+        prev_offset = group.offset;
+        groups.push(group);
+    }
+    let mut at = entries_end;
+    let mut group_producers = Vec::with_capacity(count);
+    for g in 0..count {
+        let (filter, used) = ProducerFilter::decode_from(&body[at..])
+            .ok_or_else(|| bad(format!("group {g}: bloom filter truncated or malformed")))?;
+        group_producers.push(filter);
+        at += used;
+    }
+    let (producers, used) = ProducerFilter::decode_from(&body[at..])
+        .ok_or_else(|| bad("segment bloom filter truncated or malformed".to_string()))?;
+    if at + used != body.len() {
+        return Err(bad(format!(
+            "{} trailing bytes after bloom filters",
+            body.len() - at - used
+        )));
+    }
+    Ok(SegmentIndex {
+        groups,
+        group_producers,
+        producers,
+    })
+}
 
 /// Encode rows into the segment byte format.
 pub fn encode_segment(rows: &[RowRecord]) -> Vec<u8> {
@@ -125,46 +360,102 @@ pub fn encode_segment(rows: &[RowRecord]) -> Vec<u8> {
     out.extend_from_slice(&VERSION.to_le_bytes());
     out.extend_from_slice(&(n as u32).to_le_bytes());
 
-    let mut payload = Vec::with_capacity(n * 2);
-    for (name, codec) in COLUMNS {
-        payload.clear();
-        match name {
-            "height" => encode_column(codec, &collect(rows, |r| r.height), &mut payload),
-            "timestamp" => {
-                let v: Vec<i64> = rows.iter().map(|r| r.timestamp).collect();
-                encode_signed_column(codec, &v, &mut payload);
-            }
-            "producer" => encode_column(
-                codec,
-                &collect(rows, |r| u64::from(r.producer)),
-                &mut payload,
-            ),
-            "credit" => encode_column(
-                codec,
-                &collect(rows, |r| u64::from(r.credit_millis)),
-                &mut payload,
-            ),
-            "tx_count" => encode_column(
-                codec,
-                &collect(rows, |r| u64::from(r.tx_count)),
-                &mut payload,
-            ),
-            "size_bytes" => encode_column(
-                codec,
-                &collect(rows, |r| u64::from(r.size_bytes)),
-                &mut payload,
-            ),
-            "difficulty" => encode_column(codec, &collect(rows, |r| r.difficulty), &mut payload),
-            _ => unreachable!(),
+    let mut payload = Vec::with_capacity(PAGE_GROUP_ROWS * 2);
+    let mut groups: Vec<PageGroup> = Vec::with_capacity(n.div_ceil(PAGE_GROUP_ROWS));
+    let mut group_blooms: Vec<ProducerFilter> = Vec::with_capacity(groups.capacity());
+    for chunk in rows.chunks(PAGE_GROUP_ROWS) {
+        let offset = out.len() as u32;
+        encode_group(chunk, &mut out, &mut payload);
+        let (mut min_t, mut max_t) = (i64::MAX, i64::MIN);
+        for r in chunk {
+            min_t = min_t.min(r.timestamp);
+            max_t = max_t.max(r.timestamp);
         }
-        write_page(&mut out, codec, n as u32, &payload);
+        groups.push(PageGroup {
+            offset,
+            rows: chunk.len() as u32,
+            min_height: chunk[0].height,
+            max_height: chunk[chunk.len() - 1].height,
+            min_time: min_t,
+            max_time: max_t,
+        });
+        let chunk_producers: Vec<u32> = chunk.iter().map(|r| r.producer).collect();
+        group_blooms.push(ProducerFilter::from_producers(&chunk_producers));
     }
+
+    let index_off = out.len() as u32;
+    out.extend_from_slice(&INDEX_MAGIC);
+    out.extend_from_slice(&(groups.len() as u32).to_le_bytes());
+    for g in &groups {
+        out.extend_from_slice(&g.offset.to_le_bytes());
+        out.extend_from_slice(&g.rows.to_le_bytes());
+        out.extend_from_slice(&g.min_height.to_le_bytes());
+        out.extend_from_slice(&g.max_height.to_le_bytes());
+        out.extend_from_slice(&g.min_time.to_le_bytes());
+        out.extend_from_slice(&g.max_time.to_le_bytes());
+    }
+    for bloom in &group_blooms {
+        bloom.encode_into(&mut out);
+    }
+    let producers: Vec<u32> = rows.iter().map(|r| r.producer).collect();
+    ProducerFilter::from_producers(&producers).encode_into(&mut out);
+    let index_crc = crc32(&out[index_off as usize..]);
+    out.extend_from_slice(&index_crc.to_le_bytes());
+    out.extend_from_slice(&index_off.to_le_bytes());
     push_footer(&mut out);
     out
 }
 
+/// Encode one page group's seven column pages.
+fn encode_group(rows: &[RowRecord], out: &mut Vec<u8>, payload: &mut Vec<u8>) {
+    let n = rows.len();
+    for (name, codec) in COLUMNS {
+        payload.clear();
+        match name {
+            "height" => encode_column(codec, &collect(rows, |r| r.height), payload),
+            "timestamp" => {
+                let v: Vec<i64> = rows.iter().map(|r| r.timestamp).collect();
+                encode_signed_column(codec, &v, payload);
+            }
+            "producer" => encode_column(codec, &collect(rows, |r| u64::from(r.producer)), payload),
+            "credit" => encode_column(
+                codec,
+                &collect(rows, |r| u64::from(r.credit_millis)),
+                payload,
+            ),
+            "tx_count" => encode_column(codec, &collect(rows, |r| u64::from(r.tx_count)), payload),
+            "size_bytes" => {
+                encode_column(codec, &collect(rows, |r| u64::from(r.size_bytes)), payload)
+            }
+            "difficulty" => encode_column(codec, &collect(rows, |r| r.difficulty), payload),
+            _ => unreachable!(),
+        }
+        write_page(out, codec, n as u32, payload);
+    }
+}
+
 fn collect(rows: &[RowRecord], f: impl Fn(&RowRecord) -> u64) -> Vec<u64> {
     rows.iter().map(f).collect()
+}
+
+/// What a pruned decode touched: how many page groups the index let it
+/// skip without reading a byte of their pages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrunedDecode {
+    /// Rows decoded (rows of the groups that survived pruning).
+    pub rows: usize,
+    /// Page groups in the segment.
+    pub groups_total: usize,
+    /// Page groups skipped via index zone maps or group bloom misses.
+    pub groups_skipped: usize,
+}
+
+impl PrunedDecode {
+    /// CRC-framed column pages skipped — each pruned group holds one
+    /// page per column.
+    pub fn pages_skipped(&self) -> usize {
+        self.groups_skipped * COLUMNS.len()
+    }
 }
 
 /// Reusable zero-copy segment decoder: the shared decode core of both
@@ -177,6 +468,13 @@ fn collect(rows: &[RowRecord], f: impl Fn(&RowRecord) -> u64) -> Vec<u64> {
 /// across segments makes a scan allocation-free after the first segment,
 /// which is what lets the columnar path skip the per-segment
 /// `Vec<RowRecord>` materialization entirely.
+///
+/// A full [`SegmentDecoder::decode`] also cross-checks the index block
+/// against the decoded rows (offsets, row counts, zone bounds, bloom
+/// membership), so fsck gets index verification for free. The pruned
+/// variant, [`SegmentDecoder::decode_pruned`], instead *trusts* the
+/// CRC-checked index and decodes only the page groups whose zones may
+/// match a predicate — the core of the pruned scan path.
 ///
 /// Validation is exactly [`decode_segment`]'s (that function is now a
 /// thin wrapper over this type), so corrupt inputs fail identically on
@@ -215,12 +513,20 @@ impl SegmentDecoder {
         SegmentDecoder::default()
     }
 
-    /// Decode a segment byte buffer into the decoder's columns, replacing
-    /// any previous contents. Returns the row count on success.
-    pub fn decode(&mut self, data: &[u8], what: &str) -> Result<usize> {
+    fn clear(&mut self) {
         self.rows = 0;
-        verify_footer(data, what)?;
-        let body = &data[..data.len() - FOOTER_LEN];
+        self.heights.clear();
+        self.timestamps.clear();
+        self.producers.clear();
+        self.credits.clear();
+        self.tx_counts.clear();
+        self.size_bytes.clear();
+        self.difficulties.clear();
+    }
+
+    /// Parse and sanity-check the 10-byte header; returns the declared
+    /// row count.
+    fn parse_header(body: &[u8], what: &str) -> Result<usize> {
         let bad = |detail: String| StoreError::BadFormat {
             what: what.to_string(),
             detail,
@@ -239,18 +545,14 @@ impl SegmentDecoder {
         if n == 0 || n > SEGMENT_ROWS {
             return Err(bad(format!("row count {n} out of range")));
         }
+        Ok(n)
+    }
 
-        self.heights.clear();
-        self.timestamps.clear();
-        self.producers.clear();
-        self.credits.clear();
-        self.tx_counts.clear();
-        self.size_bytes.clear();
-        self.difficulties.clear();
-
-        let mut cursor = &body[10..];
+    /// Decode one page group's seven pages from `cursor`, appending to
+    /// the column buffers. `n` is the group's expected row count.
+    fn decode_group(&mut self, cursor: &mut &[u8], n: usize, what: &str) -> Result<()> {
         for (name, _) in COLUMNS {
-            let (codec, rows_in_page, payload) = read_page(&mut cursor, what)?;
+            let (codec, rows_in_page, payload) = read_page(cursor, what)?;
             if rows_in_page as usize != n {
                 return Err(StoreError::Corrupt {
                     what: what.to_string(),
@@ -278,16 +580,13 @@ impl SegmentDecoder {
             };
             decode_column_into(codec, payload, n, out)?;
         }
-        if !cursor.is_empty() {
-            return Err(StoreError::Corrupt {
-                what: what.to_string(),
-                detail: format!("{} trailing bytes after last page", cursor.len()),
-            });
-        }
+        Ok(())
+    }
 
-        // Validate the u32-narrow columns row-major, in field order, so a
-        // segment with several oversized values reports the same first
-        // offender the row decoder always has.
+    /// Validate the u32-narrow columns row-major, in field order, so a
+    /// segment with several oversized values reports the same first
+    /// offender the row decoder always has.
+    fn validate_narrow(&self, what: &str) -> Result<()> {
         let narrow = |v: u64, col: &str| -> Result<()> {
             if v > u64::from(u32::MAX) {
                 return Err(StoreError::Corrupt {
@@ -297,13 +596,196 @@ impl SegmentDecoder {
             }
             Ok(())
         };
-        for i in 0..n {
+        for i in 0..self.heights.len() {
             narrow(self.producers[i], "producer")?;
             narrow(self.credits[i], "credit")?;
             narrow(self.tx_counts[i], "tx_count")?;
             narrow(self.size_bytes[i], "size_bytes")?;
         }
+        Ok(())
+    }
 
+    /// Decode a segment byte buffer into the decoder's columns, replacing
+    /// any previous contents. Returns the row count on success.
+    ///
+    /// This is the *full* decode: whole-file CRC, every page, and a
+    /// cross-check of the index block against the decoded rows. Index
+    /// inconsistencies surface as [`StoreError::CorruptIndex`].
+    pub fn decode(&mut self, data: &[u8], what: &str) -> Result<usize> {
+        self.clear();
+        verify_footer(data, what)?;
+        let body = &data[..data.len() - FOOTER_LEN];
+        let n = Self::parse_header(body, what)?;
+        let index = parse_index(data, what)?;
+        let bad_index = |detail: String| StoreError::CorruptIndex {
+            what: what.to_string(),
+            detail,
+        };
+        let declared: usize = index.groups.iter().map(|g| g.rows as usize).sum();
+        if declared != n {
+            return Err(bad_index(format!(
+                "index declares {declared} rows, header says {n}"
+            )));
+        }
+        let idx_field = data.len() - FOOTER_LEN - 4;
+        let index_off =
+            u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes"))
+                as usize;
+        let mut cursor = &data[10..index_off];
+        for (g, group) in index.groups.iter().enumerate() {
+            let pos = index_off - cursor.len();
+            if group.offset as usize != pos {
+                return Err(bad_index(format!(
+                    "group {g}: index offset {} but pages start at {pos}",
+                    group.offset
+                )));
+            }
+            self.decode_group(&mut cursor, group.rows as usize, what)?;
+        }
+        if !cursor.is_empty() {
+            return Err(bad_index(format!(
+                "{} trailing bytes between last page and index",
+                cursor.len()
+            )));
+        }
+
+        // Cross-check the index's zones and bloom against the rows.
+        let mut at = 0usize;
+        for (g, group) in index.groups.iter().enumerate() {
+            let rows = group.rows as usize;
+            let heights = &self.heights[at..at + rows];
+            let times = &self.timestamps[at..at + rows];
+            let (min_h, max_h) = (
+                heights.iter().copied().min().expect("non-empty group"),
+                heights.iter().copied().max().expect("non-empty group"),
+            );
+            let (min_t, max_t) = (
+                times.iter().copied().min().expect("non-empty group"),
+                times.iter().copied().max().expect("non-empty group"),
+            );
+            if (min_h, max_h, min_t, max_t)
+                != (
+                    group.min_height,
+                    group.max_height,
+                    group.min_time,
+                    group.max_time,
+                )
+            {
+                return Err(bad_index(format!(
+                    "group {g}: zone [{}..{}]h/[{}..{}]t disagrees with rows \
+                     [{min_h}..{max_h}]h/[{min_t}..{max_t}]t",
+                    group.min_height, group.max_height, group.min_time, group.max_time
+                )));
+            }
+            at += rows;
+        }
+        let mut at = 0usize;
+        for (g, group) in index.groups.iter().enumerate() {
+            let rows = group.rows as usize;
+            for &p in &self.producers[at..at + rows] {
+                if p > u64::from(u32::MAX) {
+                    continue; // reported by validate_narrow below
+                }
+                if !index.producers.contains(p as u32) {
+                    return Err(bad_index(format!(
+                        "segment bloom misses producer {p} (false negatives must be impossible)"
+                    )));
+                }
+                if !index.group_producers[g].contains(p as u32) {
+                    return Err(bad_index(format!(
+                        "group {g} bloom misses producer {p} (false negatives must be impossible)"
+                    )));
+                }
+            }
+            at += rows;
+        }
+
+        self.validate_narrow(what)?;
+        self.rows = n;
+        Ok(n)
+    }
+
+    /// Decode only the page groups that may satisfy `pred` — a group is
+    /// skipped when its index zone cannot overlap the predicate's
+    /// height/time range *or* its bloom filter proves the scanned
+    /// producer absent — without reading a byte of the skipped pages,
+    /// and skipping the whole-file CRC, whose cost is proportional to
+    /// the bytes we are trying not to touch. What *is* read stays fully
+    /// checked: the footer frame, the CRC-covered index block, and the
+    /// per-page CRCs of every decoded group.
+    ///
+    /// The decoder afterwards holds the surviving groups' rows,
+    /// contiguous and in height order; rows that match `pred` are a
+    /// subset of them (zones are conservative), so callers filter
+    /// per-row exactly as they would after a full decode.
+    pub fn decode_pruned(
+        &mut self,
+        data: &[u8],
+        what: &str,
+        pred: &ScanPredicate,
+    ) -> Result<PrunedDecode> {
+        self.clear();
+        verify_footer_frame(data, what)?;
+        let body = &data[..data.len() - FOOTER_LEN];
+        Self::parse_header(body, what)?;
+        let index = parse_index(data, what)?;
+        let idx_field = data.len() - FOOTER_LEN - 4;
+        let index_off =
+            u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes"))
+                as usize;
+        let mut decoded = 0usize;
+        for (g, group) in index.groups.iter().enumerate() {
+            if !pred.may_match(&group.zone()) {
+                continue;
+            }
+            if let Some(p) = pred.producer {
+                if !index.group_producers[g].contains(p) {
+                    continue;
+                }
+            }
+            let mut cursor = &data[group.offset as usize..index_off];
+            self.decode_group(&mut cursor, group.rows as usize, what)?;
+            decoded += 1;
+        }
+        self.validate_narrow(what)?;
+        self.rows = self.heights.len();
+        Ok(PrunedDecode {
+            rows: self.rows,
+            groups_total: index.groups.len(),
+            groups_skipped: index.groups.len() - decoded,
+        })
+    }
+
+    /// Last-resort decode for repair: parse the header and decode page
+    /// groups sequentially at their conventional positions, ignoring
+    /// the index block entirely. Per-page CRCs still gate every byte of
+    /// row data, so salvage succeeds exactly when the pages are intact
+    /// behind a damaged index — which is what lets
+    /// [`crate::doctor::StoreDoctor`] recover all rows of a segment
+    /// whose only fault is index corruption.
+    pub fn decode_salvage(&mut self, data: &[u8], what: &str) -> Result<usize> {
+        self.clear();
+        verify_footer_frame(data, what)?;
+        let body = &data[..data.len() - FOOTER_LEN];
+        let n = Self::parse_header(body, what)?;
+        let idx_field = data.len() - FOOTER_LEN - 4;
+        let index_off =
+            u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes"))
+                as usize;
+        if index_off < 10 || index_off > idx_field {
+            return Err(StoreError::Corrupt {
+                what: what.to_string(),
+                detail: format!("index offset {index_off} out of range"),
+            });
+        }
+        let mut cursor = &data[10..index_off];
+        let mut remaining = n;
+        while remaining > 0 {
+            let g = remaining.min(PAGE_GROUP_ROWS);
+            self.decode_group(&mut cursor, g, what)?;
+            remaining -= g;
+        }
+        self.validate_narrow(what)?;
         self.rows = n;
         Ok(n)
     }
@@ -349,10 +831,24 @@ pub fn decode_segment(data: &[u8], what: &str) -> Result<Vec<RowRecord>> {
     Ok((0..n).map(|i| dec.row(i)).collect())
 }
 
-/// Write a segment file crash-safely (see [`crate::atomic`]).
-pub fn write_segment_file(path: &Path, rows: &[RowRecord]) -> Result<()> {
+/// Content identity of a freshly written segment: what the manifest
+/// records so scans can prune (bloom) and cache (CRC) without opening
+/// the file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentStamp {
+    /// The whole-file footer CRC.
+    pub crc: u32,
+    /// The producer bloom filter, identical to the one in the index
+    /// block.
+    pub producers: ProducerFilter,
+}
+
+/// Write a segment file crash-safely (see [`crate::atomic`]) and return
+/// its content stamp for the manifest.
+pub fn write_segment_file(path: &Path, rows: &[RowRecord]) -> Result<SegmentStamp> {
     let timer = blockdec_obs::Timer::new("store.segment_write");
     let bytes = encode_segment(rows);
+    let crc = footer_crc(&bytes).expect("freshly encoded segment has a footer");
     crate::atomic::atomic_replace(path, &bytes)?;
     let elapsed_ms = timer.stop() * 1e3;
     blockdec_obs::counter("store.segments.written").inc();
@@ -363,7 +859,11 @@ pub fn write_segment_file(path: &Path, rows: &[RowRecord]) -> Result<()> {
         elapsed_ms = elapsed_ms;
         "wrote segment"
     );
-    Ok(())
+    let producers: Vec<u32> = rows.iter().map(|r| r.producer).collect();
+    Ok(SegmentStamp {
+        crc,
+        producers: ProducerFilter::from_producers(&producers),
+    })
 }
 
 /// Read and decode a segment file.
@@ -401,12 +901,57 @@ mod tests {
     }
 
     #[test]
+    fn group_blooms_prune_producer_scans_inside_a_segment() {
+        // Producer 999 appears only in the first page group; a
+        // producer-filtered pruned decode must skip every other group
+        // even though the segment-level bloom contains 999.
+        let mut r = rows(3 * PAGE_GROUP_ROWS);
+        r[7].producer = 999;
+        let encoded = encode_segment(&r);
+        let index = parse_index(&encoded, "t").unwrap();
+        assert!(index.producers.contains(999));
+        assert!(index.group_producers[0].contains(999));
+
+        let pred = ScanPredicate::all().producer(999);
+        let mut dec = SegmentDecoder::new();
+        let pruned = dec.decode_pruned(&encoded, "t", &pred).unwrap();
+        assert_eq!(pruned.groups_total, 3);
+        assert!(
+            pruned.groups_skipped >= 2,
+            "groups 1 and 2 hold no producer 999, got {} skipped",
+            pruned.groups_skipped
+        );
+        // The surviving rows still contain the match.
+        assert!((0..dec.len()).any(|i| dec.row(i) == r[7]));
+    }
+
+    #[test]
     fn roundtrip_small_and_large() {
-        for n in [1usize, 2, 100, 4096] {
+        // Below, at, and well past the page-group size, including the
+        // full-capacity 16-group layout.
+        for n in [1usize, 2, 100, 4096, 4097, 10_000, SEGMENT_ROWS] {
             let r = rows(n);
             let encoded = encode_segment(&r);
             let decoded = decode_segment(&encoded, "test").unwrap();
             assert_eq!(decoded, r, "n={n}");
+        }
+    }
+
+    #[test]
+    fn index_describes_the_groups() {
+        let r = rows(10_000);
+        let encoded = encode_segment(&r);
+        let index = parse_index(&encoded, "t").unwrap();
+        assert_eq!(index.groups.len(), 3);
+        assert_eq!(
+            index.groups.iter().map(|g| g.rows).collect::<Vec<_>>(),
+            vec![4096, 4096, 10_000 - 2 * 4096]
+        );
+        assert_eq!(index.groups[0].offset, 10);
+        assert_eq!(index.groups[0].min_height, r[0].height);
+        assert_eq!(index.groups[2].max_height, r.last().unwrap().height);
+        for p in 0..23u32 {
+            assert!(index.producers.contains(p), "bloom lost producer {p}");
         }
     }
 
@@ -466,8 +1011,11 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("seg-00000000.bds");
         let r = rows(1000);
-        write_segment_file(&path, &r).unwrap();
+        let stamp = write_segment_file(&path, &r).unwrap();
         assert_eq!(read_segment_file(&path).unwrap(), r);
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(footer_crc(&bytes), Some(stamp.crc));
+        assert_eq!(parse_index(&bytes, "t").unwrap().producers, stamp.producers);
         // No temp file left behind.
         assert!(!crate::atomic::temp_path(&path).exists());
         fs::remove_dir_all(&dir).unwrap();
@@ -504,6 +1052,74 @@ mod tests {
         encoded.splice(at..at, [0u8; 4]);
         assert_eq!(check_footer(&encoded), FooterCheck::LengthMismatch);
         assert!(decode_segment(&encoded, "t").is_err());
+    }
+
+    #[test]
+    fn index_bit_rot_is_corrupt_index() {
+        let r = rows(128);
+        let mut encoded = encode_segment(&r);
+        let (start, end) = index_bounds(&encoded).unwrap();
+        // Flip a bit inside the index body (not its CRC), then refit the
+        // footer so the damage is *only* visible at the index layer.
+        encoded[start + 9] ^= 0x10;
+        assert!(start + 9 < end - 4);
+        refit_footer(&mut encoded);
+        let err = decode_segment(&encoded, "t").unwrap_err();
+        assert!(matches!(err, StoreError::CorruptIndex { .. }), "{err}");
+        let mut dec = SegmentDecoder::new();
+        let err = dec
+            .decode_pruned(&encoded, "t", &ScanPredicate::all())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::CorruptIndex { .. }), "{err}");
+    }
+
+    #[test]
+    fn zone_drift_behind_valid_index_crc_is_corrupt_index() {
+        let r = rows(5000);
+        let mut encoded = encode_segment(&r);
+        let (start, _) = index_bounds(&encoded).unwrap();
+        // Bump group 0's max_height (offset 16 into its 40-byte entry,
+        // after the 8-byte index header) and make the index CRC and
+        // footer collude: only the rows themselves can expose the lie.
+        let at = start + 8 + 16;
+        let drifted = u64::from_le_bytes(encoded[at..at + 8].try_into().unwrap()) + 7;
+        encoded[at..at + 8].copy_from_slice(&drifted.to_le_bytes());
+        refit_index_crc(&mut encoded);
+        refit_footer(&mut encoded);
+        assert!(parse_index(&encoded, "t").is_ok(), "index crc must pass");
+        let err = decode_segment(&encoded, "t").unwrap_err();
+        assert!(matches!(err, StoreError::CorruptIndex { .. }), "{err}");
+    }
+
+    #[test]
+    fn pruned_decode_equals_full_decode_plus_filter() {
+        let r = rows(10_000);
+        let encoded = encode_segment(&r);
+        let full: Vec<RowRecord> = decode_segment(&encoded, "t").unwrap();
+        let mid = r[5000].height;
+        let pred = ScanPredicate::all().heights(mid, mid + 100);
+        let mut dec = SegmentDecoder::new();
+        let pruned = dec.decode_pruned(&encoded, "t", &pred).unwrap();
+        assert_eq!(pruned.groups_total, 3);
+        assert!(pruned.groups_skipped >= 1, "narrow range must skip groups");
+        let want: Vec<RowRecord> = full.iter().filter(|r| pred.matches(r)).copied().collect();
+        let got: Vec<RowRecord> = (0..dec.len())
+            .map(|i| dec.row(i))
+            .filter(|r| pred.matches(r))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pruned_decode_with_no_matching_groups_is_empty() {
+        let r = rows(8192);
+        let encoded = encode_segment(&r);
+        let pred = ScanPredicate::all().heights(1, 2);
+        let mut dec = SegmentDecoder::new();
+        let pruned = dec.decode_pruned(&encoded, "t", &pred).unwrap();
+        assert_eq!(pruned.rows, 0);
+        assert_eq!(pruned.groups_skipped, pruned.groups_total);
+        assert!(dec.is_empty());
     }
 
     #[test]

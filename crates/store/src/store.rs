@@ -2,6 +2,7 @@
 
 use crate::cache::SegmentCache;
 use crate::catalog::{segment_file_name, Manifest, SegmentMeta};
+use crate::compactor::{CompactionPolicy, Compactor};
 use crate::dictionary::{load_dictionary, save_dictionary};
 use crate::error::{Result, StoreError};
 use crate::row::{weight_to_millis, RowRecord};
@@ -85,13 +86,49 @@ impl ScanPredicate {
     }
 }
 
+/// Why a segment can be skipped without opening its file, if it can.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Prune {
+    /// The segment may hold matching rows — it must be read.
+    No,
+    /// The zone map proves no row is in the predicate's height/time range.
+    Zone,
+    /// The producer bloom filter proves the scanned producer is absent.
+    Bloom,
+}
+
+/// Decide segment-level pruning from manifest metadata alone: the zone
+/// map first (cheapest), then the mirrored producer bloom filter. Both
+/// are conservative — a pruned segment provably holds no matching row.
+fn prune_segment(pred: &ScanPredicate, seg: &SegmentMeta) -> Prune {
+    if !pred.may_match(&seg.zone) {
+        return Prune::Zone;
+    }
+    if let Some(p) = pred.producer {
+        if !seg.producers.contains(p) {
+            return Prune::Bloom;
+        }
+    }
+    Prune::No
+}
+
 /// Pruning statistics of one scan.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScanStats {
     /// Sealed segments in the catalog.
     pub segments_total: usize,
-    /// Segments skipped by zone-map pruning.
+    /// Segments skipped without being opened — by zone-map pruning or a
+    /// producer bloom miss (the bloom subset is also in
+    /// [`ScanStats::bloom_skips`]).
     pub segments_pruned: usize,
+    /// Segments skipped because the manifest's producer bloom filter
+    /// proved the scanned producer absent (never a false skip: bloom
+    /// filters have no false negatives).
+    pub bloom_skips: usize,
+    /// CRC-framed column pages skipped *inside* decoded segments via the
+    /// v3 per-group index zones (columnar scans only; the row path
+    /// decodes whole segments into the cache, so it reports 0 here).
+    pub pages_pruned: u64,
     /// Unreadable segments skipped by a degraded scan (always 0 for a
     /// strict scan, which errors instead). See [`ScanOptions`].
     pub segments_skipped: usize,
@@ -165,6 +202,7 @@ pub struct BlockStore {
     active: Vec<RowRecord>,
     last_height: Option<u64>,
     scan_threads: usize,
+    compact_policy: Option<CompactionPolicy>,
 }
 
 /// Default decoded-segment cache capacity.
@@ -190,6 +228,7 @@ impl BlockStore {
             active: Vec::new(),
             last_height: None,
             scan_threads: 0,
+            compact_policy: None,
         };
         store.manifest.save(&store.dir)?;
         save_dictionary(&store.dir.join("dictionary.json"), &store.registry)?;
@@ -227,6 +266,7 @@ impl BlockStore {
             active: Vec::new(),
             last_height,
             scan_threads: 0,
+            compact_policy: None,
         })
     }
 
@@ -236,6 +276,14 @@ impl BlockStore {
     /// [`BlockStore::scan_columnar_with`] take precedence.
     pub fn set_scan_threads(&mut self, threads: usize) {
         self.scan_threads = threads;
+    }
+
+    /// Opt in to background-style compaction on flush: after each flush
+    /// commit, runs of small height-adjacent segments matching `policy`
+    /// are merged into large sorted segments. `None` (the initial value)
+    /// leaves compaction to explicit [`BlockStore::compact`] calls.
+    pub fn set_compaction_policy(&mut self, policy: Option<CompactionPolicy>) {
+        self.compact_policy = policy;
     }
 
     /// Open if a manifest exists, otherwise create.
@@ -358,30 +406,42 @@ impl BlockStore {
         debug_assert!(!rows.is_empty());
         let id = self.manifest.next_segment_id;
         let file = segment_file_name(id);
-        write_segment_file(&self.dir.join(&file), &rows)?;
+        let stamp = write_segment_file(&self.dir.join(&file), &rows)?;
         self.manifest.segments.push(SegmentMeta {
             file,
             zone: ZoneMap::from_rows(&rows),
+            crc: stamp.crc,
+            producers: stamp.producers,
         });
         self.manifest.next_segment_id = id + 1;
         // Commit: dictionary first (superset is harmless), then manifest.
         save_dictionary(&self.dir.join("dictionary.json"), &self.registry)?;
         self.manifest.save(&self.dir)?;
-        self.cache.invalidate();
+        // No cache invalidation: the decoded-segment cache is keyed by
+        // content identity (file name + footer CRC), so entries for
+        // superseded bytes simply stop being addressed and age out.
         Ok(())
     }
 
     /// Seal any buffered rows into a final (possibly short) segment and
-    /// commit. Idempotent when the buffer is empty.
+    /// commit. Idempotent when the buffer is empty. When a compaction
+    /// policy is set ([`BlockStore::set_compaction_policy`]), eligible
+    /// runs of small segments are merged after the flush commit.
     pub fn flush(&mut self) -> Result<()> {
-        let _t = blockdec_obs::span_timed!("stage.store_flush", rows = self.active.len());
-        if self.active.is_empty() {
-            // Still persist dictionary growth from interning.
-            save_dictionary(&self.dir.join("dictionary.json"), &self.registry)?;
-            return Ok(());
+        {
+            let _t = blockdec_obs::span_timed!("stage.store_flush", rows = self.active.len());
+            if self.active.is_empty() {
+                // Still persist dictionary growth from interning.
+                save_dictionary(&self.dir.join("dictionary.json"), &self.registry)?;
+                return Ok(());
+            }
+            let rows = std::mem::take(&mut self.active);
+            self.seal(rows)?;
         }
-        let rows = std::mem::take(&mut self.active);
-        self.seal(rows)
+        if let Some(policy) = self.compact_policy {
+            self.run_compaction(policy)?;
+        }
+        Ok(())
     }
 
     /// Scan rows matching a predicate, in height order.
@@ -441,14 +501,25 @@ impl BlockStore {
             ..ScanStats::default()
         };
         for seg in &self.manifest.segments {
-            if !pred.may_match(&seg.zone) {
-                stats.segments_pruned += 1;
-                continue;
+            match prune_segment(pred, seg) {
+                Prune::Zone => {
+                    stats.segments_pruned += 1;
+                    blockdec_obs::counter("store.scan.segments_pruned").inc();
+                    continue;
+                }
+                Prune::Bloom => {
+                    stats.segments_pruned += 1;
+                    stats.bloom_skips += 1;
+                    blockdec_obs::counter("store.scan.segments_pruned").inc();
+                    blockdec_obs::counter("store.scan.bloom_skip").inc();
+                    continue;
+                }
+                Prune::No => {}
             }
             let path = self.dir.join(&seg.file);
             let rows = match self
                 .cache
-                .get_or_load(&seg.file, || read_segment_file(&path))
+                .get_or_load(&seg.cache_key(), || read_segment_file(&path))
             {
                 Ok(rows) => rows,
                 Err(e) if opts.skip_corrupt => {
@@ -598,13 +669,19 @@ impl BlockStore {
             segments_total: self.manifest.segments.len(),
             ..ScanStats::default()
         };
-        let selected: Vec<&SegmentMeta> = self
-            .manifest
-            .segments
-            .iter()
-            .filter(|seg| pred.may_match(&seg.zone))
-            .collect();
-        stats.segments_pruned = stats.segments_total - selected.len();
+        let mut selected: Vec<&SegmentMeta> = Vec::with_capacity(self.manifest.segments.len());
+        for seg in &self.manifest.segments {
+            match prune_segment(pred, seg) {
+                Prune::Zone => stats.segments_pruned += 1,
+                Prune::Bloom => {
+                    stats.segments_pruned += 1;
+                    stats.bloom_skips += 1;
+                }
+                Prune::No => selected.push(seg),
+            }
+        }
+        blockdec_obs::counter("store.scan.segments_pruned").add(stats.segments_pruned as u64);
+        blockdec_obs::counter("store.scan.bloom_skip").add(stats.bloom_skips as u64);
 
         let threads = effective_scan_threads(opts.threads, selected.len());
         let mut partials: Vec<ColumnarPartial> = if threads <= 1 {
@@ -653,6 +730,7 @@ impl BlockStore {
         for p in &partials {
             stats.segments_skipped += p.skipped;
             stats.rows_returned += p.rows_matched;
+            stats.pages_pruned += p.pages_pruned;
             if disorder.is_none() {
                 // Boundary disorder (last row of the previous chunk vs
                 // first accepted row of this one) is observed before any
@@ -690,6 +768,7 @@ impl BlockStore {
             );
         }
         blockdec_obs::counter("store.rows.scanned").add(stats.rows_returned);
+        blockdec_obs::counter("store.scan.pages_pruned").add(stats.pages_pruned);
         if let Some((prev, next)) = disorder {
             return Err(StoreError::InconsistentCatalog(format!(
                 "scan yielded rows out of height order: height {next} after {prev}"
@@ -781,52 +860,27 @@ impl BlockStore {
         Ok(outcome)
     }
 
-    /// Merge under-filled adjacent segments into full ones. Repeated
-    /// `flush` calls create short segments; compaction rewrites them into
-    /// [`SEGMENT_ROWS`]-sized chunks, commits the new manifest, then
-    /// removes the superseded files. No-op (returning `false`) when the
-    /// segment count would not shrink. Buffered rows are flushed first.
+    /// Merge runs of under-filled adjacent segments into full ones.
+    /// Repeated `flush` calls create short segments; compaction rewrites
+    /// them into [`SEGMENT_ROWS`]-sized v3 segments (fresh page-group
+    /// indexes and producer bloom filters included), commits the new
+    /// manifest atomically, then removes the superseded files. No-op
+    /// (returning `false`) when no run would shrink the segment count.
+    /// Buffered rows are flushed first. See [`crate::compactor`] for the
+    /// planning rules and crash-safety argument.
     pub fn compact(&mut self) -> Result<bool> {
         self.flush()?;
-        let total: u64 = self.manifest.total_rows();
-        let ideal = (total as usize).div_ceil(SEGMENT_ROWS);
-        if self.manifest.segments.len() <= ideal || total == 0 {
-            return Ok(false);
-        }
-        // Load everything in order (segment count is bounded by the
-        // pre-compaction state; datasets at our scale fit comfortably).
-        let mut all_rows: Vec<RowRecord> = Vec::with_capacity(total as usize);
-        let old_files: Vec<String> = self
-            .manifest
-            .segments
-            .iter()
-            .map(|s| s.file.clone())
-            .collect();
-        for file in &old_files {
-            all_rows.extend(read_segment_file(&self.dir.join(file))?);
-        }
+        self.run_compaction(CompactionPolicy::full())
+    }
 
-        let mut new_segments = Vec::with_capacity(ideal);
-        let mut next_id = self.manifest.next_segment_id;
-        for chunk in all_rows.chunks(SEGMENT_ROWS) {
-            let file = segment_file_name(next_id);
-            write_segment_file(&self.dir.join(&file), chunk)?;
-            new_segments.push(SegmentMeta {
-                file,
-                zone: ZoneMap::from_rows(chunk),
-            });
-            next_id += 1;
-        }
-        self.manifest.segments = new_segments;
-        self.manifest.next_segment_id = next_id;
-        self.manifest.save(&self.dir)?;
-        self.cache.invalidate();
-        // Old files are garbage once the manifest commit lands; removal
-        // failures are harmless leftovers.
-        for file in old_files {
-            let _ = fs::remove_file(self.dir.join(file));
-        }
-        Ok(true)
+    /// Execute one compaction pass under `policy` over the sealed
+    /// segments. The decoded-segment cache needs no invalidation:
+    /// replacement segments get fresh file names and cache keys carry
+    /// the content CRC, so superseded entries are simply never addressed
+    /// again and age out of the LRU.
+    fn run_compaction(&mut self, policy: CompactionPolicy) -> Result<bool> {
+        let compactor = Compactor::new(&self.dir, policy);
+        Ok(compactor.run(&mut self.manifest)?.is_some())
     }
 }
 
@@ -864,6 +918,8 @@ struct ColumnarPartial {
     segments_decoded: usize,
     rows_decoded: u64,
     bytes_decoded: u64,
+    /// CRC-framed column pages skipped via page-group zone maps.
+    pages_pruned: u64,
 }
 
 /// Decode a contiguous run of segments straight into a partial
@@ -886,10 +942,10 @@ fn decode_columnar_chunk(
         let decoded = fs::read(&path)
             .map_err(|e| StoreError::io(&path, e))
             .and_then(|bytes| {
-                let n = dec.decode(&bytes, &path.display().to_string())?;
-                Ok((bytes.len() as u64, n))
+                let pruned = dec.decode_pruned(&bytes, &path.display().to_string(), pred)?;
+                Ok((bytes.len() as u64, pruned))
             });
-        let (byte_len, n) = match decoded {
+        let (byte_len, pruned) = match decoded {
             Ok(v) => v,
             Err(e) if opts.skip_corrupt => {
                 part.skipped += 1;
@@ -906,9 +962,11 @@ fn decode_columnar_chunk(
             }
         };
         let elapsed_ms = timer.stop() * 1e3;
+        let n = pruned.rows;
         part.segments_decoded += 1;
         part.rows_decoded += n as u64;
         part.bytes_decoded += byte_len;
+        part.pages_pruned += pruned.pages_skipped() as u64;
         blockdec_obs::counter("store.segments.read").inc();
         blockdec_obs::counter("store.decode.segments").inc();
         blockdec_obs::counter("store.decode.rows").add(n as u64);
@@ -916,6 +974,7 @@ fn decode_columnar_chunk(
         blockdec_obs::debug!(
             file = seg.file.clone(),
             rows = n,
+            groups_skipped = pruned.groups_skipped,
             bytes = byte_len,
             elapsed_ms = elapsed_ms;
             "decoded segment"
@@ -1420,6 +1479,128 @@ mod tests {
         let (hits, misses) = store.cache_stats();
         assert_eq!(misses, 1);
         assert!(hits >= 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_never_serves_stale_cache_entries() {
+        // Regression: cache keys carry the content CRC, so a scan after
+        // compaction must re-load the rewritten segment (a miss, never
+        // a stale hit) even though no explicit invalidation happens.
+        let dir = tmp_dir("compact-cache");
+        let mut store = BlockStore::create(&dir).unwrap();
+        for batch in 0..4u64 {
+            let rows: Vec<RowRecord> = (batch * 10..batch * 10 + 10)
+                .map(|h| row(&mut store, h, "P"))
+                .collect();
+            store.append_rows(&rows).unwrap();
+            store.flush().unwrap();
+        }
+        // Warm the cache on the pre-compaction layout.
+        let before = store.scan(&ScanPredicate::all()).unwrap();
+        let (_, misses_before) = store.cache_stats();
+        assert_eq!(misses_before, 4);
+
+        assert!(store.compact().unwrap());
+        let after = store.scan(&ScanPredicate::all()).unwrap();
+        assert_eq!(before, after);
+        let (_, misses_after) = store.cache_stats();
+        assert_eq!(
+            misses_after,
+            misses_before + 1,
+            "the compacted segment must be loaded fresh, not served stale"
+        );
+
+        // And repeat scans on the new layout hit the cache normally.
+        let (hits_1, _) = store.cache_stats();
+        store.scan(&ScanPredicate::all()).unwrap();
+        let (hits_2, misses_2) = store.cache_stats();
+        assert_eq!(misses_2, misses_after);
+        assert_eq!(hits_2, hits_1 + 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bloom_filter_prunes_producer_scans() {
+        let dir = tmp_dir("bloom-prune");
+        let mut store = BlockStore::create(&dir).unwrap();
+        // Two segments with disjoint producers over one height range
+        // split: zone maps cannot separate producers, only the bloom
+        // filter can.
+        let rows_a: Vec<RowRecord> = (0..10).map(|h| row(&mut store, h, "OnlyA")).collect();
+        store.append_rows(&rows_a).unwrap();
+        store.flush().unwrap();
+        let rows_b: Vec<RowRecord> = (10..20).map(|h| row(&mut store, h, "OnlyB")).collect();
+        store.append_rows(&rows_b).unwrap();
+        store.flush().unwrap();
+
+        let b = store.intern_producer("OnlyB");
+        let pred = ScanPredicate::all().producer(b);
+        let (rows, stats) = store.scan_with_stats(&pred).unwrap();
+        assert_eq!(rows, rows_b);
+        assert_eq!(stats.bloom_skips, 1, "segment A must be bloom-pruned");
+        assert_eq!(stats.segments_pruned, 1);
+
+        // Same pruning on the columnar path.
+        let (cols, cstats) = store
+            .scan_columnar_with(&pred, ScanOptions::strict(), |_| true)
+            .unwrap();
+        assert_eq!(cols.len(), rows_b.len());
+        assert_eq!(cstats.bloom_skips, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn columnar_scan_reports_pruned_pages() {
+        let dir = tmp_dir("page-prune");
+        let mut store = BlockStore::create(&dir).unwrap();
+        // One segment spanning three page groups (2.5 × 4096 rows).
+        let rows: Vec<RowRecord> = (0..10_240).map(|h| row(&mut store, h, "P")).collect();
+        store.append_rows(&rows).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.segment_count(), 1);
+
+        // A height slice inside the middle group: the first and last
+        // groups are skipped without decoding, 7 pages each.
+        let pred = ScanPredicate::all().heights(5_000, 5_100);
+        let (cols, stats) = store
+            .scan_columnar_with(&pred, ScanOptions::strict(), |_| true)
+            .unwrap();
+        assert_eq!(cols.len(), 101);
+        assert_eq!(stats.pages_pruned, 14, "two of three page groups skipped");
+        assert_eq!(stats.segments_pruned, 0);
+
+        // The full scan prunes nothing and says so.
+        let (cols, stats) = store
+            .scan_columnar_with(&ScanPredicate::all(), ScanOptions::strict(), |_| true)
+            .unwrap();
+        assert_eq!(cols.len(), rows.len());
+        assert_eq!(stats.pages_pruned, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_tiered_policy_compacts_during_flush() {
+        let dir = tmp_dir("tiered");
+        let mut store = BlockStore::create(&dir).unwrap();
+        store.set_compaction_policy(Some(CompactionPolicy::size_tiered()));
+        // Three small flushes: below min_run, nothing merges.
+        for batch in 0..3u64 {
+            let rows: Vec<RowRecord> = (batch * 10..batch * 10 + 10)
+                .map(|h| row(&mut store, h, "P"))
+                .collect();
+            store.append_rows(&rows).unwrap();
+            store.flush().unwrap();
+        }
+        assert_eq!(store.segment_count(), 3);
+        // The fourth flush completes a run of four and triggers the
+        // background merge.
+        let rows: Vec<RowRecord> = (30..40).map(|h| row(&mut store, h, "P")).collect();
+        store.append_rows(&rows).unwrap();
+        store.flush().unwrap();
+        assert_eq!(store.segment_count(), 1);
+        assert_eq!(store.row_count(), 40);
+        assert!(store.scrub().unwrap().is_healthy());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

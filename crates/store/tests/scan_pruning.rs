@@ -3,7 +3,7 @@
 //! arbitrary flush layouts (segment boundaries in arbitrary places) and
 //! arbitrary height/time/producer predicates.
 
-use blockdec_store::{BlockStore, RowRecord, ScanPredicate};
+use blockdec_store::{BlockStore, ProducerFilter, RowRecord, ScanOptions, ScanPredicate};
 use proptest::prelude::*;
 use std::fs;
 use std::path::PathBuf;
@@ -145,5 +145,72 @@ proptest! {
         let want: Vec<RowRecord> = rows.iter().filter(|r| pred.matches(r)).copied().collect();
         prop_assert_eq!(got, want);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compacted_scan_equals_full_scan_plus_filter(
+        (rows, cuts) in store_layout(),
+        pred in any_predicate(),
+        threads in 1usize..4,
+    ) {
+        // Same equivalence, but over the layout compaction produces:
+        // merged v3 segments whose page-group indexes and bloom filters
+        // now do the pruning. The pruned scan must stay bitwise equal to
+        // full-scan-plus-filter on both paths at any thread count.
+        let dir = tmp_dir();
+        let mut store = BlockStore::create(&dir).unwrap();
+        for p in 0..PRODUCERS {
+            store.intern_producer(&format!("producer-{p}"));
+        }
+        let mut prev = 0usize;
+        for cut in cuts.iter().copied() {
+            if cut > prev {
+                store.append_rows(&rows[prev..cut]).unwrap();
+                store.flush().unwrap();
+                prev = cut;
+            }
+        }
+        if prev < rows.len() {
+            store.append_rows(&rows[prev..]).unwrap();
+        }
+        store.compact().unwrap();
+
+        let want: Vec<RowRecord> = rows.iter().filter(|r| pred.matches(r)).copied().collect();
+        let (got, stats) = store.scan_with_stats(&pred).unwrap();
+        prop_assert_eq!(&got, &want, "row scan diverged after compaction");
+        prop_assert!(stats.segments_pruned <= stats.segments_total);
+
+        // Columnar: the pruned scan (segment + page-group pruning) must
+        // equal the unpruned scan with the same predicate applied as a
+        // residual row filter, at every thread count.
+        let opts = ScanOptions::strict().with_threads(threads);
+        let (pruned, _) = store.scan_columnar_with(&pred, opts, |_| true).unwrap();
+        let (full, full_stats) = store
+            .scan_columnar_with(&ScanPredicate::all(), ScanOptions::strict().with_threads(1), |r| {
+                pred.matches(r)
+            })
+            .unwrap();
+        prop_assert_eq!(pruned, full, "pruned columnar scan diverged from full + filter");
+        prop_assert_eq!(full_stats.pages_pruned, 0, "the all-predicate must prune nothing");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bloom_filter_never_has_false_negatives(
+        members in prop::collection::vec(0u32..50_000, 1..400),
+        probes in prop::collection::vec(0u32..50_000, 0..100),
+    ) {
+        // False positives are allowed (and bounded by the lib's own FP
+        // test); false negatives never are — a bloom skip must be proof
+        // of absence.
+        let filter = ProducerFilter::from_producers(&members);
+        for &p in &members {
+            prop_assert!(filter.contains(p), "false negative for member {p}");
+        }
+        // Probes that are genuinely absent may collide (false positive)
+        // but the filter must answer deterministically.
+        for &p in &probes {
+            prop_assert_eq!(filter.contains(p), filter.contains(p));
+        }
     }
 }

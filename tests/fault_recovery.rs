@@ -149,3 +149,51 @@ fn crash_during_flush_loses_nothing_committed() {
     fs::remove_dir_all(&crash_dir).unwrap();
     fs::remove_dir_all(&ref_dir).unwrap();
 }
+
+#[test]
+fn crash_during_compaction_loses_nothing_committed() {
+    // Compaction rewrites committed data, which makes its crash window
+    // the most dangerous in the store: a crash at the manifest commit
+    // must leave every committed block intact, the doctor must converge,
+    // and a retried compaction must produce the identical measurement
+    // matrix the pre-compaction store produced.
+    let crash_dir = tmp_dir("compact-crash");
+
+    let mut store = build_store(&crash_dir, 3);
+    let before_rows = store.scan(&ScanPredicate::all()).unwrap();
+    let before_matrix = paper_matrix(&store);
+
+    // Compaction commits in order: dictionary (1, via the leading
+    // flush), replacement segment (2), manifest (3). Crash at the
+    // manifest — replacement files exist but are not yet referenced.
+    FaultInjector::new(&crash_dir, 17).arm_crash_at_commit(3);
+    assert!(store.compact().is_err());
+    drop(store);
+
+    let doctor = StoreDoctor::new(&crash_dir);
+    let report = doctor.check().unwrap();
+    assert!(
+        report.has(FaultKind::OrphanSegment),
+        "replacement segments written before the crash must surface as orphans: {:?}",
+        report.kinds()
+    );
+    let outcome = doctor.repair().unwrap();
+    assert_eq!(
+        outcome.rows_quarantined, 0,
+        "compaction crash must never cost a committed row"
+    );
+    assert!(doctor.check().unwrap().is_clean());
+
+    // Every committed block survived, bit for bit.
+    let mut recovered = BlockStore::open(&crash_dir).unwrap();
+    assert_eq!(recovered.scan(&ScanPredicate::all()).unwrap(), before_rows);
+    assert_eq!(paper_matrix(&recovered), before_matrix);
+
+    // The retried compaction completes and changes nothing observable.
+    assert!(recovered.compact().unwrap());
+    assert_eq!(recovered.segment_count(), 1);
+    assert_eq!(recovered.scan(&ScanPredicate::all()).unwrap(), before_rows);
+    assert_eq!(paper_matrix(&recovered), before_matrix);
+
+    fs::remove_dir_all(&crash_dir).unwrap();
+}
