@@ -10,6 +10,17 @@ cargo test -q --workspace --doc
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# Layering: the store's read/write paths must speak only the ObjectStore
+# trait. No direct std::fs I/O outside the LocalFs backend module — test
+# modules (cut at #[cfg(test)]) and doc comments are exempt.
+for f in crates/store/src/store.rs crates/store/src/segment.rs \
+         crates/store/src/compactor.rs crates/store/src/doctor.rs; do
+    if sed '/#\[cfg(test)\]/q' "$f" | grep -vE '^\s*//[/!]' | grep -nE 'std::fs|fs::'; then
+        echo "ci.sh: direct filesystem I/O in $f (must go through ObjectStore)" >&2
+        exit 1
+    fi
+done
+
 # Smoke: the matrix planner must exactly match the per-config baseline,
 # the columnar (SoA) pipeline must bitwise-match the AoS pipeline, the
 # parallel store->columns decode must bitwise-match the sequential one,
@@ -17,15 +28,20 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # scan plus filter — all while staying above the checked-in throughput
 # floors (ci/decode-baseline.txt, ci/prune-baseline.txt), emitting a
 # machine-readable bench summary (the binary exits non-zero on any
-# divergence or regression).
+# divergence or regression). The backend bench additionally proves a
+# pruned chain-year window scan fetches at most the checked-in fraction
+# of the store's bytes (ci/backend-baseline.txt, a ceiling) and that
+# SimBackend output is bitwise-identical to LocalFs.
 mkdir -p target/ci-smoke
 ./target/release/experiments --days 14 --bench-json target/ci-smoke/bench.json \
     --decode-baseline ci/decode-baseline.txt \
-    --prune-baseline ci/prune-baseline.txt
+    --prune-baseline ci/prune-baseline.txt \
+    --backend-baseline ci/backend-baseline.txt
 test -s target/ci-smoke/bench.json
 grep -q '"columnar": \[' target/ci-smoke/bench.json
 grep -q '"decode": \[' target/ci-smoke/bench.json
 grep -q '"pruned": \[' target/ci-smoke/bench.json
+grep -q '"backend": \[' target/ci-smoke/bench.json
 
 # Smoke: durability. A freshly loaded store must fsck clean (exit 0),
 # and the fsck self-test must inject, detect, and repair every fault
@@ -53,5 +69,21 @@ rm -rf target/ci-smoke/compact-store
     --metric gini,entropy,nakamoto --window fixed:day \
     --out target/ci-smoke/compact-after.csv
 cmp target/ci-smoke/compact-before.csv target/ci-smoke/compact-after.csv
+
+# Smoke: storage backends. The same measurement over the same store must
+# be byte-identical whether reads go through plain LocalFs or through a
+# throttled, flaky SimBackend (seeded latency + jitter, every 5th read
+# failing once with a transient error that the retry layer absorbs).
+./target/release/blockdec measure --store target/ci-smoke/compact-store \
+    --metric gini,entropy,nakamoto --window fixed:day \
+    --out target/ci-smoke/backend-local.csv
+./target/release/blockdec measure --store target/ci-smoke/compact-store \
+    --backend sim --sim-latency-us 50 --sim-jitter-us 20 \
+    --sim-bandwidth-kbps 51200 --sim-fail-every 5 --sim-seed 42 \
+    --metric gini,entropy,nakamoto --window fixed:day \
+    --out target/ci-smoke/backend-sim.csv
+cmp target/ci-smoke/backend-local.csv target/ci-smoke/backend-sim.csv
+./target/release/blockdec fsck --store target/ci-smoke/compact-store \
+    --backend sim --sim-latency-us 50 --sim-fail-every 5 --sim-seed 42
 
 echo "ci.sh: all gates passed"

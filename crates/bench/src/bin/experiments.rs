@@ -20,11 +20,22 @@
 //!                        fail if a pruned scan's effective coverage rate
 //!                        (blocks/s) drops below any floor (same >30%
 //!                        regression margin as the decode baseline)
+//!     [--backend-baseline P] with --bench-json: read
+//!                        "backend_<dataset>_fetch_fraction <ceiling>"
+//!                        lines from P and fail if a cold-cache pruned
+//!                        3-day window scan fetches MORE than that
+//!                        fraction of the store's bytes (a ceiling, not
+//!                        a floor). The Bitcoin chain-year store is
+//!                        always benchmarked, whatever --days says, so
+//!                        the gate measures the paper workload even in
+//!                        quick CI runs; Ethereum rides along ungated
+//!                        when --days covers the full year
 //! ```
 
 use blockdec_bench::perf::{
-    columnar_summary_line, decode_summary_line, pruned_summary_line, run_columnar_bench,
-    run_decode_bench, run_matrix_bench, run_pruned_bench, summary_line, write_bench_json,
+    backend_summary_line, columnar_summary_line, decode_summary_line, pruned_summary_line,
+    run_backend_bench, run_columnar_bench, run_decode_bench, run_matrix_bench, run_pruned_bench,
+    summary_line, write_bench_json,
 };
 use blockdec_bench::{run_experiment, Dataset, ALL_EXPERIMENTS};
 use std::path::PathBuf;
@@ -41,6 +52,7 @@ fn main() -> ExitCode {
     let mut bench_json: Option<PathBuf> = None;
     let mut decode_baseline: Option<PathBuf> = None;
     let mut prune_baseline: Option<PathBuf> = None;
+    let mut backend_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -77,6 +89,13 @@ fn main() -> ExitCode {
                 Some(p) => prune_baseline = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--prune-baseline needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--backend-baseline" => match args.next() {
+                Some(p) => backend_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--backend-baseline needs a file path");
                     return ExitCode::from(2);
                 }
             },
@@ -283,7 +302,88 @@ fn main() -> ExitCode {
                 }
             }
         }
-        if let Err(e) = write_bench_json(path, &results, &columnar, &decode, &pruned) {
+        eprintln!("\nbenchmarking backend bytes-fetched and LocalFs-vs-Sim parity...");
+        // The fetch-fraction gate is only meaningful on the paper's
+        // chain-year layout, so Bitcoin always runs at 365 days even in
+        // --quick/--days smoke runs; Ethereum (an order of magnitude
+        // more rows) joins only when the datasets already cover the
+        // year.
+        let backend = {
+            let mut out = Vec::new();
+            if days >= 365 {
+                out.push(run_backend_bench(&btc));
+                out.push(run_backend_bench(&eth));
+            } else {
+                eprintln!("  (re-generating bitcoin at 365 days for the fetch-fraction gate)");
+                out.push(run_backend_bench(&Dataset::bitcoin(365)));
+            }
+            out
+        };
+        for b in &backend {
+            println!("{}", backend_summary_line(b));
+            if !b.sim_exact_match {
+                eprintln!(
+                    "bench FAILED: sim backend diverged from LocalFs on {}",
+                    b.dataset
+                );
+                failed = true;
+            }
+        }
+        if let Some(baseline) = &backend_baseline {
+            // Ceilings are named "backend_<dataset>_fetch_fraction" and
+            // gate how much of the store a pruned window scan may read.
+            let fractions: Vec<(String, f64)> = backend
+                .iter()
+                .map(|b| {
+                    (
+                        format!("backend_{}_fetch_fraction", b.dataset),
+                        b.fetch_fraction,
+                    )
+                })
+                .collect();
+            match std::fs::read_to_string(baseline) {
+                Ok(body) => {
+                    for line in body.lines() {
+                        let line = line.trim();
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        let mut parts = line.split_whitespace();
+                        let (name, ceiling) = match (
+                            parts.next(),
+                            parts.next().and_then(|v| v.parse::<f64>().ok()),
+                        ) {
+                            (Some(n), Some(c)) => (n, c),
+                            _ => {
+                                eprintln!("bad baseline line {line:?} in {}", baseline.display());
+                                failed = true;
+                                continue;
+                            }
+                        };
+                        match fractions.iter().find(|(n, _)| n == name) {
+                            Some((_, fraction)) if *fraction > ceiling => {
+                                eprintln!(
+                                    "bench FAILED: {name} = {fraction:.3} exceeds the \
+                                     baseline ceiling {ceiling:.3} (pruned scans are \
+                                     fetching too much of the store)"
+                                );
+                                failed = true;
+                            }
+                            Some(_) => {}
+                            None => {
+                                eprintln!("baseline names unknown backend metric {name:?}");
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("could not read {}: {e}", baseline.display());
+                    failed = true;
+                }
+            }
+        }
+        if let Err(e) = write_bench_json(path, &results, &columnar, &decode, &pruned, &backend) {
             eprintln!("could not write {}: {e}", path.display());
             failed = true;
         } else {

@@ -490,6 +490,175 @@ pub fn run_pruned_bench(ds: &Dataset) -> PrunedBench {
     result
 }
 
+/// Result of one backend bytes-fetched / sim-parity bench.
+#[derive(Clone, Debug)]
+pub struct BackendBench {
+    /// Dataset label (`bitcoin` / `ethereum`).
+    pub dataset: String,
+    /// Blocks decoded by the full scan.
+    pub blocks: usize,
+    /// Sealed (compacted) segment count.
+    pub segments: usize,
+    /// Total committed segment bytes in the store.
+    pub store_bytes: u64,
+    /// Credit rows matched by the 3-day pruned window.
+    pub window_rows: u64,
+    /// Backend bytes actually read by the pruned window scan on a cold
+    /// page cache (index blocks plus matching page groups only).
+    pub bytes_fetched: u64,
+    /// `bytes_fetched / store_bytes` — the paper-workload fetch
+    /// fraction the CI ceiling gates on.
+    pub fetch_fraction: f64,
+    /// Page-cache hits during the pruned window scan.
+    pub page_cache_hits: u64,
+    /// Page-cache misses (ranged backend reads) during the scan.
+    pub page_cache_misses: u64,
+    /// Transient read faults injected and retried during the
+    /// sim-backend parity scans.
+    pub sim_retries: u64,
+    /// Whether every sim-backend scan (full and pruned, at 1 worker and
+    /// at the auto thread count) was bitwise-identical to LocalFs.
+    pub sim_exact_match: bool,
+}
+
+/// Persist the dataset into a compacted store, then measure what the
+/// `ObjectStore` layer actually reads: a cold-cache pruned 3-day window
+/// scan's `store.backend.bytes_fetched` against the total store size,
+/// plus a bitwise LocalFs-vs-SimBackend parity check under injected
+/// transient read faults.
+pub fn run_backend_bench(ds: &Dataset) -> BackendBench {
+    use blockdec_chain::time::SECS_PER_DAY as DAY;
+    use blockdec_store::{LocalFs, ObjectStore, ScanOptions, SimBackend, SimProfile};
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!(
+        "blockdec-backendbench-{}-{}",
+        ds.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = BlockStore::create(&dir).expect("create bench store");
+    let step = ds.attributed.len().div_ceil(8).max(1);
+    for chunk in ds.attributed.chunks(step) {
+        store
+            .append_attributed(chunk, &ds.registry)
+            .expect("append bench dataset");
+        store.flush().expect("flush bench store");
+    }
+    store.compact().expect("compact bench store");
+    let segments = store.segment_count();
+    drop(store);
+
+    // Total committed bytes, via the backend itself.
+    let fs_backend: Arc<dyn ObjectStore> = Arc::new(LocalFs::new(&dir));
+    let store_bytes: u64 = fs_backend
+        .list()
+        .expect("list store")
+        .iter()
+        .filter(|n| n.ends_with(".bds"))
+        .map(|n| fs_backend.size(n).expect("segment size"))
+        .sum();
+
+    // The 3-day window in the middle of the dataset's time range.
+    let ts_min = ds
+        .attributed
+        .iter()
+        .map(|b| b.timestamp.0)
+        .min()
+        .unwrap_or(0);
+    let ts_max = ds
+        .attributed
+        .iter()
+        .map(|b| b.timestamp.0)
+        .max()
+        .unwrap_or(0);
+    let lo = ts_min + (ts_max - ts_min) / 2;
+    let time_pred = ScanPredicate::all().times(lo, lo + 3 * DAY);
+
+    // Cold-cache pruned scan: a fresh handle, so the page cache starts
+    // empty and every backend read shows up in the counter deltas.
+    let cold = BlockStore::open_with(Arc::new(LocalFs::new(&dir))).expect("open bench store");
+    let fetched0 = blockdec_obs::counter("store.backend.bytes_fetched").get();
+    let hits0 = blockdec_obs::counter("store.backend.hit").get();
+    let misses0 = blockdec_obs::counter("store.backend.miss").get();
+    let (window_cols, _) = cold
+        .scan_columnar_with(&time_pred, ScanOptions::strict().with_threads(0), |_| true)
+        .expect("pruned window scan");
+    let bytes_fetched = blockdec_obs::counter("store.backend.bytes_fetched").get() - fetched0;
+    let page_cache_hits = blockdec_obs::counter("store.backend.hit").get() - hits0;
+    let page_cache_misses = blockdec_obs::counter("store.backend.miss").get() - misses0;
+    let window_rows = window_cols.credit_count() as u64;
+    drop(cold);
+
+    // Sim parity: the same store through seeded latency, jitter, and an
+    // injected transient fault every 7th read must decode identically.
+    let local = BlockStore::open_with(Arc::new(LocalFs::new(&dir))).expect("open local");
+    let profile = SimProfile {
+        seed: 42,
+        latency_us: 20,
+        jitter_us: 10,
+        bandwidth_kbps: 0,
+        fail_every: 7,
+    };
+    let sim_backend: Arc<dyn ObjectStore> =
+        Arc::new(SimBackend::new(Arc::new(LocalFs::new(&dir)), profile));
+    let sim = BlockStore::open_with(sim_backend).expect("open sim");
+    let retries0 = blockdec_obs::counter("store.backend.retries").get();
+    let mut sim_exact_match = true;
+    let mut blocks = 0;
+    for pred in [&ScanPredicate::all(), &time_pred] {
+        let (reference, _) = local
+            .scan_columnar_with(pred, ScanOptions::strict().with_threads(1), |_| true)
+            .expect("local reference scan");
+        if !pred.can_prune() {
+            blocks = reference.len();
+        }
+        for threads in [1, 0] {
+            let (cols, _) = sim
+                .scan_columnar_with(pred, ScanOptions::strict().with_threads(threads), |_| true)
+                .expect("sim scan");
+            sim_exact_match &= cols == reference;
+        }
+    }
+    let sim_retries = blockdec_obs::counter("store.backend.retries").get() - retries0;
+
+    let result = BackendBench {
+        dataset: ds.name.clone(),
+        blocks,
+        segments,
+        store_bytes,
+        window_rows,
+        bytes_fetched,
+        fetch_fraction: bytes_fetched as f64 / store_bytes.max(1) as f64,
+        page_cache_hits,
+        page_cache_misses,
+        sim_retries,
+        sim_exact_match,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// One human-readable summary line for a backend bench result.
+pub fn backend_summary_line(b: &BackendBench) -> String {
+    format!(
+        "{}: {} blocks in {} segment(s) ({:.1} MiB) — 3-day window fetched {:.1} MiB \
+         ({:.1}% of the store; {} hits / {} misses, {} rows); sim parity with {} retried \
+         fault(s): {}",
+        b.dataset,
+        b.blocks,
+        b.segments,
+        b.store_bytes as f64 / (1024.0 * 1024.0),
+        b.bytes_fetched as f64 / (1024.0 * 1024.0),
+        b.fetch_fraction * 100.0,
+        b.page_cache_hits,
+        b.page_cache_misses,
+        b.window_rows,
+        b.sim_retries,
+        b.sim_exact_match
+    )
+}
+
 /// One human-readable summary line for a pruned-scan bench result.
 pub fn pruned_summary_line(b: &PrunedBench) -> String {
     format!(
@@ -580,19 +749,22 @@ pub fn summary_line(b: &MatrixBench) -> String {
 /// Write results as a machine-readable JSON document so successive runs
 /// can be committed (`BENCH_*.json`) and compared as a trajectory.
 ///
-/// Version 4 carries four sections: `matrix` (naive-vs-planner, as in
+/// Version 5 carries five sections: `matrix` (naive-vs-planner, as in
 /// version 1), `columnar` (AoS-vs-SoA end-to-end pipeline, added in
 /// version 2), `decode` (sequential-vs-parallel store→columns decode
-/// throughput, added in version 3), and `pruned` (full decode vs
-/// index/bloom-pruned filtered scans over the compacted layout).
+/// throughput, added in version 3), `pruned` (full decode vs
+/// index/bloom-pruned filtered scans over the compacted layout), and
+/// `backend` (ObjectStore bytes-fetched for a pruned window plus
+/// LocalFs-vs-SimBackend bitwise parity under injected faults).
 pub fn write_bench_json(
     path: &Path,
     matrix: &[MatrixBench],
     columnar: &[ColumnarBench],
     decode: &[DecodeBench],
     pruned: &[PrunedBench],
+    backend: &[BackendBench],
 ) -> io::Result<()> {
-    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 4,\n");
+    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 5,\n");
     out.push_str("  \"matrix\": [\n");
     for (i, b) in matrix.iter().enumerate() {
         out.push_str(&format!(
@@ -701,6 +873,29 @@ pub fn write_bench_json(
             if i + 1 < pruned.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"backend\": [\n");
+    for (i, b) in backend.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"dataset\": \"{}\",\n      \"blocks\": {},\n      \
+             \"segments\": {},\n      \"store_bytes\": {},\n      \
+             \"window_rows\": {},\n      \"bytes_fetched\": {},\n      \
+             \"fetch_fraction\": {:.6},\n      \"page_cache_hits\": {},\n      \
+             \"page_cache_misses\": {},\n      \"sim_retries\": {},\n      \
+             \"sim_exact_match\": {}\n    }}{}\n",
+            b.dataset,
+            b.blocks,
+            b.segments,
+            b.store_bytes,
+            b.window_rows,
+            b.bytes_fetched,
+            b.fetch_fraction,
+            b.page_cache_hits,
+            b.page_cache_misses,
+            b.sim_retries,
+            b.sim_exact_match,
+            if i + 1 < backend.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out)
 }
@@ -746,20 +941,35 @@ mod tests {
         assert!(pruned.time_rows > 0, "3-day window matched nothing");
         assert!(pruned.producer_rows > 0, "rare producer matched nothing");
 
+        let backend = run_backend_bench(&ds);
+        assert!(backend.sim_exact_match, "sim backend diverged from LocalFs");
+        assert_eq!(backend.blocks, ds.len());
+        assert!(backend.store_bytes > 0);
+        assert!(backend.bytes_fetched > 0, "window scan read nothing");
+        assert!(backend.window_rows > 0, "3-day window matched nothing");
+        assert!(
+            backend.fetch_fraction <= 1.05,
+            "pruned scan fetched more than the store holds: {}",
+            backend.fetch_fraction
+        );
+
         let path =
             std::env::temp_dir().join(format!("blockdec-bench-json-{}.json", std::process::id()));
-        write_bench_json(&path, &[bench], &[col], &[dec], &[pruned]).unwrap();
+        write_bench_json(&path, &[bench], &[col], &[dec], &[pruned], &[backend]).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"bench\": \"matrix\""));
-        assert!(body.contains("\"version\": 4"));
+        assert!(body.contains("\"version\": 5"));
         assert!(body.contains("\"dataset\": \"bitcoin\""));
         assert!(body.contains("\"columnar\": ["));
         assert!(body.contains("\"decode\": ["));
         assert!(body.contains("\"pruned\": ["));
+        assert!(body.contains("\"backend\": ["));
         assert!(body.contains("\"aos_resident_bytes\""));
         assert!(body.contains("\"parallel_blocks_per_sec\""));
         assert!(body.contains("\"time_speedup\""));
         assert!(body.contains("\"producer_bloom_skips\""));
+        assert!(body.contains("\"fetch_fraction\""));
+        assert!(body.contains("\"sim_exact_match\": true"));
         assert!(body.contains("\"exact_match\": true"));
         std::fs::remove_file(&path).unwrap();
     }

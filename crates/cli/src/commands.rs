@@ -13,10 +13,11 @@ use blockdec_core::series::MeasurementSeries;
 use blockdec_ingest::{bigquery, csv as csvio, jsonl};
 use blockdec_query::{Filter, MeasurementSource, Plan};
 use blockdec_sim::Scenario;
-use blockdec_store::{BlockStore, FaultInjector, FaultKind, RowRecord, ScanPredicate, StoreDoctor};
+use blockdec_store::{BlockStore, LocalFs, ObjectStore, SimBackend, SimProfile, StoreDoctor};
 use std::fs;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 type CmdResult = Result<(), String>;
 
@@ -119,12 +120,72 @@ pub fn simulate(args: &Args) -> CmdResult {
     out.flush().map_err(|e| e.to_string())
 }
 
+/// The storage backend selected by `--backend` (and its `--sim-*`
+/// knobs), not yet rooted at a directory.
+enum BackendChoice {
+    Local,
+    Sim(SimProfile),
+}
+
+impl BackendChoice {
+    /// Root the choice at a store directory.
+    fn build(&self, dir: &Path) -> Arc<dyn ObjectStore> {
+        match self {
+            BackendChoice::Local => Arc::new(LocalFs::new(dir)),
+            BackendChoice::Sim(profile) => {
+                Arc::new(SimBackend::new(Arc::new(LocalFs::new(dir)), *profile))
+            }
+        }
+    }
+}
+
+/// Parse `--backend local|sim` plus the `--sim-latency-us`,
+/// `--sim-jitter-us`, `--sim-bandwidth-kbps`, `--sim-fail-every`, and
+/// `--sim-seed` knobs. The sim backend stores the same bytes as local
+/// (it wraps the local filesystem) but adds seeded latency/jitter,
+/// optional bandwidth throttling, and injected transient read faults
+/// that exercise the store's retry path.
+fn backend_choice(args: &Args) -> Result<BackendChoice, String> {
+    match args.get("backend").unwrap_or("local") {
+        "local" => Ok(BackendChoice::Local),
+        "sim" => Ok(BackendChoice::Sim(SimProfile {
+            seed: args.get_parsed::<u64>("sim-seed")?.unwrap_or(0),
+            latency_us: args.get_parsed::<u64>("sim-latency-us")?.unwrap_or(0),
+            jitter_us: args.get_parsed::<u64>("sim-jitter-us")?.unwrap_or(0),
+            bandwidth_kbps: args.get_parsed::<u64>("sim-bandwidth-kbps")?.unwrap_or(0),
+            fail_every: args.get_parsed::<u64>("sim-fail-every")?.unwrap_or(0),
+        })),
+        other => Err(format!("unknown backend {other:?} (local|sim)")),
+    }
+}
+
+/// Build the selected backend rooted at `dir`.
+fn backend_from_args(dir: &str, args: &Args) -> Result<Arc<dyn ObjectStore>, String> {
+    Ok(backend_choice(args)?.build(Path::new(dir)))
+}
+
+/// Apply the cache-sizing flags to an open store: `--cache-segments`
+/// (decoded-segment LRU, also `BLOCKDEC_CACHE_SEGMENTS`) and
+/// `--page-cache-mb` (backend byte-range cache, also
+/// `BLOCKDEC_PAGE_CACHE_MB`).
+fn apply_cache_flags(store: &mut BlockStore, args: &Args) -> Result<(), String> {
+    if let Some(n) = args.get_parsed::<usize>("cache-segments")? {
+        store.set_cache_segments(n);
+    }
+    if let Some(mb) = args.get_parsed::<usize>("page-cache-mb")? {
+        store.set_page_cache_bytes(mb.saturating_mul(1024 * 1024));
+    }
+    Ok(())
+}
+
 /// `blockdec load` — simulate straight into a store.
 pub fn load(args: &Args) -> CmdResult {
     let scenario = scenario_from_args(args)?;
     let store_dir = args.required("store")?;
     let stream = scenario.generate();
-    let mut store = BlockStore::open_or_create(store_dir).map_err(|e| e.to_string())?;
+    let mut store = BlockStore::open_or_create_with(backend_from_args(store_dir, args)?)
+        .map_err(|e| e.to_string())?;
+    apply_cache_flags(&mut store, args)?;
     // `--flush-every N` seals a segment every N blocks instead of one
     // big flush at the end — produces the many-small-segments layout
     // that `blockdec compact` exists to fix (used by the CI smoke).
@@ -170,7 +231,9 @@ pub fn ingest(args: &Args) -> CmdResult {
     let attributed = attributor.attribute_all(&blocks);
     let registry = attributor.into_registry();
 
-    let mut store = BlockStore::open_or_create(store_dir).map_err(|e| e.to_string())?;
+    let mut store = BlockStore::open_or_create_with(backend_from_args(store_dir, args)?)
+        .map_err(|e| e.to_string())?;
+    apply_cache_flags(&mut store, args)?;
     store
         .append_attributed(&attributed, &registry)
         .map_err(|e| e.to_string())?;
@@ -187,7 +250,9 @@ pub fn ingest(args: &Args) -> CmdResult {
 /// columnar decode worker count, `0` (default) = one per CPU, `1` =
 /// sequential. See docs/PERFORMANCE.md for guidance.
 fn open_store(dir: &str, args: &Args) -> Result<BlockStore, String> {
-    let mut store = BlockStore::open(dir).map_err(|e| e.to_string())?;
+    let mut store =
+        BlockStore::open_with(backend_from_args(dir, args)?).map_err(|e| e.to_string())?;
+    apply_cache_flags(&mut store, args)?;
     if let Some(threads) = args.get_parsed::<usize>("scan-threads")? {
         store.set_scan_threads(threads);
     }
@@ -415,7 +480,8 @@ pub fn analyze(args: &Args) -> CmdResult {
 /// `blockdec scrub` — verify every on-disk artifact of a store.
 pub fn scrub(args: &Args) -> CmdResult {
     let store_dir = args.required("store")?;
-    let store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let store =
+        BlockStore::open_with(backend_from_args(store_dir, args)?).map_err(|e| e.to_string())?;
     let report = store.scrub().map_err(|e| e.to_string())?;
     println!(
         "checked {} segments / {} rows",
@@ -435,7 +501,8 @@ pub fn scrub(args: &Args) -> CmdResult {
 /// `blockdec compact` — merge under-filled segments.
 pub fn compact(args: &Args) -> CmdResult {
     let store_dir = args.required("store")?;
-    let mut store = BlockStore::open(store_dir).map_err(|e| e.to_string())?;
+    let mut store =
+        BlockStore::open_with(backend_from_args(store_dir, args)?).map_err(|e| e.to_string())?;
     let before = store.segment_count();
     let changed = store.compact().map_err(|e| e.to_string())?;
     if changed {
@@ -454,9 +521,15 @@ pub fn compact(args: &Args) -> CmdResult {
 pub fn fsck(args: &Args) -> Result<u8, String> {
     let store_dir = args.required("store")?;
     if args.has_switch("self-test") {
-        return fsck_self_test(Path::new(store_dir));
+        let choice = backend_choice(args)?;
+        let factory = |dir: &Path| choice.build(dir);
+        blockdec_store::selftest::run_self_test(Path::new(store_dir), &factory, &mut |line| {
+            println!("{line}")
+        })?;
+        println!("self-test: all fault classes detected and repaired");
+        return Ok(FSCK_CLEAN);
     }
-    let doctor = StoreDoctor::new(store_dir);
+    let doctor = StoreDoctor::with_backend(backend_from_args(store_dir, args)?);
     let report = doctor.check().map_err(|e| e.to_string())?;
     println!(
         "checked {} segments / {} rows",
@@ -503,274 +576,6 @@ pub fn fsck(args: &Args) -> Result<u8, String> {
         }
         Ok(FSCK_UNREPAIRABLE)
     }
-}
-
-/// 60 deterministic fixture rows (heights 0..60, two producers).
-fn fsck_fixture_rows() -> Vec<RowRecord> {
-    (0..60u64)
-        .map(|h| RowRecord {
-            height: h,
-            timestamp: 1_546_300_800 + h as i64 * 600,
-            producer: (h % 3 == 0) as u32,
-            credit_millis: 1000,
-            tx_count: 2,
-            size_bytes: 500,
-            difficulty: 7,
-        })
-        .collect()
-}
-
-/// Build a clean 3-segment fixture store at `dir` and return its rows.
-fn fsck_build_fixture(dir: &Path) -> Result<Vec<RowRecord>, String> {
-    let _ = fs::remove_dir_all(dir);
-    let mut store = BlockStore::create(dir).map_err(|e| e.to_string())?;
-    store.intern_producer("self-test-major");
-    store.intern_producer("self-test-minor");
-    let rows = fsck_fixture_rows();
-    for chunk in rows.chunks(20) {
-        store.append_rows(chunk).map_err(|e| e.to_string())?;
-        store.flush().map_err(|e| e.to_string())?;
-    }
-    Ok(rows)
-}
-
-/// One self-test round-trip: build fixture → `inject` → detect
-/// `expect` → repair → verify clean, and verify a strict scan returns
-/// exactly the clean rows minus `lost` (an inclusive height range).
-fn fsck_self_test_case(
-    base: &Path,
-    label: &str,
-    expect: FaultKind,
-    lost: Option<(u64, u64)>,
-    inject: impl FnOnce(&mut FaultInjector) -> Result<(), blockdec_store::StoreError>,
-) -> Result<(), String> {
-    let dir = base.join(format!("case-{label}"));
-    let rows = fsck_build_fixture(&dir)?;
-    let mut inj = FaultInjector::new(&dir, 0xB10C_DEC0 + label.len() as u64);
-    inject(&mut inj).map_err(|e| format!("{label}: inject: {e}"))?;
-
-    let doctor = StoreDoctor::new(&dir);
-    let report = doctor.check().map_err(|e| format!("{label}: check: {e}"))?;
-    if !report.has(expect) {
-        return Err(format!(
-            "{label}: expected {} to be detected, got {:?}",
-            expect.label(),
-            report.kinds()
-        ));
-    }
-    doctor
-        .repair()
-        .map_err(|e| format!("{label}: repair: {e}"))?;
-    let post = doctor
-        .check()
-        .map_err(|e| format!("{label}: post-check: {e}"))?;
-    if !post.is_clean() {
-        return Err(format!(
-            "{label}: still dirty after repair: {:?}",
-            post.faults
-        ));
-    }
-
-    let expected: Vec<RowRecord> = rows
-        .into_iter()
-        .filter(|r| lost.is_none_or(|(lo, hi)| r.height < lo || r.height > hi))
-        .collect();
-    let store = BlockStore::open(&dir).map_err(|e| format!("{label}: reopen: {e}"))?;
-    let got = store
-        .scan(&ScanPredicate::all())
-        .map_err(|e| format!("{label}: post-repair scan: {e}"))?;
-    if got != expected {
-        return Err(format!(
-            "{label}: post-repair scan returned {} rows, expected {}",
-            got.len(),
-            expected.len()
-        ));
-    }
-    println!(
-        "self-test {label}: detected {}, repaired, {} rows surviving",
-        expect.label(),
-        got.len()
-    );
-    Ok(())
-}
-
-/// `blockdec fsck --self-test`: exercise every fault class end to end
-/// (inject → detect → repair → verify) in scratch stores under `base`.
-fn fsck_self_test(base: &Path) -> Result<u8, String> {
-    use blockdec_store::catalog::segment_file_name;
-    let victim = segment_file_name(1); // heights 20..=39
-
-    fsck_self_test_case(
-        base,
-        "truncation",
-        FaultKind::Truncated,
-        Some((20, 39)),
-        |i| i.truncate(&victim),
-    )?;
-    fsck_self_test_case(base, "bit-flip", FaultKind::BitRot, Some((20, 39)), |i| {
-        i.flip_bit(&victim)
-    })?;
-    fsck_self_test_case(base, "bad-page", FaultKind::BadPage, Some((20, 39)), |i| {
-        i.corrupt_page_header(&victim)
-    })?;
-    fsck_self_test_case(base, "zone-drift", FaultKind::ZoneDrift, None, |i| {
-        i.drift_zone(&victim)
-    })?;
-    // Index corruption is recoverable: the pages behind the damaged
-    // index stay intact, so repair salvages every row (lost = None).
-    fsck_self_test_case(base, "bad-index", FaultKind::BadIndex, None, |i| {
-        i.corrupt_index(&victim)
-    })?;
-    fsck_self_test_case(base, "page-zone-drift", FaultKind::BadIndex, None, |i| {
-        i.drift_page_zone(&victim)
-    })?;
-    fsck_self_test_case(
-        base,
-        "missing-segment",
-        FaultKind::MissingSegment,
-        Some((20, 39)),
-        |i| i.delete_segment(&victim),
-    )?;
-    fsck_self_test_case(base, "orphan", FaultKind::OrphanSegment, None, |i| {
-        i.orphan_copy(&segment_file_name(0), 77).map(|_| ())
-    })?;
-    fsck_self_test_case(
-        base,
-        "missing-manifest",
-        FaultKind::MissingManifest,
-        None,
-        |i| i.drop_manifest(),
-    )?;
-    fsck_self_test_case(
-        base,
-        "missing-dictionary",
-        FaultKind::MissingDictionary,
-        None,
-        |i| i.drop_dictionary(),
-    )?;
-    fsck_self_test_case(
-        base,
-        "bad-dictionary",
-        FaultKind::BadDictionary,
-        None,
-        |i| i.corrupt_dictionary(),
-    )?;
-    fsck_self_test_case(base, "torn-tmp", FaultKind::TornTemp, None, |i| {
-        i.torn_tmp()
-    })?;
-
-    // Crash mid-flush: the segment file and dictionary commit, then the
-    // manifest commit "crashes". The committed state must be intact and
-    // the uncommitted segment must end up quarantined as an orphan.
-    {
-        let dir = base.join("case-crash-mid-flush");
-        let rows = fsck_build_fixture(&dir)?;
-        let mut store = BlockStore::open(&dir).map_err(|e| e.to_string())?;
-        let extra: Vec<RowRecord> = (60..80u64)
-            .map(|h| RowRecord {
-                height: h,
-                timestamp: 1_546_300_800 + h as i64 * 600,
-                producer: 0,
-                credit_millis: 1000,
-                tx_count: 2,
-                size_bytes: 500,
-                difficulty: 7,
-            })
-            .collect();
-        store.append_rows(&extra).map_err(|e| e.to_string())?;
-        let mut inj = FaultInjector::new(&dir, 7);
-        inj.arm_crash_at_commit(3); // 1 = segment, 2 = dictionary, 3 = manifest
-        if store.flush().is_ok() {
-            return Err("crash-mid-flush: flush should have failed".into());
-        }
-        drop(store);
-        let doctor = StoreDoctor::new(&dir);
-        let report = doctor.check().map_err(|e| e.to_string())?;
-        if !report.has(FaultKind::OrphanSegment) || !report.has(FaultKind::TornTemp) {
-            return Err(format!(
-                "crash-mid-flush: expected orphan-segment + torn-temp, got {:?}",
-                report.kinds()
-            ));
-        }
-        doctor.repair().map_err(|e| e.to_string())?;
-        if !doctor.check().map_err(|e| e.to_string())?.is_clean() {
-            return Err("crash-mid-flush: still dirty after repair".into());
-        }
-        let store = BlockStore::open(&dir).map_err(|e| e.to_string())?;
-        let got = store
-            .scan(&ScanPredicate::all())
-            .map_err(|e| e.to_string())?;
-        if got != rows {
-            return Err(format!(
-                "crash-mid-flush: expected the {} committed rows, got {}",
-                rows.len(),
-                got.len()
-            ));
-        }
-        println!(
-            "self-test crash-mid-flush: detected orphan-segment + torn-temp, repaired, {} rows surviving",
-            got.len()
-        );
-    }
-
-    // Crash mid-compaction: the replacement segment commits, then the
-    // manifest commit "crashes". The committed pre-compaction catalog
-    // must be untouched (no block lost), the half-written replacement
-    // must be quarantined as an orphan, and a post-repair compaction
-    // must complete with identical rows.
-    {
-        let dir = base.join("case-crash-mid-compaction");
-        let rows = fsck_build_fixture(&dir)?;
-        let mut store = BlockStore::open(&dir).map_err(|e| e.to_string())?;
-        let mut inj = FaultInjector::new(&dir, 9);
-        // compact() = flush (dictionary commit, 1) + replacement
-        // segment write (2) + manifest commit (3).
-        inj.arm_crash_at_commit(3);
-        if store.compact().is_ok() {
-            return Err("crash-mid-compaction: compact should have failed".into());
-        }
-        drop(store);
-        let doctor = StoreDoctor::new(&dir);
-        let report = doctor.check().map_err(|e| e.to_string())?;
-        if !report.has(FaultKind::OrphanSegment) || !report.has(FaultKind::TornTemp) {
-            return Err(format!(
-                "crash-mid-compaction: expected orphan-segment + torn-temp, got {:?}",
-                report.kinds()
-            ));
-        }
-        doctor.repair().map_err(|e| e.to_string())?;
-        if !doctor.check().map_err(|e| e.to_string())?.is_clean() {
-            return Err("crash-mid-compaction: still dirty after repair".into());
-        }
-        let mut store = BlockStore::open(&dir).map_err(|e| e.to_string())?;
-        let got = store
-            .scan(&ScanPredicate::all())
-            .map_err(|e| e.to_string())?;
-        if got != rows {
-            return Err(format!(
-                "crash-mid-compaction: expected the {} committed rows, got {}",
-                rows.len(),
-                got.len()
-            ));
-        }
-        // The retry after recovery completes and changes nothing.
-        if !store.compact().map_err(|e| e.to_string())? {
-            return Err("crash-mid-compaction: retry compaction was a no-op".into());
-        }
-        let after = store
-            .scan(&ScanPredicate::all())
-            .map_err(|e| e.to_string())?;
-        if after != rows {
-            return Err("crash-mid-compaction: rows changed across retried compaction".into());
-        }
-        println!(
-            "self-test crash-mid-compaction: committed state intact, repaired, retry compacted {} rows",
-            after.len()
-        );
-    }
-
-    println!("self-test: all fault classes detected and repaired");
-    Ok(FSCK_CLEAN)
 }
 
 /// `blockdec anomalies` — robust outliers of a metric series.

@@ -29,6 +29,13 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Overwrite the value. For gauge-style readings (configured
+    /// capacity, resident bytes) where the latest observation, not a
+    /// running total, is what the summary should show.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
 }
 
 /// Number of log2 buckets. Bucket `i` covers seconds in

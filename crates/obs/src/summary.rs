@@ -44,6 +44,21 @@ pub struct RunSummary {
     /// Column pages skipped inside decoded segments via v3 page-group
     /// zone maps (`store.scan.pages_pruned`).
     pub pages_pruned: u64,
+    /// Configured segment-cache capacity in segments
+    /// (`store.cache.capacity_segments` gauge; 0 = cache never touched).
+    pub cache_capacity_segments: u64,
+    /// Decoded bytes resident in the segment cache at exit
+    /// (`store.cache.resident_bytes` gauge).
+    pub cache_resident_bytes: u64,
+    /// Bytes read from the storage backend (`store.backend.bytes_fetched`:
+    /// whole objects plus ranged page-cache fills).
+    pub backend_bytes_fetched: u64,
+    /// Backend page-cache hit rate in `[0, 1]`; `None` before any ranged
+    /// read (`store.backend.hit` / `store.backend.miss`).
+    pub page_cache_hit_rate: Option<f64>,
+    /// Transient backend read errors absorbed by the retry layer
+    /// (`store.backend.retries`).
+    pub backend_retries: u64,
     /// Measurement windows emitted (`engine.windows`).
     pub windows: u64,
     /// Store faults classified this run (`store.fault.detected`).
@@ -95,6 +110,13 @@ impl RunSummary {
         let decode_rows_per_sec = rate(get("store.decode.rows"), scan_secs);
         let decode_mb_per_sec =
             rate(get("store.decode.bytes"), scan_secs).map(|r| r / (1024.0 * 1024.0));
+        let page_hits = get("store.backend.hit");
+        let page_misses = get("store.backend.miss");
+        let page_cache_hit_rate = if page_hits + page_misses > 0 {
+            Some(page_hits as f64 / (page_hits + page_misses) as f64)
+        } else {
+            None
+        };
         RunSummary {
             stages,
             blocks_per_sec,
@@ -104,6 +126,11 @@ impl RunSummary {
             segments_pruned: get("store.scan.segments_pruned"),
             bloom_skips: get("store.scan.bloom_skip"),
             pages_pruned: get("store.scan.pages_pruned"),
+            cache_capacity_segments: get("store.cache.capacity_segments"),
+            cache_resident_bytes: get("store.cache.resident_bytes"),
+            backend_bytes_fetched: get("store.backend.bytes_fetched"),
+            page_cache_hit_rate,
+            backend_retries: get("store.backend.retries"),
             windows: get("engine.windows"),
             faults_detected: get("store.fault.detected"),
             segments_quarantined: get("store.fault.quarantined"),
@@ -143,6 +170,26 @@ impl RunSummary {
                 "  scan pruning: {} segment(s) skipped ({} by bloom), {} page(s) skipped\n",
                 self.segments_pruned, self.bloom_skips, self.pages_pruned
             ));
+        }
+        if self.cache_capacity_segments > 0 {
+            out.push_str(&format!(
+                "  segment cache: {} segment(s) capacity, {:.1} MB resident\n",
+                self.cache_capacity_segments,
+                self.cache_resident_bytes as f64 / (1024.0 * 1024.0)
+            ));
+        }
+        if self.backend_bytes_fetched > 0 || self.backend_retries > 0 {
+            out.push_str(&format!(
+                "  backend: {:.1} MB fetched",
+                self.backend_bytes_fetched as f64 / (1024.0 * 1024.0)
+            ));
+            if let Some(r) = self.page_cache_hit_rate {
+                out.push_str(&format!(", page cache {:.1}% hit rate", r * 100.0));
+            }
+            if self.backend_retries > 0 {
+                out.push_str(&format!(", {} read(s) retried", self.backend_retries));
+            }
+            out.push('\n');
         }
         out.push_str(&format!("  windows emitted: {}\n", self.windows));
         if self.faults_detected > 0 || self.segments_quarantined > 0 {
@@ -201,6 +248,16 @@ impl RunSummary {
             self.segments_pruned, self.bloom_skips, self.pages_pruned
         ));
         out.push_str(&format!(
+            ",\"cache_capacity_segments\":{},\"cache_resident_bytes\":{},\"backend_bytes_fetched\":{}",
+            self.cache_capacity_segments, self.cache_resident_bytes, self.backend_bytes_fetched
+        ));
+        out.push_str(",\"page_cache_hit_rate\":");
+        match self.page_cache_hit_rate {
+            Some(r) => push_f64(&mut out, r),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(",\"backend_retries\":{}", self.backend_retries));
+        out.push_str(&format!(
             ",\"windows\":{},\"faults_detected\":{},\"segments_quarantined\":{},\"counters\":{{",
             self.windows, self.faults_detected, self.segments_quarantined
         ));
@@ -254,6 +311,11 @@ mod tests {
             segments_pruned: 12,
             bloom_skips: 4,
             pages_pruned: 84,
+            cache_capacity_segments: 8,
+            cache_resident_bytes: 3 * 1024 * 1024,
+            backend_bytes_fetched: 2 * 1024 * 1024,
+            page_cache_hit_rate: Some(0.75),
+            backend_retries: 2,
             windows: 365,
             faults_detected: 0,
             segments_quarantined: 0,
@@ -279,6 +341,14 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("windows emitted: 365"), "{text}");
+        assert!(
+            text.contains("segment cache: 8 segment(s) capacity, 3.0 MB resident"),
+            "{text}"
+        );
+        assert!(
+            text.contains("backend: 2.0 MB fetched, page cache 75.0% hit rate, 2 read(s) retried"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -291,6 +361,13 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"cache_hit_rate\":0.875"), "{json}");
+        assert!(
+            json.contains("\"cache_capacity_segments\":8,\"cache_resident_bytes\":3145728"),
+            "{json}"
+        );
+        assert!(json.contains("\"backend_bytes_fetched\":2097152"), "{json}");
+        assert!(json.contains("\"page_cache_hit_rate\":0.75"), "{json}");
+        assert!(json.contains("\"backend_retries\":2"), "{json}");
         assert!(json.contains("\"engine.windows\":365"), "{json}");
         // Balanced braces (no string values contain braces here).
         let opens = json.matches('{').count();
@@ -309,6 +386,11 @@ mod tests {
             segments_pruned: 0,
             bloom_skips: 0,
             pages_pruned: 0,
+            cache_capacity_segments: 0,
+            cache_resident_bytes: 0,
+            backend_bytes_fetched: 0,
+            page_cache_hit_rate: None,
+            backend_retries: 0,
             windows: 0,
             faults_detected: 0,
             segments_quarantined: 0,
@@ -317,11 +399,14 @@ mod tests {
         assert!(s.render_text().contains("none recorded"));
         assert!(s.render_json().contains("\"blocks_per_sec\":null"));
         assert!(s.render_json().contains("\"decode_rows_per_sec\":null"));
+        assert!(s.render_json().contains("\"page_cache_hit_rate\":null"));
         // Quiet runs stay quiet: no fault line, no decode line, no
-        // pruning line.
+        // pruning, cache, or backend lines.
         assert!(!s.render_text().contains("store faults"));
         assert!(!s.render_text().contains("store decode"));
         assert!(!s.render_text().contains("scan pruning"));
+        assert!(!s.render_text().contains("segment cache"));
+        assert!(!s.render_text().contains("backend:"));
     }
 
     #[test]

@@ -1,202 +1,16 @@
-//! Crash-safe file replacement.
+//! Crash-safe file replacement — re-exported from the [`LocalFs`]
+//! backend, which owns the commit discipline.
 //!
-//! Every durable artifact of the store (manifest, dictionary, segment
-//! files) is committed through [`atomic_replace`]: write the full
-//! contents to a sibling `<name>.tmp`, `fsync` it, atomically rename it
-//! over the destination, then `fsync` the parent directory so the rename
-//! itself is durable. A crash at any point leaves either the previous
-//! committed file or the new one — never a half-written artifact — plus,
-//! at worst, a stale `*.tmp` that [`remove_stale_temps`] cleans up on the
-//! next open.
+//! The machinery (write-temp + fsync + atomic rename + parent-directory
+//! fsync, plus the thread-local crash point used by the fault harness)
+//! lives in [`crate::backend::local`] so that *all* durable writes flow
+//! through the [`crate::backend::ObjectStore`] trait. This module keeps
+//! the historical paths (`crate::atomic::atomic_replace` and friends)
+//! alive for callers that commit to an explicit filesystem path.
 //!
-//! For the fault harness, [`arm_crash_before_rename`] installs a
-//! thread-local crash point: the n-th upcoming [`atomic_replace`] on the
-//! calling thread writes and fsyncs its temp file, then returns an
-//! injected error *without renaming* — exactly the on-disk state a power
-//! cut between the write and the rename would leave behind.
+//! [`LocalFs`]: crate::backend::LocalFs
 
-use crate::error::{Result, StoreError};
-use std::cell::Cell;
-use std::fs;
-use std::io::{self, Write};
-use std::path::{Path, PathBuf};
-
-thread_local! {
-    /// Countdown to the injected crash: 0 = disarmed, 1 = crash on the
-    /// next commit, n = crash on the n-th upcoming commit.
-    static CRASH_COUNTDOWN: Cell<u32> = const { Cell::new(0) };
-}
-
-/// Arm the thread-local crash point: the `nth` upcoming
-/// [`atomic_replace`] on this thread (1 = the very next one) writes its
-/// temp file and then "crashes" — it returns an error without renaming,
-/// leaving the destination untouched and the temp file on disk. The
-/// crash point disarms itself after firing. Test support for the fault
-/// harness; see [`crate::fault::FaultInjector`].
-pub fn arm_crash_before_rename(nth: u32) {
-    CRASH_COUNTDOWN.with(|c| c.set(nth));
-}
-
-/// Disarm a previously armed crash point (no-op when none is armed).
-pub fn disarm_crash() {
-    CRASH_COUNTDOWN.with(|c| c.set(0));
-}
-
-/// Decrement the countdown; true when this commit is the one to "crash".
-fn crash_fires_now() -> bool {
-    CRASH_COUNTDOWN.with(|c| match c.get() {
-        0 => false,
-        1 => {
-            c.set(0);
-            true
-        }
-        n => {
-            c.set(n - 1);
-            false
-        }
-    })
-}
-
-/// The temp-file path used to stage a commit of `path`: the same file
-/// name with `.tmp` appended (`manifest.json` → `manifest.json.tmp`).
-pub fn temp_path(path: &Path) -> PathBuf {
-    let mut name = path
-        .file_name()
-        .map(|n| n.to_os_string())
-        .unwrap_or_default();
-    name.push(".tmp");
-    path.with_file_name(name)
-}
-
-/// True for file names produced by [`temp_path`] — crash artifacts that
-/// recovery may delete.
-pub fn is_temp_name(name: &str) -> bool {
-    name.ends_with(".tmp")
-}
-
-/// Durably replace the contents of `path` with `bytes`:
-/// write-temp + fsync + atomic rename + parent-directory fsync.
-pub fn atomic_replace(path: &Path, bytes: &[u8]) -> Result<()> {
-    let tmp = temp_path(path);
-    {
-        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
-        f.write_all(bytes).map_err(|e| StoreError::io(&tmp, e))?;
-        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
-    }
-    if crash_fires_now() {
-        return Err(StoreError::io(
-            &tmp,
-            io::Error::other("injected crash between temp write and rename"),
-        ));
-    }
-    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
-    // Make the rename itself durable. Directory fsync is best-effort:
-    // not every platform allows opening a directory for sync.
-    if let Some(parent) = path.parent() {
-        if let Ok(d) = fs::File::open(parent) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
-}
-
-/// Delete stale `*.tmp` crash artifacts directly under `dir`. Returns
-/// how many were removed. Called by `BlockStore::open` so an
-/// interrupted commit never blocks reopening a store.
-pub fn remove_stale_temps(dir: &Path) -> Result<usize> {
-    let mut removed = 0;
-    for entry in fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))? {
-        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if is_temp_name(name) && entry.path().is_file() {
-            fs::remove_file(entry.path()).map_err(|e| StoreError::io(entry.path(), e))?;
-            removed += 1;
-        }
-    }
-    Ok(removed)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tmp_dir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "blockdec-atomic-{tag}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = fs::remove_dir_all(&d);
-        fs::create_dir_all(&d).unwrap();
-        d
-    }
-
-    #[test]
-    fn replace_writes_and_leaves_no_temp() {
-        let dir = tmp_dir("ok");
-        let path = dir.join("file.json");
-        atomic_replace(&path, b"v1").unwrap();
-        assert_eq!(fs::read(&path).unwrap(), b"v1");
-        atomic_replace(&path, b"v2").unwrap();
-        assert_eq!(fs::read(&path).unwrap(), b"v2");
-        assert!(!temp_path(&path).exists());
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn temp_path_appends_suffix() {
-        assert_eq!(
-            temp_path(Path::new("/a/manifest.json")),
-            Path::new("/a/manifest.json.tmp")
-        );
-        assert_eq!(
-            temp_path(Path::new("/a/seg-00000001.bds")),
-            Path::new("/a/seg-00000001.bds.tmp")
-        );
-        assert!(is_temp_name("manifest.json.tmp"));
-        assert!(!is_temp_name("manifest.json"));
-    }
-
-    #[test]
-    fn injected_crash_preserves_previous_contents() {
-        let dir = tmp_dir("crash");
-        let path = dir.join("file.json");
-        atomic_replace(&path, b"old").unwrap();
-        arm_crash_before_rename(1);
-        let err = atomic_replace(&path, b"new").unwrap_err();
-        assert!(err.to_string().contains("injected crash"), "{err}");
-        // Previous committed state intact, torn temp left behind.
-        assert_eq!(fs::read(&path).unwrap(), b"old");
-        assert_eq!(fs::read(temp_path(&path)).unwrap(), b"new");
-        // Crash point disarmed after firing.
-        atomic_replace(&path, b"new2").unwrap();
-        assert_eq!(fs::read(&path).unwrap(), b"new2");
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn crash_countdown_targets_nth_commit() {
-        let dir = tmp_dir("nth");
-        let a = dir.join("a");
-        let b = dir.join("b");
-        arm_crash_before_rename(2);
-        atomic_replace(&a, b"1").unwrap();
-        assert!(atomic_replace(&b, b"2").is_err());
-        disarm_crash();
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn stale_temp_cleanup() {
-        let dir = tmp_dir("clean");
-        fs::write(dir.join("manifest.json"), b"{}").unwrap();
-        fs::write(dir.join("manifest.json.tmp"), b"torn").unwrap();
-        fs::write(dir.join("seg-00000000.bds.tmp"), b"torn").unwrap();
-        assert_eq!(remove_stale_temps(&dir).unwrap(), 2);
-        assert!(dir.join("manifest.json").exists());
-        assert!(!dir.join("manifest.json.tmp").exists());
-        assert_eq!(remove_stale_temps(&dir).unwrap(), 0);
-        fs::remove_dir_all(&dir).unwrap();
-    }
-}
+pub use crate::backend::local::{
+    arm_crash_before_rename, atomic_replace, disarm_crash, is_temp_name, sweep_stale_temps,
+    temp_path,
+};

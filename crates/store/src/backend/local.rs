@@ -1,0 +1,396 @@
+//! [`LocalFs`]: the local-filesystem backend, and the crash-safe commit
+//! machinery every backend's writes ultimately go through.
+//!
+//! Durable artifacts (manifest, dictionary, segment files) are committed
+//! by [`atomic_replace`]: write the full contents to a sibling
+//! `<name>.tmp`, `fsync` it, atomically rename it over the destination,
+//! then `fsync` the parent directory so the rename itself is durable. A
+//! crash at any point leaves either the previous committed file or the
+//! new one — never a half-written artifact — plus, at worst, a stale
+//! `*.tmp` that [`sweep_stale_temps`] moves into `quarantine/` on the
+//! next open (swept, never deleted: quarantine semantics are uniform
+//! across the store).
+//!
+//! For the fault harness, [`arm_crash_before_rename`] installs a
+//! thread-local crash point: the n-th upcoming [`atomic_replace`] on the
+//! calling thread writes and fsyncs its temp file, then returns an
+//! injected error *without renaming* — exactly the on-disk state a power
+//! cut between the write and the rename would leave behind.
+
+use super::ObjectStore;
+use crate::error::{Result, StoreError};
+use std::cell::Cell;
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Subdirectory that faulty segment files and swept staging artifacts
+/// are moved into — never deleted.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+thread_local! {
+    /// Countdown to the injected crash: 0 = disarmed, 1 = crash on the
+    /// next commit, n = crash on the n-th upcoming commit.
+    static CRASH_COUNTDOWN: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Arm the thread-local crash point: the `nth` upcoming
+/// [`atomic_replace`] on this thread (1 = the very next one) writes its
+/// temp file and then "crashes" — it returns an error without renaming,
+/// leaving the destination untouched and the temp file on disk. The
+/// crash point disarms itself after firing. Test support for the fault
+/// harness; see [`crate::fault::FaultInjector`].
+pub fn arm_crash_before_rename(nth: u32) {
+    CRASH_COUNTDOWN.with(|c| c.set(nth));
+}
+
+/// Disarm a previously armed crash point (no-op when none is armed).
+pub fn disarm_crash() {
+    CRASH_COUNTDOWN.with(|c| c.set(0));
+}
+
+/// Decrement the countdown; true when this commit is the one to "crash".
+fn crash_fires_now() -> bool {
+    CRASH_COUNTDOWN.with(|c| match c.get() {
+        0 => false,
+        1 => {
+            c.set(0);
+            true
+        }
+        n => {
+            c.set(n - 1);
+            false
+        }
+    })
+}
+
+/// The temp-file path used to stage a commit of `path`: the same file
+/// name with `.tmp` appended (`manifest.json` → `manifest.json.tmp`).
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// True for file names produced by [`temp_path`] — crash artifacts that
+/// recovery sweeps into quarantine.
+pub fn is_temp_name(name: &str) -> bool {
+    name.ends_with(".tmp")
+}
+
+/// Durably replace the contents of `path` with `bytes`:
+/// write-temp + fsync + atomic rename + parent-directory fsync.
+pub fn atomic_replace(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = temp_path(path);
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        f.write_all(bytes).map_err(|e| StoreError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    if crash_fires_now() {
+        return Err(StoreError::io(
+            &tmp,
+            io::Error::other("injected crash between temp write and rename"),
+        ));
+    }
+    fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))?;
+    // Make the rename itself durable. Directory fsync is best-effort:
+    // not every platform allows opening a directory for sync.
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Move a file into `dir/quarantine/`, creating the directory on first
+/// use and suffixing the target name (`name.1`, `name.2`, …) instead of
+/// ever overwriting a previously quarantined file.
+fn quarantine_file(dir: &Path, name: &str) -> Result<()> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    fs::create_dir_all(&qdir).map_err(|e| StoreError::io(&qdir, e))?;
+    let from = dir.join(name);
+    let mut to = qdir.join(name);
+    let mut suffix = 0u32;
+    while to.exists() {
+        suffix += 1;
+        to = qdir.join(format!("{name}.{suffix}"));
+    }
+    fs::rename(&from, &to).map_err(|e| StoreError::io(&from, e))?;
+    Ok(())
+}
+
+/// Sweep stale `*.tmp` crash artifacts directly under `dir` into
+/// `dir/quarantine/` (never deleting a byte). Returns how many were
+/// swept. Called on store open so an interrupted commit never blocks
+/// reopening, while the torn bytes stay available for inspection.
+pub fn sweep_stale_temps(dir: &Path) -> Result<usize> {
+    let mut swept = 0;
+    for entry in fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))? {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if is_temp_name(name) && entry.path().is_file() {
+            quarantine_file(dir, name)?;
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+/// The local-filesystem backend: objects are plain files under a root
+/// directory, writes go through [`atomic_replace`], and quarantine is a
+/// subdirectory. This is byte-for-byte the store's historical on-disk
+/// layout — [`crate::BlockStore::open`] on a pre-trait store directory
+/// reads it unchanged.
+pub struct LocalFs {
+    root: PathBuf,
+}
+
+impl LocalFs {
+    /// A backend rooted at `root` (the store directory).
+    pub fn new(root: impl AsRef<Path>) -> LocalFs {
+        LocalFs {
+            root: root.as_ref().to_path_buf(),
+        }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl ObjectStore for LocalFs {
+    fn describe(&self, name: &str) -> String {
+        self.path(name).display().to_string()
+    }
+
+    fn describe_root(&self) -> String {
+        self.root.display().to_string()
+    }
+
+    fn create_root(&self) -> Result<()> {
+        fs::create_dir_all(&self.root).map_err(|e| StoreError::io(&self.root, e))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).is_file()
+    }
+
+    fn size(&self, name: &str) -> Result<u64> {
+        let path = self.path(name);
+        let meta = fs::metadata(&path).map_err(|e| StoreError::io(&path, e))?;
+        Ok(meta.len())
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>> {
+        let path = self.path(name);
+        let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+        blockdec_obs::counter("store.backend.bytes_fetched").add(bytes.len() as u64);
+        Ok(bytes)
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let path = self.path(name);
+        let mut f = fs::File::open(&path).map_err(|e| StoreError::io(&path, e))?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| StoreError::io(&path, e))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)
+            .map_err(|e| StoreError::io(&path, e))?;
+        blockdec_obs::counter("store.backend.bytes_fetched").add(len as u64);
+        Ok(buf)
+    }
+
+    fn put_atomic(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        atomic_replace(&self.path(name), bytes)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root).map_err(|e| StoreError::io(&self.root, e))? {
+            let entry = entry.map_err(|e| StoreError::io(&self.root, e))?;
+            if !entry.path().is_file() {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str() {
+                out.push(name.to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn quarantine(&self, name: &str) -> Result<()> {
+        quarantine_file(&self.root, name)
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        let path = self.path(name);
+        fs::remove_file(&path).map_err(|e| StoreError::io(&path, e))
+    }
+
+    fn sweep_temps(&self) -> Result<usize> {
+        sweep_stale_temps(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "blockdec-localfs-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn replace_writes_and_leaves_no_temp() {
+        let dir = tmp_dir("ok");
+        let path = dir.join("file.json");
+        atomic_replace(&path, b"v1").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v1");
+        atomic_replace(&path, b"v2").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v2");
+        assert!(!temp_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_path_appends_suffix() {
+        assert_eq!(
+            temp_path(Path::new("/a/manifest.json")),
+            Path::new("/a/manifest.json.tmp")
+        );
+        assert_eq!(
+            temp_path(Path::new("/a/seg-00000001.bds")),
+            Path::new("/a/seg-00000001.bds.tmp")
+        );
+        assert!(is_temp_name("manifest.json.tmp"));
+        assert!(!is_temp_name("manifest.json"));
+    }
+
+    #[test]
+    fn injected_crash_preserves_previous_contents() {
+        let dir = tmp_dir("crash");
+        let path = dir.join("file.json");
+        atomic_replace(&path, b"old").unwrap();
+        arm_crash_before_rename(1);
+        let err = atomic_replace(&path, b"new").unwrap_err();
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        // Previous committed state intact, torn temp left behind.
+        assert_eq!(fs::read(&path).unwrap(), b"old");
+        assert_eq!(fs::read(temp_path(&path)).unwrap(), b"new");
+        // Crash point disarmed after firing.
+        atomic_replace(&path, b"new2").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new2");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_countdown_targets_nth_commit() {
+        let dir = tmp_dir("nth");
+        let a = dir.join("a");
+        let b = dir.join("b");
+        arm_crash_before_rename(2);
+        atomic_replace(&a, b"1").unwrap();
+        assert!(atomic_replace(&b, b"2").is_err());
+        disarm_crash();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_temps_are_quarantined_not_deleted() {
+        let dir = tmp_dir("sweep");
+        fs::write(dir.join("manifest.json"), b"{}").unwrap();
+        fs::write(dir.join("manifest.json.tmp"), b"torn").unwrap();
+        fs::write(dir.join("seg-00000000.bds.tmp"), b"torn").unwrap();
+        assert_eq!(sweep_stale_temps(&dir).unwrap(), 2);
+        assert!(dir.join("manifest.json").exists());
+        assert!(!dir.join("manifest.json.tmp").exists());
+        // The torn bytes survive in quarantine.
+        let q = dir.join(QUARANTINE_DIR);
+        assert_eq!(fs::read(q.join("manifest.json.tmp")).unwrap(), b"torn");
+        assert_eq!(fs::read(q.join("seg-00000000.bds.tmp")).unwrap(), b"torn");
+        assert_eq!(sweep_stale_temps(&dir).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_armed_put_through_trait_leaves_exactly_one_quarantined_temp() {
+        // Regression for the backend contract: a crash-armed commit
+        // through the trait leaves one torn temp at the root; the next
+        // sweep moves exactly that one file into quarantine.
+        let dir = tmp_dir("armed-put");
+        let store = LocalFs::new(&dir);
+        store.put_atomic("manifest.json", b"{}").unwrap();
+        arm_crash_before_rename(1);
+        assert!(store.put_atomic("manifest.json", b"{ }").is_err());
+        assert_eq!(store.sweep_temps().unwrap(), 1);
+        let q = dir.join(QUARANTINE_DIR);
+        let quarantined: Vec<_> = fs::read_dir(&q)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(quarantined, vec!["manifest.json.tmp".to_string()]);
+        // The committed object is untouched and no temp remains.
+        assert_eq!(store.get("manifest.json").unwrap(), b"{}");
+        assert_eq!(store.sweep_temps().unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_collisions_get_suffixes() {
+        let dir = tmp_dir("collide");
+        let store = LocalFs::new(&dir);
+        for round in 0..3u8 {
+            fs::write(dir.join("seg-00000001.bds"), [round]).unwrap();
+            store.quarantine("seg-00000001.bds").unwrap();
+        }
+        let q = dir.join(QUARANTINE_DIR);
+        assert_eq!(fs::read(q.join("seg-00000001.bds")).unwrap(), [0]);
+        assert_eq!(fs::read(q.join("seg-00000001.bds.1")).unwrap(), [1]);
+        assert_eq!(fs::read(q.join("seg-00000001.bds.2")).unwrap(), [2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn get_range_reads_exact_window() {
+        let dir = tmp_dir("range");
+        let store = LocalFs::new(&dir);
+        store.put_atomic("blob", b"0123456789").unwrap();
+        assert_eq!(store.get_range("blob", 0, 4).unwrap(), b"0123");
+        assert_eq!(store.get_range("blob", 6, 4).unwrap(), b"6789");
+        assert_eq!(store.size("blob").unwrap(), 10);
+        assert!(store.get_range("blob", 8, 4).is_err(), "past-end read");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn list_skips_directories_and_sorts() {
+        let dir = tmp_dir("list");
+        let store = LocalFs::new(&dir);
+        store.put_atomic("b.bds", b"x").unwrap();
+        store.put_atomic("a.bds", b"x").unwrap();
+        fs::write(dir.join("c.tmp"), b"torn").unwrap();
+        fs::create_dir_all(dir.join(QUARANTINE_DIR)).unwrap();
+        fs::write(dir.join(QUARANTINE_DIR).join("z.bds"), b"x").unwrap();
+        assert_eq!(store.list().unwrap(), vec!["a.bds", "b.bds", "c.tmp"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

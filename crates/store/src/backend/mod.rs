@@ -1,0 +1,180 @@
+//! Storage backends: every byte the store reads or writes goes through
+//! the [`ObjectStore`] trait.
+//!
+//! The trait names objects by their path **relative to the store root**
+//! (`"manifest.json"`, `"seg-00000007.bds"`) and promises the commit
+//! discipline the rest of the crate is built on:
+//!
+//! - [`ObjectStore::put_atomic`] is all-or-nothing and durable: a crash
+//!   mid-write leaves either the previous committed object or the new
+//!   one, never a torn mix — plus at worst a stale staging artifact that
+//!   [`ObjectStore::sweep_temps`] moves out of the way on the next open.
+//! - [`ObjectStore::quarantine`] moves an object into `quarantine/`
+//!   without ever destroying bytes; [`ObjectStore::remove`] is reserved
+//!   for garbage that a committed manifest no longer references.
+//! - Reads ([`ObjectStore::get`] / [`ObjectStore::get_range`]) may fail
+//!   transiently ([`std::io::ErrorKind::Interrupted`]); callers retry
+//!   through [`get_retry`] / [`get_range_retry`] so a flaky backend
+//!   degrades into latency, not errors. Content identity lives in the
+//!   manifest (`file@crc` keys), so retried reads can never observe a
+//!   half-updated object.
+//!
+//! Two backends ship today: [`LocalFs`] (the classic local store;
+//! temp+fsync+rename stays inside the backend) and [`SimBackend`] (a
+//! wrapper adding seeded latency, bandwidth throttling, and injected
+//! transient read faults for end-to-end degraded-store testing). The
+//! [`PageCache`] fronts any backend with a bounded LRU over byte
+//! ranges, keyed by content identity, so pruned scans fetch index
+//! blocks and matching page groups once.
+
+pub mod local;
+pub mod pagecache;
+pub mod sim;
+
+pub use local::LocalFs;
+pub use pagecache::{PageCache, PageCacheStats};
+pub use sim::{SimBackend, SimProfile};
+
+use crate::error::{Result, StoreError};
+
+/// Abstract object storage for one store: flat names under a root,
+/// atomic whole-object replacement, and never-destructive quarantine.
+///
+/// Implementations must be safe to share across scan threads.
+pub trait ObjectStore: Send + Sync {
+    /// Human-readable identity of `name` for error messages and logs
+    /// (for [`LocalFs`], the full filesystem path).
+    fn describe(&self, name: &str) -> String;
+
+    /// Human-readable identity of the store root itself.
+    fn describe_root(&self) -> String;
+
+    /// Create the store root if it does not exist yet.
+    fn create_root(&self) -> Result<()>;
+
+    /// True when `name` exists as an object under the root.
+    fn exists(&self, name: &str) -> bool;
+
+    /// Size of `name` in bytes.
+    fn size(&self, name: &str) -> Result<u64>;
+
+    /// Read the whole object.
+    fn get(&self, name: &str) -> Result<Vec<u8>>;
+
+    /// Read exactly `len` bytes starting at `offset`. Reading past the
+    /// end of the object is an error, not a short read.
+    fn get_range(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Durably replace the contents of `name` with `bytes`, atomically:
+    /// a crash at any point leaves either the previous committed object
+    /// or the new one, never a mix.
+    fn put_atomic(&self, name: &str, bytes: &[u8]) -> Result<()>;
+
+    /// Names of all objects directly under the root (staging artifacts
+    /// included, quarantined objects excluded), sorted.
+    fn list(&self) -> Result<Vec<String>>;
+
+    /// Move `name` into the `quarantine/` area, never deleting a byte.
+    /// A name collision in quarantine gets a numeric suffix.
+    fn quarantine(&self, name: &str) -> Result<()>;
+
+    /// Delete `name` outright. Only for garbage a committed manifest no
+    /// longer references (superseded compaction inputs); anything
+    /// suspect goes through [`ObjectStore::quarantine`] instead.
+    fn remove(&self, name: &str) -> Result<()>;
+
+    /// Move stale staging artifacts (`*.tmp` from an interrupted
+    /// commit) into quarantine. Returns how many were swept.
+    fn sweep_temps(&self) -> Result<usize>;
+}
+
+/// How many times a transient ([`std::io::ErrorKind::Interrupted`])
+/// read error is retried before surfacing.
+pub const MAX_READ_RETRIES: u32 = 10;
+
+/// True for errors a retry may clear: an interrupted read (what
+/// [`SimBackend`] injects), never corruption or missing objects.
+pub fn is_transient(err: &StoreError) -> bool {
+    matches!(
+        err,
+        StoreError::Io { source, .. }
+            if source.kind() == std::io::ErrorKind::Interrupted
+    )
+}
+
+/// [`ObjectStore::get`] with transient-error retry (up to
+/// [`MAX_READ_RETRIES`] attempts; each retry bumps
+/// `store.backend.retries`).
+pub fn get_retry(store: &dyn ObjectStore, name: &str) -> Result<Vec<u8>> {
+    with_retry(|| store.get(name))
+}
+
+/// [`ObjectStore::get_range`] with transient-error retry.
+pub fn get_range_retry(
+    store: &dyn ObjectStore,
+    name: &str,
+    offset: u64,
+    len: usize,
+) -> Result<Vec<u8>> {
+    with_retry(|| store.get_range(name, offset, len))
+}
+
+fn with_retry<T>(mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt < MAX_READ_RETRIES => {
+                attempt += 1;
+                blockdec_obs::counter("store.backend.retries").inc();
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn transient_errors_are_retried_and_others_surface() {
+        let calls = AtomicU32::new(0);
+        let flaky = || -> Result<u32> {
+            if calls.fetch_add(1, Ordering::Relaxed) < 3 {
+                Err(StoreError::io(
+                    std::path::Path::new("x"),
+                    io::Error::new(io::ErrorKind::Interrupted, "injected"),
+                ))
+            } else {
+                Ok(7)
+            }
+        };
+        assert_eq!(with_retry(flaky).unwrap(), 7);
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+
+        let hard = || -> Result<u32> {
+            Err(StoreError::io(
+                std::path::Path::new("x"),
+                io::Error::new(io::ErrorKind::NotFound, "gone"),
+            ))
+        };
+        assert!(with_retry(hard).is_err());
+    }
+
+    #[test]
+    fn retries_give_up_eventually() {
+        let calls = AtomicU32::new(0);
+        let always = || -> Result<u32> {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(StoreError::io(
+                std::path::Path::new("x"),
+                io::Error::new(io::ErrorKind::Interrupted, "injected"),
+            ))
+        };
+        assert!(with_retry(always).is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), MAX_READ_RETRIES);
+    }
+}

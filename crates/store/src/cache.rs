@@ -97,6 +97,7 @@ impl SegmentCache {
                     .expect("non-empty over capacity");
                 inner.map.remove(&oldest);
             }
+            publish_gauges(&inner);
         }
         Ok(rows)
     }
@@ -104,6 +105,35 @@ impl SegmentCache {
     /// Drop every entry (called when the store appends new segments).
     pub fn invalidate(&self) {
         self.locked().map.clear();
+        publish_gauges(&self.locked());
+    }
+
+    /// Resize the cache, evicting least-recently-used entries if the new
+    /// capacity is smaller than the current occupancy. Capacity 0
+    /// disables caching and drops everything resident.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.locked();
+        inner.capacity = capacity;
+        while inner.map.len() > inner.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            inner.map.remove(&oldest);
+        }
+        publish_gauges(&inner);
+    }
+
+    /// Configured capacity in segments.
+    pub fn capacity(&self) -> usize {
+        self.locked().capacity
+    }
+
+    /// Bytes of decoded rows currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        resident_bytes_of(&self.locked())
     }
 
     /// `(hits, misses)` counters.
@@ -121,6 +151,23 @@ impl SegmentCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Bytes of decoded rows resident (entry overhead excluded: the rows
+/// dominate by orders of magnitude).
+fn resident_bytes_of(inner: &Inner) -> u64 {
+    inner
+        .map
+        .values()
+        .map(|(_, seg)| (seg.len() * std::mem::size_of::<RowRecord>()) as u64)
+        .sum()
+}
+
+/// Refresh the `store.cache.capacity_segments` / `resident_bytes`
+/// gauges after any mutation.
+fn publish_gauges(inner: &Inner) {
+    counter("store.cache.capacity_segments").set(inner.capacity as u64);
+    counter("store.cache.resident_bytes").set(resident_bytes_of(inner));
 }
 
 #[cfg(test)]

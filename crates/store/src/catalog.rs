@@ -5,14 +5,19 @@
 //! the rename leaves the previous consistent state visible. Loading
 //! validates that every referenced segment exists and that height ranges
 //! are ordered and non-overlapping.
+//!
+//! All persistence goes through the
+//! [`ObjectStore`] trait, so the same
+//! commit discipline holds on any backend.
 
-use crate::atomic::atomic_replace;
+use crate::backend::{get_retry, ObjectStore};
 use crate::bloom::ProducerFilter;
 use crate::error::{Result, StoreError};
 use crate::zonemap::ZoneMap;
 use serde::{Deserialize, Serialize};
-use std::fs;
-use std::path::Path;
+
+/// Object name of the manifest under the store root.
+pub const MANIFEST_NAME: &str = "manifest.json";
 
 /// Metadata of one sealed segment.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,8 +72,8 @@ impl Manifest {
     }
 
     /// Validate internal ordering invariants and that every segment file
-    /// exists under `dir`.
-    pub fn validate(&self, dir: &Path) -> Result<()> {
+    /// exists in `store`.
+    pub fn validate(&self, store: &dyn ObjectStore) -> Result<()> {
         if self.version != 1 {
             return Err(StoreError::BadFormat {
                 what: "manifest".into(),
@@ -84,8 +89,7 @@ impl Manifest {
             }
         }
         for seg in &self.segments {
-            let path = dir.join(&seg.file);
-            if !path.is_file() {
+            if !store.exists(&seg.file) {
                 return Err(StoreError::InconsistentCatalog(format!(
                     "segment file missing: {}",
                     seg.file
@@ -95,28 +99,28 @@ impl Manifest {
         Ok(())
     }
 
-    /// Save crash-safely to `dir/manifest.json`
-    /// (write-temp + fsync + atomic rename + directory fsync).
-    pub fn save(&self, dir: &Path) -> Result<()> {
+    /// Save crash-safely as `manifest.json`
+    /// (for [`crate::backend::LocalFs`]: write-temp + fsync + atomic
+    /// rename + directory fsync).
+    pub fn save(&self, store: &dyn ObjectStore) -> Result<()> {
         let json = serde_json::to_vec_pretty(self).expect("manifest serializes");
-        atomic_replace(&dir.join("manifest.json"), &json)
+        store.put_atomic(MANIFEST_NAME, &json)
     }
 
-    /// Load and validate from `dir/manifest.json`.
-    pub fn load(dir: &Path) -> Result<Manifest> {
-        let manifest = Manifest::load_lenient(dir)?;
-        manifest.validate(dir)?;
+    /// Load and validate `manifest.json` from `store`.
+    pub fn load(store: &dyn ObjectStore) -> Result<Manifest> {
+        let manifest = Manifest::load_lenient(store)?;
+        manifest.validate(store)?;
         Ok(manifest)
     }
 
-    /// Parse `dir/manifest.json` *without* validating it against the
+    /// Parse `manifest.json` *without* validating it against the
     /// on-disk segment files — the repair path needs to read a drifted
     /// manifest that strict [`Manifest::load`] would reject.
-    pub fn load_lenient(dir: &Path) -> Result<Manifest> {
-        let path = dir.join("manifest.json");
-        let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+    pub fn load_lenient(store: &dyn ObjectStore) -> Result<Manifest> {
+        let bytes = get_retry(store, MANIFEST_NAME)?;
         serde_json::from_slice(&bytes).map_err(|e| StoreError::BadFormat {
-            what: path.display().to_string(),
+            what: store.describe(MANIFEST_NAME),
             detail: e.to_string(),
         })
     }
@@ -140,6 +144,8 @@ pub fn parse_segment_id(name: &str) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::LocalFs;
+    use std::fs;
 
     fn zone(min_h: u64, max_h: u64) -> ZoneMap {
         ZoneMap {
@@ -160,47 +166,48 @@ mod tests {
         }
     }
 
-    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    fn tmp_store(tag: &str) -> (std::path::PathBuf, LocalFs) {
         let d = std::env::temp_dir().join(format!("blockdec-cat-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         fs::create_dir_all(&d).unwrap();
-        d
+        let store = LocalFs::new(&d);
+        (d, store)
     }
 
     #[test]
     fn save_load_roundtrip() {
-        let dir = tmp_dir("rt");
+        let (dir, store) = tmp_store("rt");
         let mut m = Manifest::new();
         fs::write(dir.join("seg-00000000.bds"), b"x").unwrap();
         m.segments.push(meta("seg-00000000.bds", zone(100, 200)));
         m.next_segment_id = 1;
-        m.save(&dir).unwrap();
-        let back = Manifest::load(&dir).unwrap();
+        m.save(&store).unwrap();
+        let back = Manifest::load(&store).unwrap();
         assert_eq!(back, m);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn missing_segment_file_fails_validation() {
-        let dir = tmp_dir("missing");
+        let (dir, store) = tmp_store("missing");
         let mut m = Manifest::new();
         m.segments.push(meta("seg-00000000.bds", zone(1, 2)));
-        m.save(&dir).unwrap();
-        let err = Manifest::load(&dir).unwrap_err();
+        m.save(&store).unwrap();
+        let err = Manifest::load(&store).unwrap_err();
         assert!(matches!(err, StoreError::InconsistentCatalog(_)), "{err}");
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn overlapping_segments_fail_validation() {
-        let dir = tmp_dir("overlap");
+        let (dir, store) = tmp_store("overlap");
         fs::write(dir.join("a.bds"), b"x").unwrap();
         fs::write(dir.join("b.bds"), b"x").unwrap();
         let mut m = Manifest::new();
         m.segments.push(meta("a.bds", zone(100, 200)));
         m.segments.push(meta("b.bds", zone(150, 300)));
         assert!(matches!(
-            m.validate(&dir),
+            m.validate(&store),
             Err(StoreError::InconsistentCatalog(_))
         ));
         fs::remove_dir_all(&dir).unwrap();
@@ -210,13 +217,13 @@ mod tests {
     fn shared_boundary_height_is_allowed() {
         // A multi-credit block can straddle a segment boundary: the next
         // segment may start at the previous one's max height.
-        let dir = tmp_dir("boundary");
+        let (dir, store) = tmp_store("boundary");
         fs::write(dir.join("a.bds"), b"x").unwrap();
         fs::write(dir.join("b.bds"), b"x").unwrap();
         let mut m = Manifest::new();
         m.segments.push(meta("a.bds", zone(100, 200)));
         m.segments.push(meta("b.bds", zone(200, 300)));
-        assert!(m.validate(&dir).is_ok());
+        assert!(m.validate(&store).is_ok());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -224,24 +231,24 @@ mod tests {
     fn torn_tmp_write_does_not_affect_recovery() {
         // A crash between writing manifest.json.tmp and the rename must
         // leave the previous committed manifest untouched.
-        let dir = tmp_dir("torn");
+        let (dir, store) = tmp_store("torn");
         let mut m = Manifest::new();
         fs::write(dir.join("a.bds"), b"x").unwrap();
         m.segments.push(meta("a.bds", zone(1, 10)));
-        m.save(&dir).unwrap();
+        m.save(&store).unwrap();
         // Simulate the torn write of a newer manifest.
         fs::write(dir.join("manifest.json.tmp"), b"{ half written garbag").unwrap();
-        let recovered = Manifest::load(&dir).unwrap();
+        let recovered = Manifest::load(&store).unwrap();
         assert_eq!(recovered, m);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn corrupt_manifest_is_bad_format() {
-        let dir = tmp_dir("corrupt");
+        let (dir, store) = tmp_store("corrupt");
         fs::write(dir.join("manifest.json"), b"{{{").unwrap();
         assert!(matches!(
-            Manifest::load(&dir).unwrap_err(),
+            Manifest::load(&store).unwrap_err(),
             StoreError::BadFormat { .. }
         ));
         fs::remove_dir_all(&dir).unwrap();
@@ -275,26 +282,26 @@ mod tests {
         // Regression for the crash-mid-save fault class: an injected
         // crash after the temp write must leave the previous committed
         // manifest loadable, with only a torn temp file behind.
-        let dir = tmp_dir("crash-save");
+        let (dir, store) = tmp_store("crash-save");
         let mut m = Manifest::new();
         fs::write(dir.join("a.bds"), b"x").unwrap();
         m.segments.push(meta("a.bds", zone(1, 10)));
-        m.save(&dir).unwrap();
+        m.save(&store).unwrap();
 
         let mut newer = m.clone();
         newer.next_segment_id = 99;
         crate::atomic::arm_crash_before_rename(1);
-        let err = newer.save(&dir).unwrap_err();
+        let err = newer.save(&store).unwrap_err();
         assert!(err.to_string().contains("injected crash"), "{err}");
         assert!(dir.join("manifest.json.tmp").exists());
-        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        assert_eq!(Manifest::load(&store).unwrap(), m);
 
-        // Cleanup (what BlockStore::open does) removes the artifact and
-        // the next save goes through.
-        crate::atomic::remove_stale_temps(&dir).unwrap();
+        // The sweep (what BlockStore::open does) quarantines the torn
+        // artifact and the next save goes through.
+        assert_eq!(store.sweep_temps().unwrap(), 1);
         assert!(!dir.join("manifest.json.tmp").exists());
-        newer.save(&dir).unwrap();
-        assert_eq!(Manifest::load(&dir).unwrap().next_segment_id, 99);
+        newer.save(&store).unwrap();
+        assert_eq!(Manifest::load(&store).unwrap().next_segment_id, 99);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -37,14 +37,13 @@
 //! orphans. Either way [`crate::doctor::StoreDoctor`] quarantines the
 //! orphans and no committed row is lost.
 
+use crate::backend::ObjectStore;
 use crate::catalog::{segment_file_name, Manifest, SegmentMeta};
 use crate::error::Result;
 use crate::row::RowRecord;
 use crate::segment::{read_segment_file, write_segment_file, SEGMENT_ROWS};
 use crate::zonemap::ZoneMap;
-use std::fs;
 use std::ops::Range;
-use std::path::Path;
 
 /// When and how aggressively to merge small segments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,15 +91,16 @@ pub(crate) struct CompactionReport {
     pub rows: u64,
 }
 
-/// Executes one compaction pass over a store directory's manifest.
+/// Executes one compaction pass over a store's manifest through its
+/// backend.
 pub(crate) struct Compactor<'a> {
-    dir: &'a Path,
+    store: &'a dyn ObjectStore,
     policy: CompactionPolicy,
 }
 
 impl<'a> Compactor<'a> {
-    pub(crate) fn new(dir: &'a Path, policy: CompactionPolicy) -> Compactor<'a> {
-        Compactor { dir, policy }
+    pub(crate) fn new(store: &'a dyn ObjectStore, policy: CompactionPolicy) -> Compactor<'a> {
+        Compactor { store, policy }
     }
 
     /// Plan and execute: merge every eligible run, commit the spliced
@@ -119,14 +119,14 @@ impl<'a> Compactor<'a> {
         for run in runs {
             let mut rows: Vec<RowRecord> = Vec::new();
             for seg in &manifest.segments[run.clone()] {
-                rows.extend(read_segment_file(&self.dir.join(&seg.file))?);
+                rows.extend(read_segment_file(self.store, &seg.file)?);
                 old_files.push(seg.file.clone());
             }
             let mut metas = Vec::new();
             for chunk in rows.chunks(SEGMENT_ROWS) {
                 let file = segment_file_name(next_id);
                 next_id += 1;
-                let stamp = write_segment_file(&self.dir.join(&file), chunk)?;
+                let stamp = write_segment_file(self.store, &file, chunk)?;
                 metas.push(SegmentMeta {
                     file,
                     zone: ZoneMap::from_rows(chunk),
@@ -145,11 +145,11 @@ impl<'a> Compactor<'a> {
             manifest.segments.splice(run, metas);
         }
         manifest.next_segment_id = next_id;
-        manifest.save(self.dir)?;
+        manifest.save(self.store)?;
         // The old files are garbage once the commit lands; a removal
         // failure only leaves an orphan for the doctor to quarantine.
         for file in &old_files {
-            let _ = fs::remove_file(self.dir.join(file));
+            let _ = self.store.remove(file);
         }
         blockdec_obs::counter("store.compact.runs").inc();
         blockdec_obs::counter("store.compact.segments_in").add(report.segments_in as u64);

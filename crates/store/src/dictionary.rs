@@ -1,17 +1,18 @@
 //! Producer dictionary persistence.
 //!
 //! The store's producer ids are indices into a name list saved as
-//! `dictionary.json`. Writes are atomic (temp + rename) and verified by a
-//! CRC stored alongside the names, so a torn write is detected rather
-//! than silently mis-attributing every block.
+//! `dictionary.json`. Writes are atomic (temp + rename inside the
+//! backend) and verified by a CRC stored alongside the names, so a torn
+//! write is detected rather than silently mis-attributing every block.
 
-use crate::atomic::atomic_replace;
+use crate::backend::{get_retry, ObjectStore};
 use crate::checksum::crc32;
 use crate::error::{Result, StoreError};
 use blockdec_chain::ProducerRegistry;
 use serde::{Deserialize, Serialize};
-use std::fs;
-use std::path::Path;
+
+/// Object name of the producer dictionary under the store root.
+pub const DICTIONARY_NAME: &str = "dictionary.json";
 
 #[derive(Serialize, Deserialize)]
 struct DictFile {
@@ -29,8 +30,9 @@ fn names_crc(names: &[String]) -> u32 {
     crc32(&joined)
 }
 
-/// Save a registry to `path` crash-safely (see [`crate::atomic`]).
-pub fn save_dictionary(path: &Path, registry: &ProducerRegistry) -> Result<()> {
+/// Save a registry as `dictionary.json` crash-safely (see
+/// [`crate::backend::ObjectStore::put_atomic`]).
+pub fn save_dictionary(store: &dyn ObjectStore, registry: &ProducerRegistry) -> Result<()> {
     let names = registry.to_name_list();
     let file = DictFile {
         version: 1,
@@ -38,26 +40,27 @@ pub fn save_dictionary(path: &Path, registry: &ProducerRegistry) -> Result<()> {
         names,
     };
     let json = serde_json::to_vec_pretty(&file).expect("dictionary serializes");
-    atomic_replace(path, &json)
+    store.put_atomic(DICTIONARY_NAME, &json)
 }
 
-/// Load a registry from `path`, verifying integrity.
-pub fn load_dictionary(path: &Path) -> Result<ProducerRegistry> {
-    let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+/// Load the registry from `dictionary.json`, verifying integrity.
+pub fn load_dictionary(store: &dyn ObjectStore) -> Result<ProducerRegistry> {
+    let bytes = get_retry(store, DICTIONARY_NAME)?;
+    let what = || store.describe(DICTIONARY_NAME);
     let file: DictFile = serde_json::from_slice(&bytes).map_err(|e| StoreError::BadFormat {
-        what: path.display().to_string(),
+        what: what(),
         detail: e.to_string(),
     })?;
     if file.version != 1 {
         return Err(StoreError::BadFormat {
-            what: path.display().to_string(),
+            what: what(),
             detail: format!("unsupported dictionary version {}", file.version),
         });
     }
     let actual = names_crc(&file.names);
     if actual != file.crc32 {
         return Err(StoreError::Corrupt {
-            what: path.display().to_string(),
+            what: what(),
             detail: format!(
                 "dictionary crc mismatch: {actual:#010x} vs {:#010x}",
                 file.crc32
@@ -70,23 +73,26 @@ pub fn load_dictionary(path: &Path) -> Result<ProducerRegistry> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::LocalFs;
+    use std::fs;
 
-    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    fn tmp_store(tag: &str) -> (std::path::PathBuf, LocalFs) {
         let d = std::env::temp_dir().join(format!("blockdec-dict-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
         fs::create_dir_all(&d).unwrap();
-        d
+        let store = LocalFs::new(&d);
+        (d, store)
     }
 
     #[test]
     fn roundtrip() {
-        let dir = tmp_dir("rt");
-        let path = dir.join("dictionary.json");
+        let (dir, store) = tmp_store("rt");
         let mut reg = ProducerRegistry::new();
         for n in ["F2Pool", "AntPool", "1A2b3C"] {
             reg.intern(n);
         }
-        save_dictionary(&path, &reg).unwrap();
-        let back = load_dictionary(&path).unwrap();
+        save_dictionary(&store, &reg).unwrap();
+        let back = load_dictionary(&store).unwrap();
         assert_eq!(back.len(), 3);
         for (id, name) in reg.iter() {
             assert_eq!(back.get(name), Some(id));
@@ -96,53 +102,50 @@ mod tests {
 
     #[test]
     fn empty_registry_roundtrip() {
-        let dir = tmp_dir("empty");
-        let path = dir.join("dictionary.json");
-        save_dictionary(&path, &ProducerRegistry::new()).unwrap();
-        assert!(load_dictionary(&path).unwrap().is_empty());
+        let (dir, store) = tmp_store("empty");
+        save_dictionary(&store, &ProducerRegistry::new()).unwrap();
+        assert!(load_dictionary(&store).unwrap().is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn detects_tampering() {
-        let dir = tmp_dir("tamper");
-        let path = dir.join("dictionary.json");
+        let (dir, store) = tmp_store("tamper");
         let mut reg = ProducerRegistry::new();
         reg.intern("F2Pool");
-        save_dictionary(&path, &reg).unwrap();
+        save_dictionary(&store, &reg).unwrap();
+        let path = dir.join("dictionary.json");
         let text = fs::read_to_string(&path).unwrap();
         fs::write(&path, text.replace("F2Pool", "FakePool")).unwrap();
-        let err = load_dictionary(&path).unwrap_err();
+        let err = load_dictionary(&store).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn save_crash_between_write_and_rename_is_recoverable() {
-        let dir = tmp_dir("crash");
-        let path = dir.join("dictionary.json");
+        let (dir, store) = tmp_store("crash");
         let mut reg = ProducerRegistry::new();
         reg.intern("F2Pool");
-        save_dictionary(&path, &reg).unwrap();
+        save_dictionary(&store, &reg).unwrap();
         reg.intern("AntPool");
         crate::atomic::arm_crash_before_rename(1);
-        assert!(save_dictionary(&path, &reg).is_err());
+        assert!(save_dictionary(&store, &reg).is_err());
         // Previous dictionary still loads; torn temp left behind.
-        assert_eq!(load_dictionary(&path).unwrap().len(), 1);
-        assert!(crate::atomic::temp_path(&path).exists());
-        crate::atomic::remove_stale_temps(&dir).unwrap();
-        save_dictionary(&path, &reg).unwrap();
-        assert_eq!(load_dictionary(&path).unwrap().len(), 2);
+        assert_eq!(load_dictionary(&store).unwrap().len(), 1);
+        assert!(dir.join("dictionary.json.tmp").exists());
+        assert_eq!(store.sweep_temps().unwrap(), 1);
+        save_dictionary(&store, &reg).unwrap();
+        assert_eq!(load_dictionary(&store).unwrap().len(), 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn rejects_non_json() {
-        let dir = tmp_dir("garbage");
-        let path = dir.join("dictionary.json");
-        fs::write(&path, b"not json at all").unwrap();
+        let (dir, store) = tmp_store("garbage");
+        fs::write(dir.join("dictionary.json"), b"not json at all").unwrap();
         assert!(matches!(
-            load_dictionary(&path).unwrap_err(),
+            load_dictionary(&store).unwrap_err(),
             StoreError::BadFormat { .. }
         ));
         fs::remove_dir_all(&dir).unwrap();

@@ -1,22 +1,27 @@
 //! Store fault detection and repair: [`StoreDoctor`].
 //!
-//! The doctor scans every on-disk artifact of a store directory,
-//! classifies each problem into a [`FaultKind`], and — on request —
-//! repairs the store into a consistent state: faulty segment files are
-//! *quarantined* (moved into `quarantine/`, never deleted, so no byte of
-//! data is destroyed), stale temp files are removed, the dictionary is
+//! The doctor scans every artifact of a store, classifies each problem
+//! into a [`FaultKind`], and — on request — repairs the store into a
+//! consistent state: faulty segment files are *quarantined* (moved into
+//! `quarantine/`, never deleted, so no byte of data is destroyed),
+//! stale temp files are swept into quarantine too, the dictionary is
 //! rebuilt or extended when damaged, and a consistent manifest covering
 //! exactly the surviving segments is rewritten. After a successful
 //! repair, scans over the store return exactly the rows of the surviving
 //! segments — metric series over those blocks are bitwise identical to a
 //! clean store holding the same subset.
 //!
+//! All access goes through [`ObjectStore`], so the repair semantics are
+//! backend-independent: the same quarantine-never-delete discipline
+//! holds on any backend that upholds the trait contract.
+//!
 //! Surfaced on the command line as `blockdec fsck [--repair]`.
 
 use crate::atomic;
+use crate::backend::{get_retry, LocalFs, ObjectStore};
 use crate::bloom::ProducerFilter;
-use crate::catalog::{parse_segment_id, segment_file_name, Manifest, SegmentMeta};
-use crate::dictionary::{load_dictionary, save_dictionary};
+use crate::catalog::{parse_segment_id, segment_file_name, Manifest, SegmentMeta, MANIFEST_NAME};
+use crate::dictionary::{load_dictionary, save_dictionary, DICTIONARY_NAME};
 use crate::error::{Result, StoreError};
 use crate::row::RowRecord;
 use crate::segment::{
@@ -25,11 +30,10 @@ use crate::segment::{
 use crate::zonemap::ZoneMap;
 use blockdec_chain::ProducerRegistry;
 use std::collections::BTreeSet;
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::sync::Arc;
 
-/// Subdirectory faulty segment files are moved into by repair.
-pub const QUARANTINE_DIR: &str = "quarantine";
+pub use crate::backend::local::QUARANTINE_DIR;
 
 /// Classified store fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -156,7 +160,8 @@ pub struct RepairOutcome {
     /// quarantined segments (index-corruption repair): every row of the
     /// originals survives under these names.
     pub rebuilt: Vec<String>,
-    /// Stale `*.tmp` files removed.
+    /// Stale `*.tmp` files swept out of the data path (into
+    /// quarantine — like everything else, they are never deleted).
     pub removed_temps: usize,
     /// True when a new manifest was written.
     pub manifest_rewritten: bool,
@@ -172,13 +177,13 @@ impl RepairOutcome {
     }
 }
 
-/// Scans a store directory for faults and repairs it in place.
+/// Scans a store for faults and repairs it in place.
 ///
 /// Unlike [`crate::BlockStore::open`], the doctor never requires the
-/// store to be openable: it works from raw directory state, so it can
+/// store to be openable: it works from raw backend state, so it can
 /// recover a store whose manifest is gone entirely.
 pub struct StoreDoctor {
-    dir: PathBuf,
+    store: Arc<dyn ObjectStore>,
 }
 
 /// Everything check() learns about one segment file.
@@ -231,34 +236,26 @@ fn classify_segment_bytes(bytes: &[u8], what: &str) -> SegmentHealth {
 }
 
 impl StoreDoctor {
-    /// A doctor for the store rooted at `dir`.
+    /// A doctor for the local store rooted at `dir`.
     pub fn new(dir: impl AsRef<Path>) -> StoreDoctor {
-        StoreDoctor {
-            dir: dir.as_ref().to_path_buf(),
-        }
+        StoreDoctor::with_backend(Arc::new(LocalFs::new(dir)))
     }
 
-    /// The directory this doctor operates on.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// A doctor over an arbitrary backend. Repair writes through the
+    /// same trait it reads from, so fsck semantics hold on any backend.
+    pub fn with_backend(store: Arc<dyn ObjectStore>) -> StoreDoctor {
+        StoreDoctor { store }
     }
 
     /// List `seg-*.bds` files physically present under the store root
     /// (quarantine excluded), sorted by name.
     fn on_disk_segments(&self) -> Result<BTreeSet<String>> {
-        let mut out = BTreeSet::new();
-        for entry in fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, e))? {
-            let entry = entry.map_err(|e| StoreError::io(&self.dir, e))?;
-            if !entry.path().is_file() {
-                continue;
-            }
-            if let Some(name) = entry.file_name().to_str() {
-                if parse_segment_id(name).is_some() {
-                    out.insert(name.to_string());
-                }
-            }
-        }
-        Ok(out)
+        Ok(self
+            .store
+            .list()?
+            .into_iter()
+            .filter(|name| parse_segment_id(name).is_some())
+            .collect())
     }
 
     /// Scan every artifact and classify faults without touching
@@ -269,34 +266,31 @@ impl StoreDoctor {
         let mut report = FsckReport::default();
 
         // Stale temp files from interrupted commits.
-        for entry in fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, e))? {
-            let entry = entry.map_err(|e| StoreError::io(&self.dir, e))?;
-            if let Some(name) = entry.file_name().to_str() {
-                if atomic::is_temp_name(name) && entry.path().is_file() {
-                    report.faults.push(Fault {
-                        kind: FaultKind::TornTemp,
-                        file: name.to_string(),
-                        detail: "stale temp file from an interrupted commit".into(),
-                    });
-                }
+        for name in self.store.list()? {
+            if atomic::is_temp_name(&name) {
+                report.faults.push(Fault {
+                    kind: FaultKind::TornTemp,
+                    file: name,
+                    detail: "stale temp file from an interrupted commit".into(),
+                });
             }
         }
 
         // Manifest.
-        let manifest = if !self.dir.join("manifest.json").exists() {
+        let manifest = if !self.store.exists(MANIFEST_NAME) {
             report.faults.push(Fault {
                 kind: FaultKind::MissingManifest,
-                file: "manifest.json".into(),
+                file: MANIFEST_NAME.into(),
                 detail: "manifest is missing; catalog must be rebuilt from segments".into(),
             });
             None
         } else {
-            match Manifest::load_lenient(&self.dir) {
+            match Manifest::load_lenient(self.store.as_ref()) {
                 Ok(m) => Some(m),
                 Err(e) => {
                     report.faults.push(Fault {
                         kind: FaultKind::BadManifest,
-                        file: "manifest.json".into(),
+                        file: MANIFEST_NAME.into(),
                         detail: e.to_string(),
                     });
                     None
@@ -305,21 +299,20 @@ impl StoreDoctor {
         };
 
         // Dictionary.
-        let dict_path = self.dir.join("dictionary.json");
-        let registry = if !dict_path.exists() {
+        let registry = if !self.store.exists(DICTIONARY_NAME) {
             report.faults.push(Fault {
                 kind: FaultKind::MissingDictionary,
-                file: "dictionary.json".into(),
+                file: DICTIONARY_NAME.into(),
                 detail: "producer dictionary is missing".into(),
             });
             None
         } else {
-            match load_dictionary(&dict_path) {
+            match load_dictionary(self.store.as_ref()) {
                 Ok(r) => Some(r),
                 Err(e) => {
                     report.faults.push(Fault {
                         kind: FaultKind::BadDictionary,
-                        file: "dictionary.json".into(),
+                        file: DICTIONARY_NAME.into(),
                         detail: e.to_string(),
                     });
                     None
@@ -334,8 +327,7 @@ impl StoreDoctor {
             for seg in &manifest.segments {
                 referenced.insert(seg.file.clone());
                 report.segments_checked += 1;
-                let path = self.dir.join(&seg.file);
-                if !path.is_file() {
+                if !self.store.exists(&seg.file) {
                     report.faults.push(Fault {
                         kind: FaultKind::MissingSegment,
                         file: seg.file.clone(),
@@ -344,7 +336,7 @@ impl StoreDoctor {
                     prev = Some(seg);
                     continue;
                 }
-                let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+                let bytes = get_retry(self.store.as_ref(), &seg.file)?;
                 match classify_segment_bytes(&bytes, &seg.file) {
                     SegmentHealth::Faulty(kind, detail)
                     | SegmentHealth::Recoverable(kind, detail, _) => {
@@ -425,22 +417,18 @@ impl StoreDoctor {
         Ok(report)
     }
 
-    /// Move `file` into `quarantine/`, creating the directory on first
-    /// use. An existing quarantined file of the same name is replaced.
+    /// Move `file` into `quarantine/`, creating the area on first use.
+    /// A name collision in quarantine gets a numeric suffix — earlier
+    /// quarantined bytes are never replaced.
     fn quarantine(&self, file: &str) -> Result<()> {
-        let qdir = self.dir.join(QUARANTINE_DIR);
-        fs::create_dir_all(&qdir).map_err(|e| StoreError::io(&qdir, e))?;
-        let from = self.dir.join(file);
-        let to = qdir.join(file);
-        fs::rename(&from, &to).map_err(|e| StoreError::io(&from, e))?;
-        Ok(())
+        self.store.quarantine(file)
     }
 
-    /// Repair the store in place: remove stale temps, quarantine every
-    /// faulty segment, rebuild or extend the dictionary when damaged,
-    /// and rewrite a consistent manifest covering exactly the surviving
-    /// segments. Returns what was done; call [`StoreDoctor::check`]
-    /// afterwards to confirm a clean state.
+    /// Repair the store in place: sweep stale temps into quarantine,
+    /// quarantine every faulty segment, rebuild or extend the
+    /// dictionary when damaged, and rewrite a consistent manifest
+    /// covering exactly the surviving segments. Returns what was done;
+    /// call [`StoreDoctor::check`] afterwards to confirm a clean state.
     pub fn repair(&self) -> Result<RepairOutcome> {
         let _t = blockdec_obs::span_timed!("stage.fsck_repair");
         let pre = self.check()?;
@@ -452,11 +440,11 @@ impl StoreDoctor {
             return Ok(outcome);
         }
 
-        outcome.removed_temps = atomic::remove_stale_temps(&self.dir)?;
+        outcome.removed_temps = self.store.sweep_temps()?;
 
         // Candidate segments: the manifest's view when it is readable,
         // otherwise every segment file on disk (manifest rebuild mode).
-        let manifest = Manifest::load_lenient(&self.dir).ok();
+        let manifest = Manifest::load_lenient(self.store.as_ref()).ok();
         let candidates: Vec<String> = match &manifest {
             Some(m) => m.segments.iter().map(|s| s.file.clone()).collect(),
             None => self.on_disk_segments()?.into_iter().collect(),
@@ -467,11 +455,10 @@ impl StoreDoctor {
         let mut kept: Vec<(String, Vec<RowRecord>, u32)> = Vec::new();
         let mut salvaged: Vec<Vec<RowRecord>> = Vec::new();
         for file in candidates {
-            let path = self.dir.join(&file);
-            if !path.is_file() {
+            if !self.store.exists(&file) {
                 continue; // manifest drift: nothing on disk to keep or move
             }
-            let bytes = fs::read(&path).map_err(|e| StoreError::io(&path, e))?;
+            let bytes = get_retry(self.store.as_ref(), &file)?;
             match classify_segment_bytes(&bytes, &file) {
                 SegmentHealth::Healthy(rows) => {
                     let crc = footer_crc(&bytes).expect("healthy segment has a footer");
@@ -528,7 +515,7 @@ impl StoreDoctor {
         let mut recovered_rows = 0u64;
         for (salvage_id, rows) in (first_salvage_id..).zip(salvaged) {
             let file = segment_file_name(salvage_id);
-            let stamp = write_segment_file(&self.dir.join(&file), &rows)?;
+            let stamp = write_segment_file(self.store.as_ref(), &file, &rows)?;
             recovered_rows += rows.len() as u64;
             outcome.rebuilt.push(file.clone());
             kept.push((file, rows, stamp.crc));
@@ -576,8 +563,7 @@ impl StoreDoctor {
         // Dictionary: rebuild with placeholders when missing/corrupt,
         // extend when too short. Placeholder names keep producer ids —
         // and therefore every metric series — unchanged.
-        let dict_path = self.dir.join("dictionary.json");
-        let registry = load_dictionary(&dict_path).ok();
+        let registry = load_dictionary(self.store.as_ref()).ok();
         let max_id = surviving_rows
             .iter()
             .flat_map(|rows| rows.iter())
@@ -597,7 +583,7 @@ impl StoreDoctor {
                     rebuilt.intern(&format!("recovered-producer-{id}"));
                 }
                 reg = rebuilt;
-                save_dictionary(&dict_path, &reg)?;
+                save_dictionary(self.store.as_ref(), &reg)?;
                 outcome.dictionary_rebuilt = true;
                 reg
             }
@@ -621,7 +607,7 @@ impl StoreDoctor {
             segments,
             next_segment_id,
         };
-        new_manifest.save(&self.dir)?;
+        new_manifest.save(self.store.as_ref())?;
         outcome.manifest_rewritten = true;
 
         blockdec_obs::counter("store.fault.quarantined").add(outcome.quarantined.len() as u64);
@@ -642,6 +628,8 @@ mod tests {
     use super::*;
     use crate::catalog::segment_file_name;
     use crate::store::{BlockStore, ScanPredicate};
+    use std::fs;
+    use std::path::PathBuf;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!(
@@ -714,9 +702,10 @@ mod tests {
         build_store(&dir);
         // Forge a manifest where segment 1's zone overlaps segment 0's
         // rows by lying about the files' order.
-        let mut m = Manifest::load_lenient(&dir).unwrap();
+        let local = LocalFs::new(&dir);
+        let mut m = Manifest::load_lenient(&local).unwrap();
         m.segments.swap(0, 1);
-        m.save(&dir).unwrap();
+        m.save(&local).unwrap();
         let doctor = StoreDoctor::new(&dir);
         assert!(doctor.check().unwrap().has(FaultKind::ZoneDrift));
         // Repair re-sorts by height, so no quarantine is needed here.

@@ -184,7 +184,8 @@ impl FaultInjector {
     /// Perturb one segment's zone map in the manifest so it no longer
     /// matches the rows on disk — manifest drift.
     pub fn drift_zone(&mut self, file: &str) -> Result<()> {
-        let mut manifest = Manifest::load_lenient(&self.dir)?;
+        let local = crate::backend::LocalFs::new(&self.dir);
+        let mut manifest = Manifest::load_lenient(&local)?;
         let seg = manifest
             .segments
             .iter_mut()
@@ -192,7 +193,7 @@ impl FaultInjector {
             .unwrap_or_else(|| panic!("{file} not in manifest"));
         seg.zone.max_height += 1 + self.next_below(1000);
         seg.zone.rows += 1;
-        manifest.save(&self.dir)
+        manifest.save(&local)
     }
 
     /// Leave a torn `manifest.json.tmp` behind, as an interrupted

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod backend;
 pub mod bloom;
 pub mod bufio;
 pub mod cache;
@@ -47,9 +48,11 @@ pub mod fault;
 pub mod page;
 pub mod row;
 pub mod segment;
+pub mod selftest;
 pub mod store;
 pub mod zonemap;
 
+pub use backend::{LocalFs, ObjectStore, PageCache, PageCacheStats, SimBackend, SimProfile};
 pub use bloom::ProducerFilter;
 pub use compactor::CompactionPolicy;
 pub use doctor::{Fault, FaultKind, FsckReport, RepairOutcome, StoreDoctor};

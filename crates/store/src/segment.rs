@@ -19,6 +19,7 @@
 //! index CRC is a third that lets a pruned scan trust the index without
 //! touching the pages it skips.
 
+use crate::backend::{get_retry, ObjectStore};
 use crate::bloom::ProducerFilter;
 use crate::checksum::crc32;
 use crate::encoding::{
@@ -29,8 +30,7 @@ use crate::page::{read_page, write_page};
 use crate::row::RowRecord;
 use crate::store::ScanPredicate;
 use crate::zonemap::ZoneMap;
-use std::fs;
-use std::path::Path;
+use std::sync::Arc;
 
 /// Magic bytes of a segment file.
 pub const MAGIC: [u8; 4] = *b"BDSG";
@@ -270,7 +270,18 @@ pub fn parse_index(data: &[u8], what: &str) -> Result<SegmentIndex> {
     if index_off < 10 || index_off + 4 > idx_field {
         return Err(bad(format!("index offset {index_off} out of range")));
     }
-    let region = &data[index_off..idx_field];
+    parse_index_region(&data[index_off..idx_field], index_off, what)
+}
+
+/// Parse the bytes of the index region itself, `[index_off, idx_field)`
+/// of the file. The ranged pruned path fetches exactly this window plus
+/// the trailing words, so the parse core cannot assume it holds the
+/// whole file.
+fn parse_index_region(region: &[u8], index_off: usize, what: &str) -> Result<SegmentIndex> {
+    let bad = |detail: String| StoreError::CorruptIndex {
+        what: what.to_string(),
+        detail,
+    };
     // Smallest possible index: magic + count + one entry + one minimal
     // group bloom (k, nwords, one word) + minimal segment bloom + crc.
     if region.len() < 4 + 4 + GROUP_ENTRY_LEN + 16 + 16 + 4 {
@@ -756,6 +767,101 @@ impl SegmentDecoder {
         })
     }
 
+    /// [`SegmentDecoder::decode_pruned`] over a backend that serves byte
+    /// ranges, so pruning sheds *bytes fetched*, not just decode work.
+    ///
+    /// `fetch(offset, len)` returns that window of the segment object
+    /// (typically via [`crate::backend::PageCache`]); `file_len` is the
+    /// object's total size. The sequence fetches the 16-byte tail
+    /// (footer frame + index offset word), the 10-byte header, the
+    /// CRC-checked index block, and then only the page extents of the
+    /// groups that survive zone/bloom pruning — a 3-day window over a
+    /// chain-year segment touches a small fraction of the file.
+    ///
+    /// Validation matches [`SegmentDecoder::decode_pruned`] check for
+    /// check (same error texts in the same order); group extents come
+    /// from the CRC-covered index, and every fetched page still passes
+    /// its own CRC, so an index that lies about offsets fails decoding
+    /// rather than yielding bad rows.
+    pub fn decode_pruned_ranged(
+        &mut self,
+        fetch: &mut dyn FnMut(u64, usize) -> Result<Arc<Vec<u8>>>,
+        file_len: u64,
+        what: &str,
+        pred: &ScanPredicate,
+    ) -> Result<PrunedDecode> {
+        const TAIL_LEN: usize = FOOTER_LEN + 4;
+        if file_len < TAIL_LEN as u64 {
+            // Too small to hold even the tail: fetch it whole so the
+            // degenerate cases fail exactly like the in-memory path.
+            let data = fetch(0, file_len as usize)?;
+            return self.decode_pruned(&data, what, pred);
+        }
+        self.clear();
+        let corrupt = |detail: String| StoreError::Corrupt {
+            what: what.to_string(),
+            detail,
+        };
+        let tail = fetch(file_len - TAIL_LEN as u64, TAIL_LEN)?;
+        if tail[TAIL_LEN - 4..] != FOOTER_MAGIC {
+            return Err(corrupt(
+                "missing finalization footer (torn write or truncated file)".to_string(),
+            ));
+        }
+        let stored_len = u32::from_le_bytes(tail[8..12].try_into().expect("4 bytes")) as u64;
+        if stored_len != file_len {
+            return Err(corrupt(format!(
+                "footer length disagrees with file length {file_len} (truncated after finalization)"
+            )));
+        }
+        let body_len = (file_len as usize) - FOOTER_LEN;
+        if body_len < 10 {
+            return Err(StoreError::BadFormat {
+                what: what.to_string(),
+                detail: format!("file too short: {body_len} bytes"),
+            });
+        }
+        let header = fetch(0, 10)?;
+        Self::parse_header(&header, what)?;
+        let idx_field = (file_len as usize) - FOOTER_LEN - 4;
+        let index_off = u32::from_le_bytes(tail[0..4].try_into().expect("4 bytes")) as usize;
+        if index_off < 10 || index_off + 4 > idx_field {
+            return Err(StoreError::CorruptIndex {
+                what: what.to_string(),
+                detail: format!("index offset {index_off} out of range"),
+            });
+        }
+        let region = fetch(index_off as u64, idx_field - index_off)?;
+        let index = parse_index_region(&region, index_off, what)?;
+        let mut decoded = 0usize;
+        for (g, group) in index.groups.iter().enumerate() {
+            if !pred.may_match(&group.zone()) {
+                continue;
+            }
+            if let Some(p) = pred.producer {
+                if !index.group_producers[g].contains(p) {
+                    continue;
+                }
+            }
+            let end = index
+                .groups
+                .get(g + 1)
+                .map(|next| next.offset as usize)
+                .unwrap_or(index_off);
+            let extent = fetch(u64::from(group.offset), end - group.offset as usize)?;
+            let mut cursor = extent.as_slice();
+            self.decode_group(&mut cursor, group.rows as usize, what)?;
+            decoded += 1;
+        }
+        self.validate_narrow(what)?;
+        self.rows = self.heights.len();
+        Ok(PrunedDecode {
+            rows: self.rows,
+            groups_total: index.groups.len(),
+            groups_skipped: index.groups.len() - decoded,
+        })
+    }
+
     /// Last-resort decode for repair: parse the header and decode page
     /// groups sequentially at their conventional positions, ignoring
     /// the index block entirely. Per-page CRCs still gate every byte of
@@ -843,17 +949,22 @@ pub struct SegmentStamp {
     pub producers: ProducerFilter,
 }
 
-/// Write a segment file crash-safely (see [`crate::atomic`]) and return
-/// its content stamp for the manifest.
-pub fn write_segment_file(path: &Path, rows: &[RowRecord]) -> Result<SegmentStamp> {
+/// Write a segment crash-safely through the backend (see
+/// [`crate::backend::ObjectStore::put_atomic`]) and return its content
+/// stamp for the manifest.
+pub fn write_segment_file(
+    store: &dyn ObjectStore,
+    name: &str,
+    rows: &[RowRecord],
+) -> Result<SegmentStamp> {
     let timer = blockdec_obs::Timer::new("store.segment_write");
     let bytes = encode_segment(rows);
     let crc = footer_crc(&bytes).expect("freshly encoded segment has a footer");
-    crate::atomic::atomic_replace(path, &bytes)?;
+    store.put_atomic(name, &bytes)?;
     let elapsed_ms = timer.stop() * 1e3;
     blockdec_obs::counter("store.segments.written").inc();
     blockdec_obs::debug!(
-        file = path.display().to_string(),
+        file = store.describe(name),
         rows = rows.len(),
         bytes = bytes.len(),
         elapsed_ms = elapsed_ms;
@@ -866,15 +977,16 @@ pub fn write_segment_file(path: &Path, rows: &[RowRecord]) -> Result<SegmentStam
     })
 }
 
-/// Read and decode a segment file.
-pub fn read_segment_file(path: &Path) -> Result<Vec<RowRecord>> {
+/// Read and decode a segment object from the backend (transient read
+/// faults retried).
+pub fn read_segment_file(store: &dyn ObjectStore, name: &str) -> Result<Vec<RowRecord>> {
     let timer = blockdec_obs::Timer::new("store.segment_read");
-    let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
-    let rows = decode_segment(&bytes, &path.display().to_string())?;
+    let bytes = get_retry(store, name)?;
+    let rows = decode_segment(&bytes, &store.describe(name))?;
     let elapsed_ms = timer.stop() * 1e3;
     blockdec_obs::counter("store.segments.read").inc();
     blockdec_obs::debug!(
-        file = path.display().to_string(),
+        file = store.describe(name),
         rows = rows.len(),
         elapsed_ms = elapsed_ms;
         "read segment"
@@ -1007,18 +1119,89 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
+        use std::fs;
         let dir = std::env::temp_dir().join(format!("blockdec-seg-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("seg-00000000.bds");
+        let store = crate::backend::LocalFs::new(&dir);
+        let name = "seg-00000000.bds";
         let r = rows(1000);
-        let stamp = write_segment_file(&path, &r).unwrap();
-        assert_eq!(read_segment_file(&path).unwrap(), r);
-        let bytes = fs::read(&path).unwrap();
+        let stamp = write_segment_file(&store, name, &r).unwrap();
+        assert_eq!(read_segment_file(&store, name).unwrap(), r);
+        let bytes = fs::read(dir.join(name)).unwrap();
         assert_eq!(footer_crc(&bytes), Some(stamp.crc));
         assert_eq!(parse_index(&bytes, "t").unwrap().producers, stamp.producers);
         // No temp file left behind.
-        assert!(!crate::atomic::temp_path(&path).exists());
+        assert!(!dir.join("seg-00000000.bds.tmp").exists());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ranged_pruned_decode_matches_in_memory_and_sheds_bytes() {
+        let r = rows(10_000);
+        let encoded = encode_segment(&r);
+        let mid = r[5000].height;
+        let pred = ScanPredicate::all().heights(mid, mid + 100);
+
+        let mut dec = SegmentDecoder::new();
+        let want = dec.decode_pruned(&encoded, "t", &pred).unwrap();
+        let want_rows: Vec<RowRecord> = (0..dec.len()).map(|i| dec.row(i)).collect();
+
+        let mut fetched = 0usize;
+        let mut fetch = |off: u64, len: usize| -> Result<Arc<Vec<u8>>> {
+            fetched += len;
+            Ok(Arc::new(encoded[off as usize..off as usize + len].to_vec()))
+        };
+        let mut ranged = SegmentDecoder::new();
+        let got = ranged
+            .decode_pruned_ranged(&mut fetch, encoded.len() as u64, "t", &pred)
+            .unwrap();
+        assert_eq!(got, want);
+        let got_rows: Vec<RowRecord> = (0..ranged.len()).map(|i| ranged.row(i)).collect();
+        assert_eq!(got_rows, want_rows);
+        assert!(
+            fetched * 2 < encoded.len(),
+            "ranged decode fetched {fetched} of {} bytes",
+            encoded.len()
+        );
+    }
+
+    #[test]
+    fn ranged_pruned_decode_rejects_damage_like_in_memory() {
+        let r = rows(128);
+        let mut encoded = encode_segment(&r);
+        let (start, end) = index_bounds(&encoded).unwrap();
+        encoded[start + 9] ^= 0x10;
+        assert!(start + 9 < end - 4);
+        refit_footer(&mut encoded);
+        let fetch_from = |bytes: &[u8]| {
+            let bytes = bytes.to_vec();
+            move |off: u64, len: usize| -> Result<Arc<Vec<u8>>> {
+                Ok(Arc::new(bytes[off as usize..off as usize + len].to_vec()))
+            }
+        };
+        let mut dec = SegmentDecoder::new();
+        let err = dec
+            .decode_pruned_ranged(
+                &mut fetch_from(&encoded),
+                encoded.len() as u64,
+                "t",
+                &ScanPredicate::all(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::CorruptIndex { .. }), "{err}");
+
+        // Truncation loses the footer frame.
+        let truncated = &encoded[..encoded.len() - 3];
+        let err = dec
+            .decode_pruned_ranged(
+                &mut fetch_from(truncated),
+                truncated.len() as u64,
+                "t",
+                &ScanPredicate::all(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("finalization footer"), "{err}");
     }
 
     #[test]
@@ -1124,7 +1307,8 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        let err = read_segment_file(Path::new("/nonexistent/nope.bds")).unwrap_err();
+        let store = crate::backend::LocalFs::new("/nonexistent");
+        let err = read_segment_file(&store, "nope.bds").unwrap_err();
         assert!(matches!(err, StoreError::Io { .. }));
     }
 }

@@ -1,18 +1,21 @@
 //! The public store API: [`BlockStore`].
 
+use crate::backend::{get_retry, LocalFs, ObjectStore, PageCache, PageCacheStats};
 use crate::cache::SegmentCache;
-use crate::catalog::{segment_file_name, Manifest, SegmentMeta};
+use crate::catalog::{segment_file_name, Manifest, SegmentMeta, MANIFEST_NAME};
 use crate::compactor::{CompactionPolicy, Compactor};
-use crate::dictionary::{load_dictionary, save_dictionary};
+use crate::dictionary::{load_dictionary, save_dictionary, DICTIONARY_NAME};
 use crate::error::{Result, StoreError};
 use crate::row::{weight_to_millis, RowRecord};
-use crate::segment::{read_segment_file, write_segment_file, SegmentDecoder, SEGMENT_ROWS};
+use crate::segment::{
+    read_segment_file, write_segment_file, PrunedDecode, SegmentDecoder, SEGMENT_ROWS,
+};
 use crate::zonemap::ZoneMap;
 use blockdec_chain::{
     AttributedBlock, BlockColumns, Credit, ProducerId, ProducerRegistry, Timestamp,
 };
-use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::sync::Arc;
 
 /// Filter for [`BlockStore::scan`]. All bounds are inclusive; `None`
 /// means unconstrained.
@@ -68,6 +71,14 @@ impl ScanPredicate {
             }
         }
         true
+    }
+
+    /// True when the predicate can skip page groups inside a segment —
+    /// i.e. any bound is set. The unconstrained predicate decodes every
+    /// row anyway, so a ranged (page-by-page) read would only add
+    /// round-trips over fetching the whole object once.
+    pub fn can_prune(&self) -> bool {
+        self.heights.is_some() || self.times.is_some() || self.producer.is_some()
     }
 
     /// Segment-level test against a zone map.
@@ -195,10 +206,11 @@ impl ScanOptions {
 /// # std::fs::remove_dir_all(&dir).unwrap();
 /// ```
 pub struct BlockStore {
-    dir: PathBuf,
+    store: Arc<dyn ObjectStore>,
     manifest: Manifest,
     registry: ProducerRegistry,
     cache: SegmentCache,
+    pages: PageCache,
     active: Vec<RowRecord>,
     last_height: Option<u64>,
     scan_threads: usize,
@@ -208,66 +220,94 @@ pub struct BlockStore {
 /// Default decoded-segment cache capacity.
 const DEFAULT_CACHE_SEGMENTS: usize = 8;
 
+/// Default page-cache capacity in mebibytes.
+const DEFAULT_PAGE_CACHE_MB: u64 = 64;
+
+/// Decoded-segment cache capacity: `BLOCKDEC_CACHE_SEGMENTS` when set
+/// and parseable, 8 segments otherwise.
+pub fn default_cache_segments() -> usize {
+    std::env::var("BLOCKDEC_CACHE_SEGMENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CACHE_SEGMENTS)
+}
+
+/// Page-cache capacity in bytes: `BLOCKDEC_PAGE_CACHE_MB` (in MiB) when
+/// set and parseable, 64 MiB otherwise.
+pub fn default_page_cache_bytes() -> usize {
+    let mb = std::env::var("BLOCKDEC_PAGE_CACHE_MB")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_PAGE_CACHE_MB);
+    usize::try_from(mb.saturating_mul(1024 * 1024)).unwrap_or(usize::MAX)
+}
+
+fn fresh_handle(store: Arc<dyn ObjectStore>, manifest: Manifest) -> BlockStore {
+    let last_height = manifest.segments.last().map(|s| s.zone.max_height);
+    BlockStore {
+        store,
+        manifest,
+        registry: ProducerRegistry::new(),
+        cache: SegmentCache::new(default_cache_segments()),
+        pages: PageCache::new(default_page_cache_bytes()),
+        active: Vec::new(),
+        last_height,
+        scan_threads: 0,
+        compact_policy: None,
+    }
+}
+
 impl BlockStore {
     /// Create a new store in `dir` (created if missing; must not already
     /// contain a manifest).
     pub fn create(dir: impl AsRef<Path>) -> Result<BlockStore> {
-        let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
-        if dir.join("manifest.json").exists() {
+        BlockStore::create_with(Arc::new(LocalFs::new(dir)))
+    }
+
+    /// [`BlockStore::create`] over an explicit [`ObjectStore`] backend.
+    pub fn create_with(backend: Arc<dyn ObjectStore>) -> Result<BlockStore> {
+        backend.create_root()?;
+        if backend.exists(MANIFEST_NAME) {
             return Err(StoreError::InvalidAppend(format!(
                 "store already exists at {}",
-                dir.display()
+                backend.describe_root()
             )));
         }
-        let store = BlockStore {
-            dir,
-            manifest: Manifest::new(),
-            registry: ProducerRegistry::new(),
-            cache: SegmentCache::new(DEFAULT_CACHE_SEGMENTS),
-            active: Vec::new(),
-            last_height: None,
-            scan_threads: 0,
-            compact_policy: None,
-        };
-        store.manifest.save(&store.dir)?;
-        save_dictionary(&store.dir.join("dictionary.json"), &store.registry)?;
+        let store = fresh_handle(backend, Manifest::new());
+        store.manifest.save(store.store.as_ref())?;
+        save_dictionary(store.store.as_ref(), &store.registry)?;
         Ok(store)
     }
 
     /// Open an existing store.
     ///
     /// Recovers from interrupted commits first: stale `*.tmp` crash
-    /// artifacts are removed (the previous committed state is what the
-    /// manifest describes), and a store whose manifest commits zero rows
-    /// may be missing its dictionary (crash between `create`'s two
-    /// commits) — an empty dictionary is recreated in that case.
+    /// artifacts are swept into quarantine (the previous committed state
+    /// is what the manifest describes), and a store whose manifest
+    /// commits zero rows may be missing its dictionary (crash between
+    /// `create`'s two commits) — an empty dictionary is recreated in
+    /// that case.
     pub fn open(dir: impl AsRef<Path>) -> Result<BlockStore> {
-        let dir = dir.as_ref().to_path_buf();
-        let removed = crate::atomic::remove_stale_temps(&dir)?;
-        if removed > 0 {
+        BlockStore::open_with(Arc::new(LocalFs::new(dir)))
+    }
+
+    /// [`BlockStore::open`] over an explicit [`ObjectStore`] backend.
+    pub fn open_with(backend: Arc<dyn ObjectStore>) -> Result<BlockStore> {
+        let swept = backend.sweep_temps()?;
+        if swept > 0 {
             blockdec_obs::warn!(
-                removed = removed;
-                "removed stale temp files from an interrupted commit"
+                swept = swept;
+                "quarantined stale temp files from an interrupted commit"
             );
         }
-        let manifest = Manifest::load(&dir)?;
-        let dict_path = dir.join("dictionary.json");
-        if !dict_path.exists() && manifest.total_rows() == 0 {
-            save_dictionary(&dict_path, &ProducerRegistry::new())?;
+        let manifest = Manifest::load(backend.as_ref())?;
+        if !backend.exists(DICTIONARY_NAME) && manifest.total_rows() == 0 {
+            save_dictionary(backend.as_ref(), &ProducerRegistry::new())?;
         }
-        let registry = load_dictionary(&dict_path)?;
-        let last_height = manifest.segments.last().map(|s| s.zone.max_height);
-        Ok(BlockStore {
-            dir,
-            manifest,
-            registry,
-            cache: SegmentCache::new(DEFAULT_CACHE_SEGMENTS),
-            active: Vec::new(),
-            last_height,
-            scan_threads: 0,
-            compact_policy: None,
-        })
+        let registry = load_dictionary(backend.as_ref())?;
+        let mut store = fresh_handle(backend, manifest);
+        store.registry = registry;
+        Ok(store)
     }
 
     /// Set the default decode thread count for this handle's columnar
@@ -288,11 +328,33 @@ impl BlockStore {
 
     /// Open if a manifest exists, otherwise create.
     pub fn open_or_create(dir: impl AsRef<Path>) -> Result<BlockStore> {
-        if dir.as_ref().join("manifest.json").exists() {
-            BlockStore::open(dir)
+        BlockStore::open_or_create_with(Arc::new(LocalFs::new(dir)))
+    }
+
+    /// [`BlockStore::open_or_create`] over an explicit [`ObjectStore`]
+    /// backend.
+    pub fn open_or_create_with(backend: Arc<dyn ObjectStore>) -> Result<BlockStore> {
+        if backend.exists(MANIFEST_NAME) {
+            BlockStore::open_with(backend)
         } else {
-            BlockStore::create(dir)
+            BlockStore::create_with(backend)
         }
+    }
+
+    /// Resize the decoded-segment cache (entries beyond the new
+    /// capacity are evicted immediately).
+    pub fn set_cache_segments(&mut self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+
+    /// Resize the backend page cache (bytes; `0` disables caching).
+    pub fn set_page_cache_bytes(&mut self, capacity: usize) {
+        self.pages.set_capacity(capacity);
+    }
+
+    /// The backend this store reads and writes through.
+    pub fn backend(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
     }
 
     /// The store's producer dictionary.
@@ -406,7 +468,7 @@ impl BlockStore {
         debug_assert!(!rows.is_empty());
         let id = self.manifest.next_segment_id;
         let file = segment_file_name(id);
-        let stamp = write_segment_file(&self.dir.join(&file), &rows)?;
+        let stamp = write_segment_file(self.store.as_ref(), &file, &rows)?;
         self.manifest.segments.push(SegmentMeta {
             file,
             zone: ZoneMap::from_rows(&rows),
@@ -415,8 +477,8 @@ impl BlockStore {
         });
         self.manifest.next_segment_id = id + 1;
         // Commit: dictionary first (superset is harmless), then manifest.
-        save_dictionary(&self.dir.join("dictionary.json"), &self.registry)?;
-        self.manifest.save(&self.dir)?;
+        save_dictionary(self.store.as_ref(), &self.registry)?;
+        self.manifest.save(self.store.as_ref())?;
         // No cache invalidation: the decoded-segment cache is keyed by
         // content identity (file name + footer CRC), so entries for
         // superseded bytes simply stop being addressed and age out.
@@ -432,7 +494,7 @@ impl BlockStore {
             let _t = blockdec_obs::span_timed!("stage.store_flush", rows = self.active.len());
             if self.active.is_empty() {
                 // Still persist dictionary growth from interning.
-                save_dictionary(&self.dir.join("dictionary.json"), &self.registry)?;
+                save_dictionary(self.store.as_ref(), &self.registry)?;
                 return Ok(());
             }
             let rows = std::mem::take(&mut self.active);
@@ -516,11 +578,9 @@ impl BlockStore {
                 }
                 Prune::No => {}
             }
-            let path = self.dir.join(&seg.file);
-            let rows = match self
-                .cache
-                .get_or_load(&seg.cache_key(), || read_segment_file(&path))
-            {
+            let rows = match self.cache.get_or_load(&seg.cache_key(), || {
+                read_segment_file(self.store.as_ref(), &seg.file)
+            }) {
                 Ok(rows) => rows,
                 Err(e) if opts.skip_corrupt => {
                     stats.segments_skipped += 1;
@@ -684,9 +744,11 @@ impl BlockStore {
         blockdec_obs::counter("store.scan.bloom_skip").add(stats.bloom_skips as u64);
 
         let threads = effective_scan_threads(opts.threads, selected.len());
+        let backend = self.store.as_ref();
+        let pages = &self.pages;
         let mut partials: Vec<ColumnarPartial> = if threads <= 1 {
             vec![decode_columnar_chunk(
-                &self.dir, &selected, pred, &keep, opts,
+                backend, pages, &selected, pred, &keep, opts,
             )]
         } else {
             let per_chunk = selected.len().div_ceil(threads);
@@ -694,7 +756,9 @@ impl BlockStore {
                 let handles: Vec<_> = selected
                     .chunks(per_chunk)
                     .map(|segs| {
-                        scope.spawn(|| decode_columnar_chunk(&self.dir, segs, pred, &keep, opts))
+                        scope.spawn(|| {
+                            decode_columnar_chunk(backend, pages, segs, pred, &keep, opts)
+                        })
                     })
                     .collect();
                 handles
@@ -794,9 +858,15 @@ impl BlockStore {
         self.cache.stats()
     }
 
-    /// The store's root directory.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// Decoded-segment cache configuration and occupancy:
+    /// `(capacity_segments, resident_bytes)`.
+    pub fn segment_cache_usage(&self) -> (usize, u64) {
+        (self.cache.capacity(), self.cache.resident_bytes())
+    }
+
+    /// Backend page-cache counters and configuration.
+    pub fn page_cache_stats(&self) -> PageCacheStats {
+        self.pages.stats()
     }
 
     /// Verify every on-disk artifact: decode all segments (exercising
@@ -807,8 +877,7 @@ impl BlockStore {
         let mut report = ScrubReport::default();
         for seg in &self.manifest.segments {
             report.segments_checked += 1;
-            let path = self.dir.join(&seg.file);
-            match read_segment_file(&path) {
+            match read_segment_file(self.store.as_ref(), &seg.file) {
                 Ok(rows) => {
                     report.rows_checked += rows.len() as u64;
                     let zone = ZoneMap::from_rows(&rows);
@@ -839,7 +908,7 @@ impl BlockStore {
     /// Run a full fault check over the store's on-disk state without
     /// modifying anything. See [`crate::StoreDoctor::check`].
     pub fn fsck(&self) -> Result<crate::doctor::FsckReport> {
-        crate::doctor::StoreDoctor::new(&self.dir).check()
+        crate::doctor::StoreDoctor::with_backend(self.store.clone()).check()
     }
 
     /// Repair the on-disk store (see [`crate::StoreDoctor::repair`])
@@ -848,10 +917,11 @@ impl BlockStore {
     /// invalidated so no quarantined segment is ever served from
     /// memory.
     pub fn repair(&mut self) -> Result<crate::doctor::RepairOutcome> {
-        let outcome = crate::doctor::StoreDoctor::new(&self.dir).repair()?;
-        self.manifest = Manifest::load(&self.dir)?;
-        self.registry = load_dictionary(&self.dir.join("dictionary.json"))?;
+        let outcome = crate::doctor::StoreDoctor::with_backend(self.store.clone()).repair()?;
+        self.manifest = Manifest::load(self.store.as_ref())?;
+        self.registry = load_dictionary(self.store.as_ref())?;
         self.cache.invalidate();
+        self.pages.clear();
         self.last_height = self
             .active
             .last()
@@ -879,7 +949,7 @@ impl BlockStore {
     /// the content CRC, so superseded entries are simply never addressed
     /// again and age out of the LRU.
     fn run_compaction(&mut self, policy: CompactionPolicy) -> Result<bool> {
-        let compactor = Compactor::new(&self.dir, policy);
+        let compactor = Compactor::new(self.store.as_ref(), policy);
         Ok(compactor.run(&mut self.manifest)?.is_some())
     }
 }
@@ -922,13 +992,44 @@ struct ColumnarPartial {
     pages_pruned: u64,
 }
 
+/// Decode one segment through the backend, choosing the read shape by
+/// predicate: a pruning predicate goes through the page cache with
+/// ranged reads (only the header, tail, index block, and surviving page
+/// groups are fetched — a pruned group never crosses the wire), while
+/// the unconstrained scan fetches the whole object once, uncached (it
+/// decodes every byte exactly once, so caching would only double the
+/// memory). Returns the segment's logical byte length plus the pruned
+/// decode, leaving the decoded rows in `dec`.
+fn decode_one_segment(
+    backend: &dyn ObjectStore,
+    pages: &PageCache,
+    seg: &SegmentMeta,
+    what: &str,
+    pred: &ScanPredicate,
+    dec: &mut SegmentDecoder,
+) -> Result<(u64, PrunedDecode)> {
+    if pred.can_prune() {
+        let file_len = backend.size(&seg.file)?;
+        let key = seg.cache_key();
+        let mut fetch =
+            |offset: u64, len: usize| pages.get_range(backend, &key, &seg.file, offset, len);
+        let pruned = dec.decode_pruned_ranged(&mut fetch, file_len, what, pred)?;
+        Ok((file_len, pruned))
+    } else {
+        let bytes = get_retry(backend, &seg.file)?;
+        let pruned = dec.decode_pruned(&bytes, what, pred)?;
+        Ok((bytes.len() as u64, pruned))
+    }
+}
+
 /// Decode a contiguous run of segments straight into a partial
 /// [`BlockColumns`]. One [`SegmentDecoder`] (and its scratch buffers) is
 /// reused across the whole chunk, and rows are assembled on the stack
 /// only to test the predicate and residual filter — no `Vec<RowRecord>`
 /// is ever built.
 fn decode_columnar_chunk(
-    dir: &Path,
+    backend: &dyn ObjectStore,
+    pages: &PageCache,
     segs: &[&SegmentMeta],
     pred: &ScanPredicate,
     keep: &(impl Fn(&RowRecord) -> bool + Sync),
@@ -937,14 +1038,9 @@ fn decode_columnar_chunk(
     let mut part = ColumnarPartial::default();
     let mut dec = SegmentDecoder::new();
     for seg in segs {
-        let path = dir.join(&seg.file);
+        let what = backend.describe(&seg.file);
         let timer = blockdec_obs::Timer::new("store.segment_read");
-        let decoded = fs::read(&path)
-            .map_err(|e| StoreError::io(&path, e))
-            .and_then(|bytes| {
-                let pruned = dec.decode_pruned(&bytes, &path.display().to_string(), pred)?;
-                Ok((bytes.len() as u64, pruned))
-            });
+        let decoded = decode_one_segment(backend, pages, seg, &what, pred, &mut dec);
         let (byte_len, pruned) = match decoded {
             Ok(v) => v,
             Err(e) if opts.skip_corrupt => {
@@ -1030,6 +1126,8 @@ impl ScrubReport {
 mod tests {
     use super::*;
     use blockdec_chain::{Credit, ProducerId, Timestamp};
+    use std::fs;
+    use std::path::PathBuf;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!(
