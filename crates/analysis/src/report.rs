@@ -41,7 +41,7 @@ pub fn series_summary_markdown(rows: &[(String, &MeasurementSeries)]) -> String 
     for (label, series) in rows {
         match SeriesStats::from_values(&series.values()) {
             Some(s) => {
-                writeln!(
+                let _ = writeln!(
                     out,
                     "| {label} | {} | {} | {} | {:.4} | {:.4} | {:.4} | {:.4} |",
                     series.metric.label(),
@@ -51,17 +51,15 @@ pub fn series_summary_markdown(rows: &[(String, &MeasurementSeries)]) -> String 
                     s.std,
                     s.min,
                     s.max
-                )
-                .expect("write to string");
+                );
             }
             None => {
-                writeln!(
+                let _ = writeln!(
                     out,
                     "| {label} | {} | {} | 0 | - | - | - | - |",
                     series.metric.label(),
                     series.window.label()
-                )
-                .expect("write to string");
+                );
             }
         }
     }
@@ -72,7 +70,7 @@ pub fn series_summary_markdown(rows: &[(String, &MeasurementSeries)]) -> String 
 pub fn comparison_markdown(cmp: &ChainComparison) -> String {
     let _t = blockdec_obs::span_timed!("stage.report", comparison_rows = cmp.rows.len());
     let mut out = String::new();
-    writeln!(out, "## {} vs {}\n", cmp.label_a, cmp.label_b).expect("write");
+    let _ = writeln!(out, "## {} vs {}\n", cmp.label_a, cmp.label_b);
     out.push_str(&format!(
         "| metric | window | mean({a}) | mean({b}) | cv({a}) | cv({b}) | more decentralized | more stable |\n",
         a = cmp.label_a,
@@ -81,7 +79,7 @@ pub fn comparison_markdown(cmp: &ChainComparison) -> String {
     out.push_str("|---|---|---|---|---|---|---|---|\n");
     for r in &cmp.rows {
         let fmt_cv = |cv: Option<f64>| cv.map_or("-".to_string(), |v| format!("{v:.3}"));
-        writeln!(
+        let _ = writeln!(
             out,
             "| {} | {} | {:.4} | {:.4} | {} | {} | {} | {} |",
             r.metric.label(),
@@ -92,10 +90,9 @@ pub fn comparison_markdown(cmp: &ChainComparison) -> String {
             fmt_cv(r.cv_b),
             r.more_decentralized.as_deref().unwrap_or("-"),
             r.more_stable.as_deref().unwrap_or("-"),
-        )
-        .expect("write");
+        );
     }
-    writeln!(out, "\n**Verdict:** {}.", cmp.verdict()).expect("write");
+    let _ = writeln!(out, "\n**Verdict:** {}.", cmp.verdict());
     out
 }
 
@@ -155,12 +152,11 @@ pub fn sparkline_line(label: &str, series: &MeasurementSeries, width: usize) -> 
 pub fn anomalies_csv(anomalies: &[Anomaly]) -> String {
     let mut out = String::from("index,value,score,start_time,end_time\n");
     for a in anomalies {
-        writeln!(
+        let _ = writeln!(
             out,
             "{},{},{:.3},{},{}",
             a.index, a.value, a.score, a.start_time, a.end_time
-        )
-        .expect("write");
+        );
     }
     out
 }

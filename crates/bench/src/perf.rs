@@ -414,7 +414,7 @@ pub fn run_pruned_bench(ds: &Dataset) -> PrunedBench {
         e.1 = e.1.max(bucket);
         e.2 += 1;
     }
-    let (&rare, _) = locality
+    let (&rare, _) = locality // blockdec-lint: allow(determinism-order) — min_by_key's key ends with the producer id — a total order, so the minimum is unique whatever the iteration order
         .iter()
         .min_by_key(|(id, (first, last, n))| (last - first, *n, **id))
         .expect("store is non-empty");

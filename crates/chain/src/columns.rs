@@ -110,10 +110,8 @@ impl BlockColumns {
         );
         self.producers.push(producer);
         self.weights.push(weight);
-        *self
-            .credit_starts
-            .last_mut()
-            .expect("credit_starts is never empty") = self.producers.len() as u32;
+        let end = self.credit_starts.len() - 1;
+        self.credit_starts[end] = self.producers.len() as u32;
     }
 
     /// Append one `(height, timestamp, producer, weight)` row, regrouping
@@ -156,10 +154,8 @@ impl BlockColumns {
         let skip = usize::from(merge_first);
         if merge_first {
             // The boundary block absorbs other's leading credit run.
-            *self
-                .credit_starts
-                .last_mut()
-                .expect("credit_starts is never empty") = base + other.credit_starts[1];
+            let end = self.credit_starts.len() - 1;
+            self.credit_starts[end] = base + other.credit_starts[1];
         }
         self.heights.extend_from_slice(&other.heights[skip..]);
         self.timestamps.extend_from_slice(&other.timestamps[skip..]);
@@ -273,7 +269,7 @@ impl BlockColumns {
                 self.credit_starts[i]
             ));
         }
-        let last = *self.credit_starts.last().expect("len + 1 >= 1") as usize;
+        let last = self.credit_starts[self.credit_starts.len() - 1] as usize;
         if last != self.producers.len() {
             return Err(format!(
                 "credit_starts end {last} != producer count {}",

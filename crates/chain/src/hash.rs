@@ -122,7 +122,8 @@ impl BlockHash {
 
     /// First 8 bytes interpreted little-endian; handy as a compact key.
     pub fn short(&self) -> u64 {
-        u64::from_le_bytes(self.0[..8].try_into().expect("slice is 8 bytes"))
+        let [a, b, c, d, e, f, g, h, ..] = self.0;
+        u64::from_le_bytes([a, b, c, d, e, f, g, h])
     }
 }
 

@@ -54,7 +54,7 @@ impl ProducerRegistry {
             return id;
         }
         let id = ProducerId(
-            u32::try_from(self.names.len()).expect("more than u32::MAX distinct producers"),
+            u32::try_from(self.names.len()).expect("more than u32::MAX distinct producers"), // blockdec-lint: allow(panic) — u32::MAX distinct producers exceeds any chain; overflow is a programming error
         );
         let arc: Arc<str> = Arc::from(name);
         self.names.push(arc.clone());

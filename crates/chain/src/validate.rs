@@ -144,7 +144,7 @@ pub fn validate_chain(
     Ok(ValidationReport {
         blocks: blocks.len() as u64,
         first_height: first.height,
-        last_height: blocks.last().expect("non-empty").height,
+        last_height: blocks[blocks.len() - 1].height,
         min_timestamp: min_ts,
         max_timestamp: max_ts,
         non_monotone_timestamps: non_monotone,

@@ -166,11 +166,7 @@ impl ProducerDistribution {
     /// ties broken by producer id for determinism.
     pub fn ranked(&self) -> Vec<(ProducerId, f64)> {
         let mut v: Vec<(ProducerId, f64)> = self.weights.iter().map(|(&p, &w)| (p, w)).collect();
-        v.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("weights are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 

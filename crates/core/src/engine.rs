@@ -206,8 +206,8 @@ impl MeasurementEngine {
                 for &i in &w.block_indices {
                     dist.add_credits(cols.producers_of(i as usize), cols.weights_of(i as usize));
                 }
-                let first = *w.block_indices.first().expect("non-empty") as usize;
-                let last = *w.block_indices.last().expect("non-empty") as usize;
+                let first = w.block_indices[0] as usize;
+                let last = w.block_indices[w.block_indices.len() - 1] as usize;
                 self.point_from_distribution(
                     w.bucket,
                     cols,

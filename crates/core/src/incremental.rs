@@ -21,14 +21,14 @@
 
 use crate::metrics::NAKAMOTO_THRESHOLD;
 use blockdec_chain::ProducerId;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Multiset of per-producer integer block counts with O(1)/O(log) updates
 /// and fast metric queries.
 #[derive(Clone, Debug, Default)]
 pub struct CountMultiset {
     /// producer → its current count (absent = 0).
-    per_producer: HashMap<ProducerId, u64>,
+    per_producer: BTreeMap<ProducerId, u64>,
     /// count value → number of producers holding exactly that count.
     by_count: BTreeMap<u64, u64>,
     /// Total blocks (Σ counts).
@@ -263,7 +263,7 @@ impl StreamingSlidingEngine {
             MetricKind::Gini => m.gini(),
             MetricKind::ShannonEntropy => m.entropy(),
             MetricKind::Nakamoto => m.nakamoto() as f64,
-            _ => unreachable!("validated in new()"),
+            _ => unreachable!("validated in new()"), // blockdec-lint: allow(panic) — new() rejects every other MetricKind up front
         }
     }
 

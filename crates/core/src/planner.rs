@@ -272,7 +272,7 @@ where
             .collect();
         chunks = handles
             .into_iter()
-            .map(|h| h.join().expect("planner chunk worker panicked"))
+            .map(|h| h.join().expect("planner chunk worker panicked")) // blockdec-lint: allow(panic) — join only fails by propagating a worker panic; nothing to recover
             .collect();
     });
     chunks.into_iter().flatten().collect()
@@ -294,8 +294,8 @@ fn eval_fixed(
             for &i in &w.block_indices {
                 dist.add_credits(cols.producers_of(i as usize), cols.weights_of(i as usize));
             }
-            let first = *w.block_indices.first().expect("non-empty") as usize;
-            let last = *w.block_indices.last().expect("non-empty") as usize;
+            let first = w.block_indices[0] as usize;
+            let last = w.block_indices[w.block_indices.len() - 1] as usize;
             rows.push(finish_row(
                 w.bucket,
                 cols,
@@ -324,7 +324,7 @@ fn eval_sliding(
         for wi in chunk {
             let range = spec
                 .window_range(wi, cols.len())
-                .expect("window within count");
+                .expect("window within count"); // blockdec-lint: allow(panic) — run_chunked only yields indices below the window count
             match current.take() {
                 // Overlapping advance: O(step) slide, same arm the
                 // engine's own sliding path takes.

@@ -68,6 +68,7 @@ fn windows_by_bucket(len: usize, bucket_at: impl Fn(usize) -> i64) -> Vec<FixedW
         buckets
             .entry(bucket_at(i))
             .or_default()
+            // blockdec-lint: allow(panic) — u32 block indices cap a run at 4 billion blocks by design
             .push(u32::try_from(i).expect("more than u32::MAX blocks in one run"));
     }
     buckets

@@ -1,0 +1,378 @@
+//! A small Rust lexer: just enough token awareness to scan source for
+//! banned constructs without tripping over comments, string literals,
+//! char literals, lifetimes, raw strings, or `#[cfg(test)]` regions.
+//!
+//! The output is a *scrubbed* copy of the source in which every comment
+//! body and every literal is blanked to spaces (newlines preserved), so
+//! byte offsets and line numbers in the scrubbed text map 1:1 onto the
+//! original. Rules scan the scrubbed text; prose can never match.
+
+/// A string literal found in code (not in a comment), with its decoded
+/// value. Offsets are byte positions into the original source.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    pub start: usize,
+    pub end: usize,
+    pub value: String,
+}
+
+/// Lexed view of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Source with comments and literal contents blanked to spaces.
+    pub code: String,
+    /// String literals in source order.
+    pub strings: Vec<StrLit>,
+    /// Byte ranges of comments (`//…` to end of line, `/*…*/`).
+    pub comments: Vec<(usize, usize)>,
+    /// Byte ranges of items guarded by `#[cfg(test)]`.
+    pub test_regions: Vec<(usize, usize)>,
+    line_starts: Vec<usize>,
+}
+
+impl Lexed {
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// True when the offset falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// True when the offset falls inside a comment.
+    pub fn in_comment(&self, offset: usize) -> bool {
+        self.comments
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex a Rust source file. Never fails: malformed input degrades to
+/// treating the remainder as code, which at worst produces a finding a
+/// human will immediately recognize as bogus.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut code = bytes.to_vec();
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+
+    // Blank `code[from..to]` to spaces, preserving newlines.
+    let blank = |code: &mut [u8], from: usize, to: usize| {
+        for b in code.iter_mut().take(to).skip(from) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let rest = &bytes[i..];
+        if rest.starts_with(b"//") {
+            let end = memchr(bytes, b'\n', i).unwrap_or(bytes.len());
+            comments.push((i, end));
+            blank(&mut code, i, end);
+            i = end;
+        } else if rest.starts_with(b"/*") {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j..].starts_with(b"/*") {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j..].starts_with(b"*/") {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            comments.push((i, j));
+            blank(&mut code, i, j);
+            i = j;
+        } else if b == b'"' {
+            let (end, value) = scan_string(bytes, i);
+            strings.push(StrLit {
+                start: i,
+                end,
+                value,
+            });
+            blank(&mut code, i, end);
+            i = end;
+        } else if (b == b'r' || b == b'b') && (i == 0 || !is_ident(bytes[i - 1])) {
+            // Possible raw/byte string: r"…", r#"…"#, b"…", br#"…"#.
+            let mut j = i + 1;
+            if b == b'b' && j < bytes.len() && bytes[j] == b'r' {
+                j += 1;
+            }
+            let hash_start = j;
+            while j < bytes.len() && bytes[j] == b'#' {
+                j += 1;
+            }
+            let hashes = j - hash_start;
+            let raw = hash_start > i + 1 || bytes.get(hash_start.wrapping_sub(1)) == Some(&b'r');
+            if j < bytes.len() && bytes[j] == b'"' {
+                let (end, value) = if raw {
+                    scan_raw_string(bytes, j, hashes)
+                } else {
+                    scan_string(bytes, j)
+                };
+                strings.push(StrLit {
+                    start: i,
+                    end,
+                    value,
+                });
+                blank(&mut code, i, end);
+                i = end;
+            } else if j < bytes.len() && bytes[j] == b'\'' && b == b'b' && hashes == 0 {
+                // Byte char literal b'x'.
+                let end = scan_char(bytes, j);
+                blank(&mut code, j, end);
+                i = end;
+            } else {
+                i += 1;
+            }
+        } else if b == b'\'' {
+            // Char literal or lifetime. A lifetime is `'ident` NOT
+            // followed by a closing quote; everything else is a char.
+            let mut j = i + 1;
+            if j < bytes.len() && bytes[j] != b'\\' && is_ident(bytes[j]) {
+                while j < bytes.len() && is_ident(bytes[j]) {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'\'' && j == i + 2 {
+                    blank(&mut code, i, j + 1);
+                    i = j + 1; // 'x'
+                } else {
+                    i += 1; // lifetime: leave as code
+                }
+            } else {
+                let end = scan_char(bytes, i);
+                blank(&mut code, i, end);
+                i = end;
+            }
+        } else {
+            i += 1;
+        }
+    }
+
+    let code = String::from_utf8_lossy(&code).into_owned();
+    let mut line_starts = vec![0usize];
+    for (pos, ch) in src.bytes().enumerate() {
+        if ch == b'\n' {
+            line_starts.push(pos + 1);
+        }
+    }
+    let test_regions = find_test_regions(&code);
+    Lexed {
+        code,
+        strings,
+        comments,
+        test_regions,
+        line_starts,
+    }
+}
+
+fn memchr(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
+    haystack[from..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| p + from)
+}
+
+/// Scan a normal (escaped) string starting at the opening quote.
+/// Returns (end offset past the closing quote, decoded value).
+fn scan_string(bytes: &[u8], start: usize) -> (usize, String) {
+    let mut value = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return (i + 1, value),
+            b'\\' if i + 1 < bytes.len() => {
+                let esc = bytes[i + 1];
+                match esc {
+                    b'n' => value.push('\n'),
+                    b't' => value.push('\t'),
+                    b'r' => value.push('\r'),
+                    b'0' => value.push('\0'),
+                    b'\\' | b'"' | b'\'' => value.push(esc as char),
+                    // \xNN, \u{…}: keep the raw text — lint rules only
+                    // compare ASCII names, never escaped bytes.
+                    _ => {
+                        value.push('\\');
+                        value.push(esc as char);
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                value.push(other as char);
+                i += 1;
+            }
+        }
+    }
+    (bytes.len(), value)
+}
+
+/// Scan a raw string whose opening quote is at `quote`, delimited by
+/// `hashes` hash marks.
+fn scan_raw_string(bytes: &[u8], quote: usize, hashes: usize) -> (usize, String) {
+    let mut closer = vec![b'#'; hashes];
+    closer.insert(0, b'"');
+    let mut i = quote + 1;
+    while i < bytes.len() {
+        if bytes[i..].starts_with(&closer) {
+            let value = String::from_utf8_lossy(&bytes[quote + 1..i]).into_owned();
+            return (i + closer.len(), value);
+        }
+        i += 1;
+    }
+    (
+        bytes.len(),
+        String::from_utf8_lossy(&bytes[quote + 1..]).into_owned(),
+    )
+}
+
+/// Scan a char literal starting at the opening quote; returns the end
+/// offset past the closing quote.
+fn scan_char(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => return i, // unterminated: bail at line end
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Find byte ranges of items annotated `#[cfg(test)]` in scrubbed code.
+/// The range runs from the attribute to the end of the item it guards
+/// (matching `}` of the first brace block, or the first `;`).
+fn find_test_regions(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut regions = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find("#[cfg(test)]") {
+        let start = from + pos;
+        let mut i = start + "#[cfg(test)]".len();
+        // Skip whitespace and any further attributes.
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'#' {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Scan to the item's end: first `;` at depth 0, or the close of
+        // the first `{…}` block.
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        regions.push((start, end));
+        from = end.max(start + 1);
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let a = \"fs::read\"; // std::fs here\nlet b = 1;\n";
+        let lx = lex(src);
+        assert!(!lx.code.contains("fs::read"));
+        assert!(!lx.code.contains("std::fs"));
+        assert!(lx.code.contains("let b = 1;"));
+        assert_eq!(lx.strings.len(), 1);
+        assert_eq!(lx.strings[0].value, "fs::read");
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet esc = '\\n';";
+        let lx = lex(src);
+        assert!(lx.code.contains("fn f<'a>"));
+        assert!(!lx.code.contains("'x'"));
+        assert!(!lx.code.contains("\\n"));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let src = "let r = r#\"a \"quoted\" unwrap()\"#; /* outer /* inner */ still */ let z = 2;";
+        let lx = lex(src);
+        assert!(!lx.code.contains("unwrap"));
+        assert!(!lx.code.contains("still"));
+        assert!(lx.code.contains("let z = 2;"));
+        assert_eq!(lx.strings[0].value, "a \"quoted\" unwrap()");
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let lx = lex(src);
+        let off = src.find("unwrap").unwrap();
+        assert!(lx.in_test_region(off));
+        assert!(!lx.in_test_region(src.find("fn lib").unwrap()));
+        assert!(!lx.in_test_region(src.find("fn tail").unwrap()));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let lx = lex("a\nbb\nccc\n");
+        assert_eq!(lx.line_of(0), 1);
+        assert_eq!(lx.line_of(2), 2);
+        assert_eq!(lx.line_of(5), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! The `blockdec-lint` binary: CI gate and local dev tool.
+//!
+//! ```text
+//! blockdec-lint [--root DIR] [--rule ID]... [--json PATH]
+//!               [--baseline ci/lint-baseline.txt] [--list-rules] [-q]
+//! ```
+//!
+//! Exit codes: `0` clean (waived findings within the baseline ceiling),
+//! `1` unwaived findings or ceiling exceeded, `2` usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    rules: Vec<String>,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        rules: Vec::new(),
+        json: None,
+        baseline: None,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--rule" => args.rules.push(value("--rule")?),
+            "--json" => args.json = Some(PathBuf::from(value("--json")?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--list-rules" => args.list_rules = true,
+            "-q" | "--quiet" => args.quiet = true,
+            "-h" | "--help" => {
+                println!(
+                    "blockdec-lint: repo-specific static analysis (see docs/LINTS.md)\n\n\
+                     usage: blockdec-lint [--root DIR] [--rule ID]... [--json PATH]\n\
+                     \x20                    [--baseline FILE] [--list-rules] [-q]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("blockdec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for (id, what) in blockdec_lint::rule_list() {
+            println!("{id:<18} {what}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let known: Vec<&str> = blockdec_lint::rule_list()
+        .iter()
+        .map(|(id, _)| *id)
+        .collect();
+    for r in &args.rules {
+        if !known.contains(&r.as_str()) {
+            eprintln!("blockdec-lint: unknown rule `{r}` (try --list-rules)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let ws = match blockdec_lint::source::Workspace::load(&args.root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("blockdec-lint: cannot read {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if ws.files.is_empty() {
+        eprintln!(
+            "blockdec-lint: no sources under {} (expected crates/*/src or src/)",
+            args.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = blockdec_lint::run(&ws, &args.rules);
+
+    let mut over_ceiling = false;
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path)
+            .ok()
+            .and_then(|t| blockdec_lint::parse_baseline(&t))
+        {
+            Some(ceiling) => {
+                if report.waived.len() > ceiling {
+                    eprintln!(
+                        "blockdec-lint: {} waivers exceed the ceiling of {ceiling} in {} — \
+                         fix findings instead of waiving them (the ceiling only ratchets down)",
+                        report.waived.len(),
+                        path.display()
+                    );
+                    over_ceiling = true;
+                }
+            }
+            None => {
+                eprintln!(
+                    "blockdec-lint: {} is missing or has no `max_waivers <N>` line",
+                    path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &args.json {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("blockdec-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet || !report.clean() {
+        print!("{}", report.render_text());
+    }
+
+    if report.clean() && !over_ceiling {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,158 @@
+//! Findings, waiver accounting, and the human/JSON reporters.
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `panic`, `determinism-order`.
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line (0 for whole-file findings such as doc drift with
+    /// no better anchor).
+    pub line: usize,
+    /// Trimmed source excerpt of the offending line.
+    pub excerpt: String,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// A waived finding, kept for accounting: the ceiling in
+/// `ci/lint-baseline.txt` caps how many of these the repo may carry.
+#[derive(Debug, Clone)]
+pub struct Waived {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+/// The result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unwaived findings — any entry here means a failing exit.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an inline `blockdec-lint: allow(...)`.
+    pub waived: Vec<Waived>,
+    pub files_scanned: usize,
+    pub rules_run: Vec<&'static str>,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable report (what CI prints on failure).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let loc = if f.line > 0 {
+                format!("{}:{}", f.path, f.line)
+            } else {
+                f.path.clone()
+            };
+            out.push_str(&format!("{loc}: [{}] {}\n", f.rule, f.message));
+            if !f.excerpt.is_empty() {
+                out.push_str(&format!("    {}\n", f.excerpt));
+            }
+        }
+        out.push_str(&format!(
+            "blockdec-lint: {} file(s), {} rule(s): {} finding(s), {} waived\n",
+            self.files_scanned,
+            self.rules_run.len(),
+            self.findings.len(),
+            self.waived.len(),
+        ));
+        out
+    }
+
+    /// Machine-readable report (the `--json` CI artifact).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"rules_run\": [{}],\n",
+            self.files_scanned,
+            self.rules_run
+                .iter()
+                .map(|r| format!("\"{r}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"findings\": [\n");
+        let items: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| finding_json(f, None))
+            .collect();
+        out.push_str(&items.join(",\n"));
+        if !items.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"waived\": [\n");
+        let items: Vec<String> = self
+            .waived
+            .iter()
+            .map(|w| finding_json(&w.finding, Some(&w.reason)))
+            .collect();
+        out.push_str(&items.join(",\n"));
+        if !items.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "  ],\n  \"finding_count\": {},\n  \"waiver_count\": {}\n}}\n",
+            self.findings.len(),
+            self.waived.len()
+        ));
+        out
+    }
+}
+
+fn finding_json(f: &Finding, reason: Option<&str>) -> String {
+    let mut s = format!(
+        "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\", \"excerpt\": \"{}\"",
+        f.rule,
+        escape(&f.path),
+        f.line,
+        escape(&f.message),
+        escape(&f.excerpt)
+    );
+    if let Some(r) = reason {
+        s.push_str(&format!(", \"reason\": \"{}\"", escape(r)));
+    }
+    s.push('}');
+    s
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: "panic",
+            path: "a.rs".into(),
+            line: 3,
+            excerpt: "x.expect(\"4 bytes\")".into(),
+            message: "no panics".into(),
+        });
+        let json = r.render_json();
+        assert!(json.contains("\\\"4 bytes\\\""));
+        assert!(json.contains("\"finding_count\": 1"));
+    }
+}

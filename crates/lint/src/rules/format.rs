@@ -1,0 +1,207 @@
+//! Rule `format-drift`: on-disk format constants must match
+//! `docs/FORMAT.md`.
+//!
+//! FORMAT.md promises a reader can be re-implemented from the page
+//! alone — which is only true while the constants on the page (magic
+//! bytes, footer length, page-group rows, …) equal the constants the
+//! encoder actually uses. The doc carries a machine-checkable anchor
+//! table (`<!-- blockdec-lint: format-constants:begin -->`); this rule
+//! checks it both ways: every anchored constant must exist in code with
+//! the documented value, and every `pub const` in an anchored file must
+//! be anchored.
+
+use super::{anchored_lines, Rule};
+use crate::report::Finding;
+use crate::source::{SourceFile, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+const DOC: &str = "docs/FORMAT.md";
+
+pub struct FormatDrift;
+
+impl Rule for FormatDrift {
+    fn id(&self) -> &'static str {
+        "format-drift"
+    }
+
+    fn describe(&self) -> &'static str {
+        "on-disk format constants diverging from docs/FORMAT.md"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(doc) = ws.doc(DOC) else {
+            // No doc in scope (fixture runs): nothing to check against.
+            return;
+        };
+        let rows = parse_anchor_rows(&doc.raw);
+        if rows.is_empty() {
+            out.push(Finding {
+                rule: self.id(),
+                path: DOC.to_string(),
+                line: 0,
+                excerpt: String::new(),
+                message: "no `format-constants` anchor table — the on-disk spec is \
+                          not machine-checkable"
+                    .to_string(),
+            });
+            return;
+        }
+
+        let mut anchored: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for row in &rows {
+            anchored.entry(&row.file).or_default().insert(&row.name);
+            let Some(file) = ws.files.iter().find(|f| f.path == row.file) else {
+                out.push(Finding {
+                    rule: self.id(),
+                    path: DOC.to_string(),
+                    line: row.doc_line,
+                    excerpt: format!("`{}` | `{}` | `{}`", row.name, row.value, row.file),
+                    message: format!("anchored file `{}` is not in the workspace", row.file),
+                });
+                continue;
+            };
+            match const_value(file, &row.name) {
+                None => out.push(Finding {
+                    rule: self.id(),
+                    path: DOC.to_string(),
+                    line: row.doc_line,
+                    excerpt: format!("`{}` | `{}` | `{}`", row.name, row.value, row.file),
+                    message: format!(
+                        "documented constant `{}` does not exist in `{}`",
+                        row.name, row.file
+                    ),
+                }),
+                Some((line, code_value)) => {
+                    if normalize(&code_value) != normalize(&row.value) {
+                        out.push(Finding {
+                            rule: self.id(),
+                            path: file.path.clone(),
+                            line,
+                            excerpt: file.excerpt(line),
+                            message: format!(
+                                "`{}` is `{}` in code but `{}` in docs/FORMAT.md — \
+                                 the spec and the encoder have drifted",
+                                row.name,
+                                code_value.trim(),
+                                row.value
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Reverse direction: every pub const in an anchored file must be
+        // in the table (private consts are implementation detail).
+        for (path, names) in &anchored {
+            if let Some(file) = ws.files.iter().find(|f| f.path == *path) {
+                for (line, name) in pub_consts(file) {
+                    if !names.contains(name.as_str()) {
+                        out.push(Finding {
+                            rule: self.id(),
+                            path: file.path.clone(),
+                            line,
+                            excerpt: file.excerpt(line),
+                            message: format!(
+                                "public format constant `{name}` has no anchor row in \
+                                 docs/FORMAT.md — document it or make it private"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct AnchorRow {
+    doc_line: usize,
+    name: String,
+    value: String,
+    file: String,
+}
+
+fn parse_anchor_rows(doc: &str) -> Vec<AnchorRow> {
+    let mut out = Vec::new();
+    for (line_no, line) in anchored_lines(doc, "format-constants") {
+        let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let name = cells[0].trim().trim_matches('`').trim();
+        let value = cells[1].trim().trim_matches('`').trim();
+        let file = cells[2].trim().trim_matches('`').trim();
+        // Keep only CONST_CASE data rows; headers and separators fall out.
+        let is_const = !name.is_empty()
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_');
+        if is_const && !value.is_empty() && file.ends_with(".rs") {
+            out.push(AnchorRow {
+                doc_line: line_no,
+                name: name.to_string(),
+                value: value.to_string(),
+                file: file.to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Find `const NAME` in non-test code and return (line, raw initializer
+/// text between `=` and `;`). Positions come from scrubbed code (so a
+/// commented-out const can't match); the value is sliced from the raw
+/// source (so string/byte literals keep their contents).
+fn const_value(file: &SourceFile, name: &str) -> Option<(usize, String)> {
+    let code = &file.lex.code;
+    let pat = format!("const {name}");
+    let mut from = 0usize;
+    while let Some(p) = code[from..].find(&pat) {
+        let pos = from + p;
+        from = pos + 1;
+        if file.lex.in_test_region(pos) {
+            continue;
+        }
+        let after = pos + pat.len();
+        let next = code.as_bytes().get(after).copied().unwrap_or(b' ');
+        if next.is_ascii_alphanumeric() || next == b'_' {
+            continue; // prefix of a longer const name
+        }
+        let eq = code[after..].find('=')? + after;
+        let semi = code[eq..].find(';')? + eq;
+        let value = file.raw[eq + 1..semi].trim().to_string();
+        return Some((file.lex.line_of(pos), value));
+    }
+    None
+}
+
+/// `(line, name)` of every `pub const` outside test regions.
+fn pub_consts(file: &SourceFile) -> Vec<(usize, String)> {
+    let code = &file.lex.code;
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = code[from..].find("pub const ") {
+        let pos = from + p;
+        from = pos + 1;
+        if file.lex.in_test_region(pos) {
+            continue;
+        }
+        let start = pos + "pub const ".len();
+        let name: String = code[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push((file.lex.line_of(pos), name));
+        }
+    }
+    out
+}
+
+/// Strip whitespace and digit-group underscores so `65_536`, `65536`,
+/// and `1 + 4 + 4` vs `1+4+4` compare equal.
+fn normalize(v: &str) -> String {
+    v.chars()
+        .filter(|c| !c.is_whitespace() && *c != '_')
+        .collect()
+}

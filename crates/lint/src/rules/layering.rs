@@ -1,0 +1,54 @@
+//! Rule `layering`: direct filesystem I/O is confined to the
+//! `ObjectStore` backend.
+//!
+//! Every byte the store reads or writes must go through
+//! `blockdec_store::backend::ObjectStore` — that is what makes the
+//! LocalFs/Sim backends interchangeable and every I/O path testable
+//! under injected faults. A stray `std::fs` call anywhere else silently
+//! bypasses the retry layer, the page cache, and the fault simulator.
+//! This generalizes (and replaced) the old 4-file `sed | grep` stanza
+//! in `ci.sh`.
+
+use super::{scan_banned, Rule};
+use crate::report::Finding;
+use crate::source::{Role, Workspace};
+
+const TOKENS: &[&str] = &["std::fs", "fs::", "File::"];
+
+/// Path prefixes where direct filesystem access is the point: the
+/// LocalFs backend itself, and the fault injector — which corrupts
+/// files *underneath* the backend precisely to prove the store detects
+/// damage it did not write.
+const ALLOWED_PREFIXES: &[&str] = &["crates/store/src/backend/", "crates/store/src/fault.rs"];
+
+pub struct Layering;
+
+impl Rule for Layering {
+    fn id(&self) -> &'static str {
+        "layering"
+    }
+
+    fn describe(&self) -> &'static str {
+        "direct std::fs I/O outside the ObjectStore backend"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.role == Role::Tool {
+                continue;
+            }
+            if ALLOWED_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
+                continue;
+            }
+            scan_banned(
+                file,
+                TOKENS,
+                self.id(),
+                "is direct filesystem I/O in library code — route it through \
+                 blockdec_store::backend::ObjectStore so retries, caching, and \
+                 fault injection still apply",
+                out,
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Rule `panic`: library code returns errors; it does not panic.
+//!
+//! The store promises *detect-and-classify* on corrupt input
+//! (`StoreDoctor`'s 13 fault classes) and the pipeline promises
+//! availability under degraded scans — both are void if a stray
+//! `unwrap()` aborts the process first. Binaries (`cli`, `bench`,
+//! `lint`) may panic at top level; library crates may not. Proven
+//! invariants stay allowed via an explicit waiver with a reason.
+
+use super::{scan_banned, Rule};
+use crate::report::Finding;
+use crate::source::{Role, Workspace};
+
+const TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+pub struct PanicPolicy;
+
+impl Rule for PanicPolicy {
+    fn id(&self) -> &'static str {
+        "panic"
+    }
+
+    fn describe(&self) -> &'static str {
+        "unwrap/expect/panic in non-test library code"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.role == Role::Tool {
+                continue;
+            }
+            scan_banned(
+                file,
+                TOKENS,
+                self.id(),
+                "can panic in library code — return a Result (or waive with the \
+                 invariant that makes it unreachable)",
+                out,
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Workspace source model: which files exist, which crate each belongs
+//! to, and how the rule suite should treat that crate.
+//!
+//! The walker covers `crates/*/src/**/*.rs` and the root `src/` — the
+//! code that ships. Test directories, benches, fixtures, and `vendor/`
+//! are out of scope (test *modules* inside covered files are excluded
+//! by the lexer's `#[cfg(test)]` regions instead).
+
+use crate::lexer::{self, Lexed};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// How the rule suite treats a crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Result-path library code: every rule applies.
+    Library,
+    /// Binaries and harnesses (`cli`, `bench`, `lint`): layering,
+    /// wall-clock, and panic-policy rules are relaxed; determinism of
+    /// emitted output (hash-order rule) still applies.
+    Tool,
+}
+
+/// Crates exempt from library-only rules. Everything else under
+/// `crates/` — and the root `src/` facade — is library code.
+const TOOL_CRATES: &[&str] = &["cli", "bench", "lint"];
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes, e.g. `crates/core/src/planner.rs`.
+    pub path: String,
+    /// Raw file contents (for excerpts and waiver scanning).
+    pub raw: String,
+    /// Token-aware view (scrubbed code, strings, test regions).
+    pub lex: Lexed,
+    /// Owning crate name (`core`, `store`, …; the root facade is `blockdec`).
+    pub crate_name: String,
+    pub role: Role,
+}
+
+impl SourceFile {
+    /// Build from a repo-relative path and contents (used by both the
+    /// walker and the fixture tests).
+    pub fn new(path: &str, raw: String) -> SourceFile {
+        let crate_name = crate_of(path);
+        let role = if TOOL_CRATES.contains(&crate_name.as_str()) {
+            Role::Tool
+        } else {
+            Role::Library
+        };
+        let lex = lexer::lex(&raw);
+        SourceFile {
+            path: path.to_string(),
+            raw,
+            lex,
+            crate_name,
+            role,
+        }
+    }
+
+    /// The raw text of a 1-based line, trimmed, for finding excerpts.
+    pub fn excerpt(&self, line: usize) -> String {
+        let text = self.raw.lines().nth(line.saturating_sub(1)).unwrap_or("");
+        let trimmed = text.trim();
+        if trimmed.len() > 120 {
+            let mut cut = 117;
+            while cut > 0 && !trimmed.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            format!("{}...", &trimmed[..cut])
+        } else {
+            trimmed.to_string()
+        }
+    }
+}
+
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_string(),
+        Some("src") => "blockdec".to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+/// A non-Rust file the doc-drift rules read (FORMAT.md, OBSERVABILITY.md).
+#[derive(Debug)]
+pub struct DocFile {
+    pub path: String,
+    pub raw: String,
+}
+
+/// Everything the rule suite looks at, loaded once.
+#[derive(Debug)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub docs: Vec<DocFile>,
+}
+
+/// Doc files the drift rules consume; missing ones are reported by the
+/// rules themselves rather than failing the load.
+pub const DOC_PATHS: &[&str] = &["docs/FORMAT.md", "docs/OBSERVABILITY.md"];
+
+impl Workspace {
+    /// Walk a real repository root.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            crate_dirs.sort();
+            for dir in crate_dirs {
+                walk_rs(root, &dir.join("src"), &mut files)?;
+            }
+        }
+        walk_rs(root, &root.join("src"), &mut files)?;
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+
+        let mut docs = Vec::new();
+        for rel in DOC_PATHS {
+            let p = root.join(rel);
+            if let Ok(raw) = fs::read_to_string(&p) {
+                docs.push(DocFile {
+                    path: (*rel).to_string(),
+                    raw,
+                });
+            }
+        }
+        Ok(Workspace { files, docs })
+    }
+
+    /// Build from in-memory `(path, contents)` pairs — the fixture-test
+    /// entry point. Paths ending in `.md` become doc files.
+    pub fn from_memory(entries: Vec<(String, String)>) -> Workspace {
+        let mut files = Vec::new();
+        let mut docs = Vec::new();
+        for (path, raw) in entries {
+            if path.ends_with(".md") {
+                docs.push(DocFile { path, raw });
+            } else {
+                files.push(SourceFile::new(&path, raw));
+            }
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Workspace { files, docs }
+    }
+
+    pub fn doc(&self, path: &str) -> Option<&DocFile> {
+        self.docs.iter().find(|d| d.path == path)
+    }
+}
+
+fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let raw = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::new(&rel, raw));
+        }
+    }
+    Ok(())
+}

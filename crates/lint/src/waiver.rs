@@ -1,0 +1,183 @@
+//! Inline waivers: `// blockdec-lint: allow(<rule>) — <reason>`.
+//!
+//! A waiver suppresses findings of the named rule on its own line, or —
+//! when the comment stands alone — on the next line. Every waiver must
+//! carry a reason and must suppress at least one finding: a reasonless
+//! or unused waiver is itself a finding (`waiver` rule), so stale
+//! annotations cannot accumulate. The total number of *used* waivers is
+//! capped by `ci/lint-baseline.txt` (ratchet-down only).
+//!
+//! Markdown doc files use the same grammar inside an HTML comment:
+//! `<!-- blockdec-lint: allow(<rule>) — <reason> -->` waives doc-side
+//! drift findings on the following line.
+
+use crate::report::Finding;
+use crate::source::{DocFile, SourceFile, Workspace};
+
+pub const MARKER: &str = "blockdec-lint: allow(";
+
+/// One parsed waiver annotation.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub path: String,
+    /// Line the annotation sits on (1-based).
+    pub line: usize,
+    /// Line whose findings it suppresses.
+    pub target_line: usize,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Scan one Rust source file for waiver comments. Only real comments
+/// count — the marker inside a string literal is ignored.
+pub fn scan_source(file: &SourceFile) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    for (idx, text) in file.raw.lines().enumerate() {
+        if let Some(col) = text.find(MARKER) {
+            if file.lex.in_comment(offset + col) {
+                push_waiver(&mut out, &file.path, idx + 1, text, col);
+            }
+        }
+        offset += text.len() + 1;
+    }
+    out
+}
+
+/// Scan a markdown doc file (`<!-- blockdec-lint: allow(...) ... -->`).
+pub fn scan_doc(doc: &DocFile) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for (idx, text) in doc.raw.lines().enumerate() {
+        if let Some(col) = text.find(MARKER) {
+            push_waiver(&mut out, &doc.path, idx + 1, text, col);
+        }
+    }
+    out
+}
+
+pub fn scan_workspace(ws: &Workspace) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        out.extend(scan_source(f));
+    }
+    for d in &ws.docs {
+        out.extend(scan_doc(d));
+    }
+    out
+}
+
+fn push_waiver(out: &mut Vec<Waiver>, path: &str, line: usize, text: &str, col: usize) {
+    let after = &text[col + MARKER.len()..];
+    let Some(close) = after.find(')') else {
+        return;
+    };
+    let rule = after[..close].trim().to_string();
+    // `allow(<rule>)` placeholders in prose about the waiver syntax are
+    // not waivers; real rule ids are lowercase-with-dashes.
+    if rule.is_empty()
+        || !rule
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+    {
+        return;
+    }
+    let tail = after[close + 1..].trim_end_matches("-->").trim();
+    let reason = tail
+        .trim_start_matches(['—', '-', ':', ' '])
+        .trim()
+        .to_string();
+    // A trailing waiver (code before the comment) targets its own line;
+    // a standalone comment line targets the next line.
+    let before = text[..col].trim();
+    let standalone = before.is_empty() || before == "//" || before == "<!--";
+    let target_line = if standalone { line + 1 } else { line };
+    out.push(Waiver {
+        path: path.to_string(),
+        line,
+        target_line,
+        rule,
+        reason,
+    });
+}
+
+/// Split findings into (kept, waived-with-reason) and append `waiver`
+/// findings for annotations that are reasonless or suppressed nothing.
+pub fn apply(
+    findings: Vec<Finding>,
+    waivers: &[Waiver],
+    kept: &mut Vec<Finding>,
+    waived: &mut Vec<(Finding, String)>,
+) {
+    let mut used = vec![false; waivers.len()];
+    for f in findings {
+        let slot = waivers.iter().position(|w| {
+            w.path == f.path && w.target_line == f.line && w.rule == f.rule && !w.reason.is_empty()
+        });
+        match slot {
+            Some(i) => {
+                used[i] = true;
+                waived.push((f, waivers[i].reason.clone()));
+            }
+            None => kept.push(f),
+        }
+    }
+    let known: Vec<&str> = crate::rules::all_rules().iter().map(|r| r.id()).collect();
+    for (w, was_used) in waivers.iter().zip(&used) {
+        if !known.contains(&w.rule.as_str()) {
+            kept.push(Finding {
+                rule: "waiver",
+                path: w.path.clone(),
+                line: w.line,
+                excerpt: String::new(),
+                message: format!("waiver names unknown rule `{}` (try --list-rules)", w.rule),
+            });
+        } else if w.reason.is_empty() {
+            kept.push(Finding {
+                rule: "waiver",
+                path: w.path.clone(),
+                line: w.line,
+                excerpt: String::new(),
+                message: format!(
+                    "waiver for rule `{}` has no reason — write `blockdec-lint: allow({}) — <why>`",
+                    w.rule, w.rule
+                ),
+            });
+        } else if !*was_used {
+            kept.push(Finding {
+                rule: "waiver",
+                path: w.path.clone(),
+                line: w.line,
+                excerpt: String::new(),
+                message: format!(
+                    "unused waiver: no `{}` finding on {}:{} — delete the annotation",
+                    w.rule, w.path, w.target_line
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_and_standalone_targets() {
+        let src = "let a = x.unwrap(); // blockdec-lint: allow(panic) — invariant\n\
+                   // blockdec-lint: allow(panic) — next line\n\
+                   let b = y.unwrap();\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src.to_string());
+        let ws = scan_source(&f);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].target_line, 1);
+        assert_eq!(ws[0].reason, "invariant");
+        assert_eq!(ws[1].target_line, 3);
+    }
+
+    #[test]
+    fn marker_in_string_is_ignored() {
+        let src = "let s = \"blockdec-lint: allow(panic) — nope\";\n";
+        let f = SourceFile::new("crates/core/src/x.rs", src.to_string());
+        assert!(scan_source(&f).is_empty());
+    }
+}

@@ -1,0 +1,2 @@
+pub const MAGIC: [u8; 4] = *b"BDSG";
+pub const FOOTER_LEN: usize = 12;

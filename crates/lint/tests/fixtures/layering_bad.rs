@@ -1,0 +1,5 @@
+use std::fs;
+
+pub fn read_sidecar(path: &str) -> Vec<u8> {
+    fs::read(path).unwrap_or_default()
+}

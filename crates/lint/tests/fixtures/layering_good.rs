@@ -1,0 +1,5 @@
+use crate::backend::ObjectStore;
+
+pub fn read_sidecar(store: &dyn ObjectStore, name: &str) -> Vec<u8> {
+    store.get(name).unwrap_or_default()
+}

@@ -1,0 +1,3 @@
+pub fn record_hit() {
+    blockdec_obs::counter("store.cache.hit").inc();
+}

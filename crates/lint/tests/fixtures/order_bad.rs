@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn total(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum()
+}

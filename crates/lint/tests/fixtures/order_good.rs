@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn total(weights: &BTreeMap<u32, f64>) -> f64 {
+    weights.values().sum()
+}

@@ -1,0 +1,11 @@
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first(&[1]).unwrap(), 1);
+    }
+}

@@ -1,0 +1,5 @@
+use std::time::Instant;
+
+pub fn elapsed_marker() -> Instant {
+    Instant::now()
+}

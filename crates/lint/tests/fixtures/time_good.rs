@@ -1,0 +1,3 @@
+pub fn elapsed_marker(clock_ticks: u64) -> u64 {
+    clock_ticks
+}

@@ -1,0 +1,5 @@
+pub fn waived_and_unwaived(a: Option<u32>, b: Option<u32>) -> u32 {
+    let x = a.unwrap(); // blockdec-lint: allow(panic) — fixture: this one is waived
+    let y = b.unwrap();
+    x + y
+}

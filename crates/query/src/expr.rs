@@ -71,7 +71,7 @@ impl Filter {
         self.push_into(&mut pred, &mut residual);
         let residual = match residual.len() {
             0 => Filter::True,
-            1 => residual.into_iter().next().expect("len checked"),
+            1 => residual.swap_remove(0),
             _ => Filter::And(residual),
         };
         (pred, residual)

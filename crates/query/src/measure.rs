@@ -51,7 +51,7 @@ pub fn measure_fixed_streaming(
     origin: Timestamp,
 ) -> Result<MeasurementSeries> {
     let mut series = measure_fixed_streaming_matrix(store, filter, &[metric], granularity, origin)?;
-    Ok(series.pop().expect("one metric in, one series out"))
+    Ok(series.pop().expect("one metric in, one series out")) // blockdec-lint: allow(panic) — the matrix call returns exactly one series per requested metric
 }
 
 /// Planner-style multi-metric variant of [`measure_fixed_streaming`]:

@@ -7,7 +7,7 @@
 
 use crate::generator::GeneratedStream;
 use blockdec_chain::Timestamp;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Summary statistics of a generated stream.
 #[derive(Clone, Debug)]
@@ -44,7 +44,7 @@ impl StreamSummary {
 
 /// Summarize a stream relative to a calendar origin.
 pub fn summarize(stream: &GeneratedStream, origin: Timestamp) -> StreamSummary {
-    let mut credits: HashMap<u32, f64> = HashMap::new();
+    let mut credits: BTreeMap<u32, f64> = BTreeMap::new();
     let mut per_day: BTreeMap<i64, HashSet<u32>> = BTreeMap::new();
     let mut total = 0.0f64;
     for b in &stream.attributed {

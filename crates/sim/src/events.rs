@@ -11,7 +11,7 @@
 //!   reveal and fixed weekly windows dilute (Fig. 13, day 60).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A scripted event in a scenario.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -44,7 +44,7 @@ pub enum EventConfig {
 /// Pre-indexed view of a scenario's events for fast per-day queries.
 #[derive(Clone, Debug, Default)]
 pub struct EventSchedule {
-    multi_coinbase: HashMap<u32, Vec<(u32, u32)>>,
+    multi_coinbase: BTreeMap<u32, Vec<(u32, u32)>>,
     dominant: Vec<(String, u32, u32, f64)>,
 }
 
@@ -92,8 +92,8 @@ impl EventSchedule {
     }
 
     /// Share overrides in force on a day: pool name → forced share.
-    pub fn share_overrides_on(&self, day: u32) -> HashMap<&str, f64> {
-        let mut out = HashMap::new();
+    pub fn share_overrides_on(&self, day: u32) -> BTreeMap<&str, f64> {
+        let mut out = BTreeMap::new();
         for (pool, start, end, share) in &self.dominant {
             if (*start..*end).contains(&day) {
                 out.insert(pool.as_str(), *share);
@@ -166,7 +166,7 @@ mod tests {
                 share: 0.6,
             },
         ]);
-        // Later config wins on the overlap (HashMap insert order).
+        // Later config wins on the overlap (map insert order).
         assert_eq!(s.share_overrides_on(7).get("A"), Some(&0.6));
         assert_eq!(s.share_overrides_on(2).get("A"), Some(&0.4));
         assert_eq!(s.share_overrides_on(12).get("A"), Some(&0.6));

@@ -16,7 +16,7 @@ use blockdec_chain::{
     Address, AttributedBlock, Attributor, Block, BlockColumns, BlockHash, ChainKind,
     ProducerRegistry, Timestamp,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Seed domain for synthesized tail-miner addresses.
 const TAIL_ADDR_DOMAIN: u64 = 0x7a11_0000_0000_0000;
@@ -70,7 +70,7 @@ impl BlockGenerator {
             .iter()
             .zip(&pools)
             .map(|(cfg, state)| match &cfg.address {
-                Some(a) => Address::parse(scenario.chain, a).expect("preset addresses are valid"),
+                Some(a) => Address::parse(scenario.chain, a).expect("preset addresses are valid"), // blockdec-lint: allow(panic) — preset addresses are fixture constants; failing fast beats mis-attributing
                 None => Address::synthesize(scenario.chain, state.address_seed),
             })
             .collect();
@@ -136,7 +136,7 @@ impl BlockGenerator {
 
         let day_u = u32::try_from(day.max(0)).unwrap_or(u32::MAX);
         let overrides_by_name = self.schedule.share_overrides_on(day_u);
-        let mut overrides: HashMap<usize, f64> = HashMap::new();
+        let mut overrides: BTreeMap<usize, f64> = BTreeMap::new();
         for (name, share) in overrides_by_name {
             if let Some(idx) = self.population.pool_index(name) {
                 overrides.insert(idx, share);
@@ -183,7 +183,7 @@ impl BlockGenerator {
         if let Some(t) = tag {
             builder = builder.tag(t);
         }
-        let block = builder.build().expect("generator produces valid blocks");
+        let block = builder.build().expect("generator produces valid blocks"); // blockdec-lint: allow(panic) — the generator supplies every field the builder requires
         self.parent = hash;
         self.next_height += 1;
         self.produced += 1;

@@ -26,11 +26,11 @@ pub fn schedule_share(schedule: &[SharePoint], day: f64) -> f64 {
         [] => 0.0,
         [only] => only.share,
         _ => {
-            let first = schedule.first().expect("non-empty");
+            let first = &schedule[0];
             if day <= first.day {
                 return first.share;
             }
-            let last = schedule.last().expect("non-empty");
+            let last = &schedule[schedule.len() - 1];
             if day >= last.day {
                 return last.share;
             }

@@ -10,7 +10,7 @@
 
 use crate::hashrate::{schedule_share, DriftState, SharePoint};
 use crate::rng::{cumulative, pareto_rank_weights, SimRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A pool as the population sees it at runtime.
 #[derive(Clone, Debug)]
@@ -76,7 +76,7 @@ impl MinerPopulation {
             pool_total: 0.0,
             tail_weight: 0.0,
         };
-        p.refresh(0.0, &HashMap::new());
+        p.refresh(0.0, &BTreeMap::new());
         p
     }
 
@@ -105,7 +105,7 @@ impl MinerPopulation {
 
     /// Recompute sampling weights for `day`, applying event share
     /// overrides (pool index → forced normalized share).
-    pub fn refresh(&mut self, day: f64, overrides: &HashMap<usize, f64>) {
+    pub fn refresh(&mut self, day: f64, overrides: &BTreeMap<usize, f64>) {
         let forced_total: f64 = overrides.values().sum();
         let free_budget = (1.0 - forced_total).max(0.0);
 
@@ -176,10 +176,7 @@ impl MinerPopulation {
         let x = rng.unit() * total;
         if x < self.pool_total && !self.pools.is_empty() {
             // Find in pool cumulative.
-            let i = match self
-                .pool_cum
-                .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
-            {
+            let i = match self.pool_cum.binary_search_by(|c| c.total_cmp(&x)) {
                 Ok(i) => (i + 1).min(self.pools.len() - 1),
                 Err(i) => i.min(self.pools.len() - 1),
             };
@@ -249,7 +246,7 @@ mod tests {
     #[test]
     fn override_forces_share() {
         let mut pop = MinerPopulation::new(vec![pool("A", 0.4), pool("B", 0.4)], tail(50, 0.2));
-        let mut forced = HashMap::new();
+        let mut forced = BTreeMap::new();
         forced.insert(0usize, 0.55f64);
         pop.refresh(0.0, &forced);
         assert!((pop.effective_pool_share(0) - 0.55).abs() < 1e-9);
@@ -273,7 +270,7 @@ mod tests {
         ];
         let mut pop = MinerPopulation::new(vec![p, pool("B", 0.2)], tail(0, 0.0));
         assert!((pop.effective_pool_share(0) - 0.8).abs() < 1e-9);
-        pop.refresh(100.0, &HashMap::new());
+        pop.refresh(100.0, &BTreeMap::new());
         assert!((pop.effective_pool_share(0) - 0.5).abs() < 1e-9);
     }
 
@@ -338,7 +335,7 @@ mod tests {
         for _ in 0..5 {
             pop.step_drift(&mut rng);
         }
-        pop.refresh(0.0, &HashMap::new());
+        pop.refresh(0.0, &BTreeMap::new());
         let after = pop.effective_pool_share(0);
         assert!((after - before).abs() > 1e-3, "drift had no effect");
     }

@@ -93,10 +93,10 @@ impl SimRng {
     /// Returns `cum.len() - 1` on boundary rounding.
     pub fn pick_cumulative(&mut self, cum: &[f64]) -> usize {
         assert!(!cum.is_empty(), "empty cumulative weights");
-        let total = *cum.last().expect("non-empty");
+        let total = cum[cum.len() - 1];
         debug_assert!(total > 0.0, "zero total weight");
         let x = self.unit() * total;
-        match cum.binary_search_by(|c| c.partial_cmp(&x).expect("finite weights")) {
+        match cum.binary_search_by(|c| c.total_cmp(&x)) {
             Ok(i) => (i + 1).min(cum.len() - 1),
             Err(i) => i.min(cum.len() - 1),
         }

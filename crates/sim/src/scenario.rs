@@ -328,7 +328,7 @@ impl Scenario {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("scenario serializes")
+        serde_json::to_string_pretty(self).expect("scenario serializes") // blockdec-lint: allow(panic) — serializing a plain data struct cannot fail
     }
 
     /// Parse from JSON.

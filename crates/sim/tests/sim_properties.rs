@@ -10,7 +10,7 @@ use blockdec_sim::population::{MinerPopulation, PoolState, TailState};
 use blockdec_sim::rng::SimRng;
 use blockdec_sim::scenario::{PoolConfig, Scenario, TailConfig};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn pool_state(name: String, share: f64) -> PoolState {
     PoolState {
@@ -165,7 +165,7 @@ proptest! {
                 schedule: vec![SharePoint { day: 0.0, share: tail_share }],
             },
         );
-        let mut overrides = HashMap::new();
+        let mut overrides = BTreeMap::new();
         if let Some((idx, share)) = forced {
             if idx < n {
                 overrides.insert(idx, share);

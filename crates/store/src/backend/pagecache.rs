@@ -17,7 +17,7 @@
 use super::{get_range_retry, ObjectStore};
 use crate::error::Result;
 use blockdec_obs::metrics::{counter, Counter};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// `(hit, miss, evict)` counters, looked up once.
@@ -36,7 +36,7 @@ fn page_counters() -> &'static (Arc<Counter>, Arc<Counter>, Arc<Counter>) {
 type RangeKey = (String, u64, u32);
 
 struct Inner {
-    map: HashMap<RangeKey, (u64, Arc<Vec<u8>>)>,
+    map: BTreeMap<RangeKey, (u64, Arc<Vec<u8>>)>,
     clock: u64,
     capacity_bytes: usize,
     resident_bytes: usize,
@@ -72,7 +72,7 @@ impl PageCache {
         blockdec_obs::counter("store.backend.capacity_bytes").set(capacity_bytes as u64);
         PageCache {
             inner: Mutex::new(Inner {
-                map: HashMap::new(),
+                map: BTreeMap::new(),
                 clock: 0,
                 capacity_bytes,
                 resident_bytes: 0,
@@ -147,12 +147,14 @@ impl PageCache {
 
     fn evict_over_capacity(inner: &mut Inner) {
         while inner.resident_bytes > inner.capacity_bytes && !inner.map.is_empty() {
-            let oldest = inner
+            let Some(oldest) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, (stamp, _))| *stamp)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty over capacity");
+            else {
+                break;
+            };
             if let Some((_, bytes)) = inner.map.remove(&oldest) {
                 inner.resident_bytes -= bytes.len();
                 inner.evictions += 1;

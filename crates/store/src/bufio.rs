@@ -21,9 +21,9 @@ impl Buf for &[u8] {
         self.len()
     }
     fn get_u8(&mut self) -> u8 {
-        let (first, rest) = self.split_first().expect("get_u8 past end of buffer");
-        *self = rest;
-        *first
+        let first = self[0];
+        *self = &self[1..];
+        first
     }
 }
 

@@ -10,7 +10,7 @@
 use crate::row::RowRecord;
 use blockdec_obs::metrics::{counter, Counter};
 use blockdec_obs::trace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Process-wide `store.cache.hit` / `store.cache.miss` counters, looked
@@ -24,7 +24,7 @@ fn cache_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
 pub type CachedSegment = Arc<Vec<RowRecord>>;
 
 struct Inner {
-    map: HashMap<String, (u64, CachedSegment)>,
+    map: BTreeMap<String, (u64, CachedSegment)>,
     clock: u64,
     capacity: usize,
     hits: u64,
@@ -47,7 +47,7 @@ impl SegmentCache {
     pub fn new(capacity: usize) -> SegmentCache {
         SegmentCache {
             inner: Mutex::new(Inner {
-                map: HashMap::new(),
+                map: BTreeMap::new(),
                 clock: 0,
                 capacity,
                 hits: 0,
@@ -89,12 +89,14 @@ impl SegmentCache {
                 .map
                 .insert(key.to_string(), (clock, Arc::clone(&rows)));
             while inner.map.len() > inner.capacity {
-                let oldest = inner
+                let Some(oldest) = inner
                     .map
                     .iter()
                     .min_by_key(|(_, (stamp, _))| *stamp)
                     .map(|(k, _)| k.clone())
-                    .expect("non-empty over capacity");
+                else {
+                    break;
+                };
                 inner.map.remove(&oldest);
             }
             publish_gauges(&inner);
@@ -115,12 +117,14 @@ impl SegmentCache {
         let mut inner = self.locked();
         inner.capacity = capacity;
         while inner.map.len() > inner.capacity {
-            let oldest = inner
+            let Some(oldest) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, (stamp, _))| *stamp)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty over capacity");
+            else {
+                break;
+            };
             inner.map.remove(&oldest);
         }
         publish_gauges(&inner);

@@ -103,7 +103,7 @@ impl Manifest {
     /// (for [`crate::backend::LocalFs`]: write-temp + fsync + atomic
     /// rename + directory fsync).
     pub fn save(&self, store: &dyn ObjectStore) -> Result<()> {
-        let json = serde_json::to_vec_pretty(self).expect("manifest serializes");
+        let json = serde_json::to_vec_pretty(self).expect("manifest serializes"); // blockdec-lint: allow(panic) — serializing a plain data struct cannot fail
         store.put_atomic(MANIFEST_NAME, &json)
     }
 

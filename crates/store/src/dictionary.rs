@@ -39,7 +39,7 @@ pub fn save_dictionary(store: &dyn ObjectStore, registry: &ProducerRegistry) -> 
         crc32: names_crc(&names),
         names,
     };
-    let json = serde_json::to_vec_pretty(&file).expect("dictionary serializes");
+    let json = serde_json::to_vec_pretty(&file).expect("dictionary serializes"); // blockdec-lint: allow(panic) — serializing a plain data struct cannot fail
     store.put_atomic(DICTIONARY_NAME, &json)
 }
 

@@ -461,7 +461,7 @@ impl StoreDoctor {
             let bytes = get_retry(self.store.as_ref(), &file)?;
             match classify_segment_bytes(&bytes, &file) {
                 SegmentHealth::Healthy(rows) => {
-                    let crc = footer_crc(&bytes).expect("healthy segment has a footer");
+                    let crc = footer_crc(&bytes).expect("healthy segment has a footer"); // blockdec-lint: allow(panic) — Healthy classification requires a parseable footer
                     kept.push((file, rows, crc));
                 }
                 SegmentHealth::Recoverable(kind, detail, rows) => {

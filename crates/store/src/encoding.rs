@@ -169,7 +169,7 @@ fn get_uvarints(mut data: &[u8], count: usize, out: &mut Vec<u64>) -> Result<()>
     out.reserve(count);
     let mut remaining = count;
     while remaining >= 8 && data.len() >= 8 {
-        let lane = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
+        let lane = crate::lebytes::u64_at(data, 0);
         let cont = lane & CONT;
         if cont == 0 {
             for &b in &data[..8] {

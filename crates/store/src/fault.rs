@@ -151,9 +151,9 @@ impl FaultInjector {
     pub fn corrupt_index(&mut self, file: &str) -> Result<()> {
         let mut bytes = self.read_seg(file)?;
         let (index_off, idx_field) =
-            index_bounds(&bytes).unwrap_or_else(|| panic!("{file} has no parseable index frame"));
-        // The CRC-covered index body ends 4 bytes before the index_off
-        // field (those 4 bytes are the index CRC itself).
+            index_bounds(&bytes).unwrap_or_else(|| panic!("{file} has no parseable index frame")); // blockdec-lint: allow(panic) — fault injector: panicking on a misconfigured fixture is the contract
+                                                                                                   // The CRC-covered index body ends 4 bytes before the index_off
+                                                                                                   // field (those 4 bytes are the index CRC itself).
         let body_len = (idx_field - 4 - index_off) as u64;
         let at = index_off + self.next_below(body_len) as usize;
         bytes[at] ^= 1 << self.next_below(8);
@@ -169,11 +169,11 @@ impl FaultInjector {
     pub fn drift_page_zone(&mut self, file: &str) -> Result<()> {
         let mut bytes = self.read_seg(file)?;
         let (index_off, _) =
-            index_bounds(&bytes).unwrap_or_else(|| panic!("{file} has no parseable index frame"));
-        // Entry 0 starts after `BDIX` + group_count; max_height sits 16
-        // bytes in (offset u32, rows u32, min_height u64 precede it).
+            index_bounds(&bytes).unwrap_or_else(|| panic!("{file} has no parseable index frame")); // blockdec-lint: allow(panic) — fault injector: panicking on a misconfigured fixture is the contract
+                                                                                                   // Entry 0 starts after `BDIX` + group_count; max_height sits 16
+                                                                                                   // bytes in (offset u32, rows u32, min_height u64 precede it).
         let field = index_off + 8 + 16;
-        let mut max_h = u64::from_le_bytes(bytes[field..field + 8].try_into().expect("8 bytes"));
+        let mut max_h = crate::lebytes::u64_at(&bytes, field);
         max_h += 1 + self.next_below(1000);
         bytes[field..field + 8].copy_from_slice(&max_h.to_le_bytes());
         refit_index_crc(&mut bytes);
@@ -190,7 +190,7 @@ impl FaultInjector {
             .segments
             .iter_mut()
             .find(|s| s.file == file)
-            .unwrap_or_else(|| panic!("{file} not in manifest"));
+            .unwrap_or_else(|| panic!("{file} not in manifest")); // blockdec-lint: allow(panic) — fault injector: panicking on a misconfigured fixture is the contract
         seg.zone.max_height += 1 + self.next_below(1000);
         seg.zone.rows += 1;
         manifest.save(&local)

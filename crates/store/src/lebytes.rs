@@ -1,0 +1,45 @@
+//! Infallible little-endian field reads over pre-length-checked slices.
+//!
+//! Every decode path validates the enclosing frame length before
+//! touching fields, so the old `slice.try_into().expect("4 bytes")`
+//! pattern could never actually fail — it just scattered panic tokens
+//! across the format code. These helpers keep the bounds checks (array
+//! indexing still traps on a genuinely short slice, which would be a
+//! caller bug) and centralize the fixed-width reads in one place.
+
+pub(crate) fn u16_at(data: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([data[at], data[at + 1]])
+}
+
+pub(crate) fn u32_at(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]])
+}
+
+pub(crate) fn u64_at(data: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+pub(crate) fn i64_at(data: &[u8], at: usize) -> i64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[at..at + 8]);
+    i64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_match_from_le_bytes() {
+        let data: Vec<u8> = (1..=12).collect();
+        assert_eq!(u16_at(&data, 2), u16::from_le_bytes([3, 4]));
+        assert_eq!(u32_at(&data, 1), u32::from_le_bytes([2, 3, 4, 5]));
+        assert_eq!(
+            u64_at(&data, 4),
+            u64::from_le_bytes([5, 6, 7, 8, 9, 10, 11, 12])
+        );
+        assert_eq!(i64_at(&data, 0), 0x0807_0605_0403_0201);
+    }
+}

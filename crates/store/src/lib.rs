@@ -45,6 +45,7 @@ pub mod doctor;
 pub mod encoding;
 pub mod error;
 pub mod fault;
+pub(crate) mod lebytes;
 pub mod page;
 pub mod row;
 pub mod segment;

@@ -7,6 +7,7 @@
 use crate::checksum::Crc32Hasher;
 use crate::encoding::Codec;
 use crate::error::{Result, StoreError};
+use crate::lebytes;
 
 /// Fixed bytes before the payload.
 pub const PAGE_HEADER_LEN: usize = 1 + 4 + 4;
@@ -36,8 +37,8 @@ pub fn read_page<'a>(input: &mut &'a [u8], what: &str) -> Result<(Codec, u32, &'
         return Err(corrupt(format!("page truncated: {} bytes", input.len())));
     }
     let codec = Codec::from_id(input[0])?;
-    let rows = u32::from_le_bytes(input[1..5].try_into().expect("4 bytes"));
-    let len = u32::from_le_bytes(input[5..9].try_into().expect("4 bytes")) as usize;
+    let rows = lebytes::u32_at(input, 1);
+    let len = lebytes::u32_at(input, 5) as usize;
     let frame_len = PAGE_HEADER_LEN + len + PAGE_TRAILER_LEN;
     if input.len() < frame_len {
         return Err(corrupt(format!(
@@ -46,11 +47,7 @@ pub fn read_page<'a>(input: &mut &'a [u8], what: &str) -> Result<(Codec, u32, &'
         )));
     }
     let payload = &input[PAGE_HEADER_LEN..PAGE_HEADER_LEN + len];
-    let stored_crc = u32::from_le_bytes(
-        input[PAGE_HEADER_LEN + len..frame_len]
-            .try_into()
-            .expect("4 bytes"),
-    );
+    let stored_crc = lebytes::u32_at(input, PAGE_HEADER_LEN + len);
     let mut h = Crc32Hasher::new();
     h.update(&input[..PAGE_HEADER_LEN + len]);
     let actual = h.finalize();

@@ -76,6 +76,7 @@ impl RowRecord {
     /// Panics with a descriptive message on empty or mixed-height input;
     /// use [`RowRecord::try_to_attributed`] for a fallible version.
     pub fn to_attributed(rows: &[RowRecord]) -> AttributedBlock {
+        // blockdec-lint: allow(panic) — documented panicking variant; try_to_attributed is the fallible API
         RowRecord::try_to_attributed(rows).unwrap_or_else(|e| panic!("to_attributed: {e}"))
     }
 

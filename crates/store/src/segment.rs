@@ -26,6 +26,7 @@ use crate::encoding::{
     decode_column_into, decode_signed_column_into, encode_column, encode_signed_column, Codec,
 };
 use crate::error::{Result, StoreError};
+use crate::lebytes;
 use crate::page::{read_page, write_page};
 use crate::row::RowRecord;
 use crate::store::ScanPredicate;
@@ -75,12 +76,11 @@ pub fn check_footer(data: &[u8]) -> FooterCheck {
         return FooterCheck::NotFinalized;
     }
     let base = data.len() - FOOTER_LEN;
-    let stored_len =
-        u32::from_le_bytes(data[base + 4..base + 8].try_into().expect("4 bytes")) as usize;
+    let stored_len = lebytes::u32_at(data, base + 4) as usize;
     if stored_len != data.len() {
         return FooterCheck::LengthMismatch;
     }
-    let stored_crc = u32::from_le_bytes(data[base..base + 4].try_into().expect("4 bytes"));
+    let stored_crc = lebytes::u32_at(data, base);
     if crc32(&data[..base]) != stored_crc {
         return FooterCheck::CrcMismatch;
     }
@@ -118,8 +118,7 @@ fn verify_footer_frame(data: &[u8], what: &str) -> Result<()> {
         });
     }
     let base = data.len() - FOOTER_LEN;
-    let stored_len =
-        u32::from_le_bytes(data[base + 4..base + 8].try_into().expect("4 bytes")) as usize;
+    let stored_len = lebytes::u32_at(data, base + 4) as usize;
     if stored_len != data.len() {
         return Err(StoreError::Corrupt {
             what: what.to_string(),
@@ -173,8 +172,7 @@ pub(crate) fn refit_index_crc(data: &mut [u8]) {
     let len = data.len();
     assert!(len >= FOOTER_LEN + 8, "no index to refit");
     let idx_field = len - FOOTER_LEN - 4;
-    let index_off =
-        u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes")) as usize;
+    let index_off = lebytes::u32_at(data, idx_field) as usize;
     assert!(index_off + 4 <= idx_field, "index offset out of range");
     let crc = crc32(&data[index_off..idx_field - 4]);
     data[idx_field - 4..idx_field].copy_from_slice(&crc.to_le_bytes());
@@ -265,8 +263,7 @@ pub fn parse_index(data: &[u8], what: &str) -> Result<SegmentIndex> {
         return Err(bad(format!("file too short for an index: {}", data.len())));
     }
     let idx_field = data.len() - FOOTER_LEN - 4;
-    let index_off =
-        u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes")) as usize;
+    let index_off = lebytes::u32_at(data, idx_field) as usize;
     if index_off < 10 || index_off + 4 > idx_field {
         return Err(bad(format!("index offset {index_off} out of range")));
     }
@@ -288,7 +285,7 @@ fn parse_index_region(region: &[u8], index_off: usize, what: &str) -> Result<Seg
         return Err(bad(format!("index too short: {} bytes", region.len())));
     }
     let crc_at = region.len() - 4;
-    let stored = u32::from_le_bytes(region[crc_at..].try_into().expect("4 bytes"));
+    let stored = lebytes::u32_at(region, crc_at);
     if crc32(&region[..crc_at]) != stored {
         return Err(bad("index crc mismatch".to_string()));
     }
@@ -296,7 +293,7 @@ fn parse_index_region(region: &[u8], index_off: usize, what: &str) -> Result<Seg
     if body[..4] != INDEX_MAGIC {
         return Err(bad("bad index magic".to_string()));
     }
-    let count = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")) as usize;
+    let count = lebytes::u32_at(body, 4) as usize;
     if count == 0 || count > SEGMENT_ROWS.div_ceil(PAGE_GROUP_ROWS) {
         return Err(bad(format!("group count {count} out of range")));
     }
@@ -310,12 +307,12 @@ fn parse_index_region(region: &[u8], index_off: usize, what: &str) -> Result<Seg
         let at = 8 + g * GROUP_ENTRY_LEN;
         let e = &body[at..at + GROUP_ENTRY_LEN];
         let group = PageGroup {
-            offset: u32::from_le_bytes(e[0..4].try_into().expect("4 bytes")),
-            rows: u32::from_le_bytes(e[4..8].try_into().expect("4 bytes")),
-            min_height: u64::from_le_bytes(e[8..16].try_into().expect("8 bytes")),
-            max_height: u64::from_le_bytes(e[16..24].try_into().expect("8 bytes")),
-            min_time: i64::from_le_bytes(e[24..32].try_into().expect("8 bytes")),
-            max_time: i64::from_le_bytes(e[32..40].try_into().expect("8 bytes")),
+            offset: lebytes::u32_at(e, 0),
+            rows: lebytes::u32_at(e, 4),
+            min_height: lebytes::u64_at(e, 8),
+            max_height: lebytes::u64_at(e, 16),
+            min_time: lebytes::i64_at(e, 24),
+            max_time: lebytes::i64_at(e, 32),
         };
         if group.rows == 0 || group.rows as usize > PAGE_GROUP_ROWS {
             return Err(bad(format!(
@@ -439,7 +436,7 @@ fn encode_group(rows: &[RowRecord], out: &mut Vec<u8>, payload: &mut Vec<u8>) {
                 encode_column(codec, &collect(rows, |r| u64::from(r.size_bytes)), payload)
             }
             "difficulty" => encode_column(codec, &collect(rows, |r| r.difficulty), payload),
-            _ => unreachable!(),
+            _ => unreachable!(), // blockdec-lint: allow(panic) — arms cover every name in the static COLUMNS table
         }
         write_page(out, codec, n as u32, payload);
     }
@@ -548,11 +545,11 @@ impl SegmentDecoder {
         if body[..4] != MAGIC {
             return Err(bad("bad magic".to_string()));
         }
-        let version = u16::from_le_bytes(body[4..6].try_into().expect("2 bytes"));
+        let version = lebytes::u16_at(body, 4);
         if version != VERSION {
             return Err(bad(format!("unsupported version {version}")));
         }
-        let n = u32::from_le_bytes(body[6..10].try_into().expect("4 bytes")) as usize;
+        let n = lebytes::u32_at(body, 6) as usize;
         if n == 0 || n > SEGMENT_ROWS {
             return Err(bad(format!("row count {n} out of range")));
         }
@@ -587,7 +584,7 @@ impl SegmentDecoder {
                 "tx_count" => &mut self.tx_counts,
                 "size_bytes" => &mut self.size_bytes,
                 "difficulty" => &mut self.difficulties,
-                _ => unreachable!(),
+                _ => unreachable!(), // blockdec-lint: allow(panic) — arms cover every name in the static COLUMNS table
             };
             decode_column_into(codec, payload, n, out)?;
         }
@@ -639,9 +636,7 @@ impl SegmentDecoder {
             )));
         }
         let idx_field = data.len() - FOOTER_LEN - 4;
-        let index_off =
-            u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes"))
-                as usize;
+        let index_off = lebytes::u32_at(data, idx_field) as usize;
         let mut cursor = &data[10..index_off];
         for (g, group) in index.groups.iter().enumerate() {
             let pos = index_off - cursor.len();
@@ -666,14 +661,18 @@ impl SegmentDecoder {
             let rows = group.rows as usize;
             let heights = &self.heights[at..at + rows];
             let times = &self.timestamps[at..at + rows];
-            let (min_h, max_h) = (
-                heights.iter().copied().min().expect("non-empty group"),
-                heights.iter().copied().max().expect("non-empty group"),
-            );
-            let (min_t, max_t) = (
-                times.iter().copied().min().expect("non-empty group"),
-                times.iter().copied().max().expect("non-empty group"),
-            );
+            // Sentinel bounds for an (invalid) empty group fail the zone
+            // comparison below as corruption rather than panicking here.
+            let (mut min_h, mut max_h) = (u64::MAX, u64::MIN);
+            for &h in heights {
+                min_h = min_h.min(h);
+                max_h = max_h.max(h);
+            }
+            let (mut min_t, mut max_t) = (i64::MAX, i64::MIN);
+            for &t in times {
+                min_t = min_t.min(t);
+                max_t = max_t.max(t);
+            }
             if (min_h, max_h, min_t, max_t)
                 != (
                     group.min_height,
@@ -741,9 +740,7 @@ impl SegmentDecoder {
         Self::parse_header(body, what)?;
         let index = parse_index(data, what)?;
         let idx_field = data.len() - FOOTER_LEN - 4;
-        let index_off =
-            u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes"))
-                as usize;
+        let index_off = lebytes::u32_at(data, idx_field) as usize;
         let mut decoded = 0usize;
         for (g, group) in index.groups.iter().enumerate() {
             if !pred.may_match(&group.zone()) {
@@ -808,7 +805,7 @@ impl SegmentDecoder {
                 "missing finalization footer (torn write or truncated file)".to_string(),
             ));
         }
-        let stored_len = u32::from_le_bytes(tail[8..12].try_into().expect("4 bytes")) as u64;
+        let stored_len = lebytes::u32_at(&tail, 8) as u64;
         if stored_len != file_len {
             return Err(corrupt(format!(
                 "footer length disagrees with file length {file_len} (truncated after finalization)"
@@ -824,7 +821,7 @@ impl SegmentDecoder {
         let header = fetch(0, 10)?;
         Self::parse_header(&header, what)?;
         let idx_field = (file_len as usize) - FOOTER_LEN - 4;
-        let index_off = u32::from_le_bytes(tail[0..4].try_into().expect("4 bytes")) as usize;
+        let index_off = lebytes::u32_at(&tail, 0) as usize;
         if index_off < 10 || index_off + 4 > idx_field {
             return Err(StoreError::CorruptIndex {
                 what: what.to_string(),
@@ -875,9 +872,7 @@ impl SegmentDecoder {
         let body = &data[..data.len() - FOOTER_LEN];
         let n = Self::parse_header(body, what)?;
         let idx_field = data.len() - FOOTER_LEN - 4;
-        let index_off =
-            u32::from_le_bytes(data[idx_field..idx_field + 4].try_into().expect("4 bytes"))
-                as usize;
+        let index_off = lebytes::u32_at(data, idx_field) as usize;
         if index_off < 10 || index_off > idx_field {
             return Err(StoreError::Corrupt {
                 what: what.to_string(),
@@ -959,7 +954,7 @@ pub fn write_segment_file(
 ) -> Result<SegmentStamp> {
     let timer = blockdec_obs::Timer::new("store.segment_write");
     let bytes = encode_segment(rows);
-    let crc = footer_crc(&bytes).expect("freshly encoded segment has a footer");
+    let crc = footer_crc(&bytes).expect("freshly encoded segment has a footer"); // blockdec-lint: allow(panic) — encode_segment just wrote the footer it is hashing
     store.put_atomic(name, &bytes)?;
     let elapsed_ms = timer.stop() * 1e3;
     blockdec_obs::counter("store.segments.written").inc();

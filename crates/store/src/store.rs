@@ -393,7 +393,7 @@ impl BlockStore {
                     )));
                 }
             }
-            if usize::try_from(r.producer).expect("u32 fits usize") >= self.registry.len() {
+            if r.producer as usize >= self.registry.len() {
                 return Err(StoreError::InvalidAppend(format!(
                     "producer id {} not in dictionary (len {})",
                     r.producer,
@@ -618,13 +618,14 @@ impl BlockStore {
         let mut out: Vec<AttributedBlock> = Vec::new();
         let mut disorder: Option<(u64, u64)> = None;
         self.scan_for_each(pred, |r| {
-            if out.last().is_some_and(|b| b.height == r.height) {
-                let b = out.last_mut().expect("just observed a last block");
-                b.credits.push(Credit {
-                    producer: ProducerId(r.producer),
-                    weight: r.credit(),
-                });
-                return;
+            if let Some(b) = out.last_mut() {
+                if b.height == r.height {
+                    b.credits.push(Credit {
+                        producer: ProducerId(r.producer),
+                        weight: r.credit(),
+                    });
+                    return;
+                }
             }
             if let Some(b) = out.last() {
                 if r.height < b.height && disorder.is_none() {
@@ -763,7 +764,7 @@ impl BlockStore {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("decode worker never panics"))
+                    .map(|h| h.join().expect("decode worker never panics")) // blockdec-lint: allow(panic) — join only fails by propagating a worker panic; nothing to recover
                     .collect()
             })
         };
