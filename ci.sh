@@ -33,17 +33,22 @@ grep -q '"findings": \[' target/ci-smoke/lint.json
 # divergence or regression). The backend bench additionally proves a
 # pruned chain-year window scan fetches at most the checked-in fraction
 # of the store's bytes (ci/backend-baseline.txt, a ceiling) and that
-# SimBackend output is bitwise-identical to LocalFs.
+# SimBackend output is bitwise-identical to LocalFs. The follow bench
+# drives the live head feed (seeded forks) through the reorg-aware
+# chain view and holds its throughput, reorg coverage, and
+# delta-vs-recompute speedup above ci/follow-baseline.txt.
 mkdir -p target/ci-smoke
 ./target/release/experiments --days 14 --bench-json target/ci-smoke/bench.json \
     --decode-baseline ci/decode-baseline.txt \
     --prune-baseline ci/prune-baseline.txt \
-    --backend-baseline ci/backend-baseline.txt
+    --backend-baseline ci/backend-baseline.txt \
+    --follow-baseline ci/follow-baseline.txt
 test -s target/ci-smoke/bench.json
 grep -q '"columnar": \[' target/ci-smoke/bench.json
 grep -q '"decode": \[' target/ci-smoke/bench.json
 grep -q '"pruned": \[' target/ci-smoke/bench.json
 grep -q '"backend": \[' target/ci-smoke/bench.json
+grep -q '"follow": \[' target/ci-smoke/bench.json
 
 # Smoke: durability. A freshly loaded store must fsck clean (exit 0),
 # and the fsck self-test must inject, detect, and repair every fault
@@ -71,6 +76,31 @@ rm -rf target/ci-smoke/compact-store
     --metric gini,entropy,nakamoto --window fixed:day \
     --out target/ci-smoke/compact-after.csv
 cmp target/ci-smoke/compact-before.csv target/ci-smoke/compact-after.csv
+
+# Smoke: live drill. Follow the same scenario as a live head feed with
+# seeded forks (every 20 blocks, up to 3 deep) through the reorg-aware
+# chain view, finalizing 6 below the head, with incremental metric
+# deltas streamed as windows complete. The followed store must fsck
+# clean, the delta CSV must be byte-identical to a batch measure over
+# the batch-loaded store, and measuring the followed store must give
+# the same bytes again.
+rm -rf target/ci-smoke/follow-store target/ci-smoke/drill-store
+./target/release/blockdec follow --chain bitcoin --days 4 --seed 11 \
+    --fork-every 20 --max-fork 3 --finality 6 \
+    --store target/ci-smoke/follow-store \
+    --metric gini,entropy,nakamoto --window sliding:144:72 \
+    --out target/ci-smoke/follow-deltas.csv
+./target/release/blockdec fsck --store target/ci-smoke/follow-store
+./target/release/blockdec load --chain bitcoin --days 4 --seed 11 \
+    --store target/ci-smoke/drill-store
+./target/release/blockdec measure --store target/ci-smoke/drill-store \
+    --metric gini,entropy,nakamoto --window sliding:144:72 \
+    --out target/ci-smoke/drill-batch.csv
+cmp target/ci-smoke/follow-deltas.csv target/ci-smoke/drill-batch.csv
+./target/release/blockdec measure --store target/ci-smoke/follow-store \
+    --metric gini,entropy,nakamoto --window sliding:144:72 \
+    --out target/ci-smoke/follow-batch.csv
+cmp target/ci-smoke/follow-deltas.csv target/ci-smoke/follow-batch.csv
 
 # Smoke: storage backends. The same measurement over the same store must
 # be byte-identical whether reads go through plain LocalFs or through a

@@ -30,12 +30,20 @@
 //!                        the gate measures the paper workload even in
 //!                        quick CI runs; Ethereum rides along ungated
 //!                        when --days covers the full year
+//!     [--follow-baseline P]  with --bench-json: read
+//!                        "follow_<dataset>_<metric> <floor>" lines from
+//!                        P (metrics: blocks_per_sec, reorgs,
+//!                        delta_speedup) and fail if the live
+//!                        head-following bench drops below any floor —
+//!                        throughput floors are ~0.7× a healthy run,
+//!                        the reorg floor guards that the seeded feed
+//!                        actually exercises the rollback path
 //! ```
 
 use blockdec_bench::perf::{
-    backend_summary_line, columnar_summary_line, decode_summary_line, pruned_summary_line,
-    run_backend_bench, run_columnar_bench, run_decode_bench, run_matrix_bench, run_pruned_bench,
-    summary_line, write_bench_json,
+    backend_summary_line, columnar_summary_line, decode_summary_line, follow_summary_line,
+    pruned_summary_line, run_backend_bench, run_columnar_bench, run_decode_bench, run_follow_bench,
+    run_matrix_bench, run_pruned_bench, summary_line, write_bench_json,
 };
 use blockdec_bench::{run_experiment, Dataset, ALL_EXPERIMENTS};
 use std::path::PathBuf;
@@ -53,6 +61,7 @@ fn main() -> ExitCode {
     let mut decode_baseline: Option<PathBuf> = None;
     let mut prune_baseline: Option<PathBuf> = None;
     let mut backend_baseline: Option<PathBuf> = None;
+    let mut follow_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -96,6 +105,13 @@ fn main() -> ExitCode {
                 Some(p) => backend_baseline = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--backend-baseline needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--follow-baseline" => match args.next() {
+                Some(p) => follow_baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--follow-baseline needs a file path");
                     return ExitCode::from(2);
                 }
             },
@@ -383,7 +399,93 @@ fn main() -> ExitCode {
                 }
             }
         }
-        if let Err(e) = write_bench_json(path, &results, &columnar, &decode, &pruned, &backend) {
+        eprintln!("\nbenchmarking live head-following ingestion and metric deltas...");
+        let follow = [run_follow_bench(&btc, 1008), run_follow_bench(&eth, 6000)];
+        for b in &follow {
+            println!("{}", follow_summary_line(b));
+            if !b.store_exact_match {
+                eprintln!(
+                    "bench FAILED: follow store diverged from the batch stream on {}",
+                    b.dataset
+                );
+                failed = true;
+            }
+            if !b.delta_exact_match {
+                eprintln!(
+                    "bench FAILED: delta streams diverged from the batch engine on {}",
+                    b.dataset
+                );
+                failed = true;
+            }
+        }
+        if let Some(baseline) = &follow_baseline {
+            // Floors are named "follow_<dataset>_blocks_per_sec" /
+            // "_reorgs" / "_delta_speedup". The reorg floor is a
+            // coverage guard (the seeded feed must actually roll the
+            // view back), the other two are regression floors.
+            let rates: Vec<(String, f64)> = follow
+                .iter()
+                .flat_map(|b| {
+                    [
+                        (
+                            format!("follow_{}_blocks_per_sec", b.dataset),
+                            b.blocks_per_sec,
+                        ),
+                        (
+                            format!("follow_{}_reorgs", b.dataset),
+                            b.reorgs_applied as f64,
+                        ),
+                        (
+                            format!("follow_{}_delta_speedup", b.dataset),
+                            b.delta_speedup,
+                        ),
+                    ]
+                })
+                .collect();
+            match std::fs::read_to_string(baseline) {
+                Ok(body) => {
+                    for line in body.lines() {
+                        let line = line.trim();
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        let mut parts = line.split_whitespace();
+                        let (name, floor) = match (
+                            parts.next(),
+                            parts.next().and_then(|v| v.parse::<f64>().ok()),
+                        ) {
+                            (Some(n), Some(f)) => (n, f),
+                            _ => {
+                                eprintln!("bad baseline line {line:?} in {}", baseline.display());
+                                failed = true;
+                                continue;
+                            }
+                        };
+                        match rates.iter().find(|(n, _)| n == name) {
+                            Some((_, rate)) if *rate < floor => {
+                                eprintln!(
+                                    "bench FAILED: {name} = {rate:.1} is below the \
+                                     baseline floor {floor:.1}"
+                                );
+                                failed = true;
+                            }
+                            Some(_) => {}
+                            None => {
+                                eprintln!("baseline names unknown follow metric {name:?}");
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("could not read {}: {e}", baseline.display());
+                    failed = true;
+                }
+            }
+        }
+        if let Err(e) = write_bench_json(
+            path, &results, &columnar, &decode, &pruned, &backend, &follow,
+        ) {
             eprintln!("could not write {}: {e}", path.display());
             failed = true;
         } else {

@@ -639,6 +639,216 @@ pub fn run_backend_bench(ds: &Dataset) -> BackendBench {
     result
 }
 
+/// Result of one head-following ingestion bench: the live feed with
+/// seeded forks driven through a [`blockdec_ingest::ChainView`], plus a
+/// delta-stream-vs-periodic-recompute comparison over the finalized
+/// chain.
+#[derive(Clone, Debug)]
+pub struct FollowBench {
+    /// Dataset label (`bitcoin` / `ethereum`).
+    pub dataset: String,
+    /// Head events applied (canonical blocks plus fork-branch blocks).
+    pub events: usize,
+    /// Canonical blocks finalized into the store.
+    pub blocks: usize,
+    /// Reorgs applied by the chain view.
+    pub reorgs_applied: u64,
+    /// Pending blocks dropped across all reorgs.
+    pub blocks_rolled_back: u64,
+    /// Deepest single rollback, in blocks (never exceeds finality).
+    pub deepest_reorg: usize,
+    /// Wall seconds for the follow loop (attach, reorg, attribute,
+    /// append — no metric work).
+    pub follow_secs: f64,
+    /// `events / follow_secs` — head-event throughput.
+    pub blocks_per_sec: f64,
+    /// Delta streams driven (PAPER metrics × {fixed:day, sliding}).
+    pub streams: usize,
+    /// Total windows the delta streams emitted.
+    pub windows: usize,
+    /// Wall seconds for the incremental consumer: one pass pushing every
+    /// finalized block through every delta stream.
+    pub delta_secs: f64,
+    /// Wall seconds for the recomputing consumer: a full batch-engine
+    /// run over the growing prefix at each of the checkpoints.
+    pub recompute_secs: f64,
+    /// `recompute_secs / delta_secs`.
+    pub delta_speedup: f64,
+    /// Whether the follow store's scan (blocks and registry) equalled
+    /// the batch-generated stream bitwise.
+    pub store_exact_match: bool,
+    /// Whether every delta stream's points equalled the batch engine's
+    /// series bitwise (`==`, not an epsilon comparison).
+    pub delta_exact_match: bool,
+}
+
+/// Checkpoints for the recomputing consumer in [`run_follow_bench`]: the
+/// batch engine re-runs over the prefix finalized so far at each one,
+/// which is what a consumer without delta streams would have to do to
+/// stay current. Sixteen refreshes over a two-week CI stream is roughly
+/// one per simulated day — a modest cadence that still favors the
+/// recomputer (a consumer refreshing per window closure would be
+/// quadratic).
+const FOLLOW_CHECKPOINTS: usize = 16;
+
+/// Finality watermark for the follow bench, comfortably above the seeded
+/// feed's deepest fork so branch blocks never finalize.
+const FOLLOW_FINALITY: usize = 6;
+
+/// Drive the scenario's live head feed (seeded forks every 50 blocks,
+/// up to 3 deep) through a `ChainView` into a throwaway store, then
+/// compare two consumers over the finalized chain: incremental delta
+/// streams (one pass) against periodic full recomputes
+/// (16 batch-engine runs over growing prefixes — `FOLLOW_CHECKPOINTS`).
+///
+/// Correctness is checked bitwise both ways: the follow store's scan
+/// must equal the batch-generated stream, and every delta stream's
+/// points must equal the batch engine's series.
+pub fn run_follow_bench(ds: &Dataset, sliding_size: usize) -> FollowBench {
+    use blockdec_ingest::ChainView;
+    use blockdec_sim::FeedConfig;
+
+    let dir = std::env::temp_dir().join(format!(
+        "blockdec-followbench-{}-{}",
+        ds.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = BlockStore::create(&dir).expect("create bench store");
+    let mut view = ChainView::new(
+        store,
+        ds.scenario.chain,
+        ds.scenario.attribution,
+        FOLLOW_FINALITY,
+    );
+
+    // The follow loop: pure ingestion — attach/reorg, attribute past the
+    // watermark, append to the store. Metric work is timed separately.
+    let mut finalized: Vec<AttributedBlock> = Vec::with_capacity(ds.len());
+    let mut events = 0usize;
+    let t = Instant::now();
+    let mut feed = ds.scenario.stream_events(FeedConfig::default());
+    for block in feed.by_ref() {
+        events += 1;
+        view.apply(&block).expect("apply head event");
+        finalized.extend(view.take_finalized());
+    }
+    view.finalize_all().expect("finalize tail");
+    finalized.extend(view.take_finalized());
+    let follow_secs = t.elapsed().as_secs_f64();
+    let reorgs = view.reorg_stats();
+
+    // Bitwise store check: what follow persisted must equal the batch
+    // stream — blocks and producer registry both.
+    let scanned = view
+        .store()
+        .scan_attributed(&ScanPredicate::all())
+        .expect("scan follow store");
+    let store_exact_match = scanned == ds.attributed
+        && view.store().registry().to_name_list() == ds.registry.to_name_list();
+    drop(view);
+
+    // The streamable paper matrix: every PAPER metric over fixed:day and
+    // the chain's sliding spec (sliding-time sorts globally and cannot
+    // follow a live head).
+    let origin = ds.origin();
+    let spec = blockdec_core::windows::SlidingWindowSpec::new(sliding_size, sliding_size / 2);
+    let configs: Vec<MeasurementEngine> = MetricKind::PAPER
+        .iter()
+        .flat_map(|&m| {
+            [
+                MeasurementEngine::new(m).fixed_calendar(Granularity::Day, origin),
+                MeasurementEngine::new(m).sliding(sliding_size, sliding_size / 2),
+            ]
+        })
+        .collect();
+    let fresh_streams = || -> Vec<blockdec_core::MetricDeltaStream> {
+        MetricKind::PAPER
+            .iter()
+            .flat_map(|&m| {
+                [
+                    blockdec_core::MetricDeltaStream::fixed(m, Granularity::Day, origin),
+                    blockdec_core::MetricDeltaStream::sliding(m, spec),
+                ]
+            })
+            .collect()
+    };
+
+    // Incremental consumer: one pass, every block into every stream.
+    let t = Instant::now();
+    let mut streams = fresh_streams();
+    for b in &finalized {
+        for s in streams.iter_mut() {
+            s.push_block(b).expect("delta push");
+        }
+    }
+    for s in &mut streams {
+        s.finish();
+    }
+    let delta_points: Vec<Vec<blockdec_core::MeasurementPoint>> =
+        streams.into_iter().map(|s| s.into_points()).collect();
+    let delta_secs = t.elapsed().as_secs_f64();
+
+    // Recomputing consumer: a full batch run over the prefix finalized
+    // so far, at each checkpoint. The final checkpoint covers the whole
+    // chain and doubles as the bitwise reference for the delta points.
+    let t = Instant::now();
+    let mut batch: Vec<MeasurementSeries> = Vec::new();
+    for k in 1..=FOLLOW_CHECKPOINTS {
+        let prefix = &finalized[..finalized.len() * k / FOLLOW_CHECKPOINTS];
+        batch = configs.iter().map(|c| c.run(prefix)).collect();
+    }
+    let recompute_secs = t.elapsed().as_secs_f64();
+
+    let delta_exact_match = delta_points.len() == batch.len()
+        && delta_points.iter().zip(&batch).all(|(d, s)| *d == s.points);
+
+    let result = FollowBench {
+        dataset: ds.name.clone(),
+        events,
+        blocks: finalized.len(),
+        reorgs_applied: reorgs.applied,
+        blocks_rolled_back: reorgs.blocks_dropped,
+        deepest_reorg: reorgs.deepest,
+        follow_secs,
+        blocks_per_sec: events as f64 / follow_secs.max(1e-9),
+        streams: configs.len(),
+        windows: delta_points.iter().map(Vec::len).sum(),
+        delta_secs,
+        recompute_secs,
+        delta_speedup: recompute_secs / delta_secs.max(1e-9),
+        store_exact_match,
+        delta_exact_match,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// One human-readable summary line for a follow bench result.
+pub fn follow_summary_line(b: &FollowBench) -> String {
+    format!(
+        "{}: {} head events -> {} finalized blocks in {:.3}s ({:.0} blocks/s), \
+         {} reorg(s) dropped {} block(s) (deepest {}); {} delta streams emitted \
+         {} windows in {:.4}s vs {:.4}s recompute ({:.1}x); store match: {}, \
+         delta match: {}",
+        b.dataset,
+        b.events,
+        b.blocks,
+        b.follow_secs,
+        b.blocks_per_sec,
+        b.reorgs_applied,
+        b.blocks_rolled_back,
+        b.deepest_reorg,
+        b.streams,
+        b.windows,
+        b.delta_secs,
+        b.recompute_secs,
+        b.delta_speedup,
+        b.store_exact_match,
+        b.delta_exact_match
+    )
+}
+
 /// One human-readable summary line for a backend bench result.
 pub fn backend_summary_line(b: &BackendBench) -> String {
     format!(
@@ -749,13 +959,15 @@ pub fn summary_line(b: &MatrixBench) -> String {
 /// Write results as a machine-readable JSON document so successive runs
 /// can be committed (`BENCH_*.json`) and compared as a trajectory.
 ///
-/// Version 5 carries five sections: `matrix` (naive-vs-planner, as in
+/// Version 6 carries six sections: `matrix` (naive-vs-planner, as in
 /// version 1), `columnar` (AoS-vs-SoA end-to-end pipeline, added in
 /// version 2), `decode` (sequential-vs-parallel store→columns decode
 /// throughput, added in version 3), `pruned` (full decode vs
-/// index/bloom-pruned filtered scans over the compacted layout), and
+/// index/bloom-pruned filtered scans over the compacted layout),
 /// `backend` (ObjectStore bytes-fetched for a pruned window plus
-/// LocalFs-vs-SimBackend bitwise parity under injected faults).
+/// LocalFs-vs-SimBackend bitwise parity under injected faults), and
+/// `follow` (live head-following ingestion through the reorg-aware
+/// chain view plus delta-stream-vs-recompute timing).
 pub fn write_bench_json(
     path: &Path,
     matrix: &[MatrixBench],
@@ -763,8 +975,9 @@ pub fn write_bench_json(
     decode: &[DecodeBench],
     pruned: &[PrunedBench],
     backend: &[BackendBench],
+    follow: &[FollowBench],
 ) -> io::Result<()> {
-    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 5,\n");
+    let mut out = String::from("{\n  \"bench\": \"matrix\",\n  \"version\": 6,\n");
     out.push_str("  \"matrix\": [\n");
     for (i, b) in matrix.iter().enumerate() {
         out.push_str(&format!(
@@ -896,6 +1109,35 @@ pub fn write_bench_json(
             if i + 1 < backend.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"follow\": [\n");
+    for (i, b) in follow.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\n      \"dataset\": \"{}\",\n      \"events\": {},\n      \
+             \"blocks\": {},\n      \"reorgs_applied\": {},\n      \
+             \"blocks_rolled_back\": {},\n      \"deepest_reorg\": {},\n      \
+             \"follow_secs\": {:.6},\n      \"blocks_per_sec\": {:.1},\n      \
+             \"streams\": {},\n      \"windows\": {},\n      \
+             \"delta_secs\": {:.6},\n      \"recompute_secs\": {:.6},\n      \
+             \"delta_speedup\": {:.3},\n      \"store_exact_match\": {},\n      \
+             \"delta_exact_match\": {}\n    }}{}\n",
+            b.dataset,
+            b.events,
+            b.blocks,
+            b.reorgs_applied,
+            b.blocks_rolled_back,
+            b.deepest_reorg,
+            b.follow_secs,
+            b.blocks_per_sec,
+            b.streams,
+            b.windows,
+            b.delta_secs,
+            b.recompute_secs,
+            b.delta_speedup,
+            b.store_exact_match,
+            b.delta_exact_match,
+            if i + 1 < follow.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out)
 }
@@ -953,23 +1195,54 @@ mod tests {
             backend.fetch_fraction
         );
 
+        let follow = run_follow_bench(&ds, 144);
+        assert!(
+            follow.store_exact_match,
+            "follow store diverged from the batch stream"
+        );
+        assert!(
+            follow.delta_exact_match,
+            "delta streams diverged from the batch engine"
+        );
+        assert_eq!(follow.blocks, ds.len());
+        assert!(follow.events > follow.blocks, "feed emitted no fork blocks");
+        assert!(follow.reorgs_applied > 0, "feed exercised no reorgs");
+        assert!(
+            follow.deepest_reorg <= FOLLOW_FINALITY,
+            "a reorg crossed the finality watermark"
+        );
+        assert!(follow.windows > 0, "delta streams emitted nothing");
+
         let path =
             std::env::temp_dir().join(format!("blockdec-bench-json-{}.json", std::process::id()));
-        write_bench_json(&path, &[bench], &[col], &[dec], &[pruned], &[backend]).unwrap();
+        write_bench_json(
+            &path,
+            &[bench],
+            &[col],
+            &[dec],
+            &[pruned],
+            &[backend],
+            &[follow],
+        )
+        .unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.contains("\"bench\": \"matrix\""));
-        assert!(body.contains("\"version\": 5"));
+        assert!(body.contains("\"version\": 6"));
         assert!(body.contains("\"dataset\": \"bitcoin\""));
         assert!(body.contains("\"columnar\": ["));
         assert!(body.contains("\"decode\": ["));
         assert!(body.contains("\"pruned\": ["));
         assert!(body.contains("\"backend\": ["));
+        assert!(body.contains("\"follow\": ["));
         assert!(body.contains("\"aos_resident_bytes\""));
         assert!(body.contains("\"parallel_blocks_per_sec\""));
         assert!(body.contains("\"time_speedup\""));
         assert!(body.contains("\"producer_bloom_skips\""));
         assert!(body.contains("\"fetch_fraction\""));
         assert!(body.contains("\"sim_exact_match\": true"));
+        assert!(body.contains("\"delta_speedup\""));
+        assert!(body.contains("\"store_exact_match\": true"));
+        assert!(body.contains("\"delta_exact_match\": true"));
         assert!(body.contains("\"exact_match\": true"));
         std::fs::remove_file(&path).unwrap();
     }

@@ -7,12 +7,13 @@ use blockdec_analysis::report::{
     anomalies_csv, comparison_markdown, series_summary_line, sparkline_line,
 };
 use blockdec_chain::{ChainKind, Granularity, Timestamp};
-use blockdec_core::engine::{run_matrix_columns, MeasurementEngine};
+use blockdec_core::delta::MetricDeltaStream;
+use blockdec_core::engine::{run_matrix_columns, MeasurementEngine, WindowSpec};
 use blockdec_core::metrics::MetricKind;
 use blockdec_core::series::MeasurementSeries;
-use blockdec_ingest::{bigquery, csv as csvio, jsonl};
+use blockdec_ingest::{bigquery, csv as csvio, jsonl, ChainView};
 use blockdec_query::{Filter, MeasurementSource, Plan};
-use blockdec_sim::Scenario;
+use blockdec_sim::{FeedConfig, Scenario};
 use blockdec_store::{BlockStore, LocalFs, ObjectStore, SimBackend, SimProfile, StoreDoctor};
 use std::fs;
 use std::io::{BufReader, BufWriter, Write};
@@ -314,6 +315,142 @@ pub fn measure(args: &Args) -> CmdResult {
     for series in &all {
         eprintln!("{}", series_summary_line("store", series));
         eprintln!("{}", sparkline_line("series", series, 60));
+    }
+    let csv = if all.len() == 1 {
+        all[0].to_csv()
+    } else {
+        matrix_csv(&all)
+    };
+    match args.get("out") {
+        Some(path) => fs::write(path, csv).map_err(|e| format!("write {path}: {e}")),
+        None => {
+            print!("{csv}");
+            Ok(())
+        }
+    }
+}
+
+/// Turn a parsed engine config into a push-driven delta stream; only the
+/// streamable window families qualify.
+fn delta_stream_for(engine: &MeasurementEngine) -> Result<MetricDeltaStream, String> {
+    match engine.window() {
+        WindowSpec::SlidingBlocks(spec) => Ok(MetricDeltaStream::sliding(engine.metric(), spec)),
+        WindowSpec::FixedCalendar {
+            granularity,
+            origin,
+        } => Ok(MetricDeltaStream::fixed(
+            engine.metric(),
+            granularity,
+            origin,
+        )),
+        WindowSpec::SlidingTime(_) => Err(
+            "sliding-time windows sort the whole stream by timestamp and cannot \
+             follow a live head; use `blockdec measure` on the finished store"
+                .into(),
+        ),
+    }
+}
+
+/// `blockdec follow` — head-following ingestion: stream the scenario as
+/// live head events (with seeded forks), track them through a reorg-aware
+/// chain view that finalizes into the store, and emit incremental metric
+/// deltas as windows complete. The finished store and the delta CSV are
+/// byte-identical to `blockdec load` + `blockdec measure` over the same
+/// scenario.
+pub fn follow(args: &Args) -> CmdResult {
+    let scenario = scenario_from_args(args)?;
+    let store_dir = args.required("store")?;
+    let finality = args.get_parsed::<usize>("finality")?.unwrap_or(6);
+    let fork_every = args.get_parsed::<u64>("fork-every")?.unwrap_or(50);
+    let max_fork = args
+        .get_parsed::<usize>("max-fork")?
+        .unwrap_or(3.min(finality));
+    if max_fork > finality {
+        return Err(format!(
+            "--max-fork {max_fork} exceeds --finality {finality}; a reorg could \
+             cross the finalized watermark"
+        ));
+    }
+    let feed_config = FeedConfig {
+        fork_every,
+        max_fork_len: max_fork,
+        seed: args.get_parsed::<u64>("fork-seed")?.unwrap_or(0),
+    };
+    let window = args.get("window").unwrap_or("fixed:day");
+    let configs = args
+        .get("metric")
+        .unwrap_or("gini")
+        .split(',')
+        .map(|m| parse_window(window, parse_metric(m.trim())?))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut streams = configs
+        .iter()
+        .map(delta_stream_for)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut store = BlockStore::open_or_create_with(backend_from_args(store_dir, args)?)
+        .map_err(|e| e.to_string())?;
+    apply_cache_flags(&mut store, args)?;
+    if let Some(threads) = args.get_parsed::<usize>("scan-threads")? {
+        store.set_scan_threads(threads);
+    }
+    let mut view = ChainView::new(
+        store,
+        scenario.chain,
+        blockdec_chain::AttributionMode::PerAddress,
+        finality,
+    );
+
+    let stats = {
+        let _t = blockdec_obs::span_timed!(
+            "stage.follow",
+            chain = scenario.chain.to_string(),
+            finality = finality,
+        );
+        let mut feed = scenario.stream_events(feed_config);
+        for block in feed.by_ref() {
+            view.apply(&block).map_err(|e| e.to_string())?;
+            for finalized in view.take_finalized() {
+                for s in &mut streams {
+                    s.push_block(&finalized).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+        view.finalize_all().map_err(|e| e.to_string())?;
+        for finalized in view.take_finalized() {
+            for s in &mut streams {
+                s.push_block(&finalized).map_err(|e| e.to_string())?;
+            }
+        }
+        feed.stats()
+    };
+    let reorgs = view.reorg_stats();
+    eprintln!(
+        "followed {} events into {store_dir}: {} canonical blocks finalized, \
+         {} reorg(s) applied ({} block(s) rolled back, deepest {})",
+        view.accepted(),
+        view.finalized(),
+        reorgs.applied,
+        reorgs.blocks_dropped,
+        reorgs.deepest,
+    );
+    debug_assert_eq!(stats.forks, reorgs.applied);
+
+    let all: Vec<MeasurementSeries> = streams
+        .into_iter()
+        .map(|mut s| {
+            let metric = s.metric();
+            let window = s.label();
+            s.finish();
+            MeasurementSeries {
+                metric,
+                window,
+                points: s.into_points(),
+            }
+        })
+        .collect();
+    for series in &all {
+        eprintln!("{}", series_summary_line("follow", series));
     }
     let csv = if all.len() == 1 {
         all[0].to_csv()

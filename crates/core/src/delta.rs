@@ -1,0 +1,610 @@
+//! Incremental metric deltas for head-following ingestion.
+//!
+//! A [`MetricDeltaStream`] consumes attributed blocks one at a time — the
+//! finalized output of a reorg-aware chain view — and emits each
+//! [`MeasurementPoint`] the moment its window completes. The contract is
+//! **bitwise**: the emitted point sequence is `assert_eq!`-equal to what
+//! [`crate::engine::MeasurementEngine`] (and therefore
+//! [`crate::planner::MatrixPlan`]) computes over the same final stream,
+//! because the delta path replays the batch engine's exact
+//! [`ProducerDistribution::add_credits`] / [`ProducerDistribution::remove_credits`]
+//! call sequence — same calls, same order, same f64 rounding.
+//!
+//! Two window families stream:
+//!
+//! * **sliding block windows** — a ring of the last `size + step` blocks
+//!   plus one carried distribution; window `i` is emitted as soon as block
+//!   `i·step + size − 1` arrives;
+//! * **fixed calendar windows** — per-bucket distributions with a small
+//!   *lag horizon* `K` (default 2): bucket `B` is emitted once a block of
+//!   bucket `≥ B + K` is seen, which tolerates miner timestamp jitter; a
+//!   block landing in an already-emitted bucket is a
+//!   [`DeltaError::BucketRegression`].
+//!
+//! Time-based sliding windows sort the *whole* stream by `(timestamp,
+//! height)` before windowing and are therefore not streamable — use the
+//! batch engine for those.
+
+use crate::distribution::ProducerDistribution;
+use crate::metrics::MetricKind;
+use crate::series::{MeasurementPoint, WindowLabel};
+use crate::windows::sliding::SlidingWindowSpec;
+use blockdec_chain::{AttributedBlock, Granularity, ProducerId, Timestamp};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::ops::Range;
+
+/// Default fixed-calendar lag horizon: buckets are held until a block two
+/// buckets later is seen, which covers the simulator's ±130 s timestamp
+/// jitter (and real-chain jitter) at every paper granularity.
+pub const DEFAULT_BUCKET_LAG: i64 = 2;
+
+/// Errors from pushing a block into a delta stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A block's calendar bucket is at or below one already emitted; the
+    /// lag horizon was too small for this stream's timestamp jitter.
+    BucketRegression {
+        /// The offending block's bucket.
+        bucket: i64,
+        /// Highest bucket already emitted.
+        emitted_through: i64,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::BucketRegression {
+                bucket,
+                emitted_through,
+            } => write!(
+                f,
+                "block falls in calendar bucket {bucket} but buckets through \
+                 {emitted_through} were already emitted (increase the lag horizon)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// What a buffered block contributes: position, time, and flat credit
+/// columns (mirroring the store's columnar layout).
+#[derive(Clone, Debug)]
+struct Contribution {
+    height: u64,
+    timestamp: Timestamp,
+    producers: Vec<ProducerId>,
+    weights: Vec<f64>,
+}
+
+/// Sliding-mode state: the engine's one carried distribution plus a ring
+/// of the blocks a future window may still remove.
+#[derive(Debug)]
+struct SlidingState {
+    spec: SlidingWindowSpec,
+    dist: ProducerDistribution,
+    /// Blocks at global indices `base..base + ring.len()`.
+    ring: VecDeque<Contribution>,
+    base: usize,
+    total: usize,
+    prev: Option<Range<usize>>,
+    next_window: usize,
+}
+
+/// One calendar bucket being accumulated (the batch path's fresh
+/// per-bucket distribution, grown in stream order).
+#[derive(Debug)]
+struct BucketAcc {
+    dist: ProducerDistribution,
+    first_height: u64,
+    first_time: Timestamp,
+    last_height: u64,
+    last_time: Timestamp,
+    blocks: u64,
+}
+
+/// Fixed-mode state: open buckets ordered by bucket index.
+#[derive(Debug)]
+struct FixedState {
+    granularity: Granularity,
+    origin: Timestamp,
+    lag: i64,
+    open: BTreeMap<i64, BucketAcc>,
+    max_seen: Option<i64>,
+    emitted_through: Option<i64>,
+}
+
+#[derive(Debug)]
+enum Mode {
+    Sliding(SlidingState),
+    Fixed(FixedState),
+}
+
+/// A push-driven measurement stream: feed finalized blocks in canonical
+/// order, iterate completed [`MeasurementPoint`]s out.
+///
+/// The stream is also an [`Iterator`] — each `next()` yields one
+/// completed-but-unconsumed point, so a follow loop can subscribe with
+/// `for point in &mut stream { ... }` after every push.
+#[derive(Debug)]
+pub struct MetricDeltaStream {
+    metric: MetricKind,
+    mode: Mode,
+    ready: VecDeque<MeasurementPoint>,
+    finished: bool,
+}
+
+impl MetricDeltaStream {
+    /// Stream a metric over sliding block windows.
+    pub fn sliding(metric: MetricKind, spec: SlidingWindowSpec) -> MetricDeltaStream {
+        MetricDeltaStream {
+            metric,
+            mode: Mode::Sliding(SlidingState {
+                spec,
+                dist: ProducerDistribution::new(),
+                ring: VecDeque::new(),
+                base: 0,
+                total: 0,
+                prev: None,
+                next_window: 0,
+            }),
+            ready: VecDeque::new(),
+            finished: false,
+        }
+    }
+
+    /// Stream a metric over fixed calendar windows with the default lag
+    /// horizon ([`DEFAULT_BUCKET_LAG`]).
+    pub fn fixed(metric: MetricKind, granularity: Granularity, origin: Timestamp) -> Self {
+        MetricDeltaStream::fixed_with_lag(metric, granularity, origin, DEFAULT_BUCKET_LAG)
+    }
+
+    /// Stream a metric over fixed calendar windows, holding each bucket
+    /// until a block `lag` buckets later is seen (`lag ≥ 1`).
+    pub fn fixed_with_lag(
+        metric: MetricKind,
+        granularity: Granularity,
+        origin: Timestamp,
+        lag: i64,
+    ) -> MetricDeltaStream {
+        assert!(lag >= 1, "bucket lag must be at least 1");
+        MetricDeltaStream {
+            metric,
+            mode: Mode::Fixed(FixedState {
+                granularity,
+                origin,
+                lag,
+                open: BTreeMap::new(),
+                max_seen: None,
+                emitted_through: None,
+            }),
+            ready: VecDeque::new(),
+            finished: false,
+        }
+    }
+
+    /// The metric being streamed.
+    pub fn metric(&self) -> MetricKind {
+        self.metric
+    }
+
+    /// The window label carried by batch series over the same spec.
+    pub fn label(&self) -> WindowLabel {
+        match &self.mode {
+            Mode::Sliding(s) => WindowLabel::SlidingBlocks {
+                size: s.spec.size,
+                step: s.spec.step,
+            },
+            Mode::Fixed(s) => WindowLabel::FixedCalendar {
+                granularity: s.granularity.label().to_string(),
+            },
+        }
+    }
+
+    /// Push one finalized block (flat credit columns). Completed windows
+    /// queue up for [`MetricDeltaStream::poll`] / iteration; the return
+    /// value is how many completed on this push.
+    ///
+    /// # Panics
+    /// If called after [`MetricDeltaStream::finish`].
+    pub fn push(
+        &mut self,
+        height: u64,
+        timestamp: Timestamp,
+        producers: &[ProducerId],
+        weights: &[f64],
+    ) -> Result<usize, DeltaError> {
+        assert!(!self.finished, "push after finish()");
+        debug_assert_eq!(producers.len(), weights.len(), "parallel credit columns");
+        let c = Contribution {
+            height,
+            timestamp,
+            producers: producers.to_vec(),
+            weights: weights.to_vec(),
+        };
+        let before = self.ready.len();
+        match &mut self.mode {
+            Mode::Sliding(s) => {
+                s.ring.push_back(c);
+                s.total += 1;
+                Self::drain_sliding(&mut self.ready, self.metric, s);
+            }
+            Mode::Fixed(s) => Self::push_fixed(&mut self.ready, self.metric, s, c)?,
+        }
+        Ok(self.ready.len() - before)
+    }
+
+    /// [`MetricDeltaStream::push`] from an [`AttributedBlock`].
+    pub fn push_block(&mut self, block: &AttributedBlock) -> Result<usize, DeltaError> {
+        let producers: Vec<ProducerId> = block.credits.iter().map(|c| c.producer).collect();
+        let weights: Vec<f64> = block.credits.iter().map(|c| c.weight).collect();
+        self.push(block.height, block.timestamp, &producers, &weights)
+    }
+
+    /// Emit every sliding window that is now complete, replaying the batch
+    /// engine's add/remove sequence verbatim.
+    fn drain_sliding(
+        ready: &mut VecDeque<MeasurementPoint>,
+        metric: MetricKind,
+        s: &mut SlidingState,
+    ) {
+        while let Some(range) = s.spec.window_range(s.next_window, s.total) {
+            let at = |i: usize| &s.ring[i - s.base];
+            match s.prev.take() {
+                Some(p) if p.end > range.start => {
+                    for b in p.start..range.start {
+                        let c = at(b);
+                        s.dist.remove_credits(&c.producers, &c.weights);
+                    }
+                    for b in p.end..range.end {
+                        let c = at(b);
+                        s.dist.add_credits(&c.producers, &c.weights);
+                    }
+                }
+                _ => {
+                    s.dist.clear();
+                    for b in range.clone() {
+                        let c = at(b);
+                        s.dist.add_credits(&c.producers, &c.weights);
+                    }
+                }
+            }
+            let first = at(range.start);
+            let last = at(range.end - 1);
+            ready.push_back(MeasurementPoint {
+                index: s.next_window as i64,
+                start_height: first.height,
+                end_height: last.height,
+                start_time: first.timestamp,
+                end_time: last.timestamp,
+                blocks: range.len() as u64,
+                producers: s.dist.producers() as u64,
+                value: metric.compute(&s.dist.weight_vector()),
+            });
+            s.prev = Some(range.clone());
+            s.next_window += 1;
+            // The next window removes nothing below its predecessor's
+            // start; everything earlier can leave the ring.
+            while s.base < range.start {
+                s.ring.pop_front();
+                s.base += 1;
+            }
+        }
+    }
+
+    /// Route one block to its calendar bucket, then emit every bucket now
+    /// outside the lag horizon.
+    fn push_fixed(
+        ready: &mut VecDeque<MeasurementPoint>,
+        metric: MetricKind,
+        s: &mut FixedState,
+        c: Contribution,
+    ) -> Result<(), DeltaError> {
+        let bucket = c.timestamp.bucket(s.granularity, s.origin);
+        if let Some(done) = s.emitted_through {
+            if bucket <= done {
+                return Err(DeltaError::BucketRegression {
+                    bucket,
+                    emitted_through: done,
+                });
+            }
+        }
+        let acc = s.open.entry(bucket).or_insert_with(|| BucketAcc {
+            dist: ProducerDistribution::new(),
+            first_height: c.height,
+            first_time: c.timestamp,
+            last_height: c.height,
+            last_time: c.timestamp,
+            blocks: 0,
+        });
+        acc.dist.add_credits(&c.producers, &c.weights);
+        acc.last_height = c.height;
+        acc.last_time = c.timestamp;
+        acc.blocks += 1;
+        s.max_seen = Some(s.max_seen.map_or(bucket, |m| m.max(bucket)));
+        let horizon = s.max_seen.unwrap_or(bucket) - s.lag;
+        Self::drain_fixed(ready, metric, s, horizon);
+        Ok(())
+    }
+
+    /// Emit open buckets `≤ horizon`, ascending — the batch path's bucket
+    /// order.
+    fn drain_fixed(
+        ready: &mut VecDeque<MeasurementPoint>,
+        metric: MetricKind,
+        s: &mut FixedState,
+        horizon: i64,
+    ) {
+        while let Some(entry) = s.open.first_entry() {
+            if *entry.key() > horizon {
+                break;
+            }
+            let (bucket, acc) = entry.remove_entry();
+            ready.push_back(MeasurementPoint {
+                index: bucket,
+                start_height: acc.first_height,
+                end_height: acc.last_height,
+                start_time: acc.first_time,
+                end_time: acc.last_time,
+                blocks: acc.blocks,
+                producers: acc.dist.producers() as u64,
+                value: metric.compute(&acc.dist.weight_vector()),
+            });
+            s.emitted_through = Some(bucket);
+        }
+    }
+
+    /// End of stream: flush windows that were only held back by the lag
+    /// horizon (fixed mode; sliding windows either completed or never
+    /// will). Idempotent.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Mode::Fixed(s) = &mut self.mode {
+            Self::drain_fixed(&mut self.ready, self.metric, s, i64::MAX);
+        }
+    }
+
+    /// Take the next completed point, if any.
+    pub fn poll(&mut self) -> Option<MeasurementPoint> {
+        self.ready.pop_front()
+    }
+
+    /// Completed points waiting to be consumed.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Finish the stream and drain everything still queued.
+    pub fn into_points(mut self) -> Vec<MeasurementPoint> {
+        self.finish();
+        self.ready.into_iter().collect()
+    }
+}
+
+impl Iterator for MetricDeltaStream {
+    type Item = MeasurementPoint;
+
+    /// The subscription side: yields completed windows as they become
+    /// available, `None` when the consumer has caught up.
+    fn next(&mut self) -> Option<MeasurementPoint> {
+        self.poll()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MeasurementEngine;
+    use blockdec_chain::Credit;
+
+    /// `pattern[i]` produces block i (cycling), one block per `spacing`
+    /// seconds from the 2019 origin, with deterministic ±jitter.
+    fn stream(pattern: &[u32], n: usize, spacing: i64, jitter: i64) -> Vec<AttributedBlock> {
+        let o = Timestamp::year_2019_start().secs();
+        (0..n)
+            .map(|i| {
+                let j = if jitter == 0 {
+                    0
+                } else {
+                    ((i as i64) * 7919 % (2 * jitter)) - jitter
+                };
+                AttributedBlock {
+                    height: 1000 + i as u64,
+                    timestamp: Timestamp(o + i as i64 * spacing + j),
+                    credits: vec![Credit {
+                        producer: ProducerId(pattern[i % pattern.len()]),
+                        weight: 1.0,
+                    }],
+                }
+            })
+            .collect()
+    }
+
+    fn push_all(
+        stream: &mut MetricDeltaStream,
+        blocks: &[AttributedBlock],
+    ) -> Vec<MeasurementPoint> {
+        let mut out = Vec::new();
+        for b in blocks {
+            stream.push_block(b).unwrap();
+            out.extend(&mut *stream);
+        }
+        stream.finish();
+        out.extend(stream);
+        out
+    }
+
+    #[test]
+    fn sliding_deltas_are_bitwise_equal_to_the_batch_engine() {
+        let blocks = stream(&[0, 0, 1, 2, 3, 3, 3, 4], 300, 600, 0);
+        for metric in [
+            MetricKind::Gini,
+            MetricKind::ShannonEntropy,
+            MetricKind::Nakamoto,
+            MetricKind::Hhi,
+        ] {
+            let spec = SlidingWindowSpec::new(40, 15);
+            let batch = MeasurementEngine::new(metric)
+                .sliding_spec(spec)
+                .run(&blocks);
+            let mut s = MetricDeltaStream::sliding(metric, spec);
+            let points = push_all(&mut s, &blocks);
+            assert_eq!(points, batch.points, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn sliding_gap_steps_match_the_rebuild_arm() {
+        let blocks = stream(&[0, 1, 2], 100, 600, 0);
+        let spec = SlidingWindowSpec::new(4, 10);
+        let batch = MeasurementEngine::new(MetricKind::Nakamoto)
+            .sliding_spec(spec)
+            .run(&blocks);
+        let mut s = MetricDeltaStream::sliding(MetricKind::Nakamoto, spec);
+        assert_eq!(push_all(&mut s, &blocks), batch.points);
+    }
+
+    #[test]
+    fn sliding_emits_the_moment_a_window_completes() {
+        let blocks = stream(&[0, 1], 30, 600, 0);
+        let spec = SlidingWindowSpec::new(10, 5);
+        let mut s = MetricDeltaStream::sliding(MetricKind::Gini, spec);
+        for (i, b) in blocks.iter().enumerate() {
+            let emitted = s.push_block(b).unwrap();
+            // Window w completes exactly at block w*5 + 9.
+            let expect = if i >= 9 && (i - 9) % 5 == 0 { 1 } else { 0 };
+            assert_eq!(emitted, expect, "block {i}");
+        }
+    }
+
+    #[test]
+    fn sliding_ring_stays_bounded() {
+        let blocks = stream(&[0, 1, 2, 3], 5_000, 600, 0);
+        let spec = SlidingWindowSpec::new(144, 72);
+        let mut s = MetricDeltaStream::sliding(MetricKind::ShannonEntropy, spec);
+        for b in &blocks {
+            s.push_block(b).unwrap();
+            while s.poll().is_some() {}
+            if let Mode::Sliding(state) = &s.mode {
+                assert!(
+                    state.ring.len() <= spec.size + spec.step,
+                    "ring grew to {}",
+                    state.ring.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_deltas_are_bitwise_equal_to_the_batch_engine() {
+        // ±130 s jitter straddles day boundaries, exercising the lag.
+        let blocks = stream(&[0, 0, 1, 2], 600, 3600, 130);
+        let origin = Timestamp::year_2019_start();
+        for g in [Granularity::Day, Granularity::Week, Granularity::Month] {
+            let batch = MeasurementEngine::new(MetricKind::Gini)
+                .fixed_calendar(g, origin)
+                .run(&blocks);
+            let mut s = MetricDeltaStream::fixed(MetricKind::Gini, g, origin);
+            assert_eq!(push_all(&mut s, &blocks), batch.points, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_bucket_regression_is_an_error() {
+        let o = Timestamp::year_2019_start().secs();
+        let day = blockdec_chain::time::SECS_PER_DAY;
+        let mk = |h: u64, t: i64| AttributedBlock {
+            height: h,
+            timestamp: Timestamp(t),
+            credits: vec![Credit {
+                producer: ProducerId(0),
+                weight: 1.0,
+            }],
+        };
+        let mut s = MetricDeltaStream::fixed(
+            MetricKind::Gini,
+            Granularity::Day,
+            Timestamp::year_2019_start(),
+        );
+        s.push_block(&mk(1, o)).unwrap();
+        s.push_block(&mk(2, o + 3 * day)).unwrap(); // emits bucket 0
+        let err = s.push_block(&mk(3, o + 10)).unwrap_err();
+        assert_eq!(
+            err,
+            DeltaError::BucketRegression {
+                bucket: 0,
+                emitted_through: 0
+            }
+        );
+        assert!(err.to_string().contains("bucket 0"));
+    }
+
+    #[test]
+    fn fractional_credits_stream_fine() {
+        // Unlike CountMultiset, the distribution path handles fractional
+        // attribution — parity with the batch engine, not an approximation.
+        let o = Timestamp::year_2019_start().secs();
+        let blocks: Vec<AttributedBlock> = (0..60)
+            .map(|i| AttributedBlock {
+                height: i,
+                timestamp: Timestamp(o + i as i64 * 600),
+                credits: vec![
+                    Credit {
+                        producer: ProducerId(i as u32 % 3),
+                        weight: 0.5,
+                    },
+                    Credit {
+                        producer: ProducerId(3 + i as u32 % 2),
+                        weight: 0.5,
+                    },
+                ],
+            })
+            .collect();
+        let spec = SlidingWindowSpec::new(12, 6);
+        let batch = MeasurementEngine::new(MetricKind::ShannonEntropy)
+            .sliding_spec(spec)
+            .run(&blocks);
+        let mut s = MetricDeltaStream::sliding(MetricKind::ShannonEntropy, spec);
+        assert_eq!(push_all(&mut s, &blocks), batch.points);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_into_points_drains() {
+        let blocks = stream(&[0, 1], 50, 3600, 0);
+        let origin = Timestamp::year_2019_start();
+        let mut s = MetricDeltaStream::fixed(MetricKind::Nakamoto, Granularity::Day, origin);
+        for b in &blocks {
+            s.push_block(b).unwrap();
+        }
+        s.finish();
+        s.finish();
+        let n = s.ready_len();
+        let batch = MeasurementEngine::new(MetricKind::Nakamoto)
+            .fixed_calendar(Granularity::Day, origin)
+            .run(&blocks);
+        assert_eq!(n, batch.points.len());
+
+        let mut s2 = MetricDeltaStream::fixed(MetricKind::Nakamoto, Granularity::Day, origin);
+        for b in &blocks {
+            s2.push_block(b).unwrap();
+        }
+        assert_eq!(s2.into_points(), batch.points);
+    }
+
+    #[test]
+    fn label_matches_batch_series() {
+        let s = MetricDeltaStream::sliding(MetricKind::Gini, SlidingWindowSpec::new(10, 5));
+        assert_eq!(s.label(), WindowLabel::SlidingBlocks { size: 10, step: 5 });
+        let f = MetricDeltaStream::fixed(
+            MetricKind::Gini,
+            Granularity::Week,
+            Timestamp::year_2019_start(),
+        );
+        assert!(matches!(f.label(), WindowLabel::FixedCalendar { .. }));
+    }
+}

@@ -257,6 +257,15 @@ impl StreamingSlidingEngine {
         StreamingSlidingEngine { metric, spec }
     }
 
+    /// The push-driven counterpart for head-following ingestion: a
+    /// [`crate::delta::MetricDeltaStream`] over the same metric and spec.
+    /// Unlike `run`/`run_columns` (approximate to 1e-9 via the count
+    /// multiset), the delta stream replays the batch engine's
+    /// `ProducerDistribution` updates and is *bitwise* equal to it.
+    pub fn delta_stream(&self) -> crate::delta::MetricDeltaStream {
+        crate::delta::MetricDeltaStream::sliding(self.metric, self.spec)
+    }
+
     fn value(&self, m: &CountMultiset) -> f64 {
         use crate::metrics::MetricKind;
         match self.metric {

@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod distribution;
 pub mod engine;
 pub mod incremental;
@@ -25,6 +26,7 @@ pub mod planner;
 pub mod series;
 pub mod windows;
 
+pub use delta::{DeltaError, MetricDeltaStream};
 pub use distribution::ProducerDistribution;
 pub use engine::MeasurementEngine;
 pub use incremental::{CountMultiset, StreamingSlidingEngine};

@@ -22,6 +22,24 @@ pub enum IngestError {
         /// The underlying chain error.
         source: blockdec_chain::ChainError,
     },
+    /// A head block whose parent is neither the tracked head, a pending
+    /// ancestor, nor the finalized tip (head-following ingestion).
+    UnknownParent {
+        /// Height of the rejected block.
+        height: u64,
+        /// What the block claimed vs. what the view tracks.
+        detail: String,
+    },
+    /// A head block that would reorg at or below the finality watermark —
+    /// finalized data never rolls back.
+    ReorgBelowFinal {
+        /// Height of the rejected block.
+        height: u64,
+        /// The finalized watermark it would have to undo.
+        finalized: u64,
+    },
+    /// A store operation failed while finalizing head blocks.
+    Store(blockdec_store::StoreError),
 }
 
 impl IngestError {
@@ -44,6 +62,16 @@ impl fmt::Display for IngestError {
             IngestError::Invalid { line, source } => {
                 write!(f, "invalid record at line {line}: {source}")
             }
+            IngestError::UnknownParent { height, detail } => {
+                write!(f, "block at height {height} does not attach: {detail}")
+            }
+            IngestError::ReorgBelowFinal { height, finalized } => {
+                write!(
+                    f,
+                    "block at height {height} reorgs at or below the finalized watermark {finalized}"
+                )
+            }
+            IngestError::Store(e) => write!(f, "store error during finalization: {e}"),
         }
     }
 }
@@ -53,7 +81,10 @@ impl std::error::Error for IngestError {
         match self {
             IngestError::Io(e) => Some(e),
             IngestError::Invalid { source, .. } => Some(source),
-            IngestError::Parse { .. } => None,
+            IngestError::Store(e) => Some(e),
+            IngestError::Parse { .. }
+            | IngestError::UnknownParent { .. }
+            | IngestError::ReorgBelowFinal { .. } => None,
         }
     }
 }
@@ -61,6 +92,12 @@ impl std::error::Error for IngestError {
 impl From<io::Error> for IngestError {
     fn from(e: io::Error) -> IngestError {
         IngestError::Io(e)
+    }
+}
+
+impl From<blockdec_store::StoreError> for IngestError {
+    fn from(e: blockdec_store::StoreError) -> IngestError {
+        IngestError::Store(e)
     }
 }
 

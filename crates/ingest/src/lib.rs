@@ -11,15 +11,20 @@
 //!   dataset export schemas (`crypto_bitcoin.blocks`,
 //!   `crypto_ethereum.blocks`), the exact source the paper collected
 //!   from (§II-A);
-//! * [`timeparse`] — the timestamp formats those exports use.
+//! * [`timeparse`] — the timestamp formats those exports use;
+//! * [`chain_view`] — reorg-aware head-following ingestion: a
+//!   [`chain_view::ChainView`] tracks a live chain with a finalized
+//!   region in the store and a rollback-able pending tail in memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bigquery;
+pub mod chain_view;
 pub mod csv;
 pub mod error;
 pub mod jsonl;
 pub mod timeparse;
 
+pub use chain_view::{ChainView, HeadUpdate, ReorgStats};
 pub use error::IngestError;

@@ -65,6 +65,9 @@ pub struct RunSummary {
     pub faults_detected: u64,
     /// Segments quarantined by repair (`store.fault.quarantined`).
     pub segments_quarantined: u64,
+    /// Segments skipped by degraded scans (`store.fault.segments_skipped`):
+    /// reads that succeeded by omitting unreadable segments.
+    pub segments_skipped: u64,
     /// Every registered counter, for the machine-readable dump.
     pub counters: BTreeMap<String, u64>,
 }
@@ -134,6 +137,7 @@ impl RunSummary {
             windows: get("engine.windows"),
             faults_detected: get("store.fault.detected"),
             segments_quarantined: get("store.fault.quarantined"),
+            segments_skipped: get("store.fault.segments_skipped"),
             counters,
         }
     }
@@ -198,6 +202,12 @@ impl RunSummary {
                 self.faults_detected, self.segments_quarantined
             ));
         }
+        if self.segments_skipped > 0 {
+            out.push_str(&format!(
+                "  degraded scans: {} segment(s) skipped\n",
+                self.segments_skipped
+            ));
+        }
         out
     }
 
@@ -258,8 +268,8 @@ impl RunSummary {
         }
         out.push_str(&format!(",\"backend_retries\":{}", self.backend_retries));
         out.push_str(&format!(
-            ",\"windows\":{},\"faults_detected\":{},\"segments_quarantined\":{},\"counters\":{{",
-            self.windows, self.faults_detected, self.segments_quarantined
+            ",\"windows\":{},\"faults_detected\":{},\"segments_quarantined\":{},\"segments_skipped\":{},\"counters\":{{",
+            self.windows, self.faults_detected, self.segments_quarantined, self.segments_skipped
         ));
         for (i, (k, v)) in self.counters.iter().enumerate() {
             if i > 0 {
@@ -319,6 +329,7 @@ mod tests {
             windows: 365,
             faults_detected: 0,
             segments_quarantined: 0,
+            segments_skipped: 0,
             counters: BTreeMap::from([
                 ("engine.windows".to_string(), 365u64),
                 ("store.cache.hit".to_string(), 7u64),
@@ -394,6 +405,7 @@ mod tests {
             windows: 0,
             faults_detected: 0,
             segments_quarantined: 0,
+            segments_skipped: 0,
             counters: BTreeMap::new(),
         };
         assert!(s.render_text().contains("none recorded"));
@@ -403,6 +415,7 @@ mod tests {
         // Quiet runs stay quiet: no fault line, no decode line, no
         // pruning, cache, or backend lines.
         assert!(!s.render_text().contains("store faults"));
+        assert!(!s.render_text().contains("degraded scans"));
         assert!(!s.render_text().contains("store decode"));
         assert!(!s.render_text().contains("scan pruning"));
         assert!(!s.render_text().contains("segment cache"));
@@ -414,14 +427,20 @@ mod tests {
         let mut s = sample();
         s.faults_detected = 3;
         s.segments_quarantined = 1;
+        s.segments_skipped = 2;
         let text = s.render_text();
         assert!(
             text.contains("store faults: 3 detected, 1 segment(s) quarantined"),
             "{text}"
         );
+        assert!(
+            text.contains("degraded scans: 2 segment(s) skipped"),
+            "{text}"
+        );
         let json = s.render_json();
         assert!(json.contains("\"faults_detected\":3"), "{json}");
         assert!(json.contains("\"segments_quarantined\":1"), "{json}");
+        assert!(json.contains("\"segments_skipped\":2"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Continuous head-following feed: the scenario's block stream with
+//! seeded short forks and reorgs near the head.
+//!
+//! [`ChainFeed`] wraps the ordinary [`crate::generator::BlockGenerator`]
+//! and emits its blocks one at a time, occasionally preceding a canonical
+//! block by a short competing branch that attaches to the previous
+//! canonical block. A consumer that tracks the head (the `ChainView` in
+//! `blockdec-ingest`) first extends onto the fork, then rolls it back
+//! when the canonical block arrives — exactly the uncle/stale-block churn
+//! a live node sees near the tip.
+//!
+//! The canonical chain is **untouched**: the wrapped generator's RNG
+//! streams are never consumed by the fork schedule (it draws from its own
+//! forked [`SimRng`]), so the subsequence of canonical blocks a feed
+//! emits is bitwise identical to [`Scenario::generate_blocks`] for the
+//! same scenario. That identity is what the live-follow equivalence
+//! harness asserts end to end.
+
+use crate::generator::BlockGenerator;
+use crate::rng::SimRng;
+use crate::scenario::Scenario;
+use blockdec_chain::hash::splitmix64;
+use blockdec_chain::{Block, BlockHash};
+use std::collections::VecDeque;
+
+/// Seed domain separating fork-branch hashes from canonical hashes.
+const FORK_HASH_DOMAIN: u64 = 0xf04b_ed00_0000_0000;
+
+/// Knobs for the fork/reorg schedule of a [`ChainFeed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FeedConfig {
+    /// Mean spacing between fork events, in canonical blocks. `0`
+    /// disables forks entirely (the feed degenerates to the plain
+    /// generator).
+    pub fork_every: u64,
+    /// Longest competing branch the feed may emit — the deepest reorg a
+    /// consumer will ever have to apply. Keep this at or below the
+    /// consumer's finality depth.
+    pub max_fork_len: usize,
+    /// Extra seed folded into the fork schedule so the same scenario can
+    /// replay different fork histories over the identical canonical
+    /// chain.
+    pub seed: u64,
+}
+
+impl Default for FeedConfig {
+    fn default() -> FeedConfig {
+        FeedConfig {
+            fork_every: 50,
+            max_fork_len: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// Counters describing what a [`ChainFeed`] has emitted so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FeedStats {
+    /// Canonical blocks emitted (the blocks of the final chain).
+    pub canonical_blocks: u64,
+    /// Fork branches emitted (each implies one reorg at the consumer).
+    pub forks: u64,
+    /// Total blocks across all fork branches.
+    pub fork_blocks: u64,
+    /// Length of the longest branch emitted.
+    pub deepest_fork: usize,
+}
+
+/// Iterator of head events: canonical blocks interleaved with short
+/// competing branches. See the module docs for the contract.
+pub struct ChainFeed {
+    inner: BlockGenerator,
+    rng: SimRng,
+    config: FeedConfig,
+    /// Blocks staged for emission (fork branch, then the canonical block
+    /// that displaces it).
+    queue: VecDeque<Block>,
+    /// Last canonical block emitted or staged — fork branches attach to
+    /// its parent side.
+    last_canonical: Option<Block>,
+    /// Canonical blocks remaining until the next fork event.
+    until_fork: u64,
+    /// Distinct branch counter, folded into fork hashes so two branches
+    /// at the same height never collide.
+    branches: u64,
+    stats: FeedStats,
+}
+
+impl ChainFeed {
+    fn new(scenario: &Scenario, config: FeedConfig) -> ChainFeed {
+        // An independent RNG stream: the generator owns its own root
+        // (forks 1..3), so fork-schedule draws never perturb the
+        // canonical chain.
+        let mut rng = SimRng::new(splitmix64(scenario.seed ^ FORK_HASH_DOMAIN) ^ config.seed);
+        let until_fork = next_gap(&mut rng, config.fork_every);
+        ChainFeed {
+            inner: scenario.iter(),
+            rng,
+            config,
+            queue: VecDeque::new(),
+            last_canonical: None,
+            until_fork,
+            branches: 0,
+            stats: FeedStats::default(),
+        }
+    }
+
+    /// What the feed has emitted so far.
+    pub fn stats(&self) -> FeedStats {
+        self.stats
+    }
+
+    /// Build a competing branch of `len` blocks that attaches where
+    /// `canonical` does: branch block `i` sits at `canonical.height + i`,
+    /// chained from the previous canonical head.
+    fn fork_branch(&mut self, canonical: &Block, prev_hash: BlockHash, len: usize) -> Vec<Block> {
+        self.branches += 1;
+        let domain = FORK_HASH_DOMAIN ^ splitmix64(self.branches);
+        let mut parent = prev_hash;
+        let mut branch = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut b = canonical.clone();
+            b.height = canonical.height + i as u64;
+            b.hash = BlockHash::digest(domain, b.height);
+            b.parent = parent;
+            // A stale branch's miner clock runs a touch ahead.
+            b.timestamp = blockdec_chain::Timestamp(canonical.timestamp.secs() + 1 + i as i64);
+            parent = b.hash;
+            branch.push(b);
+        }
+        branch
+    }
+}
+
+/// Draw the gap (in canonical blocks) until the next fork: uniform in
+/// `1..=2·fork_every − 1`, mean `fork_every`. `u64::MAX` disables forks.
+fn next_gap(rng: &mut SimRng, fork_every: u64) -> u64 {
+    if fork_every == 0 {
+        return u64::MAX;
+    }
+    1 + rng.below(2 * fork_every - 1)
+}
+
+impl Iterator for ChainFeed {
+    type Item = Block;
+
+    fn next(&mut self) -> Option<Block> {
+        if let Some(b) = self.queue.pop_front() {
+            return Some(b);
+        }
+        let canonical = self.inner.next()?;
+        let fork_due = self.config.max_fork_len > 0 && self.until_fork == 0;
+        if let (true, Some(prev)) = (fork_due, self.last_canonical.clone()) {
+            self.until_fork = next_gap(&mut self.rng, self.config.fork_every);
+            let len = 1 + self.rng.below(self.config.max_fork_len as u64) as usize;
+            for b in self.fork_branch(&canonical, prev.hash, len) {
+                self.queue.push_back(b);
+            }
+            self.stats.forks += 1;
+            self.stats.fork_blocks += len as u64;
+            self.stats.deepest_fork = self.stats.deepest_fork.max(len);
+            self.queue.push_back(canonical.clone());
+            self.last_canonical = Some(canonical);
+            self.stats.canonical_blocks += 1;
+            return self.queue.pop_front();
+        }
+        self.until_fork = self.until_fork.saturating_sub(1);
+        self.last_canonical = Some(canonical.clone());
+        self.stats.canonical_blocks += 1;
+        Some(canonical)
+    }
+}
+
+impl Scenario {
+    /// Continuous head-following feed over this scenario: the canonical
+    /// block stream of [`Scenario::generate_blocks`], interleaved with
+    /// seeded short fork branches per `config`. The canonical
+    /// subsequence is bitwise identical to the batch stream.
+    pub fn stream_events(&self, config: FeedConfig) -> ChainFeed {
+        ChainFeed::new(self, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        let mut s = Scenario::bitcoin_2019().truncated(3);
+        s.limit_blocks = Some(400);
+        s
+    }
+
+    /// Split a feed's output into (canonical chain, fork blocks) by
+    /// replaying head semantics: a block at height h displaces anything
+    /// previously held at h and above.
+    fn replay_head(events: &[Block]) -> Vec<Block> {
+        let mut chain: Vec<Block> = Vec::new();
+        for b in events {
+            while chain.last().is_some_and(|t: &Block| t.height >= b.height) {
+                chain.pop();
+            }
+            if let Some(t) = chain.last() {
+                assert_eq!(
+                    t.hash, b.parent,
+                    "event does not attach at height {}",
+                    b.height
+                );
+            }
+            chain.push(b.clone());
+        }
+        chain
+    }
+
+    #[test]
+    fn canonical_subsequence_is_bitwise_identical_to_batch() {
+        let s = scenario();
+        let batch = s.generate_blocks();
+        let events: Vec<Block> = s
+            .stream_events(FeedConfig {
+                fork_every: 20,
+                max_fork_len: 3,
+                seed: 5,
+            })
+            .collect();
+        assert!(events.len() > batch.len(), "forks must add events");
+        assert_eq!(replay_head(&events), batch);
+    }
+
+    #[test]
+    fn zero_fork_every_degenerates_to_generator() {
+        let s = scenario();
+        let events: Vec<Block> = s
+            .stream_events(FeedConfig {
+                fork_every: 0,
+                ..FeedConfig::default()
+            })
+            .collect();
+        assert_eq!(events, s.generate_blocks());
+    }
+
+    #[test]
+    fn fork_schedule_is_deterministic_per_seed() {
+        let s = scenario();
+        let cfg = FeedConfig {
+            fork_every: 15,
+            max_fork_len: 4,
+            seed: 9,
+        };
+        let a: Vec<Block> = s.stream_events(cfg).collect();
+        let b: Vec<Block> = s.stream_events(cfg).collect();
+        assert_eq!(a, b);
+        let c: Vec<Block> = s.stream_events(FeedConfig { seed: 10, ..cfg }).collect();
+        assert_ne!(a, c, "fork seed must vary the event stream");
+        assert_eq!(replay_head(&a), replay_head(&c), "canonical chain must not");
+    }
+
+    #[test]
+    fn fork_lengths_respect_the_cap_and_stats_add_up() {
+        let s = scenario();
+        let mut feed = s.stream_events(FeedConfig {
+            fork_every: 10,
+            max_fork_len: 3,
+            seed: 1,
+        });
+        let events: Vec<Block> = feed.by_ref().collect();
+        let stats = feed.stats();
+        assert!(stats.forks > 0, "expected forks in 400 blocks");
+        assert!(stats.deepest_fork <= 3);
+        assert_eq!(
+            stats.canonical_blocks + stats.fork_blocks,
+            events.len() as u64
+        );
+        assert_eq!(stats.canonical_blocks as usize, replay_head(&events).len());
+    }
+
+    #[test]
+    fn fork_hashes_never_collide_with_canonical_ones() {
+        let s = scenario();
+        let events: Vec<Block> = s
+            .stream_events(FeedConfig {
+                fork_every: 10,
+                max_fork_len: 3,
+                seed: 2,
+            })
+            .collect();
+        let mut hashes: Vec<BlockHash> = events.iter().map(|b| b.hash).collect();
+        let n = hashes.len();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), n, "duplicate block hash in feed");
+    }
+}

@@ -23,11 +23,13 @@ pub mod arrival;
 pub mod calibration;
 pub mod difficulty;
 pub mod events;
+pub mod feed;
 pub mod generator;
 pub mod hashrate;
 pub mod population;
 pub mod rng;
 pub mod scenario;
 
+pub use feed::{ChainFeed, FeedConfig, FeedStats};
 pub use generator::{BlockGenerator, GeneratedColumns, GeneratedStream};
 pub use scenario::Scenario;

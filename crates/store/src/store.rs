@@ -382,6 +382,13 @@ impl BlockStore {
         self.active.len()
     }
 
+    /// Height of the last appended row (sealed or buffered); `None` for
+    /// an empty store. Head-following ingestion uses this as the
+    /// finalized watermark when it adopts an existing store.
+    pub fn last_height(&self) -> Option<u64> {
+        self.last_height
+    }
+
     fn check_order(&mut self, rows: &[RowRecord]) -> Result<()> {
         let mut last = self.last_height;
         for r in rows {

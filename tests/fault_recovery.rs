@@ -197,3 +197,134 @@ fn crash_during_compaction_loses_nothing_committed() {
 
     fs::remove_dir_all(&crash_dir).unwrap();
 }
+
+#[test]
+fn crash_at_a_reorg_boundary_loses_nothing_finalized_and_resumes_bitwise() {
+    // The live follow loop's worst crash window: rows finalized across a
+    // reorg boundary are sitting in the append buffer when the segment
+    // commit tears. Nothing already flushed may be lost, the doctor must
+    // converge without quarantining a committed row, and a resumed
+    // follow over the recovered store must land bitwise on the one-shot
+    // batch load.
+    use blockdec_ingest::ChainView;
+    use blockdec_sim::FeedConfig;
+
+    let dir = tmp_dir("reorg-crash");
+    let scenario = Scenario::bitcoin_2019().truncated(4).with_seed(55);
+    let cfg = FeedConfig {
+        fork_every: 20,
+        max_fork_len: 3,
+        seed: 9,
+    };
+    let finality = 6;
+
+    let store = BlockStore::create(&dir).unwrap();
+    let mut view = ChainView::new(store, scenario.chain, scenario.attribution, finality);
+    let mut finalized: Vec<AttributedBlock> = Vec::new();
+    let mut feed = scenario.stream_events(cfg);
+
+    // Phase 1: follow through the first reorg, then make the finalized
+    // prefix durable.
+    for block in feed.by_ref() {
+        view.apply(&block).unwrap();
+        finalized.extend(view.take_finalized());
+        if view.reorg_stats().applied >= 1 && !finalized.is_empty() {
+            break;
+        }
+    }
+    view.flush().unwrap();
+    let durable = finalized.len();
+    assert!(durable > 0, "nothing was finalized before the first flush");
+
+    // Phase 2: follow through two more reorgs so freshly finalized rows
+    // from across a reorg boundary are buffered, then tear the very next
+    // segment commit mid-append.
+    for block in feed.by_ref() {
+        view.apply(&block).unwrap();
+        finalized.extend(view.take_finalized());
+        if view.reorg_stats().applied >= 3 {
+            break;
+        }
+    }
+    assert!(
+        finalized.len() > durable,
+        "no rows were buffered past the flush"
+    );
+    FaultInjector::new(&dir, 5).arm_crash_at_commit(1);
+    assert!(view.flush().is_err());
+    drop(view);
+
+    // Recovery: fsck converges without quarantining a committed row.
+    let doctor = StoreDoctor::new(&dir);
+    let outcome = doctor.repair().unwrap();
+    assert_eq!(
+        outcome.rows_quarantined, 0,
+        "a mid-append crash must never cost a committed row"
+    );
+    assert!(doctor.check().unwrap().is_clean());
+
+    // Nothing finalized-and-flushed was lost.
+    let recovered = BlockStore::open(&dir).unwrap();
+    assert_eq!(
+        recovered.scan_attributed(&ScanPredicate::all()).unwrap()[..],
+        finalized[..durable]
+    );
+
+    // Resume: adopt the recovered store with a fresh view, replay the
+    // canonical remainder, and require bitwise equality with the batch
+    // load — blocks and producer dictionary both.
+    let resume_from = recovered.last_height();
+    let mut view = ChainView::new(recovered, scenario.chain, scenario.attribution, finality);
+    for block in scenario.generate_blocks() {
+        if resume_from.is_some_and(|h| block.height <= h) {
+            continue;
+        }
+        view.apply(&block).unwrap();
+    }
+    view.finalize_all().unwrap();
+    let store = view.into_store();
+    let batch = scenario.generate();
+    assert_eq!(
+        store.scan_attributed(&ScanPredicate::all()).unwrap(),
+        batch.attributed
+    );
+    assert_eq!(
+        store.registry().to_name_list(),
+        batch.registry.to_name_list()
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn degraded_scan_stats_surface_in_the_run_summary() {
+    // A degraded scan over a store with a rotten segment must skip it,
+    // count the skip in the scan stats, and surface it in the run
+    // summary (text and JSON) so fault-tolerant runs are never silently
+    // lossy.
+    use blockdec_store::ScanOptions;
+
+    let dir = tmp_dir("degraded");
+    let store = build_store(&dir, 3);
+    drop(store);
+    FaultInjector::new(&dir, 0xBAD)
+        .flip_bit(&segment_file_name(1))
+        .unwrap();
+
+    let store = BlockStore::open(&dir).unwrap();
+    // Strict scans abort on the rotten segment...
+    assert!(store
+        .scan_columnar_with(&ScanPredicate::all(), ScanOptions::strict(), |_| true)
+        .is_err());
+    // ...degraded scans skip it, return the survivors, and count it.
+    let (cols, stats) = store
+        .scan_columnar_with(&ScanPredicate::all(), ScanOptions::degraded(), |_| true)
+        .unwrap();
+    assert_eq!(stats.segments_skipped, 1);
+    assert!(!cols.is_empty(), "survivor segments must still decode");
+
+    let summary = blockdec_obs::RunSummary::collect();
+    assert!(summary.segments_skipped >= 1);
+    assert!(summary.render_text().contains("degraded scans:"));
+    assert!(summary.render_json().contains("\"segments_skipped\""));
+    fs::remove_dir_all(&dir).unwrap();
+}

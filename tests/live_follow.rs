@@ -1,0 +1,207 @@
+//! Live head-following: the golden incremental-vs-recompute harness and
+//! a seeded property sweep over random fork/reorg schedules.
+//!
+//! The contract under test is bitwise, not approximate: after any fork
+//! schedule, the followed store must equal a one-shot batch load of the
+//! same scenario (blocks and producer dictionary), and every metric
+//! delta stream must equal the batch engine's series over the final
+//! chain — `assert_eq!` on the full point vectors, at `--scan-threads`
+//! 1 and auto.
+
+use blockdec::prelude::*;
+use blockdec_chain::Granularity;
+use blockdec_core::engine::run_matrix_columns;
+use blockdec_core::MetricDeltaStream;
+use blockdec_ingest::ChainView;
+use blockdec_sim::FeedConfig;
+use blockdec_store::ScanOptions;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("blockdec-livefollow-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The streamable paper matrix: every PAPER metric over day/week/month
+/// fixed calendar windows plus the chain's block-count sliding spec.
+/// Sliding-time windows sort the whole stream by timestamp and cannot
+/// follow a live head, so they are exercised by the batch tests only.
+fn paper_configs(origin: Timestamp, sliding: usize) -> Vec<MeasurementEngine> {
+    MetricKind::PAPER
+        .iter()
+        .flat_map(|&metric| {
+            let mut v: Vec<MeasurementEngine> = Granularity::ALL
+                .iter()
+                .map(|&g| MeasurementEngine::new(metric).fixed_calendar(g, origin))
+                .collect();
+            v.push(MeasurementEngine::new(metric).sliding(sliding, sliding / 2));
+            v
+        })
+        .collect()
+}
+
+/// Delta streams in the same order as [`paper_configs`].
+fn paper_streams(origin: Timestamp, sliding: usize) -> Vec<MetricDeltaStream> {
+    MetricKind::PAPER
+        .iter()
+        .flat_map(|&metric| {
+            let mut v: Vec<MetricDeltaStream> = Granularity::ALL
+                .iter()
+                .map(|&g| MetricDeltaStream::fixed(metric, g, origin))
+                .collect();
+            v.push(MetricDeltaStream::sliding(
+                metric,
+                SlidingWindowSpec::new(sliding, sliding / 2),
+            ));
+            v
+        })
+        .collect()
+}
+
+/// Drive the scenario's live head feed through a `ChainView` into a
+/// fresh store at `dir`, pushing every finalized block through every
+/// delta stream as it crosses the watermark. Returns the finalized
+/// store and each stream's emitted points.
+fn follow(
+    scenario: &Scenario,
+    feed: FeedConfig,
+    finality: usize,
+    sliding: usize,
+    dir: &PathBuf,
+) -> (BlockStore, Vec<Vec<MeasurementPoint>>) {
+    let store = BlockStore::create(dir).unwrap();
+    let mut view = ChainView::new(store, scenario.chain, scenario.attribution, finality);
+    let mut streams = paper_streams(Timestamp(scenario.start_time), sliding);
+    for block in scenario.stream_events(feed) {
+        view.apply(&block).unwrap();
+        for finalized in view.take_finalized() {
+            for s in streams.iter_mut() {
+                s.push_block(&finalized).unwrap();
+            }
+        }
+    }
+    view.finalize_all().unwrap();
+    for finalized in view.take_finalized() {
+        for s in streams.iter_mut() {
+            s.push_block(&finalized).unwrap();
+        }
+    }
+    let points = streams.into_iter().map(|s| s.into_points()).collect();
+    (view.into_store(), points)
+}
+
+/// The golden harness for one chain: follow with seeded forks, then
+/// require (1) the store to equal the batch load bitwise, and (2) every
+/// delta stream to equal the batch engine's recompute over the followed
+/// store, at one decode thread and at auto.
+fn golden(scenario: &Scenario, sliding: usize, tag: &str) {
+    let dir = tmp_dir(tag);
+    let feed = FeedConfig {
+        fork_every: 25,
+        max_fork_len: 3,
+        seed: 7,
+    };
+    let (store, deltas) = follow(scenario, feed, 6, sliding, &dir);
+
+    // (1) Store equivalence: blocks and producer dictionary both.
+    let batch = scenario.generate();
+    assert_eq!(
+        store.scan_attributed(&ScanPredicate::all()).unwrap(),
+        batch.attributed,
+        "followed store diverged from the batch load"
+    );
+    assert_eq!(
+        store.registry().to_name_list(),
+        batch.registry.to_name_list(),
+        "followed registry diverged from the batch load"
+    );
+
+    // (2) Every delta stream equals the full recompute, at both decode
+    // thread counts.
+    let configs = paper_configs(Timestamp(scenario.start_time), sliding);
+    for threads in [1usize, 0] {
+        let (cols, _) = store
+            .scan_columnar_with(
+                &ScanPredicate::all(),
+                ScanOptions::strict().with_threads(threads),
+                |_| true,
+            )
+            .unwrap();
+        let series = run_matrix_columns(cols.as_slice(), &configs);
+        assert_eq!(series.len(), deltas.len());
+        for (points, s) in deltas.iter().zip(&series) {
+            assert_eq!(
+                points, &s.points,
+                "delta stream diverged from recompute for {:?} at {threads} thread(s)",
+                s.metric
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bitcoin_delta_streams_match_recompute_across_the_paper_matrix() {
+    golden(&Scenario::bitcoin_2019().truncated(20), 144, "btc-golden");
+}
+
+#[test]
+fn ethereum_delta_streams_match_recompute_across_the_paper_matrix() {
+    golden(&Scenario::ethereum_2019().truncated(3), 1200, "eth-golden");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Any seeded fork/reorg schedule must converge: the final canonical
+    // chain in the view plus the finalized store must be bitwise
+    // identical to the one-shot batch load, and no single rollback may
+    // ever reach the finality watermark's depth in the store.
+    #[test]
+    fn random_fork_schedules_converge_to_the_batch_chain(
+        fork_every in 3u64..40,
+        max_fork in 0usize..4,
+        feed_seed in 0u64..1_000,
+        extra_finality in 0usize..3,
+    ) {
+        let finality = (max_fork + extra_finality).max(1);
+        let scenario = Scenario::bitcoin_2019().truncated(2).with_seed(feed_seed);
+        let dir = tmp_dir(&format!("prop-{fork_every}-{max_fork}-{feed_seed}-{finality}"));
+
+        let store = BlockStore::create(&dir).unwrap();
+        let mut view = ChainView::new(store, scenario.chain, scenario.attribution, finality);
+        let mut feed = scenario.stream_events(FeedConfig {
+            fork_every,
+            max_fork_len: max_fork,
+            seed: feed_seed,
+        });
+        for block in feed.by_ref() {
+            view.apply(&block).unwrap();
+        }
+        let stats = feed.stats();
+        prop_assert_eq!(view.reorg_stats().applied, stats.forks);
+        prop_assert!(
+            view.reorg_stats().deepest <= finality,
+            "a rollback of {} crossed the finality watermark {}",
+            view.reorg_stats().deepest,
+            finality
+        );
+        view.finalize_all().unwrap();
+        prop_assert_eq!(view.head_height(), view.finalized_height());
+
+        let batch = scenario.generate();
+        let store = view.into_store();
+        prop_assert_eq!(
+            store.scan_attributed(&ScanPredicate::all()).unwrap(),
+            batch.attributed
+        );
+        prop_assert_eq!(
+            store.registry().to_name_list(),
+            batch.registry.to_name_list()
+        );
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
